@@ -1,0 +1,53 @@
+//! CASTAN analysis cost (backs Table 4's run-time column) and the
+//! potential-cost annotation (§3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_core::costmap::CostMap;
+use castan_core::{AnalysisConfig, Castan};
+use castan_ir::Icfg;
+use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
+use castan_nf::{nf_by_id, NfId, NfSpec};
+
+fn catalog_for(nf: &NfSpec) -> ContentionCatalog {
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
+    let lines: Vec<u64> = nf
+        .data_regions
+        .first()
+        .map(|r| (0..2048u64).map(|i| r.base + (i * 8 * 64) % r.len).collect())
+        .unwrap_or_default();
+    ContentionCatalog::from_ground_truth(&mut hier, lines)
+}
+
+fn bench_icfg_annotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential_cost_annotation");
+    for id in [NfId::LpmTrie, NfId::NatHashTable, NfId::LbRedBlackTree] {
+        let nf = nf_by_id(id);
+        let icfg = Icfg::build(&nf.program);
+        group.bench_function(BenchmarkId::from_parameter(nf.name()), |b| {
+            b.iter(|| black_box(CostMap::build(&nf.program, &icfg, Some(&nf.natives), 2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("castan_analysis");
+    group.sample_size(10);
+    for id in [NfId::LpmTrie, NfId::LpmDirect1, NfId::NatHashTable] {
+        let nf = nf_by_id(id);
+        let catalog = catalog_for(&nf);
+        group.bench_function(BenchmarkId::from_parameter(nf.name()), |b| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 4;
+            cfg.step_budget = 8_000;
+            let castan = Castan::new(cfg);
+            b.iter(|| black_box(castan.analyze(&nf, &catalog)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_icfg_annotation, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Per-packet datapath cost of each NF under the paper's workloads.
+//! Backs Tables 1–3: the relative per-packet costs here determine
+//! throughput, instructions retired and L3 misses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_ir::{DataMemory, Interpreter, NullSink};
+use castan_nf::{nf_by_id, NfId};
+use castan_testbed::{measure, MeasurementConfig};
+use castan_workload::{generic_workload, manual_workload, WorkloadConfig, WorkloadKind};
+
+fn bench_interpreter_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nf_datapath_interpreter");
+    for id in [
+        NfId::Nop,
+        NfId::LpmDirect1,
+        NfId::LpmTrie,
+        NfId::NatHashTable,
+        NfId::LbHashRing,
+    ] {
+        let nf = nf_by_id(id);
+        let wl = generic_workload(&nf, WorkloadKind::Zipfian, &WorkloadConfig::scaled(0.002));
+        group.bench_function(BenchmarkId::from_parameter(nf.name()), |b| {
+            let interp = Interpreter::new(&nf.program, &nf.natives);
+            let mut mem: DataMemory = nf.initial_memory.clone();
+            let mut i = 0usize;
+            b.iter(|| {
+                let pkt = &wl.packets[i % wl.packets.len()];
+                i += 1;
+                black_box(interp.run_packet(&mut mem, pkt, &mut NullSink).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_measured_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed_measurement");
+    group.sample_size(10);
+    let cfg = MeasurementConfig {
+        total_packets: 2_000,
+        warmup_packets: 200,
+        ..Default::default()
+    };
+    let nf = nf_by_id(NfId::NatUnbalancedTree);
+    for kind in [WorkloadKind::Zipfian, WorkloadKind::UniRand] {
+        let wl = generic_workload(&nf, kind, &WorkloadConfig::scaled(0.002));
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| black_box(measure(&nf, &wl, &cfg).median_latency_ns()))
+        });
+    }
+    let manual = manual_workload(&nf).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("Manual"), |b| {
+        b.iter(|| black_box(measure(&nf, &manual, &cfg).median_latency_ns()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter_datapath, bench_measured_workloads);
+criterion_main!(benches);

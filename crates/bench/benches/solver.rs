@@ -1,0 +1,63 @@
+//! Constraint-solver and hash-inversion substrate costs (§3.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use castan_core::expr::Constraint;
+use castan_core::rainbow::{ExhaustiveInverter, FlowKeySpace, HashInverter, RainbowTable};
+use castan_core::{AtomTable, Solver, SymExpr};
+use castan_ir::{BinOp, CmpOp, HashFunc};
+use castan_packet::{Ipv4Addr, PacketField};
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solve_affine_index_chain", |b| {
+        let mut atoms = AtomTable::new();
+        let ip = atoms.field_atom(0, PacketField::DstIp);
+        let port = atoms.field_atom(0, PacketField::DstPort);
+        let addr = SymExpr::bin(
+            BinOp::Add,
+            SymExpr::constant(0x4000_0000),
+            SymExpr::bin(
+                BinOp::Mul,
+                SymExpr::bin(BinOp::Shr, SymExpr::atom(ip), SymExpr::constant(5)),
+                SymExpr::constant(4),
+            ),
+        );
+        let constraints = vec![
+            Constraint::require_true(SymExpr::cmp(
+                CmpOp::Eq,
+                addr,
+                SymExpr::constant(0x4000_1230),
+            )),
+            Constraint::require_true(SymExpr::cmp(
+                CmpOp::Eq,
+                SymExpr::atom(port),
+                SymExpr::constant(80),
+            )),
+        ];
+        let mut solver = Solver::default();
+        b.iter(|| black_box(solver.solve(&atoms, &constraints)))
+    });
+}
+
+fn bench_inverters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_inversion");
+    group.sample_size(10);
+    let space = FlowKeySpace::udp(Ipv4Addr::new(192, 168, 1, 1), 80, 50_000);
+    group.bench_function("exhaustive_build_50k", |b| {
+        b.iter(|| black_box(ExhaustiveInverter::build(HashFunc::Flow16, space.clone())))
+    });
+    let table = RainbowTable::build(HashFunc::Flow16, space.clone(), 5_000, 16);
+    group.bench_function("rainbow_invert", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let target = HashFunc::Flow16.apply(&space.key(i % 50_000));
+            black_box(table.invert(target, 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_inverters);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Criterion benchmark crate for the CASTAN reproduction.
+//!
+//! The benchmarks back the evaluation tables: `nf_datapath` measures
+//! per-packet NF processing cost under the paper's workloads (Tables 1–3),
+//! `cache_model` exercises the hierarchy simulator and contention-set
+//! discovery (§3.2), `analysis` times the CASTAN analysis itself (Table 4),
+//! and `solver` measures the constraint-solving substrate.
+
+#![forbid(unsafe_code)]

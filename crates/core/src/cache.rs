@@ -1,0 +1,367 @@
+//! The analysis-time cache model (§3.3).
+//!
+//! When the symbolically executed NF accesses memory through a *symbolic*
+//! pointer (e.g. a lookup-table index derived from a packet header), CASTAN
+//! asks the cache model for the most adversarial concrete addresses that are
+//! compatible with the path constraint, concretizes the pointer to one of
+//! them, and charges the access accordingly. The default model is built on
+//! the contention sets reverse-engineered in `castan-mem` (§3.2); a
+//! no-cache-model variant is provided for the ablation the paper implies
+//! (algorithmic complexity only).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use castan_mem::{line_of, ContentionCatalog};
+use castan_nf::MemRegion;
+
+/// Which cache model to plug into the analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheModelKind {
+    /// The contention-set model of §3.3 (default).
+    ContentionSets,
+    /// No cache model: memory accesses are charged a flat L1 cost and
+    /// pointers are concretized to the lowest compatible address. Used to
+    /// ablate how much of CASTAN's power comes from the cache model.
+    None,
+}
+
+/// Cycle costs the model charges per access outcome. These mirror the
+/// simulator's latencies; the analysis only needs the relative magnitudes.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelCosts {
+    /// Access predicted to hit in the modelled L3.
+    pub hit: u64,
+    /// Access predicted to go to DRAM.
+    pub miss: u64,
+    /// Flat cost used by [`NoCacheModel`].
+    pub flat: u64,
+}
+
+impl Default for ModelCosts {
+    fn default() -> Self {
+        ModelCosts {
+            hit: 44,
+            miss: 200,
+            flat: 4,
+        }
+    }
+}
+
+/// A cache model tracked as part of each execution state.
+pub trait CacheModel: std::fmt::Debug {
+    /// Ranked adversarial candidate addresses (most adversarial first) lying
+    /// inside the NF's data regions and distinct from each other. `recent`
+    /// is the list of addresses this path has already accessed (newest
+    /// last); models may use it to propose *reuse* candidates, which is how
+    /// hash-collision workloads arise.
+    fn adversarial_candidates(
+        &self,
+        regions: &[MemRegion],
+        recent: &[u64],
+        limit: usize,
+    ) -> Vec<u64>;
+
+    /// Records a concrete access and returns its estimated cycle cost.
+    fn record_access(&mut self, addr: u64) -> u64;
+
+    /// Estimated number of DRAM accesses (L3 misses) recorded so far.
+    fn estimated_misses(&self) -> u64;
+
+    /// Clones the model (states fork).
+    fn clone_box(&self) -> Box<dyn CacheModel>;
+}
+
+impl Clone for Box<dyn CacheModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Creates the model of the requested kind.
+pub fn make_model(kind: CacheModelKind, catalog: Arc<ContentionCatalog>) -> Box<dyn CacheModel> {
+    match kind {
+        CacheModelKind::ContentionSets => Box::new(ContentionCacheModel::new(catalog)),
+        CacheModelKind::None => Box::new(NoCacheModel::default()),
+    }
+}
+
+/// The contention-set cache model.
+#[derive(Clone, Debug)]
+pub struct ContentionCacheModel {
+    catalog: Arc<ContentionCatalog>,
+    costs: ModelCosts,
+    /// Lines currently modelled as resident, per contention set (bounded by
+    /// associativity, evicting in FIFO order — the model starts from a clear
+    /// cache as in §3.3).
+    resident_per_set: HashMap<usize, VecDeque<u64>>,
+    /// Lines resident that belong to no catalogued set.
+    resident_other: HashSet<u64>,
+    misses: u64,
+}
+
+impl ContentionCacheModel {
+    /// Creates a model over a contention-set catalogue.
+    pub fn new(catalog: Arc<ContentionCatalog>) -> Self {
+        ContentionCacheModel {
+            catalog,
+            costs: ModelCosts::default(),
+            resident_per_set: HashMap::new(),
+            resident_other: HashSet::new(),
+            misses: 0,
+        }
+    }
+
+    fn is_resident(&self, line: u64) -> bool {
+        match self.catalog.set_of(line) {
+            Some(set) => self
+                .resident_per_set
+                .get(&set)
+                .is_some_and(|q| q.contains(&line)),
+            None => self.resident_other.contains(&line),
+        }
+    }
+}
+
+impl CacheModel for ContentionCacheModel {
+    fn adversarial_candidates(
+        &self,
+        regions: &[MemRegion],
+        recent: &[u64],
+        limit: usize,
+    ) -> Vec<u64> {
+        let in_regions = |addr: u64| regions.iter().any(|r| r.contains(addr));
+        let mut out: Vec<u64> = Vec::new();
+
+        // 1. The contention set with the most resident lines that still has
+        //    candidates inside the NF's data regions: keep piling onto it.
+        let mut best_set: Option<(usize, usize)> = None; // (set, resident count)
+        for (set, q) in &self.resident_per_set {
+            if self.catalog.members(*set).iter().any(|&m| in_regions(m)) {
+                let count = q.len();
+                if best_set.map(|(_, c)| count > c).unwrap_or(true) {
+                    best_set = Some((*set, count));
+                }
+            }
+        }
+        if let Some((set, _)) = best_set {
+            for &member in self.catalog.members(set) {
+                if in_regions(member) && !self.is_resident(member) && !out.contains(&member) {
+                    out.push(member);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+
+        // 2. A fresh contention set that intersects the regions (start a new
+        //    pile when nothing is resident yet).
+        for (idx, set) in self.catalog.sets().iter().enumerate() {
+            if self.resident_per_set.contains_key(&idx) {
+                continue;
+            }
+            if let Some(&member) = set.lines.iter().find(|&&m| in_regions(m)) {
+                if !out.contains(&member) {
+                    out.push(member);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+
+        // 3. Reuse candidates: addresses this path already touched (newest
+        //    first) — these are what make hash-collision chains grow.
+        for &addr in recent.iter().rev() {
+            if in_regions(addr) && !out.contains(&line_of(addr)) {
+                out.push(line_of(addr));
+                if out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+
+        // 4. Fallback: spread over the regions at stride granularity so the
+        //    analysis can always make progress even without catalogue
+        //    coverage.
+        for r in regions {
+            let mut a = r.base;
+            while a < r.end() && out.len() < limit {
+                if !out.contains(&line_of(a)) {
+                    out.push(line_of(a));
+                }
+                a += r.stride.max(64) * 257; // skip around to hit many lines/sets
+            }
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out.truncate(limit);
+        out
+    }
+
+    fn record_access(&mut self, addr: u64) -> u64 {
+        let line = line_of(addr);
+        if self.is_resident(line) {
+            return self.costs.hit;
+        }
+        self.misses += 1;
+        match self.catalog.set_of(line) {
+            Some(set) => {
+                let alpha = self.catalog.associativity() as usize;
+                let q = self.resident_per_set.entry(set).or_default();
+                q.push_back(line);
+                if q.len() > alpha {
+                    q.pop_front();
+                }
+            }
+            None => {
+                self.resident_other.insert(line);
+            }
+        }
+        self.costs.miss
+    }
+
+    fn estimated_misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn clone_box(&self) -> Box<dyn CacheModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// The ablation model: flat memory cost, no adversarial preferences beyond
+/// reuse (so algorithmic attacks still work, cache attacks do not).
+#[derive(Clone, Debug, Default)]
+pub struct NoCacheModel {
+    accesses: u64,
+}
+
+impl CacheModel for NoCacheModel {
+    fn adversarial_candidates(
+        &self,
+        regions: &[MemRegion],
+        recent: &[u64],
+        limit: usize,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &addr in recent.iter().rev() {
+            if regions.iter().any(|r| r.contains(addr)) && !out.contains(&line_of(addr)) {
+                out.push(line_of(addr));
+                if out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+        for r in regions {
+            if out.len() >= limit {
+                break;
+            }
+            if !out.contains(&r.base) {
+                out.push(r.base);
+            }
+        }
+        out
+    }
+
+    fn record_access(&mut self, _addr: u64) -> u64 {
+        self.accesses += 1;
+        ModelCosts::default().flat
+    }
+
+    fn estimated_misses(&self) -> u64 {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn CacheModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_mem::ContentionSet;
+
+    fn catalog() -> Arc<ContentionCatalog> {
+        // Two contention sets with associativity 2 inside region 0x1000..0x9000.
+        let sets = vec![
+            ContentionSet {
+                lines: vec![0x1000, 0x2000, 0x3000, 0x4000],
+            },
+            ContentionSet {
+                lines: vec![0x5000, 0x6000, 0x7000],
+            },
+        ];
+        Arc::new(ContentionCatalog::from_sets(sets, 2))
+    }
+
+    fn region() -> Vec<MemRegion> {
+        vec![MemRegion {
+            base: 0x1000,
+            len: 0x8000,
+            stride: 64,
+        }]
+    }
+
+    #[test]
+    fn piles_onto_the_most_resident_set() {
+        let mut m = ContentionCacheModel::new(catalog());
+        assert_eq!(m.record_access(0x1000), 200, "cold access misses");
+        assert_eq!(m.record_access(0x1000), 44, "second access hits");
+        // The best candidates now are the other members of set 0.
+        let cands = m.adversarial_candidates(&region(), &[], 3);
+        assert!(cands.contains(&0x2000) || cands.contains(&0x3000) || cands.contains(&0x4000));
+        assert!(!cands.contains(&0x1000), "resident lines are not re-proposed first");
+    }
+
+    #[test]
+    fn exceeding_associativity_evicts_and_keeps_missing() {
+        let mut m = ContentionCacheModel::new(catalog());
+        m.record_access(0x1000);
+        m.record_access(0x2000);
+        m.record_access(0x3000); // evicts 0x1000 (α = 2, FIFO)
+        assert_eq!(m.record_access(0x1000), 200, "evicted line misses again");
+        assert!(m.estimated_misses() >= 4);
+    }
+
+    #[test]
+    fn reuse_candidates_come_from_recent_accesses() {
+        let m = ContentionCacheModel::new(catalog());
+        let cands = m.adversarial_candidates(&region(), &[0x7048], 8);
+        assert!(cands.contains(&0x7040), "recent access's line should be proposed");
+    }
+
+    #[test]
+    fn fallback_spreads_over_uncatalogued_regions() {
+        let m = ContentionCacheModel::new(catalog());
+        let far_region = vec![MemRegion {
+            base: 0x100_0000,
+            len: 0x10_0000,
+            stride: 64,
+        }];
+        let cands = m.adversarial_candidates(&far_region, &[], 5);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|a| *a >= 0x100_0000));
+    }
+
+    #[test]
+    fn no_cache_model_is_flat() {
+        let mut m = NoCacheModel::default();
+        assert_eq!(m.record_access(0x1234), 4);
+        assert_eq!(m.record_access(0x1234), 4);
+        assert_eq!(m.estimated_misses(), 0);
+        let cands = m.adversarial_candidates(&region(), &[0x2048], 4);
+        assert_eq!(cands[0], 0x2040, "reuse candidate is the recent access's line");
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut m: Box<dyn CacheModel> = Box::new(ContentionCacheModel::new(catalog()));
+        m.record_access(0x1000);
+        let mut copy = m.clone();
+        assert_eq!(copy.record_access(0x1000), 44, "clone carries residency");
+    }
+}

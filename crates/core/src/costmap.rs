@@ -1,0 +1,355 @@
+//! Potential-cost annotation of the ICFG (§3.4).
+//!
+//! During pre-processing CASTAN annotates every ICFG node with an estimate
+//! of the maximum number of cycles that could still be consumed from that
+//! node until the next packet is received. Local costs assume every memory
+//! access is an L1 hit; the estimates are then propagated with a *path-vector*
+//! relaxation in which a node may appear at most `M` times on a path —
+//! the paper's way of keeping loops from making every estimate infinite
+//! (`M = 2` "balances exploring the cost of a loop's internals against the
+//! negative effects of over-estimation"). Function calls are folded in via
+//! callee summaries, accounting for both calling into and returning from a
+//! chain of functions (footnote 3 of the paper).
+
+use castan_ir::{CostClass, FuncId, Icfg, NativeRegistry, NodeId, Program};
+
+/// Default loop bound used by the paper's evaluation.
+pub const DEFAULT_LOOP_BOUND: u32 = 2;
+
+/// L1-hit latency assumed for memory instructions during annotation.
+const L1_ASSUMPTION_CYCLES: u64 = 4;
+
+/// The per-node potential-cost annotation for a whole program.
+#[derive(Clone, Debug)]
+pub struct CostMap {
+    per_func: Vec<Vec<u64>>,
+    summaries: Vec<u64>,
+    loop_bound: u32,
+}
+
+impl CostMap {
+    /// Builds the annotation.
+    pub fn build(
+        program: &Program,
+        icfg: &Icfg,
+        natives: Option<&NativeRegistry>,
+        loop_bound: u32,
+    ) -> CostMap {
+        assert!(loop_bound >= 1, "the loop bound M must be at least 1");
+        let n_funcs = program.functions.len();
+        let mut summaries = vec![0u64; n_funcs];
+        let mut per_func: Vec<Vec<u64>> = vec![Vec::new(); n_funcs];
+
+        // Process callees before callers; NF call graphs here are acyclic
+        // (checked by falling back to zero summaries if a cycle slips in).
+        let order = call_graph_postorder(program, icfg);
+        for fid in order {
+            let annotated = annotate_function(icfg, fid, &summaries, natives, loop_bound);
+            summaries[fid as usize] = annotated
+                .get(icfg.func(fid).entry)
+                .copied()
+                .unwrap_or(0);
+            per_func[fid as usize] = annotated;
+        }
+
+        CostMap {
+            per_func,
+            summaries,
+            loop_bound,
+        }
+    }
+
+    /// Potential cost (cycles to the function's return) of a node.
+    pub fn potential(&self, func: FuncId, node: NodeId) -> u64 {
+        self.per_func[func as usize]
+            .get(node)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Maximum potential cost of a whole function (from its entry).
+    pub fn function_summary(&self, func: FuncId) -> u64 {
+        self.summaries[func as usize]
+    }
+
+    /// The loop bound the map was built with.
+    pub fn loop_bound(&self) -> u32 {
+        self.loop_bound
+    }
+}
+
+/// Local cost of a node under the L1-hit assumption.
+fn local_cost(
+    icfg: &Icfg,
+    func: FuncId,
+    node: NodeId,
+    summaries: &[u64],
+    natives: Option<&NativeRegistry>,
+) -> u64 {
+    let n = &icfg.func(func).nodes[node];
+    let mut cost = n.class.base_cycles();
+    if n.is_memory {
+        cost += L1_ASSUMPTION_CYCLES;
+    }
+    if let Some(callee) = n.callee {
+        cost += summaries.get(callee as usize).copied().unwrap_or(0);
+    }
+    if n.class == CostClass::Native {
+        cost += n
+            .native
+            .and_then(|id| natives.and_then(|r| r.get(id)))
+            .map(|h| h.estimated_cycles())
+            .unwrap_or(50);
+    }
+    cost
+}
+
+/// Path-vector relaxation over one function.
+fn annotate_function(
+    icfg: &Icfg,
+    func: FuncId,
+    summaries: &[u64],
+    natives: Option<&NativeRegistry>,
+    loop_bound: u32,
+) -> Vec<u64> {
+    let graph = icfg.func(func);
+    let n = graph.nodes.len();
+    let locals: Vec<u64> = (0..n)
+        .map(|i| local_cost(icfg, func, i, summaries, natives))
+        .collect();
+
+    // best[i] = Some((cost, path)) — the most expensive known path from i to
+    // a return node in which no node appears more than `loop_bound` times.
+    let mut best: Vec<Option<(u64, Vec<NodeId>)>> = vec![None; n];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.succs.is_empty() {
+            best[i] = Some((locals[i], vec![i]));
+        }
+    }
+
+    let max_rounds = n * loop_bound as usize + 2;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        // Iterate in reverse node order, which follows block layout and
+        // converges quickly for mostly-forward CFGs.
+        for i in (0..n).rev() {
+            let mut candidate: Option<(u64, Vec<NodeId>)> = best[i].clone();
+            for &s in &graph.nodes[i].succs {
+                if let Some((succ_cost, succ_path)) = &best[s] {
+                    let occurrences = succ_path.iter().filter(|&&p| p == i).count() as u32;
+                    if occurrences >= loop_bound {
+                        continue;
+                    }
+                    let cost = locals[i] + succ_cost;
+                    let better = match &candidate {
+                        None => true,
+                        Some((c, _)) => cost > *c,
+                    };
+                    if better {
+                        let mut path = Vec::with_capacity(succ_path.len() + 1);
+                        path.push(i);
+                        path.extend_from_slice(succ_path);
+                        candidate = Some((cost, path));
+                    }
+                }
+            }
+            if candidate
+                .as_ref()
+                .map(|(c, _)| Some(*c) != best[i].as_ref().map(|(bc, _)| *bc))
+                .unwrap_or(false)
+            {
+                best[i] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    best.into_iter()
+        .enumerate()
+        .map(|(i, b)| b.map(|(c, _)| c).unwrap_or(locals[i]))
+        .collect()
+}
+
+/// Callee-before-caller ordering of the call graph (cycles are broken by
+/// visiting a function at most once).
+fn call_graph_postorder(program: &Program, icfg: &Icfg) -> Vec<FuncId> {
+    let n = program.functions.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    fn visit(
+        f: FuncId,
+        icfg: &Icfg,
+        visited: &mut Vec<bool>,
+        order: &mut Vec<FuncId>,
+    ) {
+        if visited[f as usize] {
+            return;
+        }
+        visited[f as usize] = true;
+        for node in &icfg.func(f).nodes {
+            if let Some(callee) = node.callee {
+                visit(callee, icfg, visited, order);
+            }
+        }
+        order.push(f);
+    }
+    for f in 0..n as FuncId {
+        visit(f, icfg, &mut visited, &mut order);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::{FunctionBuilder, ProgramBuilder, Width};
+
+    /// A straight-line function: the annotation of each node is the cost of
+    /// the remaining suffix, as in the left half of the paper's Fig. 2.
+    #[test]
+    fn straight_line_costs_accumulate_backwards() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let a = f.mov(1u64);
+        let b = f.add(a, 1u64);
+        let _ = f.add(b, 1u64);
+        f.ret_void();
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let icfg = Icfg::build(&program);
+        let cm = CostMap::build(&program, &icfg, None, 2);
+
+        let g = icfg.func(main);
+        let costs: Vec<u64> = (0..g.nodes.len()).map(|i| cm.potential(main, i)).collect();
+        // Monotonically decreasing toward the return node.
+        for w in costs.windows(2) {
+            assert!(w[0] > w[1], "{costs:?}");
+        }
+        assert_eq!(cm.function_summary(main), costs[0]);
+        assert_eq!(cm.loop_bound(), 2);
+    }
+
+    /// Figure 2 (left): a branch where one arm is more expensive — every
+    /// node before the branch is annotated with the expensive arm.
+    #[test]
+    fn branches_take_the_most_expensive_arm() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let cheap = f.new_block();
+        let pricey = f.new_block();
+        let done = f.new_block();
+        let c = f.eq(1u64, 1u64);
+        f.branch(c, cheap, pricey);
+        f.switch_to(cheap);
+        f.jump(done);
+        f.switch_to(pricey);
+        let x = f.load(0x10u64, Width::W8);
+        let y = f.mul(x, 3u64);
+        f.store(0x18u64, y, Width::W8);
+        f.jump(done);
+        f.switch_to(done);
+        f.ret_void();
+
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let icfg = Icfg::build(&program);
+        let cm = CostMap::build(&program, &icfg, None, 2);
+
+        let g = icfg.func(main);
+        let branch_node = g.node_at(0, 1);
+        let cheap_first = g.node_at(1, 0);
+        let pricey_first = g.node_at(2, 0);
+        assert!(cm.potential(main, pricey_first) > cm.potential(main, cheap_first));
+        // The branch sees the expensive arm.
+        assert!(cm.potential(main, branch_node) > cm.potential(main, pricey_first));
+    }
+
+    /// Figure 2 (right): a loop — with M = 2 the annotation includes one
+    /// full extra tour of the loop body; with M = 1 it does not.
+    #[test]
+    fn loop_bound_m_controls_loop_contribution() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let x = f.load(0x10u64, Width::W8);
+        let c = f.ne(x, 0u64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let y = f.load(0x20u64, Width::W8);
+        let z = f.add(y, 1u64);
+        f.store(0x20u64, z, Width::W8);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret_void();
+
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let icfg = Icfg::build(&program);
+
+        let m1 = CostMap::build(&program, &icfg, None, 1);
+        let m2 = CostMap::build(&program, &icfg, None, 2);
+        let m3 = CostMap::build(&program, &icfg, None, 3);
+        let entry = icfg.func(main).entry;
+        assert!(
+            m2.function_summary(main) > m1.function_summary(main),
+            "M=2 must include the loop body that M=1 hides"
+        );
+        assert!(m3.function_summary(main) >= m2.function_summary(main));
+        assert!(m2.potential(main, entry) == m2.function_summary(main));
+    }
+
+    /// Calls fold the callee's summary into the caller's annotation.
+    #[test]
+    fn call_nodes_include_callee_summaries() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee", 0);
+        let main = pb.declare("main", 0);
+
+        let mut cb = FunctionBuilder::new("callee", 0);
+        let x = cb.load(0x100u64, Width::W8);
+        let y = cb.mul(x, 7u64);
+        cb.ret(y);
+        pb.define(callee, cb);
+
+        let mut mb = FunctionBuilder::new("main", 0);
+        let v = mb.call(callee, vec![]);
+        mb.ret(v);
+        pb.define(main, mb);
+        let program = pb.finish(main);
+
+        let icfg = Icfg::build(&program);
+        let cm = CostMap::build(&program, &icfg, None, 2);
+        assert!(
+            cm.function_summary(main) > cm.function_summary(callee),
+            "the caller must be at least as expensive as its callee"
+        );
+    }
+
+    /// The full NF programs annotate without blowing up, and stateful NFs
+    /// (which loop over chains/trees) have larger potential than the NOP.
+    #[test]
+    fn annotates_real_nfs() {
+        let nop = castan_nf::nf_by_id(castan_nf::NfId::Nop);
+        let nat = castan_nf::nf_by_id(castan_nf::NfId::NatHashTable);
+        for (spec, _) in [(&nop, "nop"), (&nat, "nat")] {
+            let icfg = Icfg::build(&spec.program);
+            let cm = CostMap::build(&spec.program, &icfg, Some(&spec.natives), 2);
+            assert!(cm.function_summary(spec.program.entry) > 0);
+        }
+        let icfg_nop = Icfg::build(&nop.program);
+        let icfg_nat = Icfg::build(&nat.program);
+        let cm_nop = CostMap::build(&nop.program, &icfg_nop, None, 2);
+        let cm_nat = CostMap::build(&nat.program, &icfg_nat, Some(&nat.natives), 2);
+        assert!(
+            cm_nat.function_summary(nat.program.entry)
+                > 10 * cm_nop.function_summary(nop.program.entry)
+        );
+    }
+}

@@ -1,0 +1,860 @@
+//! The directed symbolic-execution engine (§3.1, §3.3, §3.4).
+//!
+//! The engine executes the NF's IR over a sequence of N symbolic packets,
+//! maintaining a priority queue of execution states ranked by
+//! `current cost + potential cost`. Memory accesses through symbolic
+//! pointers are concretized adversarially by the cache model; hash
+//! applications are havoced; branches (and selects) on symbolic conditions
+//! fork. When the exploration budget is exhausted, the most expensive state
+//! is handed to the synthesis stage, which resolves its path constraint into
+//! concrete packets.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use castan_ir::native::MemAccess;
+use castan_ir::{
+    CostClass, ExecSink, HashFunc, Icfg, Inst, Operand, Program, Terminator,
+};
+use castan_mem::ContentionCatalog;
+use castan_nf::NfSpec;
+use castan_packet::Packet;
+
+use crate::cache::{make_model, CacheModelKind};
+use crate::costmap::{CostMap, DEFAULT_LOOP_BOUND};
+use crate::expr::{Constraint, SymExpr};
+use crate::havoc::HavocRecord;
+use crate::report::AnalysisReport;
+use crate::search::Searcher;
+use crate::solve::{SolveOutcome, Solver, SolverConfig};
+use crate::state::{ExecState, Frame, StateStatus};
+use crate::symmem::SymMemory;
+use crate::synth::{synthesize, SynthConfig};
+
+/// Analysis configuration.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Number of symbolic packets N in the synthesized workload (Table 4 of
+    /// the paper uses 30–50 depending on the NF).
+    pub packets: u32,
+    /// Exploration budget: total symbolic instructions executed across all
+    /// states. This plays the role of the paper's wall-clock time budget,
+    /// but deterministically.
+    pub step_budget: u64,
+    /// Loop bound M for the potential-cost annotation (§3.4).
+    pub loop_bound: u32,
+    /// Which cache model to plug in (§3.3).
+    pub cache_model: CacheModelKind,
+    /// Maximum concretization candidates to fork on per symbolic pointer.
+    pub fork_candidates: usize,
+    /// Maximum pending states kept in the searcher.
+    pub state_cap: usize,
+    /// Instructions executed per scheduling quantum before re-ranking.
+    pub quantum: u32,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+    /// Hash-inversion (synthesis) configuration.
+    pub synth: SynthConfig,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            packets: 30,
+            step_budget: 120_000,
+            loop_bound: DEFAULT_LOOP_BOUND,
+            cache_model: CacheModelKind::ContentionSets,
+            fork_candidates: 2,
+            state_cap: 2_048,
+            quantum: 250,
+            solver: SolverConfig::default(),
+            synth: SynthConfig::default(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A small configuration for unit tests and quick smoke runs.
+    pub fn quick() -> Self {
+        AnalysisConfig {
+            packets: 6,
+            step_budget: 15_000,
+            state_cap: 256,
+            quantum: 150,
+            synth: SynthConfig {
+                keyspace_size: 30_000,
+                rainbow_chains: 4_000,
+                rainbow_chain_len: 8,
+                candidates_per_havoc: 6,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The CASTAN analysis front end.
+#[derive(Clone, Debug, Default)]
+pub struct Castan {
+    config: AnalysisConfig,
+}
+
+impl Castan {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Castan { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Analyzes an NF and synthesizes an adversarial workload.
+    pub fn analyze(&self, nf: &NfSpec, catalog: &ContentionCatalog) -> AnalysisReport {
+        let start = Instant::now();
+        let program = &nf.program;
+        let icfg = Icfg::build(program);
+        let costmap = CostMap::build(program, &icfg, Some(&nf.natives), self.config.loop_bound);
+        let catalog = Arc::new(catalog.clone());
+        let mut solver = Solver::new(self.config.solver);
+
+        let mut engine = Engine {
+            nf,
+            program,
+            icfg: &icfg,
+            costmap: &costmap,
+            solver: &mut solver,
+            config: &self.config,
+            next_id: 1,
+            forks: 0,
+        };
+
+        let initial = ExecState::initial(
+            program,
+            SymMemory::new(Arc::new(nf.initial_memory.clone())),
+            make_model(self.config.cache_model, catalog),
+            self.config.packets,
+        );
+
+        let mut searcher = Searcher::new();
+        let score = engine.score(&initial);
+        searcher.push(initial, score);
+
+        let mut finished: Vec<ExecState> = Vec::new();
+        let mut best_partial: Option<ExecState> = None;
+        let mut steps: u64 = 0;
+        let mut states_explored: u64 = 0;
+
+        while steps < self.config.step_budget {
+            let Some((mut state, _)) = searcher.pop() else {
+                break;
+            };
+            states_explored += 1;
+            let mut rescheduled = false;
+            for _ in 0..self.config.quantum {
+                if steps >= self.config.step_budget {
+                    break;
+                }
+                steps += 1;
+                match engine.step(&mut state) {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Forked(children) => {
+                        for child in children {
+                            let s = engine.score(&child);
+                            searcher.push(child, s);
+                        }
+                        rescheduled = true;
+                        break;
+                    }
+                    StepOutcome::Completed => {
+                        finished.push(state.clone());
+                        rescheduled = true;
+                        break;
+                    }
+                    StepOutcome::Dead => {
+                        rescheduled = true;
+                        break;
+                    }
+                }
+            }
+            if !rescheduled {
+                let s = engine.score(&state);
+                searcher.push(state, s);
+            } else if let Some(last) = finished.last() {
+                // Track the best partial as well in case nothing completes.
+                let _ = last;
+            }
+            // Keep a best-effort partial result.
+            if finished.is_empty() {
+                if let Some((peek, _)) = searcher.pop() {
+                    let better = best_partial
+                        .as_ref()
+                        .map(|b| score_partial(peek.max_completed_cpp(), &peek) > score_partial(b.max_completed_cpp(), b))
+                        .unwrap_or(true);
+                    if better {
+                        best_partial = Some(peek.clone());
+                    }
+                    let s = engine.score(&peek);
+                    searcher.push(peek, s);
+                }
+            }
+            searcher.truncate(self.config.state_cap);
+        }
+
+        let forks = engine.forks;
+        // Choose the most expensive completed state (by its worst packet), or
+        // fall back to the best partial state.
+        let best = finished
+            .into_iter()
+            .max_by_key(|s| (s.max_completed_cpp(), s.completed.iter().map(|m| m.est_cycles).sum::<u64>()))
+            .or(best_partial);
+
+        let (packets, per_packet, havocs_total, havocs_reconciled, worst): (
+            Vec<Packet>,
+            Vec<crate::report::PathMetrics>,
+            usize,
+            usize,
+            u64,
+        ) = match best {
+            Some(state) => {
+                let synth = synthesize(nf, &state, &mut solver, &self.config.synth);
+                let worst = state.max_completed_cpp();
+                let reconciled = synth.reconciled();
+                (
+                    synth.packets,
+                    state.completed.clone(),
+                    state.havocs.len(),
+                    reconciled,
+                    worst,
+                )
+            }
+            None => (Vec::new(), Vec::new(), 0, 0, 0),
+        };
+
+        AnalysisReport {
+            nf_name: nf.name().to_string(),
+            packets,
+            per_packet,
+            states_explored,
+            forks,
+            analysis_time: start.elapsed(),
+            havocs_total,
+            havocs_reconciled,
+            predicted_worst_cpp: worst,
+        }
+    }
+}
+
+fn score_partial(max_cpp: u64, s: &ExecState) -> u64 {
+    max_cpp + s.current.est_cycles + u64::from(s.packet_idx) * 10
+}
+
+enum StepOutcome {
+    Continue,
+    Forked(Vec<ExecState>),
+    Completed,
+    Dead,
+}
+
+struct Engine<'a> {
+    nf: &'a NfSpec,
+    program: &'a Program,
+    icfg: &'a Icfg,
+    costmap: &'a CostMap,
+    solver: &'a mut Solver,
+    config: &'a AnalysisConfig,
+    next_id: u64,
+    forks: u64,
+}
+
+impl Engine<'_> {
+    /// The A*-style score: current cost plus potential cost (§3.1).
+    fn score(&self, state: &ExecState) -> u64 {
+        let mut potential = 0u64;
+        for frame in &state.frames {
+            let graph = self.icfg.func(frame.func);
+            let block_len = self.program.functions[frame.func as usize].blocks
+                [frame.block as usize]
+                .insts
+                .len();
+            let node = graph.node_at(frame.block, frame.inst_idx.min(block_len));
+            potential += self.costmap.potential(frame.func, node);
+        }
+        state.max_completed_cpp() + state.current.est_cycles + potential
+    }
+
+    fn fork_state(&mut self, state: &ExecState) -> ExecState {
+        self.forks += 1;
+        self.next_id += 1;
+        let mut child = state.clone();
+        child.id = self.next_id;
+        child
+    }
+
+    fn charge(&self, state: &mut ExecState, class: CostClass) {
+        state.current.instructions += 1;
+        state.current.est_cycles += class.base_cycles();
+    }
+
+    /// Executes one instruction or terminator of the given state.
+    fn step(&mut self, state: &mut ExecState) -> StepOutcome {
+        if state.status != StateStatus::Running {
+            return match state.status {
+                StateStatus::Completed => StepOutcome::Completed,
+                _ => StepOutcome::Dead,
+            };
+        }
+        let frame = state.top();
+        let func = &self.program.functions[frame.func as usize];
+        let block = &func.blocks[frame.block as usize];
+        if frame.inst_idx < block.insts.len() {
+            let inst = block.insts[frame.inst_idx].clone();
+            self.exec_inst(state, inst)
+        } else {
+            let term = block.term.clone();
+            self.exec_term(state, term)
+        }
+    }
+
+    fn operand(frame: &Frame, op: &Operand) -> SymExpr {
+        match op {
+            Operand::Reg(r) => frame.regs[*r as usize].clone(),
+            Operand::Imm(v) => SymExpr::constant(*v),
+        }
+    }
+
+    fn advance(state: &mut ExecState) {
+        state.top_mut().inst_idx += 1;
+    }
+
+    fn exec_inst(&mut self, state: &mut ExecState, inst: Inst) -> StepOutcome {
+        match inst {
+            Inst::Mov { dst, src } => {
+                self.charge(state, CostClass::Mov);
+                let v = Self::operand(state.top(), &src);
+                state.top_mut().regs[dst as usize] = v;
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            Inst::Bin { dst, op, a, b } => {
+                self.charge(state, CostClass::Alu);
+                let av = Self::operand(state.top(), &a);
+                let bv = Self::operand(state.top(), &b);
+                state.top_mut().regs[dst as usize] = SymExpr::bin(op, av, bv);
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            Inst::Cmp { dst, op, a, b } => {
+                self.charge(state, CostClass::Cmp);
+                let av = Self::operand(state.top(), &a);
+                let bv = Self::operand(state.top(), &b);
+                state.top_mut().regs[dst as usize] = SymExpr::cmp(op, av, bv);
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            Inst::Select {
+                dst,
+                cond,
+                then_v,
+                else_v,
+            } => {
+                self.charge(state, CostClass::Select);
+                let c = Self::operand(state.top(), &cond);
+                let tv = Self::operand(state.top(), &then_v);
+                let ev = Self::operand(state.top(), &else_v);
+                match c.as_const() {
+                    Some(v) => {
+                        state.top_mut().regs[dst as usize] = if v != 0 { tv } else { ev };
+                        Self::advance(state);
+                        StepOutcome::Continue
+                    }
+                    None => {
+                        // Fork on the condition so pointers derived from the
+                        // select stay concrete (tree/trie descent).
+                        let mut children = Vec::new();
+                        for (expected, value) in [(true, tv), (false, ev)] {
+                            let c_constraint = if expected {
+                                Constraint::require_true(c.clone())
+                            } else {
+                                Constraint::require_false(c.clone())
+                            };
+                            if self.feasible(state, &c_constraint) {
+                                let mut child = self.fork_state(state);
+                                child.assume(c_constraint);
+                                child.top_mut().regs[dst as usize] = value;
+                                Self::advance(&mut child);
+                                children.push(child);
+                            }
+                        }
+                        if children.is_empty() {
+                            StepOutcome::Dead
+                        } else {
+                            StepOutcome::Forked(children)
+                        }
+                    }
+                }
+            }
+            Inst::PacketField { dst, field } => {
+                self.charge(state, CostClass::PacketRead);
+                let atom = state.atoms.field_atom(state.packet_idx, field);
+                state.top_mut().regs[dst as usize] = SymExpr::atom(atom);
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            Inst::Hash { dst, func, args } => {
+                self.charge(state, CostClass::Hash);
+                let vals: Vec<SymExpr> = args
+                    .iter()
+                    .map(|a| Self::operand(state.top(), a))
+                    .collect();
+                if vals.iter().all(SymExpr::is_concrete) {
+                    let concrete: Vec<u64> =
+                        vals.iter().map(|v| v.as_const().unwrap_or(0)).collect();
+                    state.top_mut().regs[dst as usize] =
+                        SymExpr::constant(func.apply(&concrete));
+                } else {
+                    let atom = state.atoms.havoc_atom(hash_bits(func));
+                    state.havocs.push(HavocRecord {
+                        output: atom,
+                        func,
+                        inputs: vals,
+                        packet: state.packet_idx,
+                    });
+                    state.top_mut().regs[dst as usize] = SymExpr::atom(atom);
+                }
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            Inst::Load { dst, addr, width } => {
+                self.charge(state, CostClass::Load);
+                state.current.loads += 1;
+                let addr_expr = Self::operand(state.top(), &addr);
+                self.memory_op(state, addr_expr, width.bytes(), MemOp::Load { dst })
+            }
+            Inst::Store { addr, value, width } => {
+                self.charge(state, CostClass::Store);
+                state.current.stores += 1;
+                let addr_expr = Self::operand(state.top(), &addr);
+                let val = Self::operand(state.top(), &value);
+                self.memory_op(state, addr_expr, width.bytes(), MemOp::Store { value: val })
+            }
+            Inst::Call { dst, func, args } => {
+                self.charge(state, CostClass::Call);
+                let vals: Vec<SymExpr> = args
+                    .iter()
+                    .map(|a| Self::operand(state.top(), a))
+                    .collect();
+                Self::advance(state);
+                let frame = Frame::call(self.program, func, vals, dst);
+                state.frames.push(frame);
+                StepOutcome::Continue
+            }
+            Inst::Native { dst, func, args } => {
+                self.charge(state, CostClass::Native);
+                let vals: Vec<u64> = args
+                    .iter()
+                    .map(|a| {
+                        let e = Self::operand(state.top(), a);
+                        self.concretize_now(state, &e)
+                    })
+                    .collect();
+                let helper = match self.nf.natives.get(func) {
+                    Some(h) => h.clone(),
+                    None => return StepOutcome::Dead,
+                };
+                state.current.est_cycles += helper.estimated_cycles();
+                let ret = {
+                    let ExecState {
+                        memory,
+                        atoms,
+                        constraints,
+                        ..
+                    } = state;
+                    let mut view = ConcretizingMem {
+                        mem: memory,
+                        solver: self.solver,
+                        atoms,
+                        constraints,
+                    };
+                    let mut sink = NullNativeSink;
+                    helper.call(&mut view, &vals, &mut sink)
+                };
+                if let Some(d) = dst {
+                    state.top_mut().regs[d as usize] = SymExpr::constant(ret);
+                }
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+        }
+    }
+
+    fn exec_term(&mut self, state: &mut ExecState, term: Terminator) -> StepOutcome {
+        match term {
+            Terminator::Jump(target) => {
+                self.charge(state, CostClass::Jump);
+                let top = state.top_mut();
+                top.block = target;
+                top.inst_idx = 0;
+                StepOutcome::Continue
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                self.charge(state, CostClass::Branch);
+                let c = Self::operand(state.top(), &cond);
+                match c.as_const() {
+                    Some(v) => {
+                        let top = state.top_mut();
+                        top.block = if v != 0 { then_bb } else { else_bb };
+                        top.inst_idx = 0;
+                        StepOutcome::Continue
+                    }
+                    None => {
+                        let mut children = Vec::new();
+                        for (expected, target) in [(true, then_bb), (false, else_bb)] {
+                            let constraint = if expected {
+                                Constraint::require_true(c.clone())
+                            } else {
+                                Constraint::require_false(c.clone())
+                            };
+                            if self.feasible(state, &constraint) {
+                                let mut child = self.fork_state(state);
+                                child.assume(constraint);
+                                let top = child.top_mut();
+                                top.block = target;
+                                top.inst_idx = 0;
+                                children.push(child);
+                            }
+                        }
+                        if children.is_empty() {
+                            StepOutcome::Dead
+                        } else {
+                            StepOutcome::Forked(children)
+                        }
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                self.charge(state, CostClass::Return);
+                let ret_val = v.map(|op| Self::operand(state.top(), &op));
+                let finished = state.frames.pop().expect("a frame is active");
+                if state.frames.is_empty() {
+                    state.finish_packet(self.program);
+                    if state.status == StateStatus::Completed {
+                        StepOutcome::Completed
+                    } else {
+                        StepOutcome::Continue
+                    }
+                } else {
+                    if let (Some(dst), Some(val)) = (finished.ret_dst, ret_val) {
+                        state.top_mut().regs[dst as usize] = val;
+                    }
+                    StepOutcome::Continue
+                }
+            }
+        }
+    }
+
+    /// Is `constraint` compatible with the state's path constraint? Unknown
+    /// solver verdicts count as feasible (the engine would rather explore a
+    /// possibly-infeasible path than prune a feasible one; synthesis
+    /// re-checks everything at the end).
+    fn feasible(&mut self, state: &ExecState, constraint: &Constraint) -> bool {
+        let mut cs = state.constraints.clone();
+        cs.push(constraint.clone());
+        !matches!(self.solver.solve(&state.atoms, &cs), SolveOutcome::Unsat)
+    }
+
+    fn concretize_now(&mut self, state: &ExecState, expr: &SymExpr) -> u64 {
+        self.solver
+            .concretize(&state.atoms, &state.constraints, expr)
+            .unwrap_or(0)
+    }
+
+    /// Handles a load or store, concretizing symbolic pointers through the
+    /// cache model (§3.3) and forking over the top candidates.
+    fn memory_op(
+        &mut self,
+        state: &mut ExecState,
+        addr: SymExpr,
+        width: u64,
+        op: MemOp,
+    ) -> StepOutcome {
+        match addr.as_const() {
+            Some(a) => {
+                self.apply_memory_access(state, a, width, &op);
+                Self::advance(state);
+                StepOutcome::Continue
+            }
+            None => {
+                let candidates = self.resolve_symbolic_address(state, &addr);
+                if candidates.is_empty() {
+                    return StepOutcome::Dead;
+                }
+                if candidates.len() == 1 {
+                    let a = candidates[0];
+                    state.assume(Constraint::require_true(SymExpr::cmp(
+                        castan_ir::CmpOp::Eq,
+                        addr,
+                        SymExpr::constant(a),
+                    )));
+                    self.apply_memory_access(state, a, width, &op);
+                    Self::advance(state);
+                    return StepOutcome::Continue;
+                }
+                let mut children = Vec::new();
+                for &a in &candidates {
+                    let mut child = self.fork_state(state);
+                    child.assume(Constraint::require_true(SymExpr::cmp(
+                        castan_ir::CmpOp::Eq,
+                        addr.clone(),
+                        SymExpr::constant(a),
+                    )));
+                    self.apply_memory_access(&mut child, a, width, &op);
+                    Self::advance(&mut child);
+                    children.push(child);
+                }
+                StepOutcome::Forked(children)
+            }
+        }
+    }
+
+    /// Ranks and filters candidate concrete addresses for a symbolic pointer.
+    fn resolve_symbolic_address(&mut self, state: &ExecState, addr: &SymExpr) -> Vec<u64> {
+        let raw = state.cache.adversarial_candidates(
+            &self.nf.data_regions,
+            &state.recent_addrs,
+            self.config.fork_candidates + 6,
+        );
+        let mut out = Vec::new();
+        for line in raw {
+            if out.len() >= self.config.fork_candidates {
+                break;
+            }
+            // First try to pin the pointer exactly at the candidate line's
+            // base (this is what the solver's affine inversion handles
+            // directly); failing that, allow any address within the line.
+            let exact = vec![Constraint::require_true(SymExpr::cmp(
+                castan_ir::CmpOp::Eq,
+                addr.clone(),
+                SymExpr::constant(line),
+            ))];
+            let range = vec![
+                Constraint::require_true(SymExpr::cmp(
+                    castan_ir::CmpOp::Uge,
+                    addr.clone(),
+                    SymExpr::constant(line),
+                )),
+                Constraint::require_true(SymExpr::cmp(
+                    castan_ir::CmpOp::Ult,
+                    addr.clone(),
+                    SymExpr::constant(line + castan_mem::LINE_SIZE),
+                )),
+            ];
+            for extra in [exact, range] {
+                let mut cs = state.constraints.clone();
+                cs.extend(extra);
+                if let SolveOutcome::Sat(m) = self.solver.solve(&state.atoms, &cs) {
+                    let a = addr.eval(&|id| m.get(&id).copied().unwrap_or(0));
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                    break;
+                }
+            }
+        }
+        if out.is_empty() {
+            // Fall back to any feasible concrete value.
+            if let Some(a) = self
+                .solver
+                .concretize(&state.atoms, &state.constraints, addr)
+            {
+                out.push(a);
+            } else {
+                // Last resort: evaluate under a default assignment so the
+                // exploration can continue; synthesis re-solves the final
+                // constraint set anyway.
+                out.push(addr.eval(&|_| 0));
+            }
+        }
+        out
+    }
+
+    fn apply_memory_access(&mut self, state: &mut ExecState, addr: u64, width: u64, op: &MemOp) {
+        state.current.est_cycles += state.cache.record_access(addr);
+        state.note_address(addr);
+        match op {
+            MemOp::Load { dst } => {
+                let ExecState {
+                    memory,
+                    atoms,
+                    constraints,
+                    ..
+                } = state;
+                let solver = &mut *self.solver;
+                let value = memory.load(addr, width, &mut |e| {
+                    solver.concretize(atoms, constraints, e).unwrap_or(0)
+                });
+                state.top_mut().regs[*dst as usize] = mask_width(value, width);
+            }
+            MemOp::Store { value } => {
+                state.memory.store(addr, width, value.clone());
+            }
+        }
+    }
+}
+
+fn hash_bits(func: HashFunc) -> u32 {
+    func.output_bits()
+}
+
+/// Truncates a loaded value to the access width (mirrors the interpreter's
+/// zero-extension semantics); symbolic values are masked symbolically.
+fn mask_width(value: SymExpr, width: u64) -> SymExpr {
+    if width >= 8 {
+        return value;
+    }
+    let mask = (1u64 << (width * 8)) - 1;
+    SymExpr::bin(castan_ir::BinOp::And, value, SymExpr::constant(mask))
+}
+
+enum MemOp {
+    Load { dst: castan_ir::Reg },
+    Store { value: SymExpr },
+}
+
+/// Memory view handed to native helpers during analysis: symbolic cells are
+/// concretized on demand (the paper's treatment of external calls).
+struct ConcretizingMem<'a> {
+    mem: &'a mut SymMemory,
+    solver: &'a mut Solver,
+    atoms: &'a crate::expr::AtomTable,
+    constraints: &'a [Constraint],
+}
+
+impl MemAccess for ConcretizingMem<'_> {
+    fn read(&mut self, addr: u64, len: u64) -> u64 {
+        let ConcretizingMem {
+            mem,
+            solver,
+            atoms,
+            constraints,
+        } = self;
+        let e = mem.load(addr, len, &mut |sym| {
+            solver.concretize(atoms, constraints, sym).unwrap_or(0)
+        });
+        match e.as_const() {
+            Some(v) => v,
+            None => {
+                let v = solver.concretize(atoms, constraints, &e).unwrap_or(0);
+                mem.store(addr, len, SymExpr::constant(v));
+                v
+            }
+        }
+    }
+
+    fn write(&mut self, addr: u64, value: u64, len: u64) {
+        self.mem.store(addr, len, SymExpr::constant(value));
+    }
+}
+
+/// Native helpers report their cost through `estimated_cycles` during
+/// analysis; their fine-grained sink events are ignored here (the concrete
+/// testbed accounts for them exactly).
+struct NullNativeSink;
+
+impl ExecSink for NullNativeSink {
+    fn retire(&mut self, _class: CostClass) {}
+    fn mem_access(&mut self, _addr: u64, _width: u64, _is_write: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
+    use castan_nf::NfId;
+    use castan_packet::PacketField;
+
+    fn catalog_for(nf: &NfSpec) -> ContentionCatalog {
+        // Ground-truth catalogue over a slice of the NF's first data region
+        // (fast; the discovery pipeline is exercised in castan-mem's tests).
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
+        let lines: Vec<u64> = nf
+            .data_regions
+            .first()
+            .map(|r| {
+                (0..4096u64)
+                    .map(|i| r.base + (i * 8 * 64) % r.len)
+                    .collect()
+            })
+            .unwrap_or_default();
+        ContentionCatalog::from_ground_truth(&mut hier, lines)
+    }
+
+    #[test]
+    fn analyzes_the_nop_without_workload_content() {
+        let nf = castan_nf::nf_by_id(NfId::Nop);
+        let castan = Castan::new(AnalysisConfig::quick());
+        let report = castan.analyze(&nf, &ContentionCatalog::default());
+        assert_eq!(report.packets.len(), 6);
+        assert!(report.states_explored >= 1);
+        assert_eq!(report.havocs_total, 0);
+    }
+
+    #[test]
+    fn lpm_trie_workload_targets_the_deep_routes() {
+        let nf = castan_nf::nf_by_id(NfId::LpmTrie);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 4;
+        cfg.step_budget = 40_000;
+        let castan = Castan::new(cfg);
+        let report = castan.analyze(&nf, &catalog_for(&nf));
+        assert_eq!(report.packets.len(), 4);
+        // The synthesized destinations should hit long prefixes: every /32
+        // route in the table starts with first octet in 10..=17.
+        let deep_hits = report
+            .packets
+            .iter()
+            .filter(|p| {
+                let dst = p.field(PacketField::DstIp) as u32;
+                (10..=17).contains(&(dst >> 24))
+            })
+            .count();
+        assert!(
+            deep_hits >= report.packets.len() / 2,
+            "expected most packets to target the routed space, got {deep_hits}/{}",
+            report.packets.len()
+        );
+        assert!(report.predicted_worst_cpp > 0);
+    }
+
+    #[test]
+    fn lpm_direct_workload_is_synthesized_with_distinct_flows() {
+        let nf = castan_nf::nf_by_id(NfId::LpmDirect1);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 5;
+        cfg.step_budget = 20_000;
+        let castan = Castan::new(cfg);
+        let report = castan.analyze(&nf, &catalog_for(&nf));
+        assert_eq!(report.packets.len(), 5);
+        assert!(report.predicted_worst_cpp > 0);
+        assert!(report.forks > 0, "branching on the guard must fork");
+    }
+
+    #[test]
+    fn nat_hash_table_analysis_havocs_the_hash() {
+        let nf = castan_nf::nf_by_id(NfId::NatHashTable);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 3;
+        cfg.step_budget = 30_000;
+        let castan = Castan::new(cfg);
+        let report = castan.analyze(&nf, &catalog_for(&nf));
+        assert!(
+            report.havocs_total >= 1,
+            "the NAT path must havoc its flow hash at least once"
+        );
+        assert_eq!(report.packets.len(), 3);
+    }
+}

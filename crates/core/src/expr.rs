@@ -1,0 +1,334 @@
+//! Symbolic expressions and atoms.
+//!
+//! An *atom* is an input the analysis treats as unknown: a header field of
+//! the k-th symbolic packet, or a havoced hash output (§3.5). Expressions
+//! are reference-counted trees over atoms and constants mirroring the IR's
+//! operations; construction folds constants eagerly so fully concrete
+//! computations never allocate deep trees.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use castan_ir::{BinOp, CmpOp};
+use castan_packet::PacketField;
+
+/// Index of an atom in the per-analysis [`AtomTable`].
+pub type AtomId = u32;
+
+/// What an atom stands for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AtomKind {
+    /// A header field of symbolic packet number `packet` (0-based).
+    Field {
+        /// Packet index in the synthesized sequence.
+        packet: u32,
+        /// The header field.
+        field: PacketField,
+    },
+    /// The havoced output of hash application number `index`.
+    Havoc {
+        /// Sequential havoc index.
+        index: u32,
+        /// Output width in bits.
+        bits: u32,
+    },
+}
+
+impl AtomKind {
+    /// Width of the atom in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            AtomKind::Field { field, .. } => field.bits(),
+            AtomKind::Havoc { bits, .. } => bits,
+        }
+    }
+
+    /// Largest value the atom can take.
+    pub fn max_value(self) -> u64 {
+        if self.bits() >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.bits()) - 1
+        }
+    }
+}
+
+/// The registry of atoms created during one analysis.
+#[derive(Clone, Debug, Default)]
+pub struct AtomTable {
+    atoms: Vec<AtomKind>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a packet-field atom (one per (packet, field) pair).
+    pub fn field_atom(&mut self, packet: u32, field: PacketField) -> AtomId {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if matches!(a, AtomKind::Field { packet: p, field: f } if *p == packet && *f == field) {
+                return i as AtomId;
+            }
+        }
+        self.atoms.push(AtomKind::Field { packet, field });
+        (self.atoms.len() - 1) as AtomId
+    }
+
+    /// Creates a fresh havoc atom.
+    pub fn havoc_atom(&mut self, bits: u32) -> AtomId {
+        let index = self
+            .atoms
+            .iter()
+            .filter(|a| matches!(a, AtomKind::Havoc { .. }))
+            .count() as u32;
+        self.atoms.push(AtomKind::Havoc { index, bits });
+        (self.atoms.len() - 1) as AtomId
+    }
+
+    /// Kind of an atom.
+    pub fn kind(&self, id: AtomId) -> AtomKind {
+        self.atoms[id as usize]
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if no atoms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All atom ids.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        (0..self.atoms.len() as AtomId).into_iter()
+    }
+}
+
+/// A symbolic expression.
+#[derive(Clone, Debug)]
+pub enum SymExpr {
+    /// A concrete constant.
+    Const(u64),
+    /// An atom.
+    Atom(AtomId),
+    /// A binary operation.
+    Bin(BinOp, Rc<SymExpr>, Rc<SymExpr>),
+    /// A comparison (evaluates to 0 or 1).
+    Cmp(CmpOp, Rc<SymExpr>, Rc<SymExpr>),
+}
+
+impl SymExpr {
+    /// Constant constructor.
+    pub fn constant(v: u64) -> SymExpr {
+        SymExpr::Const(v)
+    }
+
+    /// Atom constructor.
+    pub fn atom(id: AtomId) -> SymExpr {
+        SymExpr::Atom(id)
+    }
+
+    /// Binary operation with constant folding.
+    pub fn bin(op: BinOp, a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(op.eval(*x, *y)),
+            // A handful of identities that keep NF address expressions small.
+            (_, SymExpr::Const(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr) => a,
+            (SymExpr::Const(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => b,
+            (_, SymExpr::Const(1)) if matches!(op, BinOp::Mul) => a,
+            (SymExpr::Const(1), _) if matches!(op, BinOp::Mul) => b,
+            _ => SymExpr::Bin(op, Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Comparison with constant folding.
+    pub fn cmp(op: CmpOp, a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(u64::from(op.eval(*x, *y))),
+            _ => SymExpr::Cmp(op, Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// The concrete value, if the expression is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            SymExpr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if no atoms occur in the expression.
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            SymExpr::Const(_) => true,
+            SymExpr::Atom(_) => false,
+            SymExpr::Bin(_, a, b) | SymExpr::Cmp(_, a, b) => a.is_concrete() && b.is_concrete(),
+        }
+    }
+
+    /// Evaluates under a full assignment (atoms missing from `lookup`
+    /// evaluate to 0).
+    pub fn eval(&self, lookup: &dyn Fn(AtomId) -> u64) -> u64 {
+        match self {
+            SymExpr::Const(v) => *v,
+            SymExpr::Atom(id) => lookup(*id),
+            SymExpr::Bin(op, a, b) => op.eval(a.eval(lookup), b.eval(lookup)),
+            SymExpr::Cmp(op, a, b) => u64::from(op.eval(a.eval(lookup), b.eval(lookup))),
+        }
+    }
+
+    /// Collects the atoms occurring in the expression.
+    pub fn atoms(&self) -> BTreeSet<AtomId> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<AtomId>) {
+        match self {
+            SymExpr::Const(_) => {}
+            SymExpr::Atom(id) => {
+                out.insert(*id);
+            }
+            SymExpr::Bin(_, a, b) | SymExpr::Cmp(_, a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (used to guard against blow-up
+    /// in diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            SymExpr::Const(_) | SymExpr::Atom(_) => 1,
+            SymExpr::Bin(_, a, b) | SymExpr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+/// A boolean constraint: the expression must evaluate to non-zero (when
+/// `expected` is true) or to zero (when false).
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The condition expression.
+    pub expr: SymExpr,
+    /// Required truth value.
+    pub expected: bool,
+}
+
+impl Constraint {
+    /// Requires `expr != 0`.
+    pub fn require_true(expr: SymExpr) -> Self {
+        Constraint {
+            expr,
+            expected: true,
+        }
+    }
+
+    /// Requires `expr == 0`.
+    pub fn require_false(expr: SymExpr) -> Self {
+        Constraint {
+            expr,
+            expected: false,
+        }
+    }
+
+    /// Evaluates the constraint under an assignment.
+    pub fn holds(&self, lookup: &dyn Fn(AtomId) -> u64) -> bool {
+        (self.expr.eval(lookup) != 0) == self.expected
+    }
+
+    /// Atoms referenced by the constraint.
+    pub fn atoms(&self) -> BTreeSet<AtomId> {
+        self.expr.atoms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let e = SymExpr::bin(
+            BinOp::Add,
+            SymExpr::constant(40),
+            SymExpr::constant(2),
+        );
+        assert_eq!(e.as_const(), Some(42));
+        let c = SymExpr::cmp(CmpOp::Ult, SymExpr::constant(1), SymExpr::constant(2));
+        assert_eq!(c.as_const(), Some(1));
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let a = SymExpr::atom(0);
+        let e = SymExpr::bin(BinOp::Add, a.clone(), SymExpr::constant(0));
+        assert!(matches!(e, SymExpr::Atom(0)));
+        let e = SymExpr::bin(BinOp::Mul, SymExpr::constant(1), a.clone());
+        assert!(matches!(e, SymExpr::Atom(0)));
+        let e = SymExpr::bin(BinOp::Mul, a, SymExpr::constant(8));
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn eval_and_atoms() {
+        let mut tbl = AtomTable::new();
+        let x = tbl.field_atom(0, PacketField::DstIp);
+        let y = tbl.field_atom(1, PacketField::SrcPort);
+        assert_eq!(tbl.field_atom(0, PacketField::DstIp), x, "atoms are interned");
+        let e = SymExpr::bin(
+            BinOp::Add,
+            SymExpr::bin(BinOp::Mul, SymExpr::atom(x), SymExpr::constant(4)),
+            SymExpr::atom(y),
+        );
+        let v = e.eval(&|id| if id == x { 10 } else { 7 });
+        assert_eq!(v, 47);
+        assert_eq!(e.atoms().len(), 2);
+        assert!(!e.is_concrete());
+        assert_eq!(tbl.len(), 2);
+    }
+
+    #[test]
+    fn havoc_atoms_are_distinct() {
+        let mut tbl = AtomTable::new();
+        let h1 = tbl.havoc_atom(16);
+        let h2 = tbl.havoc_atom(16);
+        assert_ne!(h1, h2);
+        assert_eq!(tbl.kind(h1).bits(), 16);
+        assert_eq!(tbl.kind(h1).max_value(), 0xffff);
+        match tbl.kind(h2) {
+            AtomKind::Havoc { index, .. } => assert_eq!(index, 1),
+            _ => panic!("expected a havoc atom"),
+        }
+    }
+
+    #[test]
+    fn constraint_semantics() {
+        let c = Constraint::require_true(SymExpr::cmp(
+            CmpOp::Eq,
+            SymExpr::atom(0),
+            SymExpr::constant(5),
+        ));
+        assert!(c.holds(&|_| 5));
+        assert!(!c.holds(&|_| 6));
+        let c = Constraint::require_false(SymExpr::atom(0));
+        assert!(c.holds(&|_| 0));
+        assert!(!c.holds(&|_| 1));
+        assert_eq!(c.atoms().len(), 1);
+    }
+
+    #[test]
+    fn field_atom_max_values() {
+        let mut tbl = AtomTable::new();
+        let ip = tbl.field_atom(0, PacketField::DstIp);
+        let port = tbl.field_atom(0, PacketField::DstPort);
+        assert_eq!(tbl.kind(ip).max_value(), u64::from(u32::MAX));
+        assert_eq!(tbl.kind(port).max_value(), 0xffff);
+    }
+}

@@ -1,0 +1,58 @@
+//! Havoc bookkeeping (§3.5).
+//!
+//! When the symbolic engine reaches a hash application it does not execute
+//! the hash; it *havocs* the output — replaces it with a fresh unconstrained
+//! atom — and records the symbolic input expressions. At synthesis time the
+//! recorded havocs are reconciled with the help of rainbow tables: the
+//! solver proposes hash values, the tables propose pre-images, and the
+//! solver checks the pre-images against the packet constraints.
+
+use castan_ir::HashFunc;
+
+use crate::expr::{AtomId, SymExpr};
+
+/// One havoced hash application on an execution path.
+#[derive(Clone, Debug)]
+pub struct HavocRecord {
+    /// The atom standing in for the hash output.
+    pub output: AtomId,
+    /// Which hash function was havoced.
+    pub func: HashFunc,
+    /// The symbolic input expressions, in argument order.
+    pub inputs: Vec<SymExpr>,
+    /// Which packet of the symbolic sequence performed the hash.
+    pub packet: u32,
+}
+
+/// Outcome of trying to reconcile one havoc during synthesis, reported in
+/// the analysis output (the NAT results in §5.4 hinge on which havocs could
+/// be reversed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HavocResolution {
+    /// A pre-image compatible with the packet constraints was found and the
+    /// packet fields were pinned accordingly.
+    Reconciled,
+    /// No compatible pre-image was found; the workload remains partially
+    /// symbolic with respect to this hash (the paper's "partially symbolic
+    /// packets").
+    Unreconciled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_carries_inputs() {
+        let r = HavocRecord {
+            output: 3,
+            func: HashFunc::Flow16,
+            inputs: vec![SymExpr::atom(0), SymExpr::atom(1)],
+            packet: 2,
+        };
+        assert_eq!(r.inputs.len(), 2);
+        assert_eq!(r.func.output_bits(), 16);
+        assert_eq!(r.packet, 2);
+        assert_ne!(HavocResolution::Reconciled, HavocResolution::Unreconciled);
+    }
+}

@@ -1,0 +1,48 @@
+//! # castan-core
+//!
+//! CASTAN itself: Cycle Approximating Symbolic Timing Analysis for Network
+//! Functions — the paper's primary contribution.
+//!
+//! Given an NF (as a `castan-ir` program plus its initial memory) and a
+//! processor cache model (contention sets discovered by `castan-mem`), the
+//! analysis symbolically executes a sequence of N symbolic packets,
+//! prioritising the execution states expected to consume the most CPU cycles
+//! per packet, and finally resolves the best state's path constraint into a
+//! concrete adversarial packet sequence (a PCAP-ready workload).
+//!
+//! Module map (paper section → module):
+//!
+//! | paper | module |
+//! |-------|--------|
+//! | §3.1 overview, A*-like search | [`engine`], [`search`] |
+//! | §3.2 cache contention sets | `castan-mem::contention` (input), [`cache`] (consumption) |
+//! | §3.3 current cost & adversarial memory access | [`cache`], [`state`] |
+//! | §3.4 potential cost via annotated ICFG, loop bound M | [`costmap`] |
+//! | §3.5 hash functions, havocing, rainbow tables | [`havoc`], [`rainbow`], [`synth`] |
+//! | §4 per-path CPU-model metrics output | [`report`] |
+//!
+//! The symbolic substrate (expressions, constraints, the purpose-built
+//! solver, copy-on-write symbolic memory) lives in [`expr`], [`solve`], and
+//! [`symmem`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod costmap;
+pub mod engine;
+pub mod expr;
+pub mod havoc;
+pub mod rainbow;
+pub mod report;
+pub mod search;
+pub mod solve;
+pub mod state;
+pub mod symmem;
+pub mod synth;
+
+pub use cache::{CacheModel, CacheModelKind, ContentionCacheModel, NoCacheModel};
+pub use engine::{AnalysisConfig, Castan};
+pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
+pub use report::{AnalysisReport, PathMetrics};
+pub use solve::{Model, SolveOutcome, Solver};

@@ -1,0 +1,301 @@
+//! Rainbow tables and brute-force hash inversion (§3.5).
+//!
+//! The NFs hash 5-tuples into small outputs (16 or 24 bits). CASTAN inverts
+//! these hashes at synthesis time: given a target hash value it needs a few
+//! candidate pre-images drawn from a *key space* the attacker controls (the
+//! paper custom-tailors the table to the packet constraints, e.g. "assume
+//! UDP"). Two inverters are provided:
+//!
+//! * [`RainbowTable`] — a classic Oechslin-style time/memory trade-off:
+//!   chains of alternating hash and reduction steps, storing only chain
+//!   endpoints;
+//! * [`ExhaustiveInverter`] — a plain value → pre-images map over a bounded
+//!   key space, used when the key space is small enough to enumerate (and
+//!   as the oracle the rainbow table is tested against).
+
+use std::collections::HashMap;
+
+use castan_ir::HashFunc;
+use castan_packet::{FlowKey, Ipv4Addr};
+
+/// A bounded, enumerable space of candidate flow keys.
+///
+/// Keys are UDP flows toward a fixed destination, with the source address
+/// and port enumerating the space — the same shape the paper uses when it
+/// populates "the rainbow table with values that assume UDP".
+#[derive(Clone, Debug)]
+pub struct FlowKeySpace {
+    /// Fixed destination IP of every candidate key.
+    pub dst_ip: Ipv4Addr,
+    /// Fixed destination port.
+    pub dst_port: u16,
+    /// Fixed IP protocol (17 = UDP).
+    pub proto: u8,
+    /// Base source address; the key index perturbs the low bits.
+    pub src_ip_base: Ipv4Addr,
+    /// Number of keys in the space.
+    pub size: u64,
+}
+
+impl FlowKeySpace {
+    /// A key space of `size` UDP keys toward `dst_ip:dst_port`.
+    pub fn udp(dst_ip: Ipv4Addr, dst_port: u16, size: u64) -> Self {
+        FlowKeySpace {
+            dst_ip,
+            dst_port,
+            proto: 17,
+            src_ip_base: Ipv4Addr::new(10, 0, 0, 0),
+            size,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// True if the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The i-th key as hash-argument order `[src_ip, dst_ip, src_port,
+    /// dst_port, proto]` — the order the NF IR passes to `Hash`.
+    pub fn key(&self, i: u64) -> [u64; 5] {
+        let i = i % self.size.max(1);
+        let src_port = 1024 + (i % 60000);
+        let src_host = i / 60000;
+        [
+            u64::from(self.src_ip_base.to_u32()) + src_host,
+            u64::from(self.dst_ip.to_u32()),
+            src_port,
+            u64::from(self.dst_port),
+            u64::from(self.proto),
+        ]
+    }
+
+    /// The i-th key as a [`FlowKey`] (for building packets).
+    pub fn flow_key(&self, i: u64) -> FlowKey {
+        let k = self.key(i);
+        FlowKey::udp(
+            Ipv4Addr(k[0] as u32),
+            k[2] as u16,
+            Ipv4Addr(k[1] as u32),
+            k[3] as u16,
+        )
+    }
+}
+
+/// Something that can propose pre-images for a hash value.
+pub trait HashInverter {
+    /// Returns up to `limit` candidate keys (in hash-argument order) whose
+    /// hash equals `value`.
+    fn invert(&self, value: u64, limit: usize) -> Vec<[u64; 5]>;
+    /// The hash function this inverter targets.
+    fn func(&self) -> HashFunc;
+}
+
+/// Exhaustive inverter over a key space.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveInverter {
+    func: HashFunc,
+    table: HashMap<u64, Vec<u64>>,
+    space: FlowKeySpace,
+}
+
+impl ExhaustiveInverter {
+    /// Builds the full value → key-indices table by scanning the key space.
+    pub fn build(func: HashFunc, space: FlowKeySpace) -> Self {
+        let mut table: HashMap<u64, Vec<u64>> = HashMap::new();
+        for i in 0..space.len() {
+            let h = func.apply(&space.key(i));
+            table.entry(h).or_default().push(i);
+        }
+        ExhaustiveInverter { func, table, space }
+    }
+
+    /// Number of distinct hash values covered.
+    pub fn coverage(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl HashInverter for ExhaustiveInverter {
+    fn invert(&self, value: u64, limit: usize) -> Vec<[u64; 5]> {
+        self.table
+            .get(&value)
+            .map(|idxs| {
+                idxs.iter()
+                    .take(limit)
+                    .map(|&i| self.space.key(i))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn func(&self) -> HashFunc {
+        self.func
+    }
+}
+
+/// A classic rainbow table.
+#[derive(Clone, Debug)]
+pub struct RainbowTable {
+    func: HashFunc,
+    space: FlowKeySpace,
+    chain_len: u32,
+    /// end-of-chain hash value → starting key indices (collisions on the end
+    /// point are kept, they just mean a few more chains to rebuild).
+    chains: HashMap<u64, Vec<u64>>,
+}
+
+impl RainbowTable {
+    /// Builds a table of `num_chains` chains of length `chain_len`.
+    pub fn build(func: HashFunc, space: FlowKeySpace, num_chains: u64, chain_len: u32) -> Self {
+        assert!(chain_len >= 1);
+        let mut chains: HashMap<u64, Vec<u64>> = HashMap::new();
+        for c in 0..num_chains {
+            // Spread chain starts across the key space deterministically.
+            let start = (c.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % space.len().max(1);
+            let mut value = func.apply(&space.key(start));
+            for pos in 1..chain_len {
+                let idx = Self::reduce(&space, value, pos);
+                value = func.apply(&space.key(idx));
+            }
+            chains.entry(value).or_default().push(start);
+        }
+        RainbowTable {
+            func,
+            space,
+            chain_len,
+            chains,
+        }
+    }
+
+    /// Number of stored chain end points.
+    pub fn stored_chains(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// The position-dependent reduction function: maps a hash value back
+    /// into the key space. Position-dependence is what distinguishes a
+    /// rainbow table from plain hash chains (it avoids chain merges).
+    fn reduce(space: &FlowKeySpace, value: u64, position: u32) -> u64 {
+        (value ^ (u64::from(position).wrapping_mul(0xA24B_AED4_963E_E407)))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            % space.len().max(1)
+    }
+
+    fn walk_chain_collect(&self, start: u64, target: u64, out: &mut Vec<[u64; 5]>, limit: usize) {
+        let mut idx = start;
+        for pos in 0..self.chain_len {
+            let key = self.space.key(idx);
+            let h = self.func.apply(&key);
+            if h == target && out.len() < limit && !out.contains(&key) {
+                out.push(key);
+            }
+            if pos + 1 < self.chain_len {
+                idx = Self::reduce(&self.space, h, pos + 1);
+            }
+        }
+    }
+}
+
+impl HashInverter for RainbowTable {
+    fn invert(&self, value: u64, limit: usize) -> Vec<[u64; 5]> {
+        let mut out = Vec::new();
+        // For each possible position of `value` in a chain, roll the chain
+        // forward to its end point and check whether we stored it.
+        for assumed_pos in (0..self.chain_len).rev() {
+            let mut v = value;
+            for pos in assumed_pos + 1..self.chain_len {
+                let idx = Self::reduce(&self.space, v, pos);
+                v = self.func.apply(&self.space.key(idx));
+            }
+            if let Some(starts) = self.chains.get(&v) {
+                for &start in starts {
+                    self.walk_chain_collect(start, value, &mut out, limit);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn func(&self) -> HashFunc {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> FlowKeySpace {
+        FlowKeySpace::udp(Ipv4Addr::new(192, 168, 1, 1), 80, 40_000)
+    }
+
+    #[test]
+    fn keyspace_enumerates_distinct_udp_keys() {
+        let s = space();
+        assert!(!s.is_empty());
+        let a = s.key(0);
+        let b = s.key(1);
+        assert_ne!(a, b);
+        assert_eq!(a[4], 17, "keys are UDP");
+        assert_eq!(a[1], u64::from(Ipv4Addr::new(192, 168, 1, 1).to_u32()));
+        let fk = s.flow_key(5);
+        assert_eq!(fk.dst_port, 80);
+    }
+
+    #[test]
+    fn exhaustive_inverter_finds_real_preimages() {
+        let s = space();
+        let inv = ExhaustiveInverter::build(HashFunc::Flow16, s.clone());
+        assert!(inv.coverage() > 20_000, "40k keys should cover much of 16 bits");
+        // Pick a value known to be in the table.
+        let target = HashFunc::Flow16.apply(&s.key(123));
+        let keys = inv.invert(target, 4);
+        assert!(!keys.is_empty());
+        for k in keys {
+            assert_eq!(HashFunc::Flow16.apply(&k), target);
+        }
+        assert_eq!(inv.func(), HashFunc::Flow16);
+    }
+
+    #[test]
+    fn rainbow_table_inverts_a_good_fraction() {
+        let s = FlowKeySpace::udp(Ipv4Addr::new(192, 168, 1, 1), 80, 20_000);
+        let table = RainbowTable::build(HashFunc::Flow16, s.clone(), 2_000, 16);
+        assert!(table.stored_chains() >= 1_500);
+        let mut hits = 0;
+        let trials = 60;
+        for i in 0..trials {
+            let target = HashFunc::Flow16.apply(&s.key(i * 37));
+            let keys = table.invert(target, 2);
+            if !keys.is_empty() {
+                hits += 1;
+                for k in &keys {
+                    assert_eq!(HashFunc::Flow16.apply(k), target, "false positive pre-image");
+                }
+            }
+        }
+        // A 2 000×16 table covers ~half of a 20 000-key space; anything well
+        // above chance shows the chain walk works.
+        assert!(hits > trials / 4, "only {hits}/{trials} values inverted");
+    }
+
+    #[test]
+    fn rainbow_misses_values_outside_its_keyspace_reach() {
+        let s = FlowKeySpace::udp(Ipv4Addr::new(192, 168, 1, 1), 80, 500);
+        let table = RainbowTable::build(HashFunc::Flow24, s, 50, 8);
+        // A random 24-bit value is almost surely not reachable from a tiny
+        // key space; inversion must return empty rather than junk.
+        let keys = table.invert(0xABCDEF, 4);
+        for k in keys {
+            assert_eq!(HashFunc::Flow24.apply(&k), 0xABCDEF);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Analysis output: the synthesized workload plus per-packet CPU-model
+//! metrics (§4: "the second file lists all of the CPU model metrics, on a
+//! per packet basis, including the number of non-memory instructions
+//! executed, the number of loads and stores, and the number of memory
+//! accesses that hit the cache").
+
+use std::path::Path;
+use std::time::Duration;
+
+use castan_packet::{pcap, Packet};
+
+/// Predicted per-packet cost metrics along the chosen execution path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathMetrics {
+    /// Instructions executed (including loads/stores).
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Memory accesses the cache model predicts to miss L3.
+    pub est_l3_misses: u64,
+    /// Estimated cycles (instruction base costs + modelled memory costs).
+    pub est_cycles: u64,
+}
+
+impl PathMetrics {
+    /// Memory accesses predicted to hit the cache.
+    pub fn est_hits(&self) -> u64 {
+        (self.loads + self.stores).saturating_sub(self.est_l3_misses)
+    }
+}
+
+/// The result of one CASTAN analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Name of the analyzed NF.
+    pub nf_name: String,
+    /// The synthesized adversarial packet sequence (length N).
+    pub packets: Vec<Packet>,
+    /// Predicted metrics for each packet of the chosen path.
+    pub per_packet: Vec<PathMetrics>,
+    /// Number of execution states the searcher explored (scheduling quanta).
+    pub states_explored: u64,
+    /// Number of state forks performed.
+    pub forks: u64,
+    /// Wall-clock analysis time.
+    pub analysis_time: Duration,
+    /// Total havocs on the chosen path.
+    pub havocs_total: usize,
+    /// Havocs successfully reconciled through rainbow tables.
+    pub havocs_reconciled: usize,
+    /// The chosen state's predicted worst cycles-per-packet.
+    pub predicted_worst_cpp: u64,
+}
+
+impl AnalysisReport {
+    /// The predicted worst-case packet, if any packet was synthesized.
+    pub fn worst_packet_metrics(&self) -> Option<PathMetrics> {
+        self.per_packet.iter().copied().max_by_key(|m| m.est_cycles)
+    }
+
+    /// Number of distinct flows in the synthesized workload.
+    pub fn distinct_flows(&self) -> usize {
+        let mut flows: Vec<_> = self.packets.iter().filter_map(Packet::flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+
+    /// Writes the workload as a PCAP file, exactly like the original tool's
+    /// KTEST→PCAP conversion step.
+    pub fn write_pcap(&self, path: &Path) -> Result<(), pcap::PcapError> {
+        pcap::write_pcap_file(path, &self.packets)
+    }
+
+    /// A compact human-readable summary (used by examples and experiments).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} packets ({} flows), predicted worst CPP {} cycles, {} states, {}/{} havocs reconciled, {:.1}s",
+            self.nf_name,
+            self.packets.len(),
+            self.distinct_flows(),
+            self.predicted_worst_cpp,
+            self.states_explored,
+            self.havocs_reconciled,
+            self.havocs_total,
+            self.analysis_time.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_packet::PacketBuilder;
+
+    #[test]
+    fn metrics_hits_are_non_negative() {
+        let m = PathMetrics {
+            instructions: 100,
+            loads: 10,
+            stores: 5,
+            est_l3_misses: 20,
+            est_cycles: 1000,
+        };
+        assert_eq!(m.est_hits(), 0);
+        let m2 = PathMetrics {
+            est_l3_misses: 3,
+            ..m
+        };
+        assert_eq!(m2.est_hits(), 12);
+    }
+
+    #[test]
+    fn report_summary_and_flows() {
+        let report = AnalysisReport {
+            nf_name: "test".into(),
+            packets: vec![
+                PacketBuilder::new().src_port(1).build(),
+                PacketBuilder::new().src_port(2).build(),
+                PacketBuilder::new().src_port(1).build(),
+            ],
+            per_packet: vec![
+                PathMetrics { est_cycles: 10, ..Default::default() },
+                PathMetrics { est_cycles: 30, ..Default::default() },
+            ],
+            states_explored: 5,
+            forks: 2,
+            analysis_time: Duration::from_millis(1500),
+            havocs_total: 2,
+            havocs_reconciled: 1,
+            predicted_worst_cpp: 30,
+        };
+        assert_eq!(report.distinct_flows(), 2);
+        assert_eq!(report.worst_packet_metrics().unwrap().est_cycles, 30);
+        let s = report.summary();
+        assert!(s.contains("3 packets"));
+        assert!(s.contains("1/2 havocs"));
+    }
+
+    #[test]
+    fn pcap_roundtrip() {
+        let report = AnalysisReport {
+            nf_name: "t".into(),
+            packets: vec![PacketBuilder::new().build(); 4],
+            per_packet: vec![],
+            states_explored: 0,
+            forks: 0,
+            analysis_time: Duration::ZERO,
+            havocs_total: 0,
+            havocs_reconciled: 0,
+            predicted_worst_cpp: 0,
+        };
+        let dir = std::env::temp_dir().join("castan-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.pcap");
+        report.write_pcap(&path).unwrap();
+        let back = castan_packet::pcap::read_pcap_file(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! The directed-search state queue (§3.1, §3.4).
+//!
+//! CASTAN's exploration is "akin to an A* search, with the difference that
+//! we are trying to maximize, not minimize the expected cost": pending
+//! execution states are kept in a max-priority queue keyed by
+//! `current cost + potential cost`, and the searcher always explores the
+//! most promising state next. There are no admissibility guarantees — the
+//! paper explicitly trades them for finding useful workloads quickly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::state::ExecState;
+
+struct Scored {
+    score: u64,
+    /// Tie-break: later insertions first (depth-first flavour), which keeps
+    /// the search pushing the same promising path deeper instead of
+    /// round-robining equal-cost siblings.
+    order: u64,
+    state: ExecState,
+}
+
+impl PartialEq for Scored {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.order == other.order
+    }
+}
+impl Eq for Scored {}
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .cmp(&other.score)
+            .then(self.order.cmp(&other.order))
+    }
+}
+
+/// Max-priority queue of pending execution states.
+#[derive(Default)]
+pub struct Searcher {
+    heap: BinaryHeap<Scored>,
+    counter: u64,
+}
+
+impl Searcher {
+    /// Creates an empty searcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a state with the given score.
+    pub fn push(&mut self, state: ExecState, score: u64) {
+        self.counter += 1;
+        self.heap.push(Scored {
+            score,
+            order: self.counter,
+            state,
+        });
+    }
+
+    /// Removes and returns the highest-scored state.
+    pub fn pop(&mut self) -> Option<(ExecState, u64)> {
+        self.heap.pop().map(|s| (s.state, s.score))
+    }
+
+    /// Number of pending states.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no states are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops the lowest-scored states until at most `cap` remain (a crude
+    /// memory guard; the paper relies on the time budget instead).
+    pub fn truncate(&mut self, cap: usize) {
+        if self.heap.len() <= cap {
+            return;
+        }
+        let mut all: Vec<Scored> = std::mem::take(&mut self.heap).into_vec();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(cap);
+        self.heap = all.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::NoCacheModel;
+    use crate::symmem::SymMemory;
+    use castan_ir::{DataMemory, FunctionBuilder, ProgramBuilder};
+    use std::sync::Arc;
+
+    fn dummy_state() -> ExecState {
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret_void();
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let p = pb.finish(main);
+        ExecState::initial(
+            &p,
+            SymMemory::new(Arc::new(DataMemory::new())),
+            Box::new(NoCacheModel::default()),
+            1,
+        )
+    }
+
+    #[test]
+    fn pops_highest_score_first() {
+        let mut s = Searcher::new();
+        s.push(dummy_state(), 10);
+        s.push(dummy_state(), 30);
+        s.push(dummy_state(), 20);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pop().unwrap().1, 30);
+        assert_eq!(s.pop().unwrap().1, 20);
+        assert_eq!(s.pop().unwrap().1, 10);
+        assert!(s.pop().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equal_scores_prefer_the_newest_state() {
+        let mut s = Searcher::new();
+        let mut a = dummy_state();
+        a.id = 1;
+        let mut b = dummy_state();
+        b.id = 2;
+        s.push(a, 50);
+        s.push(b, 50);
+        assert_eq!(s.pop().unwrap().0.id, 2, "depth-first tie-break");
+    }
+
+    #[test]
+    fn truncate_keeps_the_best() {
+        let mut s = Searcher::new();
+        for i in 0..100u64 {
+            s.push(dummy_state(), i);
+        }
+        s.truncate(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.pop().unwrap().1, 99);
+    }
+}

@@ -1,0 +1,241 @@
+//! Symbolic execution states.
+//!
+//! A state is one partially explored path through the NF over the sequence
+//! of N symbolic packets: a call stack of frames with symbolic registers,
+//! the copy-on-write symbolic memory, the path constraint, the havoc log,
+//! the state of the analysis cache model, and the accumulated cost
+//! bookkeeping the searcher ranks by.
+
+use castan_ir::{BlockId, FuncId, Program, Reg};
+
+use crate::cache::CacheModel;
+use crate::expr::{AtomTable, Constraint, SymExpr};
+use crate::havoc::HavocRecord;
+use crate::report::PathMetrics;
+use crate::symmem::SymMemory;
+
+/// One activation record.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The function being executed.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction in the block (== instruction count of
+    /// the block when the terminator is next).
+    pub inst_idx: usize,
+    /// Symbolic register file.
+    pub regs: Vec<SymExpr>,
+    /// Caller register that receives this frame's return value.
+    pub ret_dst: Option<Reg>,
+}
+
+impl Frame {
+    /// Creates a frame for `func` with zero-initialised registers and the
+    /// given arguments in the first registers.
+    pub fn call(program: &Program, func: FuncId, args: Vec<SymExpr>, ret_dst: Option<Reg>) -> Frame {
+        let f = &program.functions[func as usize];
+        let mut regs = vec![SymExpr::constant(0); f.num_regs as usize];
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a;
+        }
+        Frame {
+            func,
+            block: f.entry,
+            inst_idx: 0,
+            regs,
+            ret_dst,
+        }
+    }
+}
+
+/// Why a state stopped being runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateStatus {
+    /// Still explorable.
+    Running,
+    /// Processed all N packets.
+    Completed,
+    /// Became infeasible or hit an execution error and was abandoned.
+    Dead,
+}
+
+/// One execution state.
+#[derive(Clone, Debug)]
+pub struct ExecState {
+    /// Unique id (diagnostics).
+    pub id: u64,
+    /// Call stack (empty only transiently at packet boundaries).
+    pub frames: Vec<Frame>,
+    /// Symbolic data memory.
+    pub memory: SymMemory,
+    /// Path constraint.
+    pub constraints: Vec<Constraint>,
+    /// Havoced hash applications on this path.
+    pub havocs: Vec<HavocRecord>,
+    /// Analysis cache model state.
+    pub cache: Box<dyn CacheModel>,
+    /// Atoms created along this path.
+    pub atoms: AtomTable,
+    /// Index of the packet currently being processed (0-based).
+    pub packet_idx: u32,
+    /// Total packets to process.
+    pub packets_target: u32,
+    /// Metrics of the packet currently being processed.
+    pub current: PathMetrics,
+    /// L3-miss count at the start of the current packet (to compute deltas).
+    pub misses_at_packet_start: u64,
+    /// Metrics of completed packets.
+    pub completed: Vec<PathMetrics>,
+    /// Concrete data addresses this path has accessed (newest last, capped).
+    pub recent_addrs: Vec<u64>,
+    /// Life-cycle status.
+    pub status: StateStatus,
+}
+
+/// Cap on the remembered recent addresses (reuse candidates).
+const RECENT_CAP: usize = 512;
+
+impl ExecState {
+    /// Creates the initial state for an analysis run.
+    pub fn initial(
+        program: &Program,
+        memory: SymMemory,
+        cache: Box<dyn CacheModel>,
+        packets_target: u32,
+    ) -> ExecState {
+        ExecState {
+            id: 0,
+            frames: vec![Frame::call(program, program.entry, vec![], None)],
+            memory,
+            constraints: Vec::new(),
+            havocs: Vec::new(),
+            cache,
+            atoms: AtomTable::new(),
+            packet_idx: 0,
+            packets_target,
+            current: PathMetrics::default(),
+            misses_at_packet_start: 0,
+            completed: Vec::new(),
+            recent_addrs: Vec::new(),
+            status: StateStatus::Running,
+        }
+    }
+
+    /// The top frame.
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("running state has a frame")
+    }
+
+    /// The top frame, mutably.
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("running state has a frame")
+    }
+
+    /// Records a concrete data-address access (for reuse candidates).
+    pub fn note_address(&mut self, addr: u64) {
+        self.recent_addrs.push(addr);
+        if self.recent_addrs.len() > RECENT_CAP {
+            self.recent_addrs.remove(0);
+        }
+    }
+
+    /// Adds a path constraint.
+    pub fn assume(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Highest per-packet cost among completed packets.
+    pub fn max_completed_cpp(&self) -> u64 {
+        self.completed.iter().map(|m| m.est_cycles).max().unwrap_or(0)
+    }
+
+    /// Closes the current packet's accounting and either rolls over to the
+    /// next packet (new entry frame) or marks the state completed.
+    pub fn finish_packet(&mut self, program: &Program) {
+        let mut m = self.current;
+        m.est_l3_misses = self.cache.estimated_misses() - self.misses_at_packet_start;
+        self.completed.push(m);
+        self.current = PathMetrics::default();
+        self.misses_at_packet_start = self.cache.estimated_misses();
+        self.packet_idx += 1;
+        if self.packet_idx >= self.packets_target {
+            self.status = StateStatus::Completed;
+        } else {
+            self.frames = vec![Frame::call(program, program.entry, vec![], None)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::NoCacheModel;
+    use castan_ir::{DataMemory, FunctionBuilder, ProgramBuilder};
+    use std::sync::Arc;
+
+    fn tiny_program() -> Program {
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret(1u64);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        pb.finish(main)
+    }
+
+    fn fresh_state(packets: u32) -> (Program, ExecState) {
+        let p = tiny_program();
+        let s = ExecState::initial(
+            &p,
+            SymMemory::new(Arc::new(DataMemory::new())),
+            Box::new(NoCacheModel::default()),
+            packets,
+        );
+        (p, s)
+    }
+
+    #[test]
+    fn initial_state_has_entry_frame() {
+        let (_, s) = fresh_state(3);
+        assert_eq!(s.frames.len(), 1);
+        assert_eq!(s.top().func, 0);
+        assert_eq!(s.status, StateStatus::Running);
+        assert_eq!(s.max_completed_cpp(), 0);
+    }
+
+    #[test]
+    fn packet_rollover_and_completion() {
+        let (p, mut s) = fresh_state(2);
+        s.current.est_cycles = 100;
+        s.finish_packet(&p);
+        assert_eq!(s.status, StateStatus::Running);
+        assert_eq!(s.packet_idx, 1);
+        assert_eq!(s.completed.len(), 1);
+        assert_eq!(s.max_completed_cpp(), 100);
+        s.current.est_cycles = 40;
+        s.finish_packet(&p);
+        assert_eq!(s.status, StateStatus::Completed);
+        assert_eq!(s.max_completed_cpp(), 100);
+    }
+
+    #[test]
+    fn recent_addresses_are_capped() {
+        let (_, mut s) = fresh_state(1);
+        for i in 0..2000u64 {
+            s.note_address(i * 64);
+        }
+        assert_eq!(s.recent_addrs.len(), RECENT_CAP);
+        assert_eq!(*s.recent_addrs.last().unwrap(), 1999 * 64);
+    }
+
+    #[test]
+    fn forked_states_do_not_share_mutable_pieces() {
+        let (_, mut s) = fresh_state(1);
+        let mut t = s.clone();
+        s.assume(Constraint::require_true(SymExpr::constant(1)));
+        t.note_address(0x40);
+        assert_eq!(s.constraints.len(), 1);
+        assert_eq!(t.constraints.len(), 0);
+        assert_eq!(s.recent_addrs.len(), 0);
+        assert_eq!(t.recent_addrs.len(), 1);
+    }
+}

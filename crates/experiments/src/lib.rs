@@ -1,0 +1,555 @@
+//! # castan-experiments
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) on the
+//! simulated testbed. Each experiment produces the same rows/series the
+//! paper reports: latency CDFs (Figs. 4, 6, 7, 9, 11–15), reference-cycle
+//! CDFs (Figs. 5, 8, 10), maximum throughput (Table 1), median instructions
+//! retired (Table 2), median L3 misses (Table 3), CASTAN workload sizes and
+//! analysis times (Table 4), and median latency deviation from NOP
+//! (Table 5).
+//!
+//! Run `cargo run -p castan-experiments --release -- all` (or a single
+//! experiment id such as `fig4` or `table1`). `--quick` scales the workloads
+//! and budgets down for a fast smoke run; absolute numbers then drift
+//! further from the paper but the orderings remain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use castan_core::{AnalysisConfig, AnalysisReport, CacheModelKind, Castan};
+use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
+use castan_nf::{nf_by_id, NfId, NfSpec};
+use castan_testbed::{
+    max_throughput_mpps, measure, Cdf, Measurement, MeasurementConfig, ThroughputConfig,
+};
+use castan_workload::{
+    castan_workload, generic_workload, manual_workload, unirand_castan, Workload, WorkloadConfig,
+    WorkloadKind,
+};
+
+/// How hard to run the experiments.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Scale of the generic workloads (1.0 = the paper's packet counts).
+    pub workload_scale: f64,
+    /// Testbed measurement parameters.
+    pub measurement: MeasurementConfig,
+    /// Throughput-search parameters.
+    pub throughput: ThroughputConfig,
+    /// CASTAN analysis parameters.
+    pub analysis: AnalysisConfig,
+    /// Contention-set catalogue size (candidate lines sampled per NF region).
+    pub catalog_lines: u64,
+}
+
+impl ExperimentConfig {
+    /// Quick smoke configuration (seconds per experiment).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            workload_scale: 0.01,
+            measurement: MeasurementConfig {
+                total_packets: 4_000,
+                warmup_packets: 400,
+                ..Default::default()
+            },
+            throughput: ThroughputConfig {
+                packets_per_trial: 10_000,
+                iterations: 14,
+                ..Default::default()
+            },
+            analysis: AnalysisConfig {
+                packets: 10,
+                step_budget: 30_000,
+                ..AnalysisConfig::quick()
+            },
+            catalog_lines: 2_048,
+        }
+    }
+
+    /// Full configuration (minutes per experiment; paper-scale workloads).
+    pub fn full() -> Self {
+        ExperimentConfig {
+            workload_scale: 0.25,
+            measurement: MeasurementConfig {
+                total_packets: 120_000,
+                warmup_packets: 10_000,
+                ..Default::default()
+            },
+            throughput: ThroughputConfig::default(),
+            analysis: AnalysisConfig {
+                packets: 40,
+                step_budget: 250_000,
+                ..Default::default()
+            },
+            catalog_lines: 8_192,
+        }
+    }
+}
+
+/// A named CDF series of one figure.
+#[derive(Clone, Debug)]
+pub struct FigureSeries {
+    /// Workload name (legend entry).
+    pub name: String,
+    /// The CDF.
+    pub cdf: Cdf,
+}
+
+/// One reproduced figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Figure id, e.g. "fig4".
+    pub id: String,
+    /// Title as in the paper.
+    pub title: String,
+    /// X-axis label ("Latency (ns)" or "Reference Clock Cycles").
+    pub x_label: String,
+    /// The per-workload series.
+    pub series: Vec<FigureSeries>,
+}
+
+impl Figure {
+    /// Renders the figure as a gnuplot-style text table (one row per CDF
+    /// sample point, one column pair per series).
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n# x: {}\n", self.id, self.title, self.x_label);
+        for s in &self.series {
+            out.push_str(&format!(
+                "# {:<16} median={:.0} p99={:.0}\n",
+                s.name,
+                s.cdf.median(),
+                s.cdf.quantile(0.99)
+            ));
+        }
+        out.push_str("# series: value cumulative_probability\n");
+        for s in &self.series {
+            out.push_str(&format!("\"{}\"\n", s.name));
+            for (v, p) in s.cdf.points(21) {
+                out.push_str(&format!("{v:.1} {p:.2}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One reproduced table (markdown-ish rendering).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table id, e.g. "table1".
+    pub id: String,
+    /// Title as in the paper.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn render(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Builds the contention-set catalogue the analysis uses for an NF: the
+/// ground-truth grouping over a sample of the NF's data regions (see
+/// DESIGN.md; the probing-based §3.2 pipeline is exercised separately in
+/// `castan-mem` and the `cache_contention` example).
+pub fn catalog_for(nf: &NfSpec, cfg: &ExperimentConfig) -> ContentionCatalog {
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
+    let mut lines = Vec::new();
+    for region in &nf.data_regions {
+        let stride = (region.len / cfg.catalog_lines.max(1)).max(64);
+        let mut a = region.base;
+        while a < region.end() && lines.len() < (2 * cfg.catalog_lines) as usize {
+            lines.push(a);
+            a += stride;
+        }
+    }
+    ContentionCatalog::from_ground_truth(&mut hier, lines)
+}
+
+/// Runs the CASTAN analysis for an NF.
+pub fn analyze_nf(nf: &NfSpec, cfg: &ExperimentConfig) -> AnalysisReport {
+    let catalog = catalog_for(nf, cfg);
+    Castan::new(cfg.analysis.clone()).analyze(nf, &catalog)
+}
+
+/// The full workload suite for an NF: the generic workloads plus CASTAN,
+/// UniRand-CASTAN (same flow count), and Manual where it exists.
+pub fn workload_suite(nf: &NfSpec, cfg: &ExperimentConfig) -> (Vec<Workload>, AnalysisReport) {
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let report = analyze_nf(nf, cfg);
+    let castan_wl = castan_workload(report.packets.clone());
+    let mut suite = vec![
+        generic_workload(nf, WorkloadKind::OnePacket, &wl_cfg),
+        generic_workload(nf, WorkloadKind::Zipfian, &wl_cfg),
+        generic_workload(nf, WorkloadKind::UniRand, &wl_cfg),
+        unirand_castan(nf, castan_wl.distinct_flows().max(1) as u64, &wl_cfg),
+    ];
+    if let Some(manual) = manual_workload(nf) {
+        suite.push(manual);
+    }
+    if !castan_wl.is_empty() {
+        suite.push(castan_wl);
+    }
+    (suite, report)
+}
+
+fn measure_suite(
+    nf: &NfSpec,
+    cfg: &ExperimentConfig,
+) -> (BTreeMap<WorkloadKind, Measurement>, AnalysisReport) {
+    let (suite, report) = workload_suite(nf, cfg);
+    let mut out = BTreeMap::new();
+    for wl in suite {
+        if wl.is_empty() {
+            continue;
+        }
+        let kind = wl.kind;
+        out.insert(kind, measure(nf, &wl, &cfg.measurement));
+    }
+    (out, report)
+}
+
+fn nop_measurement(cfg: &ExperimentConfig) -> Measurement {
+    let nop = nf_by_id(NfId::Nop);
+    let wl = generic_workload(&nop, WorkloadKind::OnePacket, &WorkloadConfig::scaled(0.01));
+    measure(&nop, &wl, &cfg.measurement)
+}
+
+/// Which figure shows which NF and metric.
+pub fn figure_catalog() -> Vec<(&'static str, NfId, &'static str)> {
+    vec![
+        ("fig4", NfId::LpmDirect1, "latency"),
+        ("fig5", NfId::LpmDirect1, "cycles"),
+        ("fig6", NfId::LpmDirect2, "latency"),
+        ("fig7", NfId::LpmTrie, "latency"),
+        ("fig8", NfId::LpmTrie, "cycles"),
+        ("fig9", NfId::NatUnbalancedTree, "latency"),
+        ("fig10", NfId::NatUnbalancedTree, "cycles"),
+        ("fig11", NfId::NatRedBlackTree, "latency"),
+        ("fig12", NfId::LbHashTable, "latency"),
+        ("fig13", NfId::LbHashRing, "latency"),
+        ("fig14", NfId::NatHashTable, "latency"),
+        ("fig15", NfId::NatHashRing, "latency"),
+    ]
+}
+
+/// Reproduces one of the evaluation figures.
+pub fn figure(id: &str, cfg: &ExperimentConfig) -> Option<Figure> {
+    let (fig_id, nf_id, metric) = figure_catalog().into_iter().find(|(f, _, _)| *f == id)?;
+    let nf = nf_by_id(nf_id);
+    let (measurements, _) = measure_suite(&nf, cfg);
+    let nop = nop_measurement(cfg);
+
+    let mut series = Vec::new();
+    let mut push = |name: &str, m: &Measurement| {
+        let cdf = if metric == "latency" {
+            m.latency_cdf()
+        } else {
+            m.cycles_cdf()
+        };
+        series.push(FigureSeries {
+            name: name.to_string(),
+            cdf,
+        });
+    };
+    push("NOP", &nop);
+    for kind in [
+        WorkloadKind::OnePacket,
+        WorkloadKind::Zipfian,
+        WorkloadKind::UniRand,
+        WorkloadKind::UniRandCastan,
+        WorkloadKind::Castan,
+        WorkloadKind::Manual,
+    ] {
+        if let Some(m) = measurements.get(&kind) {
+            push(kind.name(), m);
+        }
+    }
+    Some(Figure {
+        id: fig_id.to_string(),
+        title: format!(
+            "{} CDF for {}",
+            if metric == "latency" {
+                "End-to-end latency"
+            } else {
+                "CPU reference cycles"
+            },
+            nf.name()
+        ),
+        x_label: if metric == "latency" {
+            "Latency (ns)".to_string()
+        } else {
+            "Reference Clock Cycles".to_string()
+        },
+        series,
+    })
+}
+
+/// The NFs in the papers' table column order.
+fn table_nfs() -> Vec<NfId> {
+    vec![
+        NfId::LpmDirect1,
+        NfId::LpmDirect2,
+        NfId::LpmTrie,
+        NfId::LbUnbalancedTree,
+        NfId::NatUnbalancedTree,
+        NfId::LbRedBlackTree,
+        NfId::NatRedBlackTree,
+        NfId::NatHashTable,
+        NfId::LbHashTable,
+        NfId::NatHashRing,
+        NfId::LbHashRing,
+    ]
+}
+
+fn row_workloads() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::OnePacket,
+        WorkloadKind::Zipfian,
+        WorkloadKind::UniRand,
+        WorkloadKind::UniRandCastan,
+        WorkloadKind::Castan,
+        WorkloadKind::Manual,
+    ]
+}
+
+/// Reproduces Tables 1 (throughput), 2 (instructions) and 3 (L3 misses) in
+/// one sweep; `which` selects the rendered metric.
+pub fn throughput_and_counters_table(which: u32, cfg: &ExperimentConfig) -> Table {
+    let nfs = table_nfs();
+    let mut columns = vec!["Workload".to_string()];
+    columns.extend(nfs.iter().map(|id| id.name().to_string()));
+
+    // NOP row first, as in the paper.
+    let nop = nop_measurement(cfg);
+    let nop_value = |which: u32| -> String {
+        match which {
+            1 => format!("{:.2}", max_throughput_mpps(&nop, &cfg.throughput)),
+            2 => format!("{:.0}", nop.median_instructions()),
+            _ => format!("{:.0}", nop.median_l3_misses()),
+        }
+    };
+    let mut rows = vec![{
+        let mut r = vec!["NOP".to_string()];
+        r.extend(std::iter::repeat_n(nop_value(which), nfs.len()));
+        r
+    }];
+
+    let mut per_nf: Vec<BTreeMap<WorkloadKind, Measurement>> = Vec::new();
+    for id in &nfs {
+        let nf = nf_by_id(*id);
+        per_nf.push(measure_suite(&nf, cfg).0);
+    }
+
+    for kind in row_workloads() {
+        let mut row = vec![kind.name().to_string()];
+        for m in &per_nf {
+            let cell = match m.get(&kind) {
+                None => "-".to_string(),
+                Some(meas) => match which {
+                    1 => format!("{:.2}", max_throughput_mpps(meas, &cfg.throughput)),
+                    2 => format!("{:.0}", meas.median_instructions()),
+                    _ => format!("{:.0}", meas.median_l3_misses()),
+                },
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    let (id, title) = match which {
+        1 => ("table1", "Maximum throughput for each NF under each workload (Mpps)"),
+        2 => ("table2", "Median instructions retired per packet"),
+        _ => ("table3", "Median L3 misses per packet"),
+    };
+    Table {
+        id: id.to_string(),
+        title: title.to_string(),
+        columns,
+        rows,
+    }
+}
+
+/// Reproduces Table 4: number of packets CASTAN generated per NF and the
+/// analysis run time.
+pub fn table4(cfg: &ExperimentConfig) -> Table {
+    let mut rows = Vec::new();
+    for id in table_nfs() {
+        let nf = nf_by_id(id);
+        let report = analyze_nf(&nf, cfg);
+        rows.push(vec![
+            nf.name().to_string(),
+            report.packets.len().to_string(),
+            format!("{:.1}", report.analysis_time.as_secs_f64()),
+            report.states_explored.to_string(),
+            format!("{}/{}", report.havocs_reconciled, report.havocs_total),
+        ]);
+    }
+    Table {
+        id: "table4".to_string(),
+        title: "CASTAN workload sizes and analysis run time".to_string(),
+        columns: vec![
+            "NF".into(),
+            "# Packets".into(),
+            "Time (seconds)".into(),
+            "States explored".into(),
+            "Havocs reconciled".into(),
+        ],
+        rows,
+    }
+}
+
+/// Reproduces Table 5: median latency deviation from NOP under Zipfian,
+/// Manual and CASTAN workloads.
+pub fn table5(cfg: &ExperimentConfig) -> Table {
+    let nop_median = nop_measurement(cfg).median_latency_ns();
+    let mut rows = Vec::new();
+    for id in table_nfs() {
+        let nf = nf_by_id(id);
+        let (measurements, _) = measure_suite(&nf, cfg);
+        let dev = |kind: WorkloadKind| -> String {
+            measurements
+                .get(&kind)
+                .map(|m| format!("{:.0}", m.median_latency_ns() - nop_median))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        rows.push(vec![
+            nf.name().to_string(),
+            dev(WorkloadKind::Zipfian),
+            dev(WorkloadKind::Manual),
+            dev(WorkloadKind::Castan),
+        ]);
+    }
+    Table {
+        id: "table5".to_string(),
+        title: "Median latency deviation from NOP (ns)".to_string(),
+        columns: vec!["NF".into(), "Zipfian".into(), "Manual".into(), "CASTAN".into()],
+        rows,
+    }
+}
+
+/// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
+/// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
+pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
+    let nf = nf_by_id(NfId::LpmTrie);
+    let catalog = catalog_for(&nf, cfg);
+    let mut rows = Vec::new();
+    for m in [1u32, 2, 3] {
+        let mut analysis = cfg.analysis.clone();
+        analysis.loop_bound = m;
+        let report = Castan::new(analysis).analyze(&nf, &catalog);
+        rows.push(vec![
+            format!("M = {m}"),
+            report.predicted_worst_cpp.to_string(),
+            report.states_explored.to_string(),
+        ]);
+    }
+    Table {
+        id: "ablation-m".to_string(),
+        title: "Loop bound M vs predicted worst-case cycles (LPM trie)".to_string(),
+        columns: vec!["Setting".into(), "Predicted worst CPP".into(), "States".into()],
+        rows,
+    }
+}
+
+/// Ablation: contention-set cache model vs no cache model (§3.3) on the
+/// one-stage direct-lookup LPM, measured on the testbed.
+pub fn ablation_cache_model(cfg: &ExperimentConfig) -> Table {
+    let nf = nf_by_id(NfId::LpmDirect1);
+    let catalog = catalog_for(&nf, cfg);
+    let mut rows = Vec::new();
+    for (name, kind) in [
+        ("contention sets", CacheModelKind::ContentionSets),
+        ("no cache model", CacheModelKind::None),
+    ] {
+        let mut analysis = cfg.analysis.clone();
+        analysis.cache_model = kind;
+        let report = Castan::new(analysis).analyze(&nf, &catalog);
+        let wl = castan_workload(report.packets.clone());
+        let m = measure(&nf, &wl, &cfg.measurement);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", m.median_l3_misses()),
+            format!("{:.0}", m.median_latency_ns()),
+        ]);
+    }
+    Table {
+        id: "ablation-cache".to_string(),
+        title: "Cache model ablation on LPM 1-stage direct lookup (measured)".to_string(),
+        columns: vec![
+            "Cache model".into(),
+            "Median L3 misses/packet".into(),
+            "Median latency (ns)".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.measurement.total_packets = 1_200;
+        cfg.measurement.warmup_packets = 100;
+        cfg.analysis.packets = 4;
+        cfg.analysis.step_budget = 8_000;
+        cfg.workload_scale = 0.005;
+        cfg
+    }
+
+    #[test]
+    fn figure_catalog_covers_all_twelve_figures() {
+        assert_eq!(figure_catalog().len(), 12);
+        assert!(figure("fig99", &tiny_cfg()).is_none());
+    }
+
+    #[test]
+    fn fig7_reproduces_the_trie_latency_ordering() {
+        let cfg = tiny_cfg();
+        let fig = figure("fig7", &cfg).unwrap();
+        assert!(fig.series.len() >= 5);
+        let median = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.cdf.median())
+                .unwrap()
+        };
+        assert!(median("NOP") < median("Zipfian"));
+        assert!(median("Manual") > median("1 Packet"));
+        let rendered = fig.render();
+        assert!(rendered.contains("fig7"));
+        assert!(rendered.contains("Manual"));
+    }
+
+    #[test]
+    fn table5_has_eleven_rows() {
+        let cfg = tiny_cfg();
+        let t = table5(&cfg);
+        assert_eq!(t.rows.len(), 11);
+        assert_eq!(t.columns.len(), 4);
+        let rendered = t.render();
+        assert!(rendered.contains("LPM btrie"));
+        // Manual column only filled for the three NFs that have one.
+        let manual_filled = t.rows.iter().filter(|r| r[2] != "-").count();
+        assert_eq!(manual_filled, 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Command-line front end: regenerate any table or figure of the evaluation.
+//!
+//! ```text
+//! cargo run -p castan-experiments --release -- [--quick] <experiment>...
+//! cargo run -p castan-experiments --release -- all
+//! ```
+//!
+//! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
+//! `ablation-cache`, or `all`.
+
+use castan_experiments::{
+    ablation_cache_model, ablation_loop_bound, figure, figure_catalog, table4, table5,
+    throughput_and_counters_table, ExperimentConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+
+    if requested.is_empty() {
+        eprintln!("usage: castan-experiments [--quick] <fig4..fig15|table1..table5|ablation-m|ablation-cache|all>...");
+        std::process::exit(2);
+    }
+
+    let mut targets: Vec<String> = Vec::new();
+    for r in requested {
+        if r == "all" {
+            targets.extend(figure_catalog().iter().map(|(id, _, _)| id.to_string()));
+            targets.extend(
+                ["table1", "table2", "table3", "table4", "table5"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+            targets.push("ablation-m".to_string());
+            targets.push("ablation-cache".to_string());
+        } else {
+            targets.push(r);
+        }
+    }
+
+    for target in targets {
+        eprintln!("== running {target} ({}) ==", if quick { "quick" } else { "full" });
+        let output = match target.as_str() {
+            "table1" => throughput_and_counters_table(1, &cfg).render(),
+            "table2" => throughput_and_counters_table(2, &cfg).render(),
+            "table3" => throughput_and_counters_table(3, &cfg).render(),
+            "table4" => table4(&cfg).render(),
+            "table5" => table5(&cfg).render(),
+            "ablation-m" => ablation_loop_bound(&cfg).render(),
+            "ablation-cache" => ablation_cache_model(&cfg).render(),
+            fig => match figure(fig, &cfg) {
+                Some(f) => f.render(),
+                None => {
+                    eprintln!("unknown experiment: {fig}");
+                    continue;
+                }
+            },
+        };
+        println!("{output}");
+    }
+}

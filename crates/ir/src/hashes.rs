@@ -1,0 +1,156 @@
+//! The hash functions available to NF code.
+//!
+//! Real NFs hash flow keys to index hash tables and hash rings; §3.5 of the
+//! paper explains why such hashes are the hard case for symbolic execution
+//! and how CASTAN havocs them and later reconciles the havoc with rainbow
+//! tables. The functions here are the ones the evaluated NFs in `castan-nf`
+//! use: non-cryptographic, small-output mixes of the 5-tuple — exactly the
+//! class the paper says is realistically invertible with rainbow tables
+//! ("typical hash values are small, ∼20 bits").
+
+/// A hash function identifier usable in [`crate::inst::Inst::Hash`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum HashFunc {
+    /// 16-bit flow hash used by the 65 536-bucket chaining hash tables.
+    Flow16,
+    /// 24-bit flow hash used by the 16.7 M-entry hash rings.
+    Flow24,
+    /// One's-complement 16-bit checksum folding, used when NFs update the
+    /// IP/L4 checksums after rewriting headers.
+    Csum16,
+}
+
+impl HashFunc {
+    /// Output width in bits.
+    pub fn output_bits(self) -> u32 {
+        match self {
+            HashFunc::Flow16 | HashFunc::Csum16 => 16,
+            HashFunc::Flow24 => 24,
+        }
+    }
+
+    /// Maximum output value.
+    pub fn output_mask(self) -> u64 {
+        (1u64 << self.output_bits()) - 1
+    }
+
+    /// Applies the hash to its argument list.
+    ///
+    /// The flow hashes expect the key components in the order the NFs pass
+    /// them (source IP, destination IP, source port, destination port,
+    /// protocol), but any argument count is accepted: each argument is mixed
+    /// in sequentially, which is how the NF code composes partial keys.
+    pub fn apply(self, args: &[u64]) -> u64 {
+        match self {
+            HashFunc::Flow16 => flow_mix(args) & 0xffff,
+            HashFunc::Flow24 => flow_mix(args) & 0xff_ffff,
+            HashFunc::Csum16 => {
+                let mut sum: u64 = 0;
+                for &a in args {
+                    sum += a & 0xffff;
+                    sum += (a >> 16) & 0xffff;
+                    sum += (a >> 32) & 0xffff;
+                    sum += (a >> 48) & 0xffff;
+                }
+                while sum > 0xffff {
+                    sum = (sum & 0xffff) + (sum >> 16);
+                }
+                (!sum) & 0xffff
+            }
+        }
+    }
+}
+
+/// The shared mixing core of the flow hashes: a 64-bit multiply-xorshift
+/// accumulator (a Murmur-style finalizer), deliberately *not*
+/// cryptographically strong — the paper's point is that such hashes can be
+/// reversed by brute force plus rainbow tables.
+fn flow_mix(args: &[u64]) -> u64 {
+    let mut acc: u64 = 0x9747_b28c_51ab_61d3;
+    for &a in args {
+        let mut k = a;
+        k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        k ^= k >> 33;
+        acc ^= k;
+        acc = acc.rotate_left(27).wrapping_mul(5).wrapping_add(0x52dc_e729);
+    }
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(0x94d0_49bb_1331_11eb);
+    acc ^= acc >> 32;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        let args = [0x0a00_0001, 0xc0a8_0101, 80, 443, 17];
+        assert_eq!(HashFunc::Flow16.apply(&args), HashFunc::Flow16.apply(&args));
+        assert_eq!(HashFunc::Flow24.apply(&args), HashFunc::Flow24.apply(&args));
+    }
+
+    #[test]
+    fn output_ranges() {
+        for func in [HashFunc::Flow16, HashFunc::Flow24, HashFunc::Csum16] {
+            for i in 0..256u64 {
+                let v = func.apply(&[i, i * 7, i * 13]);
+                assert!(v <= func.output_mask(), "{func:?} overflowed: {v:#x}");
+            }
+        }
+        assert_eq!(HashFunc::Flow16.output_bits(), 16);
+        assert_eq!(HashFunc::Flow24.output_bits(), 24);
+    }
+
+    #[test]
+    fn argument_order_matters() {
+        let a = HashFunc::Flow16.apply(&[1, 2, 3, 4, 17]);
+        let b = HashFunc::Flow16.apply(&[2, 1, 4, 3, 17]);
+        assert_ne!(a, b, "the flow hash must not be symmetric");
+    }
+
+    #[test]
+    fn flow16_spreads_well() {
+        // 10 000 sequential keys should cover a large portion of the 16-bit
+        // space; a badly mixing hash would collapse them.
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(HashFunc::Flow16.apply(&[0x0a00_0000 + i, 0xc0a8_0101, 1000 + i, 80, 17]));
+        }
+        assert!(seen.len() > 8_000, "only {} distinct outputs", seen.len());
+    }
+
+    #[test]
+    fn collisions_exist_and_are_findable_by_brute_force() {
+        // This is the property the rainbow-table machinery relies on: with a
+        // 16-bit output, scanning ~300k keys hits any given target value a
+        // few times (the paper: a table of "a few millions of entries"
+        // represents every ~20-bit value several times).
+        let target = HashFunc::Flow16.apply(&[0x0a00_0001, 0xc0a8_0101, 1234, 80, 17]);
+        let mut collisions = 0;
+        for i in 0..300_000u64 {
+            let v = HashFunc::Flow16.apply(&[0x0a00_0002 + i, 0xc0a8_0101, 1234, 80, 17]);
+            if v == target {
+                collisions += 1;
+            }
+        }
+        assert!(collisions > 0, "expected at least one collision in 300k keys");
+        // And by pigeonhole, 100k keys cannot produce 100k distinct 16-bit
+        // outputs.
+        let distinct: HashSet<u64> = (0..100_000u64)
+            .map(|i| HashFunc::Flow16.apply(&[i, 0xc0a8_0101, 1234, 80, 17]))
+            .collect();
+        assert!(distinct.len() < 100_000);
+    }
+
+    #[test]
+    fn csum16_is_checksum_like() {
+        // Adding the complement of the checksum re-checksums to zero-ish
+        // behaviour: here we just pin the folding property.
+        let v = HashFunc::Csum16.apply(&[0x0001_f203_f4f5_f6f7]);
+        assert!(v <= 0xffff);
+        assert_eq!(HashFunc::Csum16.apply(&[0]), 0xffff);
+    }
+}

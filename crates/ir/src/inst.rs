@@ -1,0 +1,407 @@
+//! Instruction-set definition: registers, operands, opcodes, terminators.
+
+use castan_packet::PacketField;
+
+use crate::hashes::HashFunc;
+use crate::native::NativeId;
+
+/// A virtual register index within a function frame. Registers hold `u64`
+/// values; narrower loads zero-extend, narrower stores truncate.
+pub type Reg = u32;
+
+/// A basic-block index within a function.
+pub type BlockId = u32;
+
+/// A function index within a program.
+pub type FuncId = u32;
+
+/// Access width of a load or store, in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Width {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Mask selecting the low `bytes()*8` bits.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W1 => 0xff,
+            Width::W2 => 0xffff,
+            Width::W4 => 0xffff_ffff,
+            Width::W8 => u64::MAX,
+        }
+    }
+}
+
+/// An instruction operand: either a register or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// A constant.
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Binary arithmetic / bitwise operations. All operate on `u64` with
+/// wrapping semantics; shifts mask the shift amount to 0..64.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Unsigned division (division by zero yields 0, like a guarded NF).
+    UDiv,
+    /// Unsigned remainder (by zero yields the dividend).
+    URem,
+}
+
+impl BinOp {
+    /// Evaluates the operation on concrete values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::UDiv => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::URem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Unsigned comparison operations; results are 0 or 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on concrete values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Ult => a < b,
+            CmpOp::Ule => a <= b,
+            CmpOp::Ugt => a > b,
+            CmpOp::Uge => a >= b,
+        }
+    }
+
+    /// The comparison with operands swapped having the same truth value.
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Ult => CmpOp::Ugt,
+            CmpOp::Ule => CmpOp::Uge,
+            CmpOp::Ugt => CmpOp::Ult,
+            CmpOp::Uge => CmpOp::Ule,
+        }
+    }
+
+    /// The negated comparison.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Ult => CmpOp::Uge,
+            CmpOp::Ule => CmpOp::Ugt,
+            CmpOp::Ugt => CmpOp::Ule,
+            CmpOp::Uge => CmpOp::Ult,
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op(a, b)`.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a op b) ? 1 : 0`.
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Comparison.
+        op: CmpOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = cond != 0 ? then_v : else_v`.
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition operand.
+        cond: Operand,
+        /// Value when the condition is non-zero.
+        then_v: Operand,
+        /// Value when the condition is zero.
+        else_v: Operand,
+    },
+    /// `dst = *(width*)addr` (zero-extended).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address operand.
+        addr: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// `*(width*)addr = value` (truncated).
+    Store {
+        /// Address operand.
+        addr: Operand,
+        /// Value operand.
+        value: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// `dst = field(current packet)`.
+    PacketField {
+        /// Destination register.
+        dst: Reg,
+        /// Which header field to read.
+        field: PacketField,
+    },
+    /// `dst = hashfunc(args…)` — the havoc point for the analysis.
+    Hash {
+        /// Destination register.
+        dst: Reg,
+        /// Which hash function.
+        func: HashFunc,
+        /// Hash inputs (the key components).
+        args: Vec<Operand>,
+    },
+    /// Call an IR function; arguments are copied into the callee's
+    /// registers `0..args.len()`.
+    Call {
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Call a native helper (executed concretely even under analysis).
+    Native {
+        /// Register receiving the return value, if any.
+        dst: Option<Reg>,
+        /// Helper identifier.
+        func: NativeId,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+impl Inst {
+    /// Returns true for instructions that access data memory directly.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the current function.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(BinOp::Mul.eval(3, 5), 15);
+        assert_eq!(BinOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.eval(1, 8), 256);
+        assert_eq!(BinOp::Shr.eval(256, 8), 1);
+        assert_eq!(BinOp::Shl.eval(1, 64), 1, "shift amount wraps mod 64");
+        assert_eq!(BinOp::UDiv.eval(10, 3), 3);
+        assert_eq!(BinOp::UDiv.eval(10, 0), 0);
+        assert_eq!(BinOp::URem.eval(10, 3), 1);
+        assert_eq!(BinOp::URem.eval(10, 0), 10);
+    }
+
+    #[test]
+    fn cmpop_semantics() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Ult.eval(3, 4));
+        assert!(CmpOp::Ule.eval(4, 4));
+        assert!(CmpOp::Ugt.eval(5, 4));
+        assert!(CmpOp::Uge.eval(4, 4));
+    }
+
+    #[test]
+    fn cmpop_negation_and_swap() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Ult, CmpOp::Ule, CmpOp::Ugt, CmpOp::Uge] {
+            for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+                assert_eq!(op.eval(a, b), op.swapped().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W1.mask(), 0xff);
+        assert_eq!(Width::W2.bytes(), 2);
+        assert_eq!(Width::W4.mask(), 0xffff_ffff);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r: Operand = 5u32.into();
+        let i: Operand = 7u64.into();
+        assert_eq!(r, Operand::Reg(5));
+        assert_eq!(i, Operand::Imm(7));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(3).successors(), vec![3]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: Operand::Imm(1),
+                then_bb: 1,
+                else_bb: 2
+            }
+            .successors(),
+            vec![1, 2]
+        );
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn memory_instruction_classification() {
+        assert!(Inst::Load {
+            dst: 0,
+            addr: Operand::Imm(0),
+            width: Width::W8
+        }
+        .is_memory());
+        assert!(!Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(0)
+        }
+        .is_memory());
+    }
+}

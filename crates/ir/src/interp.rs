@@ -1,0 +1,426 @@
+//! Concrete interpreter.
+//!
+//! Executes one packet through an NF program against a [`DataMemory`],
+//! reporting every retired instruction and every memory access to an
+//! [`ExecSink`]. The testbed simulator plugs its CPU/cache cost model into
+//! that sink; tests usually use `CountingSink` or `NullSink`.
+
+use castan_packet::Packet;
+
+use crate::cost::{CostClass, ExecSink};
+use crate::inst::{FuncId, Inst, Operand, Terminator};
+use crate::memory::DataMemory;
+use crate::native::NativeRegistry;
+use crate::program::Program;
+
+/// Execution limits guarding against runaway loops (a malformed NF, not an
+/// expected condition).
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Maximum number of executed instructions (including terminators).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: u32,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_steps: 5_000_000,
+            max_call_depth: 64,
+        }
+    }
+}
+
+/// Errors during concrete execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step limit was exceeded.
+    StepLimit,
+    /// The call-depth limit was exceeded.
+    CallDepth,
+    /// A `Native` instruction referenced an unregistered helper.
+    UnknownNative(u32),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepLimit => f.write_str("execution exceeded the step limit"),
+            ExecError::CallDepth => f.write_str("execution exceeded the call-depth limit"),
+            ExecError::UnknownNative(id) => write!(f, "unregistered native helper {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of executing one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Value returned by the entry function (the NF's verdict: typically an
+    /// output port number, or a drop sentinel).
+    pub return_value: Option<u64>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// The interpreter. Cheap to construct; borrows the program and the native
+/// registry.
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    natives: &'a NativeRegistry,
+    limits: RunLimits,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter over a validated program.
+    pub fn new(program: &'a Program, natives: &'a NativeRegistry) -> Self {
+        Interpreter {
+            program,
+            natives,
+            limits: RunLimits::default(),
+        }
+    }
+
+    /// Overrides the execution limits.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Executes the program's entry function for one packet.
+    pub fn run_packet(
+        &self,
+        mem: &mut DataMemory,
+        packet: &Packet,
+        sink: &mut dyn ExecSink,
+    ) -> Result<ExecResult, ExecError> {
+        let mut steps = 0u64;
+        let ret = self.exec_function(self.program.entry, &[], mem, packet, sink, &mut steps, 0)?;
+        Ok(ExecResult {
+            return_value: ret,
+            steps,
+        })
+    }
+
+    fn exec_function(
+        &self,
+        func_id: FuncId,
+        args: &[u64],
+        mem: &mut DataMemory,
+        packet: &Packet,
+        sink: &mut dyn ExecSink,
+        steps: &mut u64,
+        depth: u32,
+    ) -> Result<Option<u64>, ExecError> {
+        if depth >= self.limits.max_call_depth {
+            return Err(ExecError::CallDepth);
+        }
+        let func = &self.program.functions[func_id as usize];
+        let mut regs = vec![0u64; func.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+
+        let mut block = func.entry;
+        loop {
+            let blk = &func.blocks[block as usize];
+            for inst in &blk.insts {
+                *steps += 1;
+                if *steps > self.limits.max_steps {
+                    return Err(ExecError::StepLimit);
+                }
+                self.exec_inst(inst, &mut regs, mem, packet, sink, steps, depth)?;
+            }
+            // Terminator.
+            *steps += 1;
+            if *steps > self.limits.max_steps {
+                return Err(ExecError::StepLimit);
+            }
+            match &blk.term {
+                Terminator::Jump(target) => {
+                    sink.retire(CostClass::Jump);
+                    block = *target;
+                }
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    sink.retire(CostClass::Branch);
+                    block = if eval(cond, &regs) != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
+                }
+                Terminator::Return(v) => {
+                    sink.retire(CostClass::Return);
+                    return Ok(v.as_ref().map(|op| eval(op, &regs)));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inst(
+        &self,
+        inst: &Inst,
+        regs: &mut [u64],
+        mem: &mut DataMemory,
+        packet: &Packet,
+        sink: &mut dyn ExecSink,
+        steps: &mut u64,
+        depth: u32,
+    ) -> Result<(), ExecError> {
+        match inst {
+            Inst::Mov { dst, src } => {
+                sink.retire(CostClass::Mov);
+                regs[*dst as usize] = eval(src, regs);
+            }
+            Inst::Bin { dst, op, a, b } => {
+                sink.retire(CostClass::Alu);
+                regs[*dst as usize] = op.eval(eval(a, regs), eval(b, regs));
+            }
+            Inst::Cmp { dst, op, a, b } => {
+                sink.retire(CostClass::Cmp);
+                regs[*dst as usize] = u64::from(op.eval(eval(a, regs), eval(b, regs)));
+            }
+            Inst::Select {
+                dst,
+                cond,
+                then_v,
+                else_v,
+            } => {
+                sink.retire(CostClass::Select);
+                regs[*dst as usize] = if eval(cond, regs) != 0 {
+                    eval(then_v, regs)
+                } else {
+                    eval(else_v, regs)
+                };
+            }
+            Inst::Load { dst, addr, width } => {
+                sink.retire(CostClass::Load);
+                let a = eval(addr, regs);
+                sink.mem_access(a, width.bytes(), false);
+                regs[*dst as usize] = mem.read(a, width.bytes());
+            }
+            Inst::Store { addr, value, width } => {
+                sink.retire(CostClass::Store);
+                let a = eval(addr, regs);
+                sink.mem_access(a, width.bytes(), true);
+                mem.write(a, eval(value, regs), width.bytes());
+            }
+            Inst::PacketField { dst, field } => {
+                sink.retire(CostClass::PacketRead);
+                regs[*dst as usize] = packet.field(*field);
+            }
+            Inst::Hash { dst, func, args } => {
+                sink.retire(CostClass::Hash);
+                let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
+                regs[*dst as usize] = func.apply(&vals);
+            }
+            Inst::Call { dst, func, args } => {
+                sink.retire(CostClass::Call);
+                let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
+                let ret =
+                    self.exec_function(*func, &vals, mem, packet, sink, steps, depth + 1)?;
+                if let (Some(d), Some(v)) = (dst, ret) {
+                    regs[*d as usize] = v;
+                }
+            }
+            Inst::Native { dst, func, args } => {
+                sink.retire(CostClass::Native);
+                let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
+                let helper = self
+                    .natives
+                    .get(*func)
+                    .ok_or(ExecError::UnknownNative(func.0))?;
+                let ret = helper.call(mem, &vals, sink);
+                if let Some(d) = dst {
+                    regs[*d as usize] = ret;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval(op: &Operand, regs: &[u64]) -> u64 {
+    match op {
+        Operand::Reg(r) => regs[*r as usize],
+        Operand::Imm(v) => *v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::cost::CountingSink;
+    use crate::inst::Width;
+    use castan_packet::{PacketBuilder, PacketField};
+
+    fn run(program: &Program, mem: &mut DataMemory) -> (ExecResult, CountingSink) {
+        let natives = NativeRegistry::new();
+        let interp = Interpreter::new(program, &natives);
+        let packet = PacketBuilder::new().src_port(7777).build();
+        let mut sink = CountingSink::default();
+        let res = interp.run_packet(mem, &packet, &mut sink).unwrap();
+        (res, sink)
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.mov(40u64);
+        let y = f.add(x, 2u64);
+        f.store(0x1000u64, y, Width::W8);
+        let z = f.load(0x1000u64, Width::W8);
+        f.ret(z);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+
+        let mut mem = DataMemory::new();
+        let (res, sink) = run(&program, &mut mem);
+        assert_eq!(res.return_value, Some(42));
+        assert_eq!(mem.read(0x1000, 8), 42);
+        assert_eq!(sink.loads, 1);
+        assert_eq!(sink.stores, 1);
+        assert_eq!(res.steps, 5); // 4 instructions + return terminator
+    }
+
+    #[test]
+    fn packet_field_and_hash() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let sport = f.packet_field(PacketField::SrcPort);
+        let h = f.hash(crate::HashFunc::Flow16, vec![sport.into()]);
+        f.ret(h);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+
+        let (res, _) = run(&program, &mut DataMemory::new());
+        assert_eq!(
+            res.return_value,
+            Some(crate::HashFunc::Flow16.apply(&[7777]))
+        );
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        // sum = 0; i = 10; while (i != 0) { sum += i; i -= 1; } return sum;
+        let mut f = FunctionBuilder::new("main", 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        // Use memory cells as mutable variables (no phis in this IR).
+        f.store(0x10u64, 10u64, Width::W8); // i
+        f.store(0x18u64, 0u64, Width::W8); // sum
+        f.jump(head);
+
+        f.switch_to(head);
+        let i = f.load(0x10u64, Width::W8);
+        let c = f.ne(i, 0u64);
+        f.branch(c, body, done);
+
+        f.switch_to(body);
+        let i2 = f.load(0x10u64, Width::W8);
+        let s = f.load(0x18u64, Width::W8);
+        let s2 = f.add(s, i2);
+        f.store(0x18u64, s2, Width::W8);
+        let i3 = f.sub(i2, 1u64);
+        f.store(0x10u64, i3, Width::W8);
+        f.jump(head);
+
+        f.switch_to(done);
+        let s = f.load(0x18u64, Width::W8);
+        f.ret(s);
+
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let (res, sink) = run(&program, &mut DataMemory::new());
+        assert_eq!(res.return_value, Some(55));
+        assert!(sink.instructions > 60);
+    }
+
+    #[test]
+    fn function_calls_pass_arguments() {
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double", 1);
+        let main = pb.declare("main", 0);
+
+        let mut db = FunctionBuilder::new("double", 1);
+        let out = db.add(db.param(0), db.param(0));
+        db.ret(out);
+        pb.define(double, db);
+
+        let mut mb = FunctionBuilder::new("main", 0);
+        let a = mb.call(double, vec![Operand::Imm(21)]);
+        let b = mb.call(double, vec![a.into()]);
+        mb.ret(b);
+        pb.define(main, mb);
+
+        let program = pb.finish(main);
+        let (res, _) = run(&program, &mut DataMemory::new());
+        assert_eq!(res.return_value, Some(84));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let spin = f.new_block();
+        f.jump(spin);
+        f.switch_to(spin);
+        f.jump(spin);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+
+        let natives = NativeRegistry::new();
+        let interp = Interpreter::new(&program, &natives).with_limits(RunLimits {
+            max_steps: 1000,
+            max_call_depth: 8,
+        });
+        let packet = PacketBuilder::new().build();
+        let err = interp
+            .run_packet(&mut DataMemory::new(), &packet, &mut crate::NullSink)
+            .unwrap_err();
+        assert_eq!(err, ExecError::StepLimit);
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn unknown_native_is_an_error() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let v = f.native(crate::NativeId(99), vec![]);
+        f.ret(v);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let natives = NativeRegistry::new();
+        let interp = Interpreter::new(&program, &natives);
+        let packet = PacketBuilder::new().build();
+        let err = interp
+            .run_packet(&mut DataMemory::new(), &packet, &mut crate::NullSink)
+            .unwrap_err();
+        assert_eq!(err, ExecError::UnknownNative(99));
+    }
+
+    #[test]
+    fn select_behaviour() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let c = f.eq(3u64, 3u64);
+        let v = f.select(c, 111u64, 222u64);
+        let c2 = f.eq(3u64, 4u64);
+        let w = f.select(c2, 333u64, 444u64);
+        let out = f.add(v, w);
+        f.ret(out);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let (res, _) = run(&program, &mut DataMemory::new());
+        assert_eq!(res.return_value, Some(111 + 444));
+    }
+}

@@ -1,0 +1,190 @@
+//! The NF's flat data memory.
+//!
+//! A sparse, page-granular byte store holding every data structure an NF
+//! keeps (route tables, hash buckets, node pools, allocation cursors). The
+//! testbed interpreter reads and writes it directly; the symbolic engine in
+//! `castan-core` layers copy-on-write symbolic overlays on top of a shared,
+//! immutable snapshot of it.
+//!
+//! Addresses are plain `u64` virtual addresses; timing is *not* modelled
+//! here (that is `castan-mem`'s job) — this is purely functional state.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable memory.
+#[derive(Clone, Debug, Default)]
+pub struct DataMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl DataMemory {
+    /// Creates an empty memory (all bytes read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages materialised so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `len ≤ 8` bytes at `addr` as a little-endian integer.
+    pub fn read(&self, addr: u64, len: u64) -> u64 {
+        debug_assert!(len >= 1 && len <= 8);
+        let mut out = 0u64;
+        for i in 0..len {
+            out |= u64::from(self.read_byte(addr + i)) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `len ≤ 8` bytes of `value` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u64, value: u64, len: u64) {
+        debug_assert!(len >= 1 && len <= 8);
+        for i in 0..len {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads one byte (zero if never written).
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, value: u8) {
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let page = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[off] = value;
+    }
+
+    /// Writes `count` consecutive values of `width` bytes starting at
+    /// `addr`, all equal to `value`.
+    ///
+    /// Used by NF initialisation to populate large lookup arrays (e.g. the
+    /// direct-lookup LPM covers a /8 route with 2^19 identical entries);
+    /// writing page-by-page keeps initialisation linear in the touched
+    /// bytes rather than in hash-map probes.
+    pub fn fill(&mut self, addr: u64, value: u64, width: u64, count: u64) {
+        debug_assert!(width >= 1 && width <= 8);
+        let bytes: Vec<u8> = (0..width).map(|i| (value >> (8 * i)) as u8).collect();
+        let total = width * count;
+        let mut off = 0u64;
+        while off < total {
+            let a = addr + off;
+            let page = a >> PAGE_SHIFT;
+            let page_off = (a as usize) & (PAGE_SIZE - 1);
+            let page_buf = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let in_page = (PAGE_SIZE - page_off).min((total - off) as usize);
+            for i in 0..in_page {
+                page_buf[page_off + i] = bytes[(off as usize + i) % width as usize];
+            }
+            off += in_page as u64;
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = DataMemory::new();
+        assert_eq!(m.read(0x1234, 8), 0);
+        assert_eq!(m.read_byte(u64::MAX - 7), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = DataMemory::new();
+        m.write(0x1000, 0x1122_3344_5566_7788, 8);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_byte(0x1000), 0x88);
+        assert_eq!(m.read_byte(0x1007), 0x11);
+        assert_eq!(m.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read(0x1004, 4), 0x1122_3344);
+    }
+
+    #[test]
+    fn narrow_write_truncates() {
+        let mut m = DataMemory::new();
+        m.write(0x10, 0xdead_beef_cafe, 2);
+        assert_eq!(m.read(0x10, 8), 0xcafe);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = DataMemory::new();
+        let addr = (1 << 12) - 4; // straddles two 4 KiB pages
+        m.write(addr, 0x0102_0304_0506_0708, 8);
+        assert_eq!(m.read(addr, 8), 0x0102_0304_0506_0708);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn byte_slice_roundtrip() {
+        let mut m = DataMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x9000, &data);
+        assert_eq!(m.read_bytes(0x9000, 256), data);
+    }
+
+    #[test]
+    fn fill_writes_repeated_entries() {
+        let mut m = DataMemory::new();
+        // 3000 4-byte entries spanning several pages.
+        m.fill(0x0FFA, 0xdead_beef, 4, 3000);
+        assert_eq!(m.read(0x0FFA, 4), 0xdead_beef);
+        assert_eq!(m.read(0x0FFA + 4 * 1500, 4), 0xdead_beef);
+        assert_eq!(m.read(0x0FFA + 4 * 2999, 4), 0xdead_beef);
+        assert_eq!(m.read(0x0FFA + 4 * 3000, 4), 0, "past the fill is untouched");
+        assert_eq!(m.read(0x0FF8, 4), 0xbeef_0000, "partial overlap before start");
+    }
+
+    #[test]
+    fn fill_matches_individual_writes() {
+        let mut a = DataMemory::new();
+        let mut b = DataMemory::new();
+        a.fill(0x2001, 0x1122_3344_5566_7788, 8, 700);
+        for i in 0..700u64 {
+            b.write(0x2001 + i * 8, 0x1122_3344_5566_7788, 8);
+        }
+        assert_eq!(a.read_bytes(0x2000, 700 * 8 + 16), b.read_bytes(0x2000, 700 * 8 + 16));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = DataMemory::new();
+        a.write(0x40, 7, 8);
+        let mut b = a.clone();
+        b.write(0x40, 9, 8);
+        assert_eq!(a.read(0x40, 8), 7);
+        assert_eq!(b.read(0x40, 8), 9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Native helpers: operations executed concretely even under analysis.
+//!
+//! KLEE treats calls into unanalyzed libraries as external functions that
+//! run concretely on concretized arguments; this workspace uses the same
+//! escape hatch for the one data-structure operation that is impractical to
+//! express in the IR (red-black tree rebalancing, see `castan-nf`). A native
+//! helper operates on the NF's data memory through the [`MemAccess`] trait,
+//! so the concrete interpreter hands it the real [`DataMemory`] while the
+//! symbolic engine hands it a concretizing view of its copy-on-write state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cost::ExecSink;
+use crate::memory::DataMemory;
+
+/// Identifier of a native helper. The helper numbering is owned by the NF
+/// library (`castan-nf`); this crate only routes calls.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NativeId(pub u32);
+
+/// Byte-addressed memory as seen by a native helper.
+pub trait MemAccess {
+    /// Reads `len ≤ 8` bytes at `addr` as a little-endian integer.
+    fn read(&mut self, addr: u64, len: u64) -> u64;
+    /// Writes the low `len ≤ 8` bytes of `value` at `addr`.
+    fn write(&mut self, addr: u64, value: u64, len: u64);
+}
+
+impl MemAccess for DataMemory {
+    fn read(&mut self, addr: u64, len: u64) -> u64 {
+        DataMemory::read(self, addr, len)
+    }
+
+    fn write(&mut self, addr: u64, value: u64, len: u64) {
+        DataMemory::write(self, addr, value, len)
+    }
+}
+
+/// A native helper implementation.
+///
+/// Helpers must be stateless (all state lives in memory) so that a single
+/// registry can be shared between the concrete interpreter, the testbed and
+/// the symbolic engine.
+pub trait NativeHelper: Send + Sync {
+    /// Runs the helper. Memory traffic it generates should be reported both
+    /// to `mem` (functionally) and to `sink` (for cost accounting).
+    fn call(&self, mem: &mut dyn MemAccess, args: &[u64], sink: &mut dyn ExecSink) -> u64;
+
+    /// A fixed, pessimistic cycle estimate used by the analysis when the
+    /// helper is *not* executed (e.g. while estimating potential cost).
+    fn estimated_cycles(&self) -> u64 {
+        50
+    }
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// Registry mapping [`NativeId`]s to helper implementations.
+#[derive(Clone, Default)]
+pub struct NativeRegistry {
+    helpers: HashMap<NativeId, Arc<dyn NativeHelper>>,
+}
+
+impl std::fmt::Debug for NativeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<_> = self.helpers.iter().map(|(id, h)| (id.0, h.name())).collect();
+        names.sort_unstable();
+        f.debug_struct("NativeRegistry").field("helpers", &names).finish()
+    }
+}
+
+impl NativeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a helper.
+    pub fn register(&mut self, id: NativeId, helper: Arc<dyn NativeHelper>) {
+        self.helpers.insert(id, helper);
+    }
+
+    /// Looks up a helper.
+    pub fn get(&self, id: NativeId) -> Option<&Arc<dyn NativeHelper>> {
+        self.helpers.get(&id)
+    }
+
+    /// Number of registered helpers.
+    pub fn len(&self) -> usize {
+        self.helpers.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.helpers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostClass, CountingSink};
+
+    struct AddStore;
+
+    impl NativeHelper for AddStore {
+        fn call(&self, mem: &mut dyn MemAccess, args: &[u64], sink: &mut dyn ExecSink) -> u64 {
+            let sum = args.iter().copied().fold(0u64, u64::wrapping_add);
+            mem.write(0x100, sum, 8);
+            sink.retire(CostClass::Alu);
+            sink.mem_access(0x100, 8, true);
+            sum
+        }
+
+        fn name(&self) -> &'static str {
+            "add_store"
+        }
+    }
+
+    #[test]
+    fn registry_dispatch() {
+        let mut reg = NativeRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(NativeId(7), Arc::new(AddStore));
+        assert_eq!(reg.len(), 1);
+
+        let mut mem = DataMemory::new();
+        let mut sink = CountingSink::default();
+        let ret = reg
+            .get(NativeId(7))
+            .unwrap()
+            .call(&mut mem, &[1, 2, 3], &mut sink);
+        assert_eq!(ret, 6);
+        assert_eq!(mem.read(0x100, 8), 6);
+        assert_eq!(sink.stores, 1);
+        assert_eq!(sink.instructions, 1);
+        assert!(reg.get(NativeId(8)).is_none());
+        assert!(format!("{reg:?}").contains("add_store"));
+    }
+
+    #[test]
+    fn default_estimate_is_nonzero() {
+        assert!(AddStore.estimated_cycles() > 0);
+    }
+
+    #[test]
+    fn data_memory_implements_memaccess() {
+        let mut mem = DataMemory::new();
+        MemAccess::write(&mut mem, 0x2000, 0xabcd, 2);
+        assert_eq!(MemAccess::read(&mut mem, 0x2000, 2), 0xabcd);
+    }
+}

@@ -1,0 +1,243 @@
+//! A set-associative cache level with true-LRU replacement.
+//!
+//! Used for L1d, L2, and each L3 slice. The model tracks only cache-line
+//! *presence* (tags), not data — data contents live in the IR interpreter's
+//! memory; this crate only answers "hit or miss, and at what cost".
+
+use crate::LINE_SIZE;
+
+/// One set-associative cache array.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    ways: usize,
+    set_mask: u64,
+    set_bits: u32,
+    /// `sets × ways` tags; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU ordering per set: `lru[set * ways + i]` is the way index of the
+    /// i-th most recently used way.
+    lru: Vec<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Result of a lookup-and-fill operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillResult {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// The line evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets (must be a power of two) and `ways`
+    /// ways per set.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        let ways = ways as usize;
+        SetAssocCache {
+            ways,
+            set_mask: sets - 1,
+            set_bits: sets.trailing_zeros(),
+            tags: vec![u64::MAX; sets as usize * ways],
+            lru: (0..sets as usize)
+                .flat_map(|_| (0..ways as u32).collect::<Vec<_>>())
+                .collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.set_mask + 1
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways as u32
+    }
+
+    /// Set index of a line address.
+    pub fn set_of_line(&self, line_addr: u64) -> u64 {
+        (line_addr / LINE_SIZE) & self.set_mask
+    }
+
+    /// Tag stored for a line address.
+    fn tag_of_line(&self, line_addr: u64) -> u64 {
+        (line_addr / LINE_SIZE) >> self.set_bits
+    }
+
+    /// Returns true if the line is currently cached (does not touch LRU).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_of_line(line_addr) as usize;
+        let tag = self.tag_of_line(line_addr);
+        self.tags[set * self.ways..(set + 1) * self.ways].contains(&tag)
+    }
+
+    /// Looks up `line_addr`, filling it on a miss; returns hit/miss and any
+    /// evicted line address.
+    pub fn access(&mut self, line_addr: u64) -> FillResult {
+        let set = self.set_of_line(line_addr) as usize;
+        let tag = self.tag_of_line(line_addr);
+        let base = set * self.ways;
+        let tags = &mut self.tags[base..base + self.ways];
+        let lru = &mut self.lru[base..base + self.ways];
+
+        if let Some(way) = tags.iter().position(|&t| t == tag) {
+            self.hits += 1;
+            promote(lru, way as u32);
+            return FillResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+        // Victim is the least recently used way (last in the LRU order);
+        // prefer an empty way if one exists.
+        let victim_way = tags
+            .iter()
+            .position(|&t| t == u64::MAX)
+            .unwrap_or_else(|| lru[self.ways - 1] as usize);
+        let evicted_tag = tags[victim_way];
+        tags[victim_way] = tag;
+        promote(lru, victim_way as u32);
+        let evicted = if evicted_tag == u64::MAX {
+            None
+        } else {
+            Some(((evicted_tag << self.set_bits) | set as u64) * LINE_SIZE)
+        };
+        FillResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Invalidates a line if present (used when an inclusive outer level
+    /// evicts it).
+    pub fn invalidate(&mut self, line_addr: u64) {
+        let set = self.set_of_line(line_addr) as usize;
+        let tag = self.tag_of_line(line_addr);
+        let base = set * self.ways;
+        for t in &mut self.tags[base..base + self.ways] {
+            if *t == tag {
+                *t = u64::MAX;
+            }
+        }
+    }
+
+    /// Empties the cache and resets statistics.
+    pub fn clear(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// (hits, misses) since the last clear.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// All resident line addresses (for inspection in tests and the
+    /// analysis-time cache model).
+    pub fn resident_lines(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in 0..=self.set_mask {
+            let base = set as usize * self.ways;
+            for &tag in &self.tags[base..base + self.ways] {
+                if tag != u64::MAX {
+                    out.push(((tag << self.set_bits) | set) * LINE_SIZE);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Moves `way` to the front of the per-set LRU order.
+fn promote(lru: &mut [u32], way: u32) {
+    if let Some(pos) = lru.iter().position(|&w| w == way) {
+        lru[..=pos].rotate_right(1);
+        lru[0] = way;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(4, 2);
+        let a = 0x1000;
+        assert!(!c.access(a).hit);
+        assert!(c.access(a).hit);
+        assert!(c.contains(a));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set, 2 ways: lines 0, 256, 512 all map to set 0 (set index uses
+        // line-address bits, 4 sets would split them; use sets=1).
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(0);
+        c.access(64);
+        // Touch 0 again so 64 becomes LRU.
+        c.access(0);
+        let r = c.access(128);
+        assert_eq!(r.evicted, Some(64));
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn associativity_plus_one_evicts() {
+        let mut c = SetAssocCache::new(2, 4);
+        // All these lines map to set 0 (line index even).
+        let lines: Vec<u64> = (0..5).map(|i| i * 2 * LINE_SIZE).collect();
+        for &l in &lines[..4] {
+            assert!(c.access(l).evicted.is_none());
+        }
+        let r = c.access(lines[4]);
+        assert!(!r.hit);
+        assert_eq!(r.evicted, Some(lines[0]), "LRU victim is the first line");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.access(0x40);
+        assert!(c.contains(0x40));
+        c.invalidate(0x40);
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn resident_lines_roundtrip() {
+        let mut c = SetAssocCache::new(8, 2);
+        // Six lines in six distinct sets: nothing evicts.
+        let lines = [0u64, 64, 128, 192, 256, 320];
+        for &l in &lines {
+            c.access(l);
+        }
+        let mut resident = c.resident_lines();
+        resident.sort_unstable();
+        assert_eq!(resident, lines);
+        c.clear();
+        assert!(c.resident_lines().is_empty());
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0); // set 0
+        c.access(64); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(64));
+    }
+}

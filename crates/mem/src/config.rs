@@ -1,0 +1,204 @@
+//! Cache geometry and latency configuration.
+//!
+//! The defaults reproduce the Intel Xeon E5-2667v2 used in the paper's
+//! testbed (§5.1): 32 KiB 8-way L1d per core, 256 KiB 8-way L2, 25.6 MB
+//! 20-way L3 shared across 8 slices, 3.3 GHz, 1 GiB pages.
+
+use crate::LINE_SIZE;
+
+/// Geometry of a single cache level (or of one L3 slice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (number of ways per set).
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the capacity, associativity and the global
+    /// 64-byte line size.
+    pub fn sets(&self) -> u64 {
+        self.capacity / (u64::from(self.ways) * LINE_SIZE)
+    }
+
+    /// Number of bits used to index a set.
+    pub fn set_index_bits(&self) -> u32 {
+        let sets = self.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets.trailing_zeros()
+    }
+}
+
+/// Access latencies in CPU cycles for each level of the hierarchy.
+///
+/// The values are representative Ivy Bridge-EP figures; the paper's analysis
+/// likewise uses "a fixed per-memory-level cost" (§3.3) rather than an exact
+/// pipeline model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latencies {
+    /// L1d hit latency.
+    pub l1: u64,
+    /// L2 hit latency.
+    pub l2: u64,
+    /// L3 hit latency.
+    pub l3: u64,
+    /// DRAM access latency (an L3 miss).
+    pub dram: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            l1: 4,
+            l2: 12,
+            l3: 44,
+            dram: 200,
+        }
+    }
+}
+
+/// Full configuration of the simulated memory hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry (per core; the NFs are single-threaded).
+    pub l1d: CacheGeometry,
+    /// L2 geometry.
+    pub l2: CacheGeometry,
+    /// Total L3 geometry (across all slices).
+    pub l3_total: CacheGeometry,
+    /// Number of L3 slices (one per core on the Xeon E5-2667v2).
+    pub l3_slices: u32,
+    /// Latency parameters.
+    pub latencies: Latencies,
+    /// Seed for the hidden L3 slice-selection hash.
+    pub slice_hash_seed: u64,
+    /// Page size for virtual-to-physical translation; the paper uses 1 GiB
+    /// pages so bits 0–29 are identical between virtual and physical
+    /// addresses.
+    pub page_bits: u32,
+    /// Core clock frequency in Hz (3.3 GHz on the testbed).
+    pub clock_hz: u64,
+}
+
+impl HierarchyConfig {
+    /// The Intel Xeon E5-2667v2 profile used in the paper's evaluation.
+    pub fn xeon_e5_2667v2() -> Self {
+        HierarchyConfig {
+            l1d: CacheGeometry {
+                capacity: 32 * 1024,
+                ways: 8,
+            },
+            l2: CacheGeometry {
+                capacity: 256 * 1024,
+                ways: 8,
+            },
+            // 25.6 MB total L3: modelled as 8 slices of 2560 KiB, 20-way.
+            // 25600 KiB does not divide into power-of-two sets, so we round
+            // the per-slice set count down to the nearest power of two
+            // (2048 sets/slice ⇒ 20.97 MiB effective), which preserves the
+            // property that matters: the data structures under attack far
+            // exceed the L3.
+            l3_total: CacheGeometry {
+                capacity: 8 * 2048 * 20 * LINE_SIZE,
+                ways: 20,
+            },
+            l3_slices: 8,
+            latencies: Latencies::default(),
+            slice_hash_seed: 0x5eed_ca57_a11e_57ed,
+            page_bits: 30,
+            clock_hz: 3_300_000_000,
+        }
+    }
+
+    /// A deliberately tiny hierarchy for unit tests and property tests where
+    /// evictions must be easy to trigger.
+    pub fn tiny_for_tests() -> Self {
+        HierarchyConfig {
+            l1d: CacheGeometry {
+                capacity: 4 * LINE_SIZE * 2, // 2 sets, 4 ways
+                ways: 4,
+            },
+            l2: CacheGeometry {
+                capacity: 4 * LINE_SIZE * 4, // 4 sets, 4 ways
+                ways: 4,
+            },
+            l3_total: CacheGeometry {
+                capacity: 4 * LINE_SIZE * 8 * 2, // 2 slices, 4 sets, 8 ways
+                ways: 8,
+            },
+            l3_slices: 2,
+            latencies: Latencies::default(),
+            slice_hash_seed: 42,
+            page_bits: 20,
+            clock_hz: 3_300_000_000,
+        }
+    }
+
+    /// Geometry of a single L3 slice.
+    pub fn l3_slice_geometry(&self) -> CacheGeometry {
+        CacheGeometry {
+            capacity: self.l3_total.capacity / u64::from(self.l3_slices),
+            ways: self.l3_total.ways,
+        }
+    }
+
+    /// Total L3 associativity as seen by the contention-set definition
+    /// (addresses mapping to the same slice and set).
+    pub fn l3_associativity(&self) -> u32 {
+        self.l3_total.ways
+    }
+
+    /// Converts cycles to nanoseconds at the configured clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e9 / self.clock_hz as f64
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::xeon_e5_2667v2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_geometry_is_sane() {
+        let c = HierarchyConfig::xeon_e5_2667v2();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l1d.set_index_bits(), 6);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l3_slice_geometry().sets(), 2048);
+        assert_eq!(c.l3_associativity(), 20);
+        // Effective L3 is close to (and not larger than) the nominal 25.6 MB.
+        assert!(c.l3_total.capacity <= 25_600 * 1024);
+        assert!(c.l3_total.capacity >= 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tiny_geometry_is_sane() {
+        let c = HierarchyConfig::tiny_for_tests();
+        assert_eq!(c.l1d.sets(), 2);
+        assert_eq!(c.l3_slice_geometry().sets(), 4);
+    }
+
+    #[test]
+    fn cycles_to_ns_at_3_3ghz() {
+        let c = HierarchyConfig::xeon_e5_2667v2();
+        let ns = c.cycles_to_ns(3_300);
+        assert!((ns - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        let g = CacheGeometry {
+            capacity: 3 * LINE_SIZE,
+            ways: 1,
+        };
+        let _ = g.set_index_bits();
+    }
+}

@@ -1,0 +1,140 @@
+//! Virtual-to-physical translation with huge pages.
+//!
+//! The paper's testbed backs NF data structures with 1 GiB pages, so bits
+//! 0–29 of an address are identical between the virtual and physical views,
+//! while the upper bits are remapped by the OS. The L3 slice hash operates
+//! on *physical* addresses, which is exactly why per-process contention sets
+//! differ and why the paper filters for sets that are consistent across
+//! reboots (§3.2). [`PageTable`] models that remapping; constructing a new
+//! table with a different seed models a reboot.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A deterministic virtual-to-physical page mapping.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    page_bits: u32,
+    /// Physical page frame assigned to each virtual page, filled lazily but
+    /// deterministically from the permutation below.
+    mapping: HashMap<u64, u64>,
+    /// Pre-shuffled pool of physical frames to hand out.
+    frame_pool: Vec<u64>,
+    next_frame: usize,
+}
+
+impl PageTable {
+    /// Creates a page table with `page_bits` offset bits (30 ⇒ 1 GiB pages).
+    ///
+    /// `seed` determines which physical frames get assigned; two tables with
+    /// the same seed translate identically (same "boot"), different seeds
+    /// model different boots.
+    pub fn new(page_bits: u32, seed: u64) -> Self {
+        assert!((12..=34).contains(&page_bits), "unreasonable page size");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A pool of 4096 physical frames is plenty for the handful of
+        // virtual pages the NFs map, while still exercising high physical
+        // address bits (up to ~42 bits with 1 GiB pages).
+        let mut frame_pool: Vec<u64> = (1..=4096u64).collect();
+        frame_pool.shuffle(&mut rng);
+        PageTable {
+            page_bits,
+            mapping: HashMap::new(),
+            frame_pool,
+            next_frame: 0,
+        }
+    }
+
+    /// Number of page-offset bits.
+    pub fn page_bits(&self) -> u32 {
+        self.page_bits
+    }
+
+    /// Translates a virtual address to a physical address, allocating a
+    /// frame for the page on first touch.
+    pub fn translate(&mut self, vaddr: u64) -> u64 {
+        let page = vaddr >> self.page_bits;
+        let offset = vaddr & ((1u64 << self.page_bits) - 1);
+        let next = if self.mapping.contains_key(&page) {
+            self.mapping[&page]
+        } else {
+            let frame = self.frame_pool[self.next_frame % self.frame_pool.len()];
+            self.next_frame += 1;
+            self.mapping.insert(page, frame);
+            frame
+        };
+        (next << self.page_bits) | offset
+    }
+
+    /// Translates without allocating; returns `None` for unmapped pages.
+    pub fn translate_existing(&self, vaddr: u64) -> Option<u64> {
+        let page = vaddr >> self.page_bits;
+        let offset = vaddr & ((1u64 << self.page_bits) - 1);
+        self.mapping
+            .get(&page)
+            .map(|frame| (frame << self.page_bits) | offset)
+    }
+
+    /// Number of virtual pages touched so far.
+    pub fn mapped_pages(&self) -> usize {
+        self.mapping.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_bits_preserved() {
+        let mut pt = PageTable::new(30, 1);
+        let v = (7u64 << 30) | 0x0123_4567;
+        let p = pt.translate(v);
+        assert_eq!(p & ((1 << 30) - 1), 0x0123_4567);
+        assert_ne!(p >> 30, 7, "upper bits should be remapped");
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new(30, 9);
+        let a = pt.translate(0x1_2345_6789);
+        let b = pt.translate(0x1_2345_6789);
+        assert_eq!(a, b);
+        assert_eq!(pt.translate_existing(0x1_2345_6789), Some(a));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn different_seeds_model_reboots() {
+        let mut boot1 = PageTable::new(30, 100);
+        let mut boot2 = PageTable::new(30, 200);
+        let v = 5u64 << 30;
+        // With 4096 frames the chance of an accidental match is negligible;
+        // the chosen seeds are known to differ.
+        assert_ne!(boot1.translate(v), boot2.translate(v));
+    }
+
+    #[test]
+    fn same_seed_same_mapping() {
+        let mut a = PageTable::new(30, 77);
+        let mut b = PageTable::new(30, 77);
+        for page in 0..16u64 {
+            let v = page << 30 | 123;
+            assert_eq!(a.translate(v), b.translate(v));
+        }
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new(30, 3);
+        let p0 = pt.translate(0) >> 30;
+        let p1 = pt.translate(1 << 30) >> 30;
+        let p2 = pt.translate(2 << 30) >> 30;
+        assert_ne!(p0, p1);
+        assert_ne!(p1, p2);
+        assert_ne!(p0, p2);
+        assert_eq!(pt.translate_existing(3 << 30), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The unbalanced binary search tree flow map (§5.1, data structure (3)).
+//!
+//! Keys are the 5-tuple packed into a 128-bit composite (compared as a
+//! high/low pair of 64-bit words). Inserts attach at the leaf found by the
+//! search with no rebalancing, so an adversary inserting monotonically
+//! increasing keys (e.g. same endpoints, increasing destination port)
+//! degenerates the tree into a linked list — the paper's Manual workload for
+//! the NAT/LB unbalanced-tree NFs (§5.3).
+
+use castan_ir::{DataMemory, FunctionBuilder, HashFunc, NativeRegistry, ProgramBuilder, Reg, Width};
+
+use crate::layout::{self, tree_node};
+use crate::spec::{FlowMapBuilder, FlowMapIr, MemRegion};
+
+/// Builder for the unbalanced binary tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnbalancedTreeMap;
+
+/// Emits the composite-key construction shared by the tree maps:
+/// `key_hi = src_ip << 32 | dst_ip`, `key_lo = src_port << 32 | dst_port << 16 | proto`.
+pub(crate) fn emit_composite_key(
+    f: &mut FunctionBuilder,
+    sip: Reg,
+    dip: Reg,
+    sport: Reg,
+    dport: Reg,
+    proto: Reg,
+) -> (Reg, Reg) {
+    let hi_hi = f.shl(sip, 32u64);
+    let key_hi = f.or(hi_hi, dip);
+    let lo_a = f.shl(sport, 32u64);
+    let lo_b = f.shl(dport, 16u64);
+    let lo_ab = f.or(lo_a, lo_b);
+    let key_lo = f.or(lo_ab, proto);
+    (key_hi, key_lo)
+}
+
+/// Emits the descent + attach logic shared by the BST and (lookup part of)
+/// the red-black tree. When `with_parent_color` is true the inserted node
+/// also records its parent and is coloured red, and the new node's address
+/// register is returned so the caller can append a rebalancing step.
+pub(crate) struct TreeEmit {
+    /// The register holding the address of a freshly inserted node
+    /// (only valid on the insert path, in the block `insert_done`).
+    pub new_node: Reg,
+    /// Block to which the caller may append post-insert work; it is left
+    /// unterminated.
+    pub insert_done: u32,
+}
+
+pub(crate) fn emit_tree_lookup_insert(
+    f: &mut FunctionBuilder,
+    with_parent_color: bool,
+) -> TreeEmit {
+    let (sip, dip, sport, dport, proto, value_if_new) = (
+        f.param(0),
+        f.param(1),
+        f.param(2),
+        f.param(3),
+        f.param(4),
+        f.param(5),
+    );
+
+    let loop_head = f.new_block();
+    let compare = f.new_block();
+    let descend = f.new_block();
+    let hit = f.new_block();
+    let insert = f.new_block();
+    let attach_root = f.new_block();
+    let attach_child = f.new_block();
+    let insert_done = f.new_block();
+
+    let (key_hi, key_lo) = emit_composite_key(f, sip, dip, sport, dport, proto);
+    let parent = f.mov(0u64);
+    let parent_link = f.mov(0u64); // address of the child pointer to patch on insert
+    let cur = f.load(layout::ROOT_CELL, Width::W8);
+    let cur = {
+        let r = f.mov(cur);
+        r
+    };
+    f.jump(loop_head);
+
+    f.switch_to(loop_head);
+    let is_null = f.eq(cur, 0u64);
+    f.branch(is_null, insert, compare);
+
+    f.switch_to(compare);
+    let hi_addr = f.add(cur, tree_node::KEY_HI);
+    let n_hi = f.load(hi_addr, Width::W8);
+    let lo_addr = f.add(cur, tree_node::KEY_LO);
+    let n_lo = f.load(lo_addr, Width::W8);
+    let eq_hi = f.eq(key_hi, n_hi);
+    let eq_lo = f.eq(key_lo, n_lo);
+    let is_eq = f.and(eq_hi, eq_lo);
+    f.branch(is_eq, hit, descend);
+
+    f.switch_to(descend);
+    // less-than on the composite key
+    let lt_hi = f.ult(key_hi, n_hi);
+    let lt_lo = f.ult(key_lo, n_lo);
+    let eq_and_lt = f.and(eq_hi, lt_lo);
+    let lt = f.or(lt_hi, eq_and_lt);
+    let child_off = f.select(lt, tree_node::LEFT, tree_node::RIGHT);
+    let child_ptr_addr = f.add(cur, child_off);
+    let child = f.load(child_ptr_addr, Width::W8);
+    f.assign(parent, cur);
+    f.assign(parent_link, child_ptr_addr);
+    f.assign(cur, child);
+    f.jump(loop_head);
+
+    f.switch_to(hit);
+    let v_addr = f.add(cur, tree_node::VALUE);
+    let v = f.load(v_addr, Width::W8);
+    let shifted = f.shl(v, 1u64);
+    let tagged = f.or(shifted, 1u64);
+    f.ret(tagged);
+
+    f.switch_to(insert);
+    let new_node = f.load(layout::ALLOC_PTR, Width::W8);
+    let bumped = f.add(new_node, layout::POOL_NODE_SIZE);
+    f.store(layout::ALLOC_PTR, bumped, Width::W8);
+    let a = f.add(new_node, tree_node::KEY_HI);
+    f.store(a, key_hi, Width::W8);
+    let a = f.add(new_node, tree_node::KEY_LO);
+    f.store(a, key_lo, Width::W8);
+    let a = f.add(new_node, tree_node::VALUE);
+    f.store(a, value_if_new, Width::W8);
+    let a = f.add(new_node, tree_node::LEFT);
+    f.store(a, 0u64, Width::W8);
+    let a = f.add(new_node, tree_node::RIGHT);
+    f.store(a, 0u64, Width::W8);
+    if with_parent_color {
+        let a = f.add(new_node, tree_node::PARENT);
+        f.store(a, parent, Width::W8);
+        let a = f.add(new_node, tree_node::COLOR);
+        f.store(a, 1u64, Width::W8); // red
+    }
+    let root_is_empty = f.eq(parent, 0u64);
+    f.branch(root_is_empty, attach_root, attach_child);
+
+    f.switch_to(attach_root);
+    f.store(layout::ROOT_CELL, new_node, Width::W8);
+    f.jump(insert_done);
+
+    f.switch_to(attach_child);
+    f.store(parent_link, new_node, Width::W8);
+    f.jump(insert_done);
+
+    f.switch_to(insert_done);
+    // Caller appends (rebalancing for the red-black tree) and terminates.
+    TreeEmit {
+        new_node,
+        insert_done,
+    }
+}
+
+impl FlowMapBuilder for UnbalancedTreeMap {
+    fn name(&self) -> &'static str {
+        "unbalanced tree"
+    }
+
+    fn build(&self, pb: &mut ProgramBuilder) -> FlowMapIr {
+        let fid = pb.declare("flowmap_bst_lookup_insert", 6);
+        let mut f = FunctionBuilder::new("flowmap_bst_lookup_insert", 6);
+        let value_if_new = f.param(5);
+        let emit = emit_tree_lookup_insert(&mut f, false);
+        // insert_done is the current block; finish by returning the value.
+        f.switch_to(emit.insert_done);
+        let out = f.shl(value_if_new, 1u64);
+        f.ret(out);
+        pb.define(fid, f);
+        FlowMapIr {
+            lookup_insert: fid,
+        }
+    }
+
+    fn init_memory(&self, mem: &mut DataMemory) {
+        mem.write(layout::ALLOC_PTR, layout::POOL_BASE, 8);
+        mem.write(layout::ROOT_CELL, 0, 8);
+    }
+
+    fn register_natives(&self, _natives: &mut NativeRegistry) {}
+
+    fn data_regions(&self) -> Vec<MemRegion> {
+        vec![MemRegion {
+            base: layout::POOL_BASE,
+            len: 1 << 27, // up to 2 M nodes
+            stride: layout::POOL_NODE_SIZE,
+        }]
+    }
+
+    fn hash_funcs(&self) -> Vec<HashFunc> {
+        vec![]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{exercise_flowmap_as_reference_map, flowmap_harness};
+
+    #[test]
+    fn behaves_like_a_reference_map() {
+        exercise_flowmap_as_reference_map(&UnbalancedTreeMap, 300);
+    }
+
+    #[test]
+    fn monotone_insertions_skew_the_tree() {
+        // Inserting keys with increasing destination ports (the paper's
+        // Manual NAT workload) must make each insert cost more than the
+        // previous — linear growth of the search path.
+        let h = flowmap_harness(&UnbalancedTreeMap);
+        let mut mem = h.fresh_memory();
+        let mut steps_at = Vec::new();
+        for i in 0..40u64 {
+            let key = [10, 20, 1000, 2000 + i, 17];
+            let (_, found, steps) = h.lookup_insert(&mut mem, key, i);
+            assert!(!found);
+            steps_at.push(steps);
+        }
+        assert!(
+            steps_at[39] > steps_at[5] + 100,
+            "skewed inserts should grow linearly: {:?}",
+            &steps_at[..5]
+        );
+
+        // A balanced-ish insertion order keeps the cost much lower.
+        let mut mem2 = h.fresh_memory();
+        let mut balanced_last = 0;
+        for i in 0..40u64 {
+            // Bit-reversed insertion order approximates a balanced tree.
+            let scattered = (i * 2654435761) % 65536;
+            let key = [10, 20, 1000, scattered, 17];
+            let (_, _, steps) = h.lookup_insert(&mut mem2, key, i);
+            balanced_last = steps;
+        }
+        assert!(
+            steps_at[39] > balanced_last,
+            "skewed tree ({}) should be worse than scattered ({})",
+            steps_at[39],
+            balanced_last
+        );
+    }
+
+    #[test]
+    fn metadata() {
+        let m = UnbalancedTreeMap;
+        assert_eq!(m.name(), "unbalanced tree");
+        assert!(m.hash_funcs().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Catalogue of all NFs, by id.
+
+use crate::bst::UnbalancedTreeMap;
+use crate::hashring::HashRingMap;
+use crate::hashtable::HashTableMap;
+use crate::lb::build_lb;
+use crate::lpm::{lpm_direct1, lpm_direct2, lpm_trie};
+use crate::nat::build_nat;
+use crate::nop::nop;
+use crate::rbtree::RedBlackTreeMap;
+use crate::spec::{NfId, NfSpec};
+
+/// Builds the NF with the given id.
+pub fn nf_by_id(id: NfId) -> NfSpec {
+    match id {
+        NfId::Nop => nop(),
+        NfId::LpmDirect1 => lpm_direct1(),
+        NfId::LpmDirect2 => lpm_direct2(),
+        NfId::LpmTrie => lpm_trie(),
+        NfId::NatHashTable => build_nat(&HashTableMap, id),
+        NfId::NatHashRing => build_nat(&HashRingMap, id),
+        NfId::NatUnbalancedTree => build_nat(&UnbalancedTreeMap, id),
+        NfId::NatRedBlackTree => build_nat(&RedBlackTreeMap, id),
+        NfId::LbHashTable => build_lb(&HashTableMap, id),
+        NfId::LbHashRing => build_lb(&HashRingMap, id),
+        NfId::LbUnbalancedTree => build_lb(&UnbalancedTreeMap, id),
+        NfId::LbRedBlackTree => build_lb(&RedBlackTreeMap, id),
+    }
+}
+
+/// Builds every NF (the eleven evaluated ones plus NOP).
+pub fn all_nfs() -> Vec<NfSpec> {
+    NfId::ALL.iter().map(|&id| nf_by_id(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::Icfg;
+
+    #[test]
+    fn every_nf_builds_and_validates() {
+        let nfs = all_nfs();
+        assert_eq!(nfs.len(), 12);
+        for nf in &nfs {
+            assert!(
+                nf.program.validate().is_ok(),
+                "{} failed validation",
+                nf.name()
+            );
+            assert_eq!(nf_by_id(nf.id).id, nf.id);
+        }
+    }
+
+    #[test]
+    fn icfg_extraction_works_for_every_nf() {
+        for nf in all_nfs() {
+            let icfg = Icfg::build(&nf.program);
+            assert_eq!(icfg.total_nodes(), nf.program.total_nodes());
+            assert!(icfg.total_nodes() >= 1, "{}", nf.name());
+        }
+    }
+
+    #[test]
+    fn stateful_nfs_declare_hashes_and_regions_consistently() {
+        for nf in all_nfs() {
+            match nf.id {
+                NfId::NatHashTable | NfId::LbHashTable | NfId::NatHashRing | NfId::LbHashRing => {
+                    assert_eq!(nf.hash_funcs.len(), 1, "{}", nf.name());
+                }
+                _ => assert!(nf.hash_funcs.is_empty(), "{}", nf.name()),
+            }
+            if nf.id == NfId::Nop {
+                assert!(nf.data_regions.is_empty());
+            } else {
+                assert!(!nf.data_regions.is_empty(), "{}", nf.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The open-addressing hash ring flow map (§5.1, data structure (2)).
+//!
+//! A circular array of 2²⁴ cache-aligned entries allocated inside a single
+//! 1 GiB page. Lookup hashes the 5-tuple with the 24-bit flow hash and
+//! probes linearly from that slot until it finds the key or an empty slot
+//! (where a miss inserts). Lookup complexity grows with occupancy and
+//! clustering; the sheer size of the array additionally makes the ring
+//! vulnerable to cache-contention attacks, which is what CASTAN ends up
+//! exploiting in §5.4.
+
+use castan_ir::{
+    DataMemory, FunctionBuilder, HashFunc, NativeRegistry, Operand, ProgramBuilder, Width,
+};
+
+use crate::layout::{self, ring_entry};
+use crate::spec::{FlowMapBuilder, FlowMapIr, MemRegion};
+
+/// Builder for the open-addressing hash ring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashRingMap;
+
+impl FlowMapBuilder for HashRingMap {
+    fn name(&self) -> &'static str {
+        "hash ring"
+    }
+
+    fn build(&self, pb: &mut ProgramBuilder) -> FlowMapIr {
+        let fid = pb.declare("flowmap_hashring_lookup_insert", 6);
+        let mut f = FunctionBuilder::new("flowmap_hashring_lookup_insert", 6);
+        let (sip, dip, sport, dport, proto, value_if_new) = (
+            f.param(0),
+            f.param(1),
+            f.param(2),
+            f.param(3),
+            f.param(4),
+            f.param(5),
+        );
+
+        let loop_head = f.new_block();
+        let probe = f.new_block();
+        let check_dip = f.new_block();
+        let check_sport = f.new_block();
+        let check_dport = f.new_block();
+        let check_proto = f.new_block();
+        let check_sip = f.new_block();
+        let advance = f.new_block();
+        let hit = f.new_block();
+        let insert = f.new_block();
+        let full = f.new_block();
+
+        let h = f.hash(
+            HashFunc::Flow24,
+            vec![
+                Operand::Reg(sip),
+                Operand::Reg(dip),
+                Operand::Reg(sport),
+                Operand::Reg(dport),
+                Operand::Reg(proto),
+            ],
+        );
+        let i = f.mov(0u64);
+        // The probed entry address is recomputed per iteration and kept in a
+        // dedicated register so later blocks can use it.
+        let entry_addr = f.mov(0u64);
+        f.jump(loop_head);
+
+        f.switch_to(loop_head);
+        // Give up when the whole ring has been probed (cannot happen in the
+        // evaluation workloads but keeps the loop well-founded).
+        let exhausted = f.uge(i, layout::RING_ENTRIES);
+        f.branch(exhausted, full, probe);
+
+        f.switch_to(probe);
+        let slot = f.add(h, i);
+        let idx = f.and(slot, layout::RING_ENTRIES - 1);
+        let off = f.mul(idx, layout::RING_ENTRY_SIZE);
+        let addr = f.add(layout::RING_BASE, off);
+        f.assign(entry_addr, addr);
+        let occ_addr = f.add(entry_addr, ring_entry::OCCUPIED);
+        let occ = f.load(occ_addr, Width::W4);
+        let empty = f.eq(occ, 0u64);
+        f.branch(empty, insert, check_sip);
+
+        f.switch_to(check_sip);
+        let a = f.add(entry_addr, ring_entry::SRC_IP);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, sip);
+        f.branch(c, check_dip, advance);
+
+        f.switch_to(check_dip);
+        let a = f.add(entry_addr, ring_entry::DST_IP);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, dip);
+        f.branch(c, check_sport, advance);
+
+        f.switch_to(check_sport);
+        let a = f.add(entry_addr, ring_entry::SRC_PORT);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, sport);
+        f.branch(c, check_dport, advance);
+
+        f.switch_to(check_dport);
+        let a = f.add(entry_addr, ring_entry::DST_PORT);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, dport);
+        f.branch(c, check_proto, advance);
+
+        f.switch_to(check_proto);
+        let a = f.add(entry_addr, ring_entry::PROTO);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, proto);
+        f.branch(c, hit, advance);
+
+        f.switch_to(advance);
+        let i2 = f.add(i, 1u64);
+        f.assign(i, i2);
+        f.jump(loop_head);
+
+        f.switch_to(hit);
+        let a = f.add(entry_addr, ring_entry::VALUE);
+        let v = f.load(a, Width::W8);
+        let shifted = f.shl(v, 1u64);
+        let tagged = f.or(shifted, 1u64);
+        f.ret(tagged);
+
+        f.switch_to(insert);
+        let a = f.add(entry_addr, ring_entry::OCCUPIED);
+        f.store(a, 1u64, Width::W4);
+        let a = f.add(entry_addr, ring_entry::SRC_IP);
+        f.store(a, sip, Width::W4);
+        let a = f.add(entry_addr, ring_entry::DST_IP);
+        f.store(a, dip, Width::W4);
+        let a = f.add(entry_addr, ring_entry::SRC_PORT);
+        f.store(a, sport, Width::W4);
+        let a = f.add(entry_addr, ring_entry::DST_PORT);
+        f.store(a, dport, Width::W4);
+        let a = f.add(entry_addr, ring_entry::PROTO);
+        f.store(a, proto, Width::W4);
+        let a = f.add(entry_addr, ring_entry::VALUE);
+        f.store(a, value_if_new, Width::W8);
+        let out = f.shl(value_if_new, 1u64);
+        f.ret(out);
+
+        f.switch_to(full);
+        f.ret(0u64);
+
+        pb.define(fid, f);
+        FlowMapIr {
+            lookup_insert: fid,
+        }
+    }
+
+    fn init_memory(&self, _mem: &mut DataMemory) {
+        // The ring starts empty; unwritten memory reads as zero, which the
+        // occupancy flag interprets as "free slot".
+    }
+
+    fn register_natives(&self, _natives: &mut NativeRegistry) {}
+
+    fn data_regions(&self) -> Vec<MemRegion> {
+        vec![MemRegion {
+            base: layout::RING_BASE,
+            len: layout::RING_ENTRIES * layout::RING_ENTRY_SIZE,
+            stride: layout::RING_ENTRY_SIZE,
+        }]
+    }
+
+    fn hash_funcs(&self) -> Vec<HashFunc> {
+        vec![HashFunc::Flow24]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{exercise_flowmap_as_reference_map, flowmap_harness};
+
+    #[test]
+    fn behaves_like_a_reference_map() {
+        exercise_flowmap_as_reference_map(&HashRingMap, 300);
+    }
+
+    #[test]
+    fn linear_probing_resolves_collisions() {
+        // Finding a genuine 24-bit hash collision by brute force is too slow
+        // for a unit test (that is exactly why the analysis uses rainbow
+        // tables), so force the collision: pre-occupy the slot that a known
+        // key hashes to with a *different* key, and check that the insert
+        // probes past it and that both entries remain retrievable.
+        let h = flowmap_harness(&HashRingMap);
+        let key = [10u64, 20, 30, 40, 17];
+        let slot = HashFunc::Flow24.apply(&key) & (layout::RING_ENTRIES - 1);
+        let occupied_addr = layout::RING_BASE + slot * layout::RING_ENTRY_SIZE;
+
+        let mut mem = h.fresh_memory();
+        // A foreign entry squats on the key's home slot.
+        mem.write(occupied_addr + ring_entry::OCCUPIED, 1, 4);
+        mem.write(occupied_addr + ring_entry::SRC_IP, 99, 4);
+        mem.write(occupied_addr + ring_entry::DST_IP, 98, 4);
+        mem.write(occupied_addr + ring_entry::SRC_PORT, 7, 4);
+        mem.write(occupied_addr + ring_entry::DST_PORT, 8, 4);
+        mem.write(occupied_addr + ring_entry::PROTO, 6, 4);
+        mem.write(occupied_addr + ring_entry::VALUE, 555, 8);
+
+        let (v, found, steps_probe) = h.lookup_insert(&mut mem, key, 2);
+        assert!(!found);
+        assert_eq!(v, 2);
+        // The new entry must have landed on the next slot.
+        let next_addr = layout::RING_BASE
+            + ((slot + 1) & (layout::RING_ENTRIES - 1)) * layout::RING_ENTRY_SIZE;
+        assert_eq!(mem.read(next_addr + ring_entry::OCCUPIED, 4), 1);
+        assert_eq!(mem.read(next_addr + ring_entry::VALUE, 8), 2);
+
+        // An uncontended insert of another key is cheaper than the probe.
+        let mut fresh = h.fresh_memory();
+        let (_, _, steps_direct) = h.lookup_insert(&mut fresh, key, 2);
+        assert!(
+            steps_probe > steps_direct,
+            "probing past an occupied slot must cost extra steps ({steps_probe} vs {steps_direct})"
+        );
+        // The displaced key is still found (behind the squatter).
+        let (v3, found3, _) = h.lookup_insert(&mut mem, key, 9);
+        assert!(found3);
+        assert_eq!(v3, 2);
+    }
+
+    #[test]
+    fn metadata() {
+        let m = HashRingMap;
+        assert_eq!(m.name(), "hash ring");
+        assert_eq!(m.hash_funcs(), vec![HashFunc::Flow24]);
+        assert_eq!(m.data_regions()[0].len, 1 << 30);
+    }
+}

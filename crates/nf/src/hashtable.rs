@@ -1,0 +1,216 @@
+//! The chaining hash table flow map (§5.1, data structure (1)).
+//!
+//! 65 536 bucket head pointers; collisions are resolved through separate
+//! chaining into a node pool. Lookup hashes the 5-tuple with the 16-bit flow
+//! hash, walks the chain comparing keys field by field, and inserts at the
+//! chain head on a miss. Lookup complexity therefore depends on the longest
+//! chain — the property the hash-collision attack of §5.4 exploits.
+
+use castan_ir::{
+    DataMemory, FunctionBuilder, HashFunc, NativeRegistry, Operand, ProgramBuilder, Width,
+};
+
+use crate::layout::{self, node};
+use crate::spec::{FlowMapBuilder, FlowMapIr, MemRegion};
+
+/// Builder for the chaining hash table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashTableMap;
+
+impl FlowMapBuilder for HashTableMap {
+    fn name(&self) -> &'static str {
+        "hash table"
+    }
+
+    fn build(&self, pb: &mut ProgramBuilder) -> FlowMapIr {
+        let fid = pb.declare("flowmap_hashtable_lookup_insert", 6);
+        let mut f = FunctionBuilder::new("flowmap_hashtable_lookup_insert", 6);
+        let (sip, dip, sport, dport, proto, value_if_new) = (
+            f.param(0),
+            f.param(1),
+            f.param(2),
+            f.param(3),
+            f.param(4),
+            f.param(5),
+        );
+
+        let loop_head = f.new_block();
+        let check_dip = f.new_block();
+        let check_sport = f.new_block();
+        let check_dport = f.new_block();
+        let check_proto = f.new_block();
+        let check_sip = f.new_block();
+        let advance = f.new_block();
+        let hit = f.new_block();
+        let miss = f.new_block();
+
+        // Bucket selection.
+        let h = f.hash(
+            HashFunc::Flow16,
+            vec![
+                Operand::Reg(sip),
+                Operand::Reg(dip),
+                Operand::Reg(sport),
+                Operand::Reg(dport),
+                Operand::Reg(proto),
+            ],
+        );
+        let bucket_off = f.mul(h, 8u64);
+        let bucket_addr = f.add(layout::BUCKETS_BASE, bucket_off);
+        let head = f.load(bucket_addr, Width::W8);
+        let cur = f.mov(head);
+        f.jump(loop_head);
+
+        // Chain walk.
+        f.switch_to(loop_head);
+        let is_null = f.eq(cur, 0u64);
+        f.branch(is_null, miss, check_sip);
+
+        f.switch_to(check_sip);
+        let a = f.add(cur, node::SRC_IP);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, sip);
+        f.branch(c, check_dip, advance);
+
+        f.switch_to(check_dip);
+        let a = f.add(cur, node::DST_IP);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, dip);
+        f.branch(c, check_sport, advance);
+
+        f.switch_to(check_sport);
+        let a = f.add(cur, node::SRC_PORT);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, sport);
+        f.branch(c, check_dport, advance);
+
+        f.switch_to(check_dport);
+        let a = f.add(cur, node::DST_PORT);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, dport);
+        f.branch(c, check_proto, advance);
+
+        f.switch_to(check_proto);
+        let a = f.add(cur, node::PROTO);
+        let v = f.load(a, Width::W4);
+        let c = f.eq(v, proto);
+        f.branch(c, hit, advance);
+
+        f.switch_to(advance);
+        let a = f.add(cur, node::NEXT);
+        let nxt = f.load(a, Width::W8);
+        f.assign(cur, nxt);
+        f.jump(loop_head);
+
+        // Hit: return (value << 1) | 1.
+        f.switch_to(hit);
+        let a = f.add(cur, node::VALUE);
+        let v = f.load(a, Width::W8);
+        let shifted = f.shl(v, 1u64);
+        let tagged = f.or(shifted, 1u64);
+        f.ret(tagged);
+
+        // Miss: allocate a node, fill it, push it at the chain head.
+        f.switch_to(miss);
+        let new_node = f.load(layout::ALLOC_PTR, Width::W8);
+        let bumped = f.add(new_node, layout::POOL_NODE_SIZE);
+        f.store(layout::ALLOC_PTR, bumped, Width::W8);
+        let a = f.add(new_node, node::SRC_IP);
+        f.store(a, sip, Width::W4);
+        let a = f.add(new_node, node::DST_IP);
+        f.store(a, dip, Width::W4);
+        let a = f.add(new_node, node::SRC_PORT);
+        f.store(a, sport, Width::W4);
+        let a = f.add(new_node, node::DST_PORT);
+        f.store(a, dport, Width::W4);
+        let a = f.add(new_node, node::PROTO);
+        f.store(a, proto, Width::W4);
+        let a = f.add(new_node, node::VALUE);
+        f.store(a, value_if_new, Width::W8);
+        let a = f.add(new_node, node::NEXT);
+        f.store(a, head, Width::W8);
+        f.store(bucket_addr, new_node, Width::W8);
+        let out = f.shl(value_if_new, 1u64);
+        f.ret(out);
+
+        pb.define(fid, f);
+        FlowMapIr {
+            lookup_insert: fid,
+        }
+    }
+
+    fn init_memory(&self, mem: &mut DataMemory) {
+        // Bucket array stays zeroed (empty chains); only the allocation
+        // cursor needs a starting value.
+        mem.write(layout::ALLOC_PTR, layout::POOL_BASE, 8);
+    }
+
+    fn register_natives(&self, _natives: &mut NativeRegistry) {}
+
+    fn data_regions(&self) -> Vec<MemRegion> {
+        vec![
+            MemRegion {
+                base: layout::BUCKETS_BASE,
+                len: layout::HASH_TABLE_BUCKETS * 8,
+                stride: 8,
+            },
+            MemRegion {
+                base: layout::POOL_BASE,
+                len: 1 << 26, // up to 1 M chain nodes
+                stride: layout::POOL_NODE_SIZE,
+            },
+        ]
+    }
+
+    fn hash_funcs(&self) -> Vec<HashFunc> {
+        vec![HashFunc::Flow16]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{exercise_flowmap_as_reference_map, flowmap_harness};
+
+    #[test]
+    fn behaves_like_a_reference_map() {
+        exercise_flowmap_as_reference_map(&HashTableMap, 400);
+    }
+
+    #[test]
+    fn colliding_keys_extend_the_chain() {
+        // Two flows in the same bucket: the second lookup must walk past the
+        // first node (more steps) yet still find the right value.
+        let h = flowmap_harness(&HashTableMap);
+        let base = [10u64, 20, 30, 40, 17];
+        let target = HashFunc::Flow16.apply(&base);
+        // Find another key that collides with the first.
+        let mut collider = None;
+        for sport in 0..200_000u64 {
+            let k = [11u64, 20, sport, 40, 17];
+            if HashFunc::Flow16.apply(&k) == target {
+                collider = Some(k);
+                break;
+            }
+        }
+        let collider = collider.expect("a 16-bit hash must collide within 200k keys");
+
+        let mut mem = h.fresh_memory();
+        let (v1, found1, steps1) = h.lookup_insert(&mut mem, base, 111);
+        assert_eq!((v1, found1), (111, false));
+        let (v2, found2, _) = h.lookup_insert(&mut mem, collider, 222);
+        assert_eq!((v2, found2), (222, false));
+        // Re-lookup of the first flow now walks a 2-node chain.
+        let (v3, found3, steps3) = h.lookup_insert(&mut mem, base, 999);
+        assert_eq!((v3, found3), (111, true));
+        assert!(steps3 > steps1, "chain walk should cost extra steps");
+    }
+
+    #[test]
+    fn metadata() {
+        let m = HashTableMap;
+        assert_eq!(m.name(), "hash table");
+        assert_eq!(m.hash_funcs(), vec![HashFunc::Flow16]);
+        assert_eq!(m.data_regions().len(), 2);
+    }
+}

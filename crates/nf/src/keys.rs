@@ -1,0 +1,143 @@
+//! Shared IR snippets: protocol guards and flow-key extraction.
+
+use castan_ir::{FunctionBuilder, Reg};
+use castan_packet::PacketField;
+
+/// Registers holding the extracted 5-tuple of the current packet.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyRegs {
+    /// Source IP.
+    pub src_ip: Reg,
+    /// Destination IP.
+    pub dst_ip: Reg,
+    /// Source port.
+    pub src_port: Reg,
+    /// Destination port.
+    pub dst_port: Reg,
+    /// IP protocol.
+    pub proto: Reg,
+}
+
+/// Emits reads of the full 5-tuple into fresh registers.
+pub fn emit_key_extraction(f: &mut FunctionBuilder) -> KeyRegs {
+    KeyRegs {
+        src_ip: f.packet_field(PacketField::SrcIp),
+        dst_ip: f.packet_field(PacketField::DstIp),
+        src_port: f.packet_field(PacketField::SrcPort),
+        dst_port: f.packet_field(PacketField::DstPort),
+        proto: f.packet_field(PacketField::IpProto),
+    }
+}
+
+/// Emits the "is this an IPv4 TCP/UDP packet?" guard used by the stateful
+/// NFs and terminates the current block with a branch to `on_pass` /
+/// `on_fail`. The paper's NFs only track TCP and UDP flows (§3.5 notes the
+/// IP-protocol constraint explicitly because it matters for rainbow-table
+/// reconciliation).
+pub fn emit_ipv4_l4_guard(f: &mut FunctionBuilder, on_pass: u32, on_fail: u32) {
+    let ethertype = f.packet_field(PacketField::EtherType);
+    let is_ip = f.eq(ethertype, 0x0800u64);
+    let proto = f.packet_field(PacketField::IpProto);
+    let is_tcp = f.eq(proto, 6u64);
+    let is_udp = f.eq(proto, 17u64);
+    let is_l4 = f.or(is_tcp, is_udp);
+    let ok = f.and(is_ip, is_l4);
+    f.branch(ok, on_pass, on_fail);
+}
+
+/// Emits the "is this an IPv4 packet?" guard (used by the LPM NFs, which
+/// forward any IPv4 packet regardless of L4 protocol).
+pub fn emit_ipv4_guard(f: &mut FunctionBuilder, on_pass: u32, on_fail: u32) {
+    let ethertype = f.packet_field(PacketField::EtherType);
+    let is_ip = f.eq(ethertype, 0x0800u64);
+    f.branch(is_ip, on_pass, on_fail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::{
+        DataMemory, FunctionBuilder, Interpreter, NativeRegistry, NullSink, ProgramBuilder,
+    };
+    use castan_packet::{EtherType, IpProto, PacketBuilder};
+
+    fn guard_program(l4: bool) -> castan_ir::Program {
+        let mut f = FunctionBuilder::new("main", 0);
+        let pass = f.new_block();
+        let fail = f.new_block();
+        if l4 {
+            emit_ipv4_l4_guard(&mut f, pass, fail);
+        } else {
+            emit_ipv4_guard(&mut f, pass, fail);
+        }
+        f.switch_to(pass);
+        f.ret(1u64);
+        f.switch_to(fail);
+        f.ret(0u64);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        pb.finish(main)
+    }
+
+    fn verdict(program: &castan_ir::Program, pkt: &castan_packet::Packet) -> u64 {
+        let natives = NativeRegistry::new();
+        let interp = Interpreter::new(program, &natives);
+        interp
+            .run_packet(&mut DataMemory::new(), pkt, &mut NullSink)
+            .unwrap()
+            .return_value
+            .unwrap()
+    }
+
+    #[test]
+    fn l4_guard_accepts_udp_and_tcp_only() {
+        let p = guard_program(true);
+        assert_eq!(verdict(&p, &PacketBuilder::new().build()), 1);
+        assert_eq!(
+            verdict(&p, &PacketBuilder::new().proto(IpProto::Tcp).build()),
+            1
+        );
+        assert_eq!(
+            verdict(&p, &PacketBuilder::new().proto(IpProto::Icmp).build()),
+            0
+        );
+        assert_eq!(
+            verdict(&p, &PacketBuilder::new().ethertype(EtherType::Arp).build()),
+            0
+        );
+    }
+
+    #[test]
+    fn ip_guard_accepts_any_ipv4() {
+        let p = guard_program(false);
+        assert_eq!(
+            verdict(&p, &PacketBuilder::new().proto(IpProto::Icmp).build()),
+            1
+        );
+        assert_eq!(
+            verdict(&p, &PacketBuilder::new().ethertype(EtherType::Arp).build()),
+            0
+        );
+    }
+
+    #[test]
+    fn key_extraction_reads_all_five_fields() {
+        let mut f = FunctionBuilder::new("main", 0);
+        let k = emit_key_extraction(&mut f);
+        let a = f.add(k.src_ip, k.dst_ip);
+        let b = f.add(k.src_port, k.dst_port);
+        let c = f.add(a, b);
+        let d = f.add(c, k.proto);
+        f.ret(d);
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let pkt = PacketBuilder::new()
+            .src_ip(castan_packet::Ipv4Addr(100))
+            .dst_ip(castan_packet::Ipv4Addr(200))
+            .src_port(10)
+            .dst_port(20)
+            .build();
+        assert_eq!(verdict(&program, &pkt), 100 + 200 + 10 + 20 + 17);
+    }
+}

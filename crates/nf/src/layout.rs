@@ -1,0 +1,165 @@
+//! Memory-map conventions shared by all NFs.
+//!
+//! Each NF owns its own [`castan_ir::DataMemory`], so the regions below may
+//! be reused freely across NFs. Keeping the addresses identical across NFs
+//! makes the analysis-time cache model and the experiment tooling simpler to
+//! reason about.
+
+/// Scratch region: counters, allocation cursors, root pointers.
+pub const SCRATCH_BASE: u64 = 0x0000_1000;
+
+/// Bump-allocation cursor for node pools (hash table, trees).
+pub const ALLOC_PTR: u64 = SCRATCH_BASE;
+/// Round-robin backend counter used by the load balancer.
+pub const RR_COUNTER: u64 = SCRATCH_BASE + 0x08;
+/// Root pointer cell for the tree-based flow maps.
+pub const ROOT_CELL: u64 = SCRATCH_BASE + 0x18;
+/// External-port allocation counter used by the NAT.
+pub const NAT_PORT_COUNTER: u64 = SCRATCH_BASE + 0x20;
+
+/// Node pool for trees and hash-table chain nodes.
+pub const POOL_BASE: u64 = 0x2000_0000;
+/// Node size in the pools (one cache line).
+pub const POOL_NODE_SIZE: u64 = 64;
+
+/// Bucket-pointer array of the chaining hash table (65 536 × 8 B).
+pub const BUCKETS_BASE: u64 = 0x3000_0000;
+/// Number of buckets in the chaining hash table (matches §5.1).
+pub const HASH_TABLE_BUCKETS: u64 = 65_536;
+
+/// The open-addressing hash ring (2²⁴ entries × 64 B = 1 GiB).
+pub const RING_BASE: u64 = 0x4000_0000;
+/// Number of ring entries (the paper's "16.7 M entries").
+pub const RING_ENTRIES: u64 = 1 << 24;
+/// Ring entry size (cache-aligned, per §5.1).
+pub const RING_ENTRY_SIZE: u64 = 64;
+
+/// One-stage direct-lookup LPM array (2²⁷ entries × 4 B = 512 MiB, fits in a
+/// single 1 GiB page as in §5.1).
+pub const DL1_BASE: u64 = 0x4000_0000;
+/// Number of entries of the one-stage table (27-bit prefixes).
+pub const DL1_ENTRIES: u64 = 1 << 27;
+/// Entry size of the one-stage table.
+pub const DL1_ENTRY_SIZE: u64 = 4;
+
+/// First-stage table of the DPDK-style LPM (2²⁴ entries × 4 B = 64 MiB).
+pub const DL2_TBL24_BASE: u64 = 0x4000_0000;
+/// Second-stage table of the DPDK-style LPM.
+pub const DL2_TBL8_BASE: u64 = 0x4800_0000;
+/// Flag bit marking a tbl24 entry that points into tbl8.
+pub const DL2_VALID_GROUP_FLAG: u64 = 0x8000_0000;
+
+/// Node pool of the LPM trie.
+pub const TRIE_POOL_BASE: u64 = 0x2000_0000;
+/// Trie node size.
+pub const TRIE_NODE_SIZE: u64 = 32;
+
+/// The NAT's own external IP address (192.0.2.1, TEST-NET-1).
+pub const NAT_EXTERNAL_IP: u32 = 0xC000_0201;
+/// The load balancer's virtual IP (10.8.0.1).
+pub const LB_VIP: u32 = 0x0A08_0001;
+/// Number of backends behind the load balancer.
+pub const LB_NUM_BACKENDS: u64 = 16;
+
+/// Verdict returned by NFs for forwarded packets.
+pub const VERDICT_FORWARD: u64 = 1;
+/// Verdict returned by NFs for dropped packets.
+pub const VERDICT_DROP: u64 = 0;
+
+/// Field offsets of a chaining-hash-table / flow-map node.
+pub mod node {
+    /// Source IP (u32).
+    pub const SRC_IP: u64 = 0;
+    /// Destination IP (u32).
+    pub const DST_IP: u64 = 4;
+    /// Source port (u32 slot).
+    pub const SRC_PORT: u64 = 8;
+    /// Destination port (u32 slot).
+    pub const DST_PORT: u64 = 12;
+    /// Protocol (u32 slot).
+    pub const PROTO: u64 = 16;
+    /// Stored value (u64).
+    pub const VALUE: u64 = 24;
+    /// Next pointer (chaining hash table) (u64).
+    pub const NEXT: u64 = 32;
+}
+
+/// Field offsets of a binary-tree / red-black-tree node.
+pub mod tree_node {
+    /// High half of the composite key (src_ip‖dst_ip).
+    pub const KEY_HI: u64 = 0;
+    /// Low half of the composite key (src_port‖dst_port‖proto).
+    pub const KEY_LO: u64 = 8;
+    /// Stored value.
+    pub const VALUE: u64 = 16;
+    /// Left child pointer.
+    pub const LEFT: u64 = 24;
+    /// Right child pointer.
+    pub const RIGHT: u64 = 32;
+    /// Parent pointer (red-black tree only).
+    pub const PARENT: u64 = 40;
+    /// Node colour (red-black tree only; 1 = red, 0 = black).
+    pub const COLOR: u64 = 48;
+}
+
+/// Field offsets of a hash-ring entry.
+pub mod ring_entry {
+    /// Occupancy flag (u32).
+    pub const OCCUPIED: u64 = 0;
+    /// Source IP.
+    pub const SRC_IP: u64 = 4;
+    /// Destination IP.
+    pub const DST_IP: u64 = 8;
+    /// Source port.
+    pub const SRC_PORT: u64 = 12;
+    /// Destination port.
+    pub const DST_PORT: u64 = 16;
+    /// Protocol.
+    pub const PROTO: u64 = 20;
+    /// Stored value.
+    pub const VALUE: u64 = 24;
+}
+
+/// Field offsets of an LPM trie node.
+pub mod trie_node {
+    /// Non-zero if the node carries a route.
+    pub const HAS_ROUTE: u64 = 0;
+    /// The route's output port.
+    pub const PORT: u64 = 4;
+    /// Left (bit 0) child pointer.
+    pub const LEFT: u64 = 8;
+    /// Right (bit 1) child pointer.
+    pub const RIGHT: u64 = 16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_scratch() {
+        for base in [POOL_BASE, BUCKETS_BASE, RING_BASE, DL1_BASE, TRIE_POOL_BASE] {
+            assert!(base > SCRATCH_BASE + 0x1000);
+        }
+    }
+
+    #[test]
+    fn sizes_match_the_paper() {
+        assert_eq!(HASH_TABLE_BUCKETS, 65_536);
+        assert_eq!(RING_ENTRIES, 16_777_216);
+        // 1-stage direct lookup: 2^27 entries, fits in one 1 GiB page.
+        assert!(DL1_ENTRIES * DL1_ENTRY_SIZE <= 1 << 30);
+        // tbl24 is 64 MiB.
+        assert_eq!((1u64 << 24) * 4, 64 * 1024 * 1024);
+        // Ring entries are cache-aligned.
+        assert_eq!(RING_ENTRY_SIZE % 64, 0);
+    }
+
+    #[test]
+    fn node_fields_fit_in_a_node() {
+        assert!(node::NEXT + 8 <= POOL_NODE_SIZE);
+        assert!(tree_node::COLOR + 8 <= POOL_NODE_SIZE);
+        assert!(ring_entry::VALUE + 8 <= RING_ENTRY_SIZE);
+        assert!(trie_node::RIGHT + 8 <= TRIE_NODE_SIZE);
+    }
+}

@@ -1,0 +1,206 @@
+//! The stateful L4 load-balancer NF class (§5.1).
+//!
+//! Traffic addressed to the virtual IP (VIP) is mapped to a backend (direct
+//! IP): the first packet of a connection picks the next backend round-robin
+//! and installs a flow-table entry; subsequent packets of the same flow are
+//! pinned to that backend. Traffic not addressed to the VIP is statically
+//! routed without touching the flow table (which is why the paper tailors
+//! the LB workloads to use the VIP as destination, §5.1).
+
+use castan_ir::{FunctionBuilder, NativeRegistry, Operand, ProgramBuilder, Width};
+
+use crate::keys::{emit_ipv4_l4_guard, emit_key_extraction};
+use crate::layout;
+use crate::spec::{FlowMapBuilder, NfId, NfKind, NfSpec};
+
+/// Builds a load balancer over the given flow-map implementation.
+pub fn build_lb(map: &dyn FlowMapBuilder, id: NfId) -> NfSpec {
+    let mut pb = ProgramBuilder::new();
+    let flowmap = map.build(&mut pb);
+
+    let entry_id = pb.declare("process_packet", 0);
+    let mut f = FunctionBuilder::new("process_packet", 0);
+
+    let tracked = f.new_block();
+    let untracked = f.new_block();
+    let to_vip = f.new_block();
+    let not_vip = f.new_block();
+    let new_flow = f.new_block();
+    let done = f.new_block();
+
+    emit_ipv4_l4_guard(&mut f, tracked, untracked);
+
+    f.switch_to(untracked);
+    f.ret(layout::VERDICT_DROP);
+
+    f.switch_to(tracked);
+    let k = emit_key_extraction(&mut f);
+    let is_vip = f.eq(k.dst_ip, u64::from(layout::LB_VIP));
+    f.branch(is_vip, to_vip, not_vip);
+
+    f.switch_to(not_vip);
+    // Statically routed (e.g. backend-to-client traffic gets its source
+    // rewritten); no data-structure access, as in the paper.
+    f.ret(layout::VERDICT_FORWARD);
+
+    f.switch_to(to_vip);
+    let rr = f.load(layout::RR_COUNTER, Width::W8);
+    let slot = f.urem(rr, layout::LB_NUM_BACKENDS);
+    let backend = f.add(slot, 1u64); // backends are numbered 1..=N
+    let r = f.call(
+        flowmap.lookup_insert,
+        vec![
+            Operand::Reg(k.src_ip),
+            Operand::Reg(k.dst_ip),
+            Operand::Reg(k.src_port),
+            Operand::Reg(k.dst_port),
+            Operand::Reg(k.proto),
+            Operand::Reg(backend),
+        ],
+    );
+    let found = f.and(r, 1u64);
+    f.branch(found, done, new_flow);
+
+    f.switch_to(new_flow);
+    // Only new connections advance the round-robin cursor.
+    let bumped = f.add(rr, 1u64);
+    f.store(layout::RR_COUNTER, bumped, Width::W8);
+    f.jump(done);
+
+    f.switch_to(done);
+    let chosen = f.shr(r, 1u64);
+    f.ret(chosen);
+
+    pb.define(entry_id, f);
+    let program = pb.finish(entry_id);
+
+    let mut natives = NativeRegistry::new();
+    map.register_natives(&mut natives);
+    let mut mem = castan_ir::DataMemory::new();
+    map.init_memory(&mut mem);
+    mem.write(layout::RR_COUNTER, 0, 8);
+
+    NfSpec {
+        id,
+        kind: NfKind::Lb,
+        program,
+        natives,
+        initial_memory: mem,
+        data_regions: map.data_regions(),
+        hash_funcs: map.hash_funcs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bst::UnbalancedTreeMap;
+    use crate::hashring::HashRingMap;
+    use crate::hashtable::HashTableMap;
+    use crate::rbtree::RedBlackTreeMap;
+    use castan_ir::{DataMemory, Interpreter, NullSink};
+    use castan_packet::{Ipv4Addr, Packet, PacketBuilder};
+    use std::collections::HashMap;
+
+    fn all_lbs() -> Vec<NfSpec> {
+        vec![
+            build_lb(&HashTableMap, NfId::LbHashTable),
+            build_lb(&HashRingMap, NfId::LbHashRing),
+            build_lb(&UnbalancedTreeMap, NfId::LbUnbalancedTree),
+            build_lb(&RedBlackTreeMap, NfId::LbRedBlackTree),
+        ]
+    }
+
+    fn run(spec: &NfSpec, mem: &mut DataMemory, pkt: &Packet) -> (u64, u64) {
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let r = interp.run_packet(mem, pkt, &mut NullSink).unwrap();
+        (r.return_value.unwrap(), r.steps)
+    }
+
+    fn vip_packet(client: u64, port: u16) -> Packet {
+        PacketBuilder::new()
+            .src_ip(Ipv4Addr(0x0a00_0000 + client as u32))
+            .dst_ip(Ipv4Addr(layout::LB_VIP))
+            .src_port(port)
+            .dst_port(80)
+            .build()
+    }
+
+    #[test]
+    fn new_connections_round_robin_over_backends() {
+        for spec in all_lbs() {
+            let mut mem = spec.initial_memory.clone();
+            let mut seen = Vec::new();
+            for i in 0..(2 * layout::LB_NUM_BACKENDS) {
+                let (backend, _) = run(&spec, &mut mem, &vip_packet(i, 1000 + i as u16));
+                assert!(
+                    (1..=layout::LB_NUM_BACKENDS).contains(&backend),
+                    "{}: backend {backend} out of range",
+                    spec.name()
+                );
+                seen.push(backend);
+            }
+            // One full rotation covers every backend exactly once.
+            let first_round: std::collections::HashSet<u64> =
+                seen[..layout::LB_NUM_BACKENDS as usize].iter().copied().collect();
+            assert_eq!(
+                first_round.len(),
+                layout::LB_NUM_BACKENDS as usize,
+                "{}: round robin must cover all backends",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flows_stick_to_their_backend() {
+        for spec in all_lbs() {
+            let mut mem = spec.initial_memory.clone();
+            let mut assignment: HashMap<u64, u64> = HashMap::new();
+            // Interleave packets of 20 flows several times.
+            for round in 0..4u64 {
+                for flow in 0..20u64 {
+                    let (backend, _) = run(&spec, &mut mem, &vip_packet(flow, 2000));
+                    match assignment.get(&flow) {
+                        None => {
+                            assignment.insert(flow, backend);
+                        }
+                        Some(&b) => assert_eq!(
+                            b, backend,
+                            "{}: flow {flow} moved backends in round {round}",
+                            spec.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_vip_traffic_skips_the_flow_table() {
+        for spec in all_lbs() {
+            let mut mem = spec.initial_memory.clone();
+            let other = PacketBuilder::new()
+                .dst_ip(Ipv4Addr::new(172, 16, 0, 1))
+                .build();
+            let (v, steps) = run(&spec, &mut mem, &other);
+            assert_eq!(v, layout::VERDICT_FORWARD);
+            assert!(steps < 20, "{}: static path took {steps} steps", spec.name());
+
+            let icmp = PacketBuilder::new()
+                .proto(castan_packet::IpProto::Icmp)
+                .dst_ip(Ipv4Addr(layout::LB_VIP))
+                .build();
+            let (v, _) = run(&spec, &mut mem, &icmp);
+            assert_eq!(v, layout::VERDICT_DROP, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn lb_metadata() {
+        let spec = build_lb(&HashRingMap, NfId::LbHashRing);
+        assert_eq!(spec.kind, NfKind::Lb);
+        assert_eq!(spec.id.name(), "LB hash ring");
+        assert!(spec.program.validate().is_ok());
+    }
+}

@@ -1,0 +1,42 @@
+//! # castan-nf
+//!
+//! The network functions evaluated in the paper (§5.1), expressed in the
+//! `castan-ir` intermediate representation so that the same code is executed
+//! concretely by the simulated testbed and symbolically by the CASTAN
+//! analysis.
+//!
+//! Three NF classes are provided, each over several data structures, for the
+//! same total of eleven NFs the paper evaluates (plus the NOP baseline):
+//!
+//! | class | data structures |
+//! |-------|-----------------|
+//! | LPM (destination IP longest-prefix match) | Patricia/bit trie, one-stage direct lookup (512 MiB array), two-stage DPDK-style lookup (tbl24 + tbl8) |
+//! | NAT (source NAT with per-flow state, two entries per flow) | chaining hash table (65 536 buckets), open-addressing hash ring (2²⁴ entries), unbalanced binary tree, red-black tree |
+//! | LB (VIP→DIP stateful load balancer, round-robin backends) | the same four associative arrays |
+//!
+//! Every NF is packaged as an [`spec::NfSpec`]: the IR program, its initial
+//! data memory (route tables populated as in §5.1), the native helpers it
+//! needs, and metadata the analysis uses (data-structure memory regions and
+//! the hash functions involved).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod catalog;
+pub mod hashring;
+pub mod hashtable;
+pub mod keys;
+pub mod layout;
+pub mod lb;
+pub mod lpm;
+pub mod nat;
+pub mod nop;
+pub mod rbtree;
+pub mod routes;
+pub mod spec;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use catalog::{all_nfs, nf_by_id};
+pub use spec::{FlowMapBuilder, FlowMapIr, MemRegion, NfId, NfKind, NfSpec};

@@ -1,0 +1,417 @@
+//! The three LPM (longest-prefix match) NFs of §5.1:
+//!
+//! * [`lpm_direct1`] — one-stage direct lookup: the whole routing table is
+//!   expanded into a 2²⁷-entry array (512 MiB, one 1 GiB page). One array
+//!   access per packet; the attack surface is pure cache contention (§5.2).
+//! * [`lpm_direct2`] — DPDK-style two-stage lookup: a 64 MiB tbl24 plus
+//!   small tbl8 groups for longer prefixes. At most two array accesses.
+//! * [`lpm_trie`] — a binary (Patricia-style) trie descended bit by bit; the
+//!   attack surface is algorithmic (deep lookups for the most specific
+//!   routes, §5.3).
+//!
+//! All three return the matched route's port (0 when no route matches) and
+//! forward non-IPv4 traffic untouched with verdict
+//! [`layout::VERDICT_FORWARD`].
+
+use castan_ir::{
+    DataMemory, FunctionBuilder, NativeRegistry, ProgramBuilder, Width,
+};
+use castan_packet::PacketField;
+
+use crate::keys::emit_ipv4_guard;
+use crate::layout::{self, trie_node};
+use crate::routes::{evaluation_routes, Route};
+use crate::spec::{MemRegion, NfId, NfKind, NfSpec};
+
+/// Builds the one-stage direct-lookup LPM NF.
+pub fn lpm_direct1() -> NfSpec {
+    let mut f = FunctionBuilder::new("process_packet", 0);
+    let lookup = f.new_block();
+    let not_ip = f.new_block();
+    emit_ipv4_guard(&mut f, lookup, not_ip);
+
+    f.switch_to(lookup);
+    let dst = f.packet_field(PacketField::DstIp);
+    let idx = f.shr(dst, 32u64 - 27);
+    let off = f.mul(idx, layout::DL1_ENTRY_SIZE);
+    let addr = f.add(layout::DL1_BASE, off);
+    let port = f.load(addr, Width::W4);
+    f.ret(port);
+
+    f.switch_to(not_ip);
+    f.ret(layout::VERDICT_FORWARD);
+
+    let mut pb = ProgramBuilder::new();
+    let main = pb.add(f);
+    let program = pb.finish(main);
+
+    let routes = evaluation_routes(27);
+    let mut mem = DataMemory::new();
+    init_direct1(&mut mem, &routes);
+
+    NfSpec {
+        id: NfId::LpmDirect1,
+        kind: NfKind::Lpm,
+        program,
+        natives: NativeRegistry::new(),
+        initial_memory: mem,
+        data_regions: vec![MemRegion {
+            base: layout::DL1_BASE,
+            len: layout::DL1_ENTRIES * layout::DL1_ENTRY_SIZE,
+            stride: layout::DL1_ENTRY_SIZE,
+        }],
+        hash_funcs: vec![],
+    }
+}
+
+/// Expands the routing table into the one-stage array (shorter prefixes
+/// first so longer ones overwrite them, as in the paper's description of
+/// "routes of equal-length IP prefixes").
+fn init_direct1(mem: &mut DataMemory, routes: &[Route]) {
+    let mut sorted: Vec<&Route> = routes.iter().collect();
+    sorted.sort_by_key(|r| r.len);
+    for r in sorted {
+        let start = u64::from(r.prefix) >> 5;
+        let count = 1u64 << (27 - u32::from(r.len).min(27));
+        mem.fill(
+            layout::DL1_BASE + start * layout::DL1_ENTRY_SIZE,
+            u64::from(r.port),
+            layout::DL1_ENTRY_SIZE,
+            count,
+        );
+    }
+}
+
+/// Builds the two-stage (DPDK-style) direct-lookup LPM NF.
+pub fn lpm_direct2() -> NfSpec {
+    let mut f = FunctionBuilder::new("process_packet", 0);
+    let lookup = f.new_block();
+    let not_ip = f.new_block();
+    let second = f.new_block();
+    let first_only = f.new_block();
+    emit_ipv4_guard(&mut f, lookup, not_ip);
+
+    f.switch_to(lookup);
+    let dst = f.packet_field(PacketField::DstIp);
+    let idx24 = f.shr(dst, 8u64);
+    let off24 = f.mul(idx24, 4u64);
+    let addr24 = f.add(layout::DL2_TBL24_BASE, off24);
+    let e24 = f.load(addr24, Width::W4);
+    let flag = f.and(e24, layout::DL2_VALID_GROUP_FLAG);
+    f.branch(flag, second, first_only);
+
+    f.switch_to(first_only);
+    let port = f.and(e24, 0xffffu64);
+    f.ret(port);
+
+    f.switch_to(second);
+    let group = f.and(e24, 0xffffu64);
+    let group_base = f.shl(group, 8u64);
+    let low = f.and(dst, 0xffu64);
+    let idx8 = f.add(group_base, low);
+    let off8 = f.mul(idx8, 4u64);
+    let addr8 = f.add(layout::DL2_TBL8_BASE, off8);
+    let e8 = f.load(addr8, Width::W4);
+    let port8 = f.and(e8, 0xffffu64);
+    f.ret(port8);
+
+    f.switch_to(not_ip);
+    f.ret(layout::VERDICT_FORWARD);
+
+    let mut pb = ProgramBuilder::new();
+    let main = pb.add(f);
+    let program = pb.finish(main);
+
+    let routes = evaluation_routes(32);
+    let mut mem = DataMemory::new();
+    let tbl8_groups = init_direct2(&mut mem, &routes);
+
+    NfSpec {
+        id: NfId::LpmDirect2,
+        kind: NfKind::Lpm,
+        program,
+        natives: NativeRegistry::new(),
+        initial_memory: mem,
+        data_regions: vec![
+            MemRegion {
+                base: layout::DL2_TBL24_BASE,
+                len: (1 << 24) * 4,
+                stride: 4,
+            },
+            MemRegion {
+                base: layout::DL2_TBL8_BASE,
+                len: tbl8_groups * 256 * 4,
+                stride: 4,
+            },
+        ],
+        hash_funcs: vec![],
+    }
+}
+
+/// Populates tbl24/tbl8 and returns the number of tbl8 groups allocated.
+fn init_direct2(mem: &mut DataMemory, routes: &[Route]) -> u64 {
+    // Pass 1: routes up to /24 expand directly into tbl24.
+    let mut sorted: Vec<&Route> = routes.iter().filter(|r| r.len <= 24).collect();
+    sorted.sort_by_key(|r| r.len);
+    for r in &sorted {
+        let start = u64::from(r.prefix) >> 8;
+        let count = 1u64 << (24 - u32::from(r.len));
+        mem.fill(
+            layout::DL2_TBL24_BASE + start * 4,
+            u64::from(r.port),
+            4,
+            count,
+        );
+    }
+    // Pass 2: routes longer than /24 get a tbl8 group per covering /24.
+    let mut groups = 0u64;
+    let mut longer: Vec<&Route> = routes.iter().filter(|r| r.len > 24).collect();
+    longer.sort_by_key(|r| r.len);
+    for r in longer {
+        let idx24 = u64::from(r.prefix) >> 8;
+        let tbl24_addr = layout::DL2_TBL24_BASE + idx24 * 4;
+        let existing = mem.read(tbl24_addr, 4);
+        let group = if existing & layout::DL2_VALID_GROUP_FLAG != 0 {
+            existing & 0xffff
+        } else {
+            let g = groups;
+            groups += 1;
+            // New group inherits the best shorter-prefix route for the /24.
+            mem.fill(
+                layout::DL2_TBL8_BASE + g * 256 * 4,
+                existing & 0xffff,
+                4,
+                256,
+            );
+            mem.write(tbl24_addr, layout::DL2_VALID_GROUP_FLAG | g, 4);
+            g
+        };
+        let span = 1u64 << (32 - u32::from(r.len));
+        let first = u64::from(r.prefix) & 0xff;
+        mem.fill(
+            layout::DL2_TBL8_BASE + (group * 256 + first) * 4,
+            u64::from(r.port),
+            4,
+            span,
+        );
+    }
+    groups.max(1)
+}
+
+/// Builds the trie-based LPM NF.
+pub fn lpm_trie() -> NfSpec {
+    let mut f = FunctionBuilder::new("process_packet", 0);
+    let lookup = f.new_block();
+    let not_ip = f.new_block();
+    let loop_head = f.new_block();
+    let loop_body = f.new_block();
+    let done = f.new_block();
+    emit_ipv4_guard(&mut f, lookup, not_ip);
+
+    f.switch_to(lookup);
+    let dst = f.packet_field(PacketField::DstIp);
+    let node = f.mov(layout::TRIE_POOL_BASE); // root node lives at the pool base
+    let best = f.mov(0u64);
+    let depth = f.mov(0u64);
+    f.jump(loop_head);
+
+    f.switch_to(loop_head);
+    let is_null = f.eq(node, 0u64);
+    f.branch(is_null, done, loop_body);
+
+    f.switch_to(loop_body);
+    let has_addr = f.add(node, trie_node::HAS_ROUTE);
+    let has = f.load(has_addr, Width::W4);
+    let port_addr = f.add(node, trie_node::PORT);
+    let port = f.load(port_addr, Width::W4);
+    let new_best = f.select(has, port, best);
+    f.assign(best, new_best);
+    let shift = f.sub(31u64, depth);
+    let bit = f.shr(dst, shift);
+    let bit = f.and(bit, 1u64);
+    let left_addr = f.add(node, trie_node::LEFT);
+    let left = f.load(left_addr, Width::W8);
+    let right_addr = f.add(node, trie_node::RIGHT);
+    let right = f.load(right_addr, Width::W8);
+    let next = f.select(bit, right, left);
+    f.assign(node, next);
+    let d1 = f.add(depth, 1u64);
+    f.assign(depth, d1);
+    f.jump(loop_head);
+
+    f.switch_to(done);
+    f.ret(best);
+
+    f.switch_to(not_ip);
+    f.ret(layout::VERDICT_FORWARD);
+
+    let mut pb = ProgramBuilder::new();
+    let main = pb.add(f);
+    let program = pb.finish(main);
+
+    let routes = evaluation_routes(32);
+    let mut mem = DataMemory::new();
+    let nodes = init_trie(&mut mem, &routes);
+
+    NfSpec {
+        id: NfId::LpmTrie,
+        kind: NfKind::Lpm,
+        program,
+        natives: NativeRegistry::new(),
+        initial_memory: mem,
+        data_regions: vec![MemRegion {
+            base: layout::TRIE_POOL_BASE,
+            len: nodes * layout::TRIE_NODE_SIZE,
+            stride: layout::TRIE_NODE_SIZE,
+        }],
+        hash_funcs: vec![],
+    }
+}
+
+/// Builds the bit trie in the node pool; returns the number of nodes.
+fn init_trie(mem: &mut DataMemory, routes: &[Route]) -> u64 {
+    // Node 0 (at TRIE_POOL_BASE) is the root. A bump allocator hands out
+    // subsequent nodes. All fields start zeroed (no route, null children).
+    let mut next_node = 1u64;
+    let node_addr = |i: u64| layout::TRIE_POOL_BASE + i * layout::TRIE_NODE_SIZE;
+
+    for r in routes {
+        let mut cur = 0u64;
+        for depth in 0..u64::from(r.len) {
+            let bit = (u64::from(r.prefix) >> (31 - depth)) & 1;
+            let child_off = if bit == 1 {
+                trie_node::RIGHT
+            } else {
+                trie_node::LEFT
+            };
+            let child_ptr_addr = node_addr(cur) + child_off;
+            let mut child = mem.read(child_ptr_addr, 8);
+            if child == 0 {
+                child = node_addr(next_node);
+                next_node += 1;
+                mem.write(child_ptr_addr, child, 8);
+            }
+            cur = (child - layout::TRIE_POOL_BASE) / layout::TRIE_NODE_SIZE;
+        }
+        mem.write(node_addr(cur) + trie_node::HAS_ROUTE, 1, 4);
+        mem.write(node_addr(cur) + trie_node::PORT, u64::from(r.port), 4);
+    }
+    next_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::reference_lookup;
+    use castan_ir::{Interpreter, NullSink};
+    use castan_packet::{EtherType, Ipv4Addr, Packet, PacketBuilder};
+
+    fn run(spec: &NfSpec, pkt: &Packet) -> u64 {
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let mut mem = spec.initial_memory.clone();
+        interp
+            .run_packet(&mut mem, pkt, &mut NullSink)
+            .unwrap()
+            .return_value
+            .unwrap()
+    }
+
+    fn dst(ip: Ipv4Addr) -> Packet {
+        PacketBuilder::new().dst_ip(ip).build()
+    }
+
+    fn check_against_reference(spec: &NfSpec, max_len: u8) {
+        let routes = evaluation_routes(max_len);
+        // Probe destinations that hit every route plus some that miss.
+        let mut probes: Vec<u32> = routes.iter().map(|r| r.prefix | 0x1).collect();
+        probes.extend(routes.iter().map(|r| r.prefix));
+        probes.push(Ipv4Addr::new(203, 0, 113, 7).to_u32());
+        probes.push(Ipv4Addr::new(10, 200, 200, 200).to_u32());
+        probes.push(0);
+        for ip in probes {
+            let expected = u64::from(reference_lookup(&routes, ip));
+            let got = run(spec, &dst(Ipv4Addr(ip)));
+            assert_eq!(got, expected, "lookup mismatch for {}", Ipv4Addr(ip));
+        }
+    }
+
+    #[test]
+    fn direct1_matches_reference() {
+        check_against_reference(&lpm_direct1(), 27);
+    }
+
+    #[test]
+    fn direct2_matches_reference() {
+        check_against_reference(&lpm_direct2(), 32);
+    }
+
+    #[test]
+    fn trie_matches_reference() {
+        check_against_reference(&lpm_trie(), 32);
+    }
+
+    #[test]
+    fn non_ip_traffic_is_forwarded_without_lookup() {
+        for spec in [lpm_direct1(), lpm_direct2(), lpm_trie()] {
+            let pkt = PacketBuilder::new().ethertype(EtherType::Arp).build();
+            assert_eq!(run(&spec, &pkt), layout::VERDICT_FORWARD);
+        }
+    }
+
+    #[test]
+    fn trie_lookup_depth_tracks_prefix_length() {
+        // A /32 destination must execute more instructions than a /8-only
+        // destination — the algorithmic asymmetry CASTAN exploits (§5.3).
+        let spec = lpm_trie();
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let deep_dst = crate::routes::most_specific_destinations()[0];
+        let shallow_dst = Ipv4Addr::new(10, 200, 0, 1); // matches only 10/8
+
+        let mut mem = spec.initial_memory.clone();
+        let deep = interp
+            .run_packet(&mut mem, &dst(deep_dst), &mut NullSink)
+            .unwrap()
+            .steps;
+        let shallow = interp
+            .run_packet(&mut mem, &dst(shallow_dst), &mut NullSink)
+            .unwrap()
+            .steps;
+        assert!(
+            deep > shallow + 30,
+            "expected /32 lookups to be much deeper: {deep} vs {shallow}"
+        );
+    }
+
+    #[test]
+    fn direct2_uses_second_stage_only_for_long_prefixes() {
+        let spec = lpm_direct2();
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let mut mem = spec.initial_memory.clone();
+        let two_stage = interp
+            .run_packet(
+                &mut mem,
+                &dst(crate::routes::most_specific_destinations()[0]),
+                &mut NullSink,
+            )
+            .unwrap()
+            .steps;
+        let one_stage = interp
+            .run_packet(&mut mem, &dst(Ipv4Addr::new(10, 200, 0, 1)), &mut NullSink)
+            .unwrap()
+            .steps;
+        assert!(two_stage > one_stage, "{two_stage} vs {one_stage}");
+    }
+
+    #[test]
+    fn specs_have_sensible_metadata() {
+        let d1 = lpm_direct1();
+        assert_eq!(d1.kind, NfKind::Lpm);
+        assert_eq!(d1.data_regions[0].len, 512 * 1024 * 1024);
+        assert!(d1.hash_funcs.is_empty());
+        let d2 = lpm_direct2();
+        assert_eq!(d2.data_regions[0].len, 64 * 1024 * 1024);
+        let trie = lpm_trie();
+        assert!(trie.data_regions[0].len < 1024 * 1024);
+        assert!(trie.program.validate().is_ok());
+    }
+}

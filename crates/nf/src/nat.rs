@@ -1,0 +1,262 @@
+//! The source-NAT NF class (§5.1).
+//!
+//! The NAT keeps per-flow state in a flow map. For traffic leaving the
+//! internal network it allocates an external port and installs **two**
+//! entries — one keyed on the outgoing 5-tuple, one keyed on the expected
+//! return 5-tuple (external endpoint → NAT's own address and the allocated
+//! port). Returning traffic is matched against the second entry. The
+//! two-entries-per-flow behaviour is what makes the NAT the hardest case for
+//! CASTAN's hash reconciliation (§5.4): two related keys must be inverted
+//! consistently.
+
+use castan_ir::{FunctionBuilder, NativeRegistry, Operand, ProgramBuilder, Width};
+
+use crate::keys::{emit_ipv4_l4_guard, emit_key_extraction};
+use crate::layout;
+use crate::spec::{FlowMapBuilder, NfId, NfKind, NfSpec};
+
+/// Builds a NAT over the given flow-map implementation.
+pub fn build_nat(map: &dyn FlowMapBuilder, id: NfId) -> NfSpec {
+    let mut pb = ProgramBuilder::new();
+    let flowmap = map.build(&mut pb);
+
+    let entry_id = pb.declare("process_packet", 0);
+    let mut f = FunctionBuilder::new("process_packet", 0);
+
+    let tracked = f.new_block();
+    let untracked = f.new_block();
+    let outgoing = f.new_block();
+    let returning = f.new_block();
+    let create_reverse = f.new_block();
+    let out_done = f.new_block();
+
+    emit_ipv4_l4_guard(&mut f, tracked, untracked);
+
+    f.switch_to(untracked);
+    f.ret(layout::VERDICT_FORWARD);
+
+    f.switch_to(tracked);
+    let k = emit_key_extraction(&mut f);
+    let to_nat = f.eq(k.dst_ip, u64::from(layout::NAT_EXTERNAL_IP));
+    f.branch(to_nat, returning, outgoing);
+
+    // --- internal → external -------------------------------------------------
+    f.switch_to(outgoing);
+    let port_ctr = f.load(layout::NAT_PORT_COUNTER, Width::W8);
+    let masked = f.and(port_ctr, 0xffffu64);
+    let ext_port = f.add(masked, 1024u64);
+    let fwd = f.call(
+        flowmap.lookup_insert,
+        vec![
+            Operand::Reg(k.src_ip),
+            Operand::Reg(k.dst_ip),
+            Operand::Reg(k.src_port),
+            Operand::Reg(k.dst_port),
+            Operand::Reg(k.proto),
+            Operand::Reg(ext_port),
+        ],
+    );
+    let found = f.and(fwd, 1u64);
+    f.branch(found, out_done, create_reverse);
+
+    f.switch_to(create_reverse);
+    // New flow: bump the port counter and install the reverse mapping keyed
+    // on the packets we expect back (external endpoint → NAT:ext_port).
+    let bumped = f.add(port_ctr, 1u64);
+    f.store(layout::NAT_PORT_COUNTER, bumped, Width::W8);
+    // Reverse value encodes the internal endpoint so returning packets can
+    // be rewritten: (internal ip << 16) | internal port.
+    let enc_ip = f.shl(k.src_ip, 16u64);
+    let rev_value = f.or(enc_ip, k.src_port);
+    let _ = f.call(
+        flowmap.lookup_insert,
+        vec![
+            Operand::Reg(k.dst_ip),
+            Operand::Imm(u64::from(layout::NAT_EXTERNAL_IP)),
+            Operand::Reg(k.dst_port),
+            Operand::Reg(ext_port),
+            Operand::Reg(k.proto),
+            Operand::Reg(rev_value),
+        ],
+    );
+    f.jump(out_done);
+
+    f.switch_to(out_done);
+    // The translated source port is the flow's stored value; the packet is
+    // forwarded either way.
+    f.ret(layout::VERDICT_FORWARD);
+
+    // --- external → internal -------------------------------------------------
+    f.switch_to(returning);
+    let rev = f.call(
+        flowmap.lookup_insert,
+        vec![
+            Operand::Reg(k.src_ip),
+            Operand::Reg(k.dst_ip),
+            Operand::Reg(k.src_port),
+            Operand::Reg(k.dst_port),
+            Operand::Reg(k.proto),
+            Operand::Imm(0),
+        ],
+    );
+    let rev_found = f.and(rev, 1u64);
+    // Known flows are forwarded (rewritten to the stored internal endpoint);
+    // unknown incoming traffic is dropped, as a real NAT would.
+    let verdict = f.select(rev_found, layout::VERDICT_FORWARD, layout::VERDICT_DROP);
+    f.ret(verdict);
+
+    pb.define(entry_id, f);
+    let program = pb.finish(entry_id);
+
+    let mut natives = NativeRegistry::new();
+    map.register_natives(&mut natives);
+    let mut mem = castan_ir::DataMemory::new();
+    map.init_memory(&mut mem);
+    mem.write(layout::NAT_PORT_COUNTER, 0, 8);
+
+    NfSpec {
+        id,
+        kind: NfKind::Nat,
+        program,
+        natives,
+        initial_memory: mem,
+        data_regions: map.data_regions(),
+        hash_funcs: map.hash_funcs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bst::UnbalancedTreeMap;
+    use crate::hashring::HashRingMap;
+    use crate::hashtable::HashTableMap;
+    use crate::rbtree::RedBlackTreeMap;
+    use castan_ir::{DataMemory, Interpreter, NullSink};
+    use castan_packet::{Ipv4Addr, Packet, PacketBuilder};
+
+    fn all_nats() -> Vec<NfSpec> {
+        vec![
+            build_nat(&HashTableMap, NfId::NatHashTable),
+            build_nat(&HashRingMap, NfId::NatHashRing),
+            build_nat(&UnbalancedTreeMap, NfId::NatUnbalancedTree),
+            build_nat(&RedBlackTreeMap, NfId::NatRedBlackTree),
+        ]
+    }
+
+    fn run(spec: &NfSpec, mem: &mut DataMemory, pkt: &Packet) -> (u64, u64) {
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let r = interp.run_packet(mem, pkt, &mut NullSink).unwrap();
+        (r.return_value.unwrap(), r.steps)
+    }
+
+    fn outgoing_packet(i: u64) -> Packet {
+        PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(192, 168, 1, (1 + i % 200) as u8))
+            .dst_ip(Ipv4Addr::new(93, 184, 216, 34))
+            .src_port(10_000 + (i % 1000) as u16)
+            .dst_port(443)
+            .build()
+    }
+
+    #[test]
+    fn outgoing_flows_are_forwarded_and_state_grows() {
+        for spec in all_nats() {
+            let mut mem = spec.initial_memory.clone();
+            let (v1, steps_first) = run(&spec, &mut mem, &outgoing_packet(0));
+            assert_eq!(v1, layout::VERDICT_FORWARD, "{}", spec.name());
+            // Replaying the same flow takes the hit path: fewer steps than
+            // the insert path (which installed two entries).
+            let (_, steps_hit) = run(&spec, &mut mem, &outgoing_packet(0));
+            assert!(
+                steps_hit < steps_first,
+                "{}: hit ({steps_hit}) should be cheaper than first insert ({steps_first})",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_return_traffic_is_dropped_known_is_forwarded() {
+        for spec in all_nats() {
+            let mut mem = spec.initial_memory.clone();
+            // Unknown incoming packet to the NAT's external address: drop.
+            let stray = PacketBuilder::new()
+                .src_ip(Ipv4Addr::new(8, 8, 8, 8))
+                .dst_ip(Ipv4Addr(layout::NAT_EXTERNAL_IP))
+                .src_port(53)
+                .dst_port(40_000)
+                .build();
+            let (v, _) = run(&spec, &mut mem, &stray);
+            assert_eq!(v, layout::VERDICT_DROP, "{}", spec.name());
+
+            // Establish an outgoing flow, then send the matching return
+            // packet: the reverse key is (remote ip, NAT ip, remote port,
+            // allocated external port). The first allocation is port 1024.
+            let out = PacketBuilder::new()
+                .src_ip(Ipv4Addr::new(192, 168, 1, 5))
+                .dst_ip(Ipv4Addr::new(8, 8, 4, 4))
+                .src_port(5555)
+                .dst_port(53)
+                .build();
+            run(&spec, &mut mem, &out);
+            let ret = PacketBuilder::new()
+                .src_ip(Ipv4Addr::new(8, 8, 4, 4))
+                .dst_ip(Ipv4Addr(layout::NAT_EXTERNAL_IP))
+                .src_port(53)
+                .dst_port(1024)
+                .build();
+            let (v, _) = run(&spec, &mut mem, &ret);
+            assert_eq!(v, layout::VERDICT_FORWARD, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn non_l4_traffic_bypasses_the_flow_table() {
+        for spec in all_nats() {
+            let mut mem = spec.initial_memory.clone();
+            let icmp = PacketBuilder::new()
+                .proto(castan_packet::IpProto::Icmp)
+                .build();
+            let (v, steps) = run(&spec, &mut mem, &icmp);
+            assert_eq!(v, layout::VERDICT_FORWARD);
+            assert!(steps < 15, "{}: bypass should be short, took {steps}", spec.name());
+        }
+    }
+
+    #[test]
+    fn skewed_flows_hurt_the_unbalanced_tree_but_not_the_rbtree() {
+        // The paper's Manual workload: same endpoints, increasing dst port.
+        let skew_pkt = |i: u64| {
+            PacketBuilder::new()
+                .src_ip(Ipv4Addr::new(192, 168, 1, 9))
+                .dst_ip(Ipv4Addr::new(8, 8, 8, 8))
+                .src_port(4242)
+                .dst_port(2000 + i as u16)
+                .build()
+        };
+        let bst = build_nat(&UnbalancedTreeMap, NfId::NatUnbalancedTree);
+        let rb = build_nat(&RedBlackTreeMap, NfId::NatRedBlackTree);
+        let mut bst_mem = bst.initial_memory.clone();
+        let mut rb_mem = rb.initial_memory.clone();
+        let mut bst_last = 0;
+        let mut rb_last = 0;
+        for i in 0..100 {
+            bst_last = run(&bst, &mut bst_mem, &skew_pkt(i)).1;
+            rb_last = run(&rb, &mut rb_mem, &skew_pkt(i)).1;
+        }
+        assert!(
+            bst_last > 2 * rb_last,
+            "skew should hit the unbalanced tree much harder: bst={bst_last}, rb={rb_last}"
+        );
+    }
+
+    #[test]
+    fn nat_metadata_reports_two_hashes_for_hash_structures() {
+        let spec = build_nat(&HashTableMap, NfId::NatHashTable);
+        assert_eq!(spec.kind, NfKind::Nat);
+        assert_eq!(spec.hash_funcs.len(), 1);
+        assert!(!spec.data_regions.is_empty());
+        assert!(spec.program.validate().is_ok());
+    }
+}

@@ -1,0 +1,51 @@
+//! The NOP baseline NF.
+//!
+//! §5.1: "we include in each plot the end-to-end latency CDF of a special
+//! NOP NF that forwards packets without any other processing" — it
+//! calibrates the DPDK/driver/transmission overhead that every measurement
+//! includes, and all relative latency numbers are reported as deviation from
+//! it (Table 5).
+
+use castan_ir::{DataMemory, FunctionBuilder, NativeRegistry, ProgramBuilder};
+
+use crate::layout;
+use crate::spec::{NfId, NfKind, NfSpec};
+
+/// Builds the NOP NF.
+pub fn nop() -> NfSpec {
+    let mut f = FunctionBuilder::new("process_packet", 0);
+    f.ret(layout::VERDICT_FORWARD);
+    let mut pb = ProgramBuilder::new();
+    let main = pb.add(f);
+    let program = pb.finish(main);
+
+    NfSpec {
+        id: NfId::Nop,
+        kind: NfKind::Nop,
+        program,
+        natives: NativeRegistry::new(),
+        initial_memory: DataMemory::new(),
+        data_regions: vec![],
+        hash_funcs: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::{Interpreter, NullSink};
+    use castan_packet::PacketBuilder;
+
+    #[test]
+    fn forwards_everything_in_one_step() {
+        let spec = nop();
+        let interp = Interpreter::new(&spec.program, &spec.natives);
+        let mut mem = spec.initial_memory.clone();
+        let r = interp
+            .run_packet(&mut mem, &PacketBuilder::new().build(), &mut NullSink)
+            .unwrap();
+        assert_eq!(r.return_value, Some(layout::VERDICT_FORWARD));
+        assert_eq!(r.steps, 1);
+        assert_eq!(spec.kind, NfKind::Nop);
+    }
+}

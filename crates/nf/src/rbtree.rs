@@ -1,0 +1,331 @@
+//! The red-black tree flow map (§5.1, data structure (4)).
+//!
+//! Lookup and the descending part of insertion are ordinary IR (identical to
+//! the unbalanced tree, plus parent/colour bookkeeping). The post-insert
+//! *rebalancing* is performed by a native helper — the same escape hatch
+//! KLEE uses for external library calls — because expressing the full CLRS
+//! fix-up with rotations in the IR adds nothing to the analysis: the paper's
+//! finding for this NF is precisely that rebalancing defeats CASTAN's
+//! attempts to grow deep paths (§5.3, Fig. 11), and the helper's memory
+//! traffic is still reported to the cost model, so measured costs include
+//! the rotations.
+
+use std::sync::Arc;
+
+use castan_ir::native::MemAccess;
+use castan_ir::{
+    CostClass, DataMemory, ExecSink, FunctionBuilder, HashFunc, NativeHelper, NativeId,
+    NativeRegistry, Operand, ProgramBuilder,
+};
+
+use crate::bst::emit_tree_lookup_insert;
+use crate::layout::{self, tree_node};
+use crate::spec::{FlowMapBuilder, FlowMapIr, MemRegion};
+
+/// Native-helper id of the red-black rebalancing routine.
+pub const RB_FIXUP_NATIVE: NativeId = NativeId(1);
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// The rebalancing helper: a faithful CLRS `RB-INSERT-FIXUP` operating on
+/// the node pool through [`MemAccess`].
+pub struct RbFixup;
+
+struct Tree<'a, 'b> {
+    mem: &'a mut dyn MemAccess,
+    sink: &'a mut (dyn ExecSink + 'b),
+    root_cell: u64,
+}
+
+impl Tree<'_, '_> {
+    fn read(&mut self, node: u64, off: u64) -> u64 {
+        self.sink.retire(CostClass::Load);
+        self.sink.mem_access(node + off, 8, false);
+        self.mem.read(node + off, 8)
+    }
+
+    fn write(&mut self, node: u64, off: u64, v: u64) {
+        self.sink.retire(CostClass::Store);
+        self.sink.mem_access(node + off, 8, true);
+        self.mem.write(node + off, v, 8);
+    }
+
+    fn root(&mut self) -> u64 {
+        self.sink.retire(CostClass::Load);
+        self.sink.mem_access(self.root_cell, 8, false);
+        self.mem.read(self.root_cell, 8)
+    }
+
+    fn set_root(&mut self, v: u64) {
+        self.sink.retire(CostClass::Store);
+        self.sink.mem_access(self.root_cell, 8, true);
+        self.mem.write(self.root_cell, v, 8);
+    }
+
+    fn parent(&mut self, n: u64) -> u64 {
+        self.read(n, tree_node::PARENT)
+    }
+
+    fn color(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            BLACK // null leaves are black
+        } else {
+            self.read(n, tree_node::COLOR)
+        }
+    }
+
+    fn set_color(&mut self, n: u64, c: u64) {
+        if n != 0 {
+            self.write(n, tree_node::COLOR, c);
+        }
+    }
+
+    /// Rotates left around `x` (mirrored when `left` is false).
+    fn rotate(&mut self, x: u64, left: bool) {
+        let (down_off, up_off) = if left {
+            (tree_node::RIGHT, tree_node::LEFT)
+        } else {
+            (tree_node::LEFT, tree_node::RIGHT)
+        };
+        let y = self.read(x, down_off);
+        let y_up = self.read(y, up_off);
+        self.write(x, down_off, y_up);
+        if y_up != 0 {
+            self.write(y_up, tree_node::PARENT, x);
+        }
+        let xp = self.parent(x);
+        self.write(y, tree_node::PARENT, xp);
+        if xp == 0 {
+            self.set_root(y);
+        } else {
+            let xp_left = self.read(xp, tree_node::LEFT);
+            if xp_left == x {
+                self.write(xp, tree_node::LEFT, y);
+            } else {
+                self.write(xp, tree_node::RIGHT, y);
+            }
+        }
+        self.write(y, up_off, x);
+        self.write(x, tree_node::PARENT, y);
+    }
+
+    fn fixup(&mut self, mut z: u64) {
+        loop {
+            let zp = self.parent(z);
+            if zp == 0 || self.color(zp) != RED {
+                break;
+            }
+            let zg = self.parent(zp);
+            if zg == 0 {
+                break;
+            }
+            let g_left = self.read(zg, tree_node::LEFT);
+            let parent_is_left = g_left == zp;
+            let uncle = if parent_is_left {
+                self.read(zg, tree_node::RIGHT)
+            } else {
+                g_left
+            };
+            if self.color(uncle) == RED {
+                self.set_color(zp, BLACK);
+                self.set_color(uncle, BLACK);
+                self.set_color(zg, RED);
+                z = zg;
+            } else {
+                let zp_inner_child = if parent_is_left {
+                    self.read(zp, tree_node::RIGHT)
+                } else {
+                    self.read(zp, tree_node::LEFT)
+                };
+                if z == zp_inner_child {
+                    z = zp;
+                    self.rotate(z, parent_is_left);
+                }
+                let zp = self.parent(z);
+                let zg = self.parent(zp);
+                self.set_color(zp, BLACK);
+                self.set_color(zg, RED);
+                self.rotate(zg, !parent_is_left);
+            }
+        }
+        let root = self.root();
+        self.set_color(root, BLACK);
+    }
+}
+
+impl NativeHelper for RbFixup {
+    fn call(&self, mem: &mut dyn MemAccess, args: &[u64], sink: &mut dyn ExecSink) -> u64 {
+        let root_cell = args[0];
+        let new_node = args[1];
+        let mut tree = Tree {
+            mem,
+            sink,
+            root_cell,
+        };
+        tree.fixup(new_node);
+        0
+    }
+
+    fn estimated_cycles(&self) -> u64 {
+        // A handful of rotations and recolourings, each a few loads/stores.
+        120
+    }
+
+    fn name(&self) -> &'static str {
+        "rb_insert_fixup"
+    }
+}
+
+/// Builder for the red-black tree flow map.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RedBlackTreeMap;
+
+impl FlowMapBuilder for RedBlackTreeMap {
+    fn name(&self) -> &'static str {
+        "red-black tree"
+    }
+
+    fn build(&self, pb: &mut ProgramBuilder) -> FlowMapIr {
+        let fid = pb.declare("flowmap_rbtree_lookup_insert", 6);
+        let mut f = FunctionBuilder::new("flowmap_rbtree_lookup_insert", 6);
+        let value_if_new = f.param(5);
+        let emit = emit_tree_lookup_insert(&mut f, true);
+        f.switch_to(emit.insert_done);
+        let _ = f.native(
+            RB_FIXUP_NATIVE,
+            vec![Operand::Imm(layout::ROOT_CELL), Operand::Reg(emit.new_node)],
+        );
+        let out = f.shl(value_if_new, 1u64);
+        f.ret(out);
+        pb.define(fid, f);
+        FlowMapIr {
+            lookup_insert: fid,
+        }
+    }
+
+    fn init_memory(&self, mem: &mut DataMemory) {
+        mem.write(layout::ALLOC_PTR, layout::POOL_BASE, 8);
+        mem.write(layout::ROOT_CELL, 0, 8);
+    }
+
+    fn register_natives(&self, natives: &mut NativeRegistry) {
+        natives.register(RB_FIXUP_NATIVE, Arc::new(RbFixup));
+    }
+
+    fn data_regions(&self) -> Vec<MemRegion> {
+        vec![MemRegion {
+            base: layout::POOL_BASE,
+            len: 1 << 27,
+            stride: layout::POOL_NODE_SIZE,
+        }]
+    }
+
+    fn hash_funcs(&self) -> Vec<HashFunc> {
+        vec![]
+    }
+}
+
+/// Checks the red-black invariants of the tree rooted in `root_cell`
+/// (used by tests and by the testbed's self-checks): returns the black
+/// height, panicking on violations.
+pub fn check_rb_invariants(mem: &mut DataMemory, root_cell: u64) -> u64 {
+    let root = mem.read(root_cell, 8);
+    if root == 0 {
+        return 1;
+    }
+    assert_eq!(
+        mem.read(root + tree_node::COLOR, 8),
+        BLACK,
+        "root must be black"
+    );
+    fn walk(mem: &mut DataMemory, n: u64) -> u64 {
+        if n == 0 {
+            return 1;
+        }
+        let color = mem.read(n + tree_node::COLOR, 8);
+        let left = mem.read(n + tree_node::LEFT, 8);
+        let right = mem.read(n + tree_node::RIGHT, 8);
+        if color == RED {
+            for child in [left, right] {
+                if child != 0 {
+                    assert_eq!(
+                        mem.read(child + tree_node::COLOR, 8),
+                        BLACK,
+                        "red node has a red child"
+                    );
+                }
+            }
+        }
+        let lh = walk(mem, left);
+        let rh = walk(mem, right);
+        assert_eq!(lh, rh, "black heights differ");
+        lh + u64::from(color == BLACK)
+    }
+    walk(mem, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{exercise_flowmap_as_reference_map, flowmap_harness};
+
+    #[test]
+    fn behaves_like_a_reference_map() {
+        exercise_flowmap_as_reference_map(&RedBlackTreeMap, 300);
+    }
+
+    #[test]
+    fn monotone_insertions_stay_balanced() {
+        // The same skew attack that degenerates the unbalanced tree must be
+        // absorbed by rebalancing: lookup cost grows like log n, and the
+        // red-black invariants hold throughout.
+        let h = flowmap_harness(&RedBlackTreeMap);
+        let mut mem = h.fresh_memory();
+        let mut last_steps = 0;
+        for i in 0..200u64 {
+            let key = [10, 20, 1000, 2000 + i, 17];
+            let (_, found, steps) = h.lookup_insert(&mut mem, key, i);
+            assert!(!found);
+            last_steps = steps;
+        }
+        check_rb_invariants(&mut mem, layout::ROOT_CELL);
+
+        // Compare with the unbalanced tree under the identical workload.
+        let hu = flowmap_harness(&crate::bst::UnbalancedTreeMap);
+        let mut mem_u = hu.fresh_memory();
+        let mut last_unbalanced = 0;
+        for i in 0..200u64 {
+            let key = [10, 20, 1000, 2000 + i, 17];
+            last_unbalanced = hu.lookup_insert(&mut mem_u, key, i).2;
+        }
+        assert!(
+            last_unbalanced > 4 * last_steps,
+            "rebalancing should keep inserts cheap: rb={last_steps}, bst={last_unbalanced}"
+        );
+    }
+
+    #[test]
+    fn invariants_hold_for_random_insertion_orders() {
+        let h = flowmap_harness(&RedBlackTreeMap);
+        let mut mem = h.fresh_memory();
+        for i in 0..300u64 {
+            let scattered = (i * 2654435761) % 100_000;
+            let key = [scattered, 20, 1000 + (i % 3), 2000, 17];
+            h.lookup_insert(&mut mem, key, i);
+        }
+        let bh = check_rb_invariants(&mut mem, layout::ROOT_CELL);
+        assert!(bh >= 3, "300 nodes should give a black height of at least 3");
+    }
+
+    #[test]
+    fn metadata() {
+        let m = RedBlackTreeMap;
+        assert_eq!(m.name(), "red-black tree");
+        let mut reg = NativeRegistry::new();
+        m.register_natives(&mut reg);
+        assert_eq!(reg.len(), 1);
+        assert!(RbFixup.estimated_cycles() > 0);
+        assert_eq!(RbFixup.name(), "rb_insert_fixup");
+    }
+}

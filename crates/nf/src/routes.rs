@@ -1,0 +1,164 @@
+//! The LPM forwarding table used throughout the evaluation.
+//!
+//! §5.1: "We populate the forwarding table with /8, /16, /24, and in some
+//! case /32 routes (depending on the underlying data structure), 8 of each.
+//! We chose the prefixes to overlap as much as possible, i.e., each prefix
+//! includes a more specific one (except for the /32 entries)."
+
+use castan_packet::Ipv4Addr;
+
+/// One route: prefix, prefix length, output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Network prefix (host-order u32, already masked).
+    pub prefix: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+    /// Output port (1-based so 0 can mean "no route / default").
+    pub port: u32,
+}
+
+impl Route {
+    /// True if `ip` falls under this route's prefix.
+    pub fn matches(&self, ip: u32) -> bool {
+        let mask = castan_packet::ip::prefix_mask(self.len);
+        ip & mask == self.prefix
+    }
+}
+
+/// Builds the evaluation forwarding table: 8 routes per prefix length, with
+/// each shorter prefix containing a longer one (e.g. 10.0.0.0/8 ⊃
+/// 10.1.0.0/16 ⊃ 10.1.1.0/24 ⊃ 10.1.1.1/32).
+///
+/// `max_len` caps the most specific prefix length the data structure
+/// supports: the bit trie uses 32, the one-stage direct lookup 27, the
+/// DPDK-style lookup 32.
+pub fn evaluation_routes(max_len: u8) -> Vec<Route> {
+    let mut routes = Vec::new();
+    let mut port = 1u32;
+    for i in 0u32..8 {
+        let base_octet = 10 + i; // 10.x, 11.x, … 17.x
+        let r8 = Ipv4Addr::new(base_octet as u8, 0, 0, 0).to_u32();
+        let r16 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, 0, 0).to_u32();
+        let r24 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, (i + 1) as u8, 0).to_u32();
+        let r32 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, (i + 1) as u8, (i + 1) as u8)
+            .to_u32();
+        for (prefix, len) in [(r8, 8u8), (r16, 16), (r24, 24), (r32, 32)] {
+            if len <= max_len {
+                routes.push(Route {
+                    prefix,
+                    len,
+                    port,
+                });
+                port += 1;
+            } else {
+                // Clamp over-long prefixes to the supported length (the
+                // paper's direct-lookup table supports at most /27).
+                let clamped = prefix & castan_packet::ip::prefix_mask(max_len);
+                routes.push(Route {
+                    prefix: clamped,
+                    len: max_len,
+                    port,
+                });
+                port += 1;
+            }
+        }
+    }
+    routes
+}
+
+/// Longest-prefix-match reference implementation (used to validate the IR
+/// data structures and to build direct-lookup tables).
+pub fn reference_lookup(routes: &[Route], ip: u32) -> u32 {
+    routes
+        .iter()
+        .filter(|r| r.matches(ip))
+        .max_by_key(|r| r.len)
+        .map(|r| r.port)
+        .unwrap_or(0)
+}
+
+/// The destination addresses that hit the most specific routes — the
+/// paper's *Manual* adversarial workload for the trie LPM ("8 packets that
+/// match the most specific routes of the forwarding table").
+pub fn most_specific_destinations() -> Vec<Ipv4Addr> {
+    evaluation_routes(32)
+        .iter()
+        .filter(|r| r.len == 32)
+        .map(|r| Ipv4Addr(r.prefix))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_two_routes_eight_per_length() {
+        let routes = evaluation_routes(32);
+        assert_eq!(routes.len(), 32);
+        for len in [8u8, 16, 24, 32] {
+            assert_eq!(routes.iter().filter(|r| r.len == len).count(), 8);
+        }
+        // Ports are unique.
+        let mut ports: Vec<u32> = routes.iter().map(|r| r.port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 32);
+    }
+
+    #[test]
+    fn prefixes_overlap_as_in_the_paper() {
+        let routes = evaluation_routes(32);
+        // For each /32 route there must be a /24, /16 and /8 containing it.
+        for r32 in routes.iter().filter(|r| r.len == 32) {
+            for len in [8u8, 16, 24] {
+                assert!(
+                    routes
+                        .iter()
+                        .any(|r| r.len == len && r.matches(r32.prefix)),
+                    "missing /{len} parent for {:?}",
+                    r32
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_lookup_prefers_longest() {
+        let routes = evaluation_routes(32);
+        let ip = Ipv4Addr::new(10, 1, 1, 1).to_u32();
+        let port = reference_lookup(&routes, ip);
+        let r32 = routes.iter().find(|r| r.len == 32 && r.matches(ip)).unwrap();
+        assert_eq!(port, r32.port);
+
+        let ip_under_24 = Ipv4Addr::new(10, 1, 1, 7).to_u32();
+        let r24 = routes
+            .iter()
+            .find(|r| r.len == 24 && r.matches(ip_under_24))
+            .unwrap();
+        assert_eq!(reference_lookup(&routes, ip_under_24), r24.port);
+
+        let unmatched = Ipv4Addr::new(203, 0, 113, 5).to_u32();
+        assert_eq!(reference_lookup(&routes, unmatched), 0);
+    }
+
+    #[test]
+    fn clamped_routes_respect_max_len() {
+        let routes = evaluation_routes(27);
+        assert!(routes.iter().all(|r| r.len <= 27));
+        assert_eq!(routes.len(), 32);
+    }
+
+    #[test]
+    fn most_specific_destinations_hit_the_32s() {
+        let dsts = most_specific_destinations();
+        assert_eq!(dsts.len(), 8);
+        let routes = evaluation_routes(32);
+        for d in dsts {
+            let port = reference_lookup(&routes, d.to_u32());
+            let r = routes.iter().find(|r| r.port == port).unwrap();
+            assert_eq!(r.len, 32);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! NF packaging: identifiers, metadata, and the flow-map builder interface.
+
+use castan_ir::{DataMemory, FuncId, HashFunc, NativeRegistry, Program, ProgramBuilder};
+
+/// Identifier of one of the evaluated NFs (the paper's eleven plus the NOP
+/// baseline used for latency calibration).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum NfId {
+    /// Baseline that forwards every packet untouched.
+    Nop,
+    /// LPM over a one-stage direct-lookup array ("LPM / Lookup Table").
+    LpmDirect1,
+    /// LPM over a two-stage DPDK-style table ("LPM / DPDK LPM").
+    LpmDirect2,
+    /// LPM over a bit trie ("LPM / Patricia Trie").
+    LpmTrie,
+    /// NAT over a chaining hash table.
+    NatHashTable,
+    /// NAT over an open-addressing hash ring.
+    NatHashRing,
+    /// NAT over an unbalanced binary tree.
+    NatUnbalancedTree,
+    /// NAT over a red-black tree.
+    NatRedBlackTree,
+    /// LB over a chaining hash table.
+    LbHashTable,
+    /// LB over an open-addressing hash ring.
+    LbHashRing,
+    /// LB over an unbalanced binary tree.
+    LbUnbalancedTree,
+    /// LB over a red-black tree.
+    LbRedBlackTree,
+}
+
+impl NfId {
+    /// Every NF, in the order used by the paper's tables.
+    pub const ALL: [NfId; 12] = [
+        NfId::Nop,
+        NfId::LpmDirect1,
+        NfId::LpmDirect2,
+        NfId::LpmTrie,
+        NfId::LbUnbalancedTree,
+        NfId::NatUnbalancedTree,
+        NfId::LbRedBlackTree,
+        NfId::NatRedBlackTree,
+        NfId::NatHashTable,
+        NfId::LbHashTable,
+        NfId::NatHashRing,
+        NfId::LbHashRing,
+    ];
+
+    /// The eleven NFs evaluated in the paper (everything except NOP).
+    pub fn evaluated() -> Vec<NfId> {
+        Self::ALL.iter().copied().filter(|&n| n != NfId::Nop).collect()
+    }
+
+    /// Short, stable name matching the paper's table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            NfId::Nop => "NOP",
+            NfId::LpmDirect1 => "LPM 1-stage DL",
+            NfId::LpmDirect2 => "LPM 2-stage DL",
+            NfId::LpmTrie => "LPM btrie",
+            NfId::NatHashTable => "NAT hash table",
+            NfId::NatHashRing => "NAT hash ring",
+            NfId::NatUnbalancedTree => "NAT unbalanced tree",
+            NfId::NatRedBlackTree => "NAT red-black tree",
+            NfId::LbHashTable => "LB hash table",
+            NfId::LbHashRing => "LB hash ring",
+            NfId::LbUnbalancedTree => "LB unbalanced tree",
+            NfId::LbRedBlackTree => "LB red-black tree",
+        }
+    }
+}
+
+impl std::fmt::Display for NfId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which class an NF belongs to (determines the interesting workload shape).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NfKind {
+    /// Forwarding baseline.
+    Nop,
+    /// Destination-IP longest-prefix match.
+    Lpm,
+    /// Source NAT with per-flow state.
+    Nat,
+    /// Stateful VIP load balancer.
+    Lb,
+}
+
+/// A contiguous data-structure region in the NF's address space, advertised
+/// to the analysis-time cache model as the universe of candidate adversarial
+/// addresses (§3.3: "we create a list of candidate memory addresses that, if
+/// accessed, we expect to cause L3 cache contention").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Region base address.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Element stride in bytes (the granularity at which distinct packets
+    /// can land on distinct addresses).
+    pub stride: u64,
+}
+
+impl MemRegion {
+    /// Last byte address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// True if `addr` lies inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// A fully packaged NF.
+#[derive(Clone, Debug)]
+pub struct NfSpec {
+    /// Identifier.
+    pub id: NfId,
+    /// NF class.
+    pub kind: NfKind,
+    /// The IR program; its entry function processes one packet and returns a
+    /// verdict (`layout::VERDICT_FORWARD` / `layout::VERDICT_DROP` or an
+    /// output port / backend id).
+    pub program: Program,
+    /// Native helpers the program needs (empty for most NFs).
+    pub natives: NativeRegistry,
+    /// Data memory with all tables initialised as in §5.1.
+    pub initial_memory: DataMemory,
+    /// Data-structure regions for the analysis cache model.
+    pub data_regions: Vec<MemRegion>,
+    /// Hash functions the NF applies per packet (targets for havocing).
+    pub hash_funcs: Vec<HashFunc>,
+}
+
+impl NfSpec {
+    /// Convenience: the NF's display name.
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+}
+
+/// The IR handle a flow-map implementation exposes to the NAT / LB builders.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowMapIr {
+    /// `lookup_or_insert(src_ip, dst_ip, src_port, dst_port, proto,
+    /// value_if_new) -> (value << 1) | found_bit`.
+    pub lookup_insert: FuncId,
+}
+
+/// A flow-map (associative array) implementation that NAT and LB can be
+/// instantiated over. Each of the four data structures of §5.1 implements
+/// this.
+pub trait FlowMapBuilder {
+    /// Human-readable data-structure name ("hash table", "hash ring", …).
+    fn name(&self) -> &'static str;
+    /// Adds the data structure's functions to the program being built.
+    fn build(&self, pb: &mut ProgramBuilder) -> FlowMapIr;
+    /// Initialises the data structure's memory (allocation cursors, etc.).
+    fn init_memory(&self, mem: &mut DataMemory);
+    /// Registers any native helpers the structure needs.
+    fn register_natives(&self, natives: &mut NativeRegistry);
+    /// Regions the analysis should treat as attack surface.
+    fn data_regions(&self) -> Vec<MemRegion>;
+    /// Hash functions the structure applies (empty for trees).
+    fn hash_funcs(&self) -> Vec<HashFunc>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_nfs_eleven_evaluated() {
+        assert_eq!(NfId::ALL.len(), 12);
+        assert_eq!(NfId::evaluated().len(), 11);
+        assert!(!NfId::evaluated().contains(&NfId::Nop));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = NfId::ALL.iter().map(|n| n.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert_eq!(NfId::LpmTrie.to_string(), "LPM btrie");
+    }
+
+    #[test]
+    fn mem_region_contains() {
+        let r = MemRegion {
+            base: 0x1000,
+            len: 0x100,
+            stride: 8,
+        };
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10ff));
+        assert!(!r.contains(0x1100));
+        assert!(!r.contains(0xfff));
+        assert_eq!(r.end(), 0x1100);
+    }
+}

@@ -1,0 +1,134 @@
+//! Test-only harness for exercising flow-map implementations directly,
+//! without going through a full NAT/LB packet path.
+
+use std::collections::HashMap;
+
+use castan_ir::{
+    DataMemory, FunctionBuilder, Interpreter, NativeRegistry, NullSink, Operand, Program,
+    ProgramBuilder, Width,
+};
+use castan_packet::PacketBuilder;
+
+use crate::spec::FlowMapBuilder;
+
+/// Scratch addresses the harness uses to pass arguments in and results out.
+const ARG_BASE: u64 = 0x500;
+const RESULT_CELL: u64 = 0x540;
+
+/// A compiled flow map plus a wrapper entry point that reads the key and
+/// value from scratch memory, calls `lookup_or_insert`, and stores the
+/// tagged result.
+pub struct FlowMapHarness {
+    program: Program,
+    natives: NativeRegistry,
+    init_mem: DataMemory,
+}
+
+/// Builds the harness for a flow-map implementation.
+pub fn flowmap_harness(map: &dyn FlowMapBuilder) -> FlowMapHarness {
+    let mut pb = ProgramBuilder::new();
+    let ir = map.build(&mut pb);
+
+    let mut f = FunctionBuilder::new("harness_entry", 0);
+    let mut args: Vec<Operand> = Vec::new();
+    for i in 0..6u64 {
+        let v = f.load(ARG_BASE + i * 8, Width::W8);
+        args.push(v.into());
+    }
+    let r = f.call(ir.lookup_insert, args);
+    f.store(RESULT_CELL, r, Width::W8);
+    f.ret(r);
+    let entry = pb.add(f);
+    let program = pb.finish(entry);
+
+    let mut natives = NativeRegistry::new();
+    map.register_natives(&mut natives);
+    let mut init_mem = DataMemory::new();
+    map.init_memory(&mut init_mem);
+
+    FlowMapHarness {
+        program,
+        natives,
+        init_mem,
+    }
+}
+
+impl FlowMapHarness {
+    /// A fresh copy of the initialised memory.
+    pub fn fresh_memory(&self) -> DataMemory {
+        self.init_mem.clone()
+    }
+
+    /// Performs one lookup-or-insert; returns (value, found, steps).
+    pub fn lookup_insert(
+        &self,
+        mem: &mut DataMemory,
+        key: [u64; 5],
+        value_if_new: u64,
+    ) -> (u64, bool, u64) {
+        for (i, k) in key.iter().enumerate() {
+            mem.write(ARG_BASE + 8 * i as u64, *k, 8);
+        }
+        mem.write(ARG_BASE + 40, value_if_new, 8);
+        let interp = Interpreter::new(&self.program, &self.natives);
+        let packet = PacketBuilder::new().build();
+        let res = interp
+            .run_packet(mem, &packet, &mut NullSink)
+            .expect("flow-map harness execution failed");
+        let tagged = res.return_value.expect("lookup_insert returns a value");
+        (tagged >> 1, tagged & 1 == 1, res.steps)
+    }
+}
+
+/// Drives a flow map with `n` pseudo-random flows and checks it behaves like
+/// `HashMap<key, value>`: first touch inserts, later touches find the stored
+/// value, and unknown keys miss.
+pub fn exercise_flowmap_as_reference_map(map: &dyn FlowMapBuilder, n: u64) {
+    let h = flowmap_harness(map);
+    let mut mem = h.fresh_memory();
+    let mut reference: HashMap<[u64; 5], u64> = HashMap::new();
+
+    // A simple deterministic key generator with some duplicate structure.
+    let key_of = |i: u64| -> [u64; 5] {
+        [
+            0x0a00_0000 + (i * 2654435761) % 5000,
+            0xc0a8_0101 + (i % 7),
+            1024 + (i % 60000),
+            80 + (i % 3),
+            if i % 2 == 0 { 17 } else { 6 },
+        ]
+    };
+
+    for i in 0..n {
+        let key = key_of(i);
+        let value = 1000 + i;
+        let (got, found, _) = h.lookup_insert(&mut mem, key, value);
+        match reference.get(&key) {
+            Some(&existing) => {
+                assert!(found, "key {key:?} was inserted earlier but reported missing");
+                assert_eq!(got, existing, "wrong value for existing key {key:?}");
+            }
+            None => {
+                assert!(!found, "fresh key {key:?} reported as found");
+                assert_eq!(got, value);
+                reference.insert(key, value);
+            }
+        }
+    }
+
+    // Every stored flow must be found again with its original value.
+    for (key, &value) in &reference {
+        let (got, found, _) = h.lookup_insert(&mut mem, *key, 0xdead);
+        assert!(found, "stored key {key:?} lost");
+        assert_eq!(got, value, "stored value for {key:?} corrupted");
+    }
+
+    // Unknown keys must miss (and then insert).
+    let unknown = [1u64, 2, 3, 4, 6];
+    assert!(!reference.contains_key(&unknown));
+    let (_, found, _) = h.lookup_insert(&mut mem, unknown, 7);
+    assert!(!found);
+    let (v, found, _) = h.lookup_insert(&mut mem, unknown, 8);
+    assert!(found);
+    assert_eq!(v, 7);
+}

@@ -1,0 +1,218 @@
+//! Traffic distributions used by the baseline workloads.
+//!
+//! The paper's evaluation uses three generic workloads: *1 Packet*, *Zipfian*
+//! (s = 1.26, fitted from a university-network capture) and *UniRand*
+//! (uniform over a large flow set). This module provides the flow pool and
+//! the rank-frequency samplers those workloads are built from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::FlowKey;
+use crate::ip::Ipv4Addr;
+
+/// The Zipf exponent fitted from the public university traces used in the
+/// paper (§5.1).
+pub const PAPER_ZIPF_EXPONENT: f64 = 1.26;
+
+/// A deterministic pool of distinct flow keys.
+///
+/// Flow `i` maps to a unique (source IP, source port) pair toward a fixed
+/// destination, which matches how the paper's PCAP generators enumerate
+/// flows and guarantees that two distinct indices never collide on the
+/// 5-tuple.
+#[derive(Clone, Debug)]
+pub struct FlowPool {
+    dst_ip: Ipv4Addr,
+    dst_port: u16,
+    size: u64,
+}
+
+impl FlowPool {
+    /// Creates a pool of `size` distinct flows toward `dst_ip:dst_port`.
+    pub fn new(size: u64, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        assert!(size > 0, "a flow pool must contain at least one flow");
+        assert!(
+            size <= 1 << 40,
+            "flow pool larger than the (ip, port) space it enumerates"
+        );
+        FlowPool {
+            dst_ip,
+            dst_port,
+            size,
+        }
+    }
+
+    /// Number of distinct flows in the pool.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// True if the pool holds exactly one flow.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns flow number `i` (wrapping around the pool size).
+    pub fn flow(&self, i: u64) -> FlowKey {
+        let i = i % self.size;
+        // 24 bits of source-IP host part and 16 bits of source port give
+        // 2^40 distinct combinations; indices are split so consecutive flows
+        // differ in the source port first (better spread for hash tables).
+        let port = 1024u64 + (i % 60000);
+        let host = i / 60000;
+        let src_ip = Ipv4Addr(0x0a00_0000 | (host as u32 & 0x00ff_ffff));
+        FlowKey::udp(src_ip, port as u16, self.dst_ip, self.dst_port)
+    }
+}
+
+/// Samples flow *ranks* from a Zipf distribution with exponent `s` over
+/// `n` ranks, using a precomputed CDF and binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws the next rank (0-based; rank 0 is the most popular).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// Samples flow ranks uniformly at random over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UniformSampler {
+    n: u64,
+    rng: StdRng,
+}
+
+impl UniformSampler {
+    /// Creates a sampler over ranks `0..n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "uniform sampler needs at least one rank");
+        UniformSampler {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next rank.
+    pub fn sample(&mut self) -> u64 {
+        self.rng.random_range(0..self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn flow_pool_generates_distinct_flows() {
+        let pool = FlowPool::new(100_000, Ipv4Addr::new(192, 168, 1, 1), 80);
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(pool.flow(i)), "flow {i} collided");
+        }
+    }
+
+    #[test]
+    fn flow_pool_wraps() {
+        let pool = FlowPool::new(10, Ipv4Addr::new(1, 1, 1, 1), 9);
+        assert_eq!(pool.flow(3), pool.flow(13));
+        assert_eq!(pool.len(), 10);
+    }
+
+    #[test]
+    fn zipf_head_is_heavier_than_tail() {
+        let mut z = ZipfSampler::new(1000, PAPER_ZIPF_EXPONENT, 7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample()] += 1;
+        }
+        // Rank 0 should dominate rank 500 by a wide margin.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // PMF decreases with rank.
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert_eq!(z.pmf(5000), 0.0);
+    }
+
+    #[test]
+    fn zipf_cdf_is_normalised() {
+        let z = ZipfSampler::new(50, 1.26, 1);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.ranks(), 50);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut u = UniformSampler::new(16, 3);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let v = u.sample();
+            assert!(v < 16);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let mut a = ZipfSampler::new(100, 1.26, 42);
+        let mut b = ZipfSampler::new(100, 1.26, 42);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Ethernet II framing: MAC addresses, EtherTypes, and the 14-byte header.
+
+use std::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a placeholder by the traffic generator.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds a MAC address from its six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// Returns the address as a big-endian `u64` (upper 16 bits are zero).
+    pub fn to_u64(self) -> u64 {
+        let mut v = 0u64;
+        for b in self.0 {
+            v = (v << 8) | u64::from(b);
+        }
+        v
+    }
+
+    /// Builds a MAC address from the low 48 bits of `v`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut o = [0u8; 6];
+        for (i, byte) in o.iter_mut().enumerate() {
+            *byte = ((v >> (8 * (5 - i))) & 0xff) as u8;
+        }
+        MacAddr(o)
+    }
+
+    /// True if the least-significant bit of the first octet is set
+    /// (group/multicast bit).
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// EtherType values understood by the NFs in this workspace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`) — forwarded untouched by every NF.
+    Arp,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire value of the EtherType.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses a wire EtherType value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header (no 802.1Q tag support; the paper's NFs do not use
+/// VLANs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EthHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EthHeader {
+    /// Length of an Ethernet II header in bytes.
+    pub const LEN: usize = 14;
+
+    /// Serialises the header into `buf[..14]`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`EthHeader::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Parses an Ethernet II header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
+        Some(EthHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_u64_roundtrip() {
+        let m = MacAddr::new(0x02, 0x00, 0x00, 0xaa, 0xbb, 0xcc);
+        assert_eq!(MacAddr::from_u64(m.to_u64()), m);
+        assert_eq!(m.to_u64(), 0x0200_00aa_bbcc);
+    }
+
+    #[test]
+    fn mac_display() {
+        let m = MacAddr::new(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn mac_multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::new(0x02, 0, 0, 0, 0, 1).is_multicast());
+        assert!(MacAddr::new(0x01, 0, 0x5e, 0, 0, 1).is_multicast());
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+    }
+
+    #[test]
+    fn eth_header_roundtrip() {
+        let h = EthHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(2, 0, 0, 0, 0, 7),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; 14];
+        h.write(&mut buf);
+        assert_eq!(EthHeader::parse(&buf), Some(h));
+    }
+
+    #[test]
+    fn eth_header_too_short() {
+        assert_eq!(EthHeader::parse(&[0u8; 13]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Symbolic packet-field handles.
+//!
+//! The CASTAN IR does not read raw packet bytes: it reads *fields*
+//! ([`PacketField`]), which keeps the mapping between a symbolic atom in the
+//! analysis and a concrete header field in the synthesized packet explicit.
+//! This mirrors the original tool, where the DPDK packet is made symbolic as
+//! a struct and constraints refer to header members.
+
+use crate::packet::Packet;
+
+/// A header field of the packet currently being processed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PacketField {
+    /// Destination MAC address (48 bits).
+    EthDst,
+    /// Source MAC address (48 bits).
+    EthSrc,
+    /// EtherType (16 bits).
+    EtherType,
+    /// IPv4 total length (16 bits).
+    IpTotalLen,
+    /// IPv4 TTL (8 bits).
+    IpTtl,
+    /// IPv4 protocol (8 bits).
+    IpProto,
+    /// IPv4 source address (32 bits).
+    SrcIp,
+    /// IPv4 destination address (32 bits).
+    DstIp,
+    /// L4 source port (16 bits); 0 for non-TCP/UDP packets.
+    SrcPort,
+    /// L4 destination port (16 bits); 0 for non-TCP/UDP packets.
+    DstPort,
+    /// TCP flag byte (8 bits); 0 for non-TCP packets.
+    TcpFlags,
+    /// Total frame length in bytes (16 bits).
+    FrameLen,
+}
+
+impl PacketField {
+    /// All fields, in a stable order (used when enumerating the symbolic
+    /// packet layout).
+    pub const ALL: [PacketField; 12] = [
+        PacketField::EthDst,
+        PacketField::EthSrc,
+        PacketField::EtherType,
+        PacketField::IpTotalLen,
+        PacketField::IpTtl,
+        PacketField::IpProto,
+        PacketField::SrcIp,
+        PacketField::DstIp,
+        PacketField::SrcPort,
+        PacketField::DstPort,
+        PacketField::TcpFlags,
+        PacketField::FrameLen,
+    ];
+
+    /// Width of the field in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            PacketField::EthDst | PacketField::EthSrc => 48,
+            PacketField::EtherType
+            | PacketField::IpTotalLen
+            | PacketField::SrcPort
+            | PacketField::DstPort
+            | PacketField::FrameLen => 16,
+            PacketField::IpTtl | PacketField::IpProto | PacketField::TcpFlags => 8,
+            PacketField::SrcIp | PacketField::DstIp => 32,
+        }
+    }
+
+    /// Maximum value representable by the field.
+    pub fn max_value(self) -> u64 {
+        if self.bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits()) - 1
+        }
+    }
+
+    /// Reads the field's concrete value from a parsed packet.
+    ///
+    /// Missing layers read as zero (e.g. ports of an ICMP packet), matching
+    /// the behaviour of the NF code which guards such reads with protocol
+    /// checks anyway.
+    pub fn read(self, p: &Packet) -> u64 {
+        p.field(self)
+    }
+
+    /// Short, stable name used in diagnostics and synthesized-workload dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            PacketField::EthDst => "eth.dst",
+            PacketField::EthSrc => "eth.src",
+            PacketField::EtherType => "eth.type",
+            PacketField::IpTotalLen => "ip.len",
+            PacketField::IpTtl => "ip.ttl",
+            PacketField::IpProto => "ip.proto",
+            PacketField::SrcIp => "ip.src",
+            PacketField::DstIp => "ip.dst",
+            PacketField::SrcPort => "l4.sport",
+            PacketField::DstPort => "l4.dport",
+            PacketField::TcpFlags => "tcp.flags",
+            PacketField::FrameLen => "frame.len",
+        }
+    }
+}
+
+impl std::fmt::Display for PacketField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_consistent() {
+        for f in PacketField::ALL {
+            assert!(f.bits() <= 48);
+            if f.bits() < 64 {
+                assert_eq!(f.max_value(), (1u64 << f.bits()) - 1);
+            }
+            assert!(!f.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_fields_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in PacketField::ALL {
+            assert!(seen.insert(f), "duplicate field {f}");
+        }
+        assert_eq!(seen.len(), 12);
+    }
+}

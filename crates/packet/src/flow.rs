@@ -1,0 +1,138 @@
+//! Flow identification.
+//!
+//! The stateful NFs (NAT, load balancer) key their per-flow state on the
+//! classic 5-tuple. Workload generators also use [`FlowKey`] to control how
+//! many distinct flows a trace contains (the paper's Zipfian trace has 6 674
+//! flows, UniRand has 1 000 001).
+
+use crate::ip::{IpProto, Ipv4Addr};
+use crate::packet::Packet;
+
+/// A unidirectional 5-tuple flow key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source L4 port.
+    pub src_port: u16,
+    /// Destination L4 port.
+    pub dst_port: u16,
+    /// IP protocol.
+    pub proto: IpProto,
+}
+
+impl FlowKey {
+    /// Builds a UDP flow key — the common case in the paper's workloads.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProto::Udp,
+        }
+    }
+
+    /// Extracts the flow key of a packet, or `None` for packets that carry
+    /// no tracked L4 header (non-IPv4 or non-TCP/UDP).
+    pub fn of_packet(p: &Packet) -> Option<FlowKey> {
+        let ip = p.ipv4()?;
+        if !ip.proto.is_l4_tracked() {
+            return None;
+        }
+        Some(FlowKey {
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            src_port: p.src_port()?,
+            dst_port: p.dst_port()?,
+            proto: ip.proto,
+        })
+    }
+
+    /// The key of the reverse direction (addresses and ports swapped).
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Packs the key into 13 bytes: the layout hashed by the NF hash
+    /// functions (src ip, dst ip, src port, dst port, proto).
+    pub fn to_bytes(self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0..4].copy_from_slice(&self.src_ip.octets());
+        out[4..8].copy_from_slice(&self.dst_ip.octets());
+        out[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        out[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[12] = self.proto.to_u8();
+        out
+    }
+
+    /// Packs the key into a single `u128` (used by reference data-structure
+    /// implementations and tests).
+    pub fn to_u128(self) -> u128 {
+        let b = self.to_bytes();
+        let mut v: u128 = 0;
+        for byte in b {
+            v = (v << 8) | u128::from(byte);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn key() -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1111,
+            Ipv4Addr::new(192, 168, 0, 9),
+            53,
+        )
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        let k = key();
+        assert_ne!(k, k.reversed());
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn bytes_layout() {
+        let k = key();
+        let b = k.to_bytes();
+        assert_eq!(&b[0..4], &[10, 0, 0, 1]);
+        assert_eq!(&b[4..8], &[192, 168, 0, 9]);
+        assert_eq!(u16::from_be_bytes([b[8], b[9]]), 1111);
+        assert_eq!(u16::from_be_bytes([b[10], b[11]]), 53);
+        assert_eq!(b[12], 17);
+        assert_eq!(k.to_u128() & 0xff, 17);
+    }
+
+    #[test]
+    fn of_packet_roundtrip() {
+        let k = key();
+        let p = PacketBuilder::udp_flow(k).build();
+        assert_eq!(FlowKey::of_packet(&p), Some(k));
+    }
+
+    #[test]
+    fn of_packet_rejects_untracked() {
+        let p = PacketBuilder::new()
+            .proto(IpProto::Icmp)
+            .src_ip(Ipv4Addr::new(1, 2, 3, 4))
+            .dst_ip(Ipv4Addr::new(5, 6, 7, 8))
+            .build();
+        assert_eq!(FlowKey::of_packet(&p), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! IPv4 addressing and the IPv4 header, including the internet checksum.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address stored in host order as a `u32`.
+///
+/// A dedicated type (rather than `std::net::Ipv4Addr`) keeps conversion to
+/// and from the integer form used by the lookup data structures explicit and
+/// allocation-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr(0);
+
+    /// Returns the four octets in network order.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the host-order integer value.
+    pub fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Applies a prefix mask of `len` bits (0..=32) and returns the network
+    /// part of the address.
+    pub fn masked(self, len: u8) -> Ipv4Addr {
+        Ipv4Addr(self.0 & prefix_mask(len))
+    }
+}
+
+/// Returns the network mask for a prefix of `len` bits.
+pub fn prefix_mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for Ipv4Addr {
+    fn from(v: u32) -> Self {
+        Ipv4Addr(v)
+    }
+}
+
+impl FromStr for Ipv4Addr {
+    type Err = &'static str;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or("expected four octets")?;
+            *slot = part.parse().map_err(|_| "octet is not a number in 0..=255")?;
+        }
+        if parts.next().is_some() {
+            return Err("expected four octets");
+        }
+        Ok(Ipv4Addr(u32::from_be_bytes(octets)))
+    }
+}
+
+/// IP protocol numbers understood by the evaluated NFs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum IpProto {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Wire value of the protocol field.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// Parses a wire protocol number.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+
+    /// True for the protocols the stateful NFs (NAT, LB) track: TCP and UDP.
+    pub fn is_l4_tracked(self) -> bool {
+        matches!(self, IpProto::Tcp | IpProto::Udp)
+    }
+}
+
+/// An IPv4 header without options (IHL = 5), which is all the evaluated NFs
+/// emit or accept.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv4Header {
+    /// Differentiated services / TOS byte.
+    pub dscp_ecn: u8,
+    /// Total length of the IP datagram (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits), packed as on the wire.
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Length of an option-less IPv4 header.
+    pub const LEN: usize = 20;
+
+    /// Serialises the header (including a freshly computed checksum) into
+    /// `buf[..20]`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`Ipv4Header::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = self.dscp_ecn;
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.proto.to_u8();
+        buf[10] = 0;
+        buf[11] = 0;
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let csum = internet_checksum(&buf[..Self::LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses an IPv4 header from the front of `buf`.
+    ///
+    /// Returns `None` if the buffer is too short, the version is not 4, or
+    /// the header carries options (IHL != 5).
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN || buf[0] != 0x45 {
+            return None;
+        }
+        Some(Ipv4Header {
+            dscp_ecn: buf[1],
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            flags_frag: u16::from_be_bytes([buf[6], buf[7]]),
+            ttl: buf[8],
+            proto: IpProto::from_u8(buf[9]),
+            src: Ipv4Addr(u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]])),
+            dst: Ipv4Addr(u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]])),
+        })
+    }
+
+    /// Verifies the header checksum over a raw 20-byte header.
+    pub fn checksum_ok(buf: &[u8]) -> bool {
+        buf.len() >= Self::LEN && internet_checksum(&buf[..Self::LEN]) == 0
+    }
+}
+
+/// Computes the one's-complement internet checksum over `data`.
+///
+/// When `data` already contains a checksum field the result is `0` iff the
+/// stored checksum is valid.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip_and_display() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(a.to_string(), "10.1.2.3");
+        assert_eq!("10.1.2.3".parse::<Ipv4Addr>().unwrap(), a);
+        assert_eq!(Ipv4Addr::from(a.to_u32()), a);
+    }
+
+    #[test]
+    fn addr_parse_errors() {
+        assert!("10.1.2".parse::<Ipv4Addr>().is_err());
+        assert!("10.1.2.3.4".parse::<Ipv4Addr>().is_err());
+        assert!("10.1.2.999".parse::<Ipv4Addr>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4Addr>().is_err());
+    }
+
+    #[test]
+    fn prefix_masks() {
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(8), 0xff00_0000);
+        assert_eq!(prefix_mask(24), 0xffff_ff00);
+        assert_eq!(prefix_mask(32), 0xffff_ffff);
+        assert_eq!(
+            Ipv4Addr::new(192, 168, 17, 44).masked(16),
+            Ipv4Addr::new(192, 168, 0, 0)
+        );
+    }
+
+    #[test]
+    fn proto_roundtrip() {
+        for v in 0u8..=255 {
+            assert_eq!(IpProto::from_u8(v).to_u8(), v);
+        }
+        assert!(IpProto::Tcp.is_l4_tracked());
+        assert!(IpProto::Udp.is_l4_tracked());
+        assert!(!IpProto::Icmp.is_l4_tracked());
+        assert!(!IpProto::Other(47).is_l4_tracked());
+    }
+
+    #[test]
+    fn header_roundtrip_and_checksum() {
+        let h = Ipv4Header {
+            dscp_ecn: 0,
+            total_len: 60,
+            identification: 0x1234,
+            flags_frag: 0x4000,
+            ttl: 64,
+            proto: IpProto::Udp,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 1, 1),
+        };
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        assert!(Ipv4Header::checksum_ok(&buf));
+        assert_eq!(Ipv4Header::parse(&buf), Some(h));
+
+        // Corrupting any byte must break the checksum.
+        buf[17] ^= 0x40;
+        assert!(!Ipv4Header::checksum_ok(&buf));
+    }
+
+    #[test]
+    fn parse_rejects_options_and_short() {
+        let mut buf = [0u8; 20];
+        buf[0] = 0x46; // IHL 6 => options present
+        assert_eq!(Ipv4Header::parse(&buf), None);
+        assert_eq!(Ipv4Header::parse(&buf[..10]), None);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071 style computation.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let c = internet_checksum(&data);
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2 -> !0xddf2
+        assert_eq!(c, !0xddf2);
+    }
+}

@@ -1,0 +1,150 @@
+//! UDP and TCP headers.
+//!
+//! The evaluated NFs only inspect ports (and, for the NAT, rewrite them), so
+//! the TCP header carries the full field set but no options, matching the
+//! minimum-size packets used throughout the paper's evaluation.
+
+/// A UDP header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of UDP header plus payload.
+    pub len: u16,
+    /// Checksum (0 = not computed, which IPv4 permits).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Length of a UDP header in bytes.
+    pub const LEN: usize = 8;
+
+    /// Serialises the header into `buf[..8]`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`UdpHeader::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.len.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses a UDP header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN {
+            return None;
+        }
+        Some(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+}
+
+/// A TCP header without options (data offset = 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits (FIN=0x01, SYN=0x02, RST=0x04, PSH=0x08, ACK=0x10, URG=0x20).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Length of an option-less TCP header in bytes.
+    pub const LEN: usize = 20;
+    /// SYN flag bit.
+    pub const SYN: u8 = 0x02;
+    /// ACK flag bit.
+    pub const ACK: u8 = 0x10;
+
+    /// Serialises the header into `buf[..20]`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`TcpHeader::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = 5 << 4; // data offset 5, no reserved bits
+        buf[13] = self.flags;
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+    }
+
+    /// Parses a TCP header from the front of `buf` (options are ignored but
+    /// tolerated: only the first 20 bytes are interpreted).
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN {
+            return None;
+        }
+        Some(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: buf[13],
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+            urgent: u16::from_be_bytes([buf[18], buf[19]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_roundtrip() {
+        let h = UdpHeader {
+            src_port: 53211,
+            dst_port: 80,
+            len: 26,
+            checksum: 0,
+        };
+        let mut buf = [0u8; 8];
+        h.write(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf), Some(h));
+        assert_eq!(UdpHeader::parse(&buf[..7]), None);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let h = TcpHeader {
+            src_port: 443,
+            dst_port: 34567,
+            seq: 0xdead_beef,
+            ack: 0x0102_0304,
+            flags: TcpHeader::SYN | TcpHeader::ACK,
+            window: 65535,
+            checksum: 0xabcd,
+            urgent: 0,
+        };
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        let parsed = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(buf[12] >> 4, 5, "data offset must be 5 words");
+        assert_eq!(TcpHeader::parse(&buf[..19]), None);
+    }
+}

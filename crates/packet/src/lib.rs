@@ -1,0 +1,40 @@
+//! # castan-packet
+//!
+//! Packet, header, flow, and PCAP substrate for the CASTAN reproduction.
+//!
+//! This crate provides everything the rest of the workspace needs to talk
+//! about network traffic:
+//!
+//! * Typed Ethernet / IPv4 / UDP / TCP headers with wire-format
+//!   serialisation and checksums ([`eth`], [`ip`], [`l4`]).
+//! * An owned [`Packet`] type plus a [`PacketBuilder`] that produces valid
+//!   minimum-size frames, and [`PacketField`] — the symbolic handle the
+//!   CASTAN IR uses to read header fields.
+//! * Flow identification ([`flow::FlowKey`]) used by the stateful NFs
+//!   (NAT, load balancer) and by the workload generators.
+//! * A libpcap reader/writer ([`pcap`]) so synthesized adversarial
+//!   workloads can be exported exactly like the original tool does.
+//! * Traffic distributions ([`dist`]): the Zipfian (s = 1.26) and uniform
+//!   flow samplers used to build the paper's baseline workloads.
+//!
+//! The crate is deliberately free of any simulation or analysis logic; it is
+//! the shared vocabulary of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod eth;
+pub mod field;
+pub mod flow;
+pub mod ip;
+pub mod l4;
+pub mod packet;
+pub mod pcap;
+
+pub use eth::{EtherType, MacAddr};
+pub use field::PacketField;
+pub use flow::FlowKey;
+pub use ip::{IpProto, Ipv4Addr, Ipv4Header};
+pub use l4::{TcpHeader, UdpHeader};
+pub use packet::{Packet, PacketBuilder, ParseError};

@@ -1,0 +1,118 @@
+//! The DUT's CPU cost model: an [`ExecSink`] that charges instruction base
+//! costs and routes every data-memory access through the simulated cache
+//! hierarchy, accumulating the per-packet counters the evaluation reports
+//! (reference cycles, instructions retired, L3 misses).
+
+use castan_ir::{CostClass, ExecSink};
+use castan_mem::{AccessKind, MemoryHierarchy};
+
+/// Per-packet performance counters (what libPAPI reads out in §5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacketCounters {
+    /// Reference cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// L3 misses (DRAM accesses).
+    pub l3_misses: u64,
+}
+
+/// The CPU model: owns the cache hierarchy and the in-flight counters.
+#[derive(Debug)]
+pub struct CpuModel {
+    hierarchy: MemoryHierarchy,
+    current: PacketCounters,
+}
+
+impl CpuModel {
+    /// Creates a CPU model around a memory hierarchy.
+    pub fn new(hierarchy: MemoryHierarchy) -> Self {
+        CpuModel {
+            hierarchy,
+            current: PacketCounters::default(),
+        }
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.hierarchy.config().clock_hz
+    }
+
+    /// Starts a new packet: clears the per-packet counters (cache state is
+    /// deliberately retained — that is the whole point of the measurement).
+    pub fn begin_packet(&mut self) {
+        self.current = PacketCounters::default();
+    }
+
+    /// Counters accumulated since `begin_packet`.
+    pub fn packet_counters(&self) -> PacketCounters {
+        self.current
+    }
+
+    /// Flushes the caches (used between workload runs, like rebooting the
+    /// DUT between experiments).
+    pub fn flush_caches(&mut self) {
+        self.hierarchy.flush_caches();
+    }
+
+    /// Access to the underlying hierarchy (read-only statistics).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+impl ExecSink for CpuModel {
+    fn retire(&mut self, class: CostClass) {
+        self.current.instructions += 1;
+        self.current.cycles += class.base_cycles();
+    }
+
+    fn mem_access(&mut self, addr: u64, _width: u64, is_write: bool) {
+        if is_write {
+            self.current.stores += 1;
+        } else {
+            self.current.loads += 1;
+        }
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let outcome = self.hierarchy.access(addr, kind);
+        self.current.cycles += outcome.cycles;
+        if outcome.served_by == castan_mem::hierarchy::ServedBy::Dram {
+            self.current.l3_misses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_mem::HierarchyConfig;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut cpu = CpuModel::new(MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1));
+        cpu.begin_packet();
+        cpu.retire(CostClass::Alu);
+        cpu.retire(CostClass::Load);
+        cpu.mem_access(0x5000_0000, 8, false);
+        let c = cpu.packet_counters();
+        assert_eq!(c.instructions, 2);
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.l3_misses, 1, "cold access goes to DRAM");
+        assert!(c.cycles >= 200);
+
+        cpu.begin_packet();
+        cpu.mem_access(0x5000_0000, 8, false);
+        let c2 = cpu.packet_counters();
+        assert_eq!(c2.l3_misses, 0, "cache state persists across packets");
+        assert!(c2.cycles < c.cycles);
+        assert_eq!(cpu.clock_hz(), 3_300_000_000);
+    }
+}

@@ -1,0 +1,241 @@
+//! The device under test: replays a workload through an NF on the simulated
+//! CPU and collects per-packet latency samples and performance counters.
+
+use castan_ir::{DataMemory, Interpreter, RunLimits};
+use castan_mem::{HierarchyConfig, MemoryHierarchy};
+use castan_nf::NfSpec;
+use castan_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpu::{CpuModel, PacketCounters};
+use crate::stats::Cdf;
+use crate::{
+    FORWARDING_OVERHEAD_CYCLES, FORWARDING_OVERHEAD_INSTRUCTIONS, FORWARDING_OVERHEAD_MISSES,
+    WIRE_LATENCY_NS,
+};
+
+/// Measurement parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasurementConfig {
+    /// Total packets to run through the DUT (the trace is replayed in a loop
+    /// if it is shorter, exactly like the paper's 20-second replays).
+    pub total_packets: usize,
+    /// Packets at the start excluded from the reported statistics (cache
+    /// warm-up; the hardware testbed's first seconds play the same role).
+    pub warmup_packets: usize,
+    /// Measurement-noise seed (latency jitter of the NIC/driver path).
+    pub seed: u64,
+    /// Boot seed of the DUT's page table.
+    pub boot_seed: u64,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            total_packets: 60_000,
+            warmup_packets: 5_000,
+            seed: 7,
+            boot_seed: 1,
+        }
+    }
+}
+
+impl MeasurementConfig {
+    /// A small configuration for tests.
+    pub fn quick() -> Self {
+        MeasurementConfig {
+            total_packets: 3_000,
+            warmup_packets: 300,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything measured from one workload run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// End-to-end latency samples in nanoseconds.
+    pub latency_ns: Vec<f64>,
+    /// Per-packet counters (cycles, instructions, loads/stores, L3 misses).
+    pub counters: Vec<PacketCounters>,
+    /// Per-packet DUT service time in nanoseconds (input to the throughput
+    /// search).
+    pub service_ns: Vec<f64>,
+}
+
+impl Measurement {
+    /// Latency CDF.
+    pub fn latency_cdf(&self) -> Cdf {
+        Cdf::new(self.latency_ns.clone())
+    }
+
+    /// Reference-cycles CDF.
+    pub fn cycles_cdf(&self) -> Cdf {
+        Cdf::new(self.counters.iter().map(|c| c.cycles as f64).collect())
+    }
+
+    /// Median instructions retired per packet.
+    pub fn median_instructions(&self) -> f64 {
+        crate::stats::median_u64(&self.counters.iter().map(|c| c.instructions).collect::<Vec<_>>())
+    }
+
+    /// Median L3 misses per packet.
+    pub fn median_l3_misses(&self) -> f64 {
+        crate::stats::median_u64(&self.counters.iter().map(|c| c.l3_misses).collect::<Vec<_>>())
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn median_latency_ns(&self) -> f64 {
+        self.latency_cdf().median()
+    }
+}
+
+/// The device under test.
+pub struct Dut {
+    nf: NfSpec,
+    cpu: CpuModel,
+    memory: DataMemory,
+    limits: RunLimits,
+}
+
+impl Dut {
+    /// Boots a DUT running the given NF on the Xeon E5-2667v2 profile.
+    pub fn new(nf: NfSpec, cfg: &MeasurementConfig) -> Self {
+        let hierarchy = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), cfg.boot_seed);
+        let memory = nf.initial_memory.clone();
+        Dut {
+            nf,
+            cpu: CpuModel::new(hierarchy),
+            memory,
+            limits: RunLimits::default(),
+        }
+    }
+
+    /// The NF this DUT runs.
+    pub fn nf(&self) -> &NfSpec {
+        &self.nf
+    }
+
+    /// Replays a workload and measures it. The NF's state persists across
+    /// the whole run (stateful NFs accumulate flow-table entries exactly as
+    /// on the real testbed); each call starts from a freshly initialised NF
+    /// and a cold cache.
+    pub fn run(&mut self, workload: &Workload, cfg: &MeasurementConfig) -> Measurement {
+        assert!(!workload.is_empty(), "cannot replay an empty workload");
+        self.memory = self.nf.initial_memory.clone();
+        self.cpu.flush_caches();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let clock_ghz = self.cpu.clock_hz() as f64 / 1e9;
+        let interp = Interpreter::new(&self.nf.program, &self.nf.natives).with_limits(self.limits);
+
+        let mut latency_ns = Vec::new();
+        let mut counters = Vec::new();
+        let mut service_ns = Vec::new();
+
+        for i in 0..cfg.total_packets {
+            let pkt = &workload.packets[i % workload.packets.len()];
+            self.cpu.begin_packet();
+            let _ = interp
+                .run_packet(&mut self.memory, pkt, &mut self.cpu)
+                .expect("NF execution failed on the DUT");
+            let mut c = self.cpu.packet_counters();
+            c.cycles += FORWARDING_OVERHEAD_CYCLES;
+            c.instructions += FORWARDING_OVERHEAD_INSTRUCTIONS;
+            c.l3_misses += FORWARDING_OVERHEAD_MISSES;
+
+            if i < cfg.warmup_packets {
+                continue;
+            }
+            let service = c.cycles as f64 / clock_ghz; // ns
+            // End-to-end latency: wire/NIC path plus DUT service time plus a
+            // small amount of measurement noise with an occasional longer
+            // tail (interrupts, PCIe jitter) so the CDFs have realistic
+            // spread.
+            let base_jitter: f64 = rng.random_range(0.0..60.0);
+            let tail: f64 = if rng.random_bool(0.02) {
+                rng.random_range(100.0..400.0)
+            } else {
+                0.0
+            };
+            latency_ns.push(WIRE_LATENCY_NS + service + base_jitter + tail);
+            service_ns.push(service);
+            counters.push(c);
+        }
+
+        Measurement {
+            latency_ns,
+            counters,
+            service_ns,
+        }
+    }
+}
+
+/// Convenience: measure one NF under one workload with a fresh DUT.
+pub fn measure(nf: &NfSpec, workload: &Workload, cfg: &MeasurementConfig) -> Measurement {
+    let mut dut = Dut::new(nf.clone(), cfg);
+    dut.run(workload, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_nf::{nf_by_id, NfId};
+    use castan_workload::{generic_workload, WorkloadConfig, WorkloadKind};
+
+    fn quick() -> MeasurementConfig {
+        MeasurementConfig::quick()
+    }
+
+    #[test]
+    fn nop_latency_sits_at_the_wire_baseline() {
+        let nf = nf_by_id(NfId::Nop);
+        let w = generic_workload(&nf, WorkloadKind::OnePacket, &WorkloadConfig::scaled(0.01));
+        let m = measure(&nf, &w, &quick());
+        let median = m.median_latency_ns();
+        assert!(
+            (4_000.0..4_800.0).contains(&median),
+            "NOP median latency should sit near the wire baseline, got {median}"
+        );
+        assert_eq!(m.median_instructions(), 271.0);
+        assert_eq!(m.median_l3_misses(), 1.0);
+    }
+
+    #[test]
+    fn unirand_hurts_the_direct_lookup_lpm_more_than_zipf() {
+        // The core result of Fig. 4: uniform traffic over the 512 MiB table
+        // misses the L3 while Zipfian traffic does not.
+        let nf = nf_by_id(NfId::LpmDirect1);
+        let wl_cfg = WorkloadConfig::scaled(0.02);
+        let zipf = generic_workload(&nf, WorkloadKind::Zipfian, &wl_cfg);
+        let uni = generic_workload(&nf, WorkloadKind::UniRand, &wl_cfg);
+        let cfg = quick();
+        let m_zipf = measure(&nf, &zipf, &cfg);
+        let m_uni = measure(&nf, &uni, &cfg);
+        assert!(
+            m_uni.median_l3_misses() > m_zipf.median_l3_misses(),
+            "uniform traffic must miss more: {} vs {}",
+            m_uni.median_l3_misses(),
+            m_zipf.median_l3_misses()
+        );
+        assert!(m_uni.median_latency_ns() > m_zipf.median_latency_ns());
+    }
+
+    #[test]
+    fn skewed_manual_workload_hurts_the_unbalanced_tree_nat() {
+        let nf = nf_by_id(NfId::NatUnbalancedTree);
+        let wl_cfg = WorkloadConfig::scaled(0.01);
+        let zipf = generic_workload(&nf, WorkloadKind::Zipfian, &wl_cfg);
+        let manual = castan_workload::manual_workload(&nf).unwrap();
+        let cfg = quick();
+        let m_zipf = measure(&nf, &zipf, &cfg);
+        let m_manual = measure(&nf, &manual, &cfg);
+        assert!(
+            m_manual.median_instructions() > 1.5 * m_zipf.median_instructions(),
+            "tree skew should blow up the instruction count: {} vs {}",
+            m_manual.median_instructions(),
+            m_zipf.median_instructions()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # castan-testbed
+//!
+//! The simulated measurement testbed standing in for the paper's hardware
+//! setup (§5.1): a device under test (DUT) running one NF on a simulated
+//! Xeon E5-2667v2 (CPU cost model + `castan-mem` cache hierarchy), and a
+//! traffic generator (TG) that replays workload traces, measures per-packet
+//! end-to-end latency against a NOP baseline, derives the maximum
+//! throughput at <1 % loss, and reads back the per-packet performance
+//! counters (reference cycles, instructions retired, L3 misses).
+//!
+//! Absolute numbers are calibrated only loosely against the paper's testbed
+//! (the NOP forwarding overhead and the 3.3 GHz clock); what the
+//! reproduction targets is the *relative* behaviour of workloads per NF —
+//! who is slower, by roughly what factor, and why (instructions vs misses).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod dut;
+pub mod stats;
+pub mod throughput;
+
+pub use cpu::{CpuModel, PacketCounters};
+pub use dut::{measure, Dut, Measurement, MeasurementConfig};
+pub use stats::Cdf;
+pub use throughput::{max_throughput_mpps, ThroughputConfig};
+
+/// Fixed per-packet forwarding overhead (DPDK + driver + NIC) in CPU cycles,
+/// calibrated so the NOP NF forwards at ≈3.45 Mpps as in Table 1.
+pub const FORWARDING_OVERHEAD_CYCLES: u64 = 950;
+
+/// Fixed per-packet overhead in retired instructions (Table 2 reports 271
+/// instructions per packet for the NOP).
+pub const FORWARDING_OVERHEAD_INSTRUCTIONS: u64 = 270;
+
+/// Fixed per-packet L3 misses of the forwarding path (Table 3: NOP = 1).
+pub const FORWARDING_OVERHEAD_MISSES: u64 = 1;
+
+/// Wire, NIC and timestamping latency included in every end-to-end latency
+/// sample (the NOP CDF sits around 4.3 µs in Figs. 4–15).
+pub const WIRE_LATENCY_NS: f64 = 4_050.0;

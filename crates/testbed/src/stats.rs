@@ -1,0 +1,110 @@
+//! CDFs and summary statistics for the evaluation plots and tables.
+
+/// An empirical cumulative distribution function over `f64` samples.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The p-quantile (p in [0, 1]).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * p).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    /// Evenly spaced (value, cumulative probability) points, suitable for
+    /// printing the figure series: `points(n)` returns `n` samples of the
+    /// curve from the minimum to the maximum.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let p = i as f64 / (n - 1).max(1) as f64;
+                (self.quantile(p), p)
+            })
+            .collect()
+    }
+}
+
+/// Median of integer samples, as `f64`.
+pub fn median_u64(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut s: Vec<u64> = samples.to_vec();
+    s.sort_unstable();
+    s[(s.len() - 1) / 2] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_a_ramp() {
+        let cdf = Cdf::new((0..=100).map(f64::from).collect());
+        assert_eq!(cdf.len(), 101);
+        assert_eq!(cdf.median(), 50.0);
+        assert_eq!(cdf.min(), 0.0);
+        assert_eq!(cdf.max(), 100.0);
+        assert_eq!(cdf.quantile(0.9), 90.0);
+        let pts = cdf.points(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[10], (100.0, 1.0));
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let cdf = Cdf::new(vec![f64::NAN, 3.0, 1.0]);
+        assert_eq!(cdf.len(), 2);
+        assert!(Cdf::new(vec![]).is_empty());
+        assert!(Cdf::new(vec![]).median().is_nan());
+        assert!(median_u64(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_u64_works() {
+        assert_eq!(median_u64(&[5, 1, 9]), 5.0);
+        assert_eq!(median_u64(&[4, 1, 9, 5]), 4.0);
+    }
+}

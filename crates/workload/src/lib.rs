@@ -1,0 +1,353 @@
+//! # castan-workload
+//!
+//! Workload generators for the evaluation (§5.1 "Workloads"):
+//!
+//! * **1 Packet** — the same packet replayed in a loop (best case).
+//! * **Zipfian** — 100 005 packets over 6 674 flows, flow popularity drawn
+//!   from a Zipf distribution with s = 1.26 (typical real-world traffic).
+//! * **UniRand** — 1 000 472 packets over 1 000 001 flows, uniform
+//!   popularity (DoS-style stress traffic).
+//! * **UniRand CASTAN** — UniRand restricted to as many flows as the CASTAN
+//!   workload uses (fair comparison when sheer flow count is what matters).
+//! * **Manual** — hand-crafted adversarial workloads, where human intuition
+//!   suffices (trie deepest routes; tree-skew packet sequences).
+//! * **CASTAN** — the workload synthesized by `castan-core`.
+//!
+//! All generators are deterministic given their seed and can be scaled down
+//! (`scale`) so that full experiment sweeps stay tractable on the simulated
+//! testbed; the defaults reproduce the paper's packet and flow counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use castan_nf::{layout, routes, NfId, NfKind, NfSpec};
+use castan_packet::dist::{FlowPool, UniformSampler, ZipfSampler, PAPER_ZIPF_EXPONENT};
+use castan_packet::{FlowKey, Ipv4Addr, Packet, PacketBuilder};
+
+/// The workload kinds of §5.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum WorkloadKind {
+    /// A single packet replayed in a loop.
+    OnePacket,
+    /// Zipf-distributed flows (s = 1.26).
+    Zipfian,
+    /// Uniformly distributed flows.
+    UniRand,
+    /// Uniform flows, but only as many as the CASTAN workload contains.
+    UniRandCastan,
+    /// Hand-crafted adversarial workload.
+    Manual,
+    /// CASTAN-synthesized adversarial workload.
+    Castan,
+}
+
+impl WorkloadKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::OnePacket => "1 Packet",
+            WorkloadKind::Zipfian => "Zipfian",
+            WorkloadKind::UniRand => "UniRand",
+            WorkloadKind::UniRandCastan => "UniRand CASTAN",
+            WorkloadKind::Manual => "Manual",
+            WorkloadKind::Castan => "CASTAN",
+        }
+    }
+
+    /// The workloads every NF is evaluated under (Manual and CASTAN are NF
+    /// specific and added separately).
+    pub const GENERIC: [WorkloadKind; 4] = [
+        WorkloadKind::OnePacket,
+        WorkloadKind::Zipfian,
+        WorkloadKind::UniRand,
+        WorkloadKind::UniRandCastan,
+    ];
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete workload: an ordered packet sequence (replayed in a loop by
+/// the traffic generator until the experiment duration is reached).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which kind of workload this is.
+    pub kind: WorkloadKind,
+    /// The packets.
+    pub packets: Vec<Packet>,
+}
+
+impl Workload {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if there are no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Number of distinct flows.
+    pub fn distinct_flows(&self) -> usize {
+        let mut flows: Vec<FlowKey> = self.packets.iter().filter_map(Packet::flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+}
+
+/// Paper-default packet counts.
+pub mod defaults {
+    /// Packets in the Zipfian trace.
+    pub const ZIPF_PACKETS: u64 = 100_005;
+    /// Flows in the Zipfian trace.
+    pub const ZIPF_FLOWS: u64 = 6_674;
+    /// Packets in the UniRand trace.
+    pub const UNIRAND_PACKETS: u64 = 1_000_472;
+    /// Flows in the UniRand trace.
+    pub const UNIRAND_FLOWS: u64 = 1_000_001;
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Scale factor in (0, 1]: packet and flow counts of the generic
+    /// workloads are multiplied by this (the paper's counts at 1.0).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            scale: 1.0,
+            seed: 0xF10D,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A scaled-down configuration for quick runs and tests.
+    pub fn scaled(scale: f64) -> Self {
+        WorkloadConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn count(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale).round() as u64).max(1)
+    }
+}
+
+/// The destination every generic workload sends to: the LB's VIP, so that
+/// the same traces exercise all NF classes (the paper tailors the LB
+/// workloads this way; LPM and NAT do not care about the destination
+/// distribution of the generic traces).
+fn generic_dst(nf: &NfSpec) -> (Ipv4Addr, u16) {
+    match nf.kind {
+        NfKind::Lb => (Ipv4Addr(layout::LB_VIP), 80),
+        _ => (Ipv4Addr::new(93, 184, 216, 34), 80),
+    }
+}
+
+/// Builds the packet of flow number `i`. For the stateful NFs a flow is a
+/// distinct (source IP, source port) pair toward a fixed destination (the
+/// VIP for the LB); for the LPM NFs each flow additionally carries its own
+/// destination address spread over the IPv4 space, since destination
+/// diversity is what exercises a forwarding table.
+fn packet_for_flow(nf: &NfSpec, pool: &FlowPool, i: u64) -> Packet {
+    let flow: FlowKey = pool.flow(i);
+    let mut builder = PacketBuilder::udp_flow(flow);
+    if nf.kind == NfKind::Lpm {
+        let spread = (i.wrapping_mul(2654435761) as u32) ^ (i as u32).rotate_left(16);
+        builder = builder.dst_ip(Ipv4Addr(spread));
+    }
+    builder.build()
+}
+
+/// Builds one of the generic workloads for an NF.
+pub fn generic_workload(nf: &NfSpec, kind: WorkloadKind, cfg: &WorkloadConfig) -> Workload {
+    let (dst, dport) = generic_dst(nf);
+    let packets = match kind {
+        WorkloadKind::OnePacket => {
+            let pool = FlowPool::new(1, dst, dport);
+            vec![packet_for_flow(nf, &pool, 0)]
+        }
+        WorkloadKind::Zipfian => {
+            let flows = cfg.count(defaults::ZIPF_FLOWS);
+            let n = cfg.count(defaults::ZIPF_PACKETS);
+            let pool = FlowPool::new(flows, dst, dport);
+            let mut sampler = ZipfSampler::new(flows as usize, PAPER_ZIPF_EXPONENT, cfg.seed);
+            (0..n)
+                .map(|_| packet_for_flow(nf, &pool, sampler.sample() as u64))
+                .collect()
+        }
+        WorkloadKind::UniRand => {
+            let flows = cfg.count(defaults::UNIRAND_FLOWS);
+            let n = cfg.count(defaults::UNIRAND_PACKETS);
+            let pool = FlowPool::new(flows, dst, dport);
+            let mut sampler = UniformSampler::new(flows, cfg.seed ^ 0x5a5a);
+            (0..n)
+                .map(|_| packet_for_flow(nf, &pool, sampler.sample()))
+                .collect()
+        }
+        WorkloadKind::UniRandCastan | WorkloadKind::Manual | WorkloadKind::Castan => {
+            panic!("{kind} is not a generic workload; use the dedicated constructor")
+        }
+    };
+    Workload { kind, packets }
+}
+
+/// UniRand restricted to `flows` distinct flows (as many as the CASTAN
+/// workload for the same NF), replayed to the same total packet count as
+/// the CASTAN workload would be.
+pub fn unirand_castan(nf: &NfSpec, flows: u64, cfg: &WorkloadConfig) -> Workload {
+    let (dst, dport) = generic_dst(nf);
+    let flows = flows.max(1);
+    let pool = FlowPool::new(flows, dst, dport);
+    let mut sampler = UniformSampler::new(flows, cfg.seed ^ uc_seed());
+    let packets = (0..flows)
+        .map(|_| packet_for_flow(nf, &pool, sampler.sample()))
+        .collect();
+    Workload {
+        kind: WorkloadKind::UniRandCastan,
+        packets,
+    }
+}
+
+const fn uc_seed() -> u64 {
+    0xC0FFEE
+}
+
+/// Wraps a CASTAN-synthesized packet sequence as a workload.
+pub fn castan_workload(packets: Vec<Packet>) -> Workload {
+    Workload {
+        kind: WorkloadKind::Castan,
+        packets,
+    }
+}
+
+/// Builds the hand-crafted *Manual* adversarial workload for NFs where human
+/// intuition suffices (§5: trie LPM, and NAT/LB over the unbalanced tree).
+/// Returns `None` for the NFs the paper lists with "-" in the Manual column.
+pub fn manual_workload(nf: &NfSpec) -> Option<Workload> {
+    let packets = match nf.id {
+        // 8 packets matching the most specific (/32) routes.
+        NfId::LpmTrie => routes::most_specific_destinations()
+            .into_iter()
+            .map(|dst| PacketBuilder::new().dst_ip(dst).build())
+            .collect::<Vec<_>>(),
+        // Same endpoints, increasing destination port: every insert lands on
+        // the right spine of the unbalanced tree, degenerating it into a
+        // linked list.
+        NfId::NatUnbalancedTree | NfId::LbUnbalancedTree => {
+            let dst = if nf.id == NfId::LbUnbalancedTree {
+                Ipv4Addr(layout::LB_VIP)
+            } else {
+                Ipv4Addr::new(8, 8, 8, 8)
+            };
+            (0..50u16)
+                .map(|i| {
+                    PacketBuilder::new()
+                        .src_ip(Ipv4Addr::new(192, 168, 1, 7))
+                        .src_port(4242)
+                        .dst_ip(dst)
+                        .dst_port(2000 + i)
+                        .build()
+                })
+                .collect()
+        }
+        _ => return None,
+    };
+    Some(Workload {
+        kind: WorkloadKind::Manual,
+        packets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_nf::nf_by_id;
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig::scaled(0.01)
+    }
+
+    #[test]
+    fn zipfian_counts_scale() {
+        let nf = nf_by_id(NfId::LpmTrie);
+        let w = generic_workload(&nf, WorkloadKind::Zipfian, &small_cfg());
+        assert_eq!(w.len(), 1000); // 100 005 × 0.01, rounded
+        assert!(w.distinct_flows() <= 67);
+        assert!(w.distinct_flows() > 5);
+    }
+
+    #[test]
+    fn unirand_has_many_flows() {
+        let nf = nf_by_id(NfId::NatHashTable);
+        let w = generic_workload(&nf, WorkloadKind::UniRand, &small_cfg());
+        assert_eq!(w.len(), 10_005);
+        assert!(
+            w.distinct_flows() > 5_000,
+            "uniform sampling over 10k flows should hit most of them"
+        );
+    }
+
+    #[test]
+    fn one_packet_is_one_flow() {
+        let nf = nf_by_id(NfId::LpmDirect1);
+        let w = generic_workload(&nf, WorkloadKind::OnePacket, &small_cfg());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.distinct_flows(), 1);
+    }
+
+    #[test]
+    fn lb_workloads_target_the_vip() {
+        let nf = nf_by_id(NfId::LbHashTable);
+        let w = generic_workload(&nf, WorkloadKind::Zipfian, &small_cfg());
+        assert!(w
+            .packets
+            .iter()
+            .all(|p| p.field(castan_packet::PacketField::DstIp) == u64::from(layout::LB_VIP)));
+    }
+
+    #[test]
+    fn manual_workloads_exist_only_where_the_paper_has_them() {
+        for id in NfId::ALL {
+            let nf = nf_by_id(id);
+            let manual = manual_workload(&nf);
+            match id {
+                NfId::LpmTrie | NfId::NatUnbalancedTree | NfId::LbUnbalancedTree => {
+                    assert!(manual.is_some(), "{id}")
+                }
+                _ => assert!(manual.is_none(), "{id}"),
+            }
+        }
+        let trie_manual = manual_workload(&nf_by_id(NfId::LpmTrie)).unwrap();
+        assert_eq!(trie_manual.len(), 8);
+    }
+
+    #[test]
+    fn unirand_castan_matches_flow_budget() {
+        let nf = nf_by_id(NfId::LbHashRing);
+        let w = unirand_castan(&nf, 40, &WorkloadConfig::default());
+        assert_eq!(w.len(), 40);
+        assert!(w.distinct_flows() <= 40);
+        assert_eq!(w.kind, WorkloadKind::UniRandCastan);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let nf = nf_by_id(NfId::LpmTrie);
+        let a = generic_workload(&nf, WorkloadKind::Zipfian, &small_cfg());
+        let b = generic_workload(&nf, WorkloadKind::Zipfian, &small_cfg());
+        assert_eq!(a.packets, b.packets);
+    }
+}

@@ -1,0 +1,19 @@
+//! # castan-suite
+//!
+//! Umbrella crate for the CASTAN reproduction workspace. It re-exports the
+//! member crates so the runnable examples under `examples/` and the
+//! integration tests under `tests/` can use a single dependency, and so
+//! `cargo doc` produces one entry point covering the whole system.
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the paper-to-crate mapping.
+
+#![forbid(unsafe_code)]
+
+pub use castan_core as analysis;
+pub use castan_ir as ir;
+pub use castan_mem as mem;
+pub use castan_nf as nf;
+pub use castan_packet as packet;
+pub use castan_testbed as testbed;
+pub use castan_workload as workload;

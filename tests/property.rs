@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants that the rest of the system leans on.
+
+use proptest::prelude::*;
+
+use castan_suite::ir::{BinOp, CmpOp, DataMemory};
+use castan_suite::mem::cache::SetAssocCache;
+use castan_suite::mem::{line_of, LINE_SIZE};
+use castan_suite::packet::ip::internet_checksum;
+use castan_suite::packet::{FlowKey, IpProto, Ipv4Addr, Packet, PacketBuilder, PacketField};
+
+proptest! {
+    /// Any UDP/TCP packet built from a 5-tuple survives a wire round trip
+    /// with all CASTAN-relevant fields intact.
+    #[test]
+    fn packet_wire_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        tcp in any::<bool>(),
+        ttl in 1u8..=255,
+    ) {
+        let proto = if tcp { IpProto::Tcp } else { IpProto::Udp };
+        let p = PacketBuilder::new()
+            .src_ip(Ipv4Addr(src))
+            .dst_ip(Ipv4Addr(dst))
+            .src_port(sport)
+            .dst_port(dport)
+            .proto(proto)
+            .ttl(ttl)
+            .build();
+        let q = Packet::parse(&p.to_bytes()).unwrap();
+        for field in PacketField::ALL {
+            prop_assert_eq!(p.field(field), q.field(field), "field {}", field);
+        }
+    }
+
+    /// The internet checksum written by the IPv4 header serialiser always
+    /// verifies, for arbitrary header contents.
+    #[test]
+    fn ipv4_checksum_always_verifies(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ident in any::<u16>(),
+        ttl in any::<u8>(),
+    ) {
+        let h = castan_suite::packet::Ipv4Header {
+            dscp_ecn: 0,
+            total_len: 60,
+            identification: ident,
+            flags_frag: 0,
+            ttl,
+            proto: IpProto::Udp,
+            src: Ipv4Addr(src),
+            dst: Ipv4Addr(dst),
+        };
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        prop_assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    /// Flow-key reversal is an involution and never equals the original for
+    /// asymmetric endpoints.
+    #[test]
+    fn flow_key_reversal(src in any::<u32>(), dst in any::<u32>(), sp in any::<u16>(), dp in any::<u16>()) {
+        let k = FlowKey::udp(Ipv4Addr(src), sp, Ipv4Addr(dst), dp);
+        prop_assert_eq!(k.reversed().reversed(), k);
+        if src != dst || sp != dp {
+            prop_assert_ne!(k.reversed(), k);
+        }
+    }
+
+    /// DataMemory behaves like a flat byte array: interleaved writes of
+    /// arbitrary widths read back exactly like a shadow model.
+    #[test]
+    fn data_memory_matches_shadow_model(
+        ops in proptest::collection::vec((0u64..4096, any::<u64>(), 1u64..=8), 1..60)
+    ) {
+        let mut mem = DataMemory::new();
+        let mut shadow = vec![0u8; 5000];
+        for (addr, value, width) in ops {
+            mem.write(addr, value, width);
+            for i in 0..width {
+                shadow[(addr + i) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
+        for addr in (0..4096).step_by(7) {
+            let expect = u64::from_le_bytes([
+                shadow[addr], shadow[addr + 1], shadow[addr + 2], shadow[addr + 3],
+                shadow[addr + 4], shadow[addr + 5], shadow[addr + 6], shadow[addr + 7],
+            ]);
+            prop_assert_eq!(mem.read(addr as u64, 8), expect);
+        }
+    }
+
+    /// The set-associative cache never reports more resident lines than its
+    /// capacity, and a line just accessed is always resident.
+    #[test]
+    fn cache_capacity_and_residency(
+        accesses in proptest::collection::vec(0u64..(1 << 20), 1..300)
+    ) {
+        let mut cache = SetAssocCache::new(16, 4);
+        for addr in &accesses {
+            cache.access(line_of(*addr));
+            prop_assert!(cache.contains(line_of(*addr)));
+        }
+        let resident = cache.resident_lines();
+        prop_assert!(resident.len() <= 16 * 4);
+        for line in resident {
+            prop_assert_eq!(line % LINE_SIZE, 0);
+        }
+    }
+
+    /// IR binary/compare operators agree with a reference big-integer model.
+    #[test]
+    fn binop_semantics_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(BinOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(BinOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(BinOp::Xor.eval(a, b), a ^ b);
+        prop_assert_eq!(BinOp::Shl.eval(a, b), a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(CmpOp::Ult.eval(a, b), a < b);
+        prop_assert_eq!(CmpOp::Eq.eval(a, b), a == b);
+        // Negation is a true complement for every operator.
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Ult, CmpOp::Ule, CmpOp::Ugt, CmpOp::Uge] {
+            prop_assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The chaining hash-table NF state machine (LB over the hash table)
+    /// pins every flow to a stable backend no matter the interleaving.
+    #[test]
+    fn lb_assigns_flows_consistently(flow_ids in proptest::collection::vec(0u64..40, 10..60)) {
+        use castan_suite::ir::{Interpreter, NullSink};
+        use castan_suite::nf::{layout, nf_by_id, NfId};
+
+        let nf = nf_by_id(NfId::LbHashTable);
+        let interp = Interpreter::new(&nf.program, &nf.natives);
+        let mut mem = nf.initial_memory.clone();
+        let mut assigned: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for id in flow_ids {
+            let pkt = PacketBuilder::new()
+                .src_ip(Ipv4Addr(0x0a00_0000 + id as u32))
+                .src_port(1000 + id as u16)
+                .dst_ip(Ipv4Addr(layout::LB_VIP))
+                .build();
+            let backend = interp
+                .run_packet(&mut mem, &pkt, &mut NullSink)
+                .unwrap()
+                .return_value
+                .unwrap();
+            prop_assert!((1..=layout::LB_NUM_BACKENDS).contains(&backend));
+            let prev = assigned.insert(id, backend);
+            if let Some(prev) = prev {
+                prop_assert_eq!(prev, backend, "flow {} moved backends", id);
+            }
+        }
+    }
+}
