@@ -15,7 +15,11 @@ fn catalog_for(nf: &NfSpec) -> ContentionCatalog {
     let lines: Vec<u64> = nf
         .data_regions
         .first()
-        .map(|r| (0..2048u64).map(|i| r.base + (i * 8 * 64) % r.len).collect())
+        .map(|r| {
+            (0..2048u64)
+                .map(|i| r.base + (i * 8 * 64) % r.len)
+                .collect()
+        })
         .unwrap_or_default();
     ContentionCatalog::from_ground_truth(&mut hier, lines)
 }

@@ -57,5 +57,9 @@ fn bench_measured_workloads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interpreter_datapath, bench_measured_workloads);
+criterion_group!(
+    benches,
+    bench_interpreter_datapath,
+    bench_measured_workloads
+);
 criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Catalogue of canonical service-function chains.
+
+use castan_nf::{nf_by_id, NfId};
+
+use crate::spec::NfChain;
+
+/// Identifier of a canonical chain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ChainId {
+    /// Three NOP stages: the chain-overhead baseline.
+    Nop3,
+    /// Source NAT (hash table) → LPM (trie): a CPE/edge pipeline.
+    NatLpm,
+    /// Load balancer (hash table) → LPM (trie): a datacenter front end.
+    LbLpm,
+    /// NAT → LB → LPM: the full three-stage pipeline.
+    NatLbLpm,
+}
+
+impl ChainId {
+    /// Every canonical chain, in catalogue order.
+    pub const ALL: [ChainId; 4] = [
+        ChainId::Nop3,
+        ChainId::NatLpm,
+        ChainId::LbLpm,
+        ChainId::NatLbLpm,
+    ];
+
+    /// Short, stable name (used by the experiment CLI and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChainId::Nop3 => "nop3",
+            ChainId::NatLpm => "nat-lpm",
+            ChainId::LbLpm => "lb-lpm",
+            ChainId::NatLbLpm => "nat-lb-lpm",
+        }
+    }
+
+    /// The stage NFs, in packet-traversal order.
+    pub fn stage_nfs(self) -> Vec<NfId> {
+        match self {
+            ChainId::Nop3 => vec![NfId::Nop, NfId::Nop, NfId::Nop],
+            ChainId::NatLpm => vec![NfId::NatHashTable, NfId::LpmTrie],
+            ChainId::LbLpm => vec![NfId::LbHashTable, NfId::LpmTrie],
+            ChainId::NatLbLpm => vec![NfId::NatHashTable, NfId::LbHashTable, NfId::LpmTrie],
+        }
+    }
+}
+
+impl std::fmt::Display for ChainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the chain with the given id.
+pub fn chain_by_id(id: ChainId) -> NfChain {
+    NfChain::new(
+        id.name(),
+        id.stage_nfs().into_iter().map(nf_by_id).collect(),
+    )
+}
+
+/// Builds every canonical chain.
+pub fn all_chains() -> Vec<NfChain> {
+    ChainId::ALL.iter().map(|&id| chain_by_id(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_nf::NfKind;
+
+    #[test]
+    fn catalogue_is_complete_and_named_uniquely() {
+        let chains = all_chains();
+        assert_eq!(chains.len(), 4);
+        let mut names: Vec<&str> = ChainId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(ChainId::NatLpm.to_string(), "nat-lpm");
+    }
+
+    #[test]
+    fn chain_structures_match_their_names() {
+        assert_eq!(chain_by_id(ChainId::Nop3).kinds(), vec![NfKind::Nop; 3]);
+        assert_eq!(
+            chain_by_id(ChainId::NatLbLpm).kinds(),
+            vec![NfKind::Nat, NfKind::Lb, NfKind::Lpm]
+        );
+        assert_eq!(chain_by_id(ChainId::LbLpm).len(), 2);
+        for chain in all_chains() {
+            for stage in &chain.stages {
+                assert!(stage.nf.program.validate().is_ok(), "{}", chain.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Inter-stage packet handoff.
+//!
+//! The NF IR programs return a verdict but do not serialise the rewritten
+//! packet (the original NFs rewrite headers through DPDK mbuf writes the IR
+//! abstracts away). A [`StageHandoff`] reconstructs each stage's externally
+//! visible rewrite so the next stage parses the packet the previous stage
+//! actually emitted:
+//!
+//! * **NAT** — source endpoint translation. The handoff mirrors the NF's
+//!   port allocator: the IR allocates `(counter & 0xffff) + 1024` and bumps
+//!   the counter once per new flow, in first-seen order, so a shadow map
+//!   keyed by flow key reproduces the allocation deterministically
+//!   (exactly for the first [`NAT_PORT_SPAN`] flows; see
+//!   [`nat_port_for_counter`] for the wrap behaviour beyond the 16-bit
+//!   port space). Returning traffic (addressed to the NAT's external IP)
+//!   is rewritten back to the stored internal endpoint, or dropped when
+//!   unknown — the same verdict the IR returns.
+//! * **LB** — VIP-to-backend translation. The NF verdict *is* the chosen
+//!   backend id (1-based), so the handoff needs no shadow state: it rewrites
+//!   the destination IP to that backend's DIP.
+//! * **NOP / LPM** — forwarding only; the packet passes through unmodified.
+
+use std::collections::HashMap;
+
+use castan_nf::{layout, NfKind, NfSpec};
+use castan_packet::{FlowKey, Ipv4Addr, Packet, PacketBuilder};
+
+/// The DIP of load-balancer backend `backend` (1-based, as in the NF
+/// verdict). Backends live in 10.8.1.0/24.
+pub fn lb_backend_dip(backend: u64) -> Ipv4Addr {
+    debug_assert!((1..=layout::LB_NUM_BACKENDS).contains(&backend));
+    Ipv4Addr::new(10, 8, 1, backend as u8)
+}
+
+/// First port the NAT allocates (mirrors the IR: `(counter & 0xffff) + 1024`).
+pub const NAT_FIRST_PORT: u16 = 1024;
+
+/// Ports the NAT can hand out before wrapping (1024..=65535).
+pub const NAT_PORT_SPAN: u64 = 0x1_0000 - NAT_FIRST_PORT as u64;
+
+/// The external port allocated for the `counter`-th new flow. Identical to
+/// the IR allocator (`(counter & 0xffff) + 1024`) for the first
+/// [`NAT_PORT_SPAN`] flows; past that the IR's own arithmetic overflows the
+/// 16-bit port space (values up to 66 559 that no real packet can carry),
+/// so the shadow wraps within the valid port range instead.
+pub fn nat_port_for_counter(counter: u64) -> u16 {
+    (u64::from(NAT_FIRST_PORT) + (counter % NAT_PORT_SPAN)) as u16
+}
+
+/// A stage's packet rewrite. One object per stage per chain execution;
+/// stateful handoffs (the NAT) mirror the NF's own flow state and must be
+/// `reset` whenever the NF's data memory is re-initialised.
+pub trait StageHandoff: Send {
+    /// Rewrites `input` according to the stage's behaviour and `verdict`
+    /// (the stage NF's return value for this packet). Returns `None` when
+    /// the stage drops the packet.
+    fn apply(&mut self, input: &Packet, verdict: u64) -> Option<Packet>;
+
+    /// Clears any shadow state (new measurement run, fresh NF memory).
+    fn reset(&mut self);
+}
+
+/// Forwarding stages (NOP, LPM): the packet passes through untouched. The
+/// LPM's verdict is an output port, not a drop decision — unroutable packets
+/// (port 0) still traverse the chain, as on a router with a default route.
+#[derive(Debug, Default)]
+pub struct IdentityHandoff;
+
+impl StageHandoff for IdentityHandoff {
+    fn apply(&mut self, input: &Packet, _verdict: u64) -> Option<Packet> {
+        Some(*input)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Source-NAT handoff with a shadow port allocator (see module docs).
+#[derive(Debug, Default)]
+pub struct NatHandoff {
+    /// Outgoing flow → allocated external port.
+    forward: HashMap<FlowKey, u16>,
+    /// Expected return flow → internal (ip, port).
+    reverse: HashMap<FlowKey, (Ipv4Addr, u16)>,
+    /// Mirrors `layout::NAT_PORT_COUNTER`.
+    counter: u64,
+}
+
+impl NatHandoff {
+    /// Fresh handoff (empty flow table, counter at zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn allocate(&mut self, key: FlowKey) -> u16 {
+        if let Some(&p) = self.forward.get(&key) {
+            return p;
+        }
+        let port = nat_port_for_counter(self.counter);
+        self.counter += 1;
+        self.forward.insert(key, port);
+        // The return flow the NAT installed: remote endpoint → NAT:port.
+        let ret = FlowKey {
+            src_ip: key.dst_ip,
+            dst_ip: Ipv4Addr(layout::NAT_EXTERNAL_IP),
+            src_port: key.dst_port,
+            dst_port: port,
+            proto: key.proto,
+        };
+        self.reverse.insert(ret, (key.src_ip, key.src_port));
+        port
+    }
+}
+
+impl StageHandoff for NatHandoff {
+    fn apply(&mut self, input: &Packet, verdict: u64) -> Option<Packet> {
+        if verdict == layout::VERDICT_DROP {
+            return None;
+        }
+        let Some(key) = input.flow() else {
+            // Untracked (non-TCP/UDP) traffic bypasses the flow table.
+            return Some(*input);
+        };
+        if key.dst_ip == Ipv4Addr(layout::NAT_EXTERNAL_IP) {
+            // Returning traffic: rewrite to the stored internal endpoint.
+            let &(ip, port) = self.reverse.get(&key)?;
+            return Some(
+                PacketBuilder::udp_flow(FlowKey {
+                    dst_ip: ip,
+                    dst_port: port,
+                    ..key
+                })
+                .frame_len(input.frame_len)
+                .build(),
+            );
+        }
+        // Outgoing traffic: translate the source endpoint.
+        let ext_port = self.allocate(key);
+        Some(
+            PacketBuilder::udp_flow(FlowKey {
+                src_ip: Ipv4Addr(layout::NAT_EXTERNAL_IP),
+                src_port: ext_port,
+                ..key
+            })
+            .frame_len(input.frame_len)
+            .build(),
+        )
+    }
+
+    fn reset(&mut self) {
+        self.forward.clear();
+        self.reverse.clear();
+        self.counter = 0;
+    }
+}
+
+/// Load-balancer handoff: the verdict is the backend id; the destination IP
+/// becomes that backend's DIP.
+#[derive(Debug, Default)]
+pub struct LbHandoff;
+
+impl StageHandoff for LbHandoff {
+    fn apply(&mut self, input: &Packet, verdict: u64) -> Option<Packet> {
+        if verdict == layout::VERDICT_DROP {
+            return None;
+        }
+        let Some(key) = input.flow() else {
+            // The LB IR drops untracked traffic; verdict 0 is caught above,
+            // so reaching here means a non-drop verdict for an untracked
+            // packet — pass it through.
+            return Some(*input);
+        };
+        if key.dst_ip != Ipv4Addr(layout::LB_VIP) {
+            // Statically routed; verdict is VERDICT_FORWARD.
+            return Some(*input);
+        }
+        debug_assert!(
+            (1..=layout::LB_NUM_BACKENDS).contains(&verdict),
+            "LB verdict {verdict} is not a backend id"
+        );
+        let backend = verdict.clamp(1, layout::LB_NUM_BACKENDS);
+        Some(
+            PacketBuilder::udp_flow(FlowKey {
+                dst_ip: lb_backend_dip(backend),
+                ..key
+            })
+            .frame_len(input.frame_len)
+            .build(),
+        )
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// The handoff implementing `nf`'s externally visible rewrite.
+pub fn handoff_for(nf: &NfSpec) -> Box<dyn StageHandoff> {
+    match nf.kind {
+        NfKind::Nop | NfKind::Lpm => Box::new(IdentityHandoff),
+        NfKind::Nat => Box::new(NatHandoff::new()),
+        NfKind::Lb => Box::new(LbHandoff),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_packet::IpProto;
+
+    fn outgoing(i: u16) -> Packet {
+        PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(192, 168, 1, 7))
+            .src_port(40_000 + i)
+            .dst_ip(Ipv4Addr::new(8, 8, 8, 8))
+            .dst_port(53)
+            .build()
+    }
+
+    #[test]
+    fn nat_translates_the_source_in_allocation_order() {
+        let mut h = NatHandoff::new();
+        let a = h.apply(&outgoing(0), layout::VERDICT_FORWARD).unwrap();
+        let b = h.apply(&outgoing(1), layout::VERDICT_FORWARD).unwrap();
+        let a2 = h.apply(&outgoing(0), layout::VERDICT_FORWARD).unwrap();
+        assert_eq!(a.flow().unwrap().src_ip, Ipv4Addr(layout::NAT_EXTERNAL_IP));
+        assert_eq!(a.flow().unwrap().src_port, NAT_FIRST_PORT);
+        assert_eq!(b.flow().unwrap().src_port, NAT_FIRST_PORT + 1);
+        assert_eq!(a2, a, "same flow keeps its allocation");
+        // Destination side is untouched.
+        assert_eq!(a.flow().unwrap().dst_ip, Ipv4Addr::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn nat_reverses_known_return_traffic_and_drops_unknown() {
+        let mut h = NatHandoff::new();
+        h.apply(&outgoing(3), layout::VERDICT_FORWARD).unwrap();
+        let ret = PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(8, 8, 8, 8))
+            .src_port(53)
+            .dst_ip(Ipv4Addr(layout::NAT_EXTERNAL_IP))
+            .dst_port(NAT_FIRST_PORT)
+            .build();
+        let back = h.apply(&ret, layout::VERDICT_FORWARD).unwrap();
+        let k = back.flow().unwrap();
+        assert_eq!(k.dst_ip, Ipv4Addr::new(192, 168, 1, 7));
+        assert_eq!(k.dst_port, 40_003);
+
+        let stray = PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(1, 1, 1, 1))
+            .dst_ip(Ipv4Addr(layout::NAT_EXTERNAL_IP))
+            .dst_port(9)
+            .build();
+        assert!(h.apply(&stray, layout::VERDICT_FORWARD).is_none());
+        // And the NF's own drop verdict always wins.
+        assert!(h.apply(&outgoing(9), layout::VERDICT_DROP).is_none());
+    }
+
+    #[test]
+    fn nat_port_allocation_matches_the_ir_then_wraps_within_valid_ports() {
+        // Identical to the IR's `(counter & 0xffff) + 1024` over the whole
+        // physically representable range…
+        for counter in [0u64, 1, 100, NAT_PORT_SPAN - 1] {
+            assert_eq!(
+                u64::from(nat_port_for_counter(counter)),
+                (counter & 0xffff) + u64::from(NAT_FIRST_PORT)
+            );
+        }
+        // …and past it (where the IR's arithmetic exceeds u16) the shadow
+        // wraps back into valid port space instead of truncating.
+        assert_eq!(nat_port_for_counter(NAT_PORT_SPAN), NAT_FIRST_PORT);
+        assert!(nat_port_for_counter(NAT_PORT_SPAN + 7) >= NAT_FIRST_PORT);
+    }
+
+    #[test]
+    fn nat_reset_releases_allocations() {
+        let mut h = NatHandoff::new();
+        h.apply(&outgoing(0), layout::VERDICT_FORWARD).unwrap();
+        let second = h.apply(&outgoing(1), layout::VERDICT_FORWARD).unwrap();
+        assert_eq!(second.flow().unwrap().src_port, NAT_FIRST_PORT + 1);
+        h.reset();
+        let again = h.apply(&outgoing(1), layout::VERDICT_FORWARD).unwrap();
+        assert_eq!(again.flow().unwrap().src_port, NAT_FIRST_PORT);
+    }
+
+    #[test]
+    fn lb_rewrites_vip_traffic_to_the_verdict_backend() {
+        let mut h = LbHandoff;
+        let vip_pkt = PacketBuilder::new()
+            .dst_ip(Ipv4Addr(layout::LB_VIP))
+            .dst_port(80)
+            .build();
+        let out = h.apply(&vip_pkt, 5).unwrap();
+        assert_eq!(out.flow().unwrap().dst_ip, lb_backend_dip(5));
+        assert_eq!(out.flow().unwrap().dst_port, 80);
+
+        // Non-VIP traffic is statically routed, untouched.
+        let other = PacketBuilder::new()
+            .dst_ip(Ipv4Addr::new(9, 9, 9, 9))
+            .build();
+        assert_eq!(h.apply(&other, layout::VERDICT_FORWARD).unwrap(), other);
+        // The LB drops what its IR drops.
+        assert!(h.apply(&vip_pkt, layout::VERDICT_DROP).is_none());
+    }
+
+    #[test]
+    fn identity_forwards_non_l4_traffic() {
+        let mut h = IdentityHandoff;
+        let icmp = PacketBuilder::new().proto(IpProto::Icmp).build();
+        assert_eq!(h.apply(&icmp, 0).unwrap(), icmp);
+    }
+
+    #[test]
+    fn handoff_for_matches_nf_kind() {
+        use castan_nf::{nf_by_id, NfId};
+        // Smoke: every NF kind yields a handoff that forwards a plain packet.
+        for id in [
+            NfId::Nop,
+            NfId::LpmTrie,
+            NfId::NatHashTable,
+            NfId::LbHashRing,
+        ] {
+            let mut h = handoff_for(&nf_by_id(id));
+            let p = outgoing(0);
+            assert!(h.apply(&p, layout::VERDICT_FORWARD).is_some(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # castan-chain
+//!
+//! Service-function chains: composition of `castan-nf` NFs into pipelines
+//! with explicit inter-stage packet handoff.
+//!
+//! CASTAN's single-NF analysis asks "which packet sequence makes *this* NF
+//! slowest?". Real deployments run packets through *chains* of NFs
+//! (NAT → LB → LPM router and friends), where one stage's rewrites and
+//! cache footprint change the next stage's worst case. This crate provides
+//! the chain abstraction the rest of the workspace builds on:
+//!
+//! * [`NfChain`] — an ordered pipeline of [`castan_nf::NfSpec`] stages, each
+//!   with a disjoint slice of the shared address space
+//!   ([`spec::STAGE_ADDR_STRIDE`]) so stages contend for the same simulated
+//!   L3 when executed by `castan-testbed`'s chained datapath;
+//! * [`handoff`] — concrete inter-stage packet rewriting (the NAT's source
+//!   translation, the LB's VIP→DIP mapping), mirroring each NF's externally
+//!   visible behaviour so stage *n+1* parses the packet stage *n* emitted;
+//! * [`symbolic`] — the same rewrites as field-relation models, used by
+//!   `castan-core`'s chained analysis to translate downstream path
+//!   constraints back to the origin packet;
+//! * [`catalog`] — the canonical chains (`nop3`, `nat-lpm`, `lb-lpm`,
+//!   `nat-lb-lpm`) the experiments and benches sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod handoff;
+pub mod spec;
+pub mod symbolic;
+
+pub use catalog::{all_chains, chain_by_id, ChainId};
+pub use handoff::{handoff_for, lb_backend_dip, StageHandoff};
+pub use spec::{ChainStage, ChainVerdict, NfChain, STAGE_ADDR_STRIDE};
+pub use symbolic::{symbolic_handoff, upstream_models, FieldRel, HandoffModel, PerPacketRule};

@@ -1,0 +1,197 @@
+//! Chain specification: an ordered NF pipeline with explicit inter-stage
+//! packet handoff.
+//!
+//! A chain runs every packet through its stages in order. Each stage is a
+//! complete [`NfSpec`] (own IR program, own data memory); between stages the
+//! packet is *rewritten* according to the stage's externally visible
+//! behaviour — the NAT translates the source endpoint, the LB maps the VIP
+//! to a backend DIP — so that the next stage parses the packet the previous
+//! stage actually emitted. The per-stage rewrites are modelled by
+//! [`StageHandoff`] objects whose state mirrors the NF's own data-structure
+//! state (see `handoff` module docs for the exact correspondence).
+
+use castan_nf::{NfKind, NfSpec};
+use castan_packet::Packet;
+
+use crate::handoff::{handoff_for, StageHandoff};
+
+/// Address-space stride between consecutive stages when a chain executes on
+/// one shared cache hierarchy. Each stage keeps its own [`castan_ir::DataMemory`]
+/// (stage-local addresses), but cache accesses are offset by
+/// `stage_index * STAGE_ADDR_STRIDE` so that distinct stages occupy distinct
+/// virtual pages — and therefore contend for the shared L3 — instead of
+/// aliasing onto the same lines. 64 GiB comfortably clears the largest NF
+/// region (the 1 GiB hash ring at `0x4000_0000`).
+pub const STAGE_ADDR_STRIDE: u64 = 1 << 36;
+
+// The stride must clear the largest NF region (the 1 GiB hash ring ending at
+// 0x4000_0000 + 1 GiB), or stages would alias in the shared cache.
+const _: () = assert!(STAGE_ADDR_STRIDE > 0x4000_0000 + (1 << 30));
+
+/// One stage of a chain.
+#[derive(Clone, Debug)]
+pub struct ChainStage {
+    /// The NF running at this stage.
+    pub nf: NfSpec,
+    /// Base address added to every cache access of this stage when the chain
+    /// runs on a shared hierarchy (`index * STAGE_ADDR_STRIDE`).
+    pub addr_base: u64,
+}
+
+/// An ordered NF pipeline.
+#[derive(Clone, Debug)]
+pub struct NfChain {
+    /// Stable identifier (from the chain catalog) or a custom name.
+    pub name: String,
+    /// The stages, in packet-traversal order.
+    pub stages: Vec<ChainStage>,
+}
+
+impl NfChain {
+    /// Builds a chain from NF specs, assigning stage address bases.
+    pub fn new(name: impl Into<String>, nfs: Vec<NfSpec>) -> NfChain {
+        assert!(!nfs.is_empty(), "a chain needs at least one stage");
+        let stages = nfs
+            .into_iter()
+            .enumerate()
+            .map(|(i, nf)| ChainStage {
+                nf,
+                addr_base: i as u64 * STAGE_ADDR_STRIDE,
+            })
+            .collect();
+        NfChain {
+            name: name.into(),
+            stages,
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True for the (disallowed) empty chain; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The chain's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The NF kinds of the stages, in order.
+    pub fn kinds(&self) -> Vec<NfKind> {
+        self.stages.iter().map(|s| s.nf.kind).collect()
+    }
+
+    /// Fresh handoff state for one chain execution (one object per stage,
+    /// applied to the packet *after* that stage runs).
+    pub fn handoffs(&self) -> Vec<Box<dyn StageHandoff>> {
+        self.stages.iter().map(|s| handoff_for(&s.nf)).collect()
+    }
+
+    /// The destination endpoint generic workloads should target so that
+    /// traffic exercises every stage's data structures: the VIP if any stage
+    /// load-balances (LB stages only touch their flow table for VIP
+    /// traffic; upstream NATs leave the destination intact), otherwise an
+    /// arbitrary external endpoint.
+    pub fn target_dst(&self) -> (castan_packet::Ipv4Addr, u16) {
+        if self.kinds().contains(&NfKind::Lb) {
+            (castan_packet::Ipv4Addr(castan_nf::layout::LB_VIP), 80)
+        } else {
+            (castan_packet::Ipv4Addr::new(93, 184, 216, 34), 80)
+        }
+    }
+
+    /// True if any stage performs destination-IP longest-prefix matching
+    /// (such chains benefit from destination-diverse workloads — but only
+    /// when no LB sits upstream pinning the destination to the VIP).
+    pub fn wants_dst_diversity(&self) -> bool {
+        let kinds = self.kinds();
+        kinds.contains(&NfKind::Lpm) && !kinds.contains(&NfKind::Lb)
+    }
+}
+
+/// Outcome of running one packet through a full chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainVerdict {
+    /// Per-stage NF verdicts, in order, for the stages the packet reached.
+    pub stage_verdicts: Vec<u64>,
+    /// Index of the stage that dropped the packet, if any.
+    pub dropped_at: Option<usize>,
+}
+
+impl ChainVerdict {
+    /// True if the packet traversed every stage.
+    pub fn forwarded(&self) -> bool {
+        self.dropped_at.is_none()
+    }
+}
+
+/// Applies the stage handoffs to a packet as it traverses the chain,
+/// without executing any NF — used by tests and by the symbolic layer to
+/// reason about what downstream stages observe. `verdicts` are the per-stage
+/// NF verdicts.
+pub fn replay_handoffs(
+    handoffs: &mut [Box<dyn StageHandoff>],
+    verdicts: &[u64],
+    packet: &Packet,
+) -> Option<Packet> {
+    let mut current = *packet;
+    for (h, &v) in handoffs.iter_mut().zip(verdicts) {
+        current = h.apply(&current, v)?;
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_nf::{nf_by_id, NfId};
+
+    #[test]
+    fn chain_assigns_disjoint_stage_bases() {
+        let chain = NfChain::new(
+            "t",
+            vec![
+                nf_by_id(NfId::Nop),
+                nf_by_id(NfId::Nop),
+                nf_by_id(NfId::Nop),
+            ],
+        );
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.stages[0].addr_base, 0);
+        assert_eq!(chain.stages[1].addr_base, STAGE_ADDR_STRIDE);
+        assert_eq!(chain.stages[2].addr_base, 2 * STAGE_ADDR_STRIDE);
+    }
+
+    #[test]
+    fn target_dst_prefers_the_vip_when_an_lb_is_present() {
+        let lb = NfChain::new(
+            "lb",
+            vec![nf_by_id(NfId::LbHashTable), nf_by_id(NfId::LpmTrie)],
+        );
+        assert_eq!(
+            lb.target_dst().0,
+            castan_packet::Ipv4Addr(castan_nf::layout::LB_VIP)
+        );
+        assert!(!lb.wants_dst_diversity(), "LB pins the destination");
+
+        let nat = NfChain::new(
+            "nat",
+            vec![nf_by_id(NfId::NatHashTable), nf_by_id(NfId::LpmTrie)],
+        );
+        assert_ne!(
+            nat.target_dst().0,
+            castan_packet::Ipv4Addr(castan_nf::layout::LB_VIP)
+        );
+        assert!(nat.wants_dst_diversity());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chains_are_rejected() {
+        let _ = NfChain::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Symbolic model of the stage handoffs.
+//!
+//! The chained analysis in `castan-core` threads one symbolic packet through
+//! every stage. At a stage boundary the packet the next stage parses is a
+//! *rewrite* of the one the previous stage received; this module describes
+//! that rewrite per header field so the analysis can translate downstream
+//! path constraints back into constraints on the origin packet (the one the
+//! traffic generator actually injects).
+//!
+//! The model is exact for forwarded traffic consisting of all-new flows —
+//! which is precisely the regime an adversarial chain workload lives in
+//! (every synthesized packet opens fresh per-flow state; that is what makes
+//! it expensive). Under that assumption both stateful rewrites are
+//! per-packet *constants*:
+//!
+//! * the NAT allocates external ports in first-seen order, so packet `k`
+//!   (the `k`-th distinct flow) gets port `1024 + k`;
+//! * the LB assigns backends round-robin over new flows, so packet `k` goes
+//!   to backend `(k mod N) + 1`.
+
+use castan_nf::{layout, NfKind, NfSpec};
+use castan_packet::PacketField;
+
+use crate::handoff::{lb_backend_dip, nat_port_for_counter};
+
+/// How one header field of a stage's *output* packet relates to the same
+/// stage's *input* packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldRel {
+    /// Passes through unchanged.
+    Same,
+    /// Rewritten to a fixed constant.
+    Const(u64),
+    /// Rewritten to a per-packet-index constant (all-new-flows assumption).
+    PerPacket(PerPacketRule),
+}
+
+/// The per-packet rewrite rules of the stateful stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PerPacketRule {
+    /// The NAT-allocated external source port for the k-th new flow.
+    NatAllocatedPort,
+    /// The round-robin backend DIP for the k-th new flow.
+    LbBackendDip,
+}
+
+impl PerPacketRule {
+    /// The concrete value for symbolic packet number `packet_idx`.
+    pub fn value(self, packet_idx: u32) -> u64 {
+        match self {
+            PerPacketRule::NatAllocatedPort => {
+                u64::from(nat_port_for_counter(u64::from(packet_idx)))
+            }
+            PerPacketRule::LbBackendDip => {
+                let backend = (u64::from(packet_idx) % layout::LB_NUM_BACKENDS) + 1;
+                u64::from(lb_backend_dip(backend).to_u32())
+            }
+        }
+    }
+}
+
+/// The symbolic rewrite a stage applies, per field.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HandoffModel {
+    src_ip: Option<FieldRel>,
+    src_port: Option<FieldRel>,
+    dst_ip: Option<FieldRel>,
+    dst_port: Option<FieldRel>,
+}
+
+impl HandoffModel {
+    /// The relation for `field` (fields not listed pass through [`FieldRel::Same`]).
+    pub fn field_rel(&self, field: PacketField) -> FieldRel {
+        let slot = match field {
+            PacketField::SrcIp => self.src_ip,
+            PacketField::SrcPort => self.src_port,
+            PacketField::DstIp => self.dst_ip,
+            PacketField::DstPort => self.dst_port,
+            _ => None,
+        };
+        slot.unwrap_or(FieldRel::Same)
+    }
+
+    /// Composes `self` (applied first) with `next` (applied to this model's
+    /// output): the result maps the *origin* input straight to `next`'s
+    /// output.
+    pub fn then(&self, next: &HandoffModel) -> HandoffModel {
+        let compose = |field: PacketField| -> Option<FieldRel> {
+            match next.field_rel(field) {
+                // The later stage overwrites the field: its rule wins.
+                FieldRel::Const(c) => Some(FieldRel::Const(c)),
+                FieldRel::PerPacket(r) => Some(FieldRel::PerPacket(r)),
+                // The later stage passes it through: the earlier rule holds.
+                FieldRel::Same => match self.field_rel(field) {
+                    FieldRel::Same => None,
+                    rel => Some(rel),
+                },
+            }
+        };
+        HandoffModel {
+            src_ip: compose(PacketField::SrcIp),
+            src_port: compose(PacketField::SrcPort),
+            dst_ip: compose(PacketField::DstIp),
+            dst_port: compose(PacketField::DstPort),
+        }
+    }
+}
+
+/// The symbolic handoff model of one NF stage (forwarded-traffic path).
+pub fn symbolic_handoff(nf: &NfSpec) -> HandoffModel {
+    match nf.kind {
+        NfKind::Nop | NfKind::Lpm => HandoffModel::default(),
+        NfKind::Nat => HandoffModel {
+            src_ip: Some(FieldRel::Const(u64::from(layout::NAT_EXTERNAL_IP))),
+            src_port: Some(FieldRel::PerPacket(PerPacketRule::NatAllocatedPort)),
+            ..Default::default()
+        },
+        NfKind::Lb => HandoffModel {
+            dst_ip: Some(FieldRel::PerPacket(PerPacketRule::LbBackendDip)),
+            ..Default::default()
+        },
+    }
+}
+
+/// The composed handoff models *upstream of* each stage: entry `i` maps the
+/// origin packet to the packet stage `i` parses (entry 0 is the identity).
+pub fn upstream_models(chain: &crate::spec::NfChain) -> Vec<HandoffModel> {
+    let mut out = Vec::with_capacity(chain.len());
+    let mut acc = HandoffModel::default();
+    for stage in &chain.stages {
+        out.push(acc);
+        acc = acc.then(&symbolic_handoff(&stage.nf));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{chain_by_id, ChainId};
+    use crate::handoff::{NatHandoff, StageHandoff};
+    use castan_packet::{Ipv4Addr, PacketBuilder};
+
+    #[test]
+    fn nat_model_matches_the_concrete_handoff_for_new_flows() {
+        let nf = castan_nf::nf_by_id(castan_nf::NfId::NatHashTable);
+        let model = symbolic_handoff(&nf);
+        let mut concrete = NatHandoff::new();
+        for k in 0..5u32 {
+            let pkt = PacketBuilder::new()
+                .src_ip(Ipv4Addr::new(10, 0, 0, 1 + k as u8))
+                .src_port(7000 + k as u16)
+                .dst_ip(Ipv4Addr::new(8, 8, 8, 8))
+                .build();
+            let out = concrete.apply(&pkt, layout::VERDICT_FORWARD).unwrap();
+            match model.field_rel(PacketField::SrcPort) {
+                FieldRel::PerPacket(rule) => {
+                    assert_eq!(u64::from(out.flow().unwrap().src_port), rule.value(k))
+                }
+                rel => panic!("unexpected relation {rel:?}"),
+            }
+            match model.field_rel(PacketField::SrcIp) {
+                FieldRel::Const(c) => {
+                    assert_eq!(u64::from(out.flow().unwrap().src_ip.to_u32()), c)
+                }
+                rel => panic!("unexpected relation {rel:?}"),
+            }
+            // Destination fields pass through.
+            assert_eq!(model.field_rel(PacketField::DstIp), FieldRel::Same);
+        }
+    }
+
+    #[test]
+    fn upstream_models_compose_along_the_chain() {
+        let chain = chain_by_id(ChainId::NatLbLpm);
+        let models = upstream_models(&chain);
+        assert_eq!(models.len(), 3);
+        // Stage 0 (the NAT) sees the origin packet.
+        assert_eq!(models[0].field_rel(PacketField::SrcIp), FieldRel::Same);
+        // Stage 1 (the LB) sees the NAT rewrite.
+        assert_eq!(
+            models[1].field_rel(PacketField::SrcIp),
+            FieldRel::Const(u64::from(layout::NAT_EXTERNAL_IP))
+        );
+        assert_eq!(models[1].field_rel(PacketField::DstIp), FieldRel::Same);
+        // Stage 2 (the LPM) additionally sees the LB's DIP rewrite.
+        assert_eq!(
+            models[2].field_rel(PacketField::SrcIp),
+            FieldRel::Const(u64::from(layout::NAT_EXTERNAL_IP))
+        );
+        assert!(matches!(
+            models[2].field_rel(PacketField::DstIp),
+            FieldRel::PerPacket(PerPacketRule::LbBackendDip)
+        ));
+    }
+
+    #[test]
+    fn per_packet_rules_are_deterministic_and_in_range() {
+        for k in 0..40 {
+            let p = PerPacketRule::NatAllocatedPort.value(k);
+            assert_eq!(p, 1024 + u64::from(k));
+            let dip = PerPacketRule::LbBackendDip.value(k);
+            let last_octet = dip & 0xff;
+            assert!((1..=layout::LB_NUM_BACKENDS).contains(&last_octet));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal, API-compatible subset of the `criterion` crate, vendored because
+//! the build environment has no network access to crates.io.
+//!
+//! Benchmarks compile and run with `cargo bench`, printing a median
+//! nanoseconds-per-iteration figure per benchmark. There is no statistical
+//! analysis, HTML report, or baseline comparison — the goal is that the
+//! workspace's benches build, run quickly, and give a usable order-of-
+//! magnitude number. Set `CASTAN_BENCH_MS` (per-benchmark measurement budget
+//! in milliseconds, default 200) to trade accuracy for time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+fn budget() -> Duration {
+    let ms = std::env::var("CASTAN_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Drives one benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration over a few batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then size a batch to roughly a fifth of the
+        // budget and take the median of up to five batches.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = budget() / 5;
+        let batch = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + budget();
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    if b.ns_per_iter >= 1e6 {
+        println!("bench {name:<50} {:>12.3} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1e3 {
+        println!("bench {name:<50} {:>12.3} µs/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("bench {name:<50} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim has no sampling plan.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterised.
+pub struct BenchmarkId {
+    inner: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            inner: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            inner: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.inner)
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| 2u64 * 2));
+        g.bench_function(BenchmarkId::new("y", 3), |b| b.iter(|| 3u64 * 3));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        std::env::set_var("CASTAN_BENCH_MS", "5");
+        benches();
+    }
+}

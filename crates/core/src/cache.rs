@@ -314,7 +314,10 @@ mod tests {
         // The best candidates now are the other members of set 0.
         let cands = m.adversarial_candidates(&region(), &[], 3);
         assert!(cands.contains(&0x2000) || cands.contains(&0x3000) || cands.contains(&0x4000));
-        assert!(!cands.contains(&0x1000), "resident lines are not re-proposed first");
+        assert!(
+            !cands.contains(&0x1000),
+            "resident lines are not re-proposed first"
+        );
     }
 
     #[test]
@@ -331,7 +334,10 @@ mod tests {
     fn reuse_candidates_come_from_recent_accesses() {
         let m = ContentionCacheModel::new(catalog());
         let cands = m.adversarial_candidates(&region(), &[0x7048], 8);
-        assert!(cands.contains(&0x7040), "recent access's line should be proposed");
+        assert!(
+            cands.contains(&0x7040),
+            "recent access's line should be proposed"
+        );
     }
 
     #[test]
@@ -354,7 +360,10 @@ mod tests {
         assert_eq!(m.record_access(0x1234), 4);
         assert_eq!(m.estimated_misses(), 0);
         let cands = m.adversarial_candidates(&region(), &[0x2048], 4);
-        assert_eq!(cands[0], 0x2040, "reuse candidate is the recent access's line");
+        assert_eq!(
+            cands[0], 0x2040,
+            "reuse candidate is the recent access's line"
+        );
     }
 
     #[test]

@@ -45,10 +45,7 @@ impl CostMap {
         let order = call_graph_postorder(program, icfg);
         for fid in order {
             let annotated = annotate_function(icfg, fid, &summaries, natives, loop_bound);
-            summaries[fid as usize] = annotated
-                .get(icfg.func(fid).entry)
-                .copied()
-                .unwrap_or(0);
+            summaries[fid as usize] = annotated.get(icfg.func(fid).entry).copied().unwrap_or(0);
             per_func[fid as usize] = annotated;
         }
 
@@ -61,10 +58,7 @@ impl CostMap {
 
     /// Potential cost (cycles to the function's return) of a node.
     pub fn potential(&self, func: FuncId, node: NodeId) -> u64 {
-        self.per_func[func as usize]
-            .get(node)
-            .copied()
-            .unwrap_or(0)
+        self.per_func[func as usize].get(node).copied().unwrap_or(0)
     }
 
     /// Maximum potential cost of a whole function (from its entry).
@@ -179,12 +173,7 @@ fn call_graph_postorder(program: &Program, icfg: &Icfg) -> Vec<FuncId> {
     let n = program.functions.len();
     let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
-    fn visit(
-        f: FuncId,
-        icfg: &Icfg,
-        visited: &mut Vec<bool>,
-        order: &mut Vec<FuncId>,
-    ) {
+    fn visit(f: FuncId, icfg: &Icfg, visited: &mut Vec<bool>, order: &mut Vec<FuncId>) {
         if visited[f as usize] {
             return;
         }

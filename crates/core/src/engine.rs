@@ -13,9 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use castan_ir::native::MemAccess;
-use castan_ir::{
-    CostClass, ExecSink, HashFunc, Icfg, Inst, Operand, Program, Terminator,
-};
+use castan_ir::{CostClass, ExecSink, HashFunc, Icfg, Inst, Operand, Program, Terminator};
 use castan_mem::ContentionCatalog;
 use castan_nf::NfSpec;
 use castan_packet::Packet;
@@ -111,6 +109,18 @@ impl Castan {
 
     /// Analyzes an NF and synthesizes an adversarial workload.
     pub fn analyze(&self, nf: &NfSpec, catalog: &ContentionCatalog) -> AnalysisReport {
+        self.analyze_detailed(nf, catalog).0
+    }
+
+    /// Like [`Castan::analyze`], but also returns the chosen execution state
+    /// (its path constraint, atoms, and havoc log). The chained analysis
+    /// ([`crate::chain`]) uses the state to translate per-stage constraints
+    /// across stage boundaries.
+    pub fn analyze_detailed(
+        &self,
+        nf: &NfSpec,
+        catalog: &ContentionCatalog,
+    ) -> (AnalysisReport, Option<ExecState>) {
         let start = Instant::now();
         let program = &nf.program;
         let icfg = Icfg::build(program);
@@ -189,7 +199,10 @@ impl Castan {
                 if let Some((peek, _)) = searcher.pop() {
                     let better = best_partial
                         .as_ref()
-                        .map(|b| score_partial(peek.max_completed_cpp(), &peek) > score_partial(b.max_completed_cpp(), b))
+                        .map(|b| {
+                            score_partial(peek.max_completed_cpp(), &peek)
+                                > score_partial(b.max_completed_cpp(), b)
+                        })
                         .unwrap_or(true);
                     if better {
                         best_partial = Some(peek.clone());
@@ -206,7 +219,12 @@ impl Castan {
         // fall back to the best partial state.
         let best = finished
             .into_iter()
-            .max_by_key(|s| (s.max_completed_cpp(), s.completed.iter().map(|m| m.est_cycles).sum::<u64>()))
+            .max_by_key(|s| {
+                (
+                    s.max_completed_cpp(),
+                    s.completed.iter().map(|m| m.est_cycles).sum::<u64>(),
+                )
+            })
             .or(best_partial);
 
         let (packets, per_packet, havocs_total, havocs_reconciled, worst): (
@@ -215,9 +233,9 @@ impl Castan {
             usize,
             usize,
             u64,
-        ) = match best {
+        ) = match &best {
             Some(state) => {
-                let synth = synthesize(nf, &state, &mut solver, &self.config.synth);
+                let synth = synthesize(nf, state, &mut solver, &self.config.synth);
                 let worst = state.max_completed_cpp();
                 let reconciled = synth.reconciled();
                 (
@@ -231,7 +249,7 @@ impl Castan {
             None => (Vec::new(), Vec::new(), 0, 0, 0),
         };
 
-        AnalysisReport {
+        let report = AnalysisReport {
             nf_name: nf.name().to_string(),
             packets,
             per_packet,
@@ -241,7 +259,8 @@ impl Castan {
             havocs_total,
             havocs_reconciled,
             predicted_worst_cpp: worst,
-        }
+        };
+        (report, best)
     }
 }
 
@@ -403,15 +422,12 @@ impl Engine<'_> {
             }
             Inst::Hash { dst, func, args } => {
                 self.charge(state, CostClass::Hash);
-                let vals: Vec<SymExpr> = args
-                    .iter()
-                    .map(|a| Self::operand(state.top(), a))
-                    .collect();
+                let vals: Vec<SymExpr> =
+                    args.iter().map(|a| Self::operand(state.top(), a)).collect();
                 if vals.iter().all(SymExpr::is_concrete) {
                     let concrete: Vec<u64> =
                         vals.iter().map(|v| v.as_const().unwrap_or(0)).collect();
-                    state.top_mut().regs[dst as usize] =
-                        SymExpr::constant(func.apply(&concrete));
+                    state.top_mut().regs[dst as usize] = SymExpr::constant(func.apply(&concrete));
                 } else {
                     let atom = state.atoms.havoc_atom(hash_bits(func));
                     state.havocs.push(HavocRecord {
@@ -440,10 +456,8 @@ impl Engine<'_> {
             }
             Inst::Call { dst, func, args } => {
                 self.charge(state, CostClass::Call);
-                let vals: Vec<SymExpr> = args
-                    .iter()
-                    .map(|a| Self::operand(state.top(), a))
-                    .collect();
+                let vals: Vec<SymExpr> =
+                    args.iter().map(|a| Self::operand(state.top(), a)).collect();
                 Self::advance(state);
                 let frame = Frame::call(self.program, func, vals, dst);
                 state.frames.push(frame);

@@ -137,7 +137,14 @@ impl SymExpr {
         match (&a, &b) {
             (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(op.eval(*x, *y)),
             // A handful of identities that keep NF address expressions small.
-            (_, SymExpr::Const(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr) => a,
+            (_, SymExpr::Const(0))
+                if matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                ) =>
+            {
+                a
+            }
             (SymExpr::Const(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => b,
             (_, SymExpr::Const(1)) if matches!(op, BinOp::Mul) => a,
             (SymExpr::Const(1), _) if matches!(op, BinOp::Mul) => b,
@@ -255,11 +262,7 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        let e = SymExpr::bin(
-            BinOp::Add,
-            SymExpr::constant(40),
-            SymExpr::constant(2),
-        );
+        let e = SymExpr::bin(BinOp::Add, SymExpr::constant(40), SymExpr::constant(2));
         assert_eq!(e.as_const(), Some(42));
         let c = SymExpr::cmp(CmpOp::Ult, SymExpr::constant(1), SymExpr::constant(2));
         assert_eq!(c.as_const(), Some(1));
@@ -281,7 +284,11 @@ mod tests {
         let mut tbl = AtomTable::new();
         let x = tbl.field_atom(0, PacketField::DstIp);
         let y = tbl.field_atom(1, PacketField::SrcPort);
-        assert_eq!(tbl.field_atom(0, PacketField::DstIp), x, "atoms are interned");
+        assert_eq!(
+            tbl.field_atom(0, PacketField::DstIp),
+            x,
+            "atoms are interned"
+        );
         let e = SymExpr::bin(
             BinOp::Add,
             SymExpr::bin(BinOp::Mul, SymExpr::atom(x), SymExpr::constant(4)),

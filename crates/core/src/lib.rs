@@ -20,6 +20,14 @@
 //! | §3.4 potential cost via annotated ICFG, loop bound M | [`costmap`] |
 //! | §3.5 hash functions, havocing, rainbow tables | [`havoc`], [`rainbow`], [`synth`] |
 //! | §4 per-path CPU-model metrics output | [`report`] |
+//! | service-function chains (beyond the paper) | [`chain`] |
+//!
+//! Chain analysis entry points: [`chain::analyze_chain`] runs the per-stage
+//! engine, translates stage-local path constraints to the origin packet
+//! through `castan-chain`'s symbolic handoff models, greedily merges them
+//! (most expensive stage first), and synthesizes one origin-packet sequence
+//! maximizing total chain cycles; [`engine::Castan::analyze_detailed`]
+//! exposes the chosen per-stage execution state the translation consumes.
 //!
 //! The symbolic substrate (expressions, constraints, the purpose-built
 //! solver, copy-on-write symbolic memory) lives in [`expr`], [`solve`], and
@@ -29,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chain;
 pub mod costmap;
 pub mod engine;
 pub mod expr;
@@ -42,6 +51,7 @@ pub mod symmem;
 pub mod synth;
 
 pub use cache::{CacheModel, CacheModelKind, ContentionCacheModel, NoCacheModel};
+pub use chain::{analyze_chain, ChainAnalysisReport};
 pub use engine::{AnalysisConfig, Castan};
 pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};

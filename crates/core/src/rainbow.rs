@@ -254,7 +254,10 @@ mod tests {
     fn exhaustive_inverter_finds_real_preimages() {
         let s = space();
         let inv = ExhaustiveInverter::build(HashFunc::Flow16, s.clone());
-        assert!(inv.coverage() > 20_000, "40k keys should cover much of 16 bits");
+        assert!(
+            inv.coverage() > 20_000,
+            "40k keys should cover much of 16 bits"
+        );
         // Pick a value known to be in the table.
         let target = HashFunc::Flow16.apply(&s.key(123));
         let keys = inv.invert(target, 4);
@@ -278,7 +281,11 @@ mod tests {
             if !keys.is_empty() {
                 hits += 1;
                 for k in &keys {
-                    assert_eq!(HashFunc::Flow16.apply(k), target, "false positive pre-image");
+                    assert_eq!(
+                        HashFunc::Flow16.apply(k),
+                        target,
+                        "false positive pre-image"
+                    );
                 }
             }
         }

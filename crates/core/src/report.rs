@@ -122,8 +122,14 @@ mod tests {
                 PacketBuilder::new().src_port(1).build(),
             ],
             per_packet: vec![
-                PathMetrics { est_cycles: 10, ..Default::default() },
-                PathMetrics { est_cycles: 30, ..Default::default() },
+                PathMetrics {
+                    est_cycles: 10,
+                    ..Default::default()
+                },
+                PathMetrics {
+                    est_cycles: 30,
+                    ..Default::default()
+                },
             ],
             states_explored: 5,
             forks: 2,

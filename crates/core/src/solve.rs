@@ -249,8 +249,7 @@ impl Solver {
                         let lookup = |id: AtomId| model.get(&id).copied();
                         for (target_side, value_side) in [(&lhs, &rhs), (&rhs, &lhs)] {
                             if let Some(v) = eval_partial(value_side, &lookup) {
-                                if let Some(hit) = invert_for_single_atom(target_side, v, &lookup)
-                                {
+                                if let Some(hit) = invert_for_single_atom(target_side, v, &lookup) {
                                     pending.push(hit);
                                 }
                             }
@@ -377,7 +376,7 @@ fn invert_lhs(op: BinOp, rhs: u64, target: u64) -> Option<(u64, bool)> {
         BinOp::Mul => {
             if rhs == 0 {
                 None
-            } else if target % rhs == 0 {
+            } else if target.is_multiple_of(rhs) {
                 Some((target / rhs, false))
             } else {
                 None
@@ -546,7 +545,10 @@ mod tests {
             )),
             eq(SymExpr::atom(ip), SymExpr::constant(7)),
         ];
-        let m = s.solve(&t, &cs).model().expect("narrow range should be found");
+        let m = s
+            .solve(&t, &cs)
+            .model()
+            .expect("narrow range should be found");
         assert!(m[&port] > 90 && m[&port] < 100);
         assert_eq!(m[&ip], 7);
     }

@@ -33,7 +33,12 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame for `func` with zero-initialised registers and the
     /// given arguments in the first registers.
-    pub fn call(program: &Program, func: FuncId, args: Vec<SymExpr>, ret_dst: Option<Reg>) -> Frame {
+    pub fn call(
+        program: &Program,
+        func: FuncId,
+        args: Vec<SymExpr>,
+        ret_dst: Option<Reg>,
+    ) -> Frame {
         let f = &program.functions[func as usize];
         let mut regs = vec![SymExpr::constant(0); f.num_regs as usize];
         for (i, a) in args.into_iter().enumerate() {
@@ -147,7 +152,11 @@ impl ExecState {
 
     /// Highest per-packet cost among completed packets.
     pub fn max_completed_cpp(&self) -> u64 {
-        self.completed.iter().map(|m| m.est_cycles).max().unwrap_or(0)
+        self.completed
+            .iter()
+            .map(|m| m.est_cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Closes the current packet's accounting and either rolls over to the

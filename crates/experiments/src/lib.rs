@@ -18,15 +18,19 @@
 
 use std::collections::BTreeMap;
 
-use castan_core::{AnalysisConfig, AnalysisReport, CacheModelKind, Castan};
+use castan_chain::{all_chains, NfChain};
+use castan_core::{
+    analyze_chain, AnalysisConfig, AnalysisReport, CacheModelKind, Castan, ChainAnalysisReport,
+};
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
 use castan_testbed::{
-    max_throughput_mpps, measure, Cdf, Measurement, MeasurementConfig, ThroughputConfig,
+    max_throughput_mpps, measure, measure_chain, Cdf, Measurement, MeasurementConfig,
+    ThroughputConfig,
 };
 use castan_workload::{
-    castan_workload, generic_workload, manual_workload, unirand_castan, Workload, WorkloadConfig,
-    WorkloadKind,
+    castan_workload, chain_unirand_castan, generic_chain_workload, generic_workload,
+    manual_workload, unirand_castan, Workload, WorkloadConfig, WorkloadKind,
 };
 
 /// How hard to run the experiments.
@@ -374,7 +378,10 @@ pub fn throughput_and_counters_table(which: u32, cfg: &ExperimentConfig) -> Tabl
     }
 
     let (id, title) = match which {
-        1 => ("table1", "Maximum throughput for each NF under each workload (Mpps)"),
+        1 => (
+            "table1",
+            "Maximum throughput for each NF under each workload (Mpps)",
+        ),
         2 => ("table2", "Median instructions retired per packet"),
         _ => ("table3", "Median L3 misses per packet"),
     };
@@ -439,7 +446,99 @@ pub fn table5(cfg: &ExperimentConfig) -> Table {
     Table {
         id: "table5".to_string(),
         title: "Median latency deviation from NOP (ns)".to_string(),
-        columns: vec!["NF".into(), "Zipfian".into(), "Manual".into(), "CASTAN".into()],
+        columns: vec![
+            "NF".into(),
+            "Zipfian".into(),
+            "Manual".into(),
+            "CASTAN".into(),
+        ],
+        rows,
+    }
+}
+
+/// Builds one contention-set catalogue per chain stage.
+pub fn catalogs_for_chain(chain: &NfChain, cfg: &ExperimentConfig) -> Vec<ContentionCatalog> {
+    chain
+        .stages
+        .iter()
+        .map(|s| catalog_for(&s.nf, cfg))
+        .collect()
+}
+
+/// Runs the chained CASTAN analysis for a chain.
+pub fn analyze_chain_for(chain: &NfChain, cfg: &ExperimentConfig) -> ChainAnalysisReport {
+    let catalogs = catalogs_for_chain(chain, cfg);
+    analyze_chain(&Castan::new(cfg.analysis.clone()), chain, &catalogs)
+}
+
+/// The workload suite for a chain: the generic workloads plus the
+/// chain-CASTAN workload and its flow-matched UniRand control.
+pub fn chain_workload_suite(
+    chain: &NfChain,
+    cfg: &ExperimentConfig,
+) -> (Vec<Workload>, ChainAnalysisReport) {
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let report = analyze_chain_for(chain, cfg);
+    let castan_wl = castan_workload(report.packets.clone());
+    let mut suite = vec![
+        generic_chain_workload(chain, WorkloadKind::OnePacket, &wl_cfg),
+        generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg),
+        generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg),
+        chain_unirand_castan(chain, report.distinct_flows().max(1) as u64, &wl_cfg),
+    ];
+    if !castan_wl.is_empty() {
+        suite.push(castan_wl);
+    }
+    (suite, report)
+}
+
+/// The `chain-table` experiment: maximum throughput (and median end-to-end
+/// cycles per packet) for each canonical chain under each workload. The
+/// chain analogue of Table 1, plus the per-packet cycle count that explains
+/// the ordering.
+pub fn chain_table(cfg: &ExperimentConfig) -> Table {
+    let chains = all_chains();
+    let mut columns = vec!["Workload".to_string()];
+    columns.extend(chains.iter().map(|c| c.name().to_string()));
+
+    let mut per_chain: Vec<BTreeMap<WorkloadKind, (f64, f64)>> = Vec::new();
+    for chain in &chains {
+        let (suite, _) = chain_workload_suite(chain, cfg);
+        let mut cells = BTreeMap::new();
+        for wl in suite {
+            if wl.is_empty() {
+                continue;
+            }
+            let m = measure_chain(chain, &wl, &cfg.measurement);
+            let mpps = max_throughput_mpps(&m.as_measurement(), &cfg.throughput);
+            cells.insert(wl.kind, (mpps, m.median_cycles()));
+        }
+        per_chain.push(cells);
+    }
+
+    let mut rows = Vec::new();
+    for kind in [
+        WorkloadKind::OnePacket,
+        WorkloadKind::Zipfian,
+        WorkloadKind::UniRand,
+        WorkloadKind::UniRandCastan,
+        WorkloadKind::Castan,
+    ] {
+        let mut row = vec![kind.name().to_string()];
+        for cells in &per_chain {
+            let cell = match cells.get(&kind) {
+                None => "-".to_string(),
+                Some((mpps, cycles)) => format!("{mpps:.2} ({cycles:.0}c)"),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    Table {
+        id: "chain-table".to_string(),
+        title: "Maximum throughput per chain and workload (Mpps, median cycles/packet)".to_string(),
+        columns,
         rows,
     }
 }
@@ -463,7 +562,11 @@ pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
     Table {
         id: "ablation-m".to_string(),
         title: "Loop bound M vs predicted worst-case cycles (LPM trie)".to_string(),
-        columns: vec!["Setting".into(), "Predicted worst CPP".into(), "States".into()],
+        columns: vec![
+            "Setting".into(),
+            "Predicted worst CPP".into(),
+            "States".into(),
+        ],
         rows,
     }
 }
@@ -538,6 +641,58 @@ mod tests {
         let rendered = fig.render();
         assert!(rendered.contains("fig7"));
         assert!(rendered.contains("Manual"));
+    }
+
+    /// `tiny_cfg`, further scaled down for the chain sweeps so the debug
+    /// (tier-1) run stays tractable; release keeps the larger sample.
+    fn tiny_chain_cfg() -> ExperimentConfig {
+        let mut cfg = tiny_cfg();
+        if cfg!(debug_assertions) {
+            cfg.measurement.total_packets = 500;
+            cfg.measurement.warmup_packets = 50;
+            cfg.workload_scale = 0.002;
+            cfg.throughput.packets_per_trial = 4_000;
+        }
+        cfg
+    }
+
+    #[test]
+    fn chain_castan_beats_zipfian_on_nat_lpm() {
+        // The acceptance bar for the chain subsystem: the synthesized chain
+        // workload costs more cycles per packet (and therefore sustains a
+        // lower throughput) than Zipfian traffic on the nat→lpm chain.
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let (suite, report) = chain_workload_suite(&chain, &cfg);
+        assert!(report.packets.len() >= 4);
+        let measure_kind = |kind: WorkloadKind| {
+            let wl = suite.iter().find(|w| w.kind == kind).unwrap();
+            measure_chain(&chain, wl, &cfg.measurement)
+        };
+        let zipf = measure_kind(WorkloadKind::Zipfian);
+        let castan = measure_kind(WorkloadKind::Castan);
+        assert!(
+            castan.median_cycles() > zipf.median_cycles(),
+            "CASTAN chain workload ({}c) must out-cost Zipfian ({}c) on nat-lpm",
+            castan.median_cycles(),
+            zipf.median_cycles()
+        );
+        let tp_zipf = max_throughput_mpps(&zipf.as_measurement(), &cfg.throughput);
+        let tp_castan = max_throughput_mpps(&castan.as_measurement(), &cfg.throughput);
+        assert!(
+            tp_castan < tp_zipf,
+            "CASTAN {tp_castan:.2} Mpps must be below Zipfian {tp_zipf:.2} Mpps"
+        );
+    }
+
+    #[test]
+    fn chain_table_covers_all_chains_and_core_workloads() {
+        let t = chain_table(&tiny_chain_cfg());
+        assert_eq!(t.columns.len(), 1 + castan_chain::ChainId::ALL.len());
+        assert!(t.rows.len() >= 3, "at least three workload rows");
+        let rendered = t.render();
+        assert!(rendered.contains("nat-lpm"));
+        assert!(rendered.contains("CASTAN"));
     }
 
     #[test]

@@ -6,12 +6,34 @@
 //! ```
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
-//! `ablation-cache`, or `all`.
+//! `ablation-cache`, `chain-table`, or `all`. Unknown experiment names exit
+//! with status 2 and list the valid names.
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, figure, figure_catalog, table4, table5,
+    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, table4, table5,
     throughput_and_counters_table, ExperimentConfig,
 };
+
+/// Every runnable experiment id, in `all` execution order.
+fn valid_experiments() -> Vec<String> {
+    let mut out: Vec<String> = figure_catalog()
+        .iter()
+        .map(|(id, _, _)| id.to_string())
+        .collect();
+    out.extend(["table1", "table2", "table3", "table4", "table5"].map(String::from));
+    out.push("ablation-m".to_string());
+    out.push("ablation-cache".to_string());
+    out.push("chain-table".to_string());
+    out
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: castan-experiments [--quick] <experiment>...\nexperiments: {} | all",
+        valid_experiments().join(" | ")
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,28 +46,27 @@ fn main() {
     };
 
     if requested.is_empty() {
-        eprintln!("usage: castan-experiments [--quick] <fig4..fig15|table1..table5|ablation-m|ablation-cache|all>...");
-        std::process::exit(2);
+        usage_and_exit();
     }
 
+    let valid = valid_experiments();
     let mut targets: Vec<String> = Vec::new();
     for r in requested {
         if r == "all" {
-            targets.extend(figure_catalog().iter().map(|(id, _, _)| id.to_string()));
-            targets.extend(
-                ["table1", "table2", "table3", "table4", "table5"]
-                    .iter()
-                    .map(|s| s.to_string()),
-            );
-            targets.push("ablation-m".to_string());
-            targets.push("ablation-cache".to_string());
-        } else {
+            targets.extend(valid.iter().cloned());
+        } else if valid.contains(&r) {
             targets.push(r);
+        } else {
+            eprintln!("unknown experiment: {r}");
+            usage_and_exit();
         }
     }
 
     for target in targets {
-        eprintln!("== running {target} ({}) ==", if quick { "quick" } else { "full" });
+        eprintln!(
+            "== running {target} ({}) ==",
+            if quick { "quick" } else { "full" }
+        );
         let output = match target.as_str() {
             "table1" => throughput_and_counters_table(1, &cfg).render(),
             "table2" => throughput_and_counters_table(2, &cfg).render(),
@@ -54,13 +75,8 @@ fn main() {
             "table5" => table5(&cfg).render(),
             "ablation-m" => ablation_loop_bound(&cfg).render(),
             "ablation-cache" => ablation_cache_model(&cfg).render(),
-            fig => match figure(fig, &cfg) {
-                Some(f) => f.render(),
-                None => {
-                    eprintln!("unknown experiment: {fig}");
-                    continue;
-                }
-            },
+            "chain-table" => chain_table(&cfg).render(),
+            fig => figure(fig, &cfg).expect("validated above").render(),
         };
         println!("{output}");
     }

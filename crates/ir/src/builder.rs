@@ -107,7 +107,10 @@ impl FunctionBuilder {
     /// `dst = src`.
     pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
         let dst = self.fresh();
-        self.push(Inst::Mov { dst, src: src.into() });
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -117,7 +120,10 @@ impl FunctionBuilder {
     /// created before the loop and re-assigned inside it with this method.
     pub fn assign(&mut self, dst: Reg, src: impl Into<Operand>) {
         assert!(dst < self.next_reg, "assign to an unallocated register");
-        self.push(Inst::Mov { dst, src: src.into() });
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Emits a binary operation and returns the destination register.

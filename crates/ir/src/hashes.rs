@@ -72,7 +72,10 @@ fn flow_mix(args: &[u64]) -> u64 {
         k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
         k ^= k >> 33;
         acc ^= k;
-        acc = acc.rotate_left(27).wrapping_mul(5).wrapping_add(0x52dc_e729);
+        acc = acc
+            .rotate_left(27)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
     }
     acc ^= acc >> 29;
     acc = acc.wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -136,7 +139,10 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions > 0, "expected at least one collision in 300k keys");
+        assert!(
+            collisions > 0,
+            "expected at least one collision in 300k keys"
+        );
         // And by pigeonhole, 100k keys cannot produce 100k distinct 16-bit
         // outputs.
         let distinct: HashSet<u64> = (0..100_000u64)

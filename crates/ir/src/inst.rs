@@ -351,7 +351,14 @@ mod tests {
 
     #[test]
     fn cmpop_negation_and_swap() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Ult, CmpOp::Ule, CmpOp::Ugt, CmpOp::Uge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ult,
+            CmpOp::Ule,
+            CmpOp::Ugt,
+            CmpOp::Uge,
+        ] {
             for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
                 assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
                 assert_eq!(op.eval(a, b), op.swapped().eval(b, a));

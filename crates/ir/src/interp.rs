@@ -222,8 +222,7 @@ impl<'a> Interpreter<'a> {
             Inst::Call { dst, func, args } => {
                 sink.retire(CostClass::Call);
                 let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
-                let ret =
-                    self.exec_function(*func, &vals, mem, packet, sink, steps, depth + 1)?;
+                let ret = self.exec_function(*func, &vals, mem, packet, sink, steps, depth + 1)?;
                 if let (Some(d), Some(v)) = (dst, ret) {
                     regs[*d as usize] = v;
                 }

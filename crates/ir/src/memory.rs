@@ -33,7 +33,7 @@ impl DataMemory {
 
     /// Reads `len ≤ 8` bytes at `addr` as a little-endian integer.
     pub fn read(&self, addr: u64, len: u64) -> u64 {
-        debug_assert!(len >= 1 && len <= 8);
+        debug_assert!((1..=8).contains(&len));
         let mut out = 0u64;
         for i in 0..len {
             out |= u64::from(self.read_byte(addr + i)) << (8 * i);
@@ -43,7 +43,7 @@ impl DataMemory {
 
     /// Writes the low `len ≤ 8` bytes of `value` at `addr`, little-endian.
     pub fn write(&mut self, addr: u64, value: u64, len: u64) {
-        debug_assert!(len >= 1 && len <= 8);
+        debug_assert!((1..=8).contains(&len));
         for i in 0..len {
             self.write_byte(addr + i, (value >> (8 * i)) as u8);
         }
@@ -75,7 +75,7 @@ impl DataMemory {
     /// writing page-by-page keeps initialisation linear in the touched
     /// bytes rather than in hash-map probes.
     pub fn fill(&mut self, addr: u64, value: u64, width: u64, count: u64) {
-        debug_assert!(width >= 1 && width <= 8);
+        debug_assert!((1..=8).contains(&width));
         let bytes: Vec<u8> = (0..width).map(|i| (value >> (8 * i)) as u8).collect();
         let total = width * count;
         let mut off = 0u64;
@@ -163,8 +163,16 @@ mod tests {
         assert_eq!(m.read(0x0FFA, 4), 0xdead_beef);
         assert_eq!(m.read(0x0FFA + 4 * 1500, 4), 0xdead_beef);
         assert_eq!(m.read(0x0FFA + 4 * 2999, 4), 0xdead_beef);
-        assert_eq!(m.read(0x0FFA + 4 * 3000, 4), 0, "past the fill is untouched");
-        assert_eq!(m.read(0x0FF8, 4), 0xbeef_0000, "partial overlap before start");
+        assert_eq!(
+            m.read(0x0FFA + 4 * 3000, 4),
+            0,
+            "past the fill is untouched"
+        );
+        assert_eq!(
+            m.read(0x0FF8, 4),
+            0xbeef_0000,
+            "partial overlap before start"
+        );
     }
 
     #[test]
@@ -175,7 +183,10 @@ mod tests {
         for i in 0..700u64 {
             b.write(0x2001 + i * 8, 0x1122_3344_5566_7788, 8);
         }
-        assert_eq!(a.read_bytes(0x2000, 700 * 8 + 16), b.read_bytes(0x2000, 700 * 8 + 16));
+        assert_eq!(
+            a.read_bytes(0x2000, 700 * 8 + 16),
+            b.read_bytes(0x2000, 700 * 8 + 16)
+        );
     }
 
     #[test]

@@ -67,9 +67,15 @@ pub struct NativeRegistry {
 
 impl std::fmt::Debug for NativeRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names: Vec<_> = self.helpers.iter().map(|(id, h)| (id.0, h.name())).collect();
+        let mut names: Vec<_> = self
+            .helpers
+            .iter()
+            .map(|(id, h)| (id.0, h.name()))
+            .collect();
         names.sort_unstable();
-        f.debug_struct("NativeRegistry").field("helpers", &names).finish()
+        f.debug_struct("NativeRegistry")
+            .field("helpers", &names)
+            .finish()
     }
 }
 

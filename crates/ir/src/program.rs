@@ -93,7 +93,11 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadFunctionEntry(id) => {
                 write!(f, "function {id} has no valid entry block")
             }
-            ValidationError::BadBlockTarget { func, block, target } => write!(
+            ValidationError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => write!(
                 f,
                 "function {func}, block {block}: jump to non-existent block {target}"
             ),
@@ -221,17 +225,24 @@ impl Program {
                 }
                 Ok(())
             }
-            Inst::Call { dst, func: callee, args } => {
+            Inst::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
                 if let Some(d) = dst {
                     self.check_reg(fid, func, *d)?;
                 }
                 for a in args {
                     self.check_op(fid, func, a)?;
                 }
-                let callee_fn = self
-                    .functions
-                    .get(*callee as usize)
-                    .ok_or(ValidationError::BadCallTarget { func: fid, callee: *callee })?;
+                let callee_fn =
+                    self.functions
+                        .get(*callee as usize)
+                        .ok_or(ValidationError::BadCallTarget {
+                            func: fid,
+                            callee: *callee,
+                        })?;
                 if args.len() != callee_fn.num_params as usize {
                     return Err(ValidationError::ArityMismatch {
                         func: fid,
@@ -373,7 +384,11 @@ mod tests {
         };
         assert!(matches!(
             p.validate(),
-            Err(ValidationError::ArityMismatch { got: 1, expected: 0, .. })
+            Err(ValidationError::ArityMismatch {
+                got: 1,
+                expected: 0,
+                ..
+            })
         ));
     }
 

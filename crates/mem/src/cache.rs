@@ -34,7 +34,10 @@ impl SetAssocCache {
     /// Creates a cache with `sets` sets (must be a power of two) and `ways`
     /// ways per set.
     pub fn new(sets: u64, ways: u32) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         let ways = ways as usize;
         SetAssocCache {

@@ -104,7 +104,12 @@ impl ContentionCatalog {
                 ContentionSet { lines }
             })
             .collect();
-        sets.sort_by(|a, b| b.lines.len().cmp(&a.lines.len()).then(a.lines.cmp(&b.lines)));
+        sets.sort_by(|a, b| {
+            b.lines
+                .len()
+                .cmp(&a.lines.len())
+                .then(a.lines.cmp(&b.lines))
+        });
         Self::from_sets(sets, alpha)
     }
 
@@ -184,9 +189,8 @@ impl Default for DiscoveryConfig {
 }
 
 fn crossing_threshold(hier: &MemoryHierarchy, cfg: &DiscoveryConfig) -> u64 {
-    cfg.crossing_threshold.unwrap_or_else(|| {
-        u64::from(hier.l3_associativity()) * contention_threshold(hier) / 2
-    })
+    cfg.crossing_threshold
+        .unwrap_or_else(|| u64::from(hier.l3_associativity()) * contention_threshold(hier) / 2)
 }
 
 /// Discovers **one** contention set among `candidates` (byte addresses),
@@ -287,7 +291,10 @@ pub fn discover_catalog(
                 pool.retain(|a| !set.lines.contains(a));
                 sets.push(set);
                 // Vary the shuffle per round so different sets get found.
-                cfg.shuffle_seed = cfg.shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cfg.shuffle_seed = cfg
+                    .shuffle_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1);
             }
         }
     }
@@ -331,7 +338,12 @@ pub fn consistent_catalog(catalogs: &[ContentionCatalog]) -> ContentionCatalog {
             ContentionSet { lines }
         })
         .collect();
-    sets.sort_by(|a, b| b.lines.len().cmp(&a.lines.len()).then(a.lines.cmp(&b.lines)));
+    sets.sort_by(|a, b| {
+        b.lines
+            .len()
+            .cmp(&a.lines.len())
+            .then(a.lines.cmp(&b.lines))
+    });
     ContentionCatalog::from_sets(sets, alpha)
 }
 
@@ -367,7 +379,11 @@ mod tests {
         assert!(cat.len() <= 2, "got {} sets", cat.len());
         for &l in cat.members(0) {
             assert_eq!(cat.set_of(l), Some(0));
-            assert_eq!(cat.set_of(l + 13), Some(0), "byte addresses map to their line");
+            assert_eq!(
+                cat.set_of(l + 13),
+                Some(0),
+                "byte addresses map to their line"
+            );
         }
     }
 
@@ -393,8 +409,12 @@ mod tests {
             .iter()
             .filter(|l| !truth_set.lines.contains(l))
             .count();
-        assert!(exact || (foreign == 0 && discovered.len() + 2 >= truth_set.len()),
-            "discovered {:?} vs truth {:?}", discovered.lines, truth_set.lines);
+        assert!(
+            exact || (foreign == 0 && discovered.len() + 2 >= truth_set.len()),
+            "discovered {:?} vs truth {:?}",
+            discovered.lines,
+            truth_set.lines
+        );
         assert!(discovered.len() > 8, "must exceed associativity");
     }
 
@@ -403,7 +423,9 @@ mod tests {
         let mut h = tiny(2);
         // Fewer candidates than associativity can never cross the threshold.
         let candidates = same_set_candidates(&h, 6);
-        assert!(discover_contention_set(&mut h, &candidates, &DiscoveryConfig::default()).is_none());
+        assert!(
+            discover_contention_set(&mut h, &candidates, &DiscoveryConfig::default()).is_none()
+        );
     }
 
     #[test]
@@ -413,7 +435,10 @@ mod tests {
         let cat = discover_catalog(&mut h, &candidates, &DiscoveryConfig::default());
         assert!(!cat.is_empty());
         let covered: usize = cat.sets().iter().map(|s| s.len()).sum();
-        assert!(covered >= 32, "should classify most candidates, got {covered}");
+        assert!(
+            covered >= 32,
+            "should classify most candidates, got {covered}"
+        );
     }
 
     #[test]
@@ -447,7 +472,9 @@ mod tests {
     #[test]
     fn retain_min_len_filters_and_reindexes() {
         let sets = vec![
-            ContentionSet { lines: vec![0, 64, 128] },
+            ContentionSet {
+                lines: vec![0, 64, 128],
+            },
             ContentionSet { lines: vec![4096] },
         ];
         let mut cat = ContentionCatalog::from_sets(sets, 20);

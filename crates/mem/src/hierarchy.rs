@@ -7,9 +7,9 @@
 
 use crate::cache::SetAssocCache;
 use crate::config::HierarchyConfig;
+use crate::line_of;
 use crate::page::PageTable;
 use crate::slice::SliceHash;
-use crate::line_of;
 
 /// Whether an access is a load or a store (both are charged identically in
 /// this model, but the distinction feeds the per-packet counters).

@@ -82,7 +82,7 @@ mod tests {
         // alias to the same L1/L2/L3 set indices; well beyond associativity
         // they can never all fit, so the steady-state sweep stays expensive.
         let mut h = tiny();
-        let cfg = h.config().clone();
+        let cfg = *h.config();
         let span = cfg.l3_slice_geometry().sets() * LINE_SIZE; // stride that preserves the set index
         let addrs: Vec<u64> = (0..64).map(|i| 0x80_0000 + i * span).collect();
         let t = probing_time(&mut h, &addrs, ProbeConfig::default());
@@ -91,7 +91,10 @@ mod tests {
             t > 64 * lat.l1,
             "a set far exceeding associativity must not settle into L1 hits"
         );
-        assert!(t >= 8 * lat.dram, "expected sustained DRAM traffic, got {t}");
+        assert!(
+            t >= 8 * lat.dram,
+            "expected sustained DRAM traffic, got {t}"
+        );
     }
 
     #[test]

@@ -122,9 +122,8 @@ mod tests {
         let h = SliceHash::new(8, 2024);
         let off_a = 0x0123_4540u64;
         let off_b = 0x0a5a_5a80u64;
-        let same_at = |frame: u64| {
-            h.slice_of((frame << 30) | off_a) == h.slice_of((frame << 30) | off_b)
-        };
+        let same_at =
+            |frame: u64| h.slice_of((frame << 30) | off_a) == h.slice_of((frame << 30) | off_b);
         let first = same_at(1);
         for frame in 2..64u64 {
             assert_eq!(same_at(frame), first, "relation changed at frame {frame}");

@@ -7,7 +7,9 @@
 //! degenerates the tree into a linked list — the paper's Manual workload for
 //! the NAT/LB unbalanced-tree NFs (§5.3).
 
-use castan_ir::{DataMemory, FunctionBuilder, HashFunc, NativeRegistry, ProgramBuilder, Reg, Width};
+use castan_ir::{
+    DataMemory, FunctionBuilder, HashFunc, NativeRegistry, ProgramBuilder, Reg, Width,
+};
 
 use crate::layout::{self, tree_node};
 use crate::spec::{FlowMapBuilder, FlowMapIr, MemRegion};
@@ -74,10 +76,7 @@ pub(crate) fn emit_tree_lookup_insert(
     let parent = f.mov(0u64);
     let parent_link = f.mov(0u64); // address of the child pointer to patch on insert
     let cur = f.load(layout::ROOT_CELL, Width::W8);
-    let cur = {
-        let r = f.mov(cur);
-        r
-    };
+    let cur = f.mov(cur);
     f.jump(loop_head);
 
     f.switch_to(loop_head);
@@ -169,9 +168,7 @@ impl FlowMapBuilder for UnbalancedTreeMap {
         let out = f.shl(value_if_new, 1u64);
         f.ret(out);
         pb.define(fid, f);
-        FlowMapIr {
-            lookup_insert: fid,
-        }
+        FlowMapIr { lookup_insert: fid }
     }
 
     fn init_memory(&self, mem: &mut DataMemory) {

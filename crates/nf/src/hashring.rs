@@ -145,9 +145,7 @@ impl FlowMapBuilder for HashRingMap {
         f.ret(0u64);
 
         pb.define(fid, f);
-        FlowMapIr {
-            lookup_insert: fid,
-        }
+        FlowMapIr { lookup_insert: fid }
     }
 
     fn init_memory(&self, _mem: &mut DataMemory) {
@@ -206,8 +204,8 @@ mod tests {
         assert!(!found);
         assert_eq!(v, 2);
         // The new entry must have landed on the next slot.
-        let next_addr = layout::RING_BASE
-            + ((slot + 1) & (layout::RING_ENTRIES - 1)) * layout::RING_ENTRY_SIZE;
+        let next_addr =
+            layout::RING_BASE + ((slot + 1) & (layout::RING_ENTRIES - 1)) * layout::RING_ENTRY_SIZE;
         assert_eq!(mem.read(next_addr + ring_entry::OCCUPIED, 4), 1);
         assert_eq!(mem.read(next_addr + ring_entry::VALUE, 8), 2);
 

@@ -134,9 +134,7 @@ impl FlowMapBuilder for HashTableMap {
         f.ret(out);
 
         pb.define(fid, f);
-        FlowMapIr {
-            lookup_insert: fid,
-        }
+        FlowMapIr { lookup_insert: fid }
     }
 
     fn init_memory(&self, mem: &mut DataMemory) {

@@ -141,8 +141,11 @@ mod tests {
                 seen.push(backend);
             }
             // One full rotation covers every backend exactly once.
-            let first_round: std::collections::HashSet<u64> =
-                seen[..layout::LB_NUM_BACKENDS as usize].iter().copied().collect();
+            let first_round: std::collections::HashSet<u64> = seen
+                [..layout::LB_NUM_BACKENDS as usize]
+                .iter()
+                .copied()
+                .collect();
             assert_eq!(
                 first_round.len(),
                 layout::LB_NUM_BACKENDS as usize,
@@ -166,7 +169,8 @@ mod tests {
                             assignment.insert(flow, backend);
                         }
                         Some(&b) => assert_eq!(
-                            b, backend,
+                            b,
+                            backend,
                             "{}: flow {flow} moved backends in round {round}",
                             spec.name()
                         ),
@@ -185,7 +189,11 @@ mod tests {
                 .build();
             let (v, steps) = run(&spec, &mut mem, &other);
             assert_eq!(v, layout::VERDICT_FORWARD);
-            assert!(steps < 20, "{}: static path took {steps} steps", spec.name());
+            assert!(
+                steps < 20,
+                "{}: static path took {steps} steps",
+                spec.name()
+            );
 
             let icmp = PacketBuilder::new()
                 .proto(castan_packet::IpProto::Icmp)

@@ -13,9 +13,7 @@
 //! forward non-IPv4 traffic untouched with verdict
 //! [`layout::VERDICT_FORWARD`].
 
-use castan_ir::{
-    DataMemory, FunctionBuilder, NativeRegistry, ProgramBuilder, Width,
-};
+use castan_ir::{DataMemory, FunctionBuilder, NativeRegistry, ProgramBuilder, Width};
 use castan_packet::PacketField;
 
 use crate::keys::emit_ipv4_guard;

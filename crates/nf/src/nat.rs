@@ -220,7 +220,11 @@ mod tests {
                 .build();
             let (v, steps) = run(&spec, &mut mem, &icmp);
             assert_eq!(v, layout::VERDICT_FORWARD);
-            assert!(steps < 15, "{}: bypass should be short, took {steps}", spec.name());
+            assert!(
+                steps < 15,
+                "{}: bypass should be short, took {steps}",
+                spec.name()
+            );
         }
     }
 

@@ -199,9 +199,7 @@ impl FlowMapBuilder for RedBlackTreeMap {
         let out = f.shl(value_if_new, 1u64);
         f.ret(out);
         pb.define(fid, f);
-        FlowMapIr {
-            lookup_insert: fid,
-        }
+        FlowMapIr { lookup_insert: fid }
     }
 
     fn init_memory(&self, mem: &mut DataMemory) {
@@ -315,7 +313,10 @@ mod tests {
             h.lookup_insert(&mut mem, key, i);
         }
         let bh = check_rb_invariants(&mut mem, layout::ROOT_CELL);
-        assert!(bh >= 3, "300 nodes should give a black height of at least 3");
+        assert!(
+            bh >= 3,
+            "300 nodes should give a black height of at least 3"
+        );
     }
 
     #[test]

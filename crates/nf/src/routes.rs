@@ -41,15 +41,16 @@ pub fn evaluation_routes(max_len: u8) -> Vec<Route> {
         let r8 = Ipv4Addr::new(base_octet as u8, 0, 0, 0).to_u32();
         let r16 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, 0, 0).to_u32();
         let r24 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, (i + 1) as u8, 0).to_u32();
-        let r32 = Ipv4Addr::new(base_octet as u8, (i + 1) as u8, (i + 1) as u8, (i + 1) as u8)
-            .to_u32();
+        let r32 = Ipv4Addr::new(
+            base_octet as u8,
+            (i + 1) as u8,
+            (i + 1) as u8,
+            (i + 1) as u8,
+        )
+        .to_u32();
         for (prefix, len) in [(r8, 8u8), (r16, 16), (r24, 24), (r32, 32)] {
             if len <= max_len {
-                routes.push(Route {
-                    prefix,
-                    len,
-                    port,
-                });
+                routes.push(Route { prefix, len, port });
                 port += 1;
             } else {
                 // Clamp over-long prefixes to the supported length (the
@@ -114,9 +115,7 @@ mod tests {
         for r32 in routes.iter().filter(|r| r.len == 32) {
             for len in [8u8, 16, 24] {
                 assert!(
-                    routes
-                        .iter()
-                        .any(|r| r.len == len && r.matches(r32.prefix)),
+                    routes.iter().any(|r| r.len == len && r.matches(r32.prefix)),
                     "missing /{len} parent for {:?}",
                     r32
                 );
@@ -129,7 +128,10 @@ mod tests {
         let routes = evaluation_routes(32);
         let ip = Ipv4Addr::new(10, 1, 1, 1).to_u32();
         let port = reference_lookup(&routes, ip);
-        let r32 = routes.iter().find(|r| r.len == 32 && r.matches(ip)).unwrap();
+        let r32 = routes
+            .iter()
+            .find(|r| r.len == 32 && r.matches(ip))
+            .unwrap();
         assert_eq!(port, r32.port);
 
         let ip_under_24 = Ipv4Addr::new(10, 1, 1, 7).to_u32();

@@ -51,7 +51,11 @@ impl NfId {
 
     /// The eleven NFs evaluated in the paper (everything except NOP).
     pub fn evaluated() -> Vec<NfId> {
-        Self::ALL.iter().copied().filter(|&n| n != NfId::Nop).collect()
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|&n| n != NfId::Nop)
+            .collect()
     }
 
     /// Short, stable name matching the paper's table rows.

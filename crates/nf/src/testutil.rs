@@ -95,7 +95,7 @@ pub fn exercise_flowmap_as_reference_map(map: &dyn FlowMapBuilder, n: u64) {
             0xc0a8_0101 + (i % 7),
             1024 + (i % 60000),
             80 + (i % 3),
-            if i % 2 == 0 { 17 } else { 6 },
+            if i.is_multiple_of(2) { 17 } else { 6 },
         ]
     };
 
@@ -105,7 +105,10 @@ pub fn exercise_flowmap_as_reference_map(map: &dyn FlowMapBuilder, n: u64) {
         let (got, found, _) = h.lookup_insert(&mut mem, key, value);
         match reference.get(&key) {
             Some(&existing) => {
-                assert!(found, "key {key:?} was inserted earlier but reported missing");
+                assert!(
+                    found,
+                    "key {key:?} was inserted earlier but reported missing"
+                );
                 assert_eq!(got, existing, "wrong value for existing key {key:?}");
             }
             None => {

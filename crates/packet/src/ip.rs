@@ -74,7 +74,9 @@ impl FromStr for Ipv4Addr {
         let mut parts = s.split('.');
         for slot in &mut octets {
             let part = parts.next().ok_or("expected four octets")?;
-            *slot = part.parse().map_err(|_| "octet is not a number in 0..=255")?;
+            *slot = part
+                .parse()
+                .map_err(|_| "octet is not a number in 0..=255")?;
         }
         if parts.next().is_some() {
             return Err("expected four octets");

@@ -138,7 +138,8 @@ impl Packet {
         let mut ipv4 = None;
         let mut l4 = L4Header::None;
         if eth.ethertype == EtherType::Ipv4 {
-            let ip = Ipv4Header::parse(&bytes[EthHeader::LEN..]).ok_or(ParseError::BadIpv4Header)?;
+            let ip =
+                Ipv4Header::parse(&bytes[EthHeader::LEN..]).ok_or(ParseError::BadIpv4Header)?;
             let l4_off = EthHeader::LEN + Ipv4Header::LEN;
             l4 = match ip.proto {
                 IpProto::Udp => L4Header::Udp(
@@ -376,7 +377,10 @@ mod tests {
             .tcp_flags(TcpHeader::SYN | TcpHeader::ACK)
             .build();
         let q = Packet::parse(&p.to_bytes()).unwrap();
-        assert_eq!(q.field(PacketField::TcpFlags), u64::from(TcpHeader::SYN | TcpHeader::ACK));
+        assert_eq!(
+            q.field(PacketField::TcpFlags),
+            u64::from(TcpHeader::SYN | TcpHeader::ACK)
+        );
         assert_eq!(q.field(PacketField::IpProto), 6);
     }
 

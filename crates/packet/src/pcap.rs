@@ -95,11 +95,15 @@ pub fn read_pcap_bytes(bytes: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
     }
     let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     if magic != MAGIC {
-        return Err(PcapError::BadHeader("unsupported magic (expected 0xa1b2c3d4 LE)"));
+        return Err(PcapError::BadHeader(
+            "unsupported magic (expected 0xa1b2c3d4 LE)",
+        ));
     }
     let linktype = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
     if linktype != LINKTYPE_ETHERNET {
-        return Err(PcapError::BadHeader("unsupported link type (expected Ethernet)"));
+        return Err(PcapError::BadHeader(
+            "unsupported link type (expected Ethernet)",
+        ));
     }
     let mut records = Vec::new();
     let mut off = 24;
@@ -107,7 +111,8 @@ pub fn read_pcap_bytes(bytes: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
         if off + 16 > bytes.len() {
             return Err(PcapError::Truncated);
         }
-        let rd = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let rd =
+            |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         let ts_sec = rd(off);
         let ts_usec = rd(off + 4);
         let incl_len = rd(off + 8) as usize;
@@ -164,7 +169,10 @@ mod tests {
         assert_eq!(records.len(), 5);
         for (rec, pkt) in records.iter().zip(&pkts) {
             let parsed = Packet::parse(&rec.data).unwrap();
-            assert_eq!(parsed.field(crate::PacketField::SrcIp), pkt.field(crate::PacketField::SrcIp));
+            assert_eq!(
+                parsed.field(crate::PacketField::SrcIp),
+                pkt.field(crate::PacketField::SrcIp)
+            );
         }
     }
 
@@ -201,7 +209,10 @@ mod tests {
         let frames: Vec<Vec<u8>> = pkts.iter().map(Packet::to_bytes).collect();
         let bytes = write_pcap_bytes(frames.iter().map(Vec::as_slice));
         let truncated = &bytes[..bytes.len() - 10];
-        assert!(matches!(read_pcap_bytes(truncated), Err(PcapError::Truncated)));
+        assert!(matches!(
+            read_pcap_bytes(truncated),
+            Err(PcapError::Truncated)
+        ));
     }
 
     #[test]

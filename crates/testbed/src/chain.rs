@@ -1,0 +1,369 @@
+//! The chained datapath: runs every stage of an [`NfChain`] per packet on
+//! one shared simulated cache hierarchy.
+//!
+//! This is deliberately *not* "measure each NF alone and add the numbers":
+//! all stages execute on the same [`CpuModel`] (same L1/L2/L3, same page
+//! table), with each stage's data structures placed in a disjoint slice of
+//! the address space (`stage_index * STAGE_ADDR_STRIDE`). Stages therefore
+//! evict each other's lines from the shared L3 exactly as co-located NFs on
+//! a real core do, and the end-to-end cost of a chain differs from the sum
+//! of its stages measured in isolation.
+//!
+//! Counter accounting: per packet, each stage's retired instructions and
+//! memory/cycle costs are recorded separately ([`ChainMeasurement::per_stage`]);
+//! the end-to-end counters are their exact sum plus one per-packet
+//! forwarding overhead (`FORWARDING_OVERHEAD_*`) — the chain runs in a
+//! single process on the DUT, so the DPDK/NIC path is paid once per packet,
+//! not once per stage.
+
+use castan_chain::{NfChain, StageHandoff};
+use castan_ir::{DataMemory, ExecSink, Interpreter, RunLimits};
+use castan_mem::{HierarchyConfig, MemoryHierarchy};
+use castan_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpu::{CpuModel, PacketCounters};
+use crate::dut::{Measurement, MeasurementConfig};
+use crate::{
+    FORWARDING_OVERHEAD_CYCLES, FORWARDING_OVERHEAD_INSTRUCTIONS, FORWARDING_OVERHEAD_MISSES,
+    WIRE_LATENCY_NS,
+};
+
+/// An [`ExecSink`] adapter that shifts every cache access by a stage's base
+/// address before handing it to the shared CPU model. The stage's own
+/// [`DataMemory`] still operates on stage-local addresses; only the cache
+/// hierarchy sees the shifted view.
+struct OffsetSink<'a> {
+    base: u64,
+    cpu: &'a mut CpuModel,
+}
+
+impl ExecSink for OffsetSink<'_> {
+    fn retire(&mut self, class: castan_ir::CostClass) {
+        self.cpu.retire(class);
+    }
+
+    fn mem_access(&mut self, addr: u64, width: u64, is_write: bool) {
+        self.cpu.mem_access(self.base + addr, width, is_write);
+    }
+}
+
+/// Everything measured from one chained workload run.
+#[derive(Clone, Debug)]
+pub struct ChainMeasurement {
+    /// End-to-end latency samples in nanoseconds (one per measured packet
+    /// that traversed the full chain).
+    pub latency_ns: Vec<f64>,
+    /// End-to-end per-packet counters (sum over stages + forwarding
+    /// overhead).
+    pub end_to_end: Vec<PacketCounters>,
+    /// Per-stage per-packet counters: `per_stage[s][i]` is stage `s`'s cost
+    /// for measured packet `i`. Stages after a drop record zeroed counters
+    /// for that packet.
+    pub per_stage: Vec<Vec<PacketCounters>>,
+    /// Per-packet DUT service time in nanoseconds (all stages).
+    pub service_ns: Vec<f64>,
+    /// Packets dropped mid-chain during the measured window.
+    pub dropped: usize,
+}
+
+impl ChainMeasurement {
+    /// Median end-to-end cycles per packet.
+    pub fn median_cycles(&self) -> f64 {
+        crate::stats::median_u64(&self.end_to_end.iter().map(|c| c.cycles).collect::<Vec<_>>())
+    }
+
+    /// Median end-to-end instructions per packet.
+    pub fn median_instructions(&self) -> f64 {
+        crate::stats::median_u64(
+            &self
+                .end_to_end
+                .iter()
+                .map(|c| c.instructions)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Median end-to-end L3 misses per packet.
+    pub fn median_l3_misses(&self) -> f64 {
+        crate::stats::median_u64(
+            &self
+                .end_to_end
+                .iter()
+                .map(|c| c.l3_misses)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn median_latency_ns(&self) -> f64 {
+        crate::stats::Cdf::new(self.latency_ns.clone()).median()
+    }
+
+    /// Median cycles of one stage.
+    pub fn stage_median_cycles(&self, stage: usize) -> f64 {
+        crate::stats::median_u64(
+            &self.per_stage[stage]
+                .iter()
+                .map(|c| c.cycles)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Median instructions of one stage.
+    pub fn stage_median_instructions(&self, stage: usize) -> f64 {
+        crate::stats::median_u64(
+            &self.per_stage[stage]
+                .iter()
+                .map(|c| c.instructions)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// A [`Measurement`] view of the end-to-end numbers, so the existing
+    /// throughput search and CDF tooling apply to chains unchanged.
+    pub fn as_measurement(&self) -> Measurement {
+        Measurement {
+            latency_ns: self.latency_ns.clone(),
+            counters: self.end_to_end.clone(),
+            service_ns: self.service_ns.clone(),
+        }
+    }
+}
+
+/// The device under test running a full chain.
+pub struct ChainDut {
+    chain: NfChain,
+    cpu: CpuModel,
+    mems: Vec<DataMemory>,
+    handoffs: Vec<Box<dyn StageHandoff>>,
+    limits: RunLimits,
+}
+
+impl ChainDut {
+    /// Boots a DUT running `chain` on the Xeon E5-2667v2 profile.
+    pub fn new(chain: NfChain, cfg: &MeasurementConfig) -> Self {
+        let hierarchy = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), cfg.boot_seed);
+        let mems = chain
+            .stages
+            .iter()
+            .map(|s| s.nf.initial_memory.clone())
+            .collect();
+        let handoffs = chain.handoffs();
+        ChainDut {
+            chain,
+            cpu: CpuModel::new(hierarchy),
+            mems,
+            handoffs,
+            limits: RunLimits::default(),
+        }
+    }
+
+    /// The chain this DUT runs.
+    pub fn chain(&self) -> &NfChain {
+        &self.chain
+    }
+
+    /// Replays a workload through the whole chain and measures it. Each call
+    /// starts from freshly initialised stages and a cold cache; state then
+    /// persists across the run, exactly like [`crate::dut::Dut::run`].
+    // The stage loop indexes `self.*` per field because `self.chain` is
+    // borrowed while `self.mems`/`self.cpu` are mutated.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run(&mut self, workload: &Workload, cfg: &MeasurementConfig) -> ChainMeasurement {
+        assert!(!workload.is_empty(), "cannot replay an empty workload");
+        for (mem, stage) in self.mems.iter_mut().zip(&self.chain.stages) {
+            *mem = stage.nf.initial_memory.clone();
+        }
+        for h in &mut self.handoffs {
+            h.reset();
+        }
+        self.cpu.flush_caches();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let clock_ghz = self.cpu.clock_hz() as f64 / 1e9;
+        let n_stages = self.chain.len();
+
+        let mut latency_ns = Vec::new();
+        let mut end_to_end = Vec::new();
+        let mut per_stage: Vec<Vec<PacketCounters>> = vec![Vec::new(); n_stages];
+        let mut service_ns = Vec::new();
+        let mut dropped = 0usize;
+
+        for i in 0..cfg.total_packets {
+            let mut pkt = workload.packets[i % workload.packets.len()];
+            let mut stage_counters = vec![PacketCounters::default(); n_stages];
+            let mut total = PacketCounters::default();
+            let mut was_dropped = false;
+
+            for s in 0..n_stages {
+                let stage = &self.chain.stages[s];
+                let interp =
+                    Interpreter::new(&stage.nf.program, &stage.nf.natives).with_limits(self.limits);
+                self.cpu.begin_packet();
+                let verdict = {
+                    let mut sink = OffsetSink {
+                        base: stage.addr_base,
+                        cpu: &mut self.cpu,
+                    };
+                    interp
+                        .run_packet(&mut self.mems[s], &pkt, &mut sink)
+                        .expect("stage execution failed on the chain DUT")
+                        .return_value
+                        .unwrap_or(castan_nf::layout::VERDICT_DROP)
+                };
+                let c = self.cpu.packet_counters();
+                stage_counters[s] = c;
+                total.cycles += c.cycles;
+                total.instructions += c.instructions;
+                total.loads += c.loads;
+                total.stores += c.stores;
+                total.l3_misses += c.l3_misses;
+
+                match self.handoffs[s].apply(&pkt, verdict) {
+                    Some(next) => pkt = next,
+                    None => {
+                        was_dropped = true;
+                        break;
+                    }
+                }
+            }
+
+            total.cycles += FORWARDING_OVERHEAD_CYCLES;
+            total.instructions += FORWARDING_OVERHEAD_INSTRUCTIONS;
+            total.l3_misses += FORWARDING_OVERHEAD_MISSES;
+
+            if i < cfg.warmup_packets {
+                continue;
+            }
+            if was_dropped {
+                dropped += 1;
+            }
+            for (s, c) in stage_counters.into_iter().enumerate() {
+                per_stage[s].push(c);
+            }
+            let service = total.cycles as f64 / clock_ghz; // ns
+            let base_jitter: f64 = rng.random_range(0.0..60.0);
+            let tail: f64 = if rng.random_bool(0.02) {
+                rng.random_range(100.0..400.0)
+            } else {
+                0.0
+            };
+            latency_ns.push(WIRE_LATENCY_NS + service + base_jitter + tail);
+            service_ns.push(service);
+            end_to_end.push(total);
+        }
+
+        ChainMeasurement {
+            latency_ns,
+            end_to_end,
+            per_stage,
+            service_ns,
+            dropped,
+        }
+    }
+}
+
+/// Convenience: measure one chain under one workload with a fresh DUT.
+pub fn measure_chain(
+    chain: &NfChain,
+    workload: &Workload,
+    cfg: &MeasurementConfig,
+) -> ChainMeasurement {
+    let mut dut = ChainDut::new(chain.clone(), cfg);
+    dut.run(workload, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dut::measure;
+    use castan_chain::{chain_by_id, ChainId};
+    use castan_nf::{nf_by_id, NfId};
+    use castan_workload::{generic_chain_workload, generic_workload, WorkloadConfig, WorkloadKind};
+
+    fn quick() -> MeasurementConfig {
+        MeasurementConfig::quick()
+    }
+
+    #[test]
+    fn end_to_end_counters_are_the_stage_sum_plus_one_overhead() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.005),
+        );
+        let m = measure_chain(&chain, &wl, &quick());
+        assert_eq!(m.per_stage.len(), 2);
+        for (i, total) in m.end_to_end.iter().enumerate() {
+            let sum_instr: u64 = m.per_stage.iter().map(|s| s[i].instructions).sum();
+            let sum_cycles: u64 = m.per_stage.iter().map(|s| s[i].cycles).sum();
+            assert_eq!(
+                total.instructions,
+                sum_instr + FORWARDING_OVERHEAD_INSTRUCTIONS
+            );
+            assert_eq!(total.cycles, sum_cycles + FORWARDING_OVERHEAD_CYCLES);
+        }
+    }
+
+    #[test]
+    fn chain_of_one_nop_matches_the_single_nf_dut() {
+        let chain = NfChain::new("nop1", vec![nf_by_id(NfId::Nop)]);
+        let nf = nf_by_id(NfId::Nop);
+        let wl = generic_workload(&nf, WorkloadKind::OnePacket, &WorkloadConfig::scaled(0.01));
+        let cfg = quick();
+        let m_chain = measure_chain(&chain, &wl, &cfg);
+        let m_single = measure(&nf, &wl, &cfg);
+        // Identical programs, identical hierarchy seed, identical overhead:
+        // the counter streams must agree exactly.
+        assert_eq!(m_chain.end_to_end.len(), m_single.counters.len());
+        assert_eq!(m_chain.end_to_end, m_single.counters);
+        assert_eq!(m_chain.dropped, 0);
+    }
+
+    #[test]
+    fn stages_share_the_l3_so_chain_misses_exceed_isolated_sums() {
+        // A destination-diverse workload through nat→lpm: the trie's pool
+        // and the NAT's buckets/pool now compete for the same L3.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.003),
+        );
+        let cfg = quick();
+        let m = measure_chain(&chain, &wl, &cfg);
+        assert!(m.median_cycles() > 0.0);
+        // Each stage contributes real work (no stage sits idle).
+        assert!(m.stage_median_instructions(0) > 5.0);
+        assert!(m.stage_median_instructions(1) > 5.0);
+        // End-to-end instructions exceed either stage alone.
+        assert!(m.median_instructions() > m.stage_median_instructions(0));
+        assert!(m.median_instructions() > m.stage_median_instructions(1));
+    }
+
+    #[test]
+    fn nat_drops_stray_return_traffic_mid_chain() {
+        use castan_packet::{Ipv4Addr, PacketBuilder};
+        let chain = chain_by_id(ChainId::NatLpm);
+        let stray = PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(8, 8, 8, 8))
+            .dst_ip(Ipv4Addr(castan_nf::layout::NAT_EXTERNAL_IP))
+            .dst_port(40_000)
+            .build();
+        let wl = castan_workload::Workload {
+            kind: WorkloadKind::Manual,
+            packets: vec![stray],
+        };
+        let cfg = MeasurementConfig {
+            total_packets: 100,
+            warmup_packets: 10,
+            ..MeasurementConfig::quick()
+        };
+        let m = measure_chain(&chain, &wl, &cfg);
+        assert_eq!(m.dropped, 90, "every measured packet is dropped by the NAT");
+        // The LPM stage never ran: its counters are all zero.
+        assert_eq!(m.stage_median_instructions(1), 0.0);
+    }
+}

@@ -77,12 +77,24 @@ impl Measurement {
 
     /// Median instructions retired per packet.
     pub fn median_instructions(&self) -> f64 {
-        crate::stats::median_u64(&self.counters.iter().map(|c| c.instructions).collect::<Vec<_>>())
+        crate::stats::median_u64(
+            &self
+                .counters
+                .iter()
+                .map(|c| c.instructions)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Median L3 misses per packet.
     pub fn median_l3_misses(&self) -> f64 {
-        crate::stats::median_u64(&self.counters.iter().map(|c| c.l3_misses).collect::<Vec<_>>())
+        crate::stats::median_u64(
+            &self
+                .counters
+                .iter()
+                .map(|c| c.l3_misses)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Median latency in nanoseconds.
@@ -148,7 +160,8 @@ impl Dut {
             if i < cfg.warmup_packets {
                 continue;
             }
-            let service = c.cycles as f64 / clock_ghz; // ns
+            // Service time in nanoseconds.
+            let service = c.cycles as f64 / clock_ghz;
             // End-to-end latency: wire/NIC path plus DUT service time plus a
             // small amount of measurement noise with an occasional longer
             // tail (interrupts, PCIe jitter) so the CDFs have realistic

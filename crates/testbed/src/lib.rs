@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod cpu;
 pub mod dut;
 pub mod stats;
 pub mod throughput;
 
+pub use chain::{measure_chain, ChainDut, ChainMeasurement};
 pub use cpu::{CpuModel, PacketCounters};
 pub use dut::{measure, Dut, Measurement, MeasurementConfig};
 pub use stats::Cdf;

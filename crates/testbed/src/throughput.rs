@@ -127,11 +127,22 @@ mod tests {
         let wl = WorkloadConfig::scaled(0.01);
         let nop = nf_by_id(NfId::Nop);
         let nat = nf_by_id(NfId::NatUnbalancedTree);
-        let m_nop = measure(&nop, &generic_workload(&nop, WorkloadKind::Zipfian, &wl), &cfg);
-        let m_nat = measure(&nat, &generic_workload(&nat, WorkloadKind::Zipfian, &wl), &cfg);
+        let m_nop = measure(
+            &nop,
+            &generic_workload(&nop, WorkloadKind::Zipfian, &wl),
+            &cfg,
+        );
+        let m_nat = measure(
+            &nat,
+            &generic_workload(&nat, WorkloadKind::Zipfian, &wl),
+            &cfg,
+        );
         let t_nop = max_throughput_mpps(&m_nop, &quick_tp());
         let t_nat = max_throughput_mpps(&m_nat, &quick_tp());
-        assert!(t_nat < t_nop, "NAT {t_nat:.2} must be slower than NOP {t_nop:.2}");
+        assert!(
+            t_nat < t_nop,
+            "NAT {t_nat:.2} must be slower than NOP {t_nop:.2}"
+        );
         assert!(t_nat > 0.5);
     }
 }

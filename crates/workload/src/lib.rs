@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use castan_chain::NfChain;
 use castan_nf::{layout, routes, NfId, NfKind, NfSpec};
 use castan_packet::dist::{FlowPool, UniformSampler, ZipfSampler, PAPER_ZIPF_EXPONENT};
 use castan_packet::{FlowKey, Ipv4Addr, Packet, PacketBuilder};
@@ -149,76 +150,131 @@ impl WorkloadConfig {
 /// the same traces exercise all NF classes (the paper tailors the LB
 /// workloads this way; LPM and NAT do not care about the destination
 /// distribution of the generic traces).
-fn generic_dst(nf: &NfSpec) -> (Ipv4Addr, u16) {
-    match nf.kind {
-        NfKind::Lb => (Ipv4Addr(layout::LB_VIP), 80),
-        _ => (Ipv4Addr::new(93, 184, 216, 34), 80),
-    }
+///
+/// Chains derive the same profile from their stage composition
+/// ([`NfChain::target_dst`] / [`NfChain::wants_dst_diversity`]): the VIP
+/// when an LB stage is present, destination-diverse when an LPM stage sees
+/// the original destinations.
+struct TrafficProfile {
+    dst: Ipv4Addr,
+    dport: u16,
+    /// Spread a per-flow destination over the IPv4 space (what exercises a
+    /// forwarding table), instead of the fixed `dst`.
+    spread_dst: bool,
 }
 
-/// Builds the packet of flow number `i`. For the stateful NFs a flow is a
-/// distinct (source IP, source port) pair toward a fixed destination (the
-/// VIP for the LB); for the LPM NFs each flow additionally carries its own
-/// destination address spread over the IPv4 space, since destination
-/// diversity is what exercises a forwarding table.
-fn packet_for_flow(nf: &NfSpec, pool: &FlowPool, i: u64) -> Packet {
-    let flow: FlowKey = pool.flow(i);
-    let mut builder = PacketBuilder::udp_flow(flow);
-    if nf.kind == NfKind::Lpm {
-        let spread = (i.wrapping_mul(2654435761) as u32) ^ (i as u32).rotate_left(16);
-        builder = builder.dst_ip(Ipv4Addr(spread));
+impl TrafficProfile {
+    fn for_nf(nf: &NfSpec) -> TrafficProfile {
+        let (dst, dport) = match nf.kind {
+            NfKind::Lb => (Ipv4Addr(layout::LB_VIP), 80),
+            _ => (Ipv4Addr::new(93, 184, 216, 34), 80),
+        };
+        TrafficProfile {
+            dst,
+            dport,
+            spread_dst: nf.kind == NfKind::Lpm,
+        }
     }
-    builder.build()
+
+    fn for_chain(chain: &NfChain) -> TrafficProfile {
+        let (dst, dport) = chain.target_dst();
+        TrafficProfile {
+            dst,
+            dport,
+            spread_dst: chain.wants_dst_diversity(),
+        }
+    }
+
+    /// Builds the packet of flow number `i`: a distinct (source IP, source
+    /// port) pair — what the stateful NFs key on — plus, when
+    /// `spread_dst` is set, a per-flow destination spread over the IPv4
+    /// space.
+    fn packet(&self, pool: &FlowPool, i: u64) -> Packet {
+        let flow: FlowKey = pool.flow(i);
+        let mut builder = PacketBuilder::udp_flow(flow);
+        if self.spread_dst {
+            let spread = (i.wrapping_mul(2654435761) as u32) ^ (i as u32).rotate_left(16);
+            builder = builder.dst_ip(Ipv4Addr(spread));
+        }
+        builder.build()
+    }
+
+    /// One of the generic workload kinds, deterministic given `cfg.seed`.
+    fn generic(&self, kind: WorkloadKind, cfg: &WorkloadConfig) -> Workload {
+        let packets = match kind {
+            WorkloadKind::OnePacket => {
+                let pool = FlowPool::new(1, self.dst, self.dport);
+                vec![self.packet(&pool, 0)]
+            }
+            WorkloadKind::Zipfian => {
+                let flows = cfg.count(defaults::ZIPF_FLOWS);
+                let n = cfg.count(defaults::ZIPF_PACKETS);
+                let pool = FlowPool::new(flows, self.dst, self.dport);
+                let mut sampler = ZipfSampler::new(flows as usize, PAPER_ZIPF_EXPONENT, cfg.seed);
+                (0..n)
+                    .map(|_| self.packet(&pool, sampler.sample() as u64))
+                    .collect()
+            }
+            WorkloadKind::UniRand => {
+                let flows = cfg.count(defaults::UNIRAND_FLOWS);
+                let n = cfg.count(defaults::UNIRAND_PACKETS);
+                let pool = FlowPool::new(flows, self.dst, self.dport);
+                let mut sampler = UniformSampler::new(flows, cfg.seed ^ 0x5a5a);
+                (0..n)
+                    .map(|_| self.packet(&pool, sampler.sample()))
+                    .collect()
+            }
+            WorkloadKind::UniRandCastan | WorkloadKind::Manual | WorkloadKind::Castan => {
+                panic!("{kind} is not a generic workload; use the dedicated constructor")
+            }
+        };
+        Workload { kind, packets }
+    }
+
+    /// UniRand restricted to `flows` distinct flows (as many as the CASTAN
+    /// workload), one packet per draw.
+    fn unirand_castan(&self, flows: u64, cfg: &WorkloadConfig) -> Workload {
+        let flows = flows.max(1);
+        let pool = FlowPool::new(flows, self.dst, self.dport);
+        let mut sampler = UniformSampler::new(flows, cfg.seed ^ uc_seed());
+        let packets = (0..flows)
+            .map(|_| self.packet(&pool, sampler.sample()))
+            .collect();
+        Workload {
+            kind: WorkloadKind::UniRandCastan,
+            packets,
+        }
+    }
 }
 
 /// Builds one of the generic workloads for an NF.
 pub fn generic_workload(nf: &NfSpec, kind: WorkloadKind, cfg: &WorkloadConfig) -> Workload {
-    let (dst, dport) = generic_dst(nf);
-    let packets = match kind {
-        WorkloadKind::OnePacket => {
-            let pool = FlowPool::new(1, dst, dport);
-            vec![packet_for_flow(nf, &pool, 0)]
-        }
-        WorkloadKind::Zipfian => {
-            let flows = cfg.count(defaults::ZIPF_FLOWS);
-            let n = cfg.count(defaults::ZIPF_PACKETS);
-            let pool = FlowPool::new(flows, dst, dport);
-            let mut sampler = ZipfSampler::new(flows as usize, PAPER_ZIPF_EXPONENT, cfg.seed);
-            (0..n)
-                .map(|_| packet_for_flow(nf, &pool, sampler.sample() as u64))
-                .collect()
-        }
-        WorkloadKind::UniRand => {
-            let flows = cfg.count(defaults::UNIRAND_FLOWS);
-            let n = cfg.count(defaults::UNIRAND_PACKETS);
-            let pool = FlowPool::new(flows, dst, dport);
-            let mut sampler = UniformSampler::new(flows, cfg.seed ^ 0x5a5a);
-            (0..n)
-                .map(|_| packet_for_flow(nf, &pool, sampler.sample()))
-                .collect()
-        }
-        WorkloadKind::UniRandCastan | WorkloadKind::Manual | WorkloadKind::Castan => {
-            panic!("{kind} is not a generic workload; use the dedicated constructor")
-        }
-    };
-    Workload { kind, packets }
+    TrafficProfile::for_nf(nf).generic(kind, cfg)
 }
 
 /// UniRand restricted to `flows` distinct flows (as many as the CASTAN
 /// workload for the same NF), replayed to the same total packet count as
 /// the CASTAN workload would be.
 pub fn unirand_castan(nf: &NfSpec, flows: u64, cfg: &WorkloadConfig) -> Workload {
-    let (dst, dport) = generic_dst(nf);
-    let flows = flows.max(1);
-    let pool = FlowPool::new(flows, dst, dport);
-    let mut sampler = UniformSampler::new(flows, cfg.seed ^ uc_seed());
-    let packets = (0..flows)
-        .map(|_| packet_for_flow(nf, &pool, sampler.sample()))
-        .collect();
-    Workload {
-        kind: WorkloadKind::UniRandCastan,
-        packets,
-    }
+    TrafficProfile::for_nf(nf).unirand_castan(flows, cfg)
+}
+
+/// Builds one of the generic workloads for a chain. The destination policy
+/// comes from the chain itself ([`NfChain::target_dst`]): VIP-addressed when
+/// an LB stage is present, destination-diverse when an LPM stage sees the
+/// original destinations. Deterministic given `cfg.seed`.
+pub fn generic_chain_workload(
+    chain: &NfChain,
+    kind: WorkloadKind,
+    cfg: &WorkloadConfig,
+) -> Workload {
+    TrafficProfile::for_chain(chain).generic(kind, cfg)
+}
+
+/// UniRand for a chain, restricted to `flows` distinct flows (as many as the
+/// chain's CASTAN workload) — the chain counterpart of [`unirand_castan`].
+pub fn chain_unirand_castan(chain: &NfChain, flows: u64, cfg: &WorkloadConfig) -> Workload {
+    TrafficProfile::for_chain(chain).unirand_castan(flows, cfg)
 }
 
 const fn uc_seed() -> u64 {
@@ -274,10 +330,61 @@ pub fn manual_workload(nf: &NfSpec) -> Option<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use castan_chain::{chain_by_id, ChainId};
     use castan_nf::nf_by_id;
 
     fn small_cfg() -> WorkloadConfig {
         WorkloadConfig::scaled(0.01)
+    }
+
+    #[test]
+    fn chain_workloads_follow_the_destination_policy() {
+        let lb_chain = chain_by_id(ChainId::LbLpm);
+        let w = generic_chain_workload(&lb_chain, WorkloadKind::Zipfian, &small_cfg());
+        assert!(w
+            .packets
+            .iter()
+            .all(|p| p.field(castan_packet::PacketField::DstIp) == u64::from(layout::LB_VIP)));
+
+        let nat_chain = chain_by_id(ChainId::NatLpm);
+        let w = generic_chain_workload(&nat_chain, WorkloadKind::UniRand, &small_cfg());
+        let dsts: std::collections::BTreeSet<u64> = w
+            .packets
+            .iter()
+            .map(|p| p.field(castan_packet::PacketField::DstIp))
+            .collect();
+        assert!(dsts.len() > 100, "nat-lpm traffic must spread destinations");
+    }
+
+    #[test]
+    fn chain_workloads_are_deterministic_given_a_seed() {
+        let chain = chain_by_id(ChainId::NatLbLpm);
+        for kind in [
+            WorkloadKind::OnePacket,
+            WorkloadKind::Zipfian,
+            WorkloadKind::UniRand,
+        ] {
+            let a = generic_chain_workload(&chain, kind, &small_cfg());
+            let b = generic_chain_workload(&chain, kind, &small_cfg());
+            assert_eq!(a.packets, b.packets, "{kind}");
+        }
+        let mut other = small_cfg();
+        other.seed ^= 1;
+        let a = generic_chain_workload(&chain, WorkloadKind::Zipfian, &small_cfg());
+        let b = generic_chain_workload(&chain, WorkloadKind::Zipfian, &other);
+        assert_ne!(
+            a.packets, b.packets,
+            "different seeds give different traces"
+        );
+    }
+
+    #[test]
+    fn chain_unirand_castan_matches_flow_budget() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let w = chain_unirand_castan(&chain, 25, &WorkloadConfig::default());
+        assert_eq!(w.len(), 25);
+        assert!(w.distinct_flows() <= 25);
+        assert_eq!(w.kind, WorkloadKind::UniRandCastan);
     }
 
     #[test]

@@ -41,7 +41,11 @@ fn main() {
     println!(
         "consistent across boots: {} sets, sizes {:?}",
         consistent.len(),
-        consistent.sets().iter().map(|s| s.len()).collect::<Vec<_>>()
+        consistent
+            .sets()
+            .iter()
+            .map(|s| s.len())
+            .collect::<Vec<_>>()
     );
 
     // Validate against the simulator's ground truth (not available to a real

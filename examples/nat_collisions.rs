@@ -13,7 +13,9 @@ use castan_suite::analysis::{AnalysisConfig, Castan};
 use castan_suite::mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
 use castan_suite::nf::{nf_by_id, NfId};
 use castan_suite::testbed::{measure, MeasurementConfig};
-use castan_suite::workload::{castan_workload, generic_workload, manual_workload, WorkloadConfig, WorkloadKind};
+use castan_suite::workload::{
+    castan_workload, generic_workload, manual_workload, WorkloadConfig, WorkloadKind,
+};
 
 fn catalog_for(nf: &castan_suite::nf::NfSpec) -> ContentionCatalog {
     let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
@@ -31,7 +33,10 @@ fn catalog_for(nf: &castan_suite::nf::NfSpec) -> ContentionCatalog {
 
 fn main() {
     let nat = nf_by_id(NfId::NatHashTable);
-    println!("analyzing {} (two flow-table entries per flow, §5.4)…", nat.name());
+    println!(
+        "analyzing {} (two flow-table entries per flow, §5.4)…",
+        nat.name()
+    );
     let mut config = AnalysisConfig::default();
     config.packets = 30;
     config.step_budget = 80_000;
@@ -65,7 +70,11 @@ fn main() {
     let m_manual = measure(&nat_tree, &manual, &meas);
     let m_tree_zipf = measure(
         &nat_tree,
-        &generic_workload(&nat_tree, WorkloadKind::Zipfian, &WorkloadConfig::scaled(0.05)),
+        &generic_workload(
+            &nat_tree,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.05),
+        ),
         &meas,
     );
     println!(

@@ -54,7 +54,10 @@ fn main() {
         "\n{:<22} {:>14} {:>18} {:>14}",
         "workload", "median ns", "median instr/pkt", "L3 miss/pkt"
     );
-    for (name, m) in [("Zipfian (typical)", &m_zipf), ("CASTAN (adversarial)", &m_adv)] {
+    for (name, m) in [
+        ("Zipfian (typical)", &m_zipf),
+        ("CASTAN (adversarial)", &m_adv),
+    ] {
         println!(
             "{:<22} {:>14.0} {:>18.0} {:>14.0}",
             name,

@@ -1,13 +1,18 @@
 //! Cross-crate integration tests: the full CASTAN pipeline (NF → analysis →
 //! synthesized workload → testbed measurement) on scaled-down budgets.
 
-use castan_suite::analysis::{AnalysisConfig, Castan};
+use castan_suite::analysis::{analyze_chain, AnalysisConfig, Castan};
+use castan_suite::chain::{chain_by_id, ChainId, NfChain};
 use castan_suite::mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
 use castan_suite::nf::{all_nfs, nf_by_id, NfId, NfSpec};
 use castan_suite::packet::pcap;
-use castan_suite::testbed::{measure, MeasurementConfig};
+use castan_suite::testbed::{
+    measure, measure_chain, MeasurementConfig, FORWARDING_OVERHEAD_CYCLES,
+    FORWARDING_OVERHEAD_INSTRUCTIONS,
+};
 use castan_suite::workload::{
-    castan_workload, generic_workload, manual_workload, WorkloadConfig, WorkloadKind,
+    castan_workload, generic_chain_workload, generic_workload, manual_workload, WorkloadConfig,
+    WorkloadKind,
 };
 
 fn catalog_for(nf: &NfSpec) -> ContentionCatalog {
@@ -136,6 +141,94 @@ fn red_black_tree_resists_what_the_unbalanced_tree_does_not() {
         "unbalanced {} vs red-black {}",
         bst.median_instructions(),
         rbt.median_instructions()
+    );
+}
+
+#[test]
+fn chain_pipeline_analysis_synthesis_measurement() {
+    // The full chain pipeline on a scaled-down budget: chained analysis →
+    // origin-packet synthesis → chained measurement, with the per-stage
+    // counters reconciling exactly against the end-to-end numbers.
+    let chain = chain_by_id(ChainId::NatLpm);
+    let catalogs: Vec<ContentionCatalog> =
+        chain.stages.iter().map(|s| catalog_for(&s.nf)).collect();
+    let castan = Castan::new(quick_analysis(6, 30_000));
+    let report = analyze_chain(&castan, &chain, &catalogs);
+    assert_eq!(
+        report.packets.len(),
+        6,
+        "one origin packet per symbolic packet"
+    );
+    assert_eq!(report.per_stage.len(), 2);
+    assert!(report.predicted_total_cpp > 0);
+
+    let meas_cfg = quick_measurement();
+    let m = measure_chain(&chain, &castan_workload(report.packets.clone()), &meas_cfg);
+
+    // Per-stage counters sum — minus nothing but the per-packet forwarding
+    // overhead, which is charged once for the whole chain — to the
+    // end-to-end measurement. The shared-cache interaction lives *inside*
+    // the per-stage cycle counts (stages evict each other's L3 lines), so
+    // the identity holds exactly.
+    for (i, total) in m.end_to_end.iter().enumerate() {
+        let stage_instr: u64 = m.per_stage.iter().map(|s| s[i].instructions).sum();
+        let stage_cycles: u64 = m.per_stage.iter().map(|s| s[i].cycles).sum();
+        assert_eq!(
+            total.instructions,
+            stage_instr + FORWARDING_OVERHEAD_INSTRUCTIONS
+        );
+        assert_eq!(total.cycles, stage_cycles + FORWARDING_OVERHEAD_CYCLES);
+    }
+
+    // The adversarial chain workload must cost at least as much as the
+    // single-packet baseline on the same chain.
+    let baseline = measure_chain(
+        &chain,
+        &generic_chain_workload(
+            &chain,
+            WorkloadKind::OnePacket,
+            &WorkloadConfig::scaled(0.003),
+        ),
+        &meas_cfg,
+    );
+    assert!(
+        m.median_cycles() >= baseline.median_cycles(),
+        "adversarial {} vs baseline {}",
+        m.median_cycles(),
+        baseline.median_cycles()
+    );
+}
+
+#[test]
+fn chain_cost_is_not_the_sum_of_isolated_stage_costs() {
+    // Stages share one L3: measuring each stage alone (own DUT, own cold
+    // hierarchy) and adding the numbers is NOT the chain cost. With a
+    // destination-diverse trace through nat→lpm the shared-cache chain run
+    // differs measurably from the isolated sum.
+    let chain = chain_by_id(ChainId::NatLpm);
+    let wl = generic_chain_workload(
+        &chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(0.002),
+    );
+    let cfg = quick_measurement();
+    let m_chain = measure_chain(&chain, &wl, &cfg);
+
+    let mut isolated_sum = 0.0;
+    for stage in &chain.stages {
+        let single = NfChain::new(stage.nf.name(), vec![stage.nf.clone()]);
+        isolated_sum += measure_chain(&single, &wl, &cfg).median_cycles();
+    }
+    // One forwarding overhead is double-counted in the isolated sum.
+    isolated_sum -= FORWARDING_OVERHEAD_CYCLES as f64;
+    let delta = (m_chain.median_cycles() - isolated_sum).abs() / isolated_sum;
+    assert!(
+        delta > 0.005,
+        "shared-L3 contention should shift chain cost away from the isolated sum \
+         (chain {} vs sum {}, delta {:.3}%)",
+        m_chain.median_cycles(),
+        isolated_sum,
+        delta * 100.0
     );
 }
 

@@ -129,6 +129,72 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A nop→nop chain costs exactly one NOP plus one extra stage: per
+    /// measured packet, the chained datapath's counters equal the single-NOP
+    /// DUT's counters plus the second NOP stage's single `Return`
+    /// instruction (and its base cycles). Nothing else — no hidden per-stage
+    /// forwarding overhead, no cache interaction (the NOP touches no data
+    /// memory).
+    #[test]
+    fn nop_nop_chain_is_one_nop_plus_one_stage(
+        src in any::<u32>(),
+        sport in any::<u16>(),
+        extra_packets in 0u16..200,
+    ) {
+        use castan_suite::chain::NfChain;
+        use castan_suite::ir::CostClass;
+        use castan_suite::nf::{nf_by_id, NfId};
+        use castan_suite::testbed::{measure, MeasurementConfig};
+        use castan_suite::workload::{Workload, WorkloadKind};
+
+        let pkt = PacketBuilder::new()
+            .src_ip(Ipv4Addr(src))
+            .src_port(sport)
+            .build();
+        let wl = Workload { kind: WorkloadKind::OnePacket, packets: vec![pkt] };
+        let cfg = MeasurementConfig {
+            total_packets: 300 + usize::from(extra_packets),
+            warmup_packets: 30,
+            ..MeasurementConfig::quick()
+        };
+        let chain = NfChain::new("nop-nop", vec![nf_by_id(NfId::Nop), nf_by_id(NfId::Nop)]);
+        let m_chain = castan_suite::testbed::measure_chain(&chain, &wl, &cfg);
+        let m_single = measure(&nf_by_id(NfId::Nop), &wl, &cfg);
+
+        prop_assert_eq!(m_chain.end_to_end.len(), m_single.counters.len());
+        let stage_instructions = 1; // the NOP program is a single `ret`
+        let stage_cycles = CostClass::Return.base_cycles();
+        for (c, s) in m_chain.end_to_end.iter().zip(&m_single.counters) {
+            prop_assert_eq!(c.instructions, s.instructions + stage_instructions);
+            prop_assert_eq!(c.cycles, s.cycles + stage_cycles);
+            prop_assert_eq!(c.l3_misses, s.l3_misses);
+            prop_assert_eq!(c.loads, s.loads);
+            prop_assert_eq!(c.stores, s.stores);
+        }
+    }
+
+    /// Chain workload generation is a pure function of the seed: the same
+    /// seed reproduces the trace byte for byte, for every canonical chain.
+    #[test]
+    fn chain_workloads_are_deterministic_given_a_seed(seed in any::<u64>()) {
+        use castan_suite::chain::all_chains;
+        use castan_suite::workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+        let cfg = WorkloadConfig { scale: 0.003, seed };
+        for chain in all_chains() {
+            for kind in [WorkloadKind::Zipfian, WorkloadKind::UniRand] {
+                let a = generic_chain_workload(&chain, kind, &cfg);
+                let b = generic_chain_workload(&chain, kind, &cfg);
+                prop_assert_eq!(&a.packets, &b.packets, "{} {}", chain.name(), kind);
+                prop_assert!(!a.packets.is_empty());
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The chaining hash-table NF state machine (LB over the hash table)
