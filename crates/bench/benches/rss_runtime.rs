@@ -1,0 +1,77 @@
+//! The multi-core RSS runtime: Toeplitz dispatch rate, queue-skew
+//! steering, and the sharded datapath itself. Backs the `rss-scaling`
+//! experiment: the dispatch and per-core execution costs here determine
+//! how the aggregate rate scales with the core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_chain::{chain_by_id, ChainId};
+use castan_packet::{FlowKey, Ipv4Addr};
+use castan_runtime::{skew_packets, RssDispatcher};
+use castan_testbed::{MeasurementConfig, ShardConfig, ShardedDut};
+use castan_workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+fn flow(i: u64) -> FlowKey {
+    FlowKey::udp(
+        Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+        1024 + (i % 50_000) as u16,
+        Ipv4Addr::new(93, 184, 216, 34),
+        80,
+    )
+}
+
+fn bench_toeplitz_dispatch(c: &mut Criterion) {
+    let dispatcher = RssDispatcher::for_queues(4);
+    let mut i = 0u64;
+    c.bench_function("rss_toeplitz_queue_of_flow", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(dispatcher.queue_of_flow(&flow(i)))
+        })
+    });
+}
+
+fn bench_skew_steering(c: &mut Criterion) {
+    let dispatcher = RssDispatcher::for_queues(4);
+    let chain = chain_by_id(ChainId::NatLpm);
+    let wl = generic_chain_workload(
+        &chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(0.001),
+    );
+    c.bench_function("rss_skew_1000_packets", |b| {
+        b.iter(|| black_box(skew_packets(&wl.packets, &dispatcher, 0).steered))
+    });
+}
+
+fn bench_sharded_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_datapath");
+    group.sample_size(10);
+    let cfg = MeasurementConfig {
+        total_packets: 2_000,
+        warmup_packets: 200,
+        ..Default::default()
+    };
+    let chain = chain_by_id(ChainId::NatLpm);
+    let wl = generic_chain_workload(
+        &chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(0.002),
+    );
+    for cores in [1usize, 4] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{cores}core")), |b| {
+            let mut dut = ShardedDut::new(chain.clone(), ShardConfig::new(cores), &cfg);
+            b.iter(|| black_box(dut.run(&wl, &cfg).aggregate_mpps()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_toeplitz_dispatch,
+    bench_skew_steering,
+    bench_sharded_datapath
+);
+criterion_main!(benches);

@@ -104,7 +104,7 @@ impl AtomTable {
 
     /// All atom ids.
     pub fn ids(&self) -> impl Iterator<Item = AtomId> + '_ {
-        (0..self.atoms.len() as AtomId).into_iter()
+        0..self.atoms.len() as AtomId
     }
 }
 

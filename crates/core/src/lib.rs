@@ -21,6 +21,7 @@
 //! | §3.5 hash functions, havocing, rainbow tables | [`havoc`], [`rainbow`], [`synth`] |
 //! | §4 per-path CPU-model metrics output | [`report`] |
 //! | service-function chains (beyond the paper) | [`chain`] |
+//! | RSS queue-skew synthesis (beyond the paper) | [`rss`] |
 //!
 //! Chain analysis entry points: [`chain::analyze_chain`] runs the per-stage
 //! engine, translates stage-local path constraints to the origin packet
@@ -28,6 +29,11 @@
 //! (most expensive stage first), and synthesizes one origin-packet sequence
 //! maximizing total chain cycles; [`engine::Castan::analyze_detailed`]
 //! exposes the chosen per-stage execution state the translation consumes.
+//! [`rss::analyze_chain_rss_skew`] composes that with queue-skew steering:
+//! the synthesized origin packets are additionally rewritten (source
+//! endpoint only, via `castan-runtime`'s Toeplitz steering) so every flow
+//! hashes to one victim RSS queue, collapsing a multi-core deployment to
+//! roughly single-core aggregate throughput.
 //!
 //! The symbolic substrate (expressions, constraints, the purpose-built
 //! solver, copy-on-write symbolic memory) lives in [`expr`], [`solve`], and
@@ -44,6 +50,7 @@ pub mod expr;
 pub mod havoc;
 pub mod rainbow;
 pub mod report;
+pub mod rss;
 pub mod search;
 pub mod solve;
 pub mod state;
@@ -55,4 +62,5 @@ pub use chain::{analyze_chain, ChainAnalysisReport};
 pub use engine::{AnalysisConfig, Castan};
 pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};
+pub use rss::{analyze_chain_rss_skew, RssSkewReport};
 pub use solve::{Model, SolveOutcome, Solver};

@@ -1,0 +1,112 @@
+//! Adversarial queue-skew synthesis: CASTAN workloads that additionally
+//! collapse a multi-core RSS deployment onto one victim core.
+//!
+//! The single-core analysis asks "which packets make one NF instance
+//! slowest?". On a sharded runtime the aggregate question has a second,
+//! orthogonal degree of freedom: *which core serves each packet*. RSS
+//! dispatch is a pure function of the 5-tuple (Toeplitz hash over a key
+//! that is readable — and frequently a publicly known default), so an
+//! adversary can steer every flow of a workload onto the same receive
+//! queue. One core then saturates while the other `N − 1` idle, and the
+//! aggregate forwarding rate collapses from `≈ N×` to `≈ 1×` the
+//! single-core rate — a denial-of-service multiplier that composes with
+//! the per-packet cache attack.
+//!
+//! The steering pass itself ([`castan_runtime::skew_packets`]) rewrites
+//! each origin packet's *source* endpoint — the dimension the chain-level
+//! constraints leave freest: the entry NAT rehashes it anyway, and generic
+//! traffic varies it per flow — while preserving flow distinctness and
+//! flow consistency. Destination address, destination port and protocol,
+//! which the LPM/LB constraints bind, are never touched.
+//! [`analyze_chain_rss_skew`] composes that pass with the chained
+//! analysis into one report.
+
+use castan_chain::NfChain;
+use castan_mem::ContentionCatalog;
+use castan_packet::Packet;
+use castan_runtime::{skew_packets, RssDispatcher, SkewSynthesis};
+
+use crate::chain::{analyze_chain, ChainAnalysisReport};
+use crate::engine::Castan;
+
+/// The combined report: chained cache-adversarial analysis plus RSS queue
+/// skew.
+#[derive(Clone, Debug)]
+pub struct RssSkewReport {
+    /// The underlying chained analysis (its `packets` are the unsteered
+    /// originals).
+    pub base: ChainAnalysisReport,
+    /// The steering outcome; `skew.packets` is the workload to replay.
+    pub skew: SkewSynthesis,
+}
+
+impl RssSkewReport {
+    /// The steered adversarial packet sequence.
+    pub fn packets(&self) -> &[Packet] {
+        &self.skew.packets
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} → queue {}: {} steered, {} already on queue, {} unsteerable",
+            self.base.summary(),
+            self.skew.target_queue,
+            self.skew.steered,
+            self.skew.already_on_queue,
+            self.skew.unsteerable,
+        )
+    }
+}
+
+/// Runs the chained CASTAN analysis and steers the synthesized origin
+/// packets onto `target_queue` of `dispatcher`: the resulting workload
+/// attacks the bottleneck core's caches *and* the dispatch layer at once.
+pub fn analyze_chain_rss_skew(
+    castan: &Castan,
+    chain: &NfChain,
+    catalogs: &[ContentionCatalog],
+    dispatcher: &RssDispatcher,
+    target_queue: usize,
+) -> RssSkewReport {
+    let base = analyze_chain(castan, chain, catalogs);
+    let skew = skew_packets(&base.packets, dispatcher, target_queue);
+    RssSkewReport { base, skew }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AnalysisConfig;
+    use castan_mem::{HierarchyConfig, MemoryHierarchy};
+
+    #[test]
+    fn chain_analysis_composes_with_skew() {
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 5;
+        cfg.step_budget = 20_000;
+        let castan = Castan::new(cfg);
+        let catalogs: Vec<ContentionCatalog> = chain
+            .stages
+            .iter()
+            .map(|s| {
+                let mut hier = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
+                let lines: Vec<u64> =
+                    s.nf.data_regions
+                        .first()
+                        .map(|r| (0..512u64).map(|i| r.base + (i * 8 * 64) % r.len).collect())
+                        .unwrap_or_default();
+                ContentionCatalog::from_ground_truth(&mut hier, lines)
+            })
+            .collect();
+        let d = RssDispatcher::for_queues(4);
+        let report = analyze_chain_rss_skew(&castan, &chain, &catalogs, &d, 3);
+        assert_eq!(report.packets().len(), report.base.packets.len());
+        assert!(
+            report.skew.skew_ratio(&d) > 0.99,
+            "all synthesized packets must reach the victim queue"
+        );
+        assert!(report.summary().contains("queue 3"));
+    }
+}

@@ -490,7 +490,7 @@ mod tests {
             ),
         );
         let c = eq(addr, SymExpr::constant(0x4000_0000 + 0x1230));
-        let m = s.solve(&t, &[c.clone()]).model().expect("sat");
+        let m = s.solve(&t, std::slice::from_ref(&c)).model().expect("sat");
         // Check by evaluation rather than a specific value: any ip with
         // ip >> 5 == 0x48c is fine.
         assert!(c.holds(&|id| m.get(&id).copied().unwrap_or(0)));
@@ -588,7 +588,7 @@ mod tests {
             SymExpr::constant(0xff),
         );
         let c = eq(e, SymExpr::constant(0x1234));
-        let m = s.solve(&t, &[c.clone()]).model().expect("sat");
+        let m = s.solve(&t, std::slice::from_ref(&c)).model().expect("sat");
         assert!(c.holds(&|id| m.get(&id).copied().unwrap_or(0)));
     }
 }

@@ -24,13 +24,14 @@ use castan_core::{
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
+use castan_runtime::RssDispatcher;
 use castan_testbed::{
-    max_throughput_mpps, measure, measure_chain, Cdf, Measurement, MeasurementConfig,
-    ThroughputConfig,
+    max_throughput_mpps, measure, measure_chain, measure_sharded, Cdf, Measurement,
+    MeasurementConfig, ShardConfig, ThroughputConfig,
 };
 use castan_workload::{
     castan_workload, chain_unirand_castan, generic_chain_workload, generic_workload,
-    manual_workload, unirand_castan, Workload, WorkloadConfig, WorkloadKind,
+    manual_workload, skewed_chain_workload, unirand_castan, Workload, WorkloadConfig, WorkloadKind,
 };
 
 /// How hard to run the experiments.
@@ -543,6 +544,140 @@ pub fn chain_table(cfg: &ExperimentConfig) -> Table {
     }
 }
 
+/// Core counts the `rss-scaling` experiment sweeps.
+pub const RSS_CORE_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One cell of the `rss-scaling` sweep: one chain, one workload, one core
+/// count.
+#[derive(Clone, Debug)]
+pub struct RssScalingCell {
+    /// Chain name.
+    pub chain: String,
+    /// Workload kind.
+    pub workload: WorkloadKind,
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Aggregate forwarding rate (bounded by the bottleneck core).
+    pub mpps: f64,
+    /// Fraction of measured packets on the busiest core (1/cores under
+    /// perfect balance, → 1.0 under full queue skew).
+    pub bottleneck_share: f64,
+}
+
+/// The workloads the `rss-scaling` experiment runs per chain: Zipfian and
+/// UniRand baselines, the chain-CASTAN adversarial workload, and the
+/// RSS-Skew workload (uniform traffic steered so every 5-tuple hashes to
+/// queue 0).
+///
+/// The skew is synthesized against the *largest* swept core count; with a
+/// round-robin indirection table, an index that maps to queue 0 at
+/// `max(RSS_CORE_COUNTS)` queues also maps to queue 0 at every divisor, so
+/// one steered trace exhibits full skew across the whole sweep.
+pub fn rss_scaling_workloads(chain: &NfChain, cfg: &ExperimentConfig) -> Vec<Workload> {
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let dispatcher = RssDispatcher::for_queues(*RSS_CORE_COUNTS.last().unwrap());
+    let report = analyze_chain_for(chain, cfg);
+    let castan_wl = castan_workload(report.packets.clone());
+    let mut suite = vec![
+        generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg),
+        generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg),
+    ];
+    if !castan_wl.is_empty() {
+        suite.push(castan_wl);
+    }
+    suite.push(skewed_chain_workload(
+        chain,
+        WorkloadKind::UniRand,
+        &wl_cfg,
+        &dispatcher,
+        0,
+    ));
+    suite
+}
+
+/// Runs the `rss-scaling` sweep for the given chains: aggregate throughput
+/// of the sharded runtime for every (chain, workload, core count).
+pub fn rss_scaling_data_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Vec<RssScalingCell> {
+    let mut cells = Vec::new();
+    for chain in chains {
+        let suite = rss_scaling_workloads(chain, cfg);
+        for wl in &suite {
+            if wl.is_empty() {
+                continue;
+            }
+            for &cores in &RSS_CORE_COUNTS {
+                let m = measure_sharded(chain, ShardConfig::new(cores), wl, &cfg.measurement);
+                cells.push(RssScalingCell {
+                    chain: chain.name().to_string(),
+                    workload: wl.kind,
+                    cores,
+                    mpps: m.aggregate_mpps(),
+                    bottleneck_share: m.bottleneck_share(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The `rss-scaling` experiment: aggregate throughput vs core count for
+/// every chain in the catalog under Zipfian, UniRand, chain-CASTAN and
+/// RSS-Skew traffic. Uniform traffic scales near-linearly with the core
+/// count; the skew workload pins every flow to one queue, so the added
+/// cores contribute nothing and the aggregate stays at roughly the
+/// single-core rate.
+pub fn rss_scaling(cfg: &ExperimentConfig) -> Table {
+    rss_scaling_for(&all_chains(), cfg)
+}
+
+/// [`rss_scaling`] restricted to the given chains (tests use a subset to
+/// keep the debug tier-1 run tractable).
+pub fn rss_scaling_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
+    let cells = rss_scaling_data_for(chains, cfg);
+
+    let mut columns = vec!["Chain / workload".to_string()];
+    columns.extend(RSS_CORE_COUNTS.iter().map(|c| {
+        format!(
+            "{c} core{} (Mpps, max-core share)",
+            if *c == 1 { "" } else { "s" }
+        )
+    }));
+
+    let mut rows = Vec::new();
+    for chain in chains {
+        for kind in [
+            WorkloadKind::Zipfian,
+            WorkloadKind::UniRand,
+            WorkloadKind::Castan,
+            WorkloadKind::RssSkew,
+        ] {
+            let per_cores: Vec<&RssScalingCell> = cells
+                .iter()
+                .filter(|c| c.chain == chain.name() && c.workload == kind)
+                .collect();
+            if per_cores.is_empty() {
+                continue;
+            }
+            let mut row = vec![format!("{}/{}", chain.name(), kind.name())];
+            for &cores in &RSS_CORE_COUNTS {
+                let cell = per_cores.iter().find(|c| c.cores == cores);
+                row.push(match cell {
+                    None => "-".to_string(),
+                    Some(c) => format!("{:.2} ({:.0}%)", c.mpps, c.bottleneck_share * 100.0),
+                });
+            }
+            rows.push(row);
+        }
+    }
+
+    Table {
+        id: "rss-scaling".to_string(),
+        title: "Aggregate throughput of the sharded RSS runtime vs core count".to_string(),
+        columns,
+        rows,
+    }
+}
+
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
 /// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
 pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
@@ -693,6 +828,64 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("nat-lpm"));
         assert!(rendered.contains("CASTAN"));
+    }
+
+    #[test]
+    fn rss_scaling_uniform_is_near_linear_and_skew_collapses() {
+        // The acceptance bar for the RSS runtime, asserted through the
+        // rss-scaling experiment path itself: (a) uniform traffic scales
+        // near-linearly from 1 to 4 cores; (b) the synthesized queue-skew
+        // workload holds the 4-core aggregate to ≲1.5× the single-core
+        // rate (every flow lands on one queue, the other cores idle).
+        let cfg = tiny_chain_cfg();
+        let chains = [castan_chain::chain_by_id(castan_chain::ChainId::Nop3)];
+        let cells = rss_scaling_data_for(&chains, &cfg);
+        let mpps = |kind: WorkloadKind, cores: usize| {
+            cells
+                .iter()
+                .find(|c| c.workload == kind && c.cores == cores)
+                .map(|c| c.mpps)
+                .expect("cell present")
+        };
+        let uni1 = mpps(WorkloadKind::UniRand, 1);
+        let uni4 = mpps(WorkloadKind::UniRand, 4);
+        assert!(
+            uni4 >= 3.0 * uni1,
+            "uniform traffic must scale near-linearly 1→4 cores: {uni1:.2} → {uni4:.2} Mpps"
+        );
+        let skew4 = mpps(WorkloadKind::RssSkew, 4);
+        assert!(
+            skew4 <= 1.5 * uni1,
+            "queue skew must collapse 4-core throughput to ≲1.5× single-core: \
+             {skew4:.2} vs single-core {uni1:.2} Mpps"
+        );
+        // The skew is visible in the load imbalance too: the bottleneck
+        // core serves everything.
+        let skew_share = cells
+            .iter()
+            .find(|c| c.workload == WorkloadKind::RssSkew && c.cores == 4)
+            .unwrap()
+            .bottleneck_share;
+        assert!(skew_share > 0.99, "skew share {skew_share}");
+    }
+
+    #[test]
+    fn rss_scaling_table_covers_chains_workloads_and_core_counts() {
+        // Debug (tier-1) sticks to the cheapest chain; release covers the
+        // full catalog (as the CI smoke job does via `rss_scaling`).
+        let chains = if cfg!(debug_assertions) {
+            vec![castan_chain::chain_by_id(castan_chain::ChainId::Nop3)]
+        } else {
+            castan_chain::all_chains()
+        };
+        let t = rss_scaling_for(&chains, &tiny_chain_cfg());
+        assert_eq!(t.columns.len(), 1 + RSS_CORE_COUNTS.len());
+        // 4 workloads per chain.
+        assert_eq!(t.rows.len(), 4 * chains.len());
+        let rendered = t.render();
+        assert!(rendered.contains("rss-scaling"));
+        assert!(rendered.contains("RSS-Skew"));
+        assert!(rendered.contains("nop3/UniRand"));
     }
 
     #[test]

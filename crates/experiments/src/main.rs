@@ -6,12 +6,12 @@
 //! ```
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
-//! `ablation-cache`, `chain-table`, or `all`. Unknown experiment names exit
-//! with status 2 and list the valid names.
+//! `ablation-cache`, `chain-table`, `rss-scaling`, or `all`. Unknown
+//! experiment names exit with status 2 and list the valid names.
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, table4, table5,
-    throughput_and_counters_table, ExperimentConfig,
+    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, rss_scaling,
+    table4, table5, throughput_and_counters_table, ExperimentConfig,
 };
 
 /// Every runnable experiment id, in `all` execution order.
@@ -24,6 +24,7 @@ fn valid_experiments() -> Vec<String> {
     out.push("ablation-m".to_string());
     out.push("ablation-cache".to_string());
     out.push("chain-table".to_string());
+    out.push("rss-scaling".to_string());
     out
 }
 
@@ -76,6 +77,7 @@ fn main() {
             "ablation-m" => ablation_loop_bound(&cfg).render(),
             "ablation-cache" => ablation_cache_model(&cfg).render(),
             "chain-table" => chain_table(&cfg).render(),
+            "rss-scaling" => rss_scaling(&cfg).render(),
             fig => figure(fig, &cfg).expect("validated above").render(),
         };
         println!("{output}");

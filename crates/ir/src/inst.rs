@@ -109,13 +109,7 @@ impl BinOp {
             BinOp::Xor => a ^ b,
             BinOp::Shl => a.wrapping_shl((b & 63) as u32),
             BinOp::Shr => a.wrapping_shr((b & 63) as u32),
-            BinOp::UDiv => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
+            BinOp::UDiv => a.checked_div(b).unwrap_or(0),
             BinOp::URem => {
                 if b == 0 {
                     a

@@ -96,11 +96,16 @@ impl<'a> Interpreter<'a> {
         packet: &Packet,
         sink: &mut dyn ExecSink,
     ) -> Result<ExecResult, ExecError> {
-        let mut steps = 0u64;
-        let ret = self.exec_function(self.program.entry, &[], mem, packet, sink, &mut steps, 0)?;
+        let mut env = ExecEnv {
+            mem,
+            packet,
+            sink,
+            steps: 0,
+        };
+        let ret = self.exec_function(self.program.entry, &[], &mut env, 0)?;
         Ok(ExecResult {
             return_value: ret,
-            steps,
+            steps: env.steps,
         })
     }
 
@@ -108,10 +113,7 @@ impl<'a> Interpreter<'a> {
         &self,
         func_id: FuncId,
         args: &[u64],
-        mem: &mut DataMemory,
-        packet: &Packet,
-        sink: &mut dyn ExecSink,
-        steps: &mut u64,
+        env: &mut ExecEnv<'_>,
         depth: u32,
     ) -> Result<Option<u64>, ExecError> {
         if depth >= self.limits.max_call_depth {
@@ -125,20 +127,14 @@ impl<'a> Interpreter<'a> {
         loop {
             let blk = &func.blocks[block as usize];
             for inst in &blk.insts {
-                *steps += 1;
-                if *steps > self.limits.max_steps {
-                    return Err(ExecError::StepLimit);
-                }
-                self.exec_inst(inst, &mut regs, mem, packet, sink, steps, depth)?;
+                env.step(self.limits.max_steps)?;
+                self.exec_inst(inst, &mut regs, env, depth)?;
             }
             // Terminator.
-            *steps += 1;
-            if *steps > self.limits.max_steps {
-                return Err(ExecError::StepLimit);
-            }
+            env.step(self.limits.max_steps)?;
             match &blk.term {
                 Terminator::Jump(target) => {
-                    sink.retire(CostClass::Jump);
+                    env.sink.retire(CostClass::Jump);
                     block = *target;
                 }
                 Terminator::Branch {
@@ -146,7 +142,7 @@ impl<'a> Interpreter<'a> {
                     then_bb,
                     else_bb,
                 } => {
-                    sink.retire(CostClass::Branch);
+                    env.sink.retire(CostClass::Branch);
                     block = if eval(cond, &regs) != 0 {
                         *then_bb
                     } else {
@@ -154,35 +150,31 @@ impl<'a> Interpreter<'a> {
                     };
                 }
                 Terminator::Return(v) => {
-                    sink.retire(CostClass::Return);
+                    env.sink.retire(CostClass::Return);
                     return Ok(v.as_ref().map(|op| eval(op, &regs)));
                 }
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_inst(
         &self,
         inst: &Inst,
         regs: &mut [u64],
-        mem: &mut DataMemory,
-        packet: &Packet,
-        sink: &mut dyn ExecSink,
-        steps: &mut u64,
+        env: &mut ExecEnv<'_>,
         depth: u32,
     ) -> Result<(), ExecError> {
         match inst {
             Inst::Mov { dst, src } => {
-                sink.retire(CostClass::Mov);
+                env.sink.retire(CostClass::Mov);
                 regs[*dst as usize] = eval(src, regs);
             }
             Inst::Bin { dst, op, a, b } => {
-                sink.retire(CostClass::Alu);
+                env.sink.retire(CostClass::Alu);
                 regs[*dst as usize] = op.eval(eval(a, regs), eval(b, regs));
             }
             Inst::Cmp { dst, op, a, b } => {
-                sink.retire(CostClass::Cmp);
+                env.sink.retire(CostClass::Cmp);
                 regs[*dst as usize] = u64::from(op.eval(eval(a, regs), eval(b, regs)));
             }
             Inst::Select {
@@ -191,7 +183,7 @@ impl<'a> Interpreter<'a> {
                 then_v,
                 else_v,
             } => {
-                sink.retire(CostClass::Select);
+                env.sink.retire(CostClass::Select);
                 regs[*dst as usize] = if eval(cond, regs) != 0 {
                     eval(then_v, regs)
                 } else {
@@ -199,46 +191,67 @@ impl<'a> Interpreter<'a> {
                 };
             }
             Inst::Load { dst, addr, width } => {
-                sink.retire(CostClass::Load);
+                env.sink.retire(CostClass::Load);
                 let a = eval(addr, regs);
-                sink.mem_access(a, width.bytes(), false);
-                regs[*dst as usize] = mem.read(a, width.bytes());
+                env.sink.mem_access(a, width.bytes(), false);
+                regs[*dst as usize] = env.mem.read(a, width.bytes());
             }
             Inst::Store { addr, value, width } => {
-                sink.retire(CostClass::Store);
+                env.sink.retire(CostClass::Store);
                 let a = eval(addr, regs);
-                sink.mem_access(a, width.bytes(), true);
-                mem.write(a, eval(value, regs), width.bytes());
+                env.sink.mem_access(a, width.bytes(), true);
+                env.mem.write(a, eval(value, regs), width.bytes());
             }
             Inst::PacketField { dst, field } => {
-                sink.retire(CostClass::PacketRead);
-                regs[*dst as usize] = packet.field(*field);
+                env.sink.retire(CostClass::PacketRead);
+                regs[*dst as usize] = env.packet.field(*field);
             }
             Inst::Hash { dst, func, args } => {
-                sink.retire(CostClass::Hash);
+                env.sink.retire(CostClass::Hash);
                 let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
                 regs[*dst as usize] = func.apply(&vals);
             }
             Inst::Call { dst, func, args } => {
-                sink.retire(CostClass::Call);
+                env.sink.retire(CostClass::Call);
                 let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
-                let ret = self.exec_function(*func, &vals, mem, packet, sink, steps, depth + 1)?;
+                let ret = self.exec_function(*func, &vals, env, depth + 1)?;
                 if let (Some(d), Some(v)) = (dst, ret) {
                     regs[*d as usize] = v;
                 }
             }
             Inst::Native { dst, func, args } => {
-                sink.retire(CostClass::Native);
+                env.sink.retire(CostClass::Native);
                 let vals: Vec<u64> = args.iter().map(|a| eval(a, regs)).collect();
                 let helper = self
                     .natives
                     .get(*func)
                     .ok_or(ExecError::UnknownNative(func.0))?;
-                let ret = helper.call(mem, &vals, sink);
+                let ret = helper.call(env.mem, &vals, env.sink);
                 if let Some(d) = dst {
                     regs[*d as usize] = ret;
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// The mutable state one packet's execution threads through every frame:
+/// the NF's data memory, the packet being parsed, the cost sink, and the
+/// global step counter.
+struct ExecEnv<'e> {
+    mem: &'e mut DataMemory,
+    packet: &'e Packet,
+    sink: &'e mut dyn ExecSink,
+    steps: u64,
+}
+
+impl ExecEnv<'_> {
+    /// Counts one executed instruction against the step limit.
+    fn step(&mut self, max_steps: u64) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > max_steps {
+            return Err(ExecError::StepLimit);
         }
         Ok(())
     }

@@ -5,11 +5,7 @@
 //! it, the pointer-chase prober times against it, and the contention-set
 //! discovery treats it as an opaque box.
 
-use crate::cache::SetAssocCache;
 use crate::config::HierarchyConfig;
-use crate::line_of;
-use crate::page::PageTable;
-use crate::slice::SliceHash;
 
 /// Whether an access is a load or a store (both are charged identically in
 /// this model, but the distinction feeds the per-packet counters).
@@ -62,33 +58,34 @@ pub struct HierarchyStats {
     pub cycles: u64,
 }
 
-/// The simulated hierarchy.
+impl HierarchyStats {
+    /// Adds another counter block into this one (used to aggregate per-core
+    /// statistics of a [`crate::MultiCoreHierarchy`]).
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.accesses += other.accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.l3_misses += other.l3_misses;
+        self.cycles += other.cycles;
+    }
+}
+
+/// The simulated single-core hierarchy: a thin wrapper around a one-core
+/// [`MultiCoreHierarchy`](crate::MultiCoreHierarchy), so the single-NF DUT,
+/// the pointer-chase prober, and the sharded RSS runtime all charge their
+/// accesses through one implementation of the cache model.
 #[derive(Clone, Debug)]
 pub struct MemoryHierarchy {
-    config: HierarchyConfig,
-    page_table: PageTable,
-    l1d: SetAssocCache,
-    l2: SetAssocCache,
-    l3: Vec<SetAssocCache>,
-    slice_hash: SliceHash,
-    stats: HierarchyStats,
+    inner: crate::multicore::MultiCoreHierarchy,
 }
 
 impl MemoryHierarchy {
     /// Builds a hierarchy with the given configuration and a page-table seed
     /// (the "boot id").
     pub fn new(config: HierarchyConfig, boot_seed: u64) -> Self {
-        let slice_geom = config.l3_slice_geometry();
         MemoryHierarchy {
-            page_table: PageTable::new(config.page_bits, boot_seed),
-            l1d: SetAssocCache::new(config.l1d.sets(), config.l1d.ways),
-            l2: SetAssocCache::new(config.l2.sets(), config.l2.ways),
-            l3: (0..config.l3_slices)
-                .map(|_| SetAssocCache::new(slice_geom.sets(), slice_geom.ways))
-                .collect(),
-            slice_hash: SliceHash::new(config.l3_slices, config.slice_hash_seed),
-            stats: HierarchyStats::default(),
-            config,
+            inner: crate::multicore::MultiCoreHierarchy::new(config, boot_seed, 1),
         }
     }
 
@@ -99,57 +96,12 @@ impl MemoryHierarchy {
 
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
-        &self.config
+        self.inner.config()
     }
 
     /// Performs one memory access at virtual address `vaddr`.
-    pub fn access(&mut self, vaddr: u64, _kind: AccessKind) -> AccessOutcome {
-        let phys = self.page_table.translate(vaddr);
-        let line = line_of(phys);
-        let lat = self.config.latencies;
-        self.stats.accesses += 1;
-
-        // L1.
-        if self.l1d.access(line).hit {
-            self.stats.l1_hits += 1;
-            self.stats.cycles += lat.l1;
-            return AccessOutcome {
-                served_by: ServedBy::L1,
-                cycles: lat.l1,
-                phys_addr: phys,
-            };
-        }
-        // L2.
-        if self.l2.access(line).hit {
-            self.stats.l2_hits += 1;
-            self.stats.cycles += lat.l2;
-            return AccessOutcome {
-                served_by: ServedBy::L2,
-                cycles: lat.l2,
-                phys_addr: phys,
-            };
-        }
-        // L3 (sliced, physically indexed).
-        let slice = self.slice_hash.slice_of(line) as usize;
-        let fill = self.l3[slice].access(line);
-        // Inclusive L3: anything it evicts must leave the inner levels too.
-        if let Some(evicted) = fill.evicted {
-            self.l1d.invalidate(evicted);
-            self.l2.invalidate(evicted);
-        }
-        let (served_by, cycles) = if fill.hit {
-            self.stats.l3_hits += 1;
-            (ServedBy::L3, lat.l3)
-        } else {
-            self.stats.l3_misses += 1;
-            (ServedBy::Dram, lat.dram)
-        };
-        self.stats.cycles += cycles;
-        AccessOutcome {
-            served_by,
-            cycles,
-            phys_addr: phys,
-        }
+    pub fn access(&mut self, vaddr: u64, kind: AccessKind) -> AccessOutcome {
+        self.inner.access(0, vaddr, kind)
     }
 
     /// Convenience wrapper for a read access.
@@ -161,40 +113,29 @@ impl MemoryHierarchy {
     /// table). CASTAN's analysis-time model is "initialized to a clear
     /// cache" (§3.3); the testbed uses this between workload runs.
     pub fn flush_caches(&mut self) {
-        self.l1d.clear();
-        self.l2.clear();
-        for slice in &mut self.l3 {
-            slice.clear();
-        }
+        self.inner.flush_caches();
     }
 
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
-        self.stats = HierarchyStats::default();
+        self.inner.reset_stats();
     }
 
     /// Statistics since the last reset.
     pub fn stats(&self) -> HierarchyStats {
-        self.stats
+        self.inner.core_stats(0)
     }
 
     /// Total L3 associativity (the `α` of the contention-set definition).
     pub fn l3_associativity(&self) -> u32 {
-        self.config.l3_associativity()
+        self.inner.l3_associativity()
     }
 
     /// True if the line holding `vaddr` currently resides somewhere in L3.
     /// Only meaningful for already-translated (touched) pages; untouched
     /// pages report `false`.
     pub fn l3_contains_vaddr(&self, vaddr: u64) -> bool {
-        match self.page_table.translate_existing(vaddr) {
-            None => false,
-            Some(phys) => {
-                let line = line_of(phys);
-                let slice = self.slice_hash.slice_of(line) as usize;
-                self.l3[slice].contains(line)
-            }
-        }
+        self.inner.l3_contains_vaddr(vaddr)
     }
 
     /// Ground-truth (slice, set) coordinates of a virtual address.
@@ -204,11 +145,7 @@ impl MemoryHierarchy {
     /// contention catalogue, and for the accuracy evaluation of the
     /// discovery procedure.
     pub fn ground_truth_bucket(&mut self, vaddr: u64) -> (u32, u64) {
-        let phys = self.page_table.translate(vaddr);
-        let line = line_of(phys);
-        let slice = self.slice_hash.slice_of(line);
-        let set = self.l3[slice as usize].set_of_line(line);
-        (slice, set)
+        self.inner.ground_truth_bucket(vaddr)
     }
 }
 

@@ -17,6 +17,10 @@
 //!   side of the workspace never reads it; only the simulator does.
 //! * [`hierarchy`] — the full L1d/L2/sliced-L3/DRAM hierarchy with cycle
 //!   accounting and access statistics.
+//! * [`multicore`] — N per-core private L1/L2 hierarchies in front of one
+//!   shared, inclusive, sliced L3 (the substrate of the RSS runtime's
+//!   sharded chain execution); the single-core [`MemoryHierarchy`] is a
+//!   one-core instance of this type.
 //! * [`probe`] — pointer-chase probing-time measurement.
 //! * [`contention`] — the three-step contention-set discovery algorithm and
 //!   the multi-page / multi-reboot consistency filter, plus a ground-truth
@@ -32,6 +36,7 @@ pub mod cache;
 pub mod config;
 pub mod contention;
 pub mod hierarchy;
+pub mod multicore;
 pub mod page;
 pub mod probe;
 pub mod slice;
@@ -39,6 +44,7 @@ pub mod slice;
 pub use config::{CacheGeometry, HierarchyConfig, Latencies};
 pub use contention::{ContentionCatalog, ContentionSet, DiscoveryConfig};
 pub use hierarchy::{AccessKind, AccessOutcome, HierarchyStats, MemoryHierarchy};
+pub use multicore::MultiCoreHierarchy;
 pub use page::PageTable;
 
 /// Cache-line size used throughout the workspace (bytes).

@@ -1,0 +1,348 @@
+//! Multi-core memory hierarchy: per-core private levels in front of one
+//! shared, sliced L3.
+//!
+//! The RSS runtime executes each NF-chain instance on its own simulated
+//! core. Every core owns a private L1d and L2, while all cores contend for
+//! the same physically indexed, sliced last-level cache: a fill performed on
+//! behalf of one core can evict another core's line, and because the L3 is
+//! inclusive that eviction also invalidates the line in *every* core's
+//! private levels. [`MultiCoreHierarchy`] models exactly that, with a
+//! per-core statistics view so the testbed can attribute hits, misses and
+//! cycles to the core that issued each access.
+//!
+//! The single-core [`MemoryHierarchy`](crate::MemoryHierarchy) is a thin
+//! wrapper around a one-core instance of this type, so the single-NF DUT,
+//! the prober, and the sharded runtime all charge accesses through one
+//! implementation.
+
+use crate::cache::{FillResult, SetAssocCache};
+use crate::config::HierarchyConfig;
+use crate::hierarchy::{AccessKind, AccessOutcome, HierarchyStats, ServedBy};
+use crate::line_of;
+use crate::page::PageTable;
+use crate::slice::SliceHash;
+
+/// The private cache levels one core owns: L1d and L2.
+#[derive(Clone, Debug)]
+pub struct PrivateLevels {
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+}
+
+impl PrivateLevels {
+    /// Builds empty private levels for the given geometry.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        PrivateLevels {
+            l1d: SetAssocCache::new(config.l1d.sets(), config.l1d.ways),
+            l2: SetAssocCache::new(config.l2.sets(), config.l2.ways),
+        }
+    }
+
+    /// Looks up `line`, filling on a miss; returns the private level that
+    /// hit, or `None` when the request must go to the shared L3. Private
+    /// evictions are silent: the L3 is inclusive, so a line falling out of
+    /// L1/L2 is still resident in L3.
+    fn access(&mut self, line: u64) -> Option<ServedBy> {
+        if self.l1d.access(line).hit {
+            return Some(ServedBy::L1);
+        }
+        if self.l2.access(line).hit {
+            return Some(ServedBy::L2);
+        }
+        None
+    }
+
+    /// Drops `line` from both levels (inclusive-L3 back-invalidation).
+    fn invalidate(&mut self, line: u64) {
+        self.l1d.invalidate(line);
+        self.l2.invalidate(line);
+    }
+
+    /// Empties both levels.
+    fn clear(&mut self) {
+        self.l1d.clear();
+        self.l2.clear();
+    }
+}
+
+/// The shared, sliced last-level cache (plus the hidden slice-selection
+/// hash). One instance is shared by every core of a [`MultiCoreHierarchy`].
+#[derive(Clone, Debug)]
+pub struct SharedL3 {
+    slices: Vec<SetAssocCache>,
+    slice_hash: SliceHash,
+}
+
+impl SharedL3 {
+    /// Builds an empty L3 for the given geometry.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        let geom = config.l3_slice_geometry();
+        SharedL3 {
+            slices: (0..config.l3_slices)
+                .map(|_| SetAssocCache::new(geom.sets(), geom.ways))
+                .collect(),
+            slice_hash: SliceHash::new(config.l3_slices, config.slice_hash_seed),
+        }
+    }
+
+    /// Looks up `line` in its slice, filling on a miss; the returned
+    /// eviction (if any) must be back-invalidated in every core.
+    fn access(&mut self, line: u64) -> FillResult {
+        let slice = self.slice_hash.slice_of(line) as usize;
+        self.slices[slice].access(line)
+    }
+
+    /// True if `line` currently resides in the L3.
+    fn contains(&self, line: u64) -> bool {
+        let slice = self.slice_hash.slice_of(line) as usize;
+        self.slices[slice].contains(line)
+    }
+
+    /// Ground-truth (slice, set) coordinates of a physical line address.
+    fn bucket_of(&self, line: u64) -> (u32, u64) {
+        let slice = self.slice_hash.slice_of(line);
+        (slice, self.slices[slice as usize].set_of_line(line))
+    }
+
+    /// Empties every slice.
+    fn clear(&mut self) {
+        for slice in &mut self.slices {
+            slice.clear();
+        }
+    }
+}
+
+/// N private L1/L2 hierarchies in front of one shared L3 and one shared
+/// page table.
+#[derive(Clone, Debug)]
+pub struct MultiCoreHierarchy {
+    config: HierarchyConfig,
+    page_table: PageTable,
+    cores: Vec<PrivateLevels>,
+    l3: SharedL3,
+    stats: Vec<HierarchyStats>,
+}
+
+impl MultiCoreHierarchy {
+    /// Builds a hierarchy with `n_cores` cores, the given configuration and
+    /// a page-table seed (the "boot id"). A one-core instance behaves
+    /// exactly like [`crate::MemoryHierarchy`] with the same arguments.
+    pub fn new(config: HierarchyConfig, boot_seed: u64, n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        MultiCoreHierarchy {
+            page_table: PageTable::new(config.page_bits, boot_seed),
+            cores: (0..n_cores).map(|_| PrivateLevels::new(&config)).collect(),
+            l3: SharedL3::new(&config),
+            stats: vec![HierarchyStats::default(); n_cores],
+            config,
+        }
+    }
+
+    /// Number of simulated cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs one memory access at virtual address `vaddr` on behalf of
+    /// `core`. L3 hits and misses are attributed to the accessing core, even
+    /// when another core's earlier fill is what made the access hit.
+    pub fn access(&mut self, core: usize, vaddr: u64, _kind: AccessKind) -> AccessOutcome {
+        let phys = self.page_table.translate(vaddr);
+        let line = line_of(phys);
+        let lat = self.config.latencies;
+        let stats = &mut self.stats[core];
+        stats.accesses += 1;
+
+        if let Some(level) = self.cores[core].access(line) {
+            let cycles = match level {
+                ServedBy::L1 => {
+                    stats.l1_hits += 1;
+                    lat.l1
+                }
+                ServedBy::L2 => {
+                    stats.l2_hits += 1;
+                    lat.l2
+                }
+                _ => unreachable!("private levels only serve L1/L2"),
+            };
+            stats.cycles += cycles;
+            return AccessOutcome {
+                served_by: level,
+                cycles,
+                phys_addr: phys,
+            };
+        }
+
+        // Shared L3 (sliced, physically indexed). Inclusive: anything it
+        // evicts must leave every core's private levels too.
+        let fill = self.l3.access(line);
+        if let Some(evicted) = fill.evicted {
+            for private in &mut self.cores {
+                private.invalidate(evicted);
+            }
+        }
+        let stats = &mut self.stats[core];
+        let (served_by, cycles) = if fill.hit {
+            stats.l3_hits += 1;
+            (ServedBy::L3, lat.l3)
+        } else {
+            stats.l3_misses += 1;
+            (ServedBy::Dram, lat.dram)
+        };
+        stats.cycles += cycles;
+        AccessOutcome {
+            served_by,
+            cycles,
+            phys_addr: phys,
+        }
+    }
+
+    /// Convenience wrapper for a read access.
+    pub fn read(&mut self, core: usize, vaddr: u64) -> AccessOutcome {
+        self.access(core, vaddr, AccessKind::Read)
+    }
+
+    /// Flushes every cache level of every core (does not reset statistics or
+    /// the page table).
+    pub fn flush_caches(&mut self) {
+        for core in &mut self.cores {
+            core.clear();
+        }
+        self.l3.clear();
+    }
+
+    /// Resets the per-core statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.fill(HierarchyStats::default());
+    }
+
+    /// Statistics of one core since the last reset.
+    pub fn core_stats(&self, core: usize) -> HierarchyStats {
+        self.stats[core]
+    }
+
+    /// Sum of every core's statistics since the last reset.
+    pub fn aggregate_stats(&self) -> HierarchyStats {
+        let mut total = HierarchyStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Total L3 associativity (the `α` of the contention-set definition).
+    pub fn l3_associativity(&self) -> u32 {
+        self.config.l3_associativity()
+    }
+
+    /// True if the line holding `vaddr` currently resides somewhere in the
+    /// shared L3. Only meaningful for already-translated (touched) pages;
+    /// untouched pages report `false`.
+    pub fn l3_contains_vaddr(&self, vaddr: u64) -> bool {
+        match self.page_table.translate_existing(vaddr) {
+            None => false,
+            Some(phys) => self.l3.contains(line_of(phys)),
+        }
+    }
+
+    /// Ground-truth (slice, set) coordinates of a virtual address. Not
+    /// available to the analysis (the real hash is proprietary); exposed for
+    /// tests, the ground-truth contention catalogue, and the accuracy
+    /// evaluation of the discovery procedure.
+    pub fn ground_truth_bucket(&mut self, vaddr: u64) -> (u32, u64) {
+        let phys = self.page_table.translate(vaddr);
+        self.l3.bucket_of(line_of(phys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::MemoryHierarchy;
+    use crate::LINE_SIZE;
+
+    fn tiny(n_cores: usize) -> MultiCoreHierarchy {
+        MultiCoreHierarchy::new(HierarchyConfig::tiny_for_tests(), 7, n_cores)
+    }
+
+    #[test]
+    fn private_levels_are_per_core() {
+        let mut h = tiny(2);
+        let a = 0x10_0000;
+        assert_eq!(h.read(0, a).served_by, ServedBy::Dram);
+        assert_eq!(h.read(0, a).served_by, ServedBy::L1);
+        // Core 1 never touched the line: its private levels miss, but the
+        // shared L3 already holds it.
+        assert_eq!(h.read(1, a).served_by, ServedBy::L3);
+        assert_eq!(h.core_stats(0).l1_hits, 1);
+        assert_eq!(h.core_stats(1).l3_hits, 1);
+        assert_eq!(h.aggregate_stats().accesses, 3);
+    }
+
+    #[test]
+    fn one_core_matches_the_single_core_hierarchy() {
+        // The single-core MemoryHierarchy and a 1-core MultiCoreHierarchy
+        // must agree access-for-access on every outcome and statistic.
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let mut single = MemoryHierarchy::new(cfg, 3);
+        let mut multi = MultiCoreHierarchy::new(cfg, 3, 1);
+        let addrs: Vec<u64> = (0..4096u64).map(|i| (i * 761) % 131_072 * 8).collect();
+        for &a in &addrs {
+            assert_eq!(single.read(a), multi.read(0, a), "diverged at {a:#x}");
+        }
+        assert_eq!(single.stats(), multi.core_stats(0));
+        assert_eq!(single.stats(), multi.aggregate_stats());
+    }
+
+    #[test]
+    fn shared_l3_eviction_invalidates_every_core() {
+        // Tiny config: 2 slices × 4 sets × 8 ways = 64 L3 lines. Core 0
+        // caches one line; core 1 streams enough lines to evict it from L3;
+        // core 0 must then go back to DRAM (inclusive back-invalidation,
+        // otherwise its L1 would still hit).
+        let mut h = tiny(2);
+        let victim = 0x20_0000u64;
+        h.read(0, victim);
+        assert_eq!(h.read(0, victim).served_by, ServedBy::L1);
+        for i in 0..512u64 {
+            h.read(1, 0x40_0000 + i * LINE_SIZE);
+        }
+        assert!(
+            !h.l3_contains_vaddr(victim),
+            "victim must have been evicted"
+        );
+        assert_eq!(h.read(0, victim).served_by, ServedBy::Dram);
+    }
+
+    #[test]
+    fn cores_share_the_page_table() {
+        let mut h = tiny(3);
+        let v = 0x9_0000;
+        let p0 = h.read(0, v).phys_addr;
+        let p2 = h.read(2, v).phys_addr;
+        assert_eq!(p0, p2, "same virtual address, same translation");
+        assert_eq!(h.ground_truth_bucket(v), h.ground_truth_bucket(v));
+    }
+
+    #[test]
+    fn flush_restores_cold_caches_on_every_core() {
+        let mut h = tiny(2);
+        h.read(0, 0x3000);
+        h.read(1, 0x3000);
+        h.flush_caches();
+        assert_eq!(h.read(1, 0x3000).served_by, ServedBy::Dram);
+        h.reset_stats();
+        assert_eq!(h.aggregate_stats(), HierarchyStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_are_rejected() {
+        let _ = tiny(0);
+    }
+}

@@ -148,7 +148,7 @@ mod tests {
         assert_eq!(HASH_TABLE_BUCKETS, 65_536);
         assert_eq!(RING_ENTRIES, 16_777_216);
         // 1-stage direct lookup: 2^27 entries, fits in one 1 GiB page.
-        assert!(DL1_ENTRIES * DL1_ENTRY_SIZE <= 1 << 30);
+        const { assert!(DL1_ENTRIES * DL1_ENTRY_SIZE <= 1 << 30) };
         // tbl24 is 64 MiB.
         assert_eq!((1u64 << 24) * 4, 64 * 1024 * 1024);
         // Ring entries are cache-aligned.
@@ -157,9 +157,9 @@ mod tests {
 
     #[test]
     fn node_fields_fit_in_a_node() {
-        assert!(node::NEXT + 8 <= POOL_NODE_SIZE);
-        assert!(tree_node::COLOR + 8 <= POOL_NODE_SIZE);
-        assert!(ring_entry::VALUE + 8 <= RING_ENTRY_SIZE);
-        assert!(trie_node::RIGHT + 8 <= TRIE_NODE_SIZE);
+        const { assert!(node::NEXT + 8 <= POOL_NODE_SIZE) };
+        const { assert!(tree_node::COLOR + 8 <= POOL_NODE_SIZE) };
+        const { assert!(ring_entry::VALUE + 8 <= RING_ENTRY_SIZE) };
+        const { assert!(trie_node::RIGHT + 8 <= TRIE_NODE_SIZE) };
     }
 }

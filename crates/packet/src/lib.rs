@@ -37,4 +37,4 @@ pub use field::PacketField;
 pub use flow::FlowKey;
 pub use ip::{IpProto, Ipv4Addr, Ipv4Header};
 pub use l4::{TcpHeader, UdpHeader};
-pub use packet::{Packet, PacketBuilder, ParseError};
+pub use packet::{L4Header, Packet, PacketBuilder, ParseError};

@@ -1,0 +1,259 @@
+//! RSS dispatch: flow hash → indirection table → receive queue, and its
+//! adversarial inverse (steering a flow onto a chosen queue).
+
+use castan_packet::{FlowKey, Ipv4Addr, L4Header, Packet};
+
+use crate::toeplitz::{rss_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};
+
+/// RSS configuration of the simulated NIC.
+#[derive(Clone, Copy, Debug)]
+pub struct RssConfig {
+    /// Number of receive queues (one per core).
+    pub n_queues: usize,
+    /// The Toeplitz hash key.
+    pub key: [u8; RSS_KEY_LEN],
+    /// Indirection-table size (must be a power of two; real NICs use 128
+    /// or 512 entries).
+    pub table_size: usize,
+}
+
+impl RssConfig {
+    /// The default NIC setup for `n_queues` cores: Microsoft's default key
+    /// and a 128-entry indirection table filled round-robin.
+    pub fn for_queues(n_queues: usize) -> Self {
+        RssConfig {
+            n_queues,
+            key: RSS_MS_DEFAULT_KEY,
+            table_size: 128,
+        }
+    }
+}
+
+/// The dispatcher: maps flows (and packets) to receive queues.
+#[derive(Clone, Debug)]
+pub struct RssDispatcher {
+    config: RssConfig,
+    /// `indirection[hash % table_size]` is the queue.
+    indirection: Vec<u32>,
+}
+
+impl RssDispatcher {
+    /// Builds a dispatcher with a round-robin indirection table.
+    pub fn new(config: RssConfig) -> Self {
+        assert!(config.n_queues > 0, "need at least one queue");
+        assert!(
+            config.table_size.is_power_of_two(),
+            "indirection table size must be a power of two"
+        );
+        let indirection = (0..config.table_size)
+            .map(|i| (i % config.n_queues) as u32)
+            .collect();
+        RssDispatcher {
+            config,
+            indirection,
+        }
+    }
+
+    /// The default dispatcher for `n_queues` cores.
+    pub fn for_queues(n_queues: usize) -> Self {
+        Self::new(RssConfig::for_queues(n_queues))
+    }
+
+    /// Number of receive queues.
+    pub fn n_queues(&self) -> usize {
+        self.config.n_queues
+    }
+
+    /// This dispatcher's configuration.
+    pub fn config(&self) -> &RssConfig {
+        &self.config
+    }
+
+    /// RSS hash of a flow.
+    pub fn hash_of(&self, flow: &FlowKey) -> u32 {
+        rss_hash(&self.config.key, flow)
+    }
+
+    /// The queue a flow is dispatched to.
+    pub fn queue_of_flow(&self, flow: &FlowKey) -> usize {
+        let idx = (self.hash_of(flow) as usize) & (self.config.table_size - 1);
+        self.indirection[idx] as usize
+    }
+
+    /// The queue a packet is dispatched to. Packets without a tracked
+    /// TCP/UDP flow (ARP, ICMP, …) carry no RSS hash and fall back to
+    /// queue 0, as real NICs do.
+    pub fn queue_of_packet(&self, packet: &Packet) -> usize {
+        match packet.flow() {
+            Some(flow) => self.queue_of_flow(&flow),
+            None => 0,
+        }
+    }
+
+    /// Searches the free 5-tuple dimensions for a variant of `flow` that
+    /// lands on `target` *and* is accepted by `distinct`, trying source
+    /// ports first (scanning outward from the current port) and then
+    /// source-address low bits. Destination address, destination port and
+    /// protocol are never touched — those are what the traffic is *for*.
+    ///
+    /// This is the attacker primitive behind queue-skew workloads: with a
+    /// known key, on average `n_queues` candidates suffice, so the search
+    /// is cheap. Returns `None` only if every candidate is rejected.
+    pub fn steer_flow(
+        &self,
+        flow: &FlowKey,
+        target: usize,
+        mut distinct: impl FnMut(&FlowKey) -> bool,
+    ) -> Option<FlowKey> {
+        assert!(target < self.config.n_queues, "target queue out of range");
+        let mut check = |candidate: FlowKey| -> Option<FlowKey> {
+            (self.queue_of_flow(&candidate) == target && distinct(&candidate)).then_some(candidate)
+        };
+        if let Some(found) = check(*flow) {
+            return Some(found);
+        }
+        // Source-port scan: wrap around the full 16-bit space, skipping
+        // port 0 (not a valid source port on the wire).
+        for delta in 1..u16::MAX {
+            let mut candidate = *flow;
+            candidate.src_port = flow.src_port.wrapping_add(delta).max(1);
+            if let Some(found) = check(candidate) {
+                return Some(found);
+            }
+        }
+        // Source-address low-byte scan (e.g. a /24 of attack sources), with
+        // the port scan nested per address.
+        for ip_delta in 1..=u8::MAX {
+            let mut octets = flow.src_ip.octets();
+            octets[3] = octets[3].wrapping_add(ip_delta);
+            for delta in 0..256u16 {
+                let mut candidate = *flow;
+                candidate.src_ip = Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]);
+                candidate.src_port = flow.src_port.wrapping_add(delta).max(1);
+                if let Some(found) = check(candidate) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Rewrites `packet` so that its flow becomes `flow` (source endpoint
+/// only — destination and protocol are asserted unchanged, matching what
+/// [`RssDispatcher::steer_flow`] produces). Non-flow packets are returned
+/// unchanged.
+pub fn steer_packet(packet: &Packet, flow: &FlowKey) -> Packet {
+    let mut out = *packet;
+    let Some(current) = packet.flow() else {
+        return out;
+    };
+    assert_eq!(current.dst_ip, flow.dst_ip, "steering must not retarget");
+    assert_eq!(
+        current.dst_port, flow.dst_port,
+        "steering must not retarget"
+    );
+    assert_eq!(current.proto, flow.proto, "steering must not retarget");
+    if let Some(ip) = out.ipv4.as_mut() {
+        ip.src = flow.src_ip;
+    }
+    match &mut out.l4 {
+        L4Header::Udp(u) => u.src_port = flow.src_port,
+        L4Header::Tcp(t) => t.src_port = flow.src_port,
+        L4Header::None => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_packet::PacketBuilder;
+
+    fn flow(i: u64) -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+            1024 + (i % 50_000) as u16,
+            Ipv4Addr::new(93, 184, 216, 34),
+            80,
+        )
+    }
+
+    #[test]
+    fn queues_cover_all_cores_roughly_evenly() {
+        let d = RssDispatcher::for_queues(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            counts[d.queue_of_flow(&flow(i))] += 1;
+        }
+        for (q, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1400).contains(&c),
+                "queue {q} got {c} of 4096 flows — dispatch is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn one_queue_sends_everything_to_core_zero() {
+        let d = RssDispatcher::for_queues(1);
+        for i in 0..256 {
+            assert_eq!(d.queue_of_flow(&flow(i)), 0);
+        }
+    }
+
+    #[test]
+    fn packets_follow_their_flow() {
+        let d = RssDispatcher::for_queues(8);
+        for i in 0..256 {
+            let f = flow(i);
+            let p = PacketBuilder::udp_flow(f).build();
+            assert_eq!(d.queue_of_packet(&p), d.queue_of_flow(&f));
+        }
+        // Non-flow packets land on queue 0.
+        let arp = PacketBuilder::new()
+            .ethertype(castan_packet::EtherType::Arp)
+            .build();
+        assert_eq!(d.queue_of_packet(&arp), 0);
+    }
+
+    #[test]
+    fn steering_lands_every_flow_on_the_victim_queue() {
+        let d = RssDispatcher::for_queues(4);
+        for target in 0..4 {
+            for i in 0..128 {
+                let f = flow(i);
+                let steered = d.steer_flow(&f, target, |_| true).expect("steerable");
+                assert_eq!(d.queue_of_flow(&steered), target);
+                assert_eq!(steered.dst_ip, f.dst_ip);
+                assert_eq!(steered.dst_port, f.dst_port);
+                assert_eq!(steered.proto, f.proto);
+            }
+        }
+    }
+
+    #[test]
+    fn steering_respects_the_distinctness_filter() {
+        let d = RssDispatcher::for_queues(2);
+        let f = flow(7);
+        let first = d.steer_flow(&f, 0, |_| true).unwrap();
+        let second = d.steer_flow(&f, 0, |c| *c != first).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(d.queue_of_flow(&second), 0);
+    }
+
+    #[test]
+    fn steer_packet_rewrites_only_the_source_endpoint() {
+        let f = flow(3);
+        let p = PacketBuilder::udp_flow(f).ttl(17).build();
+        let d = RssDispatcher::for_queues(4);
+        let steered_flow = d.steer_flow(&f, 2, |_| true).unwrap();
+        let q = steer_packet(&p, &steered_flow);
+        assert_eq!(q.flow(), Some(steered_flow));
+        assert_eq!(q.ipv4.unwrap().ttl, 17, "unrelated fields survive");
+        assert_eq!(
+            q.field(castan_packet::PacketField::DstIp),
+            p.field(castan_packet::PacketField::DstIp)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # castan-runtime
+//!
+//! The multi-core execution layer of the CASTAN reproduction: receive-side
+//! scaling (RSS) in front of N simulated cores.
+//!
+//! Real NIC hardware spreads incoming packets over per-core receive queues
+//! by Toeplitz-hashing the 5-tuple and indexing an indirection table with
+//! the low hash bits; every packet of a flow therefore lands on the same
+//! core, and per-flow NF state never migrates. This crate models exactly
+//! that datapath, plus the batching that DPDK-style runtimes use to
+//! amortise dispatch cost:
+//!
+//! * [`toeplitz`] — the Toeplitz hash with Microsoft's published default
+//!   key, validated against the official RSS verification vectors.
+//! * [`dispatch`] — [`RssConfig`]/[`RssDispatcher`]: hash → indirection
+//!   table → queue, plus *steering*: searching the free 5-tuple dimensions
+//!   (source port, then source address) for a rewrite that lands a flow on
+//!   a chosen queue.
+//! * [`skew`] — [`skew_packets`]: steering whole packet sequences onto one
+//!   victim queue while preserving flow distinctness and consistency.
+//!   This is what the adversarial queue-skew synthesis in `castan-core`
+//!   and the skewed workload generators build on: a sender who knows (or
+//!   has fingerprinted) the RSS key can concentrate arbitrary traffic onto
+//!   one victim core.
+//! * [`batch`] — [`Batcher`]: per-queue buffering with a configurable
+//!   batch size; the testbed charges the per-batch dispatch overhead once
+//!   per batch instead of once per packet.
+//!
+//! Everything here is pure flow/packet logic — no cache model, no cost
+//! accounting. The simulated cores themselves (private L1/L2 in front of a
+//! shared L3) live in `castan-mem::multicore`, and the sharded
+//! chain-execution DUT that ties dispatch, batching and the cache model
+//! together lives in `castan-testbed::shard`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dispatch;
+pub mod skew;
+pub mod toeplitz;
+
+pub use batch::Batcher;
+pub use dispatch::{steer_packet, RssConfig, RssDispatcher};
+pub use skew::{skew_packets, SkewSynthesis};
+pub use toeplitz::{toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};

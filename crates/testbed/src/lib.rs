@@ -8,6 +8,13 @@
 //! throughput at <1 % loss, and reads back the per-packet performance
 //! counters (reference cycles, instructions retired, L3 misses).
 //!
+//! Beyond the paper's single-core setup, [`shard`] scales the DUT out:
+//! an RSS dispatcher (`castan-runtime`) flow-hashes packets onto N
+//! simulated cores, each running a private chain instance on per-core
+//! L1/L2 levels in front of one shared L3
+//! ([`castan_mem::MultiCoreHierarchy`]), with batched dispatch and
+//! per-core + aggregate measurements.
+//!
 //! Absolute numbers are calibrated only loosely against the paper's testbed
 //! (the NOP forwarding overhead and the 3.3 GHz clock); what the
 //! reproduction targets is the *relative* behaviour of workloads per NF —
@@ -19,18 +26,33 @@
 pub mod chain;
 pub mod cpu;
 pub mod dut;
+pub mod shard;
 pub mod stats;
 pub mod throughput;
 
 pub use chain::{measure_chain, ChainDut, ChainMeasurement};
-pub use cpu::{CpuModel, PacketCounters};
+pub use cpu::{CoreSink, CpuModel, MultiCoreCpu, PacketCounters};
 pub use dut::{measure, Dut, Measurement, MeasurementConfig};
+pub use shard::{measure_sharded, CoreMeasurement, ShardConfig, ShardedDut, ShardedMeasurement};
 pub use stats::Cdf;
 pub use throughput::{max_throughput_mpps, ThroughputConfig};
 
 /// Fixed per-packet forwarding overhead (DPDK + driver + NIC) in CPU cycles,
 /// calibrated so the NOP NF forwards at ≈3.45 Mpps as in Table 1.
+///
+/// Decomposed as [`BATCH_DISPATCH_CYCLES`] + [`PACKET_FORWARD_CYCLES`]: the
+/// unbatched DUTs pay both per packet (a batch of one), the sharded runtime
+/// pays the dispatch component once per batch.
 pub const FORWARDING_OVERHEAD_CYCLES: u64 = 950;
+
+/// The dispatch share of [`FORWARDING_OVERHEAD_CYCLES`]: RX-queue doorbell,
+/// descriptor refill and RSS-queue bookkeeping, paid once per *batch* by the
+/// batched runtime (`castan_testbed::shard`).
+pub const BATCH_DISPATCH_CYCLES: u64 = 600;
+
+/// The remaining per-packet share of [`FORWARDING_OVERHEAD_CYCLES`]: header
+/// fetch, mbuf handling and TX, paid per packet regardless of batching.
+pub const PACKET_FORWARD_CYCLES: u64 = FORWARDING_OVERHEAD_CYCLES - BATCH_DISPATCH_CYCLES;
 
 /// Fixed per-packet overhead in retired instructions (Table 2 reports 271
 /// instructions per packet for the NOP).

@@ -1,0 +1,602 @@
+//! The sharded datapath: an RSS dispatcher in front of N simulated cores,
+//! each running its own instance of an NF chain, all contending for one
+//! shared L3.
+//!
+//! This is the multi-core analogue of [`ChainDut`](crate::chain::ChainDut):
+//! packets are Toeplitz-hashed over their 5-tuple onto per-core receive
+//! queues (`castan-runtime`), buffered into batches, and each core executes
+//! its batch on private L1/L2 levels in front of the shared last-level
+//! cache ([`castan_mem::MultiCoreHierarchy`]). Every core owns a *private*
+//! chain instance — its own stage memories, handoff state and address
+//! region — so cores never share NF state (exactly the share-nothing
+//! RSS deployment model), but they do evict each other's lines from the
+//! inclusive L3.
+//!
+//! **Cost model.** Per packet, each stage's retired instructions and
+//! memory cycles are charged through the shared hierarchy as in the
+//! chained DUT. The fixed forwarding overhead is split: the per-packet
+//! share ([`PACKET_FORWARD_CYCLES`]) is paid by every packet, while the
+//! dispatch share ([`BATCH_DISPATCH_CYCLES`]) is paid once per *batch* and
+//! distributed exactly over the batch's packets (the first
+//! `BATCH_DISPATCH_CYCLES mod n` packets carry the remainder cycle).
+//! A 1-core, batch-of-1 sharded DUT therefore reproduces the unbatched
+//! [`ChainDut`](crate::chain::ChainDut) byte-for-byte — counters, latency
+//! samples and all — which is pinned by a test.
+//!
+//! **Throughput.** Cores run concurrently, so the aggregate forwarding
+//! rate is bounded by the *busiest* core:
+//! `aggregate Mpps = measured packets / busy time of the bottleneck core`.
+//! Uniform traffic spreads flows evenly and scales near-linearly with the
+//! core count; a queue-skew workload (all 5-tuples on one RSS queue)
+//! saturates one core while the rest idle, collapsing the aggregate to
+//! roughly the single-core rate. That collapse is the adversarial target
+//! of `castan-core`'s queue-skew synthesis.
+
+use castan_chain::{NfChain, StageHandoff};
+use castan_ir::{DataMemory, Interpreter, RunLimits};
+use castan_mem::{HierarchyConfig, HierarchyStats, MultiCoreHierarchy};
+use castan_runtime::{Batcher, RssConfig, RssDispatcher};
+use castan_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use castan_packet::Packet;
+
+use crate::cpu::{MultiCoreCpu, PacketCounters};
+use crate::dut::{Measurement, MeasurementConfig};
+use crate::{
+    BATCH_DISPATCH_CYCLES, FORWARDING_OVERHEAD_INSTRUCTIONS, FORWARDING_OVERHEAD_MISSES,
+    PACKET_FORWARD_CYCLES, WIRE_LATENCY_NS,
+};
+
+/// Address-space stride between cores. Each core's chain instance occupies
+/// `core * CORE_ADDR_STRIDE + stage * STAGE_ADDR_STRIDE`, so distinct cores
+/// (and distinct stages within a core) never alias in the shared cache.
+/// 512 GiB leaves room for 8 stages of 64 GiB each per core.
+pub const CORE_ADDR_STRIDE: u64 = 1 << 39;
+
+const _: () = assert!(CORE_ADDR_STRIDE >= 8 * castan_chain::STAGE_ADDR_STRIDE);
+
+/// Sharded-runtime configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of simulated cores (= RSS queues).
+    pub n_cores: usize,
+    /// Packets per dispatch batch.
+    pub batch_size: usize,
+    /// The NIC's RSS setup (key + indirection table).
+    pub rss: RssConfig,
+}
+
+impl ShardConfig {
+    /// The default runtime for `n_cores` cores: DPDK-style bursts of 32.
+    pub fn new(n_cores: usize) -> Self {
+        ShardConfig {
+            n_cores,
+            batch_size: 32,
+            rss: RssConfig::for_queues(n_cores),
+        }
+    }
+
+    /// A runtime with no batching (batch of one) — the configuration that
+    /// reproduces the unbatched [`crate::chain::ChainDut`] exactly when
+    /// `n_cores == 1`.
+    pub fn unbatched(n_cores: usize) -> Self {
+        ShardConfig {
+            batch_size: 1,
+            ..Self::new(n_cores)
+        }
+    }
+}
+
+/// Everything measured on one core during a sharded run.
+#[derive(Clone, Debug, Default)]
+pub struct CoreMeasurement {
+    /// End-to-end latency samples of the packets this core forwarded.
+    pub latency_ns: Vec<f64>,
+    /// Per-packet end-to-end counters (stage sum + forwarding + dispatch
+    /// share).
+    pub end_to_end: Vec<PacketCounters>,
+    /// Per-packet service time in nanoseconds.
+    pub service_ns: Vec<f64>,
+    /// Packets dropped mid-chain on this core during the measured window.
+    pub dropped: usize,
+    /// This core's view of the shared memory hierarchy (whole run,
+    /// including warm-up).
+    pub mem: HierarchyStats,
+}
+
+impl CoreMeasurement {
+    /// Measured packets processed by this core.
+    pub fn packets(&self) -> usize {
+        self.end_to_end.len()
+    }
+
+    /// Total cycles this core spent serving measured packets (its busy
+    /// time; cores run concurrently, so the busiest core bounds aggregate
+    /// throughput).
+    pub fn busy_cycles(&self) -> u64 {
+        self.end_to_end.iter().map(|c| c.cycles).sum()
+    }
+}
+
+/// The result of one sharded run: per-core measurements plus aggregate
+/// views.
+#[derive(Clone, Debug)]
+pub struct ShardedMeasurement {
+    /// One measurement per core, indexed by core id.
+    pub per_core: Vec<CoreMeasurement>,
+    /// Batch size the run used.
+    pub batch_size: usize,
+    /// Clock frequency (Hz) of the simulated cores.
+    pub clock_hz: u64,
+}
+
+impl ShardedMeasurement {
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total measured packets over all cores.
+    pub fn measured_packets(&self) -> usize {
+        self.per_core.iter().map(CoreMeasurement::packets).sum()
+    }
+
+    /// Total packets dropped mid-chain over all cores.
+    pub fn dropped(&self) -> usize {
+        self.per_core.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Exact sum of every core's per-packet counters.
+    pub fn aggregate_counters(&self) -> PacketCounters {
+        let mut total = PacketCounters::default();
+        for core in &self.per_core {
+            for c in &core.end_to_end {
+                total.cycles += c.cycles;
+                total.instructions += c.instructions;
+                total.loads += c.loads;
+                total.stores += c.stores;
+                total.l3_misses += c.l3_misses;
+            }
+        }
+        total
+    }
+
+    /// Sum of every core's memory-hierarchy statistics.
+    pub fn aggregate_mem(&self) -> HierarchyStats {
+        let mut total = HierarchyStats::default();
+        for core in &self.per_core {
+            total.merge(&core.mem);
+        }
+        total
+    }
+
+    /// The core with the largest busy time (the throughput bottleneck).
+    pub fn bottleneck_core(&self) -> usize {
+        (0..self.n_cores())
+            .max_by_key(|&c| self.per_core[c].busy_cycles())
+            .unwrap_or(0)
+    }
+
+    /// Fraction of measured packets handled by the busiest-loaded core
+    /// (1/n_cores under perfect balance, → 1.0 under full skew).
+    pub fn bottleneck_share(&self) -> f64 {
+        let total = self.measured_packets();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self
+            .per_core
+            .iter()
+            .map(CoreMeasurement::packets)
+            .max()
+            .unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// Aggregate forwarding rate in Mpps: all cores run concurrently, so
+    /// the run completes when the bottleneck core finishes its share.
+    pub fn aggregate_mpps(&self) -> f64 {
+        let bottleneck = &self.per_core[self.bottleneck_core()];
+        let busy_cycles = bottleneck.busy_cycles();
+        if busy_cycles == 0 {
+            return 0.0;
+        }
+        let clock_ghz = self.clock_hz as f64 / 1e9;
+        let busy_ns = busy_cycles as f64 / clock_ghz;
+        self.measured_packets() as f64 / busy_ns * 1e3
+    }
+
+    /// A merged single-stream [`Measurement`] view (per-core samples
+    /// concatenated in core order), so the CDF tooling applies unchanged.
+    pub fn as_measurement(&self) -> Measurement {
+        let mut m = Measurement {
+            latency_ns: Vec::new(),
+            counters: Vec::new(),
+            service_ns: Vec::new(),
+        };
+        for core in &self.per_core {
+            m.latency_ns.extend_from_slice(&core.latency_ns);
+            m.counters.extend_from_slice(&core.end_to_end);
+            m.service_ns.extend_from_slice(&core.service_ns);
+        }
+        m
+    }
+}
+
+/// One core's private chain instance: per-stage data memories and handoff
+/// state.
+struct CoreState {
+    mems: Vec<DataMemory>,
+    handoffs: Vec<Box<dyn StageHandoff>>,
+}
+
+/// The sharded device under test.
+pub struct ShardedDut {
+    chain: NfChain,
+    shard: ShardConfig,
+    cpu: MultiCoreCpu,
+    cores: Vec<CoreState>,
+    dispatcher: RssDispatcher,
+    limits: RunLimits,
+}
+
+impl ShardedDut {
+    /// Boots a sharded DUT running one instance of `chain` per core on the
+    /// Xeon E5-2667v2 profile (per-core L1/L2, shared L3).
+    pub fn new(chain: NfChain, shard: ShardConfig, cfg: &MeasurementConfig) -> Self {
+        assert!(shard.n_cores > 0, "need at least one core");
+        assert!(
+            (chain.len() as u64) * castan_chain::STAGE_ADDR_STRIDE <= CORE_ADDR_STRIDE,
+            "chain has too many stages for the per-core address stride \
+             ({} stages; at most {} fit without aliasing the next core)",
+            chain.len(),
+            CORE_ADDR_STRIDE / castan_chain::STAGE_ADDR_STRIDE,
+        );
+        let hierarchy = MultiCoreHierarchy::new(
+            HierarchyConfig::xeon_e5_2667v2(),
+            cfg.boot_seed,
+            shard.n_cores,
+        );
+        let cores = (0..shard.n_cores)
+            .map(|_| CoreState {
+                mems: chain
+                    .stages
+                    .iter()
+                    .map(|s| s.nf.initial_memory.clone())
+                    .collect(),
+                handoffs: chain.handoffs(),
+            })
+            .collect();
+        let dispatcher = RssDispatcher::new(shard.rss);
+        assert_eq!(
+            dispatcher.n_queues(),
+            shard.n_cores,
+            "one RSS queue per core"
+        );
+        ShardedDut {
+            chain,
+            cpu: MultiCoreCpu::new(hierarchy),
+            cores,
+            dispatcher,
+            limits: RunLimits::default(),
+            shard,
+        }
+    }
+
+    /// The chain this DUT runs (one instance per core).
+    pub fn chain(&self) -> &NfChain {
+        &self.chain
+    }
+
+    /// The dispatcher in front of the cores.
+    pub fn dispatcher(&self) -> &RssDispatcher {
+        &self.dispatcher
+    }
+
+    /// Replays a workload through the dispatcher and all cores, measuring
+    /// per-core and aggregate behaviour. Each call starts from freshly
+    /// initialised chain instances and cold caches; state then persists
+    /// across the run, exactly like the unbatched DUTs.
+    pub fn run(&mut self, workload: &Workload, cfg: &MeasurementConfig) -> ShardedMeasurement {
+        assert!(!workload.is_empty(), "cannot replay an empty workload");
+        let n_cores = self.shard.n_cores;
+        for core in &mut self.cores {
+            for (mem, stage) in core.mems.iter_mut().zip(&self.chain.stages) {
+                *mem = stage.nf.initial_memory.clone();
+            }
+            for h in &mut core.handoffs {
+                h.reset();
+            }
+        }
+        self.cpu.flush_caches();
+        self.cpu.reset_stats();
+
+        // One measurement-noise RNG per core; core 0 uses the seed of the
+        // single-core DUTs so the 1-core sharded run is bit-identical.
+        let mut rngs: Vec<StdRng> = (0..n_cores)
+            .map(|c| {
+                StdRng::seed_from_u64(cfg.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            })
+            .collect();
+        let clock_ghz = self.cpu.clock_hz() as f64 / 1e9;
+        let mut out: Vec<CoreMeasurement> =
+            (0..n_cores).map(|_| CoreMeasurement::default()).collect();
+
+        let mut batcher: Batcher<(usize, Packet)> = Batcher::new(n_cores, self.shard.batch_size);
+        for i in 0..cfg.total_packets {
+            let pkt = workload.packets[i % workload.packets.len()];
+            let queue = self.dispatcher.queue_of_packet(&pkt);
+            if let Some(batch) = batcher.push(queue, (i, pkt)) {
+                exec_batch(
+                    &self.chain,
+                    &mut self.cpu,
+                    &mut self.cores[queue],
+                    self.limits,
+                    queue,
+                    &batch,
+                    cfg,
+                    &mut rngs[queue],
+                    &mut out[queue],
+                    clock_ghz,
+                );
+            }
+        }
+        // End of trace: drain the partial batches in core order.
+        for (queue, batch) in batcher.flush() {
+            exec_batch(
+                &self.chain,
+                &mut self.cpu,
+                &mut self.cores[queue],
+                self.limits,
+                queue,
+                &batch,
+                cfg,
+                &mut rngs[queue],
+                &mut out[queue],
+                clock_ghz,
+            );
+        }
+
+        for (c, core) in out.iter_mut().enumerate() {
+            core.mem = self.cpu.hierarchy().core_stats(c);
+        }
+        ShardedMeasurement {
+            per_core: out,
+            batch_size: self.shard.batch_size,
+            clock_hz: self.cpu.clock_hz(),
+        }
+    }
+}
+
+/// Executes one batch on one core: every stage of the core's chain
+/// instance per packet, the per-packet forwarding overhead, and the batch's
+/// dispatch overhead distributed exactly over its packets.
+#[allow(clippy::too_many_arguments)]
+fn exec_batch(
+    chain: &NfChain,
+    cpu: &mut MultiCoreCpu,
+    state: &mut CoreState,
+    limits: RunLimits,
+    core: usize,
+    batch: &[(usize, Packet)],
+    cfg: &MeasurementConfig,
+    rng: &mut StdRng,
+    out: &mut CoreMeasurement,
+    clock_ghz: f64,
+) {
+    let n = batch.len() as u64;
+    let dispatch_share = BATCH_DISPATCH_CYCLES / n;
+    let dispatch_rem = BATCH_DISPATCH_CYCLES % n;
+    let core_base = core as u64 * CORE_ADDR_STRIDE;
+    let n_stages = chain.len();
+
+    for (k, (i, pkt)) in batch.iter().enumerate() {
+        let mut pkt = *pkt;
+        let mut total = PacketCounters::default();
+        let mut was_dropped = false;
+
+        for s in 0..n_stages {
+            let stage = &chain.stages[s];
+            let interp = Interpreter::new(&stage.nf.program, &stage.nf.natives).with_limits(limits);
+            cpu.begin_packet();
+            let verdict = {
+                let mut sink = cpu.sink(core, core_base + stage.addr_base);
+                interp
+                    .run_packet(&mut state.mems[s], &pkt, &mut sink)
+                    .expect("stage execution failed on the sharded DUT")
+                    .return_value
+                    .unwrap_or(castan_nf::layout::VERDICT_DROP)
+            };
+            let c = cpu.packet_counters();
+            total.cycles += c.cycles;
+            total.instructions += c.instructions;
+            total.loads += c.loads;
+            total.stores += c.stores;
+            total.l3_misses += c.l3_misses;
+
+            match state.handoffs[s].apply(&pkt, verdict) {
+                Some(next) => pkt = next,
+                None => {
+                    was_dropped = true;
+                    break;
+                }
+            }
+        }
+
+        total.cycles +=
+            PACKET_FORWARD_CYCLES + dispatch_share + u64::from((k as u64) < dispatch_rem);
+        total.instructions += FORWARDING_OVERHEAD_INSTRUCTIONS;
+        total.l3_misses += FORWARDING_OVERHEAD_MISSES;
+
+        if *i < cfg.warmup_packets {
+            continue;
+        }
+        if was_dropped {
+            out.dropped += 1;
+        }
+        let service = total.cycles as f64 / clock_ghz; // ns
+        let base_jitter: f64 = rng.random_range(0.0..60.0);
+        let tail: f64 = if rng.random_bool(0.02) {
+            rng.random_range(100.0..400.0)
+        } else {
+            0.0
+        };
+        out.latency_ns
+            .push(WIRE_LATENCY_NS + service + base_jitter + tail);
+        out.service_ns.push(service);
+        out.end_to_end.push(total);
+    }
+}
+
+/// Convenience: measure one chain under one workload with a fresh sharded
+/// DUT.
+pub fn measure_sharded(
+    chain: &NfChain,
+    shard: ShardConfig,
+    workload: &Workload,
+    cfg: &MeasurementConfig,
+) -> ShardedMeasurement {
+    let mut dut = ShardedDut::new(chain.clone(), shard, cfg);
+    dut.run(workload, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::measure_chain;
+    use castan_chain::{chain_by_id, ChainId};
+    use castan_workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+    fn quick() -> MeasurementConfig {
+        MeasurementConfig::quick()
+    }
+
+    #[test]
+    fn one_core_unbatched_is_bit_identical_to_the_chain_dut() {
+        // The sharded runtime over 1 core with batches of 1 must reproduce
+        // the unbatched ChainDut byte-for-byte: same counters, same latency
+        // samples, same drop count.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.005),
+        );
+        let cfg = quick();
+        let single = measure_chain(&chain, &wl, &cfg);
+        let sharded = measure_sharded(&chain, ShardConfig::unbatched(1), &wl, &cfg);
+        assert_eq!(sharded.n_cores(), 1);
+        let core = &sharded.per_core[0];
+        assert_eq!(core.end_to_end, single.end_to_end);
+        assert_eq!(core.latency_ns, single.latency_ns);
+        assert_eq!(core.service_ns, single.service_ns);
+        assert_eq!(core.dropped, single.dropped);
+    }
+
+    #[test]
+    fn batching_amortises_dispatch_cycles() {
+        // Same traffic, batch of 32 vs batch of 1: the batched run saves
+        // close to BATCH_DISPATCH_CYCLES * (1 - 1/32) cycles per packet.
+        let chain = chain_by_id(ChainId::Nop3);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.005),
+        );
+        let cfg = quick();
+        let unbatched = measure_sharded(&chain, ShardConfig::unbatched(1), &wl, &cfg);
+        let batched = measure_sharded(
+            &chain,
+            ShardConfig {
+                batch_size: 32,
+                ..ShardConfig::new(1)
+            },
+            &wl,
+            &cfg,
+        );
+        let cpp = |m: &ShardedMeasurement| {
+            m.aggregate_counters().cycles as f64 / m.measured_packets() as f64
+        };
+        let saved = cpp(&unbatched) - cpp(&batched);
+        let expected = BATCH_DISPATCH_CYCLES as f64 * (1.0 - 1.0 / 32.0);
+        assert!(
+            (saved - expected).abs() < 20.0,
+            "batching should save ≈{expected:.0} cycles/packet, saved {saved:.0}"
+        );
+    }
+
+    #[test]
+    fn per_core_counters_reconcile_with_the_aggregate() {
+        // Mirrors PR 1's per-stage reconciliation: per-core packet and
+        // cycle counters must sum exactly to the aggregate measurement,
+        // and the per-core hierarchy statistics to the hierarchy total.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.002),
+        );
+        let cfg = quick();
+        let m = measure_sharded(&chain, ShardConfig::new(4), &wl, &cfg);
+
+        assert_eq!(
+            m.measured_packets(),
+            cfg.total_packets - cfg.warmup_packets,
+            "every non-warmup packet is measured on exactly one core"
+        );
+        let agg = m.aggregate_counters();
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        let mut misses = 0u64;
+        for core in &m.per_core {
+            cycles += core.busy_cycles();
+            instructions += core.end_to_end.iter().map(|c| c.instructions).sum::<u64>();
+            misses += core.end_to_end.iter().map(|c| c.l3_misses).sum::<u64>();
+        }
+        assert_eq!(agg.cycles, cycles);
+        assert_eq!(agg.instructions, instructions);
+        assert_eq!(agg.l3_misses, misses);
+
+        let mem = m.aggregate_mem();
+        let mut accesses = 0u64;
+        for core in &m.per_core {
+            accesses += core.mem.accesses;
+        }
+        assert_eq!(mem.accesses, accesses);
+        assert!(accesses > 0, "the run exercised the shared hierarchy");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many stages")]
+    fn overlong_chains_are_rejected_instead_of_aliasing_cores() {
+        use castan_nf::{nf_by_id, NfId};
+        let nine =
+            castan_chain::NfChain::new("nop9", (0..9).map(|_| nf_by_id(NfId::Nop)).collect());
+        let _ = ShardedDut::new(nine, ShardConfig::new(2), &quick());
+    }
+
+    #[test]
+    fn uniform_traffic_spreads_over_all_cores() {
+        let chain = chain_by_id(ChainId::Nop3);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.002),
+        );
+        let cfg = quick();
+        let m = measure_sharded(&chain, ShardConfig::new(4), &wl, &cfg);
+        for (c, core) in m.per_core.iter().enumerate() {
+            assert!(
+                core.packets() > 0,
+                "core {c} received no packets under uniform traffic"
+            );
+        }
+        assert!(
+            m.bottleneck_share() < 0.45,
+            "uniform traffic should spread: bottleneck share {}",
+            m.bottleneck_share()
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //! * **Manual** — hand-crafted adversarial workloads, where human intuition
 //!   suffices (trie deepest routes; tree-skew packet sequences).
 //! * **CASTAN** — the workload synthesized by `castan-core`.
+//! * **RSS-Skew** — any of the above, steered so every 5-tuple hashes to
+//!   one RSS queue of the multi-core runtime (all flows on one victim
+//!   core; see `castan-runtime::skew`).
 //!
 //! All generators are deterministic given their seed and can be scaled down
 //! (`scale`) so that full experiment sweeps stay tractable on the simulated
@@ -24,6 +27,7 @@ use castan_chain::NfChain;
 use castan_nf::{layout, routes, NfId, NfKind, NfSpec};
 use castan_packet::dist::{FlowPool, UniformSampler, ZipfSampler, PAPER_ZIPF_EXPONENT};
 use castan_packet::{FlowKey, Ipv4Addr, Packet, PacketBuilder};
+use castan_runtime::{skew_packets, RssDispatcher};
 
 /// The workload kinds of §5.1.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -40,6 +44,9 @@ pub enum WorkloadKind {
     Manual,
     /// CASTAN-synthesized adversarial workload.
     Castan,
+    /// A workload steered onto a single RSS queue (queue-skew attack on
+    /// the multi-core runtime).
+    RssSkew,
 }
 
 impl WorkloadKind {
@@ -52,6 +59,7 @@ impl WorkloadKind {
             WorkloadKind::UniRandCastan => "UniRand CASTAN",
             WorkloadKind::Manual => "Manual",
             WorkloadKind::Castan => "CASTAN",
+            WorkloadKind::RssSkew => "RSS-Skew",
         }
     }
 
@@ -224,7 +232,10 @@ impl TrafficProfile {
                     .map(|_| self.packet(&pool, sampler.sample()))
                     .collect()
             }
-            WorkloadKind::UniRandCastan | WorkloadKind::Manual | WorkloadKind::Castan => {
+            WorkloadKind::UniRandCastan
+            | WorkloadKind::Manual
+            | WorkloadKind::Castan
+            | WorkloadKind::RssSkew => {
                 panic!("{kind} is not a generic workload; use the dedicated constructor")
             }
         };
@@ -279,6 +290,46 @@ pub fn chain_unirand_castan(chain: &NfChain, flows: u64, cfg: &WorkloadConfig) -
 
 const fn uc_seed() -> u64 {
     0xC0FFEE
+}
+
+/// A sharded ("skewed") variant of a generic chain workload: the base
+/// workload's packets, steered so that every flow Toeplitz-hashes to
+/// `target_queue` of `dispatcher`. Flow popularity and destinations are
+/// preserved ([`castan_runtime::skew_packets`]); only source endpoints are
+/// rewritten. Deterministic given `cfg.seed`.
+pub fn skewed_chain_workload(
+    chain: &NfChain,
+    base: WorkloadKind,
+    cfg: &WorkloadConfig,
+    dispatcher: &RssDispatcher,
+    target_queue: usize,
+) -> Workload {
+    let base_wl = generic_chain_workload(chain, base, cfg);
+    let skew = skew_packets(&base_wl.packets, dispatcher, target_queue);
+    Workload {
+        kind: WorkloadKind::RssSkew,
+        packets: skew.packets,
+    }
+}
+
+/// The queue-skew counterpart of [`chain_unirand_castan`]: uniform traffic
+/// restricted to `flows` distinct flows (as many as the chain's CASTAN
+/// workload), every one of them steered onto `target_queue`. This is the
+/// control that separates the *dispatch* collapse from the cache attack —
+/// same flow budget as CASTAN, no cache adversariality, full queue skew.
+pub fn rss_skew_castan(
+    chain: &NfChain,
+    flows: u64,
+    cfg: &WorkloadConfig,
+    dispatcher: &RssDispatcher,
+    target_queue: usize,
+) -> Workload {
+    let base = chain_unirand_castan(chain, flows, cfg);
+    let skew = skew_packets(&base.packets, dispatcher, target_queue);
+    Workload {
+        kind: WorkloadKind::RssSkew,
+        packets: skew.packets,
+    }
 }
 
 /// Wraps a CASTAN-synthesized packet sequence as a workload.
@@ -385,6 +436,43 @@ mod tests {
         assert_eq!(w.len(), 25);
         assert!(w.distinct_flows() <= 25);
         assert_eq!(w.kind, WorkloadKind::UniRandCastan);
+    }
+
+    #[test]
+    fn skewed_chain_workload_lands_on_one_queue() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let d = RssDispatcher::for_queues(4);
+        for queue in 0..4 {
+            let w = skewed_chain_workload(&chain, WorkloadKind::UniRand, &small_cfg(), &d, queue);
+            assert_eq!(w.kind, WorkloadKind::RssSkew);
+            assert!(!w.is_empty());
+            assert!(w.packets.iter().all(|p| d.queue_of_packet(p) == queue));
+        }
+        // The skewed variant preserves the base workload's flow diversity.
+        let base = generic_chain_workload(&chain, WorkloadKind::UniRand, &small_cfg());
+        let skewed = skewed_chain_workload(&chain, WorkloadKind::UniRand, &small_cfg(), &d, 0);
+        assert_eq!(base.len(), skewed.len());
+        assert_eq!(base.distinct_flows(), skewed.distinct_flows());
+    }
+
+    #[test]
+    fn skewed_chain_workload_is_deterministic() {
+        let chain = chain_by_id(ChainId::LbLpm);
+        let d = RssDispatcher::for_queues(8);
+        let a = skewed_chain_workload(&chain, WorkloadKind::Zipfian, &small_cfg(), &d, 5);
+        let b = skewed_chain_workload(&chain, WorkloadKind::Zipfian, &small_cfg(), &d, 5);
+        assert_eq!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn rss_skew_castan_matches_flow_budget_on_one_queue() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let d = RssDispatcher::for_queues(4);
+        let w = rss_skew_castan(&chain, 25, &WorkloadConfig::default(), &d, 2);
+        assert_eq!(w.len(), 25);
+        assert!(w.distinct_flows() <= 25);
+        assert_eq!(w.kind, WorkloadKind::RssSkew);
+        assert!(w.packets.iter().all(|p| d.queue_of_packet(p) == 2));
     }
 
     #[test]

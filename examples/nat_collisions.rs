@@ -37,9 +37,11 @@ fn main() {
         "analyzing {} (two flow-table entries per flow, §5.4)…",
         nat.name()
     );
-    let mut config = AnalysisConfig::default();
-    config.packets = 30;
-    config.step_budget = 80_000;
+    let config = AnalysisConfig {
+        packets: 30,
+        step_budget: 80_000,
+        ..Default::default()
+    };
     let report = Castan::new(config).analyze(&nat, &catalog_for(&nat));
     println!("{}", report.summary());
     println!(

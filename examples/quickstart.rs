@@ -27,9 +27,11 @@ fn main() {
 
     // 3. Run CASTAN: directed symbolic execution over a sequence of symbolic
     //    packets, guided by the cache model.
-    let mut config = AnalysisConfig::default();
-    config.packets = 20;
-    config.step_budget = 60_000;
+    let config = AnalysisConfig {
+        packets: 20,
+        step_budget: 60_000,
+        ..Default::default()
+    };
     let report = Castan::new(config).analyze(&nf, &catalog);
     println!("{}", report.summary());
 

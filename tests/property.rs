@@ -195,6 +195,91 @@ proptest! {
 }
 
 proptest! {
+    /// RSS dispatch is per-flow: every packet of a flow lands on the same
+    /// core, for any core count, and always on a core that exists. With a
+    /// single queue, everything lands on core 0.
+    #[test]
+    fn rss_dispatch_pins_flows_to_one_core(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        n_cores in 1usize..=16,
+    ) {
+        use castan_suite::runtime::RssDispatcher;
+
+        let flow = FlowKey::udp(Ipv4Addr(src), sport, Ipv4Addr(dst), dport);
+        let dispatcher = RssDispatcher::for_queues(n_cores);
+        let queue = dispatcher.queue_of_flow(&flow);
+        prop_assert!(queue < n_cores);
+        if n_cores == 1 {
+            prop_assert_eq!(queue, 0);
+        }
+        // Every packet of the flow — whatever its other fields — follows it.
+        for ttl in [1u8, 64, 255] {
+            let pkt = PacketBuilder::udp_flow(flow).ttl(ttl).build();
+            prop_assert_eq!(dispatcher.queue_of_packet(&pkt), queue);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Dispatching over one core with batches of one is byte-identical to
+    /// the unbatched chained DUT — counters, latency samples and drop
+    /// counts included — for arbitrary workload seeds.
+    #[test]
+    fn one_core_dispatch_equals_the_chain_dut(seed in any::<u64>()) {
+        use castan_suite::chain::{chain_by_id, ChainId};
+        use castan_suite::testbed::{measure_chain, measure_sharded, MeasurementConfig, ShardConfig};
+        use castan_suite::workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl_cfg = WorkloadConfig { scale: 0.002, seed };
+        let wl = generic_chain_workload(&chain, WorkloadKind::Zipfian, &wl_cfg);
+        let cfg = MeasurementConfig {
+            total_packets: 600,
+            warmup_packets: 60,
+            seed,
+            ..MeasurementConfig::quick()
+        };
+        let single = measure_chain(&chain, &wl, &cfg);
+        let sharded = measure_sharded(&chain, ShardConfig::unbatched(1), &wl, &cfg);
+        prop_assert_eq!(&sharded.per_core[0].end_to_end, &single.end_to_end);
+        prop_assert_eq!(&sharded.per_core[0].latency_ns, &single.latency_ns);
+        prop_assert_eq!(sharded.per_core[0].dropped, single.dropped);
+    }
+
+    /// A seeded sharded run is deterministic: repeating the identical run
+    /// reproduces every per-core counter and latency sample exactly.
+    #[test]
+    fn sharded_runs_are_deterministic(seed in any::<u64>(), n_cores in 1usize..=4) {
+        use castan_suite::chain::{chain_by_id, ChainId};
+        use castan_suite::testbed::{measure_sharded, MeasurementConfig, ShardConfig};
+        use castan_suite::workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+        let chain = chain_by_id(ChainId::Nop3);
+        let wl_cfg = WorkloadConfig { scale: 0.002, seed };
+        let wl = generic_chain_workload(&chain, WorkloadKind::UniRand, &wl_cfg);
+        let cfg = MeasurementConfig {
+            total_packets: 600,
+            warmup_packets: 60,
+            seed,
+            ..MeasurementConfig::quick()
+        };
+        let a = measure_sharded(&chain, ShardConfig::new(n_cores), &wl, &cfg);
+        let b = measure_sharded(&chain, ShardConfig::new(n_cores), &wl, &cfg);
+        prop_assert_eq!(a.n_cores(), n_cores);
+        for core in 0..n_cores {
+            prop_assert_eq!(&a.per_core[core].end_to_end, &b.per_core[core].end_to_end);
+            prop_assert_eq!(&a.per_core[core].latency_ns, &b.per_core[core].latency_ns);
+            prop_assert_eq!(a.per_core[core].mem, b.per_core[core].mem);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The chaining hash-table NF state machine (LB over the hash table)
