@@ -1,14 +1,17 @@
 //! The multi-core RSS runtime: Toeplitz dispatch rate, queue-skew
-//! steering, and the sharded datapath itself. Backs the `rss-scaling`
-//! experiment: the dispatch and per-core execution costs here determine
-//! how the aggregate rate scales with the core count.
+//! steering, the rebalance hot path (per-epoch load accounting + weighted
+//! table rewrite), and the sharded datapath itself. Backs the
+//! `rss-scaling` and `rss-mitigation` experiments: the dispatch,
+//! rebalancing and per-core execution costs here determine how the
+//! aggregate rate scales with the core count and how cheap the defender's
+//! epoch work is.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use castan_chain::{chain_by_id, ChainId};
 use castan_packet::{FlowKey, Ipv4Addr};
-use castan_runtime::{skew_packets, RssDispatcher};
+use castan_runtime::{rebalanced_table, skew_packets, LoadTracker, RebalancePolicy, RssDispatcher};
 use castan_testbed::{MeasurementConfig, ShardConfig, ShardedDut};
 use castan_workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
 
@@ -45,6 +48,49 @@ fn bench_skew_steering(c: &mut Criterion) {
     });
 }
 
+fn bench_rebalance_hot_path(c: &mut Criterion) {
+    // The per-epoch defender work: account one epoch of dispatched load,
+    // then rewrite a 512-entry indirection table. Benchmarked per policy on
+    // a fully skewed epoch (the shape that always triggers a rewrite).
+    let mut group = c.benchmark_group("rebalance");
+    let table_size = 512usize;
+    let n_queues = 16usize;
+    let current: Vec<u32> = (0..table_size).map(|i| (i % n_queues) as u32).collect();
+    let loads: Vec<u64> = (0..table_size)
+        .map(|e| {
+            if current[e] == 0 {
+                1 + (e as u64 % 7)
+            } else {
+                0
+            }
+        })
+        .collect();
+    for policy in [
+        RebalancePolicy::RoundRobin,
+        RebalancePolicy::LeastLoaded,
+        RebalancePolicy::PowerOfTwoChoices,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.name()), |b| {
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch = epoch.wrapping_add(1);
+                black_box(rebalanced_table(policy, &loads, &current, n_queues, epoch).len())
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("load_tracking_1k"), |b| {
+        let mut tracker = LoadTracker::new(table_size);
+        b.iter(|| {
+            tracker.reset();
+            for i in 0..1_000u64 {
+                tracker.record((i as usize) & (table_size - 1), Some(u128::from(i)));
+            }
+            black_box(tracker.total())
+        })
+    });
+    group.finish();
+}
+
 fn bench_sharded_datapath(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_datapath");
     group.sample_size(10);
@@ -72,6 +118,7 @@ criterion_group!(
     benches,
     bench_toeplitz_dispatch,
     bench_skew_steering,
+    bench_rebalance_hot_path,
     bench_sharded_datapath
 );
 criterion_main!(benches);

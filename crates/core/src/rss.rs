@@ -24,7 +24,10 @@
 use castan_chain::NfChain;
 use castan_mem::ContentionCatalog;
 use castan_packet::Packet;
-use castan_runtime::{skew_packets, RssDispatcher, SkewSynthesis};
+use castan_runtime::{
+    skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, RssConfig, RssDispatcher,
+    SkewSynthesis,
+};
 
 use crate::chain::{analyze_chain, ChainAnalysisReport};
 use crate::engine::Castan;
@@ -74,6 +77,70 @@ pub fn analyze_chain_rss_skew(
     RssSkewReport { base, skew }
 }
 
+/// The adaptive combined report: chained cache-adversarial analysis plus
+/// epoch-aware queue skew that chases a rebalancing defender.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRssSkewReport {
+    /// The underlying chained analysis (its `packets` are the unsteered
+    /// originals).
+    pub base: ChainAnalysisReport,
+    /// The epoch-aware steering outcome; `skew.packets` is the full-length
+    /// trace to replay.
+    pub skew: EpochSkewSynthesis,
+}
+
+impl AdaptiveRssSkewReport {
+    /// The steered adversarial packet sequence (already expanded to the
+    /// replay length).
+    pub fn packets(&self) -> &[Packet] {
+        &self.skew.packets
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} → queue {} over {} epochs: {} steered, {} already on queue, {} unsteerable",
+            self.base.summary(),
+            self.skew.target_queue,
+            self.skew.epochs,
+            self.skew.steered,
+            self.skew.already_on_queue,
+            self.skew.unsteerable,
+        )
+    }
+}
+
+/// The *adaptive* composition: runs the chained CASTAN analysis, expands
+/// the synthesized origin packets to `total_packets` (the replay length),
+/// and re-steers each `epoch_packets`-long segment against the defender's
+/// indirection table for that epoch (`tables`, as observed from a previous
+/// attack–defense round — `castan_testbed`'s
+/// `ShardedMeasurement::table_history`). The result attacks the bottleneck
+/// core's caches *and* keeps attacking the dispatch layer as the
+/// rebalancer moves it.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_chain_adaptive_rss_skew(
+    castan: &Castan,
+    chain: &NfChain,
+    catalogs: &[ContentionCatalog],
+    rss: RssConfig,
+    target_queue: usize,
+    tables: &[Vec<u32>],
+    epoch_packets: usize,
+    total_packets: usize,
+) -> AdaptiveRssSkewReport {
+    let base = analyze_chain(castan, chain, catalogs);
+    let full: Vec<Packet> = if base.packets.is_empty() {
+        Vec::new()
+    } else {
+        (0..total_packets)
+            .map(|i| base.packets[i % base.packets.len()])
+            .collect()
+    };
+    let skew = skew_packets_per_epoch(&full, rss, tables, epoch_packets, target_queue);
+    AdaptiveRssSkewReport { base, skew }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +175,30 @@ mod tests {
             "all synthesized packets must reach the victim queue"
         );
         assert!(report.summary().contains("queue 3"));
+
+        // The adaptive composition: same analysis, steered per epoch
+        // against a two-table defender schedule.
+        let rss = *d.config();
+        let boot = d.table().to_vec();
+        let rotated: Vec<u32> = boot.iter().map(|&q| (q + 1) % 4).collect();
+        let adaptive = analyze_chain_adaptive_rss_skew(
+            &castan,
+            &chain,
+            &catalogs,
+            rss,
+            3,
+            &[boot.clone(), rotated.clone()],
+            10,
+            20,
+        );
+        assert_eq!(adaptive.packets().len(), 20, "expanded to replay length");
+        assert_eq!(adaptive.skew.epochs, 2);
+        let d0 = RssDispatcher::with_table(rss, boot);
+        let d1 = RssDispatcher::with_table(rss, rotated);
+        for (i, p) in adaptive.packets().iter().enumerate() {
+            let under = if i < 10 { &d0 } else { &d1 };
+            assert_eq!(under.queue_of_packet(p), 3, "packet {i}");
+        }
+        assert!(adaptive.summary().contains("2 epochs"));
     }
 }

@@ -24,14 +24,15 @@ use castan_core::{
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
-use castan_runtime::RssDispatcher;
+use castan_runtime::{RebalancePolicy, RssDispatcher};
 use castan_testbed::{
     max_throughput_mpps, measure, measure_chain, measure_sharded, Cdf, Measurement,
-    MeasurementConfig, ShardConfig, ThroughputConfig,
+    MeasurementConfig, MitigationConfig, ShardConfig, ThroughputConfig,
 };
 use castan_workload::{
-    castan_workload, chain_unirand_castan, generic_chain_workload, generic_workload,
-    manual_workload, skewed_chain_workload, unirand_castan, Workload, WorkloadConfig, WorkloadKind,
+    adaptive_skew_trace, castan_workload, chain_unirand_castan, generic_chain_workload,
+    generic_workload, manual_workload, skewed_chain_workload, unirand_castan, Workload,
+    WorkloadConfig, WorkloadKind,
 };
 
 /// How hard to run the experiments.
@@ -678,6 +679,235 @@ pub fn rss_scaling_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
     }
 }
 
+/// Cores the `rss-mitigation` experiment runs on (the acceptance bars are
+/// defined at this width).
+pub const RSS_MITIGATION_CORES: usize = 4;
+
+/// The mitigation configurations the `rss-mitigation` experiment sweeps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MitigationKind {
+    /// Plain sharded runtime — today's `ShardedDut` behaviour.
+    NoMitigation,
+    /// Least-loaded epoch rebalancing with free state moves (the
+    /// upper bound a rebalancer could reach).
+    Rebalance,
+    /// Least-loaded epoch rebalancing with every moved flow's state pull
+    /// charged through the shared L3.
+    RebalanceMigration,
+    /// Rebalancing + migration cost + the work-stealing sink.
+    RebalanceMigrationStealing,
+}
+
+impl MitigationKind {
+    /// All swept configurations, in table order.
+    pub const ALL: [MitigationKind; 4] = [
+        MitigationKind::NoMitigation,
+        MitigationKind::Rebalance,
+        MitigationKind::RebalanceMigration,
+        MitigationKind::RebalanceMigrationStealing,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MitigationKind::NoMitigation => "none",
+            MitigationKind::Rebalance => "rebalance",
+            MitigationKind::RebalanceMigration => "rebalance+migration",
+            MitigationKind::RebalanceMigrationStealing => "rebalance+migration+stealing",
+        }
+    }
+
+    /// The testbed configuration for this mitigation (least-loaded policy
+    /// throughout; the policy comparison lives in `castan-runtime`'s
+    /// rebalance benchmarks and tests).
+    pub fn config(self, epoch_packets: usize) -> Option<MitigationConfig> {
+        let rebalance = MitigationConfig::rebalance(epoch_packets, RebalancePolicy::LeastLoaded);
+        match self {
+            MitigationKind::NoMitigation => None,
+            MitigationKind::Rebalance => Some(rebalance),
+            MitigationKind::RebalanceMigration => Some(rebalance.with_migration_cost()),
+            MitigationKind::RebalanceMigrationStealing => {
+                Some(rebalance.with_migration_cost().with_work_stealing())
+            }
+        }
+    }
+}
+
+/// The rebalance epoch the experiment uses: eight epochs per run (bounded
+/// below so tiny test configurations still get multi-packet epochs).
+pub fn rss_mitigation_epoch(cfg: &ExperimentConfig) -> usize {
+    (cfg.measurement.total_packets / 8).max(32)
+}
+
+/// One cell of the `rss-mitigation` sweep.
+#[derive(Clone, Debug)]
+pub struct RssMitigationCell {
+    /// Chain name.
+    pub chain: String,
+    /// Traffic: UniRand (uniform), RSS-Skew (static skew) or Adaptive-Skew.
+    pub workload: WorkloadKind,
+    /// The defender configuration.
+    pub mitigation: MitigationKind,
+    /// Aggregate forwarding rate (bounded by the bottleneck core, including
+    /// its migration/steal overhead).
+    pub mpps: f64,
+    /// Fraction of measured packets on the busiest core.
+    pub bottleneck_share: f64,
+    /// Median end-to-end latency per core (NaN for idle cores).
+    pub core_median_latency_ns: Vec<f64>,
+    /// p99 end-to-end latency per core (NaN for idle cores).
+    pub core_p99_latency_ns: Vec<f64>,
+    /// Flows whose state was migrated by rebalances.
+    pub migrated_flows: usize,
+    /// Batches executed away from their home queue by work stealing.
+    pub stolen_batches: usize,
+}
+
+/// Runs the attack–defense rounds that build the adaptive-skew workload
+/// for a chain: probe the least-loaded rebalancing defender, learn its
+/// per-epoch table schedule, re-steer each epoch against it, repeat. The
+/// defender's table schedule is a deterministic function of the dispatched
+/// loads alone, so epoch `e`'s table stabilises after `e` rounds — running
+/// one round per epoch reaches the fixed point, where every epoch of the
+/// final trace lands entirely on the victim queue *despite* the rebalancer
+/// (the migration cost model and work stealing never change dispatch, so
+/// the same trace defeats those variants' rebalancing too).
+pub fn adaptive_skew_chain_workload(
+    chain: &NfChain,
+    cfg: &ExperimentConfig,
+    target_queue: usize,
+) -> Workload {
+    let epoch = rss_mitigation_epoch(cfg);
+    let total = cfg.measurement.total_packets;
+    let shard = ShardConfig::new(RSS_MITIGATION_CORES).with_mitigation(
+        MitigationConfig::rebalance(epoch, RebalancePolicy::LeastLoaded),
+    );
+    let base = generic_chain_workload(
+        chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(cfg.workload_scale),
+    );
+    let rounds = total.div_ceil(epoch).min(16);
+    let mut tables = vec![RssDispatcher::new(shard.rss).table().to_vec()];
+    let mut wl = adaptive_skew_trace(&base, &tables, epoch, shard.rss, target_queue, total);
+    for _ in 0..rounds {
+        let probe = measure_sharded(chain, shard, &wl, &cfg.measurement);
+        if probe.table_history == tables {
+            // Fixed point: the defender reproduced the schedule the trace
+            // was already steered against, so another round would re-derive
+            // the identical workload. Usually hit well before the bound.
+            break;
+        }
+        tables = probe.table_history;
+        wl = adaptive_skew_trace(&base, &tables, epoch, shard.rss, target_queue, total);
+    }
+    wl
+}
+
+/// Runs the `rss-mitigation` sweep for the given chains:
+/// {uniform, static skew, adaptive skew} × {no-mitigation, rebalance,
+/// rebalance+migration, rebalance+migration+stealing} at
+/// [`RSS_MITIGATION_CORES`] cores, reporting aggregate Mpps and per-core
+/// latency CDFs.
+pub fn rss_mitigation_data_for(
+    chains: &[NfChain],
+    cfg: &ExperimentConfig,
+) -> Vec<RssMitigationCell> {
+    let epoch = rss_mitigation_epoch(cfg);
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let mut cells = Vec::new();
+    for chain in chains {
+        let plain = ShardConfig::new(RSS_MITIGATION_CORES);
+        let dispatcher = RssDispatcher::new(plain.rss);
+        let suite = [
+            generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg),
+            skewed_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg, &dispatcher, 0),
+            adaptive_skew_chain_workload(chain, cfg, 0),
+        ];
+        for wl in &suite {
+            for mitigation in MitigationKind::ALL {
+                let shard = match mitigation.config(epoch) {
+                    None => plain,
+                    Some(m) => plain.with_mitigation(m),
+                };
+                let m = measure_sharded(chain, shard, wl, &cfg.measurement);
+                let cdfs = m.per_core_latency_cdfs();
+                cells.push(RssMitigationCell {
+                    chain: chain.name().to_string(),
+                    workload: wl.kind,
+                    mitigation,
+                    mpps: m.aggregate_mpps(),
+                    bottleneck_share: m.bottleneck_share(),
+                    core_median_latency_ns: cdfs.iter().map(Cdf::median).collect(),
+                    core_p99_latency_ns: cdfs.iter().map(|c| c.quantile(0.99)).collect(),
+                    migrated_flows: m.migrated_flows(),
+                    stolen_batches: m.stolen_batches(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The `rss-mitigation` experiment over the whole chain catalog: closes
+/// the attack–defense loop the `rss-scaling` experiment opened. Least-
+/// loaded rebalancing restores most of the multi-core speedup against a
+/// *static* queue-skew attack (epoch 0 is lost, every later epoch is
+/// spread); the adaptive attacker re-steers each epoch against the
+/// defender's own table schedule and drags throughput back to the
+/// single-core rate; only the work-stealing sink — which gives up
+/// flow→core affinity — holds throughput under adaptive skew.
+pub fn rss_mitigation(cfg: &ExperimentConfig) -> Table {
+    rss_mitigation_for(&all_chains(), cfg)
+}
+
+/// [`rss_mitigation`] restricted to the given chains (tests use a subset
+/// to keep the debug tier-1 run tractable).
+pub fn rss_mitigation_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
+    let cells = rss_mitigation_data_for(chains, cfg);
+    let fmt_range = |values: &[f64]| -> String {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return "-".to_string();
+        }
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        format!("{min:.0}–{max:.0} ({}/{} busy)", finite.len(), values.len())
+    };
+    let rows = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}/{}/{}", c.chain, c.workload.name(), c.mitigation.name()),
+                format!("{:.2}", c.mpps),
+                format!("{:.0}%", c.bottleneck_share * 100.0),
+                fmt_range(&c.core_median_latency_ns),
+                fmt_range(&c.core_p99_latency_ns),
+                c.migrated_flows.to_string(),
+                c.stolen_batches.to_string(),
+            ]
+        })
+        .collect();
+    Table {
+        id: "rss-mitigation".to_string(),
+        title: format!(
+            "Queue-skew mitigations at {RSS_MITIGATION_CORES} cores: \
+             aggregate throughput and per-core latency under static and \
+             adaptive skew"
+        ),
+        columns: vec![
+            "Chain / traffic / mitigation".into(),
+            "Mpps".into(),
+            "Max-core share".into(),
+            "Per-core p50 (ns)".into(),
+            "Per-core p99 (ns)".into(),
+            "Migrated flows".into(),
+            "Stolen batches".into(),
+        ],
+        rows,
+    }
+}
+
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
 /// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
 pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
@@ -886,6 +1116,134 @@ mod tests {
         assert!(rendered.contains("rss-scaling"));
         assert!(rendered.contains("RSS-Skew"));
         assert!(rendered.contains("nop3/UniRand"));
+    }
+
+    #[test]
+    fn rss_mitigation_meets_the_attack_defense_acceptance_bars() {
+        // The acceptance bars for the mitigation subsystem, asserted
+        // through the rss-mitigation experiment path itself at 4 cores:
+        // (a) least-loaded rebalancing restores >= 2x aggregate throughput
+        //     over no-mitigation under *static* skew (with and without the
+        //     migration cost model);
+        // (b) the adaptive attacker drags the rebalanced throughput back
+        //     below the rebalanced static-skew number — all the way back
+        //     to a fully skewed bottleneck;
+        // (c) only the work-stealing sink holds throughput under the
+        //     adaptive attack.
+        let cfg = tiny_chain_cfg();
+        let chains = [castan_chain::chain_by_id(castan_chain::ChainId::Nop3)];
+        let cells = rss_mitigation_data_for(&chains, &cfg);
+        assert_eq!(cells.len(), 3 * MitigationKind::ALL.len());
+        let cell = |wl: WorkloadKind, mit: MitigationKind| {
+            cells
+                .iter()
+                .find(|c| c.workload == wl && c.mitigation == mit)
+                .expect("cell present")
+        };
+
+        let none_static = cell(WorkloadKind::RssSkew, MitigationKind::NoMitigation);
+        assert!(
+            none_static.bottleneck_share > 0.99,
+            "static skew pins one core"
+        );
+        let rebal_static = cell(WorkloadKind::RssSkew, MitigationKind::Rebalance);
+        let paid_static = cell(WorkloadKind::RssSkew, MitigationKind::RebalanceMigration);
+        assert!(
+            rebal_static.mpps >= 2.0 * none_static.mpps,
+            "least-loaded rebalancing must restore >= 2x under static skew: \
+             {:.2} vs {:.2} Mpps",
+            rebal_static.mpps,
+            none_static.mpps
+        );
+        assert!(
+            paid_static.mpps >= 2.0 * none_static.mpps,
+            "the migration cost must not eat the rebalancing win: \
+             {:.2} vs {:.2} Mpps",
+            paid_static.mpps,
+            none_static.mpps
+        );
+        assert!(paid_static.migrated_flows > 0, "the rebalance moved state");
+
+        let adaptive_rebal = cell(WorkloadKind::AdaptiveSkew, MitigationKind::Rebalance);
+        assert!(
+            adaptive_rebal.mpps < rebal_static.mpps,
+            "the adaptive attacker must drag rebalanced throughput back \
+             below the rebalanced static-skew number: {:.2} vs {:.2} Mpps",
+            adaptive_rebal.mpps,
+            rebal_static.mpps
+        );
+        assert!(
+            adaptive_rebal.bottleneck_share > 0.9,
+            "the chase converges: share {}",
+            adaptive_rebal.bottleneck_share
+        );
+
+        let adaptive_steal = cell(
+            WorkloadKind::AdaptiveSkew,
+            MitigationKind::RebalanceMigrationStealing,
+        );
+        assert!(adaptive_steal.stolen_batches > 0);
+        assert!(
+            adaptive_steal.mpps > 1.5 * adaptive_rebal.mpps,
+            "work stealing must hold throughput under adaptive skew: \
+             {:.2} vs {:.2} Mpps",
+            adaptive_steal.mpps,
+            adaptive_rebal.mpps
+        );
+
+        // Per-core latency CDFs are populated: under uniform traffic every
+        // core has samples; under unmitigated static skew only the victim.
+        let uniform = cell(WorkloadKind::UniRand, MitigationKind::NoMitigation);
+        assert_eq!(uniform.core_median_latency_ns.len(), RSS_MITIGATION_CORES);
+        assert!(uniform.core_median_latency_ns.iter().all(|m| m.is_finite()));
+        assert_eq!(
+            none_static
+                .core_median_latency_ns
+                .iter()
+                .filter(|m| m.is_finite())
+                .count(),
+            1,
+            "unmitigated skew leaves one busy core"
+        );
+    }
+
+    #[test]
+    fn rss_mitigation_no_mitigation_path_is_byte_identical_to_the_chain_dut() {
+        // Acceptance bar: the no-mitigation 1-core path of the experiment's
+        // DUT stays byte-identical to the single-core chained DUT — the
+        // mitigation subsystem must not perturb the measurement pipeline it
+        // extends.
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let cfg = tiny_chain_cfg();
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(cfg.workload_scale),
+        );
+        let single = measure_chain(&chain, &wl, &cfg.measurement);
+        let sharded = measure_sharded(&chain, ShardConfig::unbatched(1), &wl, &cfg.measurement);
+        assert_eq!(sharded.per_core[0].end_to_end, single.end_to_end);
+        assert_eq!(sharded.per_core[0].latency_ns, single.latency_ns);
+        assert_eq!(sharded.per_core[0].service_ns, single.service_ns);
+        assert_eq!(sharded.per_core[0].dropped, single.dropped);
+        assert_eq!(
+            sharded.table_history,
+            vec![vec![0u32; sharded.table_history[0].len()]],
+            "no mitigation: the boot table is the whole history"
+        );
+    }
+
+    #[test]
+    fn rss_mitigation_table_covers_the_matrix() {
+        let chains = vec![castan_chain::chain_by_id(castan_chain::ChainId::Nop3)];
+        let t = rss_mitigation_for(&chains, &tiny_chain_cfg());
+        assert_eq!(t.columns.len(), 7);
+        assert_eq!(t.rows.len(), 3 * MitigationKind::ALL.len());
+        let rendered = t.render();
+        assert!(rendered.contains("rss-mitigation"));
+        assert!(rendered.contains("Adaptive-Skew"));
+        assert!(rendered.contains("rebalance+migration+stealing"));
+        assert!(rendered.contains("nop3/UniRand/none"));
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! ```
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
-//! `ablation-cache`, `chain-table`, `rss-scaling`, or `all`. Unknown
-//! experiment names exit with status 2 and list the valid names.
+//! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`, or
+//! `all`. Unknown experiment names exit with status 2 and list the valid
+//! names.
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, rss_scaling,
-    table4, table5, throughput_and_counters_table, ExperimentConfig,
+    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, rss_mitigation,
+    rss_scaling, table4, table5, throughput_and_counters_table, ExperimentConfig,
 };
 
 /// Every runnable experiment id, in `all` execution order.
@@ -25,6 +26,7 @@ fn valid_experiments() -> Vec<String> {
     out.push("ablation-cache".to_string());
     out.push("chain-table".to_string());
     out.push("rss-scaling".to_string());
+    out.push("rss-mitigation".to_string());
     out
 }
 
@@ -78,6 +80,7 @@ fn main() {
             "ablation-cache" => ablation_cache_model(&cfg).render(),
             "chain-table" => chain_table(&cfg).render(),
             "rss-scaling" => rss_scaling(&cfg).render(),
+            "rss-mitigation" => rss_mitigation(&cfg).render(),
             fig => figure(fig, &cfg).expect("validated above").render(),
         };
         println!("{output}");

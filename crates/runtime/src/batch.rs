@@ -42,13 +42,17 @@ impl<T> Batcher<T> {
             .then(|| std::mem::replace(q, Vec::with_capacity(self.batch_size)))
     }
 
-    /// Drains every non-empty partial batch, in queue order.
+    /// Drains every non-empty partial batch, in queue order. The replacement
+    /// buffers keep the `batch_size` reservation — `std::mem::take` would
+    /// leave zero-capacity Vecs behind, making every post-flush batch regrow
+    /// from empty (the sharded runtime flushes at every rebalance epoch).
     pub fn flush(&mut self) -> Vec<(usize, Vec<T>)> {
+        let batch_size = self.batch_size;
         self.queues
             .iter_mut()
             .enumerate()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(i, q)| (i, std::mem::take(q)))
+            .map(|(i, q)| (i, std::mem::replace(q, Vec::with_capacity(batch_size))))
             .collect()
     }
 }
@@ -77,6 +81,30 @@ mod tests {
         let rest = b.flush();
         assert_eq!(rest, vec![(0, vec!['a']), (2, vec!['c', 'd'])]);
         assert!(b.flush().is_empty());
+    }
+
+    #[test]
+    fn flush_preserves_the_batch_size_reservation() {
+        // Regression: flush used std::mem::take, leaving zero-capacity
+        // queues, so every post-flush batch reallocated from empty.
+        let mut b = Batcher::new(4, 32);
+        for q in 0..4 {
+            b.push(q, q);
+        }
+        let drained = b.flush();
+        assert_eq!(drained.len(), 4);
+        for q in &b.queues {
+            assert!(
+                q.capacity() >= b.batch_size,
+                "flush must preserve the batch_size reservation, got {}",
+                q.capacity()
+            );
+        }
+        // And batches released by push keep doing so too.
+        for _ in 0..32 {
+            b.push(1, 9);
+        }
+        assert!(b.queues[1].capacity() >= b.batch_size);
     }
 
     #[test]

@@ -19,12 +19,25 @@ pub struct RssConfig {
 
 impl RssConfig {
     /// The default NIC setup for `n_queues` cores: Microsoft's default key
-    /// and a 128-entry indirection table filled round-robin.
+    /// and a 128-entry indirection table filled round-robin. Deployments
+    /// with more than 128 queues get the large 512-entry table real NICs
+    /// offer (X710/E810 style), so no queue is ever left out of the table.
+    ///
+    /// Note the residual imbalance whenever `table_size % n_queues != 0`:
+    /// a round-robin fill gives the first `table_size % n_queues` queues
+    /// one extra entry each (e.g. 128 entries over 3 queues is 43/43/42),
+    /// a ~`n_queues / table_size` skew that only a weighted table
+    /// (`crate::rebalance`) can remove.
     pub fn for_queues(n_queues: usize) -> Self {
+        let table_size = if n_queues > 128 {
+            n_queues.next_power_of_two().max(512)
+        } else {
+            128
+        };
         RssConfig {
             n_queues,
             key: RSS_MS_DEFAULT_KEY,
-            table_size: 128,
+            table_size,
         }
     }
 }
@@ -45,6 +58,18 @@ impl RssDispatcher {
             config.table_size.is_power_of_two(),
             "indirection table size must be a power of two"
         );
+        // A table smaller than the queue count would silently blackhole
+        // queues >= table_size: no hash index could ever name them, so they
+        // would simply never receive traffic. Reject the config instead.
+        assert!(
+            config.table_size >= config.n_queues,
+            "indirection table too small: {} entries cannot address {} queues \
+             (queues >= {} would never receive traffic); use \
+             RssConfig::for_queues, which grows the table",
+            config.table_size,
+            config.n_queues,
+            config.table_size,
+        );
         let indirection = (0..config.table_size)
             .map(|i| (i % config.n_queues) as u32)
             .collect();
@@ -52,6 +77,15 @@ impl RssDispatcher {
             config,
             indirection,
         }
+    }
+
+    /// Builds a dispatcher with an explicit indirection table (e.g. one
+    /// produced by a [`crate::rebalance`] policy, or a table observed from
+    /// a defender in a previous attack–defense round).
+    pub fn with_table(config: RssConfig, table: Vec<u32>) -> Self {
+        let mut d = Self::new(config);
+        d.set_table(table);
+        d
     }
 
     /// The default dispatcher for `n_queues` cores.
@@ -69,15 +103,49 @@ impl RssDispatcher {
         &self.config
     }
 
+    /// The current indirection table (`table()[entry]` is the queue).
+    pub fn table(&self) -> &[u32] {
+        &self.indirection
+    }
+
+    /// Replaces the indirection table — the rebalancing primitive real NICs
+    /// expose (`ethtool -X` / `ETH_RSS` reprogramming). The new table must
+    /// keep the configured size and only name existing queues; flows are
+    /// re-dispatched under the new table from the next packet on.
+    pub fn set_table(&mut self, table: Vec<u32>) {
+        assert_eq!(
+            table.len(),
+            self.config.table_size,
+            "indirection table must keep its configured size"
+        );
+        assert!(
+            table.iter().all(|&q| (q as usize) < self.config.n_queues),
+            "indirection table names a queue that does not exist"
+        );
+        self.indirection = table;
+    }
+
     /// RSS hash of a flow.
     pub fn hash_of(&self, flow: &FlowKey) -> u32 {
         rss_hash(&self.config.key, flow)
     }
 
+    /// The indirection-table entry a flow indexes (stable under table
+    /// rewrites — only the entry→queue mapping changes, never the entry).
+    pub fn entry_of_flow(&self, flow: &FlowKey) -> usize {
+        (self.hash_of(flow) as usize) & (self.config.table_size - 1)
+    }
+
+    /// The indirection-table entry a packet indexes, or `None` for packets
+    /// without a tracked TCP/UDP flow (which bypass the table and land on
+    /// queue 0 regardless of any rebalance).
+    pub fn entry_of_packet(&self, packet: &Packet) -> Option<usize> {
+        packet.flow().map(|f| self.entry_of_flow(&f))
+    }
+
     /// The queue a flow is dispatched to.
     pub fn queue_of_flow(&self, flow: &FlowKey) -> usize {
-        let idx = (self.hash_of(flow) as usize) & (self.config.table_size - 1);
-        self.indirection[idx] as usize
+        self.indirection[self.entry_of_flow(flow)] as usize
     }
 
     /// The queue a packet is dispatched to. Packets without a tracked
@@ -112,24 +180,37 @@ impl RssDispatcher {
         if let Some(found) = check(*flow) {
             return Some(found);
         }
-        // Source-port scan: wrap around the full 16-bit space, skipping
-        // port 0 (not a valid source port on the wire).
-        for delta in 1..u16::MAX {
+        // Source-port scan: wrap around the full 16-bit space, visiting
+        // every non-zero source port exactly once. A wrapped port of 0 (not
+        // a valid source port on the wire) is skipped, never clamped —
+        // clamping would alias it onto port 1, re-testing a duplicate
+        // candidate while silently skipping a real one. `1..=u16::MAX`
+        // covers all 65535 deltas; the original port was tried above.
+        for delta in 1..=u16::MAX {
+            let port = flow.src_port.wrapping_add(delta);
+            if port == 0 {
+                continue;
+            }
             let mut candidate = *flow;
-            candidate.src_port = flow.src_port.wrapping_add(delta).max(1);
+            candidate.src_port = port;
             if let Some(found) = check(candidate) {
                 return Some(found);
             }
         }
         // Source-address low-byte scan (e.g. a /24 of attack sources), with
-        // the port scan nested per address.
+        // a 256-port scan nested per address — again skipping a wrapped
+        // port 0 instead of aliasing it onto port 1.
         for ip_delta in 1..=u8::MAX {
             let mut octets = flow.src_ip.octets();
             octets[3] = octets[3].wrapping_add(ip_delta);
             for delta in 0..256u16 {
+                let port = flow.src_port.wrapping_add(delta);
+                if port == 0 {
+                    continue;
+                }
                 let mut candidate = *flow;
                 candidate.src_ip = Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]);
-                candidate.src_port = flow.src_port.wrapping_add(delta).max(1);
+                candidate.src_port = port;
                 if let Some(found) = check(candidate) {
                     return Some(found);
                 }
@@ -240,6 +321,127 @@ mod tests {
         let second = d.steer_flow(&f, 0, |c| *c != first).unwrap();
         assert_ne!(first, second);
         assert_eq!(d.queue_of_flow(&second), 0);
+    }
+
+    #[test]
+    fn steering_enumerates_every_nonzero_port_exactly_once() {
+        // One queue, reject-all filter: every candidate reaches `distinct`.
+        // The flat scan must offer all 65535 non-zero source ports exactly
+        // once — no duplicate from a wrapped port aliasing onto port 1, no
+        // silently skipped port — even when the scan wraps past 0.
+        let d = RssDispatcher::for_queues(1);
+        for start_port in [1u16, 80, u16::MAX, 1024] {
+            let f = FlowKey::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                start_port,
+                Ipv4Addr::new(93, 184, 216, 34),
+                80,
+            );
+            let mut offered: Vec<u16> = Vec::new();
+            let result = d.steer_flow(&f, 0, |c| {
+                if c.src_ip == f.src_ip {
+                    offered.push(c.src_port);
+                }
+                false // reject everything: force the full enumeration
+            });
+            assert!(result.is_none(), "reject-all must exhaust the search");
+            let mut sorted = offered.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                offered.len(),
+                "no source port may be offered twice (start {start_port})"
+            );
+            assert_eq!(
+                sorted,
+                (1..=u16::MAX).collect::<Vec<u16>>(),
+                "every non-zero source port must be offered (start {start_port})"
+            );
+        }
+    }
+
+    #[test]
+    fn per_ip_scan_skips_port_zero_without_aliasing() {
+        // Start at a port whose 256-delta window wraps past 0: the nested
+        // per-IP scan must skip the wrapped 0, not clamp it onto port 1.
+        let d = RssDispatcher::for_queues(1);
+        let f = FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            u16::MAX - 10,
+            Ipv4Addr::new(93, 184, 216, 34),
+            80,
+        );
+        let mut per_ip: std::collections::BTreeMap<u32, Vec<u16>> = Default::default();
+        let _ = d.steer_flow(&f, 0, |c| {
+            if c.src_ip != f.src_ip {
+                per_ip.entry(c.src_ip.0).or_default().push(c.src_port);
+            }
+            false
+        });
+        assert_eq!(per_ip.len(), 255, "255 neighbour addresses scanned");
+        for (ip, ports) in per_ip {
+            let mut sorted = ports.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ports.len(), "duplicate port on ip {ip:#x}");
+            assert_eq!(ports.len(), 255, "window wraps past 0, so one skipped");
+            assert!(ports.iter().all(|&p| p != 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "indirection table too small")]
+    fn tables_smaller_than_the_queue_count_are_rejected() {
+        // 256 queues cannot be addressed by a 128-entry table: queues >= 128
+        // would silently never receive traffic.
+        let _ = RssDispatcher::new(RssConfig {
+            n_queues: 256,
+            key: RSS_MS_DEFAULT_KEY,
+            table_size: 128,
+        });
+    }
+
+    #[test]
+    fn for_queues_grows_the_table_past_128_queues() {
+        let d = RssDispatcher::for_queues(256);
+        assert_eq!(d.config().table_size, 512);
+        // Every queue appears in the table — nothing is blackholed.
+        let mut seen = vec![false; 256];
+        for &q in d.table() {
+            seen[q as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every queue receives table entries"
+        );
+        // And the small default is untouched.
+        assert_eq!(RssDispatcher::for_queues(4).config().table_size, 128);
+    }
+
+    #[test]
+    fn set_table_redirects_flows_immediately() {
+        let mut d = RssDispatcher::for_queues(4);
+        let f = flow(11);
+        let entry = d.entry_of_flow(&f);
+        let before = d.queue_of_flow(&f);
+        let mut table = d.table().to_vec();
+        let new_queue = (before + 1) % 4;
+        table[entry] = new_queue as u32;
+        d.set_table(table);
+        assert_eq!(d.queue_of_flow(&f), new_queue);
+        assert_eq!(d.entry_of_flow(&f), entry, "entries are table-independent");
+        let p = PacketBuilder::udp_flow(f).build();
+        assert_eq!(d.entry_of_packet(&p), Some(entry));
+    }
+
+    #[test]
+    #[should_panic(expected = "names a queue that does not exist")]
+    fn set_table_rejects_out_of_range_queues() {
+        let mut d = RssDispatcher::for_queues(2);
+        let mut table = d.table().to_vec();
+        table[0] = 7;
+        d.set_table(table);
     }
 
     #[test]

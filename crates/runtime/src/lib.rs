@@ -21,7 +21,13 @@
 //!   This is what the adversarial queue-skew synthesis in `castan-core`
 //!   and the skewed workload generators build on: a sender who knows (or
 //!   has fingerprinted) the RSS key can concentrate arbitrary traffic onto
-//!   one victim core.
+//!   one victim core. [`skew_packets_per_epoch`] is the *adaptive* variant:
+//!   it re-steers each epoch-long segment against that epoch's indirection
+//!   table, so the skew chases a rebalancing defender.
+//! * [`rebalance`] — the defense: per-entry load accounting
+//!   ([`LoadTracker`]) and weighted indirection-table rewrite policies
+//!   ([`RebalancePolicy`]: round-robin, least-loaded greedy,
+//!   power-of-two-choices) with imbalance hysteresis.
 //! * [`batch`] — [`Batcher`]: per-queue buffering with a configurable
 //!   batch size; the testbed charges the per-batch dispatch overhead once
 //!   per batch instead of once per packet.
@@ -37,10 +43,12 @@
 
 pub mod batch;
 pub mod dispatch;
+pub mod rebalance;
 pub mod skew;
 pub mod toeplitz;
 
 pub use batch::Batcher;
 pub use dispatch::{steer_packet, RssConfig, RssDispatcher};
-pub use skew::{skew_packets, SkewSynthesis};
+pub use rebalance::{queue_loads, rebalanced_table, LoadTracker, RebalancePolicy};
+pub use skew::{skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, SkewSynthesis};
 pub use toeplitz::{toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};

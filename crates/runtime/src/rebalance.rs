@@ -1,0 +1,324 @@
+//! Indirection-table rebalancing: the defense side of the queue-skew
+//! attack.
+//!
+//! Real deployments answer RSS load imbalance by reprogramming the NIC's
+//! indirection table (`ethtool -X`, flow director, or a driver-level
+//! rebalancer): the Toeplitz hash and the table *entry* a flow indexes
+//! never change, only the entry→queue mapping does, so a rebalance moves
+//! whole entries — and every flow hashing to them — between queues. This
+//! module provides:
+//!
+//! * [`LoadTracker`] — per-entry load accounting over one epoch: packet
+//!   counts (what the rewrite policies weigh) plus the set of distinct
+//!   flows per entry (what a migration cost model charges when an entry
+//!   changes queues).
+//! * [`RebalancePolicy`] and [`rebalanced_table`] — the weighted table
+//!   rewrite policies: static round-robin, least-loaded greedy (LPT
+//!   scheduling of entries onto queues), and periodic
+//!   power-of-two-choices. All are deterministic; power-of-two-choices
+//!   draws its candidate queues from an RNG seeded by the epoch index.
+//!
+//! Rebalancing has hysteresis: [`rebalanced_table`] keeps the current
+//! table unless the busiest queue carries more than
+//! [`REBALANCE_TRIGGER_NUM`]/[`REBALANCE_TRIGGER_DEN`] (5/4) of the mean
+//! per-queue load. Without it, a from-scratch greedy rewrite would churn
+//! entries (and charge flow-state migrations) every epoch even under
+//! perfectly balanced traffic.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The table rewrite policies a rebalancing defender can run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RebalancePolicy {
+    /// Rewrite to the static round-robin fill (the boot-time table). A
+    /// non-defense included as the baseline: it ignores the observed loads
+    /// entirely, so a skewed flow population stays skewed.
+    RoundRobin,
+    /// Least-loaded greedy: entries sorted by observed load (heaviest
+    /// first), each assigned to the queue with the least load assigned so
+    /// far — longest-processing-time scheduling of entries onto queues.
+    LeastLoaded,
+    /// Power-of-two-choices: for each entry (heaviest first) draw two
+    /// candidate queues from an epoch-seeded RNG and take the less loaded
+    /// one. Cheaper than a full sort-and-scan on huge tables, and the
+    /// classic load-balancing result says it is nearly as good.
+    PowerOfTwoChoices,
+}
+
+impl RebalancePolicy {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebalancePolicy::RoundRobin => "round-robin",
+            RebalancePolicy::LeastLoaded => "least-loaded",
+            RebalancePolicy::PowerOfTwoChoices => "power-of-two",
+        }
+    }
+}
+
+/// Rebalance trigger numerator: rewrite only when the busiest queue's load
+/// exceeds `NUM/DEN` of the mean per-queue load (25 % over fair share).
+pub const REBALANCE_TRIGGER_NUM: u64 = 5;
+/// Rebalance trigger denominator. See [`REBALANCE_TRIGGER_NUM`].
+pub const REBALANCE_TRIGGER_DEN: u64 = 4;
+
+/// Per-queue load implied by per-entry `loads` under `table`.
+pub fn queue_loads(loads: &[u64], table: &[u32], n_queues: usize) -> Vec<u64> {
+    assert_eq!(loads.len(), table.len(), "one load per table entry");
+    let mut out = vec![0u64; n_queues];
+    for (e, &load) in loads.iter().enumerate() {
+        out[table[e] as usize] += load;
+    }
+    out
+}
+
+/// Computes the next indirection table from one epoch's per-entry `loads`.
+///
+/// Returns `current` unchanged (the hysteresis no-op) when the busiest
+/// queue is within [`REBALANCE_TRIGGER_NUM`]`/`[`REBALANCE_TRIGGER_DEN`]
+/// of the mean per-queue load, when there was no load at all, or when
+/// there is only one queue. `epoch` seeds the power-of-two-choices RNG, so
+/// the whole schedule is deterministic given the traffic.
+pub fn rebalanced_table(
+    policy: RebalancePolicy,
+    loads: &[u64],
+    current: &[u32],
+    n_queues: usize,
+    epoch: u64,
+) -> Vec<u32> {
+    assert!(n_queues > 0, "need at least one queue");
+    assert_eq!(loads.len(), current.len(), "one load per table entry");
+    let total: u64 = loads.iter().sum();
+    let max_queue = queue_loads(loads, current, n_queues)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    // Trigger iff max > (NUM/DEN) * (total / n_queues), in integers.
+    let triggered =
+        max_queue * REBALANCE_TRIGGER_DEN * (n_queues as u64) > total * REBALANCE_TRIGGER_NUM;
+    if total == 0 || n_queues == 1 || !triggered {
+        return current.to_vec();
+    }
+
+    match policy {
+        RebalancePolicy::RoundRobin => (0..current.len()).map(|i| (i % n_queues) as u32).collect(),
+        RebalancePolicy::LeastLoaded => {
+            let mut order: Vec<usize> = (0..loads.len()).collect();
+            // Heaviest entries first; index ascending as the deterministic
+            // tie-break.
+            order.sort_by_key(|&e| (std::cmp::Reverse(loads[e]), e));
+            let mut assigned = vec![0u64; n_queues];
+            // Secondary balance criterion: entry count. Without it every
+            // zero-load entry would greedily land on the same queue (its
+            // assignment never changes the load), leaving a lopsided table
+            // for whatever traffic shows up on cold entries next epoch.
+            let mut entries = vec![0u32; n_queues];
+            let mut table = vec![0u32; current.len()];
+            for e in order {
+                let q = (0..n_queues)
+                    .min_by_key(|&q| (assigned[q], entries[q], q))
+                    .unwrap();
+                table[e] = q as u32;
+                assigned[q] += loads[e];
+                entries[q] += 1;
+            }
+            table
+        }
+        RebalancePolicy::PowerOfTwoChoices => {
+            let mut order: Vec<usize> = (0..loads.len()).collect();
+            order.sort_by_key(|&e| (std::cmp::Reverse(loads[e]), e));
+            let mut rng = StdRng::seed_from_u64(epoch ^ 0x9E37_79B9_7F4A_7C15);
+            let mut assigned = vec![0u64; n_queues];
+            let mut table = vec![0u32; current.len()];
+            for e in order {
+                let a: usize = rng.random_range(0..n_queues);
+                let b: usize = rng.random_range(0..n_queues);
+                let q = if (assigned[a], a) <= (assigned[b], b) {
+                    a
+                } else {
+                    b
+                };
+                table[e] = q as u32;
+                assigned[q] += loads[e];
+            }
+            table
+        }
+    }
+}
+
+/// Per-entry load accounting over one rebalance epoch.
+#[derive(Clone, Debug)]
+pub struct LoadTracker {
+    counts: Vec<u64>,
+    flows: Vec<BTreeSet<u128>>,
+}
+
+impl LoadTracker {
+    /// A tracker for a `table_size`-entry indirection table.
+    pub fn new(table_size: usize) -> Self {
+        LoadTracker {
+            counts: vec![0; table_size],
+            flows: vec![BTreeSet::new(); table_size],
+        }
+    }
+
+    /// Records one dispatched packet on `entry`; `flow` is the packet's
+    /// 5-tuple key (as `FlowKey::to_u128`) when it has one.
+    pub fn record(&mut self, entry: usize, flow: Option<u128>) {
+        self.counts[entry] += 1;
+        if let Some(f) = flow {
+            self.flows[entry].insert(f);
+        }
+    }
+
+    /// Per-entry packet counts this epoch.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total packets recorded this epoch.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Distinct flows observed on entries that change queues between `old`
+    /// and `new`, attributed to the *destination* queue — the core that
+    /// must pull each flow's state across when the rebalance lands.
+    pub fn moved_flows_per_queue(&self, old: &[u32], new: &[u32], n_queues: usize) -> Vec<usize> {
+        assert_eq!(old.len(), new.len());
+        assert_eq!(old.len(), self.flows.len());
+        let mut out = vec![0usize; n_queues];
+        for e in 0..old.len() {
+            if old[e] != new[e] {
+                out[new[e] as usize] += self.flows[e].len();
+            }
+        }
+        out
+    }
+
+    /// Total distinct flows moved by an `old` → `new` rewrite.
+    pub fn moved_flows(&self, old: &[u32], new: &[u32]) -> usize {
+        self.moved_flows_per_queue(old, new, 1 + *new.iter().max().unwrap_or(&0) as usize)
+            .iter()
+            .sum()
+    }
+
+    /// Clears the epoch's accounting (counts and flow sets).
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.flows.iter_mut().for_each(BTreeSet::clear);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_robin(table_size: usize, n_queues: usize) -> Vec<u32> {
+        (0..table_size).map(|i| (i % n_queues) as u32).collect()
+    }
+
+    #[test]
+    fn balanced_load_keeps_the_current_table() {
+        let current = round_robin(16, 4);
+        let loads = vec![10u64; 16];
+        for policy in [
+            RebalancePolicy::RoundRobin,
+            RebalancePolicy::LeastLoaded,
+            RebalancePolicy::PowerOfTwoChoices,
+        ] {
+            assert_eq!(
+                rebalanced_table(policy, &loads, &current, 4, 0),
+                current,
+                "{} must not churn a balanced table",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_load_and_single_queue_are_no_ops() {
+        let current = round_robin(8, 2);
+        assert_eq!(
+            rebalanced_table(RebalancePolicy::LeastLoaded, &[0; 8], &current, 2, 1),
+            current
+        );
+        let one = round_robin(8, 1);
+        assert_eq!(
+            rebalanced_table(RebalancePolicy::LeastLoaded, &[9; 8], &one, 1, 1),
+            one
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_a_skewed_epoch() {
+        // Queue-skew shape: all load on the entries currently mapping to
+        // queue 0, nothing anywhere else.
+        let current = round_robin(128, 4);
+        let loads: Vec<u64> = (0..128).map(|e| if e % 4 == 0 { 100 } else { 0 }).collect();
+        let new = rebalanced_table(RebalancePolicy::LeastLoaded, &loads, &current, 4, 3);
+        assert_ne!(new, current, "full skew must trigger a rewrite");
+        let per_queue = queue_loads(&loads, &new, 4);
+        let (min, max) = (
+            per_queue.iter().min().unwrap(),
+            per_queue.iter().max().unwrap(),
+        );
+        assert_eq!(per_queue.iter().sum::<u64>(), 3200);
+        assert!(
+            max - min <= 100,
+            "greedy LPT must spread the 32 hot entries evenly: {per_queue:?}"
+        );
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_per_epoch_and_spreads() {
+        let current = round_robin(128, 4);
+        let loads: Vec<u64> = (0..128).map(|e| if e % 4 == 0 { 50 } else { 0 }).collect();
+        let a = rebalanced_table(RebalancePolicy::PowerOfTwoChoices, &loads, &current, 4, 7);
+        let b = rebalanced_table(RebalancePolicy::PowerOfTwoChoices, &loads, &current, 4, 7);
+        assert_eq!(a, b, "same epoch seed, same table");
+        let c = rebalanced_table(RebalancePolicy::PowerOfTwoChoices, &loads, &current, 4, 8);
+        assert!(a.iter().all(|&q| q < 4));
+        let per_queue = queue_loads(&loads, &a, 4);
+        let max = *per_queue.iter().max().unwrap();
+        assert!(
+            max <= 2 * (1600 / 4),
+            "two choices must avoid piling everything on one queue: {per_queue:?}"
+        );
+        // Different epochs draw different candidates (almost surely).
+        assert_ne!(a, c, "epoch seeds the candidate draws");
+    }
+
+    #[test]
+    fn round_robin_policy_restores_the_boot_table() {
+        let mut current = round_robin(16, 4);
+        current[0] = 3; // a previous rewrite
+        let mut loads = vec![0u64; 16];
+        loads[0] = 1000; // all load on one entry: triggered
+        let new = rebalanced_table(RebalancePolicy::RoundRobin, &loads, &current, 4, 0);
+        assert_eq!(new, round_robin(16, 4));
+    }
+
+    #[test]
+    fn load_tracker_counts_and_attributes_moved_flows() {
+        let mut t = LoadTracker::new(8);
+        t.record(0, Some(1));
+        t.record(0, Some(1)); // replay: same flow, counted once as a flow
+        t.record(0, Some(2));
+        t.record(3, Some(9));
+        t.record(5, None); // non-flow packet: load without a flow
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.counts()[0], 3);
+        let old: Vec<u32> = vec![0; 8];
+        let mut new = old.clone();
+        new[0] = 2; // entry 0 (2 flows) moves to queue 2
+        assert_eq!(t.moved_flows(&old, &new), 2);
+        assert_eq!(t.moved_flows_per_queue(&old, &new, 4), vec![0, 0, 2, 0]);
+        t.reset();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.moved_flows(&old, &new), 0);
+    }
+}

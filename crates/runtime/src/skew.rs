@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use castan_packet::{FlowKey, Packet};
 
-use crate::dispatch::{steer_packet, RssDispatcher};
+use crate::dispatch::{steer_packet, RssConfig, RssDispatcher};
 
 /// The result of steering a packet sequence onto one RSS queue.
 #[derive(Clone, Debug)]
@@ -110,6 +110,71 @@ pub fn skew_packets(
         target_queue,
         already_on_queue: already,
         steered,
+        unsteerable,
+    }
+}
+
+/// The result of the *adaptive* epoch-aware steering pass.
+#[derive(Clone, Debug)]
+pub struct EpochSkewSynthesis {
+    /// The steered trace (same length and order as the input).
+    pub packets: Vec<Packet>,
+    /// The victim queue targeted in every epoch.
+    pub target_queue: usize,
+    /// Number of epochs the trace was split into.
+    pub epochs: usize,
+    /// Total packets steered (source endpoint rewritten) across all epochs.
+    pub steered: usize,
+    /// Total packets that already hashed to the victim queue under their
+    /// epoch's table.
+    pub already_on_queue: usize,
+    /// Total packets left untouched.
+    pub unsteerable: usize,
+}
+
+/// The adaptive attacker primitive: steers each epoch-long segment of
+/// `packets` onto `target_queue` against *that epoch's* indirection table,
+/// so the skew chases a rebalancing defender instead of attacking only the
+/// boot-time table.
+///
+/// `tables[e]` is the table the defender had active during epoch `e` (as
+/// observed in a previous attack–defense round); segments beyond the last
+/// known table are steered against it. Within an epoch the
+/// [`skew_packets`] invariants hold (flow distinctness and consistency);
+/// *across* epochs a replayed flow may be re-steered to a different source
+/// endpoint — exactly what a real adaptive sender does when the defender
+/// moves its entry, at the price of fresh per-flow NF state in the new
+/// epoch.
+pub fn skew_packets_per_epoch(
+    packets: &[Packet],
+    config: RssConfig,
+    tables: &[Vec<u32>],
+    epoch_packets: usize,
+    target_queue: usize,
+) -> EpochSkewSynthesis {
+    assert!(epoch_packets > 0, "epochs must contain packets");
+    assert!(!tables.is_empty(), "need at least the boot-time table");
+    let mut out = Vec::with_capacity(packets.len());
+    let mut steered = 0usize;
+    let mut already = 0usize;
+    let mut unsteerable = 0usize;
+    let mut epochs = 0usize;
+    for (e, segment) in packets.chunks(epoch_packets).enumerate() {
+        epochs += 1;
+        let table = tables[e.min(tables.len() - 1)].clone();
+        let dispatcher = RssDispatcher::with_table(config, table);
+        let s = skew_packets(segment, &dispatcher, target_queue);
+        steered += s.steered;
+        already += s.already_on_queue;
+        unsteerable += s.unsteerable;
+        out.extend(s.packets);
+    }
+    EpochSkewSynthesis {
+        packets: out,
+        target_queue,
+        epochs,
+        steered,
+        already_on_queue: already,
         unsteerable,
     }
 }
@@ -213,6 +278,33 @@ mod tests {
         let mut sizes: Vec<usize> = counts.values().copied().collect();
         sizes.sort_unstable();
         assert_eq!(sizes, (2..=11).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn epoch_steering_chases_per_epoch_tables() {
+        // Two epochs with different tables: each segment must land on the
+        // victim queue under its *own* epoch's table.
+        let config = RssDispatcher::for_queues(4).config().to_owned();
+        let boot = RssDispatcher::new(config).table().to_vec();
+        // Epoch 1's table: rotate every entry by one queue.
+        let rotated: Vec<u32> = boot.iter().map(|&q| (q + 1) % 4).collect();
+        let tables = vec![boot.clone(), rotated.clone()];
+        let packets = diverse_packets(100);
+        let s = skew_packets_per_epoch(&packets, config, &tables, 50, 2);
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.packets.len(), 100);
+        assert_eq!(s.unsteerable, 0);
+        let d0 = RssDispatcher::with_table(config, boot);
+        let d1 = RssDispatcher::with_table(config, rotated);
+        for (i, p) in s.packets.iter().enumerate() {
+            let d = if i < 50 { &d0 } else { &d1 };
+            assert_eq!(d.queue_of_packet(p), 2, "packet {i} missed its epoch table");
+        }
+        // Segments beyond the known tables reuse the last one.
+        let one_table = vec![d0.table().to_vec()];
+        let s2 = skew_packets_per_epoch(&packets, config, &one_table, 30, 1);
+        assert_eq!(s2.epochs, 4);
+        assert!(s2.packets.iter().all(|p| d0.queue_of_packet(p) == 1));
     }
 
     #[test]

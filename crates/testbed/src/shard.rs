@@ -31,11 +31,24 @@
 //! saturates one core while the rest idle, collapsing the aggregate to
 //! roughly the single-core rate. That collapse is the adversarial target
 //! of `castan-core`'s queue-skew synthesis.
+//!
+//! **Mitigation.** With a [`MitigationConfig`] the DUT fights back: every
+//! `epoch_packets` input packets it drains the in-flight batches, feeds
+//! the epoch's per-entry loads to a `castan-runtime::rebalance` policy,
+//! and installs the rewritten indirection table (recording the schedule in
+//! [`ShardedMeasurement::table_history`]). The optional migration cost
+//! model charges every moved flow's state pull through the shared L3 to
+//! the destination core, and the optional work-stealing sink lets idle
+//! cores execute batches from a core that has fallen far behind —
+//! trading flow→core affinity for throughput. The `rss-mitigation`
+//! experiment in `castan-experiments` evaluates all of it against static
+//! and adaptive queue-skew attackers.
 
 use castan_chain::{NfChain, StageHandoff};
 use castan_ir::{DataMemory, Interpreter, RunLimits};
 use castan_mem::{HierarchyConfig, HierarchyStats, MultiCoreHierarchy};
-use castan_runtime::{Batcher, RssConfig, RssDispatcher};
+use castan_runtime::{rebalanced_table, Batcher, LoadTracker, RebalancePolicy};
+use castan_runtime::{RssConfig, RssDispatcher};
 use castan_workload::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +57,7 @@ use castan_packet::Packet;
 
 use crate::cpu::{MultiCoreCpu, PacketCounters};
 use crate::dut::{Measurement, MeasurementConfig};
+use crate::stats::Cdf;
 use crate::{
     BATCH_DISPATCH_CYCLES, FORWARDING_OVERHEAD_INSTRUCTIONS, FORWARDING_OVERHEAD_MISSES,
     PACKET_FORWARD_CYCLES, WIRE_LATENCY_NS,
@@ -57,6 +71,75 @@ pub const CORE_ADDR_STRIDE: u64 = 1 << 39;
 
 const _: () = assert!(CORE_ADDR_STRIDE >= 8 * castan_chain::STAGE_ADDR_STRIDE);
 
+/// Cache lines of per-flow NF state (NAT translation entry, LB assignment,
+/// connection bookkeeping) pulled across when a rebalance moves a flow's
+/// indirection entry to another core. Each line is priced at the shared-L3
+/// hit latency: the state was resident on the old core, so the new core
+/// fetches it through the inclusive L3 rather than from DRAM.
+pub const MIGRATION_LINES_PER_FLOW: u64 = 8;
+
+/// Fixed cycles a thief core pays per stolen batch: the cross-core ring
+/// doorbell plus pulling the victim queue's descriptors and packet headers
+/// through the shared L3.
+pub const STEAL_BATCH_CYCLES: u64 = 1_200;
+
+/// A batch is stolen only when its home core's accumulated busy time
+/// exceeds the idlest core's by this many cycles — enough to never trigger
+/// under balanced traffic, and a small fraction of a skewed core's backlog.
+pub const STEAL_THRESHOLD_CYCLES: u64 = 50_000;
+
+/// Queue-skew mitigation run by the sharded DUT: epoch-based indirection
+/// table rebalancing, optionally with an explicit flow-migration cost
+/// model and a work-stealing sink.
+#[derive(Clone, Copy, Debug)]
+pub struct MitigationConfig {
+    /// Epoch length in input packets. At every epoch boundary the in-flight
+    /// batches are drained, the rebalance policy sees the epoch's per-entry
+    /// loads, and a new indirection table (if any) takes effect.
+    pub epoch_packets: usize,
+    /// The table rewrite policy.
+    pub policy: RebalancePolicy,
+    /// Charge the flow-state move of every rebalanced flow: each flow whose
+    /// entry changes queues costs the *destination* core
+    /// [`MIGRATION_LINES_PER_FLOW`] shared-L3 hits of busy time.
+    pub migration_cost: bool,
+    /// Enable the work-stealing sink: a full batch whose home core is more
+    /// than [`STEAL_THRESHOLD_CYCLES`] busier than the idlest core executes
+    /// on that idlest core instead (paying [`STEAL_BATCH_CYCLES`]). This
+    /// breaks flow→core affinity — the price real work-stealing runtimes
+    /// pay — so it is off unless explicitly requested.
+    pub work_stealing: bool,
+}
+
+impl MitigationConfig {
+    /// Plain epoch rebalancing: no migration cost, no work stealing.
+    pub fn rebalance(epoch_packets: usize, policy: RebalancePolicy) -> Self {
+        assert!(epoch_packets > 0, "epochs must contain packets");
+        MitigationConfig {
+            epoch_packets,
+            policy,
+            migration_cost: false,
+            work_stealing: false,
+        }
+    }
+
+    /// Adds the flow-migration cost model.
+    pub fn with_migration_cost(self) -> Self {
+        MitigationConfig {
+            migration_cost: true,
+            ..self
+        }
+    }
+
+    /// Adds the work-stealing sink.
+    pub fn with_work_stealing(self) -> Self {
+        MitigationConfig {
+            work_stealing: true,
+            ..self
+        }
+    }
+}
+
 /// Sharded-runtime configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
@@ -66,15 +149,20 @@ pub struct ShardConfig {
     pub batch_size: usize,
     /// The NIC's RSS setup (key + indirection table).
     pub rss: RssConfig,
+    /// Optional queue-skew mitigation; `None` reproduces the plain sharded
+    /// runtime byte for byte.
+    pub mitigation: Option<MitigationConfig>,
 }
 
 impl ShardConfig {
-    /// The default runtime for `n_cores` cores: DPDK-style bursts of 32.
+    /// The default runtime for `n_cores` cores: DPDK-style bursts of 32,
+    /// no mitigation.
     pub fn new(n_cores: usize) -> Self {
         ShardConfig {
             n_cores,
             batch_size: 32,
             rss: RssConfig::for_queues(n_cores),
+            mitigation: None,
         }
     }
 
@@ -85,6 +173,14 @@ impl ShardConfig {
         ShardConfig {
             batch_size: 1,
             ..Self::new(n_cores)
+        }
+    }
+
+    /// The same runtime with a mitigation enabled.
+    pub fn with_mitigation(self, mitigation: MitigationConfig) -> Self {
+        ShardConfig {
+            mitigation: Some(mitigation),
+            ..self
         }
     }
 }
@@ -101,6 +197,22 @@ pub struct CoreMeasurement {
     pub service_ns: Vec<f64>,
     /// Packets dropped mid-chain on this core during the measured window.
     pub dropped: usize,
+    /// Packets dispatched to this core's queue over the whole run
+    /// (including warm-up), counted at dispatch time — with work stealing
+    /// a batch may *execute* elsewhere, so this can differ from
+    /// [`CoreMeasurement::packets`] even ignoring warm-up.
+    pub dispatched: usize,
+    /// Cycles this core spent pulling migrated flow state through the
+    /// shared L3 after rebalances (whole run; zero without the migration
+    /// cost model).
+    pub migration_cycles: u64,
+    /// Distinct flows whose state this core pulled across at rebalances.
+    pub migrated_flows: usize,
+    /// Cycles this core spent on stolen-batch overhead (whole run; zero
+    /// without work stealing).
+    pub steal_cycles: u64,
+    /// Batches this core stole from busier cores.
+    pub stolen_batches: usize,
     /// This core's view of the shared memory hierarchy (whole run,
     /// including warm-up).
     pub mem: HierarchyStats,
@@ -112,11 +224,13 @@ impl CoreMeasurement {
         self.end_to_end.len()
     }
 
-    /// Total cycles this core spent serving measured packets (its busy
-    /// time; cores run concurrently, so the busiest core bounds aggregate
-    /// throughput).
+    /// Total cycles this core spent serving measured packets plus its
+    /// mitigation overheads (flow migration, steal bookkeeping). Cores run
+    /// concurrently, so the busiest core bounds aggregate throughput.
     pub fn busy_cycles(&self) -> u64 {
-        self.end_to_end.iter().map(|c| c.cycles).sum()
+        self.end_to_end.iter().map(|c| c.cycles).sum::<u64>()
+            + self.migration_cycles
+            + self.steal_cycles
     }
 }
 
@@ -130,6 +244,12 @@ pub struct ShardedMeasurement {
     pub batch_size: usize,
     /// Clock frequency (Hz) of the simulated cores.
     pub clock_hz: u64,
+    /// The indirection table active during each rebalance epoch
+    /// (`table_history[e]` served epoch `e`; entry 0 is always the
+    /// boot-time round-robin table). A single entry when no mitigation is
+    /// configured. This is exactly what an adaptive attacker learns from a
+    /// probe round and re-steers against.
+    pub table_history: Vec<Vec<u32>>,
 }
 
 impl ShardedMeasurement {
@@ -206,6 +326,26 @@ impl ShardedMeasurement {
         let clock_ghz = self.clock_hz as f64 / 1e9;
         let busy_ns = busy_cycles as f64 / clock_ghz;
         self.measured_packets() as f64 / busy_ns * 1e3
+    }
+
+    /// Total flows whose state was migrated by rebalances.
+    pub fn migrated_flows(&self) -> usize {
+        self.per_core.iter().map(|c| c.migrated_flows).sum()
+    }
+
+    /// Total batches executed away from their home queue by work stealing.
+    pub fn stolen_batches(&self) -> usize {
+        self.per_core.iter().map(|c| c.stolen_batches).sum()
+    }
+
+    /// One end-to-end latency CDF per core (empty CDFs — all-NaN
+    /// quantiles — for cores that served no measured packets, e.g. the
+    /// idle cores under full queue skew).
+    pub fn per_core_latency_cdfs(&self) -> Vec<Cdf> {
+        self.per_core
+            .iter()
+            .map(|c| Cdf::new(c.latency_ns.clone()))
+            .collect()
     }
 
     /// A merged single-stream [`Measurement`] view (per-core samples
@@ -297,8 +437,21 @@ impl ShardedDut {
 
     /// Replays a workload through the dispatcher and all cores, measuring
     /// per-core and aggregate behaviour. Each call starts from freshly
-    /// initialised chain instances and cold caches; state then persists
-    /// across the run, exactly like the unbatched DUTs.
+    /// initialised chain instances, cold caches and the boot-time
+    /// round-robin indirection table; state then persists across the run,
+    /// exactly like the unbatched DUTs.
+    ///
+    /// With a [`MitigationConfig`], every `epoch_packets` input packets the
+    /// DUT drains the in-flight batches, hands the epoch's per-entry loads
+    /// to the rebalance policy, and installs the rewritten table; the table
+    /// active in each epoch is recorded in
+    /// [`ShardedMeasurement::table_history`]. When the migration cost model
+    /// is on, each flow whose entry changed queues charges the destination
+    /// core [`MIGRATION_LINES_PER_FLOW`] shared-L3 hits of busy time. With
+    /// work stealing, a full batch whose home core has fallen
+    /// [`STEAL_THRESHOLD_CYCLES`] behind the idlest core executes there
+    /// instead (on that core's chain instance — affinity is broken, which
+    /// is the point), paying [`STEAL_BATCH_CYCLES`].
     pub fn run(&mut self, workload: &Workload, cfg: &MeasurementConfig) -> ShardedMeasurement {
         assert!(!workload.is_empty(), "cannot replay an empty workload");
         let n_cores = self.shard.n_cores;
@@ -312,6 +465,9 @@ impl ShardedDut {
         }
         self.cpu.flush_caches();
         self.cpu.reset_stats();
+        // A previous mitigated run may have rewritten the table; every run
+        // starts from the boot-time round-robin fill.
+        self.dispatcher = RssDispatcher::new(self.shard.rss);
 
         // One measurement-noise RNG per core; core 0 uses the seed of the
         // single-core DUTs so the 1-core sharded run is bit-identical.
@@ -323,29 +479,92 @@ impl ShardedDut {
         let clock_ghz = self.cpu.clock_hz() as f64 / 1e9;
         let mut out: Vec<CoreMeasurement> =
             (0..n_cores).map(|_| CoreMeasurement::default()).collect();
+        // Whole-run busy time per core (warm-up included): the work-stealing
+        // trigger compares these, and mitigation overheads accrue here too.
+        let mut busy = vec![0u64; n_cores];
+        let mut table_history = vec![self.dispatcher.table().to_vec()];
+        let mitigation = self.shard.mitigation;
+        let mut tracker = mitigation.map(|_| LoadTracker::new(self.shard.rss.table_size));
+        let mut epoch = 0u64;
 
         let mut batcher: Batcher<(usize, Packet)> = Batcher::new(n_cores, self.shard.batch_size);
         for i in 0..cfg.total_packets {
+            if let (Some(m), Some(t)) = (mitigation, tracker.as_mut()) {
+                if i > 0 && i % m.epoch_packets == 0 {
+                    // Epoch boundary: drain in-flight batches first, so no
+                    // packet dispatched under the old table executes after
+                    // the rewrite.
+                    for (queue, batch) in batcher.flush() {
+                        busy[queue] += exec_batch(
+                            &self.chain,
+                            &mut self.cpu,
+                            &mut self.cores[queue],
+                            self.limits,
+                            queue,
+                            &batch,
+                            cfg,
+                            &mut rngs[queue],
+                            &mut out[queue],
+                            clock_ghz,
+                        );
+                    }
+                    epoch += 1;
+                    let old = self.dispatcher.table().to_vec();
+                    let new = rebalanced_table(m.policy, t.counts(), &old, n_cores, epoch);
+                    if new != old {
+                        if m.migration_cost {
+                            let l3_hit = self.cpu.hierarchy().config().latencies.l3;
+                            let moved = t.moved_flows_per_queue(&old, &new, n_cores);
+                            for (q, &flows) in moved.iter().enumerate() {
+                                let cycles = flows as u64 * MIGRATION_LINES_PER_FLOW * l3_hit;
+                                out[q].migration_cycles += cycles;
+                                out[q].migrated_flows += flows;
+                                busy[q] += cycles;
+                            }
+                        }
+                        self.dispatcher.set_table(new);
+                    }
+                    table_history.push(self.dispatcher.table().to_vec());
+                    t.reset();
+                }
+            }
+
             let pkt = workload.packets[i % workload.packets.len()];
             let queue = self.dispatcher.queue_of_packet(&pkt);
+            if let Some(t) = tracker.as_mut() {
+                if let Some(entry) = self.dispatcher.entry_of_packet(&pkt) {
+                    t.record(entry, pkt.flow().map(|f| f.to_u128()));
+                }
+            }
+            out[queue].dispatched += 1;
             if let Some(batch) = batcher.push(queue, (i, pkt)) {
-                exec_batch(
+                let mut core = queue;
+                if mitigation.is_some_and(|m| m.work_stealing) {
+                    let idlest = (0..n_cores).min_by_key(|&c| (busy[c], c)).unwrap_or(queue);
+                    if idlest != queue && busy[queue] >= busy[idlest] + STEAL_THRESHOLD_CYCLES {
+                        core = idlest;
+                        out[core].stolen_batches += 1;
+                        out[core].steal_cycles += STEAL_BATCH_CYCLES;
+                        busy[core] += STEAL_BATCH_CYCLES;
+                    }
+                }
+                busy[core] += exec_batch(
                     &self.chain,
                     &mut self.cpu,
-                    &mut self.cores[queue],
+                    &mut self.cores[core],
                     self.limits,
-                    queue,
+                    core,
                     &batch,
                     cfg,
-                    &mut rngs[queue],
-                    &mut out[queue],
+                    &mut rngs[core],
+                    &mut out[core],
                     clock_ghz,
                 );
             }
         }
         // End of trace: drain the partial batches in core order.
         for (queue, batch) in batcher.flush() {
-            exec_batch(
+            busy[queue] += exec_batch(
                 &self.chain,
                 &mut self.cpu,
                 &mut self.cores[queue],
@@ -366,13 +585,16 @@ impl ShardedDut {
             per_core: out,
             batch_size: self.shard.batch_size,
             clock_hz: self.cpu.clock_hz(),
+            table_history,
         }
     }
 }
 
 /// Executes one batch on one core: every stage of the core's chain
 /// instance per packet, the per-packet forwarding overhead, and the batch's
-/// dispatch overhead distributed exactly over its packets.
+/// dispatch overhead distributed exactly over its packets. Returns the
+/// batch's total cycles (warm-up packets included) — the core's busy-time
+/// contribution the work-stealing trigger compares.
 #[allow(clippy::too_many_arguments)]
 fn exec_batch(
     chain: &NfChain,
@@ -385,12 +607,13 @@ fn exec_batch(
     rng: &mut StdRng,
     out: &mut CoreMeasurement,
     clock_ghz: f64,
-) {
+) -> u64 {
     let n = batch.len() as u64;
     let dispatch_share = BATCH_DISPATCH_CYCLES / n;
     let dispatch_rem = BATCH_DISPATCH_CYCLES % n;
     let core_base = core as u64 * CORE_ADDR_STRIDE;
     let n_stages = chain.len();
+    let mut batch_cycles = 0u64;
 
     for (k, (i, pkt)) in batch.iter().enumerate() {
         let mut pkt = *pkt;
@@ -429,6 +652,7 @@ fn exec_batch(
             PACKET_FORWARD_CYCLES + dispatch_share + u64::from((k as u64) < dispatch_rem);
         total.instructions += FORWARDING_OVERHEAD_INSTRUCTIONS;
         total.l3_misses += FORWARDING_OVERHEAD_MISSES;
+        batch_cycles += total.cycles;
 
         if *i < cfg.warmup_packets {
             continue;
@@ -448,6 +672,7 @@ fn exec_batch(
         out.service_ns.push(service);
         out.end_to_end.push(total);
     }
+    batch_cycles
 }
 
 /// Convenience: measure one chain under one workload with a fresh sharded
@@ -575,6 +800,162 @@ mod tests {
         let nine =
             castan_chain::NfChain::new("nop9", (0..9).map(|_| nf_by_id(NfId::Nop)).collect());
         let _ = ShardedDut::new(nine, ShardConfig::new(2), &quick());
+    }
+
+    #[test]
+    fn rebalancing_spreads_a_static_skew_after_one_epoch() {
+        use castan_runtime::{skew_packets, RebalancePolicy, RssDispatcher};
+
+        let chain = chain_by_id(ChainId::Nop3);
+        let cfg = MeasurementConfig {
+            total_packets: 480,
+            warmup_packets: 48,
+            ..quick()
+        };
+        let shard = ShardConfig::new(4);
+        let base = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.0005),
+        );
+        let skew = skew_packets(&base.packets, &RssDispatcher::new(shard.rss), 0);
+        let wl = castan_workload::Workload {
+            kind: WorkloadKind::RssSkew,
+            packets: skew.packets,
+        };
+
+        // No mitigation: everything lands (and stays) on core 0.
+        let none = measure_sharded(&chain, shard, &wl, &cfg);
+        assert_eq!(none.table_history.len(), 1, "no rebalance, boot table only");
+        assert!(none.bottleneck_share() > 0.99);
+
+        // Least-loaded rebalancing every 60 packets: from epoch 1 on, the
+        // hot entries are spread over all four cores.
+        let mitigated = shard.with_mitigation(MitigationConfig::rebalance(
+            60,
+            RebalancePolicy::LeastLoaded,
+        ));
+        let m = measure_sharded(&chain, mitigated, &wl, &cfg);
+        assert_eq!(m.table_history.len(), 8, "one table per 60-packet epoch");
+        assert_ne!(m.table_history[1], m.table_history[0], "epoch 1 rebalanced");
+        assert!(
+            m.bottleneck_share() < 0.5,
+            "rebalancing must spread the skew: share {}",
+            m.bottleneck_share()
+        );
+        assert!(
+            m.aggregate_mpps() > 2.0 * none.aggregate_mpps(),
+            "rebalanced skew {:.2} Mpps must beat unmitigated {:.2} Mpps",
+            m.aggregate_mpps(),
+            none.aggregate_mpps()
+        );
+        // Same run with the migration cost model: flows moved, the
+        // destination cores paid for them, throughput dips but survives.
+        let paid = measure_sharded(
+            &chain,
+            shard.with_mitigation(
+                MitigationConfig::rebalance(60, RebalancePolicy::LeastLoaded).with_migration_cost(),
+            ),
+            &wl,
+            &cfg,
+        );
+        assert!(paid.migrated_flows() > 0, "the rebalance moved flow state");
+        assert_eq!(
+            paid.table_history, m.table_history,
+            "the cost model must not change the rebalance schedule"
+        );
+        assert!(paid.aggregate_mpps() <= m.aggregate_mpps());
+        assert!(paid.aggregate_mpps() > 2.0 * none.aggregate_mpps());
+    }
+
+    #[test]
+    fn one_core_mitigation_is_a_no_op() {
+        use castan_runtime::RebalancePolicy;
+
+        // With a single queue every policy is a no-op (nothing to move to),
+        // so a mitigated 1-core run is byte-identical to the plain one.
+        // Unbatched: the epoch boundary drains in-flight batches, which
+        // with larger bursts re-shapes the dispatch-cost amortisation —
+        // that drain is deliberate mitigation behaviour, not a bug.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.002),
+        );
+        let cfg = MeasurementConfig {
+            total_packets: 400,
+            warmup_packets: 40,
+            ..quick()
+        };
+        let plain = measure_sharded(&chain, ShardConfig::unbatched(1), &wl, &cfg);
+        let mitigated = measure_sharded(
+            &chain,
+            ShardConfig::unbatched(1).with_mitigation(
+                MitigationConfig::rebalance(50, RebalancePolicy::LeastLoaded)
+                    .with_migration_cost()
+                    .with_work_stealing(),
+            ),
+            &wl,
+            &cfg,
+        );
+        assert_eq!(
+            plain.per_core[0].end_to_end,
+            mitigated.per_core[0].end_to_end
+        );
+        assert_eq!(
+            plain.per_core[0].latency_ns,
+            mitigated.per_core[0].latency_ns
+        );
+        assert_eq!(mitigated.migrated_flows(), 0);
+        assert_eq!(mitigated.stolen_batches(), 0);
+        assert!(mitigated
+            .table_history
+            .iter()
+            .all(|t| t.iter().all(|&q| q == 0)));
+    }
+
+    #[test]
+    fn work_stealing_moves_batches_off_a_skewed_core() {
+        use castan_runtime::{skew_packets, RebalancePolicy, RssDispatcher};
+
+        let chain = chain_by_id(ChainId::Nop3);
+        let cfg = MeasurementConfig {
+            total_packets: 480,
+            warmup_packets: 48,
+            ..quick()
+        };
+        let shard = ShardConfig::new(4);
+        let base = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.0005),
+        );
+        let skew = skew_packets(&base.packets, &RssDispatcher::new(shard.rss), 0);
+        let wl = castan_workload::Workload {
+            kind: WorkloadKind::RssSkew,
+            packets: skew.packets,
+        };
+        // Round-robin "rebalancing" never changes the table, so only the
+        // work-stealing sink can spread this skew.
+        let m = measure_sharded(
+            &chain,
+            shard.with_mitigation(
+                MitigationConfig::rebalance(1_000_000, RebalancePolicy::RoundRobin)
+                    .with_work_stealing(),
+            ),
+            &wl,
+            &cfg,
+        );
+        assert!(m.stolen_batches() > 0, "idle cores must steal batches");
+        assert!(
+            m.bottleneck_share() < 0.9,
+            "stealing must offload the victim core: share {}",
+            m.bottleneck_share()
+        );
+        // Every dispatched packet still went to queue 0 — stealing happens
+        // after dispatch.
+        assert_eq!(m.per_core[0].dispatched, cfg.total_packets);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use castan_chain::NfChain;
 use castan_nf::{layout, routes, NfId, NfKind, NfSpec};
 use castan_packet::dist::{FlowPool, UniformSampler, ZipfSampler, PAPER_ZIPF_EXPONENT};
 use castan_packet::{FlowKey, Ipv4Addr, Packet, PacketBuilder};
-use castan_runtime::{skew_packets, RssDispatcher};
+use castan_runtime::{skew_packets, skew_packets_per_epoch, RssConfig, RssDispatcher};
 
 /// The workload kinds of §5.1.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -47,6 +47,11 @@ pub enum WorkloadKind {
     /// A workload steered onto a single RSS queue (queue-skew attack on
     /// the multi-core runtime).
     RssSkew,
+    /// A queue-skew workload whose steering *chases a rebalancing
+    /// defender*: each rebalance epoch of the trace is re-steered against
+    /// the indirection table the defender had active in that epoch (as
+    /// learned from a previous attack–defense round).
+    AdaptiveSkew,
 }
 
 impl WorkloadKind {
@@ -60,6 +65,7 @@ impl WorkloadKind {
             WorkloadKind::Manual => "Manual",
             WorkloadKind::Castan => "CASTAN",
             WorkloadKind::RssSkew => "RSS-Skew",
+            WorkloadKind::AdaptiveSkew => "Adaptive-Skew",
         }
     }
 
@@ -235,7 +241,8 @@ impl TrafficProfile {
             WorkloadKind::UniRandCastan
             | WorkloadKind::Manual
             | WorkloadKind::Castan
-            | WorkloadKind::RssSkew => {
+            | WorkloadKind::RssSkew
+            | WorkloadKind::AdaptiveSkew => {
                 panic!("{kind} is not a generic workload; use the dedicated constructor")
             }
         };
@@ -329,6 +336,42 @@ pub fn rss_skew_castan(
     Workload {
         kind: WorkloadKind::RssSkew,
         packets: skew.packets,
+    }
+}
+
+/// The *adaptive* queue-skew attacker: expands a base workload to the full
+/// replay length and re-steers each rebalance epoch against the
+/// indirection table the defender had active in that epoch.
+///
+/// `tables` is the defender's table schedule as observed in a previous
+/// attack–defense round (`castan_testbed`'s `ShardedMeasurement::
+/// table_history`); epochs beyond the last known table are steered against
+/// it. With `tables` holding only the boot-time table this degenerates to
+/// the static [`skewed_chain_workload`] attack; fed a fresh schedule each
+/// round, the skew chases the rebalancer — and because epoch `e`'s table
+/// is fully determined by the (deterministic) defender's view of epochs
+/// `< e`, the chase converges after as many rounds as there are epochs.
+///
+/// The trace is expanded to `total_packets` *before* steering because the
+/// epoch grid is defined over replay positions, not workload positions:
+/// the same base packet replayed in two epochs may need two different
+/// source endpoints.
+pub fn adaptive_skew_trace(
+    base: &Workload,
+    tables: &[Vec<u32>],
+    epoch_packets: usize,
+    rss: RssConfig,
+    target_queue: usize,
+    total_packets: usize,
+) -> Workload {
+    assert!(!base.is_empty(), "cannot steer an empty workload");
+    let full: Vec<Packet> = (0..total_packets)
+        .map(|i| base.packets[i % base.packets.len()])
+        .collect();
+    let synthesis = skew_packets_per_epoch(&full, rss, tables, epoch_packets, target_queue);
+    Workload {
+        kind: WorkloadKind::AdaptiveSkew,
+        packets: synthesis.packets,
     }
 }
 
@@ -473,6 +516,36 @@ mod tests {
         assert!(w.distinct_flows() <= 25);
         assert_eq!(w.kind, WorkloadKind::RssSkew);
         assert!(w.packets.iter().all(|p| d.queue_of_packet(p) == 2));
+    }
+
+    #[test]
+    fn adaptive_skew_trace_chases_the_table_schedule() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let rss = castan_runtime::RssConfig::for_queues(4);
+        let boot = RssDispatcher::new(rss).table().to_vec();
+        let rotated: Vec<u32> = boot.iter().map(|&q| (q + 2) % 4).collect();
+        let base = generic_chain_workload(&chain, WorkloadKind::UniRand, &small_cfg());
+        let wl = adaptive_skew_trace(&base, &[boot.clone(), rotated.clone()], 100, rss, 1, 250);
+        assert_eq!(wl.kind, WorkloadKind::AdaptiveSkew);
+        assert_eq!(wl.len(), 250, "expanded to the replay length");
+        let d0 = RssDispatcher::with_table(rss, boot);
+        let d1 = RssDispatcher::with_table(rss, rotated);
+        for (i, p) in wl.packets.iter().enumerate() {
+            // Epoch 0 steered against the boot table, epochs 1+ against the
+            // last known (rotated) table.
+            let d = if i < 100 { &d0 } else { &d1 };
+            assert_eq!(d.queue_of_packet(p), 1, "packet {i}");
+        }
+        // Deterministic.
+        let again = adaptive_skew_trace(
+            &base,
+            &[d0.table().to_vec(), d1.table().to_vec()],
+            100,
+            rss,
+            1,
+            250,
+        );
+        assert_eq!(wl.packets, again.packets);
     }
 
     #[test]

@@ -280,6 +280,145 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `steer_flow` never offers the same candidate twice. A reject-all
+    /// filter forces the full enumeration (then one accept-anything pass
+    /// confirms the search still succeeds): under a single queue every
+    /// candidate reaches the `distinct` filter, so the flat scan must
+    /// cover all 65535 non-zero source ports exactly once — the historical
+    /// bug clamped a wrapped port 0 onto port 1, re-offering a duplicate
+    /// while silently skipping a real port.
+    #[test]
+    fn steer_flow_offers_no_duplicate_candidates(
+        src in any::<u32>(),
+        // Port 0 is excluded: the *scan* never generates it, but the
+        // original flow is always offered as-is first (real traffic with a
+        // zero source port still deserves steering), so starting from 0
+        // would legitimately offer one zero-port candidate.
+        sport in 1u16..=u16::MAX,
+        n_queues in 1usize..=4,
+    ) {
+        use castan_suite::runtime::RssDispatcher;
+
+        let flow = FlowKey::udp(
+            Ipv4Addr(src), sport, Ipv4Addr::new(93, 184, 216, 34), 443,
+        );
+        let dispatcher = RssDispatcher::for_queues(n_queues);
+        let mut offered: Vec<(u32, u16)> = Vec::new();
+        let exhausted = dispatcher.steer_flow(&flow, 0, |c| {
+            offered.push((c.src_ip.0, c.src_port));
+            false
+        });
+        prop_assert!(exhausted.is_none());
+        prop_assert!(offered.iter().all(|&(_, p)| p != 0));
+        let mut dedup = offered.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(
+            dedup.len(),
+            offered.len(),
+            "a candidate was offered twice (n_queues {})",
+            n_queues
+        );
+        if n_queues == 1 {
+            // Every candidate hits the target, so the flat portion of the
+            // enumeration is exactly the non-zero port space.
+            let flat: Vec<u16> = offered
+                .iter()
+                .filter(|&&(ip, _)| ip == flow.src_ip.0)
+                .map(|&(_, p)| p)
+                .collect();
+            let mut sorted = flat.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (1..=u16::MAX).collect::<Vec<u16>>());
+        }
+        // And with an accept-all filter the search succeeds immediately.
+        prop_assert!(dispatcher.steer_flow(&flow, 0, |_| true).is_some());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Epoch rebalancing preserves flow→core consistency *within* an
+    /// epoch: reconstructing the dispatch from the recorded table history
+    /// matches the DUT's per-core dispatch counts exactly, and no flow's
+    /// packets split across cores inside one epoch (batches are drained at
+    /// the boundary before the table swap).
+    #[test]
+    fn rebalancing_preserves_flow_to_core_consistency_within_an_epoch(seed in any::<u64>()) {
+        use std::collections::BTreeMap;
+        use castan_suite::chain::{chain_by_id, ChainId};
+        use castan_suite::runtime::{RebalancePolicy, RssDispatcher};
+        use castan_suite::testbed::{
+            measure_sharded, MeasurementConfig, MitigationConfig, ShardConfig,
+        };
+        use castan_suite::workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+        const EPOCH: usize = 60;
+        let chain = chain_by_id(ChainId::Nop3);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig { scale: 0.0005, seed },
+        );
+        let cfg = MeasurementConfig {
+            total_packets: 480,
+            warmup_packets: 48,
+            seed,
+            ..MeasurementConfig::quick()
+        };
+        let shard = ShardConfig::new(4).with_mitigation(MitigationConfig::rebalance(
+            EPOCH,
+            RebalancePolicy::LeastLoaded,
+        ));
+        let m = measure_sharded(&chain, shard, &wl, &cfg);
+        prop_assert_eq!(m.table_history.len(), cfg.total_packets.div_ceil(EPOCH));
+
+        // Reconstruct the dispatch: entry_of_flow is table-independent, the
+        // epoch's recorded table maps it to a queue.
+        let reference = RssDispatcher::new(shard.rss);
+        let mut dispatched = [0usize; 4];
+        // (epoch, flow) → the set of queues its packets were sent to.
+        let mut queues_per_flow: BTreeMap<(usize, u128), Vec<usize>> = BTreeMap::new();
+        for i in 0..cfg.total_packets {
+            let pkt = &wl.packets[i % wl.packets.len()];
+            let epoch = i / EPOCH;
+            let queue = match pkt.flow() {
+                None => 0,
+                Some(flow) => {
+                    let entry = reference.entry_of_flow(&flow);
+                    let q = m.table_history[epoch][entry] as usize;
+                    queues_per_flow
+                        .entry((epoch, flow.to_u128()))
+                        .or_default()
+                        .push(q);
+                    q
+                }
+            };
+            dispatched[queue] += 1;
+        }
+        for (c, &expected) in dispatched.iter().enumerate() {
+            prop_assert_eq!(
+                m.per_core[c].dispatched,
+                expected,
+                "core {}'s dispatch count must match the table-history \
+                 reconstruction",
+                c
+            );
+        }
+        for ((epoch, flow), queues) in queues_per_flow {
+            let first = queues[0];
+            prop_assert!(
+                queues.iter().all(|&q| q == first),
+                "flow {flow:#x} split across cores in epoch {epoch}"
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The chaining hash-table NF state machine (LB over the hash table)
