@@ -1,0 +1,79 @@
+//! Cross-core contention discovery and eviction planning: the §3.2 probe
+//! loop run from a neighbour core of the multi-core hierarchy, the
+//! ground-truth bucket oracle, and the chain-aware eviction-plan
+//! construction that drives the `xcore-contention` experiment. Discovery
+//! cost bounds how long a real attacker needs on a co-located core;
+//! planning cost is the per-deployment setup of the noisy-neighbour and
+//! packet-only attacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_chain::{chain_by_id, core_stage_base, ChainId};
+use castan_mem::contention::DiscoveryConfig;
+use castan_mem::{HierarchyConfig, MultiCoreHierarchy};
+use castan_xcore::{
+    build_eviction_plan, discover_catalog_from, ground_truth_catalog_on, random_neighbor_lines,
+    HotLineMap, XCoreConfig,
+};
+
+/// Candidate lines spanning two cores' address windows, one per page so
+/// the set-index bits agree and the hidden slice is the only unknown.
+fn two_window_candidates(cfg: &HierarchyConfig, per_window: u64) -> Vec<u64> {
+    let page = 1u64 << cfg.page_bits;
+    let mut out: Vec<u64> = (0..per_window).map(|i| 0x10_0000 + i * page).collect();
+    out.extend((0..per_window).map(|i| 0x4000_0000 + i * page));
+    out
+}
+
+fn bench_cross_core_discovery(c: &mut Criterion) {
+    let cfg = HierarchyConfig::tiny_for_tests();
+    let candidates = two_window_candidates(&cfg, 20);
+    let mut group = c.benchmark_group("xcore_discovery");
+    for prober in [0usize, 1] {
+        group.bench_function(BenchmarkId::from_parameter(format!("core{prober}")), |b| {
+            b.iter(|| {
+                let mut h = MultiCoreHierarchy::new(cfg, 11, 2);
+                black_box(
+                    discover_catalog_from(&mut h, prober, &candidates, &DiscoveryConfig::default())
+                        .len(),
+                )
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("oracle"), |b| {
+        b.iter(|| {
+            let mut h = MultiCoreHierarchy::new(cfg, 11, 2);
+            black_box(ground_truth_catalog_on(&mut h, candidates.iter().copied()).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_eviction_planning(c: &mut Criterion) {
+    // A realistic victim profile: hot lines spread over the victim's NAT
+    // and LPM stage instances of the nat-lpm chain on the Xeon profile.
+    let chain = chain_by_id(ChainId::NatLpm);
+    let heat: Vec<(u64, u64)> = (0..256u64)
+        .map(|i| {
+            let stage = (i % 2) as usize;
+            let region = &chain.stages[stage].nf.data_regions[0];
+            let addr = core_stage_base(0, stage) + region.base + (i * 0x1840) % region.len;
+            (addr, 1_000 - 3 * i)
+        })
+        .collect();
+    let hot = HotLineMap::from_heat(&heat, 64);
+    c.bench_function("xcore_build_eviction_plan", |b| {
+        b.iter(|| {
+            let mut oracle = MultiCoreHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1, 2);
+            let plan = build_eviction_plan(&chain, &hot, &mut oracle, 2, &XCoreConfig::default());
+            black_box(plan.replay_lines().len())
+        })
+    });
+    c.bench_function("xcore_random_neighbor_lines", |b| {
+        b.iter(|| black_box(random_neighbor_lines(&chain, 1, 768, 0x5EED).len()))
+    });
+}
+
+criterion_group!(benches, bench_cross_core_discovery, bench_eviction_planning);
+criterion_main!(benches);

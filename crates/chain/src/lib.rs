@@ -32,5 +32,8 @@ pub mod symbolic;
 
 pub use catalog::{all_chains, chain_by_id, ChainId};
 pub use handoff::{handoff_for, lb_backend_dip, StageHandoff};
-pub use spec::{ChainStage, ChainVerdict, NfChain, STAGE_ADDR_STRIDE};
+pub use spec::{
+    chain_page_anchors, core_stage_base, ChainStage, ChainVerdict, NfChain, CORE_ADDR_STRIDE,
+    STAGE_ADDR_STRIDE,
+};
 pub use symbolic::{symbolic_handoff, upstream_models, FieldRel, HandoffModel, PerPacketRule};

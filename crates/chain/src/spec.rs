@@ -28,6 +28,57 @@ pub const STAGE_ADDR_STRIDE: u64 = 1 << 36;
 // 0x4000_0000 + 1 GiB), or stages would alias in the shared cache.
 const _: () = assert!(STAGE_ADDR_STRIDE > 0x4000_0000 + (1 << 30));
 
+/// Address-space stride between *cores* when every core runs its own chain
+/// instance on one shared hierarchy (the sharded RSS runtime). Core `c`'s
+/// instance of stage `s` occupies `c * CORE_ADDR_STRIDE + s *
+/// STAGE_ADDR_STRIDE`, so distinct cores (and distinct stages within a
+/// core) never alias in the shared cache — they only *contend* for it,
+/// which is exactly what the cross-core attack (`castan-xcore`) exploits.
+/// 512 GiB leaves room for 8 stages of 64 GiB each per core.
+pub const CORE_ADDR_STRIDE: u64 = 1 << 39;
+
+const _: () = assert!(CORE_ADDR_STRIDE >= 8 * STAGE_ADDR_STRIDE);
+
+/// The base of core `core`'s instance of stage `stage_idx` in the shared
+/// virtual address space: every stage-local NF address is offset by this
+/// before it reaches the cache hierarchy. Both the sharded testbed and the
+/// cross-core eviction-plan construction derive their address views from
+/// this one function, so the attacker targets exactly the lines the victim
+/// touches.
+pub fn core_stage_base(core: usize, stage_idx: usize) -> u64 {
+    core as u64 * CORE_ADDR_STRIDE + stage_idx as u64 * STAGE_ADDR_STRIDE
+}
+
+/// One anchor address per virtual page a chain deployment's data regions
+/// span, in a canonical order (core asc, stage asc, region asc, page asc),
+/// deduplicated.
+///
+/// Premapping these at DUT boot — like DPDK reserving its hugepages at EAL
+/// init — makes the page table's frame assignment (and therefore the hidden
+/// L3 slice of every line) a pure function of the boot seed and the
+/// deployment layout, not of the traffic's first-touch order. The cross-core
+/// analysis premaps its bucket oracle with the same anchors, which is what
+/// makes its (slice, set) predictions match the measured deployment exactly.
+pub fn chain_page_anchors(chain: &NfChain, n_cores: usize, page_bits: u32) -> Vec<u64> {
+    let page = 1u64 << page_bits;
+    let mut anchors = Vec::new();
+    for core in 0..n_cores {
+        for (stage_idx, stage) in chain.stages.iter().enumerate() {
+            let base = core_stage_base(core, stage_idx);
+            for region in &stage.nf.data_regions {
+                let mut a = (base + region.base) & !(page - 1);
+                let end = base + region.end();
+                while a < end {
+                    anchors.push(a);
+                    a += page;
+                }
+            }
+        }
+    }
+    anchors.dedup();
+    anchors
+}
+
 /// One stage of a chain.
 #[derive(Clone, Debug)]
 pub struct ChainStage {

@@ -62,5 +62,7 @@ pub use chain::{analyze_chain, ChainAnalysisReport};
 pub use engine::{AnalysisConfig, Castan};
 pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};
-pub use rss::{analyze_chain_rss_skew, RssSkewReport};
+pub use rss::{
+    analyze_chain_cross_core, analyze_chain_rss_skew, CrossCoreChainReport, RssSkewReport,
+};
 pub use solve::{Model, SolveOutcome, Solver};

@@ -20,6 +20,15 @@
 //! which the LPM/LB constraints bind, are never touched.
 //! [`analyze_chain_rss_skew`] composes that pass with the chained
 //! analysis into one report.
+//!
+//! [`analyze_chain_cross_core`] is the *cache-side* composition: instead
+//! of collapsing the dispatch layer, it steers synthesized traffic onto a
+//! single neighbour core and uses that core's own chain instance as the
+//! eviction engine — the packets make the attacker core's NF lookups walk
+//! exactly the lines a `castan-xcore` eviction plan identified as
+//! colliding with the victim's hot shared-L3 buckets. No code runs on the
+//! victim; the interference arrives entirely through the inclusive L3's
+//! back-invalidation.
 
 use castan_chain::NfChain;
 use castan_mem::ContentionCatalog;
@@ -28,6 +37,7 @@ use castan_runtime::{
     skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, RssConfig, RssDispatcher,
     SkewSynthesis,
 };
+use castan_xcore::EvictionPlan;
 
 use crate::chain::{analyze_chain, ChainAnalysisReport};
 use crate::engine::Castan;
@@ -141,6 +151,89 @@ pub fn analyze_chain_adaptive_rss_skew(
     AdaptiveRssSkewReport { base, skew }
 }
 
+/// The packet-only cross-core report: per-bucket chained synthesis rounds
+/// whose packets, steered onto the attacker core's queue, drive that
+/// core's own chain instance through the eviction plan's colliding lines.
+#[derive(Clone, Debug)]
+pub struct CrossCoreChainReport {
+    /// One chained analysis per targeted bucket, rank order (round `r`
+    /// synthesizes traffic for plan entry `r`'s stage-local lines).
+    pub rounds: Vec<ChainAnalysisReport>,
+    /// The steering outcome over the concatenated rounds; `skew.packets`
+    /// is the attack trace to inject.
+    pub skew: SkewSynthesis,
+    /// Buckets of the plan that produced a synthesis round (a bucket whose
+    /// stage-local line lists all stay within associativity is skipped —
+    /// the analysis cache model could never charge it).
+    pub targeted_buckets: usize,
+}
+
+impl CrossCoreChainReport {
+    /// The steered adversarial packet sequence (all rounds, rank order).
+    pub fn packets(&self) -> &[Packet] {
+        &self.skew.packets
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} buckets × chained synthesis → queue {}: {} packets \
+             ({} steered, {} already on queue, {} unsteerable)",
+            self.targeted_buckets,
+            self.skew.target_queue,
+            self.skew.packets.len(),
+            self.skew.steered,
+            self.skew.already_on_queue,
+            self.skew.unsteerable,
+        )
+    }
+}
+
+/// Composes chained adversarial synthesis with a `castan-xcore`
+/// [`EvictionPlan`]: the attack needs only packets — no code on the victim.
+///
+/// For each plan entry (hottest victim bucket first, up to `max_rounds`),
+/// the chained analysis runs against that entry's single-bucket per-stage
+/// catalogues ([`EvictionPlan::round_stage_catalogs`]), so the synthesized
+/// packets make the *attacker core's own* chain instance walk the
+/// stage-local lines that collide with the victim's bucket. One round per
+/// bucket is deliberate: the analysis cache model piles its adversarial
+/// accesses onto a single contention set, so multi-bucket coverage comes
+/// from concatenating per-bucket rounds, not from one merged catalogue.
+/// The concatenated rounds are then steered onto `attacker_queue` of
+/// `dispatcher` ([`skew_packets`]) — attacker traffic to the attacker
+/// core, while the victims' traffic keeps flowing to the rest.
+pub fn analyze_chain_cross_core(
+    castan: &Castan,
+    chain: &NfChain,
+    plan: &EvictionPlan,
+    dispatcher: &RssDispatcher,
+    attacker_queue: usize,
+    max_rounds: usize,
+) -> CrossCoreChainReport {
+    let mut rounds = Vec::new();
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut targeted = 0usize;
+    for catalogs in plan.round_stage_catalogs().into_iter().take(max_rounds) {
+        if catalogs.iter().all(ContentionCatalog::is_empty) {
+            continue;
+        }
+        let round = analyze_chain(castan, chain, &catalogs);
+        if round.packets.is_empty() {
+            continue;
+        }
+        targeted += 1;
+        packets.extend_from_slice(&round.packets);
+        rounds.push(round);
+    }
+    let skew = skew_packets(&packets, dispatcher, attacker_queue);
+    CrossCoreChainReport {
+        rounds,
+        skew,
+        targeted_buckets: targeted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +293,52 @@ mod tests {
             assert_eq!(under.queue_of_packet(p), 3, "packet {i}");
         }
         assert!(adaptive.summary().contains("2 epochs"));
+    }
+
+    #[test]
+    fn cross_core_synthesis_targets_the_plan_and_lands_on_the_attacker_queue() {
+        use castan_chain::core_stage_base;
+        use castan_mem::MultiCoreHierarchy;
+        use castan_xcore::{build_eviction_plan, HotLineMap, XCoreConfig};
+
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 4;
+        cfg.step_budget = 15_000;
+        let castan = Castan::new(cfg);
+
+        // A victim profile: hot lines inside victim core 0's NAT and LPM
+        // stage instances.
+        let hot = HotLineMap::from_heat(
+            &[
+                (
+                    core_stage_base(0, 0) + chain.stages[0].nf.data_regions[0].base + 0x2040,
+                    900,
+                ),
+                (
+                    core_stage_base(0, 1) + chain.stages[1].nf.data_regions[0].base + 0x5080,
+                    400,
+                ),
+            ],
+            8,
+        );
+        let mut oracle = MultiCoreHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1, 2);
+        let plan = build_eviction_plan(&chain, &hot, &mut oracle, 2, &XCoreConfig::default());
+        assert!(!plan.is_empty());
+
+        let d = RssDispatcher::for_queues(2);
+        let report = analyze_chain_cross_core(&castan, &chain, &plan, &d, 1, 2);
+        assert!(report.targeted_buckets >= 1);
+        assert_eq!(report.rounds.len(), report.targeted_buckets);
+        assert!(!report.packets().is_empty());
+        assert!(
+            report.skew.skew_ratio(&d) > 0.99,
+            "every attack packet must reach the attacker queue"
+        );
+        assert_eq!(
+            report.packets().len(),
+            report.rounds.iter().map(|r| r.packets.len()).sum::<usize>()
+        );
+        assert!(report.summary().contains("queue 1"));
     }
 }

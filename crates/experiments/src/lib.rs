@@ -18,21 +18,24 @@
 
 use std::collections::BTreeMap;
 
-use castan_chain::{all_chains, NfChain};
+use castan_chain::{all_chains, core_stage_base, NfChain};
 use castan_core::{
     analyze_chain, AnalysisConfig, AnalysisReport, CacheModelKind, Castan, ChainAnalysisReport,
 };
-use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
+use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
 use castan_runtime::{RebalancePolicy, RssDispatcher};
 use castan_testbed::{
     max_throughput_mpps, measure, measure_chain, measure_sharded, Cdf, Measurement,
-    MeasurementConfig, MitigationConfig, ShardConfig, ThroughputConfig,
+    MeasurementConfig, MitigationConfig, NoisyNeighborDut, ShardConfig, ThroughputConfig,
 };
 use castan_workload::{
     adaptive_skew_trace, castan_workload, chain_unirand_castan, generic_chain_workload,
     generic_workload, manual_workload, skewed_chain_workload, unirand_castan, Workload,
     WorkloadConfig, WorkloadKind,
+};
+use castan_xcore::{
+    build_eviction_plan, random_neighbor_lines, EvictionPlan, HotLineMap, XCoreConfig,
 };
 
 /// How hard to run the experiments.
@@ -696,15 +699,20 @@ pub enum MitigationKind {
     RebalanceMigration,
     /// Rebalancing + migration cost + the work-stealing sink.
     RebalanceMigrationStealing,
+    /// Rebalancing + per-epoch Toeplitz key rotation: the defender re-keys
+    /// at every epoch boundary, so an attacker who fingerprinted the boot
+    /// key must re-fingerprint mid-attack.
+    RebalanceKeyRotation,
 }
 
 impl MitigationKind {
     /// All swept configurations, in table order.
-    pub const ALL: [MitigationKind; 4] = [
+    pub const ALL: [MitigationKind; 5] = [
         MitigationKind::NoMitigation,
         MitigationKind::Rebalance,
         MitigationKind::RebalanceMigration,
         MitigationKind::RebalanceMigrationStealing,
+        MitigationKind::RebalanceKeyRotation,
     ];
 
     /// Display name.
@@ -714,6 +722,7 @@ impl MitigationKind {
             MitigationKind::Rebalance => "rebalance",
             MitigationKind::RebalanceMigration => "rebalance+migration",
             MitigationKind::RebalanceMigrationStealing => "rebalance+migration+stealing",
+            MitigationKind::RebalanceKeyRotation => "rebalance+key-rotation",
         }
     }
 
@@ -729,6 +738,7 @@ impl MitigationKind {
             MitigationKind::RebalanceMigrationStealing => {
                 Some(rebalance.with_migration_cost().with_work_stealing())
             }
+            MitigationKind::RebalanceKeyRotation => Some(rebalance.with_key_rotation()),
         }
     }
 }
@@ -908,6 +918,229 @@ pub fn rss_mitigation_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
     }
 }
 
+/// Core counts the `xcore-contention` experiment sweeps (one attacker core
+/// plus 1 or 3 victim cores).
+pub const XCORE_CORE_COUNTS: [usize; 2] = [2, 4];
+
+/// Victim hot lines kept per profile (hottest first) when building the
+/// eviction plan.
+pub const XCORE_HOT_LINES: usize = 64;
+
+/// The neighbour arms of the `xcore-contention` experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NeighborKind {
+    /// The attacker core idles — the baseline (byte-identical to a plain
+    /// `ShardedDut` run under the same deployment, pinned by tests).
+    NoAttacker,
+    /// The attacker replays uniformly random lines of its own address
+    /// window at the same rate as the planned replay — the equal-rate
+    /// control that separates *targeted* eviction from generic cache
+    /// pressure.
+    RandomNeighbor,
+    /// The attacker replays the `castan-xcore` eviction plan: >α colliding
+    /// lines through each of the victim's hottest (slice, set) buckets
+    /// between every pair of batches.
+    PlannedEviction,
+}
+
+impl NeighborKind {
+    /// All arms, in table order.
+    pub const ALL: [NeighborKind; 3] = [
+        NeighborKind::NoAttacker,
+        NeighborKind::RandomNeighbor,
+        NeighborKind::PlannedEviction,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NeighborKind::NoAttacker => "no-attacker",
+            NeighborKind::RandomNeighbor => "random-neighbour",
+            NeighborKind::PlannedEviction => "planned-eviction",
+        }
+    }
+}
+
+/// One cell of the `xcore-contention` sweep.
+#[derive(Clone, Debug)]
+pub struct XCoreCell {
+    /// Chain name.
+    pub chain: String,
+    /// Number of cores (the last one is the attacker).
+    pub cores: usize,
+    /// The neighbour arm.
+    pub neighbor: NeighborKind,
+    /// The victims' aggregate forwarding rate (the attacker core serves no
+    /// packets and its replay cycles are never charged to victims).
+    pub victim_mpps: f64,
+    /// Victims' L3 misses per measured packet.
+    pub victim_misses_per_packet: f64,
+    /// Lines the attacker replay touched during the run.
+    pub attacker_touches: u64,
+    /// Buckets the eviction plan targeted.
+    pub plan_buckets: usize,
+    /// Attacker lines in one replay pass.
+    pub plan_lines: usize,
+}
+
+/// True iff `line` lies inside one of `core`'s stage data regions.
+fn in_core_regions(chain: &NfChain, core: usize, line: u64) -> bool {
+    chain.stages.iter().enumerate().any(|(s, stage)| {
+        let base = core_stage_base(core, s);
+        stage
+            .nf
+            .data_regions
+            .iter()
+            .any(|r| line >= base + r.base && line < base + r.end())
+    })
+}
+
+/// Profiles every victim core under the noisy-neighbour deployment (one
+/// run — the striped windows keep per-core heat unambiguous) and builds
+/// the ranked eviction plan against the premapped ground-truth oracle
+/// (discovery-based cataloguing of the same buckets is validated in
+/// `castan-xcore`; the oracle is the experiments' fast path, exactly like
+/// `catalog_for`). Plan size scales with the victim count, so every
+/// victim core's hottest buckets get targeted — the bottleneck core is
+/// whichever victim happens to be busiest, and degrading only one of them
+/// would leave the others to bound throughput.
+pub fn xcore_eviction_plan(
+    chain: &NfChain,
+    victim_wl: &Workload,
+    cores: usize,
+    cfg: &ExperimentConfig,
+) -> EvictionPlan {
+    let attacker = cores - 1;
+    let victims = cores - 1;
+    let shard = ShardConfig::new(cores).with_premapped_pages();
+    let mut profiler = NoisyNeighborDut::new(chain.clone(), shard, attacker, &cfg.measurement);
+    let heat: Vec<(u64, u64)> = profiler
+        .profile_victim_heat(victim_wl, &cfg.measurement)
+        .into_iter()
+        // Only lines of the victims' own stage state are plannable: the
+        // oracle premaps exactly the deployment's data regions, and
+        // forwarding-path scratch outside them is not worth evicting.
+        .filter(|&(line, _)| {
+            (0..cores)
+                .filter(|&c| c != attacker)
+                .any(|c| in_core_regions(chain, c, line))
+        })
+        .collect();
+    let hot = HotLineMap::from_heat(&heat, XCORE_HOT_LINES * victims);
+    let mut oracle = MultiCoreHierarchy::new(
+        HierarchyConfig::xeon_e5_2667v2(),
+        cfg.measurement.boot_seed,
+        cores,
+    );
+    let xcfg = XCoreConfig {
+        attacker_core: attacker,
+        max_target_sets: XCoreConfig::default().max_target_sets * victims,
+        ..XCoreConfig::default()
+    };
+    build_eviction_plan(chain, &hot, &mut oracle, cores, &xcfg)
+}
+
+/// Runs the `xcore-contention` sweep for the given chains: victim Zipfian
+/// traffic on all-but-one cores, the last core idle / replaying random
+/// lines / replaying the eviction plan between batches, at every
+/// [`XCORE_CORE_COUNTS`] width.
+pub fn xcore_contention_data_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Vec<XCoreCell> {
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let mut cells = Vec::new();
+    for chain in chains {
+        if chain.stages.iter().all(|s| s.nf.data_regions.is_empty()) {
+            // Nothing to evict and no attacker window to replay from
+            // (nop-only chains keep no state).
+            continue;
+        }
+        let victim_wl = generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg);
+        for &cores in &XCORE_CORE_COUNTS {
+            let attacker = cores - 1;
+            let shard = ShardConfig::new(cores).with_premapped_pages();
+            let plan = xcore_eviction_plan(chain, &victim_wl, cores, cfg);
+            let replay = plan.replay_lines();
+            // Equal rate by construction: the random control replays
+            // exactly as many lines as the plan, per batch and in total —
+            // including zero when no bucket was attackable (an empty
+            // replay is a no-op, so all three arms then coincide instead
+            // of the control silently out-touching the plan).
+            let rate = replay.len();
+            for kind in NeighborKind::ALL {
+                let mut dut =
+                    NoisyNeighborDut::new(chain.clone(), shard, attacker, &cfg.measurement);
+                match kind {
+                    NeighborKind::NoAttacker => {}
+                    NeighborKind::RandomNeighbor => dut.set_replay(
+                        random_neighbor_lines(
+                            chain,
+                            attacker,
+                            replay.len(),
+                            cfg.measurement.seed ^ 0x5EED,
+                        ),
+                        rate,
+                    ),
+                    NeighborKind::PlannedEviction => dut.set_replay(replay.clone(), rate),
+                }
+                let m = dut.run(&victim_wl, &cfg.measurement);
+                cells.push(XCoreCell {
+                    chain: chain.name().to_string(),
+                    cores,
+                    neighbor: kind,
+                    victim_mpps: m.sharded.aggregate_mpps(),
+                    victim_misses_per_packet: m.victim_l3_misses_per_packet(),
+                    attacker_touches: m.attacker_touches,
+                    plan_buckets: plan.len(),
+                    plan_lines: replay.len(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The `xcore-contention` experiment over the whole chain catalog: the
+/// cross-core contention attack of `castan-xcore`, measured. A planned
+/// eviction replay degrades the victims' throughput measurably more than
+/// an equal-rate random neighbour — generic cache pressure spreads over
+/// all (slice, set) buckets and mostly stays resident, while the plan
+/// pushes >α colliding lines through exactly the buckets carrying the
+/// victims' hottest lines.
+pub fn xcore_contention(cfg: &ExperimentConfig) -> Table {
+    xcore_contention_for(&all_chains(), cfg)
+}
+
+/// [`xcore_contention`] restricted to the given chains (tests use a subset
+/// to keep the debug tier-1 run tractable).
+pub fn xcore_contention_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
+    let cells = xcore_contention_data_for(chains, cfg);
+    let rows = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}/{} cores/{}", c.chain, c.cores, c.neighbor.name()),
+                format!("{:.2}", c.victim_mpps),
+                format!("{:.2}", c.victim_misses_per_packet),
+                c.attacker_touches.to_string(),
+                format!("{} × {}", c.plan_buckets, c.plan_lines),
+            ]
+        })
+        .collect();
+    Table {
+        id: "xcore-contention".to_string(),
+        title: "Cross-core contention: victim throughput under an idle, random \
+                and plan-driven neighbour core"
+            .to_string(),
+        columns: vec![
+            "Chain / cores / neighbour".into(),
+            "Victim Mpps".into(),
+            "Victim L3 misses/pkt".into(),
+            "Attacker touches".into(),
+            "Plan (buckets × lines)".into(),
+        ],
+        rows,
+    }
+}
+
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
 /// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
 pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
@@ -1012,7 +1245,7 @@ mod tests {
     /// (tier-1) run stays tractable; release keeps the larger sample.
     fn tiny_chain_cfg() -> ExperimentConfig {
         let mut cfg = tiny_cfg();
-        if cfg!(debug_assertions) {
+        if cfg!(debug_assertions) || std::env::var("FORCE_TINY").is_ok() {
             cfg.measurement.total_packets = 500;
             cfg.measurement.warmup_packets = 50;
             cfg.workload_scale = 0.002;
@@ -1191,6 +1424,35 @@ mod tests {
             adaptive_rebal.mpps
         );
 
+        // (d) per-epoch key rotation forces the attacker to re-fingerprint
+        //     mid-attack: a trace steered against the boot key — static or
+        //     adaptively chasing the rebalancer's tables — scatters from
+        //     epoch 1 on, so neither attack can hold the bottleneck.
+        let static_rot = cell(WorkloadKind::RssSkew, MitigationKind::RebalanceKeyRotation);
+        let adaptive_rot = cell(
+            WorkloadKind::AdaptiveSkew,
+            MitigationKind::RebalanceKeyRotation,
+        );
+        assert!(
+            static_rot.bottleneck_share < 0.9,
+            "rotation must scatter the fingerprinted static skew: share {}",
+            static_rot.bottleneck_share
+        );
+        assert!(
+            static_rot.mpps > 2.0 * none_static.mpps,
+            "rotation must restore throughput under static skew: \
+             {:.2} vs {:.2} Mpps",
+            static_rot.mpps,
+            none_static.mpps
+        );
+        assert!(
+            adaptive_rot.mpps > 1.5 * adaptive_rebal.mpps,
+            "rotation must defeat the table-chasing attacker too (its probes \
+             fingerprinted tables, not the key schedule): {:.2} vs {:.2} Mpps",
+            adaptive_rot.mpps,
+            adaptive_rebal.mpps
+        );
+
         // Per-core latency CDFs are populated: under uniform traffic every
         // core has samples; under unmitigated static skew only the victim.
         let uniform = cell(WorkloadKind::UniRand, MitigationKind::NoMitigation);
@@ -1244,6 +1506,171 @@ mod tests {
         assert!(rendered.contains("Adaptive-Skew"));
         assert!(rendered.contains("rebalance+migration+stealing"));
         assert!(rendered.contains("nop3/UniRand/none"));
+    }
+
+    #[test]
+    fn xcore_planned_eviction_beats_an_equal_rate_random_neighbor() {
+        // The acceptance bars for the cross-core contention subsystem,
+        // asserted through the xcore-contention experiment path itself at
+        // every swept core count: the planned replay degrades victim
+        // throughput strictly more than an equal-rate random neighbour
+        // (whose pressure, spread over all buckets, stays resident and
+        // evicts essentially nothing).
+        let cfg = tiny_chain_cfg();
+        let chains = [castan_chain::chain_by_id(castan_chain::ChainId::NatLpm)];
+        let cells = xcore_contention_data_for(&chains, &cfg);
+        assert_eq!(
+            cells.len(),
+            XCORE_CORE_COUNTS.len() * NeighborKind::ALL.len()
+        );
+        for &cores in &XCORE_CORE_COUNTS {
+            let arm = |kind: NeighborKind| {
+                cells
+                    .iter()
+                    .find(|c| c.cores == cores && c.neighbor == kind)
+                    .expect("cell present")
+            };
+            let none = arm(NeighborKind::NoAttacker);
+            let random = arm(NeighborKind::RandomNeighbor);
+            let planned = arm(NeighborKind::PlannedEviction);
+            assert!(none.plan_buckets > 0, "the plan found attackable buckets");
+            assert_eq!(none.attacker_touches, 0);
+            assert_eq!(
+                planned.attacker_touches, random.attacker_touches,
+                "the random control must run at the same rate"
+            );
+            assert!(
+                planned.victim_mpps < random.victim_mpps,
+                "{cores} cores: planned eviction ({:.3} Mpps) must degrade \
+                 the victims strictly more than the random neighbour \
+                 ({:.3} Mpps)",
+                planned.victim_mpps,
+                random.victim_mpps
+            );
+            assert!(
+                planned.victim_mpps < none.victim_mpps,
+                "{cores} cores: planned eviction must degrade the victims \
+                 vs the idle neighbour"
+            );
+            assert!(
+                planned.victim_misses_per_packet > 1.2 * random.victim_misses_per_packet,
+                "{cores} cores: the throughput drop must be attributable to \
+                 cross-core eviction: {:.2} vs {:.2} misses/packet",
+                planned.victim_misses_per_packet,
+                random.victim_misses_per_packet
+            );
+            // The equal-rate random control is indistinguishable from an
+            // idle neighbour (< 2% throughput effect) — targeting, not
+            // rate, is what makes the attack work.
+            assert!(
+                (random.victim_mpps - none.victim_mpps).abs() < 0.02 * none.victim_mpps,
+                "{cores} cores: random neighbour {:.3} vs idle {:.3} Mpps",
+                random.victim_mpps,
+                none.victim_mpps
+            );
+        }
+    }
+
+    #[test]
+    fn xcore_no_attacker_arm_is_byte_identical_to_the_sharded_dut() {
+        // Acceptance bar: the experiment's no-attacker arm must be
+        // byte-identical to a plain ShardedDut run under the same
+        // deployment (premapped pages, attacker core excluded from RSS) —
+        // the replay machinery must not perturb the measurement pipeline
+        // it extends.
+        use castan_testbed::{victim_table, ShardedDut};
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(cfg.workload_scale),
+        );
+        let cores = 2;
+        let attacker = cores - 1;
+        let shard = ShardConfig::new(cores).with_premapped_pages();
+
+        let mut plain = ShardedDut::new(chain.clone(), shard, &cfg.measurement);
+        plain.set_boot_table(Some(victim_table(&shard.rss, attacker)));
+        let reference = plain.run(&wl, &cfg.measurement);
+
+        let mut noisy = NoisyNeighborDut::new(chain, shard, attacker, &cfg.measurement);
+        let arm = noisy.run(&wl, &cfg.measurement);
+        assert_eq!(arm.attacker_touches, 0);
+        for (c, (a, b)) in reference
+            .per_core
+            .iter()
+            .zip(&arm.sharded.per_core)
+            .enumerate()
+        {
+            assert_eq!(a.end_to_end, b.end_to_end, "core {c} counters");
+            assert_eq!(a.latency_ns, b.latency_ns, "core {c} latencies");
+            assert_eq!(a.mem, b.mem, "core {c} hierarchy view");
+        }
+    }
+
+    #[test]
+    fn xcore_contention_table_covers_the_matrix() {
+        let chains = vec![castan_chain::chain_by_id(castan_chain::ChainId::NatLpm)];
+        let t = xcore_contention_for(&chains, &tiny_chain_cfg());
+        assert_eq!(t.columns.len(), 5);
+        assert_eq!(
+            t.rows.len(),
+            XCORE_CORE_COUNTS.len() * NeighborKind::ALL.len()
+        );
+        let rendered = t.render();
+        assert!(rendered.contains("xcore-contention"));
+        assert!(rendered.contains("planned-eviction"));
+        assert!(rendered.contains("random-neighbour"));
+        assert!(rendered.contains("nat-lpm/2 cores/no-attacker"));
+        // nop-only chains have nothing to evict and are skipped.
+        let nop = xcore_contention_for(
+            &[castan_chain::chain_by_id(castan_chain::ChainId::Nop3)],
+            &tiny_chain_cfg(),
+        );
+        assert!(nop.rows.is_empty());
+    }
+
+    #[test]
+    fn packet_only_cross_core_attack_reaches_the_attacker_core() {
+        // The castan-core composition end to end: synthesize eviction
+        // traffic from the plan, steer it onto the attacker queue, steer
+        // the victims off it, and replay the combined trace through a
+        // *plain* premapped ShardedDut — no code on the victim, no
+        // operator cooperation, only packets.
+        use castan_core::analyze_chain_cross_core;
+        use castan_workload::neighbor_evict_workload;
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+        let victim_wl = generic_chain_workload(&chain, WorkloadKind::Zipfian, &wl_cfg);
+        let cores = 2;
+        let attacker_queue = 1;
+        let plan = xcore_eviction_plan(&chain, &victim_wl, cores, &cfg);
+        assert!(!plan.is_empty());
+
+        let castan = Castan::new(cfg.analysis.clone());
+        let dispatcher = RssDispatcher::for_queues(cores);
+        let report =
+            analyze_chain_cross_core(&castan, &chain, &plan, &dispatcher, attacker_queue, 2);
+        assert!(report.targeted_buckets >= 1);
+        assert!(!report.packets().is_empty());
+        assert!(report.skew.skew_ratio(&dispatcher) > 0.99);
+
+        let wl =
+            neighbor_evict_workload(&victim_wl, report.packets(), &dispatcher, attacker_queue, 4);
+        assert_eq!(wl.kind, WorkloadKind::NeighborEvict);
+        let shard = ShardConfig::new(cores).with_premapped_pages();
+        let m = measure_sharded(&chain, shard, &wl, &cfg.measurement);
+        // The attack traffic reached the attacker core — and nothing else
+        // did; every victim packet stayed on the victim cores.
+        let attacker_share =
+            m.per_core[attacker_queue].dispatched as f64 / cfg.measurement.total_packets as f64;
+        assert!(
+            (attacker_share - 0.25).abs() < 0.05,
+            "one slot in four carries attack traffic: share {attacker_share}"
+        );
+        assert!(m.per_core[0].packets() > 0, "victims keep forwarding");
     }
 
     #[test]

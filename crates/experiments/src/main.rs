@@ -6,13 +6,13 @@
 //! ```
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
-//! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`, or
-//! `all`. Unknown experiment names exit with status 2 and list the valid
-//! names.
+//! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
+//! `xcore-contention`, or `all`. Unknown experiment names exit with status
+//! 2 and list the valid names.
 
 use castan_experiments::{
     ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, rss_mitigation,
-    rss_scaling, table4, table5, throughput_and_counters_table, ExperimentConfig,
+    rss_scaling, table4, table5, throughput_and_counters_table, xcore_contention, ExperimentConfig,
 };
 
 /// Every runnable experiment id, in `all` execution order.
@@ -27,6 +27,7 @@ fn valid_experiments() -> Vec<String> {
     out.push("chain-table".to_string());
     out.push("rss-scaling".to_string());
     out.push("rss-mitigation".to_string());
+    out.push("xcore-contention".to_string());
     out
 }
 
@@ -81,6 +82,7 @@ fn main() {
             "chain-table" => chain_table(&cfg).render(),
             "rss-scaling" => rss_scaling(&cfg).render(),
             "rss-mitigation" => rss_mitigation(&cfg).render(),
+            "xcore-contention" => xcore_contention(&cfg).render(),
             fig => figure(fig, &cfg).expect("validated above").render(),
         };
         println!("{output}");

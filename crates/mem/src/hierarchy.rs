@@ -99,6 +99,27 @@ impl MemoryHierarchy {
         self.inner.config()
     }
 
+    /// The underlying one-core [`MultiCoreHierarchy`](crate::MultiCoreHierarchy).
+    ///
+    /// The cross-core probing machinery (`castan-xcore`) is written against
+    /// the multi-core type (an arbitrary prober core in front of the shared
+    /// L3); this view is what makes the single-core wrappers the 1-core
+    /// special case of that path.
+    pub fn multicore(&self) -> &crate::multicore::MultiCoreHierarchy {
+        &self.inner
+    }
+
+    /// Mutable view of the underlying one-core hierarchy.
+    pub fn multicore_mut(&mut self) -> &mut crate::multicore::MultiCoreHierarchy {
+        &mut self.inner
+    }
+
+    /// Maps the page holding `vaddr` without touching any cache level (see
+    /// [`crate::MultiCoreHierarchy::map_page`]).
+    pub fn map_page(&mut self, vaddr: u64) {
+        self.inner.map_page(vaddr);
+    }
+
     /// Performs one memory access at virtual address `vaddr`.
     pub fn access(&mut self, vaddr: u64, kind: AccessKind) -> AccessOutcome {
         self.inner.access(0, vaddr, kind)

@@ -20,7 +20,9 @@
 //! * [`multicore`] — N per-core private L1/L2 hierarchies in front of one
 //!   shared, inclusive, sliced L3 (the substrate of the RSS runtime's
 //!   sharded chain execution); the single-core [`MemoryHierarchy`] is a
-//!   one-core instance of this type.
+//!   one-core instance of this type. Supports canonical page premapping
+//!   (`map_page`) and per-core line-heat profiling (`track_heat`), the
+//!   inputs of `castan-xcore`'s cross-core contention discovery.
 //! * [`probe`] — pointer-chase probing-time measurement.
 //! * [`contention`] — the three-step contention-set discovery algorithm and
 //!   the multi-page / multi-reboot consistency filter, plus a ground-truth

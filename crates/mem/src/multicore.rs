@@ -15,12 +15,28 @@
 //! the prober, and the sharded runtime all charge accesses through one
 //! implementation.
 
+use std::collections::HashMap;
+
 use crate::cache::{FillResult, SetAssocCache};
 use crate::config::HierarchyConfig;
 use crate::hierarchy::{AccessKind, AccessOutcome, HierarchyStats, ServedBy};
 use crate::line_of;
 use crate::page::PageTable;
 use crate::slice::SliceHash;
+
+/// Per-core line-heat tracker: counts how often each virtual cache line is
+/// accessed by one chosen core (or by every core at once — with the
+/// striped per-core address windows of the sharded runtime, lines are
+/// disjoint across cores, so one all-core profile still attributes heat
+/// unambiguously). This is the profiling input of the cross-core
+/// contention attack (`castan-xcore`) — the victim cores' most-touched
+/// lines are the ones worth evicting from a neighbour core.
+#[derive(Clone, Debug)]
+struct HeatTracker {
+    /// Track only this core's accesses; `None` tracks every core.
+    core: Option<usize>,
+    counts: HashMap<u64, u64>,
+}
 
 /// The private cache levels one core owns: L1d and L2.
 #[derive(Clone, Debug)]
@@ -121,6 +137,7 @@ pub struct MultiCoreHierarchy {
     cores: Vec<PrivateLevels>,
     l3: SharedL3,
     stats: Vec<HierarchyStats>,
+    heat: Option<HeatTracker>,
 }
 
 impl MultiCoreHierarchy {
@@ -134,6 +151,7 @@ impl MultiCoreHierarchy {
             cores: (0..n_cores).map(|_| PrivateLevels::new(&config)).collect(),
             l3: SharedL3::new(&config),
             stats: vec![HierarchyStats::default(); n_cores],
+            heat: None,
             config,
         }
     }
@@ -154,6 +172,11 @@ impl MultiCoreHierarchy {
     pub fn access(&mut self, core: usize, vaddr: u64, _kind: AccessKind) -> AccessOutcome {
         let phys = self.page_table.translate(vaddr);
         let line = line_of(phys);
+        if let Some(heat) = &mut self.heat {
+            if heat.core.is_none_or(|c| c == core) {
+                *heat.counts.entry(line_of(vaddr)).or_insert(0) += 1;
+            }
+        }
         let lat = self.config.latencies;
         let stats = &mut self.stats[core];
         stats.accesses += 1;
@@ -250,6 +273,56 @@ impl MultiCoreHierarchy {
         }
     }
 
+    /// Maps the page holding `vaddr` (allocating its physical frame) without
+    /// touching any cache level or statistic — the simulation's equivalent
+    /// of reserving a hugepage at process start.
+    ///
+    /// Frame assignment is first-touch ordered ([`crate::PageTable`] hands
+    /// out frames from a shuffled pool in allocation order), so *any* two
+    /// consumers that touch pages in different orders see different
+    /// physical frames — and therefore different hidden L3 slices — for the
+    /// same virtual lines. Premapping a deployment's pages in one canonical
+    /// order makes the frame assignment a pure function of the boot seed
+    /// and the layout, independent of traffic or oracle-query order.
+    pub fn map_page(&mut self, vaddr: u64) {
+        let _ = self.page_table.translate(vaddr);
+    }
+
+    /// Starts counting, per virtual cache line, how many accesses `core`
+    /// issues. Replaces any tracker already installed. Tracking is pure
+    /// observation: outcomes, statistics and cache state are unaffected.
+    pub fn track_heat(&mut self, core: usize) {
+        assert!(core < self.cores.len(), "heat core out of range");
+        self.heat = Some(HeatTracker {
+            core: Some(core),
+            counts: HashMap::new(),
+        });
+    }
+
+    /// [`MultiCoreHierarchy::track_heat`] over every core at once. With
+    /// the sharded runtime's disjoint per-core address windows the counts
+    /// still attribute unambiguously, so one profiling run captures every
+    /// victim core's heat.
+    pub fn track_heat_all(&mut self) {
+        self.heat = Some(HeatTracker {
+            core: None,
+            counts: HashMap::new(),
+        });
+    }
+
+    /// Stops heat tracking and returns the recorded `(virtual line, access
+    /// count)` pairs, hottest first (count descending, then line ascending
+    /// for determinism). Returns an empty vector if tracking was never
+    /// enabled.
+    pub fn take_heat(&mut self) -> Vec<(u64, u64)> {
+        let Some(heat) = self.heat.take() else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, u64)> = heat.counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// Ground-truth (slice, set) coordinates of a virtual address. Not
     /// available to the analysis (the real hash is proprietary); exposed for
     /// tests, the ground-truth contention catalogue, and the accuracy
@@ -344,5 +417,141 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_are_rejected() {
         let _ = tiny(0);
+    }
+
+    #[test]
+    fn heat_tracking_counts_only_the_tracked_core() {
+        let mut h = tiny(2);
+        h.track_heat(0);
+        h.read(0, 0x1000);
+        h.read(0, 0x1008); // same line
+        h.read(0, 0x2000);
+        h.read(1, 0x3000); // other core: not counted
+        let heat = h.take_heat();
+        assert_eq!(heat, vec![(0x1000, 2), (0x2000, 1)]);
+        // Tracking is consumed; a fresh tracker starts from zero.
+        assert!(h.take_heat().is_empty());
+        h.track_heat(1);
+        h.read(1, 0x3000);
+        assert_eq!(h.take_heat(), vec![(0x3000, 1)]);
+        // The all-core tracker counts every core's accesses.
+        h.track_heat_all();
+        h.read(0, 0x1000);
+        h.read(1, 0x3000);
+        h.read(1, 0x3010); // same line
+        assert_eq!(h.take_heat(), vec![(0x3000, 2), (0x1000, 1)]);
+    }
+
+    #[test]
+    fn heat_tracking_does_not_change_outcomes() {
+        let addrs: Vec<u64> = (0..512u64).map(|i| (i * 377) % 65_536 * 16).collect();
+        let mut plain = tiny(4);
+        let mut tracked = tiny(4);
+        tracked.track_heat(0);
+        for &a in &addrs {
+            assert_eq!(plain.read(0, a), tracked.read(0, a));
+        }
+        assert_eq!(plain.core_stats(0), tracked.core_stats(0));
+    }
+
+    /// The audit's back-invalidation pin: replay a pseudo-random
+    /// interleaving of four cores over heavily conflicting lines and check,
+    /// access by access, the invariants the cross-core prober leans on:
+    /// (a) inclusion — an access served by a private level implies the line
+    /// is resident in the shared L3 (a violation would mean a stale private
+    /// hit on a line the L3 already evicted); (b) per-core statistics are
+    /// conserved (hits + misses = accesses, cycles = Σ level hits × level
+    /// latency); (c) `HierarchyStats::merge` over the per-core views equals
+    /// the aggregate exactly.
+    #[test]
+    fn interleaved_cores_keep_inclusion_and_exact_accounting() {
+        let mut h = tiny(4);
+        let lat = h.config().latencies;
+        let span = h.config().l3_slice_geometry().sets() * LINE_SIZE;
+        let mut x = 0x9E37_79B9u64;
+        for step in 0..6_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % 4) as usize;
+            // Mostly set-conflicting lines (same L3 set index), some spread.
+            let addr = if x & 0x30 == 0 {
+                0x40_0000 + (x % 97) * LINE_SIZE
+            } else {
+                0x40_0000 + (x % 61) * span
+            };
+            let out = h.read(core, addr);
+            if out.served_by == ServedBy::L1 || out.served_by == ServedBy::L2 {
+                assert!(
+                    h.l3_contains_vaddr(addr),
+                    "inclusion violated at step {step}: private {:?} hit on a \
+                     line absent from the shared L3 (addr {addr:#x}, core {core})",
+                    out.served_by,
+                );
+            }
+        }
+        let mut merged = HierarchyStats::default();
+        for c in 0..4 {
+            let s = h.core_stats(c);
+            assert_eq!(
+                s.l1_hits + s.l2_hits + s.l3_hits + s.l3_misses,
+                s.accesses,
+                "core {c}: every access is served by exactly one level"
+            );
+            assert_eq!(
+                s.cycles,
+                s.l1_hits * lat.l1
+                    + s.l2_hits * lat.l2
+                    + s.l3_hits * lat.l3
+                    + s.l3_misses * lat.dram,
+                "core {c}: cycles must be the exact latency-weighted sum"
+            );
+            merged.merge(&s);
+        }
+        assert_eq!(merged, h.aggregate_stats(), "merge equals the aggregate");
+        assert_eq!(merged.accesses, 6_000);
+    }
+
+    /// The audit's real finding, pinned: frame assignment is first-touch
+    /// ordered, so interleaving ground-truth oracle queries with traffic —
+    /// or even just touching pages in a different order — silently changes
+    /// every later line's physical frame and therefore its hidden L3 slice.
+    /// An oracle that is not premapped in the deployment's canonical order
+    /// disagrees with the deployment. `map_page` premapping is the fix:
+    /// two hierarchies premapped with the same anchors agree on every
+    /// bucket no matter what order they are queried in afterwards.
+    #[test]
+    fn oracle_buckets_depend_on_touch_order_unless_premapped() {
+        let pages: Vec<u64> = (0..6u64)
+            .map(|i| i << HierarchyConfig::tiny_for_tests().page_bits)
+            .collect();
+        // Same boot seed, pages first touched in opposite orders.
+        let mut fwd = tiny(2);
+        let mut rev = tiny(2);
+        for &p in &pages {
+            fwd.map_page(p);
+        }
+        for &p in pages.iter().rev() {
+            rev.map_page(p);
+        }
+        let diverged = pages
+            .iter()
+            .any(|&p| fwd.ground_truth_bucket(p) != rev.ground_truth_bucket(p));
+        assert!(
+            diverged,
+            "first-touch order must matter, or the premapping fix is moot"
+        );
+        // The fix: canonical premapping makes buckets query-order-proof.
+        let mut oracle = tiny(2);
+        for &p in &pages {
+            oracle.map_page(p);
+        }
+        for &p in pages.iter().rev() {
+            assert_eq!(
+                oracle.ground_truth_bucket(p),
+                fwd.ground_truth_bucket(p),
+                "premapped oracle must agree with the premapped deployment"
+            );
+        }
     }
 }

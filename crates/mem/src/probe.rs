@@ -9,6 +9,7 @@
 //! contention threshold δ) is kept identical so the discovery algorithm
 //! reads exactly like the paper's.
 
+use crate::config::HierarchyConfig;
 use crate::hierarchy::MemoryHierarchy;
 
 /// Configuration of a probing-time measurement.
@@ -52,7 +53,15 @@ pub fn probing_time(hier: &mut MemoryHierarchy, addrs: &[u64], cfg: ProbeConfig)
 /// address of a contention set adds at least one full DRAM access per sweep,
 /// so this threshold separates the two cases with margin on both sides.
 pub fn contention_threshold(hier: &MemoryHierarchy) -> u64 {
-    let lat = hier.config().latencies;
+    contention_threshold_for(hier.config())
+}
+
+/// [`contention_threshold`] from the configuration alone — what the
+/// core-aware prober (`castan-xcore`), which holds a multi-core hierarchy,
+/// derives its δ from. Kept in `castan-mem` so the single-core and
+/// cross-core discovery paths threshold on one definition.
+pub fn contention_threshold_for(config: &HierarchyConfig) -> u64 {
+    let lat = config.latencies;
     (lat.dram - lat.l3) / 2
 }
 

@@ -125,6 +125,15 @@ impl RssDispatcher {
         self.indirection = table;
     }
 
+    /// Replaces the Toeplitz key — the key-rotation primitive real NICs
+    /// expose (`ethtool -X ... hkey`). Every flow's hash, indirection entry
+    /// and queue change from the next packet on; the indirection table
+    /// itself is untouched. An attacker who fingerprinted the old key must
+    /// re-fingerprint before it can steer again.
+    pub fn set_key(&mut self, key: [u8; RSS_KEY_LEN]) {
+        self.config.key = key;
+    }
+
     /// RSS hash of a flow.
     pub fn hash_of(&self, flow: &FlowKey) -> u32 {
         rss_hash(&self.config.key, flow)

@@ -11,7 +11,9 @@
 //! amortise dispatch cost:
 //!
 //! * [`toeplitz`] — the Toeplitz hash with Microsoft's published default
-//!   key, validated against the official RSS verification vectors.
+//!   key, validated against the official RSS verification vectors, plus
+//!   [`rotate_key`], the per-epoch key schedule of the key-rotation
+//!   mitigation.
 //! * [`dispatch`] — [`RssConfig`]/[`RssDispatcher`]: hash → indirection
 //!   table → queue, plus *steering*: searching the free 5-tuple dimensions
 //!   (source port, then source address) for a rewrite that lands a flow on
@@ -25,7 +27,8 @@
 //!   it re-steers each epoch-long segment against that epoch's indirection
 //!   table, so the skew chases a rebalancing defender.
 //! * [`rebalance`] — the defense: per-entry load accounting
-//!   ([`LoadTracker`]) and weighted indirection-table rewrite policies
+//!   ([`LoadTracker`], weighing either packet counts or execution cycles
+//!   per [`LoadMetric`]) and weighted indirection-table rewrite policies
 //!   ([`RebalancePolicy`]: round-robin, least-loaded greedy,
 //!   power-of-two-choices) with imbalance hysteresis.
 //! * [`batch`] — [`Batcher`]: per-queue buffering with a configurable
@@ -49,6 +52,6 @@ pub mod toeplitz;
 
 pub use batch::Batcher;
 pub use dispatch::{steer_packet, RssConfig, RssDispatcher};
-pub use rebalance::{queue_loads, rebalanced_table, LoadTracker, RebalancePolicy};
+pub use rebalance::{queue_loads, rebalanced_table, LoadMetric, LoadTracker, RebalancePolicy};
 pub use skew::{skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, SkewSynthesis};
-pub use toeplitz::{toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};
+pub use toeplitz::{rotate_key, toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};

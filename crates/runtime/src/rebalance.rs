@@ -9,9 +9,10 @@
 //! module provides:
 //!
 //! * [`LoadTracker`] — per-entry load accounting over one epoch: packet
-//!   counts (what the rewrite policies weigh) plus the set of distinct
-//!   flows per entry (what a migration cost model charges when an entry
-//!   changes queues).
+//!   counts and execution cycles (either of which the rewrite policies can
+//!   weigh, selected by [`LoadMetric`]) plus the set of distinct flows per
+//!   entry (what a migration cost model charges when an entry changes
+//!   queues).
 //! * [`RebalancePolicy`] and [`rebalanced_table`] — the weighted table
 //!   rewrite policies: static round-robin, least-loaded greedy (LPT
 //!   scheduling of entries onto queues), and periodic
@@ -55,6 +56,34 @@ impl RebalancePolicy {
             RebalancePolicy::RoundRobin => "round-robin",
             RebalancePolicy::LeastLoaded => "least-loaded",
             RebalancePolicy::PowerOfTwoChoices => "power-of-two",
+        }
+    }
+}
+
+/// Which per-entry load signal a rebalancing defender feeds its
+/// [`RebalancePolicy`].
+///
+/// Packet counts are what real drivers read off the queue statistics, but
+/// they under-weigh heavy flows: an entry carrying ten cheap NOP-ish
+/// packets looks busier than one carrying a single packet that walks a
+/// pathological trie for thousands of cycles. Cycle accounting weighs
+/// entries by the execution time they actually cost their queue's core, so
+/// LPT-style policies spread the *work*, not the packet count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LoadMetric {
+    /// Weigh entries by dispatched packet count (the classic driver view).
+    #[default]
+    Packets,
+    /// Weigh entries by the execution cycles their packets cost.
+    Cycles,
+}
+
+impl LoadMetric {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadMetric::Packets => "packets",
+            LoadMetric::Cycles => "cycles",
         }
     }
 }
@@ -153,6 +182,7 @@ pub fn rebalanced_table(
 #[derive(Clone, Debug)]
 pub struct LoadTracker {
     counts: Vec<u64>,
+    cycles: Vec<u64>,
     flows: Vec<BTreeSet<u128>>,
 }
 
@@ -161,6 +191,7 @@ impl LoadTracker {
     pub fn new(table_size: usize) -> Self {
         LoadTracker {
             counts: vec![0; table_size],
+            cycles: vec![0; table_size],
             flows: vec![BTreeSet::new(); table_size],
         }
     }
@@ -174,9 +205,31 @@ impl LoadTracker {
         }
     }
 
+    /// Charges `cycles` of execution time to `entry` — called when the
+    /// packet *executes* (batch granularity), which is after it was
+    /// dispatched and [`LoadTracker::record`]ed. Keeping the two signals
+    /// separate lets the same tracker serve both metrics.
+    pub fn record_cycles(&mut self, entry: usize, cycles: u64) {
+        self.cycles[entry] += cycles;
+    }
+
     /// Per-entry packet counts this epoch.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Per-entry execution cycles this epoch.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// The per-entry load vector under the chosen metric — what
+    /// [`rebalanced_table`] weighs.
+    pub fn loads(&self, metric: LoadMetric) -> &[u64] {
+        match metric {
+            LoadMetric::Packets => &self.counts,
+            LoadMetric::Cycles => &self.cycles,
+        }
     }
 
     /// Total packets recorded this epoch.
@@ -206,9 +259,10 @@ impl LoadTracker {
             .sum()
     }
 
-    /// Clears the epoch's accounting (counts and flow sets).
+    /// Clears the epoch's accounting (counts, cycles and flow sets).
     pub fn reset(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
+        self.cycles.iter_mut().for_each(|c| *c = 0);
         self.flows.iter_mut().for_each(BTreeSet::clear);
     }
 }
@@ -300,6 +354,64 @@ mod tests {
         loads[0] = 1000; // all load on one entry: triggered
         let new = rebalanced_table(RebalancePolicy::RoundRobin, &loads, &current, 4, 0);
         assert_eq!(new, round_robin(16, 4));
+    }
+
+    #[test]
+    fn cycle_metric_stops_under_weighing_heavy_flows() {
+        // Entry 0 carries ONE packet that costs 10 000 cycles (a
+        // pathological flow); entries 1..16 carry 10 cheap packets each
+        // (100 cycles apiece). By packet count the heavy entry looks idle;
+        // by cycles it dominates the epoch.
+        let mut t = LoadTracker::new(16);
+        t.record(0, Some(0));
+        t.record_cycles(0, 10_000);
+        for e in 1..16 {
+            for p in 0..10u64 {
+                t.record(e, Some((e as u128) << 32 | p as u128));
+                t.record_cycles(e, 100);
+            }
+        }
+        assert_eq!(t.loads(LoadMetric::Packets), t.counts());
+        assert_eq!(t.loads(LoadMetric::Cycles), t.cycles());
+        assert_eq!(t.counts()[0], 1);
+        assert_eq!(t.cycles()[0], 10_000);
+
+        // All 16 entries currently map to queue 0 of 4: both metrics
+        // trigger, but only the cycle metric isolates the heavy entry —
+        // LPT by packets piles four entries (40 packets ≈ 4 000 cycles)
+        // onto the heavy entry's queue, because a 1-packet entry looks
+        // free.
+        let current = vec![0u32; 16];
+        let by_packets = rebalanced_table(
+            RebalancePolicy::LeastLoaded,
+            t.loads(LoadMetric::Packets),
+            &current,
+            4,
+            1,
+        );
+        let by_cycles = rebalanced_table(
+            RebalancePolicy::LeastLoaded,
+            t.loads(LoadMetric::Cycles),
+            &current,
+            4,
+            1,
+        );
+        let heavy_queue_cycles =
+            |table: &[u32]| queue_loads(t.cycles(), table, 4)[table[0] as usize];
+        assert_eq!(
+            heavy_queue_cycles(&by_cycles),
+            10_000,
+            "by cycles, the heavy entry gets a queue to itself"
+        );
+        assert!(
+            heavy_queue_cycles(&by_packets) >= 10_000 + 3 * 1_000,
+            "by packets, cheap entries pile onto the heavy entry's queue: \
+             {} cycles",
+            heavy_queue_cycles(&by_packets)
+        );
+        // reset() clears the cycle accounting too.
+        t.reset();
+        assert!(t.cycles().iter().all(|&c| c == 0));
     }
 
     #[test]

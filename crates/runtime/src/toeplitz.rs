@@ -72,6 +72,37 @@ pub fn rss_hash(key: &[u8; RSS_KEY_LEN], flow: &FlowKey) -> u32 {
     toeplitz_hash(key, &rss_input(flow))
 }
 
+/// The per-epoch Toeplitz key schedule of the key-rotation mitigation:
+/// derives epoch `epoch`'s key from `base` with a deterministic xorshift
+/// keystream seeded by (base key, epoch). Epoch 0 is the base key itself —
+/// a rotation-enabled run starts from the same dispatch as a plain one.
+///
+/// Deterministic derivation stands in for the driver reprogramming a fresh
+/// random key (`ethtool -X ... hkey`): the defender's schedule is
+/// reproducible for the experiments, while an attacker who fingerprinted
+/// the base key sees every flow's queue re-randomised at each boundary and
+/// must re-fingerprint mid-attack.
+pub fn rotate_key(base: &[u8; RSS_KEY_LEN], epoch: u64) -> [u8; RSS_KEY_LEN] {
+    if epoch == 0 {
+        return *base;
+    }
+    let mut state = epoch ^ 0x9E37_79B9_7F4A_7C15;
+    for chunk in base.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        state ^= u64::from_le_bytes(w);
+        state = state.wrapping_mul(0xA24B_AED4_963E_E407);
+    }
+    let mut out = [0u8; RSS_KEY_LEN];
+    for b in out.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = state as u8;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +151,32 @@ mod tests {
                 "vector {flow:?}"
             );
         }
+    }
+
+    #[test]
+    fn rotated_keys_are_deterministic_distinct_and_redispatch_flows() {
+        assert_eq!(rotate_key(&RSS_MS_DEFAULT_KEY, 0), RSS_MS_DEFAULT_KEY);
+        let k1 = rotate_key(&RSS_MS_DEFAULT_KEY, 1);
+        assert_eq!(k1, rotate_key(&RSS_MS_DEFAULT_KEY, 1), "deterministic");
+        let k2 = rotate_key(&RSS_MS_DEFAULT_KEY, 2);
+        assert_ne!(k1, RSS_MS_DEFAULT_KEY);
+        assert_ne!(k1, k2, "every epoch gets its own key");
+        // Rotation actually re-randomises dispatch: over a flow population,
+        // a substantial fraction changes its hash low bits (and therefore
+        // its indirection entry) between consecutive keys.
+        let mut moved = 0;
+        for i in 0..512u64 {
+            let flow = FlowKey::udp(
+                Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                1024 + i as u16,
+                Ipv4Addr::new(93, 184, 216, 34),
+                80,
+            );
+            if rss_hash(&k1, &flow) % 128 != rss_hash(&k2, &flow) % 128 {
+                moved += 1;
+            }
+        }
+        assert!(moved > 400, "rotation must reshuffle entries: {moved}/512");
     }
 
     #[test]

@@ -147,6 +147,14 @@ impl MultiCoreCpu {
         &self.hierarchy
     }
 
+    /// Mutable access to the underlying hierarchy — what the sharded DUT's
+    /// page premapping, line-heat profiling and noisy-neighbour replay go
+    /// through (accesses issued here are charged to their core exactly like
+    /// packet work, but bypass the per-packet counters).
+    pub fn hierarchy_mut(&mut self) -> &mut MultiCoreHierarchy {
+        &mut self.hierarchy
+    }
+
     /// An [`ExecSink`] view bound to one core and one address-space base:
     /// instruction costs accrue to the shared per-packet counters, memory
     /// accesses are shifted by `base` and charged to `core` in the shared

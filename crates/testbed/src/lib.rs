@@ -34,8 +34,9 @@ pub use chain::{measure_chain, ChainDut, ChainMeasurement};
 pub use cpu::{CoreSink, CpuModel, MultiCoreCpu, PacketCounters};
 pub use dut::{measure, Dut, Measurement, MeasurementConfig};
 pub use shard::{
-    measure_sharded, CoreMeasurement, MitigationConfig, ShardConfig, ShardedDut,
-    ShardedMeasurement, MIGRATION_LINES_PER_FLOW, STEAL_BATCH_CYCLES, STEAL_THRESHOLD_CYCLES,
+    measure_sharded, victim_table, CoreMeasurement, MitigationConfig, NeighborReplay,
+    NoisyNeighborDut, NoisyNeighborMeasurement, ShardConfig, ShardedDut, ShardedMeasurement,
+    MIGRATION_LINES_PER_FLOW, STEAL_BATCH_CYCLES, STEAL_THRESHOLD_CYCLES,
 };
 pub use stats::Cdf;
 pub use throughput::{max_throughput_mpps, ThroughputConfig};

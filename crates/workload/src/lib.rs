@@ -52,6 +52,12 @@ pub enum WorkloadKind {
     /// the indirection table the defender had active in that epoch (as
     /// learned from a previous attack–defense round).
     AdaptiveSkew,
+    /// The packet-only cross-core eviction attack: victim traffic steered
+    /// *off* one attacker queue, interleaved with eviction traffic (the
+    /// `castan-core` cross-core synthesis) steered *onto* it, so the
+    /// attacker core's own chain instance evicts the victims' hot
+    /// shared-L3 lines.
+    NeighborEvict,
 }
 
 impl WorkloadKind {
@@ -66,6 +72,7 @@ impl WorkloadKind {
             WorkloadKind::Castan => "CASTAN",
             WorkloadKind::RssSkew => "RSS-Skew",
             WorkloadKind::AdaptiveSkew => "Adaptive-Skew",
+            WorkloadKind::NeighborEvict => "Neighbor-Evict",
         }
     }
 
@@ -242,7 +249,8 @@ impl TrafficProfile {
             | WorkloadKind::Manual
             | WorkloadKind::Castan
             | WorkloadKind::RssSkew
-            | WorkloadKind::AdaptiveSkew => {
+            | WorkloadKind::AdaptiveSkew
+            | WorkloadKind::NeighborEvict => {
                 panic!("{kind} is not a generic workload; use the dedicated constructor")
             }
         };
@@ -372,6 +380,95 @@ pub fn adaptive_skew_trace(
     Workload {
         kind: WorkloadKind::AdaptiveSkew,
         packets: synthesis.packets,
+    }
+}
+
+/// The packet-only cross-core attack trace: `victim`'s packets with every
+/// flow that would land on `attacker_queue` re-steered onto another queue
+/// (the deployment the eviction attack assumes — victims on the rest of
+/// the cores), interleaved with `attack_packets` (a
+/// `castan-core::rss::analyze_chain_cross_core` synthesis) steered *onto*
+/// `attacker_queue`: one attack packet after every `attack_every - 1`
+/// victim packets, cycling through the attack sequence.
+///
+/// Victim re-steering preserves the [`castan_runtime::skew_packets`]
+/// invariants (flow distinctness and consistency); off-queue victim flows
+/// are left untouched. Deterministic given its inputs.
+pub fn neighbor_evict_workload(
+    victim: &Workload,
+    attack_packets: &[Packet],
+    dispatcher: &RssDispatcher,
+    attacker_queue: usize,
+    attack_every: usize,
+) -> Workload {
+    assert!(attack_every >= 2, "need room for victim packets");
+    assert!(!victim.is_empty(), "need victim traffic");
+    assert!(!attack_packets.is_empty(), "need attack traffic");
+    let n_queues = dispatcher.n_queues();
+    assert!(n_queues >= 2, "a neighbour attack needs a victim queue");
+    assert!(attacker_queue < n_queues, "attacker queue out of range");
+
+    // Pass 1: claim the identity of every victim flow that already avoids
+    // the attacker queue, so re-steered flows can never merge into one of
+    // them.
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut used: BTreeSet<u128> = BTreeSet::new();
+    for pkt in &victim.packets {
+        if let Some(flow) = pkt.flow() {
+            if dispatcher.queue_of_flow(&flow) != attacker_queue {
+                used.insert(flow.to_u128());
+            }
+        }
+    }
+    // Pass 2: move the offending flows to the victim queues, round-robin
+    // over the targets for balance.
+    let mut mapping: BTreeMap<u128, FlowKey> = BTreeMap::new();
+    let mut rotate = 0usize;
+    let mut victims = Vec::with_capacity(victim.len());
+    for pkt in &victim.packets {
+        let Some(flow) = pkt.flow() else {
+            victims.push(*pkt);
+            continue;
+        };
+        if dispatcher.queue_of_flow(&flow) != attacker_queue {
+            victims.push(*pkt);
+            continue;
+        }
+        let key = flow.to_u128();
+        let steered = match mapping.get(&key) {
+            Some(f) => Some(*f),
+            None => {
+                let target = (attacker_queue + 1 + rotate % (n_queues - 1)) % n_queues;
+                rotate += 1;
+                let found = dispatcher.steer_flow(&flow, target, |c| !used.contains(&c.to_u128()));
+                if let Some(f) = found {
+                    mapping.insert(key, f);
+                    used.insert(f.to_u128());
+                }
+                found
+            }
+        };
+        match steered {
+            Some(f) => victims.push(castan_runtime::steer_packet(pkt, &f)),
+            None => victims.push(*pkt),
+        }
+    }
+
+    // The eviction traffic, all of it on the attacker queue.
+    let attack = skew_packets(attack_packets, dispatcher, attacker_queue);
+
+    let mut packets = Vec::with_capacity(victims.len() + victims.len() / (attack_every - 1) + 1);
+    let mut a = 0usize;
+    for (i, pkt) in victims.iter().enumerate() {
+        packets.push(*pkt);
+        if (i + 1) % (attack_every - 1) == 0 {
+            packets.push(attack.packets[a % attack.packets.len()]);
+            a += 1;
+        }
+    }
+    Workload {
+        kind: WorkloadKind::NeighborEvict,
+        packets,
     }
 }
 
@@ -545,6 +642,56 @@ mod tests {
             1,
             250,
         );
+        assert_eq!(wl.packets, again.packets);
+    }
+
+    #[test]
+    fn neighbor_evict_workload_separates_victims_and_attacker() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let d = RssDispatcher::for_queues(4);
+        let attacker = 3;
+        let victim = generic_chain_workload(&chain, WorkloadKind::UniRand, &small_cfg());
+        // Stand-in attack traffic: a handful of flows that do NOT all hash
+        // to the attacker queue on their own.
+        let attack: Vec<castan_packet::Packet> = (0..7u64)
+            .map(|i| {
+                castan_packet::PacketBuilder::new()
+                    .src_ip(Ipv4Addr::new(172, 16, 0, i as u8 + 1))
+                    .src_port(7000 + i as u16)
+                    .dst_ip(Ipv4Addr::new(93, 184, 216, 34))
+                    .dst_port(80)
+                    .build()
+            })
+            .collect();
+        let wl = neighbor_evict_workload(&victim, &attack, &d, attacker, 4);
+        assert_eq!(wl.kind, WorkloadKind::NeighborEvict);
+        assert!(wl.len() > victim.len(), "attack packets were interleaved");
+
+        // Every packet on the attacker queue is attack traffic, and every
+        // third+1 slot holds one; victim packets never reach the attacker.
+        let mut attacker_packets = 0usize;
+        for (i, p) in wl.packets.iter().enumerate() {
+            let q = d.queue_of_packet(p);
+            if (i + 1) % 4 == 0 {
+                assert_eq!(q, attacker, "slot {i} must carry attack traffic");
+                attacker_packets += 1;
+            } else {
+                assert_ne!(q, attacker, "victim packet {i} leaked to the attacker");
+            }
+        }
+        assert_eq!(attacker_packets, wl.len() / 4);
+
+        // Victim flow distinctness survives the re-steering.
+        let victim_flows: std::collections::BTreeSet<u128> = wl
+            .packets
+            .iter()
+            .filter(|p| d.queue_of_packet(p) != attacker)
+            .filter_map(|p| p.flow().map(|f| f.to_u128()))
+            .collect();
+        assert_eq!(victim_flows.len(), victim.distinct_flows());
+
+        // Deterministic.
+        let again = neighbor_evict_workload(&victim, &attack, &d, attacker, 4);
         assert_eq!(wl.packets, again.packets);
     }
 

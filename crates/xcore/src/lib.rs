@@ -1,0 +1,50 @@
+//! # castan-xcore
+//!
+//! Cross-core contention discovery and eviction planning over the shared,
+//! inclusive, sliced L3 of the multi-core runtime.
+//!
+//! The paper's §3.2 reverse-engineers *contention sets* — groups of
+//! addresses that collide in one (slice, set) bucket of the L3 — by timing
+//! pointer-chase probes on a single core. Since the testbed grew a
+//! multi-core RSS runtime (`castan-mem::multicore`, `castan-testbed::shard`),
+//! the same physical L3 is shared by every core, and inclusivity makes it a
+//! *second adversarial surface*: filling a bucket from one core
+//! back-invalidates the colliding lines out of every other core's private
+//! L1/L2. This crate weaponizes that:
+//!
+//! * [`probe`] — the §3.2 pointer-chase probing-time measurement, run from
+//!   an arbitrary *prober core* of a
+//!   [`MultiCoreHierarchy`](castan_mem::MultiCoreHierarchy): probes charge
+//!   through the prober's private levels into the shared L3, which is how a
+//!   neighbour core observes contention with a victim core's lines.
+//! * [`discover`] — the three-step §3.2 discovery algorithm, core-aware:
+//!   the candidate pool may span several cores' address windows, and the
+//!   recovered grouping is validated against the simulator's `SliceHash`
+//!   ground-truth oracle exactly like the single-core path. A 1-core
+//!   hierarchy reproduces `castan-mem::contention`'s output byte for byte
+//!   (pinned by tests), and catalogues probed from different cores agree —
+//!   the sets are *consistent across cores*.
+//! * [`plan`] — the chain-aware feedback into analysis: map a victim
+//!   chain's hot state (per-line heat of the striped per-core stage
+//!   regions the sharded DUT assigns) onto the discovered buckets and emit
+//!   a ranked [`EvictionPlan`] — which attacker-core lines to touch to
+//!   evict which victim-stage lines. The plan drives both the
+//!   noisy-neighbour replay mode of `castan-testbed::shard` and the
+//!   packet-only synthesis of `castan-core::rss::analyze_chain_cross_core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discover;
+pub mod plan;
+pub mod probe;
+
+pub use discover::{
+    consistent_across_cores, discover_catalog_from, discover_contention_set_from,
+    ground_truth_catalog_on,
+};
+pub use plan::{
+    build_eviction_plan, premap_deployment, random_neighbor_lines, EvictionPlan, HotLineMap,
+    PlanEntry, XCoreConfig,
+};
+pub use probe::probing_time_from;

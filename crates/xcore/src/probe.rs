@@ -1,0 +1,93 @@
+//! Core-aware pointer-chase probing.
+//!
+//! `castan-mem::probe` measures a candidate set's probing time on the
+//! single-core hierarchy. The cross-core prober needs the same measurement
+//! *from a chosen core* of a multi-core hierarchy: the sweep is charged
+//! through that core's private L1/L2 in front of the shared L3, so
+//! back-invalidation-driven latency jumps — a neighbour's lines falling out
+//! of the shared L3 — show up in the prober's own timing. The measurement
+//! semantics (flush, warm, measure against a contention threshold δ) are
+//! identical to the single-core path, which is what makes 1-core probing a
+//! special case rather than a reimplementation.
+
+use castan_mem::probe::ProbeConfig;
+use castan_mem::MultiCoreHierarchy;
+
+/// Measures the steady-state probing time (cycles per sweep) of `addrs`,
+/// swept from core `prober` of a multi-core hierarchy.
+///
+/// All caches are flushed first, then the set is swept `cfg.reps` times;
+/// the cycles of the final sweep are returned. A set whose contention sets
+/// fit within associativity converges to all-hits; a set exceeding
+/// associativity keeps missing every sweep — the signal the discovery
+/// algorithm thresholds on. On a 1-core hierarchy this reproduces
+/// `castan_mem::probe::probing_time` exactly.
+pub fn probing_time_from(
+    hier: &mut MultiCoreHierarchy,
+    prober: usize,
+    addrs: &[u64],
+    cfg: ProbeConfig,
+) -> u64 {
+    assert!(cfg.reps >= 2, "need at least one warm-up sweep");
+    hier.flush_caches();
+    let mut last_sweep = 0;
+    for _ in 0..cfg.reps {
+        last_sweep = 0;
+        for &a in addrs {
+            last_sweep += hier.read(prober, a).cycles;
+        }
+    }
+    last_sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_mem::probe::probing_time;
+    use castan_mem::{HierarchyConfig, MemoryHierarchy, LINE_SIZE};
+
+    #[test]
+    fn one_core_probing_matches_the_single_core_prober() {
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let addrs: Vec<u64> = (0..24).map(|i| 0x9000 + i * 3 * LINE_SIZE).collect();
+        let mut single = MemoryHierarchy::new(cfg, 3);
+        let mut multi = MultiCoreHierarchy::new(cfg, 3, 1);
+        assert_eq!(
+            probing_time(&mut single, &addrs, ProbeConfig::default()),
+            probing_time_from(&mut multi, 0, &addrs, ProbeConfig::default()),
+        );
+    }
+
+    #[test]
+    fn any_prober_core_measures_the_same_shared_l3() {
+        // The probing time is dominated by the shared L3 and DRAM; the
+        // prober's identity must not change the steady-state measurement
+        // (every core has identical, initially-empty private levels).
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let span = cfg.l3_slice_geometry().sets() * LINE_SIZE;
+        let addrs: Vec<u64> = (0..32).map(|i| 0x40_0000 + i * span).collect();
+        let mut h = MultiCoreHierarchy::new(cfg, 3, 4);
+        let baseline = probing_time_from(&mut h, 0, &addrs, ProbeConfig::default());
+        for core in 1..4 {
+            assert_eq!(
+                probing_time_from(&mut h, core, &addrs, ProbeConfig::default()),
+                baseline,
+                "prober core {core} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_sets_stay_expensive_from_a_neighbour_core() {
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let span = cfg.l3_slice_geometry().sets() * LINE_SIZE;
+        let addrs: Vec<u64> = (0..64).map(|i| 0x80_0000 + i * span).collect();
+        let mut h = MultiCoreHierarchy::new(cfg, 3, 2);
+        let t = probing_time_from(&mut h, 1, &addrs, ProbeConfig::default());
+        let lat = cfg.latencies;
+        assert!(
+            t >= 8 * lat.dram,
+            "expected sustained DRAM traffic, got {t}"
+        );
+    }
+}

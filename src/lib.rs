@@ -19,3 +19,4 @@ pub use castan_packet as packet;
 pub use castan_runtime as runtime;
 pub use castan_testbed as testbed;
 pub use castan_workload as workload;
+pub use castan_xcore as xcore;

@@ -451,3 +451,96 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Cross-core §3.2 discovery (castan-xcore), probed from a random core
+    /// of a random boot: recovers at least 90% of every oracle bucket's
+    /// member lines per slice, is deterministic under a fixed shuffle
+    /// seed, and agrees with every other prober core.
+    #[test]
+    fn cross_core_discovery_recovers_ground_truth_from_any_core(
+        boot in 1u64..1_000,
+        prober in 0usize..4,
+    ) {
+        use castan_suite::mem::contention::DiscoveryConfig;
+        use castan_suite::mem::{HierarchyConfig, MultiCoreHierarchy};
+        use castan_suite::xcore::{discover_catalog_from, ground_truth_catalog_on};
+
+        let cfg = HierarchyConfig::tiny_for_tests();
+        // One candidate per page across two cores' address windows: the
+        // set-index bits agree, so the only unknown is the hidden slice.
+        let page = 1u64 << cfg.page_bits;
+        let mut candidates: Vec<u64> = (0..20u64).map(|i| 0x10_0000 + i * page).collect();
+        candidates.extend((0..20u64).map(|i| 0x4000_0000 + i * page));
+
+        let mut h = MultiCoreHierarchy::new(cfg, boot, 4);
+        let truth = ground_truth_catalog_on(&mut h, candidates.iter().copied());
+        let dcfg = DiscoveryConfig::default();
+        let discovered = discover_catalog_from(&mut h, prober, &candidates, &dcfg);
+        prop_assert!(!discovered.is_empty());
+
+        // >= 90% of every discoverable oracle bucket, grouped correctly.
+        for (i, truth_set) in truth.sets().iter().enumerate() {
+            if truth_set.len() <= h.l3_associativity() as usize {
+                continue; // cannot cross the probing threshold
+            }
+            let recovered = truth_set
+                .lines
+                .iter()
+                .filter(|&&l| {
+                    discovered
+                        .set_of(l)
+                        .is_some_and(|d| discovered.members(d).len() > 1)
+                })
+                .count();
+            prop_assert!(
+                recovered * 10 >= truth_set.len() * 9,
+                "boot {}, bucket {}: recovered {}/{}",
+                boot, i, recovered, truth_set.len()
+            );
+        }
+        for set in discovered.sets() {
+            let bucket = truth.set_of(set.lines[0]);
+            prop_assert!(bucket.is_some());
+            for &l in &set.lines {
+                prop_assert_eq!(truth.set_of(l), bucket, "line {:#x} misgrouped", l);
+            }
+        }
+
+        // Deterministic under the same seed, and prober-independent. The
+        // replica must replay the oracle queries first: frame assignment
+        // is first-touch ordered, so a hierarchy whose pages were first
+        // mapped in probe order would genuinely hold different slices
+        // (the audit finding premapping exists to fix).
+        let mut replica = MultiCoreHierarchy::new(cfg, boot, 4);
+        let _ = ground_truth_catalog_on(&mut replica, candidates.iter().copied());
+        let again = discover_catalog_from(&mut replica, prober, &candidates, &dcfg);
+        prop_assert_eq!(discovered.sets(), again.sets());
+        let other_core = (prober + 1) % 4;
+        let other = discover_catalog_from(&mut h, other_core, &candidates, &dcfg);
+        prop_assert_eq!(discovered.sets(), other.sets(), "prober cores disagree");
+    }
+
+    /// A 1-core hierarchy makes cross-core discovery a strict special case
+    /// of the single-core `castan-mem::contention` path: identical output,
+    /// byte for byte, for any boot seed.
+    #[test]
+    fn one_core_xcore_discovery_matches_the_single_core_path(boot in 1u64..1_000) {
+        use castan_suite::mem::contention::{discover_catalog, DiscoveryConfig};
+        use castan_suite::mem::{HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy, LINE_SIZE};
+        use castan_suite::xcore::discover_catalog_from;
+
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let span = cfg.l3_slice_geometry().sets() * LINE_SIZE;
+        let candidates: Vec<u64> = (0..40u64).map(|i| 0x20_0000 + i * span).collect();
+        let dcfg = DiscoveryConfig::default();
+        let single = discover_catalog(&mut MemoryHierarchy::new(cfg, boot), &candidates, &dcfg);
+        let multi = discover_catalog_from(
+            &mut MultiCoreHierarchy::new(cfg, boot, 1), 0, &candidates, &dcfg,
+        );
+        prop_assert_eq!(single.sets(), multi.sets());
+        prop_assert_eq!(single.associativity(), multi.associativity());
+    }
+}
