@@ -1,0 +1,109 @@
+//! The ECMP/L4 cluster tier: front-tier node lookup rate, the node-map
+//! control operations (drain, add), cluster-level skew synthesis, and a
+//! full cluster run. Backs the `cluster-skew` experiment and the
+//! `BENCH_cluster.json` baseline: the per-packet front-tier cost and the
+//! controller's per-epoch work determine how the fleet-level numbers
+//! scale with node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_chain::{chain_by_id, ChainId};
+use castan_cluster::{
+    cluster_skew_packets, ecmp_skew_packets, measure_cluster, ClusterConfig, NodeMap,
+};
+use castan_packet::{FlowKey, Ipv4Addr};
+use castan_runtime::RssDispatcher;
+use castan_testbed::{MeasurementConfig, ShardConfig};
+use castan_workload::{generic_chain_workload, WorkloadConfig, WorkloadKind};
+
+fn flow(i: u64) -> FlowKey {
+    FlowKey::udp(
+        Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+        1024 + (i % 50_000) as u16,
+        Ipv4Addr::new(93, 184, 216, 34),
+        80,
+    )
+}
+
+fn bench_node_lookup(c: &mut Criterion) {
+    let map = NodeMap::new(4, 0xECB0_5EED);
+    let mut i = 0u64;
+    c.bench_function("cluster_node_of_flow", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(map.node_of_flow(&flow(i)))
+        })
+    });
+}
+
+fn bench_map_control_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_map");
+    for nodes in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("drain", nodes), |b| {
+            b.iter(|| {
+                let mut map = NodeMap::new(nodes, 0xECB0_5EED);
+                black_box(map.drain(0))
+            })
+        });
+        group.bench_function(BenchmarkId::new("add_node", nodes), |b| {
+            b.iter(|| {
+                let mut map = NodeMap::new(nodes, 0xECB0_5EED);
+                black_box(map.add_node())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_skew_synthesis(c: &mut Criterion) {
+    let chain = chain_by_id(ChainId::NatLpm);
+    let wl = generic_chain_workload(
+        &chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(0.001),
+    );
+    let shard = ShardConfig::new(4);
+    let map = ClusterConfig::new(4, shard).boot_map();
+    let dispatcher = RssDispatcher::new(shard.rss);
+    c.bench_function("cluster_ecmp_skew_1000_packets", |b| {
+        b.iter(|| black_box(ecmp_skew_packets(&wl.packets, &map, 0).steered))
+    });
+    c.bench_function("cluster_composed_skew_1000_packets", |b| {
+        b.iter(|| black_box(cluster_skew_packets(&wl.packets, &map, &dispatcher, 0, 0).steered))
+    });
+}
+
+fn bench_cluster_run(c: &mut Criterion) {
+    let chain = chain_by_id(ChainId::Nop3);
+    let wl = generic_chain_workload(
+        &chain,
+        WorkloadKind::UniRand,
+        &WorkloadConfig::scaled(0.002),
+    );
+    let cfg = MeasurementConfig {
+        total_packets: 2_000,
+        warmup_packets: 200,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("cluster_run_2000_packets");
+    group.sample_size(10);
+    for nodes in [2usize, 4] {
+        group.bench_function(BenchmarkId::from_parameter(nodes), |b| {
+            b.iter(|| {
+                let cluster = ClusterConfig::new(nodes, ShardConfig::new(4));
+                black_box(measure_cluster(&chain, cluster, &wl, &cfg).aggregate_mpps())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_node_lookup,
+    bench_map_control_ops,
+    bench_skew_synthesis,
+    bench_cluster_run
+);
+criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! The consistent-hashing node map of the ECMP front tier.
+//!
+//! Real L4 load balancers (and ECMP routers) map a flow's 5-tuple hash into
+//! a bucket table whose entries name back-end nodes — the cluster-level
+//! twin of the NIC's RSS indirection table one layer down. [`NodeMap`]
+//! reproduces that: `n_buckets` buckets (a power of two, like the
+//! indirection table) are assigned to nodes by **capacity-capped
+//! rendezvous hashing** (highest-random-weight), which gives three
+//! properties the tier needs at once:
+//!
+//! - **Balance at boot.** The initial fill caps every node at
+//!   `ceil(n_buckets / n_nodes)` buckets, so no node starts with more than
+//!   one bucket over its fair share.
+//! - **Bounded disruption.** Draining or failing a node moves *only that
+//!   node's buckets* (each to its next-highest-weight surviving node);
+//!   every other flow keeps its node. Adding a node claims only the
+//!   buckets where the newcomer has the globally highest weight —
+//!   `≈ n_buckets / (n_nodes + 1)` of them in expectation.
+//! - **Seeded determinism.** All weights derive from one seed, so two maps
+//!   built with the same parameters agree bucket for bucket — the property
+//!   the controller plane's reproducibility tests pin.
+//!
+//! The map also carries the attacker's primitive:
+//! [`NodeMap::steer_flow_to_node`] searches the free 5-tuple dimensions
+//! (source port, then source-address low bits — exactly the dimensions
+//! `castan_runtime::RssDispatcher::steer_flow` uses) for a variant of a
+//! flow that ECMP-hashes onto a chosen node. Composed with RSS steering it
+//! yields the cluster-skew attack of `castan-core`.
+
+use castan_packet::{FlowKey, Ipv4Addr, Packet};
+
+/// Default number of ECMP buckets: comfortably more than any node count
+/// this simulation runs, so per-node shares stay fine-grained, and a power
+/// of two so the flow hash can be masked like an RSS hash.
+pub const DEFAULT_NODE_BUCKETS: usize = 256;
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finalizer — the same mixer the runtime crate uses for its
+/// seeded offsets; cheap, deterministic and well distributed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Lifecycle state of one node behind the front tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeState {
+    /// Serving traffic.
+    Active,
+    /// Gracefully drained: its buckets were handed off (with flow-state
+    /// migration) and it receives no new traffic.
+    Draining,
+    /// Crashed: it serves nothing, and unless the controller reassigns its
+    /// buckets ([`NodeMap::reassign`]), traffic hashed to them blackholes.
+    Failed,
+}
+
+impl NodeState {
+    /// Whether a node in this state serves traffic.
+    pub fn serves_traffic(self) -> bool {
+        matches!(self, NodeState::Active)
+    }
+}
+
+/// The ECMP bucket table: flow 5-tuple → bucket → node.
+#[derive(Clone, Debug)]
+pub struct NodeMap {
+    buckets: Vec<u32>,
+    states: Vec<NodeState>,
+    seed: u64,
+}
+
+impl NodeMap {
+    /// A map over `n_nodes` active nodes with [`DEFAULT_NODE_BUCKETS`]
+    /// buckets.
+    pub fn new(n_nodes: usize, seed: u64) -> Self {
+        Self::with_buckets(n_nodes, DEFAULT_NODE_BUCKETS, seed)
+    }
+
+    /// A map with an explicit bucket count (must be a power of two and at
+    /// least the node count, mirroring the RSS indirection-table rules).
+    pub fn with_buckets(n_nodes: usize, n_buckets: usize, seed: u64) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        assert!(
+            n_buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        assert!(
+            n_buckets >= n_nodes,
+            "bucket table too small: {n_buckets} buckets cannot address {n_nodes} nodes"
+        );
+        let mut map = NodeMap {
+            buckets: Vec::new(),
+            states: vec![NodeState::Active; n_nodes],
+            seed,
+        };
+        map.buckets = map.balanced_fill(n_buckets);
+        map
+    }
+
+    /// Capacity-capped rendezvous fill, two passes: first every bucket
+    /// tries its weight-ranked nodes against a `floor(n_buckets/n_active)`
+    /// quota; buckets that find every node full are then placed (in bucket
+    /// order) against a `floor + 1` quota. The result is never more than
+    /// one bucket from perfectly even, and still a pure function of the
+    /// seed.
+    fn balanced_fill(&self, n_buckets: usize) -> Vec<u32> {
+        let active = self.active_nodes();
+        let floor = n_buckets / active.len();
+        let mut held = vec![0usize; self.states.len()];
+        let mut out = vec![u32::MAX; n_buckets];
+        let mut deferred = Vec::new();
+        let ranked = |b: usize| {
+            let mut nodes = active.clone();
+            nodes.sort_by_key(|&n| (core::cmp::Reverse(self.weight(b, n)), n));
+            nodes
+        };
+        for (b, slot) in out.iter_mut().enumerate() {
+            match ranked(b).into_iter().find(|&n| held[n as usize] < floor) {
+                Some(node) => {
+                    held[node as usize] += 1;
+                    *slot = node;
+                }
+                None => deferred.push(b),
+            }
+        }
+        for b in deferred {
+            let node = ranked(b)
+                .into_iter()
+                .find(|&n| held[n as usize] < floor + 1)
+                .expect("floor + 1 quotas cover every bucket");
+            held[node as usize] += 1;
+            out[b] = node;
+        }
+        out
+    }
+
+    /// Rendezvous weight of `(bucket, node)` under this map's seed.
+    fn weight(&self, bucket: usize, node: u32) -> u64 {
+        splitmix64(
+            splitmix64(self.seed ^ (bucket as u64)) ^ (u64::from(node) + 1).wrapping_mul(GOLDEN),
+        )
+    }
+
+    /// Number of nodes the map has ever known (including retired ones —
+    /// node ids are stable for the lifetime of the map).
+    pub fn n_nodes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of ECMP buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The current bucket table (`buckets()[bucket]` is the node id).
+    pub fn buckets(&self) -> &[u32] {
+        &self.buckets
+    }
+
+    /// This map's hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The lifecycle state of a node.
+    pub fn state(&self, node: u32) -> NodeState {
+        self.states[node as usize]
+    }
+
+    /// Ids of the nodes currently serving traffic, in id order.
+    pub fn active_nodes(&self) -> Vec<u32> {
+        (0..self.states.len() as u32)
+            .filter(|&n| self.states[n as usize].serves_traffic())
+            .collect()
+    }
+
+    /// Replaces the bucket table — the controller-plane rewrite primitive,
+    /// the cluster-level analogue of `RssDispatcher::set_table`. The new
+    /// table must keep its size and may only name serving nodes.
+    pub fn set_buckets(&mut self, buckets: Vec<u32>) {
+        assert_eq!(
+            buckets.len(),
+            self.buckets.len(),
+            "bucket table must keep its configured size"
+        );
+        assert!(
+            buckets
+                .iter()
+                .all(|&n| (n as usize) < self.states.len()
+                    && self.states[n as usize].serves_traffic()),
+            "bucket table names a node that is not serving traffic"
+        );
+        self.buckets = buckets;
+    }
+
+    /// The ECMP hash of a flow: a seeded mix of the full 5-tuple. Distinct
+    /// from the NIC's Toeplitz hash on purpose — the front tier and the
+    /// NICs hash independently, which is what makes the *composed*
+    /// node-and-queue steering attack a real search rather than a freebie.
+    pub fn hash_of(&self, flow: &FlowKey) -> u64 {
+        let v = flow.to_u128();
+        splitmix64(self.seed ^ (v as u64) ^ ((v >> 64) as u64).wrapping_mul(GOLDEN))
+    }
+
+    /// The bucket a flow indexes (stable under table rewrites — only the
+    /// bucket→node mapping changes, never the bucket).
+    pub fn bucket_of_flow(&self, flow: &FlowKey) -> usize {
+        (self.hash_of(flow) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// The bucket a packet indexes, or `None` for packets without a
+    /// tracked TCP/UDP flow.
+    pub fn bucket_of_packet(&self, packet: &Packet) -> Option<usize> {
+        packet.flow().map(|f| self.bucket_of_flow(&f))
+    }
+
+    /// The node a flow is dispatched to.
+    pub fn node_of_flow(&self, flow: &FlowKey) -> u32 {
+        self.buckets[self.bucket_of_flow(flow)]
+    }
+
+    /// The node a packet is dispatched to. Non-flow packets carry no ECMP
+    /// hash and fall back to bucket 0's node, mirroring the RSS
+    /// dispatcher's queue-0 fallback.
+    pub fn node_of_packet(&self, packet: &Packet) -> u32 {
+        match packet.flow() {
+            Some(flow) => self.node_of_flow(&flow),
+            None => self.buckets[0],
+        }
+    }
+
+    /// Gracefully drains a node: marks it [`NodeState::Draining`] and hands
+    /// each of its buckets to that bucket's next-highest-weight serving
+    /// node. Returns the number of buckets that moved — at most the
+    /// drained node's holding, so at most ~`n_buckets / n_active` of the
+    /// table; every bucket on another node is untouched.
+    pub fn drain(&mut self, node: u32) -> usize {
+        assert!(
+            self.state(node).serves_traffic(),
+            "only a serving node can be drained"
+        );
+        self.states[node as usize] = NodeState::Draining;
+        self.reassign(node)
+    }
+
+    /// Marks a node crashed **without** touching the bucket table: until
+    /// [`NodeMap::reassign`] runs, traffic hashed to its buckets
+    /// blackholes — the behaviour of a fleet whose control plane has not
+    /// yet reacted.
+    pub fn fail(&mut self, node: u32) {
+        assert!(
+            self.state(node).serves_traffic(),
+            "only a serving node can fail"
+        );
+        self.states[node as usize] = NodeState::Failed;
+    }
+
+    /// Reassigns every bucket still naming the (retired) `node` to that
+    /// bucket's highest-weight serving node. Returns the number of buckets
+    /// moved. This is the recovery half of drain-on-fail.
+    pub fn reassign(&mut self, node: u32) -> usize {
+        assert!(
+            !self.state(node).serves_traffic(),
+            "reassignment is for retired nodes"
+        );
+        let active = self.active_nodes();
+        assert!(!active.is_empty(), "cannot retire the last serving node");
+        let mut moved = 0;
+        for b in 0..self.buckets.len() {
+            if self.buckets[b] == node {
+                self.buckets[b] = *active
+                    .iter()
+                    .max_by_key(|&&n| (self.weight(b, n), core::cmp::Reverse(n)))
+                    .expect("active set is non-empty");
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Adds a fresh node and hands it every bucket where it has the
+    /// globally highest rendezvous weight among serving nodes —
+    /// `≈ n_buckets / n_active` buckets in expectation, leaving all other
+    /// assignments untouched. Returns the new node's id.
+    pub fn add_node(&mut self) -> u32 {
+        let node = self.states.len() as u32;
+        self.states.push(NodeState::Active);
+        let active = self.active_nodes();
+        for b in 0..self.buckets.len() {
+            let winner = *active
+                .iter()
+                .max_by_key(|&&n| (self.weight(b, n), core::cmp::Reverse(n)))
+                .expect("active set is non-empty");
+            let incumbent_retired = !self.states[self.buckets[b] as usize].serves_traffic();
+            if winner == node || incumbent_retired {
+                self.buckets[b] = winner;
+            }
+        }
+        node
+    }
+
+    /// Searches the free 5-tuple dimensions for a variant of `flow` that
+    /// ECMP-hashes onto `target` *and* is accepted by `distinct`: source
+    /// ports first (scanning outward from the current port, skipping a
+    /// wrapped port 0), then source-address low bits — the same candidate
+    /// enumeration as `RssDispatcher::steer_flow`, so node steering and
+    /// queue steering explore the same attacker-controlled space. With a
+    /// known seed, on average `n_active` candidates suffice. Returns
+    /// `None` only if every candidate is rejected.
+    pub fn steer_flow_to_node(
+        &self,
+        flow: &FlowKey,
+        target: u32,
+        mut distinct: impl FnMut(&FlowKey) -> bool,
+    ) -> Option<FlowKey> {
+        assert!(
+            (target as usize) < self.states.len(),
+            "target node out of range"
+        );
+        let mut check = |candidate: FlowKey| -> Option<FlowKey> {
+            (self.node_of_flow(&candidate) == target && distinct(&candidate)).then_some(candidate)
+        };
+        if let Some(found) = check(*flow) {
+            return Some(found);
+        }
+        for delta in 1..=u16::MAX {
+            let port = flow.src_port.wrapping_add(delta);
+            if port == 0 {
+                continue;
+            }
+            let mut candidate = *flow;
+            candidate.src_port = port;
+            if let Some(found) = check(candidate) {
+                return Some(found);
+            }
+        }
+        for ip_delta in 1..=u8::MAX {
+            let mut octets = flow.src_ip.octets();
+            octets[3] = octets[3].wrapping_add(ip_delta);
+            for delta in 0..256u16 {
+                let port = flow.src_port.wrapping_add(delta);
+                if port == 0 {
+                    continue;
+                }
+                let mut candidate = *flow;
+                candidate.src_ip = Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]);
+                candidate.src_port = port;
+                if let Some(found) = check(candidate) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u64) -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+            1024 + (i % 50_000) as u16,
+            Ipv4Addr::new(93, 184, 216, 34),
+            80,
+        )
+    }
+
+    #[test]
+    fn boot_fill_is_balanced_and_deterministic() {
+        for n_nodes in [1usize, 2, 3, 4, 7] {
+            let map = NodeMap::new(n_nodes, 0xC1A5);
+            assert_eq!(map.buckets(), NodeMap::new(n_nodes, 0xC1A5).buckets());
+            let mut held = vec![0usize; n_nodes];
+            for &n in map.buckets() {
+                held[n as usize] += 1;
+            }
+            let min = *held.iter().min().unwrap();
+            let max = *held.iter().max().unwrap();
+            assert!(
+                max - min <= 1,
+                "{n_nodes} nodes: boot fill {held:?} is more than ±1 uneven"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_tables() {
+        let a = NodeMap::new(4, 1);
+        let b = NodeMap::new(4, 2);
+        assert_ne!(a.buckets(), b.buckets());
+    }
+
+    #[test]
+    fn flows_cover_all_nodes_roughly_evenly() {
+        let map = NodeMap::new(4, 0xC1A5);
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            counts[map.node_of_flow(&flow(i)) as usize] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1400).contains(&c),
+                "node {n} got {c} of 4096 flows — ECMP dispatch is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn draining_moves_only_the_drained_nodes_flows() {
+        let mut map = NodeMap::new(4, 7);
+        let before: Vec<u32> = (0..10_000).map(|i| map.node_of_flow(&flow(i))).collect();
+        let moved_buckets = map.drain(1);
+        assert!(moved_buckets > 0);
+        let mut remapped = 0usize;
+        for (i, &was) in before.iter().enumerate() {
+            let now = map.node_of_flow(&flow(i as u64));
+            if was == 1 {
+                assert_ne!(now, 1, "flow still routed to the drained node");
+                remapped += 1;
+            } else {
+                assert_eq!(now, was, "a flow not on the drained node moved");
+            }
+        }
+        // ~1/4 of flows lived on the drained node; allow generous slack
+        // for hash variance but stay well under 2/N.
+        let frac = remapped as f64 / before.len() as f64;
+        assert!(
+            frac < 0.40,
+            "drain remapped {frac:.2} of flows — disruption is not bounded"
+        );
+    }
+
+    #[test]
+    fn failing_without_reassignment_blackholes_then_recovers() {
+        let mut map = NodeMap::new(2, 3);
+        map.fail(0);
+        // Buckets still name the failed node until reassignment.
+        assert!(map.buckets().contains(&0));
+        let moved = map.reassign(0);
+        assert!(moved > 0);
+        assert!(map.buckets().iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn adding_a_node_claims_a_bounded_share() {
+        let mut map = NodeMap::new(3, 11);
+        let before = map.buckets().to_vec();
+        let node = map.add_node();
+        assert_eq!(node, 3);
+        let claimed = map
+            .buckets()
+            .iter()
+            .zip(&before)
+            .filter(|(now, was)| now != was)
+            .count();
+        assert!(
+            map.buckets()
+                .iter()
+                .zip(&before)
+                .all(|(&now, &was)| now == was || now == node),
+            "an existing bucket moved between incumbents"
+        );
+        let frac = claimed as f64 / before.len() as f64;
+        assert!(
+            frac > 0.05 && frac < 0.50,
+            "new node claimed {frac:.2} of buckets — expected ≈1/4"
+        );
+    }
+
+    #[test]
+    fn steering_lands_flows_on_the_chosen_node() {
+        let map = NodeMap::new(4, 0xC1A5);
+        for target in 0..4 {
+            for i in 0..64 {
+                let f = flow(i);
+                let steered = map
+                    .steer_flow_to_node(&f, target, |_| true)
+                    .expect("steerable");
+                assert_eq!(map.node_of_flow(&steered), target);
+                assert_eq!(steered.dst_ip, f.dst_ip);
+                assert_eq!(steered.dst_port, f.dst_port);
+                assert_eq!(steered.proto, f.proto);
+            }
+        }
+    }
+}

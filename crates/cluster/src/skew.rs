@@ -1,0 +1,257 @@
+//! Cluster-level skew steering: ECMP skew, and ECMP×RSS composed skew.
+//!
+//! The node-level queue-skew attack (`castan_runtime::skew_packets`)
+//! collapses one *box* to one core. At fleet scale the attacker has two
+//! hash layers to beat: the front tier's ECMP hash (flow → node) and the
+//! victim node's Toeplitz hash (flow → core). This module steers whole
+//! packet sequences against either layer or both:
+//!
+//! - [`ecmp_skew_packets`] lands every steerable flow on one **node**
+//!   (the other nodes idle, but the victim node's own RSS still spreads
+//!   the flows over its cores — the attack costs the fleet `(N-1)/N` of
+//!   its capacity).
+//! - [`cluster_skew_packets`] composes both layers: every steerable flow
+//!   lands on one node **and** on one RSS queue of that node. Each
+//!   candidate 5-tuple must satisfy both hashes at once, so the search
+//!   space multiplies (`n_nodes × n_queues` candidates on average per
+//!   flow) — still cheap with known seed and key, and the payoff is total:
+//!   the whole fleet's traffic serialises behind a single core.
+//!
+//! Both preserve the two invariants of the node-level synthesis: flow
+//! distinctness (two input flows never merge) and flow consistency (every
+//! replay of an input flow maps to the same steered flow). Only source
+//! endpoints are rewritten.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use castan_packet::{FlowKey, Packet};
+use castan_runtime::{steer_packet, RssDispatcher};
+use castan_workload::{Workload, WorkloadKind};
+
+use crate::map::NodeMap;
+
+/// The result of steering a packet sequence against the cluster's hash
+/// layers.
+#[derive(Clone, Debug)]
+pub struct ClusterSkewSynthesis {
+    /// The steered packets (same order as the input sequence).
+    pub packets: Vec<Packet>,
+    /// The victim node every steerable packet now hashes to.
+    pub target_node: u32,
+    /// The victim RSS queue on the target node (`None` for plain ECMP
+    /// skew, which leaves the within-node spread alone).
+    pub target_queue: Option<usize>,
+    /// Packets whose 5-tuple already satisfied the target(s).
+    pub already_on_target: usize,
+    /// Packets whose source endpoint was rewritten.
+    pub steered: usize,
+    /// Packets left untouched (no tracked flow, or no distinct candidate
+    /// found).
+    pub unsteerable: usize,
+}
+
+impl ClusterSkewSynthesis {
+    /// Fraction of the sequence now dispatched to the victim node.
+    pub fn node_share(&self, map: &NodeMap) -> f64 {
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        let on_node = self
+            .packets
+            .iter()
+            .filter(|p| map.node_of_packet(p) == self.target_node)
+            .count();
+        on_node as f64 / self.packets.len() as f64
+    }
+
+    /// Fraction of the sequence now dispatched to the victim (node, queue)
+    /// pair — the composed attack's figure of merit. Zero when this
+    /// synthesis had no queue target.
+    pub fn core_share(&self, map: &NodeMap, dispatcher: &RssDispatcher) -> f64 {
+        let Some(queue) = self.target_queue else {
+            return 0.0;
+        };
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        let on_core = self
+            .packets
+            .iter()
+            .filter(|p| {
+                map.node_of_packet(p) == self.target_node && dispatcher.queue_of_packet(p) == queue
+            })
+            .count();
+        on_core as f64 / self.packets.len() as f64
+    }
+
+    /// Wraps the steered packets as a workload of the given kind.
+    pub fn into_workload(self, kind: WorkloadKind) -> Workload {
+        Workload {
+            kind,
+            packets: self.packets,
+        }
+    }
+}
+
+/// Shared steering walk: `steer` maps (original flow, distinctness check)
+/// to a steered flow on the target(s).
+fn steer_sequence(
+    packets: &[Packet],
+    target_node: u32,
+    target_queue: Option<usize>,
+    mut steer: impl FnMut(&FlowKey, &BTreeSet<u128>) -> Option<FlowKey>,
+) -> ClusterSkewSynthesis {
+    let mut mapping: BTreeMap<u128, Option<FlowKey>> = BTreeMap::new();
+    let mut used: BTreeSet<u128> = BTreeSet::new();
+    let mut out = Vec::with_capacity(packets.len());
+    let mut already = 0usize;
+    let mut steered = 0usize;
+    let mut unsteerable = 0usize;
+
+    for pkt in packets {
+        let Some(flow) = pkt.flow() else {
+            unsteerable += 1;
+            out.push(*pkt);
+            continue;
+        };
+        let key = flow.to_u128();
+        let assigned = match mapping.get(&key) {
+            Some(a) => *a,
+            None => {
+                let found = steer(&flow, &used);
+                if let Some(f) = found {
+                    used.insert(f.to_u128());
+                }
+                mapping.insert(key, found);
+                found
+            }
+        };
+        match assigned {
+            Some(f) => {
+                if f == flow {
+                    already += 1;
+                } else {
+                    steered += 1;
+                }
+                out.push(steer_packet(pkt, &f));
+            }
+            None => {
+                unsteerable += 1;
+                out.push(*pkt);
+            }
+        }
+    }
+
+    ClusterSkewSynthesis {
+        packets: out,
+        target_node,
+        target_queue,
+        already_on_target: already,
+        steered,
+        unsteerable,
+    }
+}
+
+/// Steers `packets` so every tracked flow ECMP-hashes to `target_node` of
+/// `map`; the within-node RSS spread is left to chance.
+pub fn ecmp_skew_packets(
+    packets: &[Packet],
+    map: &NodeMap,
+    target_node: u32,
+) -> ClusterSkewSynthesis {
+    steer_sequence(packets, target_node, None, |flow, used| {
+        map.steer_flow_to_node(flow, target_node, |c| !used.contains(&c.to_u128()))
+    })
+}
+
+/// Steers `packets` so every tracked flow ECMP-hashes to `target_node`
+/// *and* Toeplitz-hashes to `target_queue` of that node's `dispatcher` —
+/// the composed attack. The queue search drives the candidate enumeration
+/// and the node constraint rides in the acceptance check, so both layers
+/// are satisfied by a single scan over the attacker-controlled source
+/// endpoint space.
+pub fn cluster_skew_packets(
+    packets: &[Packet],
+    map: &NodeMap,
+    dispatcher: &RssDispatcher,
+    target_node: u32,
+    target_queue: usize,
+) -> ClusterSkewSynthesis {
+    steer_sequence(packets, target_node, Some(target_queue), |flow, used| {
+        dispatcher.steer_flow(flow, target_queue, |c| {
+            map.node_of_flow(c) == target_node && !used.contains(&c.to_u128())
+        })
+    })
+}
+
+/// [`ecmp_skew_packets`] packaged as a replayable workload.
+pub fn ecmp_skew_workload(base: &Workload, map: &NodeMap, target_node: u32) -> Workload {
+    ecmp_skew_packets(&base.packets, map, target_node).into_workload(WorkloadKind::EcmpSkew)
+}
+
+/// [`cluster_skew_packets`] packaged as a replayable workload.
+pub fn cluster_skew_workload(
+    base: &Workload,
+    map: &NodeMap,
+    dispatcher: &RssDispatcher,
+    target_node: u32,
+    target_queue: usize,
+) -> Workload {
+    cluster_skew_packets(&base.packets, map, dispatcher, target_node, target_queue)
+        .into_workload(WorkloadKind::ClusterSkew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_packet::{Ipv4Addr, PacketBuilder};
+
+    fn packets(n: u64) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                PacketBuilder::udp_flow(FlowKey::udp(
+                    Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                    2000 + (i % 40_000) as u16,
+                    Ipv4Addr::new(93, 184, 216, 34),
+                    80,
+                ))
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ecmp_skew_lands_everything_on_the_node() {
+        let map = NodeMap::new(4, 0xC1A5);
+        let pkts = packets(300);
+        let syn = ecmp_skew_packets(&pkts, &map, 2);
+        assert_eq!(syn.unsteerable, 0);
+        assert!(syn.node_share(&map) > 0.999);
+    }
+
+    #[test]
+    fn composed_skew_satisfies_both_hash_layers() {
+        let map = NodeMap::new(4, 0xC1A5);
+        let dispatcher = RssDispatcher::for_queues(4);
+        let pkts = packets(300);
+        let syn = cluster_skew_packets(&pkts, &map, &dispatcher, 1, 3);
+        assert_eq!(syn.unsteerable, 0);
+        assert!(syn.core_share(&map, &dispatcher) > 0.999);
+    }
+
+    #[test]
+    fn steering_preserves_flow_distinctness_and_consistency() {
+        let map = NodeMap::new(2, 9);
+        let dispatcher = RssDispatcher::for_queues(4);
+        // Replay each flow twice to exercise consistency.
+        let mut pkts = packets(100);
+        pkts.extend(packets(100));
+        let syn = cluster_skew_packets(&pkts, &map, &dispatcher, 0, 0);
+        let flows: Vec<_> = syn.packets.iter().filter_map(Packet::flow).collect();
+        let mut distinct: Vec<_> = flows.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 100, "steering merged or split flows");
+        assert_eq!(&flows[..100], &flows[100..], "replays steered differently");
+    }
+}

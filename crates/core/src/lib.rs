@@ -63,6 +63,7 @@ pub use engine::{AnalysisConfig, Castan};
 pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};
 pub use rss::{
-    analyze_chain_cross_core, analyze_chain_rss_skew, CrossCoreChainReport, RssSkewReport,
+    analyze_chain_cluster_skew, analyze_chain_cross_core, analyze_chain_rss_skew,
+    ClusterSkewReport, CrossCoreChainReport, RssSkewReport,
 };
 pub use solve::{Model, SolveOutcome, Solver};

@@ -31,6 +31,7 @@
 //! back-invalidation.
 
 use castan_chain::NfChain;
+use castan_cluster::{cluster_skew_packets, ClusterSkewSynthesis, NodeMap};
 use castan_mem::ContentionCatalog;
 use castan_packet::Packet;
 use castan_runtime::{
@@ -85,6 +86,64 @@ pub fn analyze_chain_rss_skew(
     let base = analyze_chain(castan, chain, catalogs);
     let skew = skew_packets(&base.packets, dispatcher, target_queue);
     RssSkewReport { base, skew }
+}
+
+/// The fleet-level combined report: chained cache-adversarial analysis
+/// plus ECMP×RSS composed skew.
+#[derive(Clone, Debug)]
+pub struct ClusterSkewReport {
+    /// The underlying chained analysis (its `packets` are the unsteered
+    /// originals).
+    pub base: ChainAnalysisReport,
+    /// The composed steering outcome; `skew.packets` is the workload to
+    /// replay against the cluster.
+    pub skew: ClusterSkewSynthesis,
+}
+
+impl ClusterSkewReport {
+    /// The steered adversarial packet sequence.
+    pub fn packets(&self) -> &[Packet] {
+        &self.skew.packets
+    }
+
+    /// A compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} → node {} queue {}: {} steered, {} already on target, {} unsteerable",
+            self.base.summary(),
+            self.skew.target_node,
+            self.skew
+                .target_queue
+                .map(|q| q.to_string())
+                .unwrap_or_else(|| "-".into()),
+            self.skew.steered,
+            self.skew.already_on_target,
+            self.skew.unsteerable,
+        )
+    }
+}
+
+/// The fleet-level composition — "does queue skew compose with ECMP
+/// skew?": runs the chained CASTAN analysis, then steers every synthesized
+/// origin packet so its 5-tuple ECMP-hashes to `target_node` of `map`
+/// **and** Toeplitz-hashes to `target_queue` of that node's `dispatcher`.
+/// Each candidate endpoint must satisfy both hash layers at once (one
+/// in `n_nodes × n_queues` candidates on average), so composing the
+/// attacks multiplies the search, not the difficulty: with a known map
+/// seed and RSS key the whole fleet's worst case still serialises behind
+/// one core of one node.
+pub fn analyze_chain_cluster_skew(
+    castan: &Castan,
+    chain: &NfChain,
+    catalogs: &[ContentionCatalog],
+    map: &NodeMap,
+    dispatcher: &RssDispatcher,
+    target_node: u32,
+    target_queue: usize,
+) -> ClusterSkewReport {
+    let base = analyze_chain(castan, chain, catalogs);
+    let skew = cluster_skew_packets(&base.packets, map, dispatcher, target_node, target_queue);
+    ClusterSkewReport { base, skew }
 }
 
 /// The adaptive combined report: chained cache-adversarial analysis plus
@@ -293,6 +352,18 @@ mod tests {
             assert_eq!(under.queue_of_packet(p), 3, "packet {i}");
         }
         assert!(adaptive.summary().contains("2 epochs"));
+
+        // The fleet composition: the same analysis steered against both
+        // hash layers at once — every synthesized packet must land on the
+        // victim node AND the victim queue.
+        let map = NodeMap::new(4, 0xC1A5);
+        let cluster = analyze_chain_cluster_skew(&castan, &chain, &catalogs, &map, &d, 2, 3);
+        assert_eq!(cluster.packets().len(), cluster.base.packets.len());
+        assert!(
+            cluster.skew.core_share(&map, &d) > 0.99,
+            "composed steering must satisfy ECMP and RSS simultaneously"
+        );
+        assert!(cluster.summary().contains("node 2 queue 3"));
     }
 
     #[test]

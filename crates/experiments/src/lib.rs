@@ -19,6 +19,9 @@
 use std::collections::BTreeMap;
 
 use castan_chain::{all_chains, core_stage_base, NfChain};
+use castan_cluster::{
+    cluster_skew_workload, ecmp_skew_workload, measure_cluster, ClusterConfig, ControllerConfig,
+};
 use castan_core::{
     analyze_chain, AnalysisConfig, AnalysisReport, CacheModelKind, Castan, ChainAnalysisReport,
 };
@@ -1141,6 +1144,350 @@ pub fn xcore_contention_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table
     }
 }
 
+/// Node counts the `cluster-skew` experiment sweeps (each node is a full
+/// sharded server with [`CLUSTER_CORES`] cores behind the ECMP front
+/// tier).
+pub const CLUSTER_NODE_COUNTS: [usize; 2] = [2, 4];
+
+/// Cores per node in the `cluster-skew` experiment — the
+/// [`RSS_MITIGATION_CORES`] width, one level down.
+pub const CLUSTER_CORES: usize = 4;
+
+/// The node the cluster-level attacks pin, and the node the drain arm
+/// crashes mid-run (killing the attacker's chosen target is the
+/// interesting failure: its state is exactly what must be rebuilt).
+pub const CLUSTER_TARGET_NODE: u32 = 0;
+
+/// The defender arms of the `cluster-skew` experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClusterArm {
+    /// The boot bucket table for the whole run; a failed node would
+    /// blackhole its traffic at the front tier.
+    NoMitigation,
+    /// The cluster controller: least-loaded bucket rebalancing each epoch,
+    /// with every moved flow's state transfer charged to the destination
+    /// node (`castan-cluster`'s cross-node migration cost model).
+    NodeRebalance,
+    /// The controller plus drain-on-fail recovery, exercised by crashing
+    /// [`CLUSTER_TARGET_NODE`] halfway through the run: the dead node's
+    /// buckets reassign immediately and the flows seen on them are rebuilt
+    /// at [`castan_cluster::NODE_REBUILD_FACTOR`]× the transfer cost.
+    RebalanceDrain,
+}
+
+impl ClusterArm {
+    /// All arms, in table order.
+    pub const ALL: [ClusterArm; 3] = [
+        ClusterArm::NoMitigation,
+        ClusterArm::NodeRebalance,
+        ClusterArm::RebalanceDrain,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterArm::NoMitigation => "none",
+            ClusterArm::NodeRebalance => "node-rebalance",
+            ClusterArm::RebalanceDrain => "rebalance+drain-on-fail",
+        }
+    }
+
+    /// The cluster configuration for this arm (least-loaded policy
+    /// throughout, as in the node-level mitigation sweep).
+    pub fn config(self, base: ClusterConfig, epoch: usize, total_packets: usize) -> ClusterConfig {
+        let controller =
+            ControllerConfig::rebalance(epoch, RebalancePolicy::LeastLoaded).with_migration_cost();
+        match self {
+            ClusterArm::NoMitigation => base,
+            ClusterArm::NodeRebalance => base.with_controller(controller),
+            ClusterArm::RebalanceDrain => base
+                .with_controller(controller)
+                .with_drain_on_fail()
+                .with_failure(CLUSTER_TARGET_NODE, total_packets / 2),
+        }
+    }
+}
+
+/// The workloads the `cluster-skew` experiment runs per (chain, node
+/// count): uniform and Zipfian baselines, the chain-CASTAN workload, the
+/// node-pinning ECMP skew and the core-pinning ECMP×RSS composed skew.
+///
+/// Unlike the RSS sweep — where one trace steered at the largest
+/// round-robin table covers every divisor width — rendezvous node weights
+/// don't nest across fleet sizes, so each node count gets its own steered
+/// traces against its own boot map.
+pub fn cluster_skew_workloads(
+    chain: &NfChain,
+    n_nodes: usize,
+    castan_wl: &Workload,
+    cfg: &ExperimentConfig,
+) -> Vec<Workload> {
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let shard = ShardConfig::new(CLUSTER_CORES);
+    let map = ClusterConfig::new(n_nodes, shard).boot_map();
+    let dispatcher = RssDispatcher::new(shard.rss);
+    let uni = generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg);
+    let mut suite = vec![
+        uni.clone(),
+        generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg),
+    ];
+    if !castan_wl.is_empty() {
+        suite.push(castan_wl.clone());
+    }
+    suite.push(ecmp_skew_workload(&uni, &map, CLUSTER_TARGET_NODE));
+    suite.push(cluster_skew_workload(
+        &uni,
+        &map,
+        &dispatcher,
+        CLUSTER_TARGET_NODE,
+        0,
+    ));
+    suite
+}
+
+/// One cell of the `cluster-skew` sweep.
+#[derive(Clone, Debug)]
+pub struct ClusterSkewCell {
+    /// Chain name.
+    pub chain: String,
+    /// Traffic kind.
+    pub workload: WorkloadKind,
+    /// Fleet width (each node at [`CLUSTER_CORES`] cores).
+    pub nodes: usize,
+    /// The defender arm.
+    pub arm: ClusterArm,
+    /// Aggregate forwarding rate, bounded by the busiest core anywhere in
+    /// the fleet plus its node's migration overhead.
+    pub mpps: f64,
+    /// Fraction of the fleet's measured packets on that busiest core
+    /// (1/(nodes × cores) under perfect balance, → 1.0 under the composed
+    /// attack).
+    pub bottleneck_core_share: f64,
+    /// Packets blackholed at the front tier (non-zero only when a failure
+    /// goes unhandled).
+    pub front_dropped: usize,
+    /// Flows whose state was gracefully migrated between nodes.
+    pub migrated_flows: usize,
+    /// Flows rebuilt from scratch after the scheduled failure.
+    pub rebuilt_flows: usize,
+}
+
+/// Runs the `cluster-skew` sweep for the given chains:
+/// {uniform, Zipfian, chain-CASTAN, ECMP skew, ECMP×RSS composed skew} ×
+/// [`CLUSTER_NODE_COUNTS`] × [`ClusterArm::ALL`].
+pub fn cluster_skew_data_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Vec<ClusterSkewCell> {
+    let epoch = rss_mitigation_epoch(cfg);
+    let mut cells = Vec::new();
+    for chain in chains {
+        let castan_wl = castan_workload(analyze_chain_for(chain, cfg).packets.clone());
+        for &nodes in &CLUSTER_NODE_COUNTS {
+            let suite = cluster_skew_workloads(chain, nodes, &castan_wl, cfg);
+            for wl in &suite {
+                if wl.is_empty() {
+                    continue;
+                }
+                for arm in ClusterArm::ALL {
+                    let base = ClusterConfig::new(nodes, ShardConfig::new(CLUSTER_CORES));
+                    let cluster = arm.config(base, epoch, cfg.measurement.total_packets);
+                    let m = measure_cluster(chain, cluster, wl, &cfg.measurement);
+                    cells.push(ClusterSkewCell {
+                        chain: chain.name().to_string(),
+                        workload: wl.kind,
+                        nodes,
+                        arm,
+                        mpps: m.aggregate_mpps(),
+                        bottleneck_core_share: m.bottleneck_core_share(),
+                        front_dropped: m.front_dropped,
+                        migrated_flows: m.migrated_flows(),
+                        rebuilt_flows: m.rebuilt_flows(),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The `cluster-skew` experiment over the whole chain catalog: the fleet
+/// analogue of `rss-scaling` + `rss-mitigation`. Uniform traffic scales
+/// near-linearly with the node count; ECMP skew pins one node (its RSS
+/// still spreads within the node); the composed ECMP×RSS attack threads
+/// both hash layers and serialises the entire fleet behind a single core;
+/// cluster-level rebalancing spreads the hot buckets across nodes again,
+/// and drain-on-fail keeps that recovery through the attacked node's
+/// crash.
+pub fn cluster_skew(cfg: &ExperimentConfig) -> Table {
+    cluster_skew_for(&all_chains(), cfg)
+}
+
+/// [`cluster_skew`] restricted to the given chains (tests use a subset to
+/// keep the debug tier-1 run tractable).
+pub fn cluster_skew_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
+    let cells = cluster_skew_data_for(chains, cfg);
+
+    let mut columns = vec!["Chain / traffic / arm".to_string()];
+    columns.extend(
+        CLUSTER_NODE_COUNTS
+            .iter()
+            .map(|n| format!("{n} nodes × {CLUSTER_CORES} cores (Mpps, max-core share)")),
+    );
+
+    let mut rows = Vec::new();
+    for chain in chains {
+        for kind in [
+            WorkloadKind::UniRand,
+            WorkloadKind::Zipfian,
+            WorkloadKind::Castan,
+            WorkloadKind::EcmpSkew,
+            WorkloadKind::ClusterSkew,
+        ] {
+            for arm in ClusterArm::ALL {
+                let per_nodes: Vec<&ClusterSkewCell> = cells
+                    .iter()
+                    .filter(|c| c.chain == chain.name() && c.workload == kind && c.arm == arm)
+                    .collect();
+                if per_nodes.is_empty() {
+                    continue;
+                }
+                let mut row = vec![format!("{}/{}/{}", chain.name(), kind.name(), arm.name())];
+                for &n in &CLUSTER_NODE_COUNTS {
+                    row.push(match per_nodes.iter().find(|c| c.nodes == n) {
+                        None => "-".to_string(),
+                        Some(c) => {
+                            format!("{:.2} ({:.0}%)", c.mpps, c.bottleneck_core_share * 100.0)
+                        }
+                    });
+                }
+                rows.push(row);
+            }
+        }
+    }
+
+    Table {
+        id: "cluster-skew".to_string(),
+        title: format!(
+            "ECMP/L4 fleet under cluster-level skew: aggregate throughput \
+             across {CLUSTER_CORES}-core nodes, with and without the \
+             cluster controller"
+        ),
+        columns,
+        rows,
+    }
+}
+
+/// Repo-root path of the hot-path baseline the `bench-baselines`
+/// experiment writes.
+pub const BENCH_HOTPATH_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+
+/// Repo-root path of the cluster baseline the `bench-baselines`
+/// experiment writes.
+pub const BENCH_CLUSTER_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+/// The `bench-baselines` experiment: measures the simulated hot paths and
+/// persists machine-readable baselines at the repo root
+/// (`BENCH_hotpath.json`, `BENCH_cluster.json`), returning a summary of
+/// what was written.
+///
+/// The simulated Mpps figures are deterministic — a diff under version
+/// control means the *model* changed, which is exactly what the baseline
+/// is for. The `*_wall_ms` fields track the host machine and are
+/// informative only. Regenerate with
+/// `cargo run -p castan-experiments --release -- --quick bench-baselines`.
+pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> String {
+    let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let uni = generic_chain_workload(&chain, WorkloadKind::UniRand, &wl_cfg);
+
+    // Hot path: synthesis wall-clock plus the sharded runtime at 1 and 4
+    // cores on uniform traffic.
+    let t0 = std::time::Instant::now();
+    let report = analyze_chain_for(&chain, cfg);
+    let synthesis_wall_ms = t0.elapsed().as_millis();
+    let sharded_mpps: Vec<(usize, f64)> = [1usize, CLUSTER_CORES]
+        .iter()
+        .map(|&cores| {
+            let m = measure_sharded(&chain, ShardConfig::new(cores), &uni, &cfg.measurement);
+            (cores, m.aggregate_mpps())
+        })
+        .collect();
+    let hotpath = format!(
+        "{{\n  \"schema\": \"castan-bench-hotpath-v1\",\n  \"config\": \"{label}\",\n  \
+         \"chain\": \"{}\",\n  \"total_packets\": {},\n  \"synthesis_packets\": {},\n  \
+         \"sharded_uniform_mpps\": {{ {} }},\n  \"synthesis_wall_ms\": {synthesis_wall_ms}\n}}\n",
+        chain.name(),
+        cfg.measurement.total_packets,
+        report.packets.len(),
+        sharded_mpps
+            .iter()
+            .map(|(c, m)| format!("\"{c}_cores\": {m:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+
+    // Cluster tier: uniform scaling across the node counts, the composed
+    // attack unmitigated, and the full defence through the scheduled
+    // failure.
+    let t1 = std::time::Instant::now();
+    let epoch = rss_mitigation_epoch(cfg);
+    let shard = ShardConfig::new(CLUSTER_CORES);
+    let widest = *CLUSTER_NODE_COUNTS.last().unwrap();
+    let map = ClusterConfig::new(widest, shard).boot_map();
+    let dispatcher = RssDispatcher::new(shard.rss);
+    let composed = cluster_skew_workload(&uni, &map, &dispatcher, CLUSTER_TARGET_NODE, 0);
+    let uniform_mpps: Vec<(usize, f64)> = CLUSTER_NODE_COUNTS
+        .iter()
+        .map(|&n| {
+            let m = measure_cluster(&chain, ClusterConfig::new(n, shard), &uni, &cfg.measurement);
+            (n, m.aggregate_mpps())
+        })
+        .collect();
+    let attacked = measure_cluster(
+        &chain,
+        ClusterConfig::new(widest, shard),
+        &composed,
+        &cfg.measurement,
+    );
+    let defended = measure_cluster(
+        &chain,
+        ClusterArm::RebalanceDrain.config(
+            ClusterConfig::new(widest, shard),
+            epoch,
+            cfg.measurement.total_packets,
+        ),
+        &composed,
+        &cfg.measurement,
+    );
+    let cluster_wall_ms = t1.elapsed().as_millis();
+    let cluster = format!(
+        "{{\n  \"schema\": \"castan-bench-cluster-v1\",\n  \"config\": \"{label}\",\n  \
+         \"chain\": \"{}\",\n  \"cores_per_node\": {CLUSTER_CORES},\n  \
+         \"total_packets\": {},\n  \"uniform_mpps\": {{ {} }},\n  \
+         \"composed_skew_mpps\": {{ \"{widest}_nodes_unmitigated\": {:.4}, \
+         \"{widest}_nodes_rebalance_drain\": {:.4} }},\n  \
+         \"composed_bottleneck_core_share\": {:.4},\n  \
+         \"cluster_wall_ms\": {cluster_wall_ms}\n}}\n",
+        chain.name(),
+        cfg.measurement.total_packets,
+        uniform_mpps
+            .iter()
+            .map(|(n, m)| format!("\"{n}_nodes\": {m:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        attacked.aggregate_mpps(),
+        defended.aggregate_mpps(),
+        attacked.bottleneck_core_share(),
+    );
+
+    std::fs::write(BENCH_HOTPATH_PATH, &hotpath).expect("write BENCH_hotpath.json");
+    std::fs::write(BENCH_CLUSTER_PATH, &cluster).expect("write BENCH_cluster.json");
+    format!(
+        "wrote {}:\n{hotpath}\nwrote {}:\n{cluster}",
+        BENCH_HOTPATH_PATH, BENCH_CLUSTER_PATH
+    )
+}
+
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
 /// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
 pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
@@ -1607,6 +1954,124 @@ mod tests {
             assert_eq!(a.latency_ns, b.latency_ns, "core {c} latencies");
             assert_eq!(a.mem, b.mem, "core {c} hierarchy view");
         }
+    }
+
+    /// `tiny_chain_cfg` with a longer trace for the fleet sweeps: the
+    /// 2→4-node scaling bar divides a multinomial node split, so a few
+    /// hundred measured packets would leave too much variance; the chain
+    /// under test is the cheap nop3, so the larger count stays fast.
+    fn tiny_cluster_cfg() -> ExperimentConfig {
+        let mut cfg = tiny_chain_cfg();
+        cfg.measurement.total_packets = 2_000;
+        cfg.measurement.warmup_packets = 200;
+        cfg
+    }
+
+    #[test]
+    fn cluster_skew_meets_the_fleet_acceptance_bars() {
+        // The acceptance bars for the cluster subsystem, asserted through
+        // the cluster-skew experiment path itself:
+        // (a) uniform traffic gains >= 1.8x going from 2 to 4 nodes;
+        // (b) the composed ECMP×RSS attack holds the whole unmitigated
+        //     fleet to <= 1.2x a single core's rate on the same trace;
+        // (c) cluster rebalancing restores >= 2x over the unmitigated
+        //     attacked arm, and keeps >= 2x even when the attacked node
+        //     crashes mid-run under drain-on-fail.
+        let cfg = tiny_cluster_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::Nop3);
+        let cells = cluster_skew_data_for(std::slice::from_ref(&chain), &cfg);
+        let cell = |wl: WorkloadKind, nodes: usize, arm: ClusterArm| {
+            cells
+                .iter()
+                .find(|c| c.workload == wl && c.nodes == nodes && c.arm == arm)
+                .expect("cell present")
+        };
+
+        let uni2 = cell(WorkloadKind::UniRand, 2, ClusterArm::NoMitigation);
+        let uni4 = cell(WorkloadKind::UniRand, 4, ClusterArm::NoMitigation);
+        assert!(
+            uni4.mpps >= 1.8 * uni2.mpps,
+            "uniform traffic must scale 2→4 nodes: {:.2} → {:.2} Mpps",
+            uni2.mpps,
+            uni4.mpps
+        );
+
+        // ECMP skew alone pins a node, not a core: the victim node's RSS
+        // still spreads the flows, so the fleet keeps roughly one node's
+        // multi-core rate — strictly above the composed attack.
+        let ecmp4 = cell(WorkloadKind::EcmpSkew, 4, ClusterArm::NoMitigation);
+        let composed4 = cell(WorkloadKind::ClusterSkew, 4, ClusterArm::NoMitigation);
+        assert!(
+            composed4.bottleneck_core_share > 0.99,
+            "the composed attack serialises the fleet behind one core: \
+             share {}",
+            composed4.bottleneck_core_share
+        );
+        assert!(
+            ecmp4.mpps > 1.5 * composed4.mpps,
+            "node-level skew must out-run the core-level composed attack: \
+             {:.2} vs {:.2} Mpps",
+            ecmp4.mpps,
+            composed4.mpps
+        );
+
+        // Single-core reference on the very trace the attack uses.
+        let shard = ShardConfig::new(CLUSTER_CORES);
+        let map = ClusterConfig::new(4, shard).boot_map();
+        let dispatcher = RssDispatcher::new(shard.rss);
+        let uni = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(cfg.workload_scale),
+        );
+        let composed_wl = cluster_skew_workload(&uni, &map, &dispatcher, CLUSTER_TARGET_NODE, 0);
+        let single = measure_sharded(&chain, ShardConfig::new(1), &composed_wl, &cfg.measurement);
+        assert!(
+            composed4.mpps <= 1.2 * single.aggregate_mpps(),
+            "the composed attack must collapse 4 nodes × {CLUSTER_CORES} \
+             cores to <= 1.2x one core: {:.2} vs single-core {:.2} Mpps",
+            composed4.mpps,
+            single.aggregate_mpps()
+        );
+
+        let rebal4 = cell(WorkloadKind::ClusterSkew, 4, ClusterArm::NodeRebalance);
+        assert!(
+            rebal4.mpps >= 2.0 * composed4.mpps,
+            "cluster rebalancing must restore >= 2x over the unmitigated \
+             attacked arm: {:.2} vs {:.2} Mpps",
+            rebal4.mpps,
+            composed4.mpps
+        );
+        assert!(rebal4.migrated_flows > 0, "the controller moved state");
+        assert_eq!(rebal4.rebuilt_flows, 0, "no failure in this arm");
+
+        let drain4 = cell(WorkloadKind::ClusterSkew, 4, ClusterArm::RebalanceDrain);
+        assert!(
+            drain4.mpps >= 2.0 * composed4.mpps,
+            "drain-on-fail must hold the recovery through the attacked \
+             node's crash: {:.2} vs {:.2} Mpps",
+            drain4.mpps,
+            composed4.mpps
+        );
+        assert!(drain4.rebuilt_flows > 0, "the failure rebuilt state");
+        assert_eq!(
+            drain4.front_dropped, 0,
+            "drain-on-fail leaves no front-tier blackhole"
+        );
+    }
+
+    #[test]
+    fn cluster_skew_table_covers_the_matrix() {
+        let chains = vec![castan_chain::chain_by_id(castan_chain::ChainId::Nop3)];
+        let t = cluster_skew_for(&chains, &tiny_chain_cfg());
+        assert_eq!(t.columns.len(), 1 + CLUSTER_NODE_COUNTS.len());
+        // 5 workloads × 3 arms (the nop3 CASTAN workload is non-empty).
+        assert_eq!(t.rows.len(), 5 * ClusterArm::ALL.len());
+        let rendered = t.render();
+        assert!(rendered.contains("cluster-skew"));
+        assert!(rendered.contains("ECMP×RSS-Skew"));
+        assert!(rendered.contains("rebalance+drain-on-fail"));
+        assert!(rendered.contains("nop3/UniRand/none"));
     }
 
     #[test]

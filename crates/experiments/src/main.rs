@@ -7,12 +7,16 @@
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
 //! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
-//! `xcore-contention`, or `all`. Unknown experiment names exit with status
-//! 2 and list the valid names.
+//! `xcore-contention`, `cluster-skew`, `bench-baselines`, or `all`.
+//! Unknown experiment names exit with status 2 and list the valid names.
+//!
+//! `bench-baselines` additionally writes `BENCH_hotpath.json` and
+//! `BENCH_cluster.json` at the repo root (the committed perf baselines).
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, chain_table, figure, figure_catalog, rss_mitigation,
-    rss_scaling, table4, table5, throughput_and_counters_table, xcore_contention, ExperimentConfig,
+    ablation_cache_model, ablation_loop_bound, bench_baselines, chain_table, cluster_skew, figure,
+    figure_catalog, rss_mitigation, rss_scaling, table4, table5, throughput_and_counters_table,
+    xcore_contention, ExperimentConfig,
 };
 
 /// Every runnable experiment id, in `all` execution order.
@@ -28,6 +32,8 @@ fn valid_experiments() -> Vec<String> {
     out.push("rss-scaling".to_string());
     out.push("rss-mitigation".to_string());
     out.push("xcore-contention".to_string());
+    out.push("cluster-skew".to_string());
+    out.push("bench-baselines".to_string());
     out
 }
 
@@ -83,6 +89,8 @@ fn main() {
             "rss-scaling" => rss_scaling(&cfg).render(),
             "rss-mitigation" => rss_mitigation(&cfg).render(),
             "xcore-contention" => xcore_contention(&cfg).render(),
+            "cluster-skew" => cluster_skew(&cfg).render(),
+            "bench-baselines" => bench_baselines(&cfg, if quick { "quick" } else { "full" }),
             fig => figure(fig, &cfg).expect("validated above").render(),
         };
         println!("{output}");

@@ -23,11 +23,14 @@ impl RssConfig {
     /// with more than 128 queues get the large 512-entry table real NICs
     /// offer (X710/E810 style), so no queue is ever left out of the table.
     ///
-    /// Note the residual imbalance whenever `table_size % n_queues != 0`:
-    /// a round-robin fill gives the first `table_size % n_queues` queues
-    /// one extra entry each (e.g. 128 entries over 3 queues is 43/43/42),
-    /// a ~`n_queues / table_size` skew that only a weighted table
-    /// (`crate::rebalance`) can remove.
+    /// Whenever `table_size % n_queues != 0` a round-robin fill must give
+    /// `table_size % n_queues` queues one extra entry each (e.g. 128
+    /// entries over 3 queues is one queue at 42 and two at 43) — a ±1
+    /// imbalance no static fill can remove. Which queues carry the extra
+    /// entry is decided by a deterministic offset seeded from the config
+    /// (key and table geometry, see [`RssDispatcher::new`]), so the
+    /// under-provisioned queue is not always the last one across
+    /// deployments.
     pub fn for_queues(n_queues: usize) -> Self {
         let table_size = if n_queues > 128 {
             n_queues.next_power_of_two().max(512)
@@ -50,8 +53,35 @@ pub struct RssDispatcher {
     indirection: Vec<u32>,
 }
 
+/// The rotation applied to the round-robin boot fill when the table does
+/// not divide evenly over the queues. `0` for divisible configs (the fill
+/// stays the exact `i % n_queues` the rest of the workspace pins against);
+/// otherwise a deterministic offset seeded from the key and the table
+/// geometry, so the `table_size % n_queues` queues that carry one extra
+/// entry vary per configuration instead of always being the first ones.
+fn boot_fill_offset(config: &RssConfig) -> usize {
+    if config.table_size.is_multiple_of(config.n_queues) {
+        return 0;
+    }
+    let mut x = (config.table_size as u64) ^ ((config.n_queues as u64) << 32);
+    for chunk in config.key.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        x ^= u64::from_le_bytes(word);
+    }
+    // splitmix64 finalizer: spreads the seed over the queue range.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % config.n_queues as u64) as usize
+}
+
 impl RssDispatcher {
-    /// Builds a dispatcher with a round-robin indirection table.
+    /// Builds a dispatcher with a round-robin indirection table. When the
+    /// table size is not a multiple of the queue count, the fill is rotated
+    /// by [`boot_fill_offset`] so the remainder entries land on a
+    /// config-seeded run of queues rather than always on the first ones.
     pub fn new(config: RssConfig) -> Self {
         assert!(config.n_queues > 0, "need at least one queue");
         assert!(
@@ -70,8 +100,9 @@ impl RssDispatcher {
             config.n_queues,
             config.table_size,
         );
+        let offset = boot_fill_offset(&config);
         let indirection = (0..config.table_size)
-            .map(|i| (i % config.n_queues) as u32)
+            .map(|i| ((i + offset) % config.n_queues) as u32)
             .collect();
         RssDispatcher {
             config,
@@ -282,6 +313,43 @@ mod tests {
                 "queue {q} got {c} of 4096 flows — dispatch is badly skewed"
             );
         }
+    }
+
+    #[test]
+    fn uneven_tables_spread_the_remainder_deterministically() {
+        // Divisible configs keep the exact `i % n_queues` boot fill the
+        // pinned byte-identical results depend on.
+        for n in [1usize, 2, 4, 8] {
+            let d = RssDispatcher::for_queues(n);
+            for (i, &q) in d.table().iter().enumerate() {
+                assert_eq!(q as usize, i % n, "divisible fill must stay i % n");
+            }
+        }
+        // Non-divisible configs stay within one entry of each other, are
+        // reproducible, and the under-provisioned queues are not pinned to
+        // the tail of the queue range for every configuration.
+        let mut light_is_always_last = true;
+        for n in [3usize, 5, 6, 7, 12] {
+            let d = RssDispatcher::for_queues(n);
+            assert_eq!(d.table(), RssDispatcher::for_queues(n).table());
+            let mut counts = vec![0usize; n];
+            for &q in d.table() {
+                counts[q as usize] += 1;
+            }
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(
+                max - min <= 1,
+                "{n} queues: fill spread {counts:?} exceeds the unavoidable ±1"
+            );
+            if counts[n - 1] != min {
+                light_is_always_last = false;
+            }
+        }
+        assert!(
+            !light_is_always_last,
+            "the seeded offset never moved the remainder off the default run"
+        );
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub mod toeplitz;
 
 pub use batch::Batcher;
 pub use dispatch::{steer_packet, RssConfig, RssDispatcher};
-pub use rebalance::{queue_loads, rebalanced_table, LoadMetric, LoadTracker, RebalancePolicy};
+pub use rebalance::{
+    queue_loads, rebalanced_table, LoadMetric, LoadTracker, RebalancePolicy, REBALANCE_TRIGGER_DEN,
+    REBALANCE_TRIGGER_NUM,
+};
 pub use skew::{skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, SkewSynthesis};
 pub use toeplitz::{rotate_key, toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};

@@ -537,6 +537,13 @@ impl ShardedDut {
         &self.dispatcher
     }
 
+    /// Clock frequency (Hz) of the simulated cores — what a caller that
+    /// aggregates several DUTs (the cluster tier) needs to convert busy
+    /// cycles to time even for a node that served no packets.
+    pub fn clock_hz(&self) -> u64 {
+        self.cpu.clock_hz()
+    }
+
     /// Installs a boot-time indirection table (validated against the RSS
     /// config) that every subsequent [`ShardedDut::run`] starts from — the
     /// deployment knob ([`victim_table`]) that keeps a core out of RSS.

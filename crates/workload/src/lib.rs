@@ -58,6 +58,14 @@ pub enum WorkloadKind {
     /// attacker core's own chain instance evicts the victims' hot
     /// shared-L3 lines.
     NeighborEvict,
+    /// A workload steered onto a single *node* of an ECMP front tier
+    /// (fleet-level skew; the victim node's own RSS still spreads the
+    /// flows over its cores). Synthesised by `castan-cluster`.
+    EcmpSkew,
+    /// The composed fleet attack: every flow steered onto one node *and*
+    /// one RSS queue of that node, serialising the whole cluster behind a
+    /// single core. Synthesised by `castan-cluster`.
+    ClusterSkew,
 }
 
 impl WorkloadKind {
@@ -73,6 +81,8 @@ impl WorkloadKind {
             WorkloadKind::RssSkew => "RSS-Skew",
             WorkloadKind::AdaptiveSkew => "Adaptive-Skew",
             WorkloadKind::NeighborEvict => "Neighbor-Evict",
+            WorkloadKind::EcmpSkew => "ECMP-Skew",
+            WorkloadKind::ClusterSkew => "ECMP×RSS-Skew",
         }
     }
 
@@ -250,7 +260,9 @@ impl TrafficProfile {
             | WorkloadKind::Castan
             | WorkloadKind::RssSkew
             | WorkloadKind::AdaptiveSkew
-            | WorkloadKind::NeighborEvict => {
+            | WorkloadKind::NeighborEvict
+            | WorkloadKind::EcmpSkew
+            | WorkloadKind::ClusterSkew => {
                 panic!("{kind} is not a generic workload; use the dedicated constructor")
             }
         };

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub use castan_chain as chain;
+pub use castan_cluster as cluster;
 pub use castan_core as analysis;
 pub use castan_ir as ir;
 pub use castan_mem as mem;
