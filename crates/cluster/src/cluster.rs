@@ -45,8 +45,13 @@
 
 use castan_chain::NfChain;
 use castan_packet::Packet;
-use castan_runtime::{rebalanced_table, LoadMetric, LoadTracker, RebalancePolicy};
-use castan_testbed::{MeasurementConfig, ShardConfig, ShardedDut, ShardedMeasurement};
+use castan_runtime::{
+    rebalanced_table, record_rebalance, LoadMetric, LoadTracker, RebalancePolicy,
+};
+use castan_telemetry::{EventKind, Registry};
+use castan_testbed::{
+    MeasurementConfig, ShardConfig, ShardedDut, ShardedMeasurement, TelemetryConfig,
+};
 use castan_workload::Workload;
 
 use crate::map::{NodeMap, DEFAULT_NODE_BUCKETS};
@@ -322,6 +327,8 @@ impl ClusterMeasurement {
 pub struct ClusterDut {
     cluster: ClusterConfig,
     nodes: Vec<ShardedDut>,
+    telemetry: Option<TelemetryConfig>,
+    last_registry: Option<Registry>,
 }
 
 impl ClusterDut {
@@ -345,7 +352,12 @@ impl ClusterDut {
                 ShardedDut::new(chain.clone(), cluster.shard, &node_cfg)
             })
             .collect();
-        ClusterDut { cluster, nodes }
+        ClusterDut {
+            cluster,
+            nodes,
+            telemetry: None,
+            last_registry: None,
+        }
     }
 
     /// This cluster's configuration.
@@ -356,6 +368,36 @@ impl ClusterDut {
     /// The nodes behind the front tier.
     pub fn nodes(&self) -> &[ShardedDut] {
         &self.nodes
+    }
+
+    /// Attaches front-tier/controller telemetry: every subsequent run
+    /// records per-node delivery series, controller decisions and
+    /// failure/drain/rebuild events into a fresh registry (readable via
+    /// [`ClusterDut::telemetry`]). Observational only — the routing and
+    /// execution phases are unchanged.
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(cfg);
+    }
+
+    /// Additionally attaches node-level telemetry to every node's
+    /// [`ShardedDut`] (same epoch length), so per-node registries are
+    /// available after a run via `nodes()[n].telemetry()` — what the
+    /// cluster-wide reconciliation tests read.
+    pub fn attach_node_telemetry(&mut self, cfg: TelemetryConfig) {
+        for node in &mut self.nodes {
+            node.attach_telemetry(cfg);
+        }
+    }
+
+    /// The last run's front-tier registry (`None` before the first
+    /// telemetry-enabled run).
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.last_registry.as_ref()
+    }
+
+    /// Takes ownership of the last run's front-tier registry.
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        self.last_registry.take()
     }
 
     /// Replays a workload through the front tier and every node.
@@ -388,12 +430,25 @@ impl ClusterDut {
         let mut rebuilt_on_node = vec![0usize; n_nodes];
         let mut failure_pending = self.cluster.failure;
 
+        // Front-tier telemetry: per-node delivery accounting for the open
+        // epoch, sealed every `epoch_packets` cluster packets. All `None`
+        // without an attached registry — the plain routing path is exactly
+        // the pre-telemetry code.
+        let telemetry_cfg = self.telemetry;
+        let mut registry = telemetry_cfg.map(|t| Registry::with_event_capacity(t.event_capacity));
+        let mut delivered_epoch = vec![0u64; n_nodes];
+        let mut dropped_epoch = 0u64;
+
         for i in 0..cfg.total_packets {
             if let Some(f) = failure_pending {
                 if i >= f.at_packet {
                     failure_pending = None;
                     let old = map.buckets().to_vec();
                     map.fail(f.node);
+                    if let Some(reg) = registry.as_mut() {
+                        reg.count("failures.nodes", 1);
+                        reg.event(EventKind::NodeFail, format!("node={}", f.node));
+                    }
                     if self.cluster.drain_on_fail {
                         map.reassign(f.node);
                         // The dead node's per-flow state is gone: every
@@ -409,12 +464,23 @@ impl ClusterDut {
                                 node_migration_cycles[n] += cycles;
                                 rebuilt_on_node[n] += flows;
                             }
+                            if let Some(reg) = registry.as_mut() {
+                                let flows: usize = moved.iter().sum();
+                                reg.count("failures.rebuilt_flows", flows as u64);
+                                reg.event(
+                                    EventKind::NodeRebuild,
+                                    format!("node={} flows={flows}", f.node),
+                                );
+                            }
                             // The drain rewrite restarts the epoch: the
                             // loads recorded so far describe the dead
                             // topology, and letting the next boundary act
                             // on them would charge a second, stale
                             // reshuffle on top of the recovery.
                             t.reset();
+                        }
+                        if let Some(reg) = registry.as_mut() {
+                            reg.event(EventKind::NodeDrain, format!("node={}", f.node));
                         }
                         bucket_history.push(map.buckets().to_vec());
                     }
@@ -426,6 +492,9 @@ impl ClusterDut {
                     let old = map.buckets().to_vec();
                     let new = rebalanced_buckets(c.policy, t, &old, &map, epoch);
                     if new != old {
+                        if let Some(reg) = registry.as_mut() {
+                            record_rebalance(reg, &old, &new);
+                        }
                         if c.migration_cost {
                             let moved = t.moved_flows_per_queue(&old, &new, n_nodes);
                             for (n, &flows) in moved.iter().enumerate() {
@@ -435,11 +504,21 @@ impl ClusterDut {
                                 node_migration_cycles[n] += cycles;
                                 migrated_to_node[n] += flows;
                             }
+                            if let Some(reg) = registry.as_mut() {
+                                let flows: usize = moved.iter().sum();
+                                reg.count("migration.flows", flows as u64);
+                                reg.event(EventKind::Migration, format!("flows={flows}"));
+                            }
                         }
                         map.set_buckets(new);
                     }
                     bucket_history.push(map.buckets().to_vec());
                     t.reset();
+                }
+            }
+            if let (Some(t), Some(reg)) = (telemetry_cfg, registry.as_mut()) {
+                if i > 0 && i % t.epoch_packets == 0 {
+                    seal_front_tier(reg, &mut delivered_epoch, &mut dropped_epoch);
                 }
             }
 
@@ -454,9 +533,15 @@ impl ClusterDut {
             }
             if !map.state(node).serves_traffic() {
                 front_dropped += 1;
+                if registry.is_some() {
+                    dropped_epoch += 1;
+                }
                 continue;
             }
             assigned[node as usize] += 1;
+            if registry.is_some() {
+                delivered_epoch[node as usize] += 1;
+            }
             if i < cfg.warmup_packets {
                 warmup[node as usize] += 1;
             }
@@ -488,6 +573,31 @@ impl ClusterDut {
             per_node.push(dut.run(&node_workload, &node_cfg));
         }
 
+        if let Some(reg) = registry.as_mut() {
+            // Per-node run summaries land in the final epoch together with
+            // the tail of the delivery accounting, so front-tier delivery
+            // and node-level execution reconcile off one registry.
+            for (n, m) in per_node.iter().enumerate() {
+                reg.count(
+                    &format!("node{n}.measured_packets"),
+                    m.measured_packets() as u64,
+                );
+                reg.count(
+                    &format!("node{n}.exec_cycles"),
+                    m.aggregate_counters().cycles,
+                );
+                if node_migration_cycles[n] > 0 {
+                    reg.count(
+                        &format!("node{n}.migration_cycles"),
+                        node_migration_cycles[n],
+                    );
+                }
+                reg.gauge(&format!("node{n}.mpps"), m.aggregate_mpps());
+            }
+            seal_front_tier(reg, &mut delivered_epoch, &mut dropped_epoch);
+        }
+        self.last_registry = registry;
+
         ClusterMeasurement {
             per_node,
             assigned,
@@ -499,6 +609,33 @@ impl ClusterDut {
             bucket_history,
         }
     }
+}
+
+/// Seals one front-tier telemetry epoch: per-node delivery counters
+/// (`node{n}.delivered`), the front drop counter, and the
+/// delivery-concentration gauge (`front.max_node_share`), then resets the
+/// per-epoch accumulators. Purely observational — called only when a
+/// registry is attached.
+fn seal_front_tier(reg: &mut Registry, delivered: &mut [u64], dropped: &mut u64) {
+    let total: u64 = delivered.iter().sum();
+    let max = delivered.iter().copied().max().unwrap_or(0);
+    for (n, d) in delivered.iter_mut().enumerate() {
+        if *d > 0 {
+            reg.count(&format!("node{n}.delivered"), *d);
+        }
+        *d = 0;
+    }
+    if total > 0 {
+        reg.count("front.delivered", total);
+        reg.gauge("front.max_node_share", max as f64 / total as f64);
+    }
+    if *dropped > 0 {
+        reg.count("front.dropped", *dropped);
+    }
+    reg.gauge("front.epoch_packets", (total + *dropped) as f64);
+    *dropped = 0;
+    reg.event(EventKind::EpochBoundary, format!("delivered={total}"));
+    reg.seal_epoch();
 }
 
 /// A minimal-transfer least-loaded rewrite: starting from the current

@@ -215,6 +215,81 @@ mod tests {
     }
 
     #[test]
+    fn cluster_telemetry_reconciles_delivery_and_execution() {
+        use castan_telemetry::EventKind;
+        use castan_testbed::TelemetryConfig;
+
+        // The fleet-wide reconciliation bar: the front-tier registry's
+        // delivery totals equal the measurement's assignment accounting,
+        // each node's own registry confirms it executed exactly what the
+        // front tier delivered, and recording all of it never perturbs the
+        // run.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let cfg = tiny_cfg();
+        let workload = uniform_workload(200);
+        let epoch = cfg.total_packets / 4;
+        let config = ClusterConfig::new(3, ShardConfig::new(2))
+            .with_controller(
+                ControllerConfig::rebalance(epoch, RebalancePolicy::LeastLoaded)
+                    .with_migration_cost(),
+            )
+            .with_drain_on_fail()
+            .with_failure(1, cfg.total_packets / 2);
+        let mut dut = ClusterDut::new(&chain, config, &cfg);
+        dut.attach_telemetry(TelemetryConfig::new(epoch));
+        dut.attach_node_telemetry(TelemetryConfig::new(64));
+        let m = dut.run(&workload, &cfg);
+        let reg = dut.telemetry().expect("front registry");
+
+        assert_eq!(reg.counter_total("front.delivered"), m.delivered() as u64);
+        assert_eq!(reg.counter_total("front.dropped"), m.front_dropped as u64);
+        for n in 0..m.n_nodes() {
+            assert_eq!(
+                reg.counter_total(&format!("node{n}.delivered")),
+                m.assigned[n] as u64,
+                "node {n} delivery"
+            );
+            assert_eq!(
+                reg.counter_total(&format!("node{n}.measured_packets")),
+                m.per_node[n].measured_packets() as u64
+            );
+            assert_eq!(
+                reg.counter_total(&format!("node{n}.exec_cycles")),
+                m.per_node[n].aggregate_counters().cycles
+            );
+            assert_eq!(
+                reg.counter_total(&format!("node{n}.migration_cycles")),
+                m.node_migration_cycles[n]
+            );
+        }
+        // The failure episode is narrated.
+        let kinds: Vec<EventKind> = reg.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::NodeFail));
+        assert!(kinds.contains(&EventKind::NodeDrain));
+        assert!(kinds.contains(&EventKind::NodeRebuild));
+        // Node registries close the loop: each node executed exactly what
+        // the front tier delivered to it.
+        for (n, node) in dut.nodes().iter().enumerate() {
+            let nreg = node.telemetry().expect("node registry");
+            assert_eq!(
+                nreg.counter_total("exec.packets"),
+                m.assigned[n] as u64,
+                "node {n} executed == delivered"
+            );
+        }
+        // Recording never perturbed the run: byte-identical to the plain
+        // cluster measurement.
+        let plain = measure_cluster(&chain, config, &workload, &cfg);
+        assert_eq!(plain.bucket_history, m.bucket_history);
+        for (n, (a, b)) in plain.per_node.iter().zip(&m.per_node).enumerate() {
+            for (c, (x, y)) in a.per_core.iter().zip(&b.per_core).enumerate() {
+                assert_eq!(x.end_to_end, y.end_to_end, "node {n} core {c}");
+                assert_eq!(x.latency_ns, y.latency_ns, "node {n} core {c}");
+            }
+        }
+    }
+
+    #[test]
     fn composed_skew_serialises_the_fleet_behind_one_core() {
         let chain = chain_by_id(ChainId::Nop3);
         let cfg = tiny_cfg();

@@ -23,19 +23,25 @@ use castan_cluster::{
     cluster_skew_workload, ecmp_skew_workload, measure_cluster, ClusterConfig, ControllerConfig,
 };
 use castan_core::{
-    analyze_chain, AnalysisConfig, AnalysisReport, CacheModelKind, Castan, ChainAnalysisReport,
+    analyze_chain, analyze_chain_cross_core, AnalysisConfig, AnalysisReport, CacheModelKind,
+    Castan, ChainAnalysisReport,
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
 use castan_runtime::{RebalancePolicy, RssDispatcher};
+use castan_telemetry::{
+    detector::{AttackSignature, Baseline, Detector, DetectorConfig},
+    Json, Registry,
+};
 use castan_testbed::{
-    max_throughput_mpps, measure, measure_chain, measure_sharded, Cdf, Measurement,
-    MeasurementConfig, MitigationConfig, NoisyNeighborDut, ShardConfig, ThroughputConfig,
+    max_throughput_mpps, measure, measure_chain, measure_sharded, victim_table, Cdf,
+    DetectionConfig, Measurement, MeasurementConfig, MitigationConfig, NoisyNeighborDut,
+    ShardConfig, ShardedDut, TelemetryConfig, ThroughputConfig,
 };
 use castan_workload::{
     adaptive_skew_trace, castan_workload, chain_unirand_castan, generic_chain_workload,
-    generic_workload, manual_workload, skewed_chain_workload, unirand_castan, Workload,
-    WorkloadConfig, WorkloadKind,
+    generic_workload, manual_workload, neighbor_evict_workload, skewed_chain_workload,
+    unirand_castan, Workload, WorkloadConfig, WorkloadKind,
 };
 use castan_xcore::{
     build_eviction_plan, random_neighbor_lines, EvictionPlan, HotLineMap, XCoreConfig,
@@ -145,6 +151,34 @@ impl Figure {
         }
         out
     }
+
+    /// The figure reduced to its per-series summary statistics — the
+    /// tabular form the machine-readable result summaries use (figures and
+    /// tables share one schema that way).
+    pub fn summary_table(&self) -> Table {
+        Table {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            columns: vec![
+                "Series".into(),
+                "Median".into(),
+                "p99".into(),
+                "Samples".into(),
+            ],
+            rows: self
+                .series
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.name.clone(),
+                        format!("{:.1}", s.cdf.median()),
+                        format!("{:.1}", s.cdf.quantile(0.99)),
+                        s.cdf.len().to_string(),
+                    ]
+                })
+                .collect(),
+        }
+    }
 }
 
 /// One reproduced table (markdown-ish rendering).
@@ -173,6 +207,26 @@ impl Table {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
+    }
+
+    /// The machine-readable result summary every experiment emits
+    /// alongside its printed table: the same id/title/columns/rows as the
+    /// markdown rendering, as a `castan-experiment-result-v1` document.
+    pub fn result_json(&self, config_label: &str) -> String {
+        let columns = self.columns.iter().map(|c| Json::str(c.clone())).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| Json::Arr(r.iter().map(|c| Json::str(c.clone())).collect()))
+            .collect();
+        Json::obj()
+            .with("schema", Json::str("castan-experiment-result-v1"))
+            .with("id", Json::str(self.id.clone()))
+            .with("config", Json::str(config_label))
+            .with("title", Json::str(self.title.clone()))
+            .with("columns", Json::Arr(columns))
+            .with("rows", Json::Arr(rows))
+            .render()
     }
 }
 
@@ -1375,6 +1429,607 @@ pub fn cluster_skew_for(chains: &[NfChain], cfg: &ExperimentConfig) -> Table {
     }
 }
 
+/// Cores the `detect` experiment's queue-skew context runs on (the
+/// `rss-mitigation` width — the detector watches the same runtime the
+/// mitigation sweep defends).
+pub const DETECT_CORES: usize = RSS_MITIGATION_CORES;
+
+/// Cores of the `detect` experiment's cross-core context: the packet-only
+/// neighbor-evict deployment, one attacker core beside one victim core.
+pub const DETECT_XCORE_CORES: usize = 2;
+
+/// Workload seed of the calibration runs the baselines are learned from.
+/// The judged benign arms run on the default seed, so the
+/// zero-false-positive bar is never a self-comparison: the detector must
+/// generalise across traces, not recognise the one it calibrated on.
+pub const DETECT_CALIBRATION_SEED: u64 = 0xCA1B;
+
+/// Repo-root path of the telemetry artifact the `detect` experiment
+/// writes (the committed-artifact pattern of `BENCH_*.json`).
+pub const TELEMETRY_DETECT_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../TELEMETRY_detect.json");
+
+/// Sensitivity factors the ROC sweep re-judges the recorded runs with
+/// (every threshold factor set to the same value, tightest first; the
+/// online arms use [`DetectorConfig::with_baseline`]'s per-signal
+/// defaults).
+pub const DETECT_ROC_FACTORS: [f64; 6] = [1.05, 1.1, 1.15, 1.25, 1.5, 2.0];
+
+/// The traffic arms of the `detect` experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectArm {
+    /// Benign uniform traffic — the zero-false-positive bar.
+    Uniform,
+    /// Benign Zipfian traffic — the zero-false-positive bar.
+    Zipfian,
+    /// CASTAN-synthesized worst-case traffic (cycle/miss inflation).
+    Castan,
+    /// Static queue-skew steering (load concentration).
+    RssSkew,
+    /// The adaptive attacker's fixed-point trace (load concentration).
+    AdaptiveSkew,
+    /// The packet-only cross-core eviction attack (miss inflation).
+    NeighborEvict,
+}
+
+impl DetectArm {
+    /// All arms, in table order.
+    pub const ALL: [DetectArm; 6] = [
+        DetectArm::Uniform,
+        DetectArm::Zipfian,
+        DetectArm::Castan,
+        DetectArm::RssSkew,
+        DetectArm::AdaptiveSkew,
+        DetectArm::NeighborEvict,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectArm::Uniform => "uniform",
+            DetectArm::Zipfian => "zipfian",
+            DetectArm::Castan => "castan",
+            DetectArm::RssSkew => "rss-skew",
+            DetectArm::AdaptiveSkew => "adaptive-skew",
+            DetectArm::NeighborEvict => "neighbor-evict",
+        }
+    }
+
+    /// Whether this arm is adversarial (must alarm) or benign (must not).
+    pub fn is_attack(self) -> bool {
+        !matches!(self, DetectArm::Uniform | DetectArm::Zipfian)
+    }
+}
+
+/// One judged arm of the `detect` experiment.
+#[derive(Clone, Debug)]
+pub struct DetectCell {
+    /// The traffic arm.
+    pub arm: DetectArm,
+    /// Epochs of telemetry until the first alarm (`None` = never flagged —
+    /// correct for the benign arms, a miss for the attacks).
+    pub epochs_to_detect: Option<u64>,
+    /// Signature of the first alarm.
+    pub first_signature: Option<AttackSignature>,
+    /// Threshold crossings over the whole run.
+    pub alarms: usize,
+    /// Detector-poll cycles charged across all cores.
+    pub overhead_cycles: u64,
+    /// Those cycles as a fraction of the run's total busy cycles — the
+    /// honestly-charged cost of watching.
+    pub overhead_share: f64,
+    /// Aggregate forwarding rate with detection overhead charged.
+    pub mpps: f64,
+    /// Busiest core's share of measured packets.
+    pub bottleneck_share: f64,
+}
+
+/// One sensitivity point of the offline ROC sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RocPoint {
+    /// The factor applied to every threshold.
+    pub factor: f64,
+    /// Attack arms whose recorded run alarms at this sensitivity.
+    pub attacks_detected: usize,
+    /// Attack arms judged.
+    pub attack_arms: usize,
+    /// Benign arms that (wrongly) alarm at this sensitivity.
+    pub false_positives: usize,
+    /// Benign arms judged.
+    pub benign_arms: usize,
+    /// Slowest time-to-detect among the detected attacks (epochs).
+    pub worst_epochs_to_detect: Option<u64>,
+}
+
+/// The closed-loop arm: detection *triggers* the mitigation mid-run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoopOutcome {
+    /// The unmitigated, unwatched attacked run (the comparator).
+    pub attacked_mpps: f64,
+    /// The watched run: no mitigation until the detector's first alarm
+    /// installs least-loaded rebalancing, with every poll charged.
+    pub closed_loop_mpps: f64,
+    /// `closed_loop_mpps / attacked_mpps`.
+    pub recovery: f64,
+    /// The sealed epoch whose alarm activated the response.
+    pub activated_epoch: Option<u64>,
+    /// Epochs of telemetry until that alarm.
+    pub epochs_to_detect: Option<u64>,
+    /// Detector-poll cycles charged across all cores.
+    pub overhead_cycles: u64,
+    /// Busiest core's share of measured packets after recovery.
+    pub bottleneck_share: f64,
+}
+
+/// Everything the `detect` experiment measured.
+#[derive(Clone, Debug)]
+pub struct DetectReport {
+    /// Chain under test.
+    pub chain: String,
+    /// Telemetry epoch length (= the rebalance epoch).
+    pub epoch_packets: usize,
+    /// Benign envelope of the queue-skew context ([`DETECT_CORES`]).
+    pub baseline: Baseline,
+    /// Benign envelope of the cross-core context ([`DETECT_XCORE_CORES`],
+    /// premapped pages, victims steered off the attacker core).
+    pub xcore_baseline: Baseline,
+    /// The online judged arms ([`DetectorConfig::with_baseline`] factors).
+    pub cells: Vec<DetectCell>,
+    /// The offline sensitivity sweep over the same recorded runs.
+    pub roc: Vec<RocPoint>,
+    /// The detection-triggered-mitigation arm.
+    pub closed_loop: ClosedLoopOutcome,
+    /// The recorded registry of every judged arm (the ROC sweep's input
+    /// and the JSON artifact's per-arm signal series).
+    pub registries: Vec<(DetectArm, Registry)>,
+}
+
+/// Runs the `detect` experiment for one chain: learns benign baselines
+/// from differently-seeded calibration runs, judges every arm online with
+/// detection overhead charged, re-judges the recorded runs offline across
+/// [`DETECT_ROC_FACTORS`], and closes the loop on the static-skew arm
+/// (first alarm installs least-loaded rebalancing mid-run).
+pub fn detect_data_for(chain: &NfChain, cfg: &ExperimentConfig) -> DetectReport {
+    let epoch = rss_mitigation_epoch(cfg);
+    let tele = TelemetryConfig::new(epoch);
+    let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
+    let calib_cfg = WorkloadConfig {
+        seed: DETECT_CALIBRATION_SEED,
+        ..wl_cfg
+    };
+
+    // Queue-skew context: the benign envelope at DETECT_CORES, learned
+    // from uniform and Zipfian calibration runs.
+    let shard = ShardConfig::new(DETECT_CORES);
+    let calib: Vec<Registry> = [WorkloadKind::UniRand, WorkloadKind::Zipfian]
+        .iter()
+        .map(|&kind| {
+            let wl = generic_chain_workload(chain, kind, &calib_cfg);
+            let mut dut = ShardedDut::new(chain.clone(), shard, &cfg.measurement);
+            dut.attach_telemetry(tele);
+            dut.run(&wl, &cfg.measurement);
+            dut.take_telemetry().expect("telemetry attached")
+        })
+        .collect();
+    let baseline = Baseline::learn(&calib.iter().collect::<Vec<_>>(), 32);
+    let detector = DetectorConfig::with_baseline(baseline);
+
+    // Cross-core context: the neighbor-evict arm runs on the premapped
+    // two-core deployment with the victims steered off the attacker core,
+    // so its benign envelope is learned on that same deployment.
+    let attacker = DETECT_XCORE_CORES - 1;
+    let xshard = ShardConfig::new(DETECT_XCORE_CORES).with_premapped_pages();
+    let xboot = victim_table(&xshard.rss, attacker);
+    let xcalib = {
+        let wl = generic_chain_workload(chain, WorkloadKind::Zipfian, &calib_cfg);
+        let mut dut = ShardedDut::new(chain.clone(), xshard, &cfg.measurement);
+        dut.set_boot_table(Some(xboot.clone()));
+        dut.attach_telemetry(tele);
+        dut.run(&wl, &cfg.measurement);
+        dut.take_telemetry().expect("telemetry attached")
+    };
+    let xbaseline = Baseline::learn(&[&xcalib], 32);
+    let xdetector = DetectorConfig::with_baseline(xbaseline);
+
+    // The packet-only eviction trace — the same composition the
+    // xcore-contention experiment validates arm by arm.
+    let victim_wl = generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg);
+    let plan = xcore_eviction_plan(chain, &victim_wl, DETECT_XCORE_CORES, cfg);
+    let xdispatcher = RssDispatcher::for_queues(DETECT_XCORE_CORES);
+    let xreport = analyze_chain_cross_core(
+        &Castan::new(cfg.analysis.clone()),
+        chain,
+        &plan,
+        &xdispatcher,
+        attacker,
+        2,
+    );
+    let evict_wl =
+        neighbor_evict_workload(&victim_wl, xreport.packets(), &xdispatcher, attacker, 4);
+
+    let skew_dispatcher = RssDispatcher::new(shard.rss);
+    let run_arm = |arm: DetectArm| -> Option<(DetectCell, Registry)> {
+        let (wl, arm_shard, boot, det) = match arm {
+            DetectArm::Uniform => (
+                generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg),
+                shard,
+                None,
+                detector,
+            ),
+            DetectArm::Zipfian => (
+                generic_chain_workload(chain, WorkloadKind::Zipfian, &wl_cfg),
+                shard,
+                None,
+                detector,
+            ),
+            DetectArm::Castan => {
+                let wl = castan_workload(analyze_chain_for(chain, cfg).packets.clone());
+                if wl.is_empty() {
+                    return None;
+                }
+                (wl, shard, None, detector)
+            }
+            DetectArm::RssSkew => (
+                skewed_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg, &skew_dispatcher, 0),
+                shard,
+                None,
+                detector,
+            ),
+            DetectArm::AdaptiveSkew => (
+                adaptive_skew_chain_workload(chain, cfg, 0),
+                shard,
+                None,
+                detector,
+            ),
+            DetectArm::NeighborEvict => (evict_wl.clone(), xshard, Some(xboot.clone()), xdetector),
+        };
+        let mut dut = ShardedDut::new(chain.clone(), arm_shard, &cfg.measurement);
+        dut.set_boot_table(boot);
+        dut.attach_telemetry(tele);
+        dut.set_detection(Some(DetectionConfig {
+            detector: det,
+            response: None,
+        }));
+        let m = dut.run(&wl, &cfg.measurement);
+        let rep = dut
+            .detection_report()
+            .cloned()
+            .expect("detection configured");
+        let reg = dut.take_telemetry().expect("telemetry attached");
+        let busy: u64 = m.per_core.iter().map(|c| c.busy_cycles()).sum();
+        let alarms = rep.alarms.len();
+        Some((
+            DetectCell {
+                arm,
+                epochs_to_detect: rep.epochs_to_detect(),
+                first_signature: rep.alarms.first().map(|a| a.signature),
+                alarms,
+                overhead_cycles: rep.overhead_cycles,
+                overhead_share: rep.overhead_cycles as f64 / busy.max(1) as f64,
+                mpps: m.aggregate_mpps(),
+                bottleneck_share: m.bottleneck_share(),
+            },
+            reg,
+        ))
+    };
+
+    let mut cells = Vec::new();
+    let mut registries = Vec::new();
+    for arm in DetectArm::ALL {
+        if let Some((cell, reg)) = run_arm(arm) {
+            cells.push(cell);
+            registries.push((arm, reg));
+        }
+    }
+
+    // Offline ROC sweep: re-judge the recorded runs at every sensitivity
+    // (the detector never mutates the registry, so scanning is free).
+    let roc = DETECT_ROC_FACTORS
+        .iter()
+        .map(|&factor| {
+            let mut point = RocPoint {
+                factor,
+                attacks_detected: 0,
+                attack_arms: 0,
+                false_positives: 0,
+                benign_arms: 0,
+                worst_epochs_to_detect: None,
+            };
+            for (arm, reg) in &registries {
+                let base = if *arm == DetectArm::NeighborEvict {
+                    xdetector
+                } else {
+                    detector
+                };
+                let scan_cfg = DetectorConfig {
+                    share_factor: factor,
+                    misses_factor: factor,
+                    cycles_factor: factor,
+                    instructions_factor: factor,
+                    ..base
+                };
+                let d = Detector::scan(scan_cfg, reg);
+                if arm.is_attack() {
+                    point.attack_arms += 1;
+                    if let Some(e) = d.epochs_to_detect() {
+                        point.attacks_detected += 1;
+                        point.worst_epochs_to_detect =
+                            Some(point.worst_epochs_to_detect.map_or(e, |w| w.max(e)));
+                    }
+                } else {
+                    point.benign_arms += 1;
+                    if !d.alarms().is_empty() {
+                        point.false_positives += 1;
+                    }
+                }
+            }
+            point
+        })
+        .collect();
+
+    // Closed loop on the static-skew arm: the comparator is the plain
+    // attacked run (no telemetry, no detection — exactly what an
+    // unwatched deployment would measure), the watched run starts with no
+    // mitigation and installs least-loaded rebalancing at the first alarm,
+    // paying every detector poll.
+    let skew_wl = skewed_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg, &skew_dispatcher, 0);
+    let attacked = measure_sharded(chain, shard, &skew_wl, &cfg.measurement);
+    let mut closed = ShardedDut::new(chain.clone(), shard, &cfg.measurement);
+    closed.attach_telemetry(tele);
+    closed.set_detection(Some(DetectionConfig {
+        detector,
+        response: Some(MitigationConfig::rebalance(
+            epoch,
+            RebalancePolicy::LeastLoaded,
+        )),
+    }));
+    let m_closed = closed.run(&skew_wl, &cfg.measurement);
+    let rep_closed = closed
+        .detection_report()
+        .cloned()
+        .expect("detection configured");
+    let closed_loop = ClosedLoopOutcome {
+        attacked_mpps: attacked.aggregate_mpps(),
+        closed_loop_mpps: m_closed.aggregate_mpps(),
+        recovery: m_closed.aggregate_mpps() / attacked.aggregate_mpps(),
+        activated_epoch: rep_closed.activated_epoch,
+        epochs_to_detect: rep_closed.epochs_to_detect(),
+        overhead_cycles: rep_closed.overhead_cycles,
+        bottleneck_share: m_closed.bottleneck_share(),
+    };
+
+    DetectReport {
+        chain: chain.name().to_string(),
+        epoch_packets: epoch,
+        baseline,
+        xcore_baseline: xbaseline,
+        cells,
+        roc,
+        closed_loop,
+        registries,
+    }
+}
+
+fn fmt_epochs(e: Option<u64>) -> String {
+    e.map_or("-".to_string(), |e| e.to_string())
+}
+
+/// The per-arm table of a [`DetectReport`] (the closed-loop arm is the
+/// last row).
+pub fn detect_table(report: &DetectReport) -> Table {
+    let mut rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.arm.name().to_string(),
+                if c.arm.is_attack() {
+                    "attack"
+                } else {
+                    "benign"
+                }
+                .to_string(),
+                fmt_epochs(c.epochs_to_detect),
+                c.first_signature
+                    .map_or("-".to_string(), |s| s.name().to_string()),
+                c.alarms.to_string(),
+                format!("{} ({:.2}%)", c.overhead_cycles, c.overhead_share * 100.0),
+                format!("{:.2}", c.mpps),
+                format!("{:.0}%", c.bottleneck_share * 100.0),
+            ]
+        })
+        .collect();
+    let cl = &report.closed_loop;
+    rows.push(vec![
+        "rss-skew (closed loop)".to_string(),
+        "attack".to_string(),
+        fmt_epochs(cl.epochs_to_detect),
+        "queue_skew".to_string(),
+        cl.activated_epoch.map_or(0, |_| 1).to_string(),
+        cl.overhead_cycles.to_string(),
+        format!(
+            "{:.2} ({:.2}x over {:.2})",
+            cl.closed_loop_mpps, cl.recovery, cl.attacked_mpps
+        ),
+        format!("{:.0}%", cl.bottleneck_share * 100.0),
+    ]);
+    Table {
+        id: "detect".to_string(),
+        title: format!(
+            "Online attack detection on {} ({DETECT_CORES}-core queue-skew \
+             context, {DETECT_XCORE_CORES}-core cross-core context): \
+             time-to-detect, charged overhead, closed-loop recovery",
+            report.chain
+        ),
+        columns: vec![
+            "Traffic".into(),
+            "Kind".into(),
+            "Epochs to detect".into(),
+            "First signature".into(),
+            "Alarms".into(),
+            "Overhead (cycles)".into(),
+            "Mpps".into(),
+            "Max-core share".into(),
+        ],
+        rows,
+    }
+}
+
+/// The ROC-sweep table of a [`DetectReport`].
+pub fn detect_roc_table(report: &DetectReport) -> Table {
+    let rows = report
+        .roc
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.factor),
+                format!("{}/{}", p.attacks_detected, p.attack_arms),
+                format!("{}/{}", p.false_positives, p.benign_arms),
+                fmt_epochs(p.worst_epochs_to_detect),
+            ]
+        })
+        .collect();
+    Table {
+        id: "detect-roc".to_string(),
+        title: "Detector sensitivity sweep over the recorded runs: every \
+                threshold factor set to the same value"
+            .to_string(),
+        columns: vec![
+            "Factor".into(),
+            "Attacks detected".into(),
+            "False positives".into(),
+            "Worst epochs to detect".into(),
+        ],
+        rows,
+    }
+}
+
+fn baseline_json(b: &Baseline) -> Json {
+    Json::obj()
+        .with("max_core_share", Json::fixed(b.max_core_share, 6))
+        .with("misses_per_packet", Json::fixed(b.misses_per_packet, 6))
+        .with("cycles_per_packet", Json::fixed(b.cycles_per_packet, 6))
+}
+
+/// Serialises a [`DetectReport`] as the `castan-telemetry-detect-v1`
+/// document committed at [`TELEMETRY_DETECT_PATH`]: baselines, per-arm
+/// outcomes with their epoch-indexed signal series, the ROC sweep and the
+/// closed-loop arm.
+pub fn detect_json(report: &DetectReport, label: &str) -> String {
+    use castan_telemetry::detector::{
+        SIG_CYCLES_PER_PACKET, SIG_EPOCH_PACKETS, SIG_INSTRUCTIONS_PER_PACKET, SIG_MAX_CORE_SHARE,
+        SIG_MISSES_PER_PACKET,
+    };
+    let mut arms = Json::obj();
+    for cell in &report.cells {
+        let mut signals = Json::obj();
+        if let Some((_, reg)) = report.registries.iter().find(|(a, _)| *a == cell.arm) {
+            for sig in [
+                SIG_EPOCH_PACKETS,
+                SIG_MAX_CORE_SHARE,
+                SIG_MISSES_PER_PACKET,
+                SIG_CYCLES_PER_PACKET,
+                SIG_INSTRUCTIONS_PER_PACKET,
+            ] {
+                if let Some(series) = reg.gauge_series(sig) {
+                    let points = series
+                        .epochs()
+                        .iter()
+                        .map(|&(e, v)| Json::Arr(vec![Json::U64(e), Json::fixed(v, 6)]))
+                        .collect();
+                    signals.set(sig, Json::Arr(points));
+                }
+            }
+        }
+        arms.set(
+            cell.arm.name(),
+            Json::obj()
+                .with("attack", Json::Bool(cell.arm.is_attack()))
+                .with(
+                    "epochs_to_detect",
+                    cell.epochs_to_detect.map_or(Json::Null, Json::U64),
+                )
+                .with(
+                    "first_signature",
+                    cell.first_signature
+                        .map_or(Json::Null, |s| Json::str(s.name())),
+                )
+                .with("alarms", Json::U64(cell.alarms as u64))
+                .with("overhead_cycles", Json::U64(cell.overhead_cycles))
+                .with("overhead_share", Json::fixed(cell.overhead_share, 6))
+                .with("mpps", Json::fixed(cell.mpps, 4))
+                .with("bottleneck_share", Json::fixed(cell.bottleneck_share, 4))
+                .with("signals", signals),
+        );
+    }
+    let roc = report
+        .roc
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("factor", Json::fixed(p.factor, 2))
+                .with("attacks_detected", Json::U64(p.attacks_detected as u64))
+                .with("attack_arms", Json::U64(p.attack_arms as u64))
+                .with("false_positives", Json::U64(p.false_positives as u64))
+                .with("benign_arms", Json::U64(p.benign_arms as u64))
+                .with(
+                    "worst_epochs_to_detect",
+                    p.worst_epochs_to_detect.map_or(Json::Null, Json::U64),
+                )
+        })
+        .collect();
+    let cl = &report.closed_loop;
+    Json::obj()
+        .with("schema", Json::str("castan-telemetry-detect-v1"))
+        .with("config", Json::str(label))
+        .with("chain", Json::str(report.chain.clone()))
+        .with("epoch_packets", Json::U64(report.epoch_packets as u64))
+        .with("baseline", baseline_json(&report.baseline))
+        .with("xcore_baseline", baseline_json(&report.xcore_baseline))
+        .with("arms", arms)
+        .with("roc", Json::Arr(roc))
+        .with(
+            "closed_loop",
+            Json::obj()
+                .with("attacked_mpps", Json::fixed(cl.attacked_mpps, 4))
+                .with("closed_loop_mpps", Json::fixed(cl.closed_loop_mpps, 4))
+                .with("recovery", Json::fixed(cl.recovery, 4))
+                .with(
+                    "activated_epoch",
+                    cl.activated_epoch.map_or(Json::Null, Json::U64),
+                )
+                .with(
+                    "epochs_to_detect",
+                    cl.epochs_to_detect.map_or(Json::Null, Json::U64),
+                )
+                .with("overhead_cycles", Json::U64(cl.overhead_cycles))
+                .with("bottleneck_share", Json::fixed(cl.bottleneck_share, 4)),
+        )
+        .render()
+}
+
+/// The `detect` experiment: runs [`detect_data_for`] on the nat→lpm chain
+/// (the stateful chain every attack family targets), writes the
+/// `castan-telemetry-detect-v1` artifact at [`TELEMETRY_DETECT_PATH`] and
+/// returns the rendered tables plus the tables themselves (for the
+/// per-experiment result summaries).
+pub fn detect(cfg: &ExperimentConfig, label: &str) -> (String, Vec<Table>) {
+    let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+    let report = detect_data_for(&chain, cfg);
+    let arms = detect_table(&report);
+    let roc = detect_roc_table(&report);
+    let json = detect_json(&report, label);
+    std::fs::write(TELEMETRY_DETECT_PATH, &json).expect("write TELEMETRY_detect.json");
+    (
+        format!(
+            "{}\n{}\nwrote {TELEMETRY_DETECT_PATH}",
+            arms.render(),
+            roc.render()
+        ),
+        vec![arms, roc],
+    )
+}
+
 /// Repo-root path of the hot-path baseline the `bench-baselines`
 /// experiment writes.
 pub const BENCH_HOTPATH_PATH: &str =
@@ -1385,17 +2040,15 @@ pub const BENCH_HOTPATH_PATH: &str =
 pub const BENCH_CLUSTER_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
 
-/// The `bench-baselines` experiment: measures the simulated hot paths and
-/// persists machine-readable baselines at the repo root
-/// (`BENCH_hotpath.json`, `BENCH_cluster.json`), returning a summary of
-/// what was written.
-///
-/// The simulated Mpps figures are deterministic — a diff under version
-/// control means the *model* changed, which is exactly what the baseline
-/// is for. The `*_wall_ms` fields track the host machine and are
-/// informative only. Regenerate with
-/// `cargo run -p castan-experiments --release -- --quick bench-baselines`.
-pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> String {
+/// Relative tolerance of the [`bench_drift`] check: simulated figures are
+/// deterministic, so any drift beyond float-rendering noise means the
+/// model changed.
+pub const BENCH_DRIFT_TOLERANCE: f64 = 0.01;
+
+/// Measures the hot-path and cluster baselines and builds the two
+/// `castan-bench-*-v1` documents (without writing them), plus the summary
+/// table the result-summary pipeline reuses.
+fn bench_docs(cfg: &ExperimentConfig, label: &str) -> (String, String, Table) {
     let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
     let wl_cfg = WorkloadConfig::scaled(cfg.workload_scale);
     let uni = generic_chain_workload(&chain, WorkloadKind::UniRand, &wl_cfg);
@@ -1404,7 +2057,7 @@ pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> String {
     // cores on uniform traffic.
     let t0 = std::time::Instant::now();
     let report = analyze_chain_for(&chain, cfg);
-    let synthesis_wall_ms = t0.elapsed().as_millis();
+    let synthesis_wall_ms = t0.elapsed().as_millis() as u64;
     let sharded_mpps: Vec<(usize, f64)> = [1usize, CLUSTER_CORES]
         .iter()
         .map(|&cores| {
@@ -1412,19 +2065,22 @@ pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> String {
             (cores, m.aggregate_mpps())
         })
         .collect();
-    let hotpath = format!(
-        "{{\n  \"schema\": \"castan-bench-hotpath-v1\",\n  \"config\": \"{label}\",\n  \
-         \"chain\": \"{}\",\n  \"total_packets\": {},\n  \"synthesis_packets\": {},\n  \
-         \"sharded_uniform_mpps\": {{ {} }},\n  \"synthesis_wall_ms\": {synthesis_wall_ms}\n}}\n",
-        chain.name(),
-        cfg.measurement.total_packets,
-        report.packets.len(),
-        sharded_mpps
-            .iter()
-            .map(|(c, m)| format!("\"{c}_cores\": {m:.4}"))
-            .collect::<Vec<_>>()
-            .join(", "),
-    );
+    let mut sharded = Json::obj();
+    for (c, m) in &sharded_mpps {
+        sharded.set(format!("{c}_cores"), Json::fixed(*m, 4));
+    }
+    let hotpath = Json::obj()
+        .with("schema", Json::str("castan-bench-hotpath-v1"))
+        .with("config", Json::str(label))
+        .with("chain", Json::str(chain.name()))
+        .with(
+            "total_packets",
+            Json::U64(cfg.measurement.total_packets as u64),
+        )
+        .with("synthesis_packets", Json::U64(report.packets.len() as u64))
+        .with("sharded_uniform_mpps", sharded)
+        .with("synthesis_wall_ms", Json::U64(synthesis_wall_ms))
+        .render();
 
     // Cluster tier: uniform scaling across the node counts, the composed
     // attack unmitigated, and the full defence through the scheduled
@@ -1459,33 +2115,173 @@ pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> String {
         &composed,
         &cfg.measurement,
     );
-    let cluster_wall_ms = t1.elapsed().as_millis();
-    let cluster = format!(
-        "{{\n  \"schema\": \"castan-bench-cluster-v1\",\n  \"config\": \"{label}\",\n  \
-         \"chain\": \"{}\",\n  \"cores_per_node\": {CLUSTER_CORES},\n  \
-         \"total_packets\": {},\n  \"uniform_mpps\": {{ {} }},\n  \
-         \"composed_skew_mpps\": {{ \"{widest}_nodes_unmitigated\": {:.4}, \
-         \"{widest}_nodes_rebalance_drain\": {:.4} }},\n  \
-         \"composed_bottleneck_core_share\": {:.4},\n  \
-         \"cluster_wall_ms\": {cluster_wall_ms}\n}}\n",
-        chain.name(),
-        cfg.measurement.total_packets,
-        uniform_mpps
-            .iter()
-            .map(|(n, m)| format!("\"{n}_nodes\": {m:.4}"))
-            .collect::<Vec<_>>()
-            .join(", "),
-        attacked.aggregate_mpps(),
-        defended.aggregate_mpps(),
-        attacked.bottleneck_core_share(),
-    );
+    let cluster_wall_ms = t1.elapsed().as_millis() as u64;
+    let mut uniform = Json::obj();
+    for (n, m) in &uniform_mpps {
+        uniform.set(format!("{n}_nodes"), Json::fixed(*m, 4));
+    }
+    let cluster = Json::obj()
+        .with("schema", Json::str("castan-bench-cluster-v1"))
+        .with("config", Json::str(label))
+        .with("chain", Json::str(chain.name()))
+        .with("cores_per_node", Json::U64(CLUSTER_CORES as u64))
+        .with(
+            "total_packets",
+            Json::U64(cfg.measurement.total_packets as u64),
+        )
+        .with("uniform_mpps", uniform)
+        .with(
+            "composed_skew_mpps",
+            Json::obj()
+                .with(
+                    format!("{widest}_nodes_unmitigated"),
+                    Json::fixed(attacked.aggregate_mpps(), 4),
+                )
+                .with(
+                    format!("{widest}_nodes_rebalance_drain"),
+                    Json::fixed(defended.aggregate_mpps(), 4),
+                ),
+        )
+        .with(
+            "composed_bottleneck_core_share",
+            Json::fixed(attacked.bottleneck_core_share(), 4),
+        )
+        .with("cluster_wall_ms", Json::U64(cluster_wall_ms))
+        .render();
 
+    let mut rows: Vec<Vec<String>> = sharded_mpps
+        .iter()
+        .map(|(c, m)| {
+            vec![
+                format!("sharded uniform, {c} cores"),
+                format!("{m:.4} Mpps"),
+            ]
+        })
+        .collect();
+    rows.extend(uniform_mpps.iter().map(|(n, m)| {
+        vec![
+            format!("cluster uniform, {n} nodes"),
+            format!("{m:.4} Mpps"),
+        ]
+    }));
+    rows.push(vec![
+        format!("cluster composed skew, {widest} nodes, unmitigated"),
+        format!("{:.4} Mpps", attacked.aggregate_mpps()),
+    ]);
+    rows.push(vec![
+        format!("cluster composed skew, {widest} nodes, rebalance+drain"),
+        format!("{:.4} Mpps", defended.aggregate_mpps()),
+    ]);
+    let table = Table {
+        id: "bench-baselines".to_string(),
+        title: "Simulated perf baselines (committed as BENCH_hotpath.json / \
+                BENCH_cluster.json)"
+            .to_string(),
+        columns: vec!["Scenario".into(), "Result".into()],
+        rows,
+    };
+    (hotpath, cluster, table)
+}
+
+/// The `bench-baselines` experiment: measures the simulated hot paths and
+/// persists machine-readable baselines at the repo root
+/// (`BENCH_hotpath.json`, `BENCH_cluster.json`), returning a summary of
+/// what was written plus the summary table.
+///
+/// The simulated Mpps figures are deterministic — a diff under version
+/// control means the *model* changed, which is exactly what the baseline
+/// is for. The `*_wall_ms` fields track the host machine and are
+/// informative only. Regenerate with
+/// `cargo run -p castan-experiments --release -- --quick bench-baselines`.
+pub fn bench_baselines(cfg: &ExperimentConfig, label: &str) -> (String, Vec<Table>) {
+    let (hotpath, cluster, table) = bench_docs(cfg, label);
     std::fs::write(BENCH_HOTPATH_PATH, &hotpath).expect("write BENCH_hotpath.json");
     std::fs::write(BENCH_CLUSTER_PATH, &cluster).expect("write BENCH_cluster.json");
-    format!(
-        "wrote {}:\n{hotpath}\nwrote {}:\n{cluster}",
-        BENCH_HOTPATH_PATH, BENCH_CLUSTER_PATH
+    (
+        format!("wrote {BENCH_HOTPATH_PATH}:\n{hotpath}\nwrote {BENCH_CLUSTER_PATH}:\n{cluster}"),
+        vec![table],
     )
+}
+
+/// Compares two `castan-bench-*` documents on their numeric surface:
+/// every field whose relative deviation exceeds
+/// [`BENCH_DRIFT_TOLERANCE`] produces one readable line (host-dependent
+/// `*_wall_ms` fields are skipped). `Err` means a document failed to
+/// parse.
+pub fn drift_lines(committed: &str, regenerated: &str) -> Result<Vec<String>, String> {
+    let old: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(committed)?
+        .into_iter()
+        .collect();
+    let new: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(regenerated)?
+        .into_iter()
+        .collect();
+    let mut lines = Vec::new();
+    for (key, committed_v) in &old {
+        if key.ends_with("_wall_ms") {
+            continue;
+        }
+        match new.get(key) {
+            None => lines.push(format!(
+                "{key}: committed {committed_v}, missing on regenerate"
+            )),
+            Some(new_v) => {
+                let rel = (new_v - committed_v).abs() / committed_v.abs().max(1e-9);
+                if rel > BENCH_DRIFT_TOLERANCE {
+                    lines.push(format!(
+                        "{key}: committed {committed_v}, regenerated {new_v} \
+                         ({:+.2}% > {:.0}% tolerance)",
+                        (new_v / committed_v - 1.0) * 100.0,
+                        BENCH_DRIFT_TOLERANCE * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for key in new.keys() {
+        if !key.ends_with("_wall_ms") && !old.contains_key(key) {
+            lines.push(format!(
+                "{key}: regenerated but not in the committed baseline"
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+/// The `bench-drift` check: regenerates the perf baselines in memory and
+/// compares their numeric surface against the committed
+/// `BENCH_hotpath.json` / `BENCH_cluster.json`. `Ok` is a one-line
+/// confirmation; `Err` is a readable per-field diff (the CI job fails on
+/// it). Run with `--quick` — the committed artifacts are quick-config.
+pub fn bench_drift(cfg: &ExperimentConfig) -> Result<String, String> {
+    let (hotpath, cluster, _) = bench_docs(cfg, "quick");
+    let mut drift = Vec::new();
+    let mut checked = 0usize;
+    for (path, regenerated) in [
+        (BENCH_HOTPATH_PATH, &hotpath),
+        (BENCH_CLUSTER_PATH, &cluster),
+    ] {
+        let committed = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let lines = drift_lines(&committed, regenerated).map_err(|e| format!("{path}: {e}"))?;
+        checked += castan_telemetry::json::numeric_fields(&committed)
+            .map(|f| f.len())
+            .unwrap_or(0);
+        drift.extend(lines.into_iter().map(|l| format!("{path}: {l}")));
+    }
+    if drift.is_empty() {
+        Ok(format!(
+            "bench baselines match the committed artifacts \
+             ({checked} numeric fields within {:.0}%)",
+            BENCH_DRIFT_TOLERANCE * 100.0
+        ))
+    } else {
+        Err(format!(
+            "bench baselines drifted from the committed artifacts — if the \
+             model change is intentional, regenerate with `cargo run -p \
+             castan-experiments --release -- --quick bench-baselines` and \
+             commit the result:\n{}",
+            drift.join("\n")
+        ))
+    }
 }
 
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
@@ -2149,5 +2945,127 @@ mod tests {
         // Manual column only filled for the three NFs that have one.
         let manual_filled = t.rows.iter().filter(|r| r[2] != "-").count();
         assert_eq!(manual_filled, 3);
+    }
+
+    #[test]
+    fn detect_flags_every_attack_and_recovers() {
+        // The acceptance bars for the detection subsystem, asserted through
+        // the detect experiment path itself:
+        // (a) every attack arm (CASTAN replay, RSS skew, adaptive skew,
+        //     neighbor eviction) raises an alarm within three telemetry
+        //     epochs, with the detection overhead charged to the run;
+        // (b) the benign arms (uniform, Zipfian) raise zero alarms at the
+        //     default thresholds — no false positives;
+        // (c) some ROC operating point separates perfectly;
+        // (d) the closed-loop arm — mitigation installed only after the
+        //     first alarm, overhead still charged — recovers >= 2x over
+        //     the unmitigated attacked arm.
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let report = detect_data_for(&chain, &cfg);
+        assert_eq!(report.cells.len(), DetectArm::ALL.len());
+        for cell in &report.cells {
+            if cell.arm.is_attack() {
+                let epochs = cell
+                    .epochs_to_detect
+                    .unwrap_or_else(|| panic!("{}: attack not detected", cell.arm.name()));
+                assert!(
+                    epochs <= 3,
+                    "{}: detected only after {epochs} epochs",
+                    cell.arm.name()
+                );
+                assert!(cell.first_signature.is_some());
+            } else {
+                assert_eq!(cell.alarms, 0, "{}: false positive", cell.arm.name());
+                assert!(cell.epochs_to_detect.is_none());
+            }
+            assert!(
+                cell.overhead_cycles > 0,
+                "{}: detection overhead must be charged",
+                cell.arm.name()
+            );
+        }
+        assert!(
+            report
+                .roc
+                .iter()
+                .any(|p| p.attacks_detected == p.attack_arms && p.false_positives == 0),
+            "no ROC operating point separates attacks from benign traffic: {:?}",
+            report.roc
+        );
+        let cl = &report.closed_loop;
+        assert!(cl.activated_epoch.is_some(), "mitigation never triggered");
+        assert!(
+            cl.recovery >= 2.0,
+            "closed-loop recovery {:.2}x < 2x ({:.2} -> {:.2} Mpps)",
+            cl.recovery,
+            cl.attacked_mpps,
+            cl.closed_loop_mpps
+        );
+        assert!(cl.overhead_cycles > 0);
+        // The rendered tables cover the whole matrix.
+        assert_eq!(
+            detect_table(&report).rows.len(),
+            DetectArm::ALL.len() + 1 // + the closed-loop row
+        );
+        assert_eq!(
+            detect_roc_table(&report).rows.len(),
+            DETECT_ROC_FACTORS.len()
+        );
+    }
+
+    #[test]
+    fn result_json_mirrors_the_rendered_table() {
+        let t = Table {
+            id: "demo".into(),
+            title: "Demo".into(),
+            columns: vec!["Scenario".into(), "Result".into()],
+            rows: vec![vec!["base".into(), "1.25".into()]],
+        };
+        let doc = t.result_json("quick");
+        for needle in [
+            "castan-experiment-result-v1",
+            "\"demo\"",
+            "\"quick\"",
+            "\"Scenario\"",
+            "\"base\"",
+            "\"1.25\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn figure_summary_table_has_one_row_per_series() {
+        let fig = figure("fig7", &tiny_cfg()).unwrap();
+        let t = fig.summary_table();
+        assert_eq!(t.id, fig.id);
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.rows.len(), fig.series.len());
+    }
+
+    #[test]
+    fn drift_lines_flags_value_changes_and_ignores_wall_clock() {
+        let committed = "{\n  \"a\": 1.0,\n  \"nested\": {\n    \"b\": 2.0,\n    \"synthesis_wall_ms\": 100\n  }\n}\n";
+        assert_eq!(
+            drift_lines(committed, committed).unwrap(),
+            Vec::<String>::new()
+        );
+        // 5% drift on one field is over the 1% tolerance; a wall-clock
+        // change is ignored.
+        let drifted = "{\n  \"a\": 1.05,\n  \"nested\": {\n    \"b\": 2.0,\n    \"synthesis_wall_ms\": 900\n  }\n}\n";
+        let lines = drift_lines(committed, drifted).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("a:"), "{}", lines[0]);
+        // A field missing on either side is reported.
+        let missing = "{\n  \"a\": 1.0\n}\n";
+        assert!(drift_lines(committed, missing)
+            .unwrap()
+            .iter()
+            .any(|l| l.contains("missing on regenerate")));
+        assert!(drift_lines(missing, committed)
+            .unwrap()
+            .iter()
+            .any(|l| l.contains("not in the committed baseline")));
     }
 }

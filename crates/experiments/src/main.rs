@@ -7,17 +7,29 @@
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
 //! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
-//! `xcore-contention`, `cluster-skew`, `bench-baselines`, or `all`.
-//! Unknown experiment names exit with status 2 and list the valid names.
+//! `xcore-contention`, `cluster-skew`, `detect`, `bench-baselines`, or
+//! `all`. Unknown experiment names exit with status 2 and list the valid
+//! names.
 //!
-//! `bench-baselines` additionally writes `BENCH_hotpath.json` and
-//! `BENCH_cluster.json` at the repo root (the committed perf baselines).
+//! Every experiment prints its tables/figures and writes a
+//! machine-readable `castan-experiment-result-v1` summary to
+//! `results/<id>.json` at the repo root. `bench-baselines` additionally
+//! writes `BENCH_hotpath.json` and `BENCH_cluster.json` (the committed
+//! perf baselines) and `detect` writes `TELEMETRY_detect.json`.
+//!
+//! `bench-drift` (not part of `all`) regenerates the perf baselines and
+//! exits non-zero with a per-field diff if they drifted from the
+//! committed artifacts; run it with `--quick`, the committed config.
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, bench_baselines, chain_table, cluster_skew, figure,
-    figure_catalog, rss_mitigation, rss_scaling, table4, table5, throughput_and_counters_table,
-    xcore_contention, ExperimentConfig,
+    ablation_cache_model, ablation_loop_bound, bench_baselines, bench_drift, chain_table,
+    cluster_skew, detect, figure, figure_catalog, rss_mitigation, rss_scaling, table4, table5,
+    throughput_and_counters_table, xcore_contention, ExperimentConfig, Table,
 };
+
+/// Repo-root directory the per-experiment result summaries are written to
+/// (regenerable output, not committed).
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
 
 /// Every runnable experiment id, in `all` execution order.
 fn valid_experiments() -> Vec<String> {
@@ -33,16 +45,22 @@ fn valid_experiments() -> Vec<String> {
     out.push("rss-mitigation".to_string());
     out.push("xcore-contention".to_string());
     out.push("cluster-skew".to_string());
+    out.push("detect".to_string());
     out.push("bench-baselines".to_string());
     out
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: castan-experiments [--quick] <experiment>...\nexperiments: {} | all",
+        "usage: castan-experiments [--quick] <experiment>...\nexperiments: {} | all | bench-drift",
         valid_experiments().join(" | ")
     );
     std::process::exit(2);
+}
+
+/// An experiment whose printed output is exactly its one table.
+fn table_result(t: Table) -> (String, Vec<Table>) {
+    (t.render(), vec![t])
 }
 
 fn main() {
@@ -54,6 +72,7 @@ fn main() {
     } else {
         ExperimentConfig::full()
     };
+    let label = if quick { "quick" } else { "full" };
 
     if requested.is_empty() {
         usage_and_exit();
@@ -64,7 +83,7 @@ fn main() {
     for r in requested {
         if r == "all" {
             targets.extend(valid.iter().cloned());
-        } else if valid.contains(&r) {
+        } else if valid.contains(&r) || r == "bench-drift" {
             targets.push(r);
         } else {
             eprintln!("unknown experiment: {r}");
@@ -73,26 +92,41 @@ fn main() {
     }
 
     for target in targets {
-        eprintln!(
-            "== running {target} ({}) ==",
-            if quick { "quick" } else { "full" }
-        );
-        let output = match target.as_str() {
-            "table1" => throughput_and_counters_table(1, &cfg).render(),
-            "table2" => throughput_and_counters_table(2, &cfg).render(),
-            "table3" => throughput_and_counters_table(3, &cfg).render(),
-            "table4" => table4(&cfg).render(),
-            "table5" => table5(&cfg).render(),
-            "ablation-m" => ablation_loop_bound(&cfg).render(),
-            "ablation-cache" => ablation_cache_model(&cfg).render(),
-            "chain-table" => chain_table(&cfg).render(),
-            "rss-scaling" => rss_scaling(&cfg).render(),
-            "rss-mitigation" => rss_mitigation(&cfg).render(),
-            "xcore-contention" => xcore_contention(&cfg).render(),
-            "cluster-skew" => cluster_skew(&cfg).render(),
-            "bench-baselines" => bench_baselines(&cfg, if quick { "quick" } else { "full" }),
-            fig => figure(fig, &cfg).expect("validated above").render(),
+        eprintln!("== running {target} ({label}) ==");
+        let (output, tables): (String, Vec<Table>) = match target.as_str() {
+            "table1" => table_result(throughput_and_counters_table(1, &cfg)),
+            "table2" => table_result(throughput_and_counters_table(2, &cfg)),
+            "table3" => table_result(throughput_and_counters_table(3, &cfg)),
+            "table4" => table_result(table4(&cfg)),
+            "table5" => table_result(table5(&cfg)),
+            "ablation-m" => table_result(ablation_loop_bound(&cfg)),
+            "ablation-cache" => table_result(ablation_cache_model(&cfg)),
+            "chain-table" => table_result(chain_table(&cfg)),
+            "rss-scaling" => table_result(rss_scaling(&cfg)),
+            "rss-mitigation" => table_result(rss_mitigation(&cfg)),
+            "xcore-contention" => table_result(xcore_contention(&cfg)),
+            "cluster-skew" => table_result(cluster_skew(&cfg)),
+            "detect" => detect(&cfg, label),
+            "bench-baselines" => bench_baselines(&cfg, label),
+            "bench-drift" => match bench_drift(&cfg) {
+                Ok(summary) => (summary, Vec::new()),
+                Err(diff) => {
+                    eprintln!("{diff}");
+                    std::process::exit(1);
+                }
+            },
+            fig => {
+                let f = figure(fig, &cfg).expect("validated above");
+                let summary = f.summary_table();
+                (f.render(), vec![summary])
+            }
         };
         println!("{output}");
+        for t in &tables {
+            std::fs::create_dir_all(RESULTS_DIR).expect("create results dir");
+            let path = format!("{RESULTS_DIR}/{}.json", t.id);
+            std::fs::write(&path, t.result_json(label)).expect("write result summary");
+            eprintln!("wrote {path}");
+        }
     }
 }

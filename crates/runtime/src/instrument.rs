@@ -1,0 +1,129 @@
+//! Telemetry instrumentation of the dispatch/rebalance layer.
+//!
+//! The runtime crate owns the indirection table, so it is the layer that
+//! can answer "how concentrated is the load *per table entry*" and "what
+//! did a rebalance actually move" — the two signals the control-plane
+//! detector and the event trace need. [`DispatchInstrument`] is the
+//! per-epoch per-entry packet accounting (a telemetry-only sibling of
+//! [`LoadTracker`](crate::LoadTracker), which exists only while a
+//! mitigation is active); [`record_rebalance`] and [`record_key_rotation`]
+//! turn table rewrites and key-schedule steps into registry events and
+//! counters. Everything here is observational: nothing feeds back into
+//! dispatch decisions.
+
+use castan_telemetry::{EventKind, Registry};
+
+/// Gauge name: fraction of this epoch's dispatched packets that hit the
+/// single hottest indirection-table entry (the per-entry analogue of the
+/// per-core `dispatch.max_core_share` skew signal).
+pub const GAUGE_MAX_ENTRY_SHARE: &str = "dispatch.max_entry_share";
+/// Counter name: indirection-table entries moved by rebalances.
+pub const COUNTER_ENTRIES_MOVED: &str = "rebalance.entries_moved";
+/// Counter name: rebalances that rewrote the table.
+pub const COUNTER_REBALANCES: &str = "rebalance.count";
+/// Counter name: Toeplitz key rotations installed.
+pub const COUNTER_KEY_ROTATIONS: &str = "rebalance.key_rotations";
+
+/// Per-epoch, per-indirection-entry dispatch accounting.
+#[derive(Clone, Debug)]
+pub struct DispatchInstrument {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DispatchInstrument {
+    /// Zeroed accounting over a table of `table_size` entries.
+    pub fn new(table_size: usize) -> Self {
+        DispatchInstrument {
+            counts: vec![0; table_size],
+            total: 0,
+        }
+    }
+
+    /// Records one packet dispatched through `entry`.
+    pub fn record(&mut self, entry: usize) {
+        self.counts[entry] += 1;
+        self.total += 1;
+    }
+
+    /// Packets recorded this epoch.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The hottest entry's share of this epoch's packets (0.0 when no
+    /// packet was recorded).
+    pub fn max_entry_share(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        max as f64 / self.total as f64
+    }
+
+    /// Seals the epoch into `reg` (the [`GAUGE_MAX_ENTRY_SHARE`] gauge)
+    /// and resets the accounting for the next epoch.
+    pub fn seal_into(&mut self, reg: &mut Registry) {
+        if self.total > 0 {
+            reg.gauge(GAUGE_MAX_ENTRY_SHARE, self.max_entry_share());
+        }
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+/// Records a table rewrite: counts the entries whose queue changed, bumps
+/// the rebalance counters and appends a [`EventKind::Rebalance`] event.
+/// Returns the number of moved entries (0 records nothing).
+pub fn record_rebalance(reg: &mut Registry, old: &[u32], new: &[u32]) -> usize {
+    debug_assert_eq!(old.len(), new.len(), "table size is fixed per run");
+    let moved = old.iter().zip(new).filter(|(a, b)| a != b).count();
+    if moved > 0 {
+        reg.count(COUNTER_REBALANCES, 1);
+        reg.count(COUNTER_ENTRIES_MOVED, moved as u64);
+        reg.event(EventKind::Rebalance, format!("entries_moved={moved}"));
+    }
+    moved
+}
+
+/// Records an installed per-epoch Toeplitz key rotation.
+pub fn record_key_rotation(reg: &mut Registry, epoch: u64) {
+    reg.count(COUNTER_KEY_ROTATIONS, 1);
+    reg.event(EventKind::KeyRotation, format!("epoch={epoch}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_share_tracks_the_hottest_entry_and_resets_on_seal() {
+        let mut reg = Registry::new();
+        let mut d = DispatchInstrument::new(8);
+        for _ in 0..6 {
+            d.record(3);
+        }
+        d.record(0);
+        d.record(1);
+        assert_eq!(d.max_entry_share(), 0.75);
+        d.seal_into(&mut reg);
+        reg.seal_epoch();
+        assert_eq!(reg.gauge_at(GAUGE_MAX_ENTRY_SHARE, 0), Some(0.75));
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.max_entry_share(), 0.0);
+    }
+
+    #[test]
+    fn rebalance_records_moved_entries_and_identity_rewrites_record_nothing() {
+        let mut reg = Registry::new();
+        let old = vec![0u32, 1, 0, 1];
+        let new = vec![0u32, 1, 1, 0];
+        assert_eq!(record_rebalance(&mut reg, &old, &new), 2);
+        assert_eq!(record_rebalance(&mut reg, &old, &old), 0);
+        assert_eq!(reg.counter_total(COUNTER_REBALANCES), 1);
+        assert_eq!(reg.counter_total(COUNTER_ENTRIES_MOVED), 2);
+        assert_eq!(reg.events().len(), 1);
+        record_key_rotation(&mut reg, 1);
+        assert_eq!(reg.counter_total(COUNTER_KEY_ROTATIONS), 1);
+    }
+}

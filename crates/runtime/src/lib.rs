@@ -34,6 +34,10 @@
 //! * [`batch`] — [`Batcher`]: per-queue buffering with a configurable
 //!   batch size; the testbed charges the per-batch dispatch overhead once
 //!   per batch instead of once per packet.
+//! * [`instrument`] — telemetry hooks over this layer: per-epoch
+//!   per-entry dispatch accounting ([`DispatchInstrument`]) and
+//!   rebalance/key-rotation event recording into a
+//!   `castan_telemetry::Registry`. Observational only.
 //!
 //! Everything here is pure flow/packet logic — no cache model, no cost
 //! accounting. The simulated cores themselves (private L1/L2 in front of a
@@ -46,12 +50,14 @@
 
 pub mod batch;
 pub mod dispatch;
+pub mod instrument;
 pub mod rebalance;
 pub mod skew;
 pub mod toeplitz;
 
 pub use batch::Batcher;
 pub use dispatch::{steer_packet, RssConfig, RssDispatcher};
+pub use instrument::{record_key_rotation, record_rebalance, DispatchInstrument};
 pub use rebalance::{
     queue_loads, rebalanced_table, LoadMetric, LoadTracker, RebalancePolicy, REBALANCE_TRIGGER_DEN,
     REBALANCE_TRIGGER_NUM,

@@ -1,0 +1,366 @@
+//! The online attack detector — the first control-plane consumer of the
+//! per-epoch telemetry series.
+//!
+//! The paper's adversarial workloads leave epoch-scale signatures that
+//! benign traffic does not:
+//!
+//! * **Queue skew** (RSS-skew, adaptive-skew, cluster-skew): the attacker
+//!   steers all 5-tuples onto one receive queue, so the busiest core's
+//!   share of dispatched packets ([`SIG_MAX_CORE_SHARE`]) jumps from
+//!   `≈ 1/n_cores` toward 1.0.
+//! * **Cache-adversarial traffic** (CASTAN synthesis, neighbor-evict): the
+//!   packets (or a noisy neighbour's replay) drive the shared L3 far off
+//!   the benign working set, inflating misses per packet
+//!   ([`SIG_MISSES_PER_PACKET`]) and, for CASTAN's
+//!   worst-case-execution-path packets, cycles per packet
+//!   ([`SIG_CYCLES_PER_PACKET`]).
+//! * **Worst-case execution paths** (CASTAN synthesis): a small replayed
+//!   trace runs warm, so its misses — and with them total cycles — can sit
+//!   *below* cold benign traffic; what cannot hide is the algorithmic work
+//!   itself, instructions retired per packet
+//!   ([`SIG_INSTRUCTIONS_PER_PACKET`]).
+//!
+//! Detection is threshold-over-learned-baseline: a [`Baseline`] is
+//! calibrated offline from benign reference runs (the maximum each signal
+//! reached in any calibration epoch), a [`DetectorConfig`] scales it by
+//! per-signal factors, and the [`Detector`] polls the registry once per
+//! sealed epoch, raising an [`Alarm`] the first epoch a signal crosses its
+//! threshold. Epochs with fewer than `min_epoch_packets` packets are
+//! skipped (end-of-run tails are too noisy to judge). The detector never
+//! mutates the registry; the closed-loop DUT charges its polling cost
+//! explicitly.
+
+use crate::Registry;
+
+/// Gauge name: busiest core's share of packets dispatched this epoch.
+pub const SIG_MAX_CORE_SHARE: &str = "dispatch.max_core_share";
+/// Gauge name: shared-L3 misses per executed packet this epoch.
+pub const SIG_MISSES_PER_PACKET: &str = "mem.l3_misses_per_packet";
+/// Gauge name: end-to-end cycles per executed packet this epoch.
+pub const SIG_CYCLES_PER_PACKET: &str = "exec.cycles_per_packet";
+/// Gauge name: instructions retired per executed packet this epoch.
+pub const SIG_INSTRUCTIONS_PER_PACKET: &str = "exec.instructions_per_packet";
+/// Gauge name: packets executed this epoch (the detector's denominator
+/// guard).
+pub const SIG_EPOCH_PACKETS: &str = "exec.epoch_packets";
+
+/// Which signature a threshold crossing matched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackSignature {
+    /// Per-core load concentration: queue-skew steering.
+    QueueSkew,
+    /// Misses-per-packet deviation: cache-adversarial traffic
+    /// (neighbor-evict, CASTAN).
+    MissInflation,
+    /// Cycles-per-packet deviation: worst-case-execution-path traffic
+    /// (CASTAN).
+    CycleInflation,
+    /// Instructions-per-packet deviation: worst-case-execution-path
+    /// traffic whose warm working set keeps its misses (and so its total
+    /// cycles) inside the benign envelope (CASTAN replay).
+    InstructionInflation,
+}
+
+impl AttackSignature {
+    /// Stable lower-snake name (used in JSON summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackSignature::QueueSkew => "queue_skew",
+            AttackSignature::MissInflation => "miss_inflation",
+            AttackSignature::CycleInflation => "cycle_inflation",
+            AttackSignature::InstructionInflation => "instruction_inflation",
+        }
+    }
+}
+
+/// One threshold crossing.
+#[derive(Clone, Debug)]
+pub struct Alarm {
+    /// The sealed epoch whose series crossed the threshold.
+    pub epoch: u64,
+    /// Which signal crossed.
+    pub signature: AttackSignature,
+    /// The signal's value in that epoch.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+}
+
+/// The benign envelope: the maximum each detection signal reached in any
+/// calibration epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct Baseline {
+    /// Max benign [`SIG_MAX_CORE_SHARE`].
+    pub max_core_share: f64,
+    /// Max benign [`SIG_MISSES_PER_PACKET`].
+    pub misses_per_packet: f64,
+    /// Max benign [`SIG_CYCLES_PER_PACKET`].
+    pub cycles_per_packet: f64,
+    /// Max benign [`SIG_INSTRUCTIONS_PER_PACKET`].
+    pub instructions_per_packet: f64,
+}
+
+impl Baseline {
+    /// Learns the envelope from benign reference registries: the maximum
+    /// each signal reached in any sealed epoch with at least
+    /// `min_epoch_packets` packets. Panics if no epoch qualifies (an
+    /// unusable calibration is a configuration error, not a baseline).
+    pub fn learn(registries: &[&Registry], min_epoch_packets: u64) -> Baseline {
+        let mut out = Baseline {
+            max_core_share: 0.0,
+            misses_per_packet: 0.0,
+            cycles_per_packet: 0.0,
+            instructions_per_packet: 0.0,
+        };
+        let mut epochs = 0usize;
+        for reg in registries {
+            for e in 0..reg.epoch() {
+                let pkts = reg.gauge_at(SIG_EPOCH_PACKETS, e).unwrap_or(0.0);
+                if pkts < min_epoch_packets as f64 {
+                    continue;
+                }
+                epochs += 1;
+                if let Some(v) = reg.gauge_at(SIG_MAX_CORE_SHARE, e) {
+                    out.max_core_share = out.max_core_share.max(v);
+                }
+                if let Some(v) = reg.gauge_at(SIG_MISSES_PER_PACKET, e) {
+                    out.misses_per_packet = out.misses_per_packet.max(v);
+                }
+                if let Some(v) = reg.gauge_at(SIG_CYCLES_PER_PACKET, e) {
+                    out.cycles_per_packet = out.cycles_per_packet.max(v);
+                }
+                if let Some(v) = reg.gauge_at(SIG_INSTRUCTIONS_PER_PACKET, e) {
+                    out.instructions_per_packet = out.instructions_per_packet.max(v);
+                }
+            }
+        }
+        assert!(epochs > 0, "no calibration epoch had enough packets");
+        out
+    }
+}
+
+/// Detector thresholds: the learned baseline scaled by per-signal factors.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// The learned benign envelope.
+    pub baseline: Baseline,
+    /// Alarm when max-core-share exceeds `baseline.max_core_share` times
+    /// this.
+    pub share_factor: f64,
+    /// Alarm when misses/pkt exceeds `baseline.misses_per_packet` times
+    /// this.
+    pub misses_factor: f64,
+    /// Alarm when cycles/pkt exceeds `baseline.cycles_per_packet` times
+    /// this.
+    pub cycles_factor: f64,
+    /// Alarm when instructions/pkt exceeds
+    /// `baseline.instructions_per_packet` times this.
+    pub instructions_factor: f64,
+    /// Epochs with fewer executed packets than this are not judged.
+    pub min_epoch_packets: u64,
+}
+
+impl DetectorConfig {
+    /// Default factors: tight enough to catch full-skew (share → 1.0) and
+    /// the measured CASTAN/neighbor-evict inflation, loose enough that
+    /// benign epoch-to-epoch noise stays below every threshold (the
+    /// `detect` experiment's zero-false-positive bar).
+    pub fn with_baseline(baseline: Baseline) -> Self {
+        DetectorConfig {
+            baseline,
+            share_factor: 1.5,
+            misses_factor: 1.15,
+            cycles_factor: 1.15,
+            instructions_factor: 1.15,
+            min_epoch_packets: 32,
+        }
+    }
+
+    fn thresholds(&self) -> [(AttackSignature, &'static str, f64); 4] {
+        [
+            (
+                AttackSignature::QueueSkew,
+                SIG_MAX_CORE_SHARE,
+                self.baseline.max_core_share * self.share_factor,
+            ),
+            (
+                AttackSignature::MissInflation,
+                SIG_MISSES_PER_PACKET,
+                self.baseline.misses_per_packet * self.misses_factor,
+            ),
+            (
+                AttackSignature::CycleInflation,
+                SIG_CYCLES_PER_PACKET,
+                self.baseline.cycles_per_packet * self.cycles_factor,
+            ),
+            (
+                AttackSignature::InstructionInflation,
+                SIG_INSTRUCTIONS_PER_PACKET,
+                self.baseline.instructions_per_packet * self.instructions_factor,
+            ),
+        ]
+    }
+}
+
+/// The online detector: polls a registry's sealed epochs in order and
+/// records every threshold crossing.
+#[derive(Clone, Debug)]
+pub struct Detector {
+    cfg: DetectorConfig,
+    next_epoch: u64,
+    alarms: Vec<Alarm>,
+}
+
+impl Detector {
+    /// A detector with no epochs seen yet.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Detector {
+            cfg,
+            next_epoch: 0,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Polls every sealed-but-unseen epoch of `reg` (normally exactly one,
+    /// right after `seal_epoch`). Returns the first alarm newly raised by
+    /// this poll, if any.
+    pub fn poll(&mut self, reg: &Registry) -> Option<Alarm> {
+        let before = self.alarms.len();
+        while self.next_epoch < reg.epoch() {
+            let e = self.next_epoch;
+            self.next_epoch += 1;
+            let pkts = reg.gauge_at(SIG_EPOCH_PACKETS, e).unwrap_or(0.0);
+            if pkts < self.cfg.min_epoch_packets as f64 {
+                continue;
+            }
+            for (signature, gauge, threshold) in self.cfg.thresholds() {
+                let Some(value) = reg.gauge_at(gauge, e) else {
+                    continue;
+                };
+                if value > threshold {
+                    self.alarms.push(Alarm {
+                        epoch: e,
+                        signature,
+                        value,
+                        threshold,
+                    });
+                }
+            }
+        }
+        self.alarms.get(before).cloned()
+    }
+
+    /// Replays a fully recorded registry through a fresh detector —
+    /// offline evaluation (the ROC sweep re-judges recorded runs under
+    /// different factors without re-running the DUT).
+    pub fn scan(cfg: DetectorConfig, reg: &Registry) -> Detector {
+        let mut d = Detector::new(cfg);
+        d.poll(reg);
+        d
+    }
+
+    /// Every alarm raised so far, in epoch order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// The earliest alarm, if any.
+    pub fn first_alarm(&self) -> Option<&Alarm> {
+        self.alarms.first()
+    }
+
+    /// Epochs of data needed until the first alarm (first alarm epoch + 1);
+    /// `None` when nothing was flagged — the experiment's time-to-detect.
+    pub fn epochs_to_detect(&self) -> Option<u64> {
+        self.first_alarm().map(|a| a.epoch + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn epoch(reg: &mut Registry, pkts: f64, share: f64, mpp: f64, cpp: f64) {
+        reg.gauge(SIG_EPOCH_PACKETS, pkts);
+        reg.gauge(SIG_MAX_CORE_SHARE, share);
+        reg.gauge(SIG_MISSES_PER_PACKET, mpp);
+        reg.gauge(SIG_CYCLES_PER_PACKET, cpp);
+        reg.seal_epoch();
+    }
+
+    fn benign_baseline() -> Baseline {
+        let mut reg = Registry::new();
+        epoch(&mut reg, 500.0, 0.27, 2.0, 1000.0);
+        epoch(&mut reg, 500.0, 0.30, 2.2, 1100.0);
+        epoch(&mut reg, 10.0, 0.99, 9.9, 9999.0); // tail epoch: ignored
+        Baseline::learn(&[&reg], 32)
+    }
+
+    #[test]
+    fn baseline_is_the_max_over_qualifying_epochs() {
+        let b = benign_baseline();
+        assert_eq!(b.max_core_share, 0.30);
+        assert_eq!(b.misses_per_packet, 2.2);
+        assert_eq!(b.cycles_per_packet, 1100.0);
+    }
+
+    #[test]
+    fn skew_alarms_on_the_first_skewed_epoch_and_benign_does_not() {
+        let cfg = DetectorConfig::with_baseline(benign_baseline());
+        let mut attacked = Registry::new();
+        epoch(&mut attacked, 500.0, 0.98, 2.1, 1050.0);
+        let d = Detector::scan(cfg, &attacked);
+        let a = d.first_alarm().expect("skew must alarm");
+        assert_eq!(a.signature, AttackSignature::QueueSkew);
+        assert_eq!(d.epochs_to_detect(), Some(1));
+
+        let mut benign = Registry::new();
+        epoch(&mut benign, 500.0, 0.29, 2.15, 1080.0);
+        epoch(&mut benign, 500.0, 0.30, 2.2, 1099.0);
+        assert!(Detector::scan(cfg, &benign).alarms().is_empty());
+    }
+
+    #[test]
+    fn warm_worst_case_traffic_alarms_on_instructions_not_cycles() {
+        // A replayed worst-case trace runs warm: misses and total cycles
+        // stay inside a cold benign envelope, only instructions/pkt give
+        // it away.
+        let mut benign = Registry::new();
+        epoch(&mut benign, 500.0, 0.30, 4.5, 1400.0);
+        benign.gauge(SIG_INSTRUCTIONS_PER_PACKET, 400.0);
+        epoch(&mut benign, 500.0, 0.28, 4.4, 1350.0);
+        let b = Baseline::learn(&[&benign], 32);
+        assert_eq!(b.instructions_per_packet, 400.0);
+
+        let cfg = DetectorConfig::with_baseline(b);
+        let mut attacked = Registry::new();
+        attacked.gauge(SIG_INSTRUCTIONS_PER_PACKET, 650.0);
+        epoch(&mut attacked, 500.0, 0.40, 1.0, 1100.0);
+        let d = Detector::scan(cfg, &attacked);
+        let a = d.first_alarm().expect("instruction inflation must alarm");
+        assert_eq!(a.signature, AttackSignature::InstructionInflation);
+        assert_eq!(d.alarms().len(), 1, "no cycle or miss alarm");
+    }
+
+    #[test]
+    fn miss_inflation_alarms_and_poll_is_incremental() {
+        let cfg = DetectorConfig::with_baseline(benign_baseline());
+        let mut d = Detector::new(cfg);
+        let mut reg = Registry::new();
+        epoch(&mut reg, 500.0, 0.28, 2.1, 1000.0);
+        assert!(d.poll(&reg).is_none());
+        epoch(&mut reg, 500.0, 0.28, 3.5, 1000.0); // misses jump
+        let a = d.poll(&reg).expect("inflated misses must alarm");
+        assert_eq!(a.signature, AttackSignature::MissInflation);
+        assert_eq!(a.epoch, 1);
+        // Re-polling without new sealed epochs raises nothing new.
+        assert!(d.poll(&reg).is_none());
+        assert_eq!(d.alarms().len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded ring-buffer event trace.
+//!
+//! Control-plane events (epoch boundaries, rebalance triggers, key
+//! rotations, node drain/fail, work steals, detector alarms) are appended
+//! to a fixed-capacity ring: when full, the *oldest* entry is dropped and
+//! counted, so a long run keeps its most recent history and the trace
+//! never grows unbounded — the standard flight-recorder contract.
+
+use std::collections::VecDeque;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A telemetry epoch was sealed.
+    EpochBoundary,
+    /// A rebalance policy rewrote the indirection table.
+    Rebalance,
+    /// The Toeplitz key was rotated.
+    KeyRotation,
+    /// Flow state was migrated after a rebalance.
+    Migration,
+    /// A batch executed away from its home core.
+    WorkSteal,
+    /// A cluster node was drained by the controller.
+    NodeDrain,
+    /// A cluster node failed.
+    NodeFail,
+    /// Per-flow state was rebuilt on a surviving node.
+    NodeRebuild,
+    /// The online detector raised an alarm.
+    DetectorAlarm,
+    /// A detector alarm activated a mitigation (closed loop).
+    MitigationActivated,
+}
+
+impl EventKind {
+    /// Stable lower-snake name (used in JSON snapshots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::EpochBoundary => "epoch_boundary",
+            EventKind::Rebalance => "rebalance",
+            EventKind::KeyRotation => "key_rotation",
+            EventKind::Migration => "migration",
+            EventKind::WorkSteal => "work_steal",
+            EventKind::NodeDrain => "node_drain",
+            EventKind::NodeFail => "node_fail",
+            EventKind::NodeRebuild => "node_rebuild",
+            EventKind::DetectorAlarm => "detector_alarm",
+            EventKind::MitigationActivated => "mitigation_activated",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number over the whole run (survives drops).
+    pub seq: u64,
+    /// Telemetry epoch the event occurred in.
+    pub epoch: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Free-form detail (e.g. `"entries_moved=12"`).
+    pub detail: String,
+}
+
+/// The bounded ring of events.
+#[derive(Clone, Debug)]
+pub struct EventTrace {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl EventTrace {
+    /// An empty trace holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventTrace {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest when full.
+    pub fn push(&mut self, epoch: u64, kind: EventKind, detail: String) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            seq: self.next_seq,
+            epoch,
+            kind,
+            detail,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut t = EventTrace::new(3);
+        for i in 0..5u64 {
+            t.push(i, EventKind::EpochBoundary, format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total(), 5);
+        let seqs: Vec<u64> = t.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(t.iter().next().unwrap().detail, "e2");
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! A [`Histogram`] has 65 fixed power-of-two buckets: bucket 0 holds the
+//! value 0 and bucket `b` (1 ≤ b ≤ 64) holds every value whose highest set
+//! bit is bit `b-1`, i.e. the range `[2^(b-1), 2^b - 1]`. The bucket of a
+//! value is therefore `64 - v.leading_zeros()` — one subtraction, no search
+//! — and two histograms over the same scheme merge by adding their buckets,
+//! exactly like `HierarchyStats::merge`. Quantiles are resolved to a
+//! bucket's upper bound, so they are conservative (never under-report a
+//! latency tail) and stable under merging.
+
+/// Number of fixed buckets (value 0, plus one per possible bit width).
+pub const N_BUCKETS: usize = 65;
+
+/// A mergeable log-scale histogram of `u64` samples (cycles, nanoseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last one).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    assert!(b < N_BUCKETS, "bucket out of range");
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a non-negative `f64` sample, rounded to the nearest integer
+    /// unit. Non-finite and negative samples are dropped (mirroring
+    /// `Cdf::new`, which drops non-finite latencies).
+    pub fn observe_f64(&mut self, v: f64) {
+        if v.is_finite() && v >= 0.0 {
+            self.observe(v.round() as u64);
+        }
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `(bucket, count)` pairs of every non-empty bucket, in bucket
+    /// order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// The `p`-quantile, resolved to the containing bucket's upper bound
+    /// (exact for the max bucket via the tracked maximum). `NaN` when
+    /// empty; `p` is clamped to `[0, 1]`; a `NaN` `p` yields `NaN`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 || p.is_nan() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max bucket's upper bound would overshoot; the tracked
+                // maximum is tighter and still conservative.
+                return bucket_upper_bound(b).min(self.max) as f64;
+            }
+        }
+        self.max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..N_BUCKETS {
+            assert_eq!(bucket_of(bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union() {
+        let samples_a = [0u64, 1, 7, 100, 5_000];
+        let samples_b = [3u64, 100, 1 << 40];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &s in &samples_a {
+            a.observe(s);
+            both.observe(s);
+        }
+        for &s in &samples_b {
+            b.observe(s);
+            both.observe(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(1 << 40));
+    }
+
+    #[test]
+    fn quantiles_are_conservative_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.observe(v);
+        }
+        // p50 falls in bucket_of(20) = 5 → upper bound 31.
+        assert_eq!(h.quantile(0.5), 31.0);
+        // The tail quantile is capped by the tracked maximum.
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), 15.0); // bucket_of(10) = 4 → 15
+        assert!(h.quantile(f64::NAN).is_nan());
+        assert!(Histogram::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn single_sample_quantiles_return_that_sample_region() {
+        let mut h = Histogram::new();
+        h.observe(42);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 42.0, "p={p}");
+        }
+    }
+}

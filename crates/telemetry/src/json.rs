@@ -1,0 +1,418 @@
+//! A minimal, dependency-free JSON document builder.
+//!
+//! The workspace is offline (no serde); every committed artifact
+//! (`TELEMETRY_*.json`, `BENCH_*.json`, experiment summaries) is built
+//! through this one writer so the formatting — key order, 2-space
+//! indentation, number rendering — is identical everywhere and the
+//! `bench-drift` check can diff regenerated output against the committed
+//! files without a parser ambiguity.
+//!
+//! Objects preserve insertion order. `f64` values render via Rust's
+//! shortest-roundtrip `Display`; [`Json::fixed`] renders with a fixed
+//! number of decimals (the committed-baseline convention). Non-finite
+//! floats render as `null`.
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (shortest-roundtrip rendering; non-finite → `null`).
+    F64(f64),
+    /// A float rendered with a fixed number of decimals.
+    Fixed(f64, usize),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A float rendered with `decimals` decimal places.
+    pub fn fixed(v: f64, decimals: usize) -> Json {
+        Json::Fixed(v, decimals)
+    }
+
+    /// Adds (or replaces nothing — keys are not deduplicated) a field on an
+    /// object; panics on non-objects.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: impl Into<String>, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Renders the document pretty-printed (2-space indent, trailing
+    /// newline) — the committed-artifact format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Fixed(v, d) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.d$}", d = d));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays stay on one line (the `[[epoch, v], …]`
+                // series read better packed).
+                let scalars = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Obj(_) | Json::Arr(_)));
+                if scalars {
+                    out.push('[');
+                    for (k, item) in items.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (k, item) in items.iter().enumerate() {
+                        push_indent(out, indent + 1);
+                        item.write(out, indent + 1);
+                        if k + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    push_indent(out, indent);
+                    out.push(']');
+                }
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (k, (key, value)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if k + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Extracts every numeric leaf of a JSON document produced by this module,
+/// as `(dotted.path, value)` pairs in document order — the comparison
+/// surface of the `bench-drift` check. Handles exactly the subset this
+/// writer emits (objects, arrays, numbers, strings, booleans, null); array
+/// elements get a `[i]` path segment.
+pub fn numeric_fields(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    p.skip_ws();
+    p.value(&mut String::new(), &mut out)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, path: &mut String, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(path, out),
+            Some(b'[') => self.array(path, out),
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => {
+                let v = self.number()?;
+                out.push((path.clone(), v));
+                Ok(())
+            }
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn object(&mut self, path: &mut String, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let saved = path.len();
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(&key);
+            self.value(path, out)?;
+            path.truncate(saved);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, path: &mut String, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut i = 0usize;
+        loop {
+            let saved = path.len();
+            path.push_str(&format!("[{i}]"));
+            self.value(path, out)?;
+            path.truncate(saved);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    i += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        Some(c) => s.push(c as char),
+                        None => return Err("truncated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at offset {start}: {e}"))
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at offset {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_reparse_roundtrip_the_numeric_surface() {
+        let doc = Json::obj()
+            .with("schema", Json::str("test-v1"))
+            .with("count", Json::U64(3))
+            .with("rate", Json::fixed(2.73151, 4))
+            .with("series", Json::Arr(vec![Json::U64(1), Json::F64(2.5)]))
+            .with(
+                "nested",
+                Json::obj()
+                    .with("x", Json::I64(-7))
+                    .with("none", Json::Null),
+            );
+        let s = doc.render();
+        let fields = numeric_fields(&s).unwrap();
+        assert_eq!(
+            fields,
+            vec![
+                ("count".to_string(), 3.0),
+                ("rate".to_string(), 2.7315),
+                ("series[0]".to_string(), 1.0),
+                ("series[1]".to_string(), 2.5),
+                ("nested.x".to_string(), -7.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_nonfinite_floats_render_null() {
+        let doc = Json::obj()
+            .with("s", Json::str("a\"b\\c\nd"))
+            .with("nan", Json::F64(f64::NAN));
+        let s = doc.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"nan\": null"));
+        assert!(numeric_fields(&s).unwrap().is_empty());
+    }
+}

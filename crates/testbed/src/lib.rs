@@ -34,9 +34,10 @@ pub use chain::{measure_chain, ChainDut, ChainMeasurement};
 pub use cpu::{CoreSink, CpuModel, MultiCoreCpu, PacketCounters};
 pub use dut::{measure, Dut, Measurement, MeasurementConfig};
 pub use shard::{
-    measure_sharded, victim_table, CoreMeasurement, MitigationConfig, NeighborReplay,
-    NoisyNeighborDut, NoisyNeighborMeasurement, ShardConfig, ShardedDut, ShardedMeasurement,
-    MIGRATION_LINES_PER_FLOW, STEAL_BATCH_CYCLES, STEAL_THRESHOLD_CYCLES,
+    measure_sharded, victim_table, CoreMeasurement, DetectionConfig, DetectionReport,
+    MitigationConfig, NeighborReplay, NoisyNeighborDut, NoisyNeighborMeasurement, ShardConfig,
+    ShardedDut, ShardedMeasurement, TelemetryConfig, DETECT_POLL_CYCLES, MIGRATION_LINES_PER_FLOW,
+    STEAL_BATCH_CYCLES, STEAL_THRESHOLD_CYCLES,
 };
 pub use stats::Cdf;
 pub use throughput::{max_throughput_mpps, ThroughputConfig};

@@ -67,7 +67,13 @@ use castan_mem::{HierarchyConfig, HierarchyStats, MultiCoreHierarchy};
 use castan_runtime::{
     rebalanced_table, rotate_key, Batcher, LoadMetric, LoadTracker, RebalancePolicy,
 };
+use castan_runtime::{record_key_rotation, record_rebalance, DispatchInstrument};
 use castan_runtime::{RssConfig, RssDispatcher};
+use castan_telemetry::detector::{
+    Alarm, Detector, DetectorConfig, SIG_CYCLES_PER_PACKET, SIG_EPOCH_PACKETS,
+    SIG_INSTRUCTIONS_PER_PACKET, SIG_MAX_CORE_SHARE, SIG_MISSES_PER_PACKET,
+};
+use castan_telemetry::{EventKind, Histogram, Registry};
 use castan_workload::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,6 +112,77 @@ pub const STEAL_BATCH_CYCLES: u64 = 1_200;
 /// exceeds the idlest core's by this many cycles — enough to never trigger
 /// under balanced traffic, and a small fraction of a skewed core's backlog.
 pub const STEAL_THRESHOLD_CYCLES: u64 = 50_000;
+
+/// Cycles each core pays per detector poll (once per sealed telemetry
+/// epoch while online detection is active): the control plane reading the
+/// core's epoch counters through the shared hierarchy plus the threshold
+/// comparisons. Charged to every core's busy time — the honestly-charged
+/// detection overhead the `detect` experiment reports.
+pub const DETECT_POLL_CYCLES: u64 = 2_000;
+
+/// Passive telemetry recording on the sharded DUT: epoch length of the
+/// sealed series and the event-ring size. Attaching telemetry never
+/// perturbs the measurement — sealing is observational (no drains, no RNG
+/// draws, no charged cycles), which a pin test asserts byte-for-byte.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Telemetry epoch length in input packets: every `epoch_packets`
+    /// packets the per-core accumulators are sealed into the registry's
+    /// epoch series. Unlike mitigation epochs, telemetry boundaries do
+    /// *not* drain in-flight batches.
+    pub epoch_packets: usize,
+    /// Capacity of the bounded event ring.
+    pub event_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Telemetry sealed every `epoch_packets` packets with the default
+    /// event-ring capacity.
+    pub fn new(epoch_packets: usize) -> Self {
+        assert!(epoch_packets > 0, "epochs must contain packets");
+        TelemetryConfig {
+            epoch_packets,
+            event_capacity: castan_telemetry::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+}
+
+/// Online detection on the sharded DUT: a [`Detector`] polls the registry
+/// at every sealed telemetry epoch (each poll charges every core
+/// [`DETECT_POLL_CYCLES`] of busy time), and — in the closed loop — the
+/// first alarm activates `response` as the run's mitigation from the next
+/// epoch boundary on, instead of the mitigation being configured up front.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectionConfig {
+    /// Thresholds over the learned benign baseline.
+    pub detector: DetectorConfig,
+    /// Closed-loop response: the mitigation to activate at the first
+    /// alarm (`None` = detect-only). Its `epoch_packets` must equal the
+    /// telemetry epoch length so rebalance boundaries align with polls.
+    pub response: Option<MitigationConfig>,
+}
+
+/// What online detection did during one run.
+#[derive(Clone, Debug, Default)]
+pub struct DetectionReport {
+    /// Every alarm raised, in epoch order.
+    pub alarms: Vec<Alarm>,
+    /// The sealed epoch whose alarm activated the closed-loop response
+    /// (`None`: no alarm, or no response configured).
+    pub activated_epoch: Option<u64>,
+    /// Total detector-poll cycles charged across all cores.
+    pub overhead_cycles: u64,
+    /// Detector polls performed.
+    pub polls: u64,
+}
+
+impl DetectionReport {
+    /// Epochs of data needed until the first alarm (`None` = never
+    /// flagged).
+    pub fn epochs_to_detect(&self) -> Option<u64> {
+        self.alarms.first().map(|a| a.epoch + 1)
+    }
+}
 
 /// Queue-skew mitigation run by the sharded DUT: epoch-based indirection
 /// table rebalancing, optionally with an explicit flow-migration cost
@@ -278,6 +355,9 @@ pub struct CoreMeasurement {
     pub steal_cycles: u64,
     /// Batches this core stole from busier cores.
     pub stolen_batches: usize,
+    /// Cycles this core spent on online detector polls (whole run; zero
+    /// unless a [`DetectionConfig`] is set — passive telemetry is free).
+    pub detection_cycles: u64,
     /// This core's view of the shared memory hierarchy (whole run,
     /// including warm-up).
     pub mem: HierarchyStats,
@@ -290,12 +370,14 @@ impl CoreMeasurement {
     }
 
     /// Total cycles this core spent serving measured packets plus its
-    /// mitigation overheads (flow migration, steal bookkeeping). Cores run
-    /// concurrently, so the busiest core bounds aggregate throughput.
+    /// mitigation and detection overheads (flow migration, steal
+    /// bookkeeping, detector polls). Cores run concurrently, so the
+    /// busiest core bounds aggregate throughput.
     pub fn busy_cycles(&self) -> u64 {
         self.end_to_end.iter().map(|c| c.cycles).sum::<u64>()
             + self.migration_cycles
             + self.steal_cycles
+            + self.detection_cycles
     }
 }
 
@@ -437,6 +519,98 @@ struct CoreState {
     handoffs: Vec<Box<dyn StageHandoff>>,
 }
 
+/// One core's telemetry accumulator for the open epoch: plain counters the
+/// hot path bumps, handed to the registry only at epoch boundaries. The
+/// `packets`/`cycles`/`l3_misses` view covers *every* executed packet
+/// (warm-up included — the detector judges steady-state behaviour, not the
+/// measurement window); the `measured_*` view covers exactly the packets
+/// in [`CoreMeasurement::end_to_end`], so registry totals reconcile with
+/// [`ShardedMeasurement::aggregate_counters`] to the cycle.
+#[derive(Clone, Debug, Default)]
+struct CoreEpochStats {
+    packets: u64,
+    cycles: u64,
+    instructions: u64,
+    l3_misses: u64,
+    measured_packets: u64,
+    measured_cycles: u64,
+    measured_instructions: u64,
+    measured_l3_misses: u64,
+    latency: Histogram,
+}
+
+/// Seals one telemetry epoch into the registry: per-core counters and
+/// latency histograms, whole-DUT totals, the detector's gauge signals, the
+/// epoch-boundary event — then advances the registry epoch and resets the
+/// accumulators. Purely observational: no drains, no RNG draws, no charged
+/// cycles.
+fn seal_telemetry(
+    reg: &mut Registry,
+    stats: &mut [CoreEpochStats],
+    dispatched: &mut [u64],
+    entries: Option<&mut DispatchInstrument>,
+) {
+    let mut packets = 0u64;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut misses = 0u64;
+    let mut measured_packets = 0u64;
+    let mut measured_cycles = 0u64;
+    let mut measured_instructions = 0u64;
+    let mut measured_misses = 0u64;
+    for (c, s) in stats.iter_mut().enumerate() {
+        if s.packets > 0 {
+            reg.count(&format!("core{c}.packets"), s.packets);
+            reg.count(&format!("core{c}.cycles"), s.cycles);
+            reg.count(&format!("core{c}.l3_misses"), s.l3_misses);
+        }
+        if s.measured_packets > 0 {
+            reg.count(&format!("core{c}.measured_packets"), s.measured_packets);
+            reg.count(&format!("core{c}.measured_cycles"), s.measured_cycles);
+        }
+        if s.latency.count() > 0 {
+            reg.merge_histogram(&format!("core{c}.latency_ns"), &s.latency);
+        }
+        packets += s.packets;
+        cycles += s.cycles;
+        instructions += s.instructions;
+        misses += s.l3_misses;
+        measured_packets += s.measured_packets;
+        measured_cycles += s.measured_cycles;
+        measured_instructions += s.measured_instructions;
+        measured_misses += s.measured_l3_misses;
+        *s = CoreEpochStats::default();
+    }
+    reg.count("exec.packets", packets);
+    reg.count("exec.cycles", cycles);
+    reg.count("exec.l3_misses", misses);
+    reg.count("exec.measured_packets", measured_packets);
+    reg.count("exec.measured_cycles", measured_cycles);
+    reg.count("exec.measured_instructions", measured_instructions);
+    reg.count("exec.measured_l3_misses", measured_misses);
+    let disp: u64 = dispatched.iter().sum();
+    reg.count("dispatch.packets", disp);
+    if disp > 0 {
+        let max = dispatched.iter().copied().max().unwrap_or(0);
+        reg.gauge(SIG_MAX_CORE_SHARE, max as f64 / disp as f64);
+    }
+    if let Some(e) = entries {
+        e.seal_into(reg);
+    }
+    reg.gauge(SIG_EPOCH_PACKETS, packets as f64);
+    if packets > 0 {
+        reg.gauge(SIG_MISSES_PER_PACKET, misses as f64 / packets as f64);
+        reg.gauge(SIG_CYCLES_PER_PACKET, cycles as f64 / packets as f64);
+        reg.gauge(
+            SIG_INSTRUCTIONS_PER_PACKET,
+            instructions as f64 / packets as f64,
+        );
+    }
+    dispatched.fill(0);
+    reg.event(EventKind::EpochBoundary, format!("packets={packets}"));
+    reg.seal_epoch();
+}
+
 /// The noisy-neighbour replay a [`NoisyNeighborDut`] installs: one core
 /// cyclically touching a fixed line list between executed batches.
 #[derive(Clone, Debug)]
@@ -473,6 +647,10 @@ pub struct ShardedDut {
     boot_table: Option<Vec<u32>>,
     neighbor: Option<NeighborReplay>,
     neighbor_state: NeighborState,
+    telemetry: Option<TelemetryConfig>,
+    detection: Option<DetectionConfig>,
+    last_registry: Option<Registry>,
+    last_detection: Option<DetectionReport>,
 }
 
 impl ShardedDut {
@@ -524,7 +702,63 @@ impl ShardedDut {
             boot_table: None,
             neighbor: None,
             neighbor_state: NeighborState::default(),
+            telemetry: None,
+            detection: None,
+            last_registry: None,
+            last_detection: None,
         }
+    }
+
+    /// Attaches passive telemetry: every subsequent run records its
+    /// epoch-indexed series into a fresh [`Registry`], readable afterwards
+    /// via [`ShardedDut::telemetry`]. Recording is observational — the
+    /// measurement stays byte-identical to a run without telemetry
+    /// (pinned by test).
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(cfg);
+    }
+
+    /// Detaches telemetry (and with it any detection), restoring the
+    /// plain DUT.
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
+        self.detection = None;
+        self.last_registry = None;
+        self.last_detection = None;
+    }
+
+    /// Enables (or disables) online detection on the attached telemetry
+    /// stream. Panics if no telemetry is attached, or if a closed-loop
+    /// response's epoch length disagrees with the telemetry epochs.
+    pub fn set_detection(&mut self, detection: Option<DetectionConfig>) {
+        if let Some(d) = &detection {
+            let t = self
+                .telemetry
+                .expect("attach_telemetry before set_detection");
+            if let Some(r) = d.response {
+                assert_eq!(
+                    r.epoch_packets, t.epoch_packets,
+                    "closed-loop response epochs must match telemetry epochs"
+                );
+            }
+        }
+        self.detection = detection;
+    }
+
+    /// The last run's telemetry registry (`None` before the first
+    /// telemetry-enabled run).
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.last_registry.as_ref()
+    }
+
+    /// Takes ownership of the last run's telemetry registry.
+    pub fn take_telemetry(&mut self) -> Option<Registry> {
+        self.last_registry.take()
+    }
+
+    /// The last run's detection report (`None` unless detection was on).
+    pub fn detection_report(&self) -> Option<&DetectionReport> {
+        self.last_detection.as_ref()
     }
 
     /// The chain this DUT runs (one instance per core).
@@ -692,9 +926,34 @@ impl ShardedDut {
         // trigger compares these, and mitigation overheads accrue here too.
         let mut busy = vec![0u64; n_cores];
         let mut table_history = vec![self.dispatcher.table().to_vec()];
-        let mitigation = self.shard.mitigation;
+        // The closed loop may install a mitigation mid-run (first detector
+        // alarm), so the active mitigation and tracker are run-local state.
+        let mut mitigation = self.shard.mitigation;
         let mut tracker = mitigation.map(|_| LoadTracker::new(self.shard.rss.table_size));
         let mut epoch = 0u64;
+
+        // Telemetry state: all `None`/empty without an attached registry,
+        // so the plain path is exactly the pre-telemetry code. The hot
+        // path accumulates into plain per-core structs; the registry (and
+        // its name allocations) is touched only at epoch boundaries.
+        let telemetry_cfg = self.telemetry;
+        let mut registry = telemetry_cfg.map(|t| Registry::with_event_capacity(t.event_capacity));
+        let mut entry_instr = registry
+            .as_ref()
+            .map(|_| DispatchInstrument::new(self.shard.rss.table_size));
+        let mut epoch_stats: Vec<CoreEpochStats> = if registry.is_some() {
+            (0..n_cores).map(|_| CoreEpochStats::default()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut dispatched_epoch = vec![0u64; n_cores];
+        let detection_cfg = if registry.is_some() {
+            self.detection
+        } else {
+            None
+        };
+        let mut detector = detection_cfg.map(|d| Detector::new(d.detector));
+        let mut detection_report = detection_cfg.map(|_| DetectionReport::default());
 
         let mut batcher: Batcher<(usize, Option<usize>, Packet)> =
             Batcher::new(n_cores, self.shard.batch_size);
@@ -717,6 +976,7 @@ impl ShardedDut {
                             &mut out[queue],
                             clock_ghz,
                             Some(&mut *t),
+                            epoch_stats.get_mut(queue),
                         );
                         self.neighbor_replay();
                     }
@@ -724,10 +984,16 @@ impl ShardedDut {
                     if m.key_rotation {
                         self.dispatcher
                             .set_key(rotate_key(&self.shard.rss.key, epoch));
+                        if let Some(reg) = registry.as_mut() {
+                            record_key_rotation(reg, epoch);
+                        }
                     }
                     let old = self.dispatcher.table().to_vec();
                     let new = rebalanced_table(m.policy, t.loads(m.metric), &old, n_cores, epoch);
                     if new != old {
+                        if let Some(reg) = registry.as_mut() {
+                            record_rebalance(reg, &old, &new);
+                        }
                         if m.migration_cost {
                             let l3_hit = self.cpu.hierarchy().config().latencies.l3;
                             let moved = t.moved_flows_per_queue(&old, &new, n_cores);
@@ -737,11 +1003,70 @@ impl ShardedDut {
                                 out[q].migrated_flows += flows;
                                 busy[q] += cycles;
                             }
+                            if let Some(reg) = registry.as_mut() {
+                                let flows: usize = moved.iter().sum();
+                                let cycles: u64 = flows as u64 * MIGRATION_LINES_PER_FLOW * l3_hit;
+                                reg.count("migration.flows", flows as u64);
+                                reg.count("migration.cycles", cycles);
+                                reg.event(EventKind::Migration, format!("flows={flows}"));
+                            }
                         }
                         self.dispatcher.set_table(new);
                     }
                     table_history.push(self.dispatcher.table().to_vec());
                     t.reset();
+                }
+            }
+
+            // Telemetry epoch boundary: seal the per-core accumulators
+            // into the registry (observational — no drain; any mitigation
+            // boundary work above already landed in this epoch's series)
+            // and run the detector poll. The closed loop activates the
+            // configured response at the first alarm, so the *next*
+            // mitigation boundary is the first one that rebalances.
+            if let (Some(t), Some(reg)) = (telemetry_cfg, registry.as_mut()) {
+                if i > 0 && i % t.epoch_packets == 0 {
+                    seal_telemetry(
+                        reg,
+                        &mut epoch_stats,
+                        &mut dispatched_epoch,
+                        entry_instr.as_mut(),
+                    );
+                    if let (Some(det), Some(d), Some(rep)) = (
+                        detection_cfg.as_ref(),
+                        detector.as_mut(),
+                        detection_report.as_mut(),
+                    ) {
+                        for (c, b) in busy.iter_mut().enumerate() {
+                            *b += DETECT_POLL_CYCLES;
+                            out[c].detection_cycles += DETECT_POLL_CYCLES;
+                        }
+                        rep.polls += 1;
+                        rep.overhead_cycles += DETECT_POLL_CYCLES * n_cores as u64;
+                        reg.count("detection.cycles", DETECT_POLL_CYCLES * n_cores as u64);
+                        if let Some(alarm) = d.poll(reg) {
+                            reg.event(
+                                EventKind::DetectorAlarm,
+                                format!(
+                                    "signature={} value={:.4} threshold={:.4}",
+                                    alarm.signature.name(),
+                                    alarm.value,
+                                    alarm.threshold
+                                ),
+                            );
+                            if mitigation.is_none() {
+                                if let Some(resp) = det.response {
+                                    mitigation = Some(resp);
+                                    tracker = Some(LoadTracker::new(self.shard.rss.table_size));
+                                    rep.activated_epoch = Some(alarm.epoch);
+                                    reg.event(
+                                        EventKind::MitigationActivated,
+                                        format!("epoch={}", alarm.epoch),
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
             }
 
@@ -757,6 +1082,12 @@ impl ShardedDut {
             if let (Some(t), Some(entry)) = (tracker.as_mut(), entry) {
                 t.record(entry, pkt.flow().map(|f| f.to_u128()));
             }
+            if registry.is_some() {
+                dispatched_epoch[queue] += 1;
+                if let (Some(instr), Some(entry)) = (entry_instr.as_mut(), entry) {
+                    instr.record(entry);
+                }
+            }
             out[queue].dispatched += 1;
             if let Some(batch) = batcher.push(queue, (i, entry, pkt)) {
                 let mut core = queue;
@@ -767,6 +1098,11 @@ impl ShardedDut {
                         out[core].stolen_batches += 1;
                         out[core].steal_cycles += STEAL_BATCH_CYCLES;
                         busy[core] += STEAL_BATCH_CYCLES;
+                        if let Some(reg) = registry.as_mut() {
+                            reg.count("steal.batches", 1);
+                            reg.count("steal.cycles", STEAL_BATCH_CYCLES);
+                            reg.event(EventKind::WorkSteal, format!("home={queue} thief={core}"));
+                        }
                     }
                 }
                 busy[core] += exec_batch(
@@ -781,6 +1117,7 @@ impl ShardedDut {
                     &mut out[core],
                     clock_ghz,
                     tracker.as_mut(),
+                    epoch_stats.get_mut(core),
                 );
                 self.neighbor_replay();
             }
@@ -799,9 +1136,36 @@ impl ShardedDut {
                 &mut out[queue],
                 clock_ghz,
                 tracker.as_mut(),
+                epoch_stats.get_mut(queue),
             );
             self.neighbor_replay();
         }
+        // Seal the final (possibly partial) telemetry epoch, with a last
+        // detector poll over it — its packet count guard keeps short tails
+        // from being judged.
+        if let Some(reg) = registry.as_mut() {
+            seal_telemetry(
+                reg,
+                &mut epoch_stats,
+                &mut dispatched_epoch,
+                entry_instr.as_mut(),
+            );
+            if let (Some(d), Some(rep)) = (detector.as_mut(), detection_report.as_mut()) {
+                for (c, b) in busy.iter_mut().enumerate() {
+                    *b += DETECT_POLL_CYCLES;
+                    out[c].detection_cycles += DETECT_POLL_CYCLES;
+                }
+                rep.polls += 1;
+                rep.overhead_cycles += DETECT_POLL_CYCLES * n_cores as u64;
+                reg.count("detection.cycles", DETECT_POLL_CYCLES * n_cores as u64);
+                d.poll(reg);
+            }
+        }
+        if let (Some(d), Some(rep)) = (detector.as_ref(), detection_report.as_mut()) {
+            rep.alarms = d.alarms().to_vec();
+        }
+        self.last_registry = registry;
+        self.last_detection = detection_report;
 
         for (c, core) in out.iter_mut().enumerate() {
             core.mem = self.cpu.hierarchy().core_stats(c);
@@ -835,6 +1199,7 @@ fn exec_batch(
     out: &mut CoreMeasurement,
     clock_ghz: f64,
     mut tracker: Option<&mut LoadTracker>,
+    mut epoch_stats: Option<&mut CoreEpochStats>,
 ) -> u64 {
     let n = batch.len() as u64;
     let dispatch_share = BATCH_DISPATCH_CYCLES / n;
@@ -884,6 +1249,12 @@ fn exec_batch(
         if let (Some(t), Some(entry)) = (tracker.as_deref_mut(), entry) {
             t.record_cycles(*entry, total.cycles);
         }
+        if let Some(s) = epoch_stats.as_deref_mut() {
+            s.packets += 1;
+            s.cycles += total.cycles;
+            s.instructions += total.instructions;
+            s.l3_misses += total.l3_misses;
+        }
 
         if *i < cfg.warmup_packets {
             continue;
@@ -898,8 +1269,15 @@ fn exec_batch(
         } else {
             0.0
         };
-        out.latency_ns
-            .push(WIRE_LATENCY_NS + service + base_jitter + tail);
+        let latency = WIRE_LATENCY_NS + service + base_jitter + tail;
+        if let Some(s) = epoch_stats.as_deref_mut() {
+            s.measured_packets += 1;
+            s.measured_cycles += total.cycles;
+            s.measured_instructions += total.instructions;
+            s.measured_l3_misses += total.l3_misses;
+            s.latency.observe_f64(latency);
+        }
+        out.latency_ns.push(latency);
         out.service_ns.push(service);
         out.end_to_end.push(total);
     }
@@ -1012,6 +1390,12 @@ impl NoisyNeighborDut {
     /// The underlying sharded DUT.
     pub fn dut(&self) -> &ShardedDut {
         &self.dut
+    }
+
+    /// Mutable access to the underlying sharded DUT (e.g. to attach
+    /// telemetry or detection to a noisy-neighbour deployment).
+    pub fn dut_mut(&mut self) -> &mut ShardedDut {
+        &mut self.dut
     }
 
     /// Installs the replay line list (absolute virtual addresses in the
@@ -1592,5 +1976,295 @@ mod tests {
             "uniform traffic should spread: bottleneck share {}",
             m.bottleneck_share()
         );
+    }
+
+    #[test]
+    fn telemetry_recording_is_byte_identical_to_the_plain_run() {
+        use castan_runtime::RebalancePolicy;
+
+        // Attaching telemetry must never perturb the measurement: sealing
+        // is observational (no drains, no RNG draws, no charged cycles),
+        // so the recorded run reproduces the plain run byte for byte —
+        // the same pin the no-mitigation path carries.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::Zipfian,
+            &WorkloadConfig::scaled(0.002),
+        );
+        let cfg = quick();
+        let shard = ShardConfig::new(4);
+        let plain = measure_sharded(&chain, shard, &wl, &cfg);
+
+        let mut dut = ShardedDut::new(chain.clone(), shard, &cfg);
+        dut.attach_telemetry(TelemetryConfig::new(256));
+        let recorded = dut.run(&wl, &cfg);
+        for (c, (a, b)) in plain.per_core.iter().zip(&recorded.per_core).enumerate() {
+            assert_eq!(a.end_to_end, b.end_to_end, "core {c} counters");
+            assert_eq!(a.latency_ns, b.latency_ns, "core {c} latencies");
+            assert_eq!(a.mem, b.mem, "core {c} hierarchy view");
+            assert_eq!(a.dispatched, b.dispatched, "core {c} dispatch");
+        }
+        let reg = dut.telemetry().expect("registry recorded");
+        assert!(reg.epoch() > 0, "epochs were sealed");
+
+        // Same pin with every mitigation feature on: the rebalance, key
+        // rotation, migration and stealing events are recorded without
+        // changing what those mechanisms do.
+        let mitigated = shard.with_mitigation(
+            MitigationConfig::rebalance(500, RebalancePolicy::LeastLoaded)
+                .with_migration_cost()
+                .with_work_stealing()
+                .with_key_rotation(),
+        );
+        let plain_mit = measure_sharded(&chain, mitigated, &wl, &cfg);
+        let mut dut = ShardedDut::new(chain, mitigated, &cfg);
+        dut.attach_telemetry(TelemetryConfig::new(500));
+        let recorded_mit = dut.run(&wl, &cfg);
+        assert_eq!(plain_mit.table_history, recorded_mit.table_history);
+        for (c, (a, b)) in plain_mit
+            .per_core
+            .iter()
+            .zip(&recorded_mit.per_core)
+            .enumerate()
+        {
+            assert_eq!(a.end_to_end, b.end_to_end, "core {c} counters");
+            assert_eq!(a.latency_ns, b.latency_ns, "core {c} latencies");
+            assert_eq!(a.migration_cycles, b.migration_cycles, "core {c} migration");
+            assert_eq!(a.steal_cycles, b.steal_cycles, "core {c} stealing");
+        }
+    }
+
+    #[test]
+    fn telemetry_totals_reconcile_with_the_measurement_exactly() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let wl = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.002),
+        );
+        let cfg = quick();
+        let mut dut = ShardedDut::new(chain, ShardConfig::new(4), &cfg);
+        dut.attach_telemetry(TelemetryConfig::new(256));
+        let m = dut.run(&wl, &cfg);
+        let reg = dut.telemetry().expect("registry recorded");
+
+        // The measured view reconciles with the measurement surface to the
+        // cycle: registry totals == aggregate counters.
+        let agg = m.aggregate_counters();
+        assert_eq!(
+            reg.counter_total("exec.measured_packets"),
+            m.measured_packets() as u64
+        );
+        assert_eq!(reg.counter_total("exec.measured_cycles"), agg.cycles);
+        assert_eq!(
+            reg.counter_total("exec.measured_instructions"),
+            agg.instructions
+        );
+        assert_eq!(reg.counter_total("exec.measured_l3_misses"), agg.l3_misses);
+        // The all-packet view covers every input packet exactly once.
+        assert_eq!(reg.counter_total("exec.packets"), cfg.total_packets as u64);
+        assert_eq!(
+            reg.counter_total("dispatch.packets"),
+            cfg.total_packets as u64
+        );
+        // Per-core counters reconcile with the per-core measurements.
+        for (c, core) in m.per_core.iter().enumerate() {
+            assert_eq!(
+                reg.counter_total(&format!("core{c}.measured_packets")),
+                core.packets() as u64,
+                "core {c} measured packets"
+            );
+            assert_eq!(
+                reg.counter_total(&format!("core{c}.measured_cycles")),
+                core.end_to_end.iter().map(|x| x.cycles).sum::<u64>(),
+                "core {c} measured cycles"
+            );
+            assert_eq!(
+                reg.counter_total(&format!("core{c}.packets")),
+                core.dispatched as u64,
+                "core {c} executed == dispatched without stealing"
+            );
+            // The latency histogram saw exactly the measured samples.
+            let h = reg
+                .histogram(&format!("core{c}.latency_ns"))
+                .expect("latency histogram")
+                .cumulative();
+            assert_eq!(h.count(), core.latency_ns.len() as u64);
+        }
+        // Per-epoch deltas sum back to the totals. Dispatch is counted at
+        // arrival, so every full epoch carries exactly the configured
+        // packet count; execution lags by the in-flight batches (telemetry
+        // seals do not drain), so only its sum is pinned.
+        let dispatch = reg.counter("dispatch.packets").expect("series");
+        let full_epochs = cfg.total_packets / 256;
+        for e in 0..full_epochs as u64 {
+            assert_eq!(dispatch.delta_at(e), 256, "epoch {e} dispatch delta");
+        }
+        let exec = reg.counter("exec.packets").expect("series");
+        assert_eq!(
+            exec.epochs().iter().map(|&(_, d)| d).sum::<u64>(),
+            cfg.total_packets as u64
+        );
+    }
+
+    #[test]
+    fn closed_loop_detection_catches_skew_and_recovers() {
+        use castan_runtime::{skew_packets, RebalancePolicy, RssDispatcher};
+        use castan_telemetry::detector::{AttackSignature, Baseline, DetectorConfig};
+
+        let chain = chain_by_id(ChainId::Nop3);
+        let cfg = MeasurementConfig {
+            total_packets: 480,
+            warmup_packets: 48,
+            ..quick()
+        };
+        let shard = ShardConfig::new(4);
+        let telemetry = TelemetryConfig::new(60);
+
+        // Learn the benign envelope from a uniform reference run.
+        let base = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig::scaled(0.0005),
+        );
+        let mut benign = ShardedDut::new(chain.clone(), shard, &cfg);
+        benign.attach_telemetry(telemetry);
+        benign.run(&base, &cfg);
+        let benign_reg = benign.take_telemetry().expect("benign registry");
+        let detector = DetectorConfig::with_baseline(Baseline::learn(&[&benign_reg], 32));
+
+        // Zero false positives on a *different* benign trace.
+        let other = generic_chain_workload(
+            &chain,
+            WorkloadKind::UniRand,
+            &WorkloadConfig {
+                seed: 0xBEEF,
+                ..WorkloadConfig::scaled(0.0005)
+            },
+        );
+        let mut honest = ShardedDut::new(chain.clone(), shard, &cfg);
+        honest.attach_telemetry(telemetry);
+        honest.set_detection(Some(DetectionConfig {
+            detector,
+            response: None,
+        }));
+        honest.run(&other, &cfg);
+        let rep = honest.detection_report().expect("report");
+        assert!(
+            rep.alarms.is_empty(),
+            "benign traffic must not alarm: {:?}",
+            rep.alarms
+        );
+        assert!(rep.polls > 0);
+        assert_eq!(
+            rep.overhead_cycles,
+            rep.polls * 4 * DETECT_POLL_CYCLES,
+            "every poll charges every core"
+        );
+
+        // The fingerprinted skew: detect-only flags it within 3 epochs.
+        let skew = skew_packets(&base.packets, &RssDispatcher::new(shard.rss), 0);
+        let wl = castan_workload::Workload {
+            kind: WorkloadKind::RssSkew,
+            packets: skew.packets,
+        };
+        let plain = measure_sharded(&chain, shard, &wl, &cfg);
+        let mut watched = ShardedDut::new(chain.clone(), shard, &cfg);
+        watched.attach_telemetry(telemetry);
+        watched.set_detection(Some(DetectionConfig {
+            detector,
+            response: None,
+        }));
+        let detect_only = watched.run(&wl, &cfg);
+        let rep = watched.detection_report().expect("report");
+        let epochs = rep.epochs_to_detect().expect("skew must be flagged");
+        assert!(epochs <= 3, "took {epochs} epochs");
+        assert!(rep
+            .alarms
+            .iter()
+            .any(|a| a.signature == AttackSignature::QueueSkew));
+        assert!(
+            rep.activated_epoch.is_none(),
+            "no response configured, nothing to activate"
+        );
+        // Detect-only still pins the whole skew on one core.
+        assert!(detect_only.bottleneck_share() > 0.99);
+
+        // Closed loop: the first alarm switches rebalancing on mid-run and
+        // recovers real throughput over the unmitigated attacked arm.
+        let mut closed = ShardedDut::new(chain, shard, &cfg);
+        closed.attach_telemetry(telemetry);
+        closed.set_detection(Some(DetectionConfig {
+            detector,
+            response: Some(MitigationConfig::rebalance(
+                60,
+                RebalancePolicy::LeastLoaded,
+            )),
+        }));
+        let m = closed.run(&wl, &cfg);
+        let rep = closed.detection_report().expect("report");
+        assert!(
+            rep.activated_epoch.is_some(),
+            "the alarm activated the response"
+        );
+        assert!(
+            m.table_history.len() > 1,
+            "the activated mitigation rebalanced the table"
+        );
+        assert!(
+            m.bottleneck_share() < 0.7,
+            "activated rebalancing spreads the skew: share {}",
+            m.bottleneck_share()
+        );
+        assert!(
+            m.aggregate_mpps() > 1.5 * plain.aggregate_mpps(),
+            "closed loop {:.2} Mpps must recover over unmitigated {:.2} Mpps",
+            m.aggregate_mpps(),
+            plain.aggregate_mpps()
+        );
+        // The detector's work is charged, and visible in busy time.
+        assert!(rep.overhead_cycles > 0);
+        let detection: u64 = m.per_core.iter().map(|c| c.detection_cycles).sum();
+        assert_eq!(detection, rep.overhead_cycles);
+        // The registry narrates the episode: alarm, activation, rebalance.
+        let reg = closed.telemetry().expect("registry");
+        let kinds: Vec<EventKind> = reg.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::DetectorAlarm));
+        assert!(kinds.contains(&EventKind::MitigationActivated));
+        assert!(kinds.contains(&EventKind::Rebalance));
+    }
+
+    #[test]
+    fn per_core_latency_cdfs_pin_the_idle_core_contract() {
+        // Pinned contract: an idle core (no measured packets, e.g. under
+        // full queue skew) yields an *empty* CDF whose quantiles are all
+        // NaN, and a one-packet core answers that packet's latency at
+        // every quantile — downstream plotting code must not have to
+        // special-case either.
+        let m = ShardedMeasurement {
+            per_core: vec![
+                CoreMeasurement {
+                    latency_ns: vec![100.0, 300.0, 200.0],
+                    ..CoreMeasurement::default()
+                },
+                CoreMeasurement::default(),
+                CoreMeasurement {
+                    latency_ns: vec![42.0],
+                    ..CoreMeasurement::default()
+                },
+            ],
+            batch_size: 32,
+            clock_hz: 3_200_000_000,
+            table_history: vec![vec![0, 1, 2]],
+        };
+        let cdfs = m.per_core_latency_cdfs();
+        assert_eq!(cdfs.len(), 3);
+        assert_eq!(cdfs[0].median(), 200.0);
+        assert!(cdfs[1].is_empty());
+        assert!(cdfs[1].quantile(0.5).is_nan() && cdfs[1].max().is_nan());
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(cdfs[2].quantile(p), 42.0, "quantile({p})");
+        }
     }
 }

@@ -103,6 +103,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_cdf_answers_nan_at_every_quantile() {
+        // Pinned contract: an empty CDF (e.g. an idle core under full
+        // queue skew) answers NaN at *every* quantile — min/max included —
+        // and renders no curve points. Callers must not have to
+        // special-case it.
+        let cdf = Cdf::new(vec![]);
+        assert_eq!(cdf.len(), 0);
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert!(cdf.quantile(p).is_nan(), "quantile({p}) must be NaN");
+        }
+        assert!(cdf.min().is_nan() && cdf.max().is_nan());
+        assert!(cdf.points(8).is_empty());
+    }
+
+    #[test]
+    fn single_sample_cdf_answers_it_at_every_quantile() {
+        // Pinned contract: with one sample every quantile returns that
+        // sample (out-of-range p clamps rather than panicking or
+        // extrapolating), and points(n) repeats it across the whole
+        // probability axis.
+        let cdf = Cdf::new(vec![42.5]);
+        assert_eq!(cdf.len(), 1);
+        for p in [-3.0, 0.0, 0.25, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(cdf.quantile(p), 42.5, "quantile({p})");
+        }
+        assert_eq!(cdf.points(3), vec![(42.5, 0.0), (42.5, 0.5), (42.5, 1.0)]);
+    }
+
+    #[test]
     fn median_u64_works() {
         assert_eq!(median_u64(&[5, 1, 9]), 5.0);
         assert_eq!(median_u64(&[4, 1, 9, 5]), 4.0);

@@ -18,6 +18,7 @@ pub use castan_mem as mem;
 pub use castan_nf as nf;
 pub use castan_packet as packet;
 pub use castan_runtime as runtime;
+pub use castan_telemetry as telemetry;
 pub use castan_testbed as testbed;
 pub use castan_workload as workload;
 pub use castan_xcore as xcore;
