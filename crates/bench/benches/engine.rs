@@ -1,0 +1,73 @@
+//! Search-engine benchmarks: frontier disciplines and worker-thread
+//! scaling of the round-based parallel exploration.
+//!
+//! Two groups:
+//!
+//! * `engine_strategy` — one full quick analysis per [`SearchStrategyKind`]
+//!   (same NF, same budget), isolating the cost of the frontier discipline.
+//! * `engine_threads` — the same analysis at 1/2/4 worker threads. The
+//!   result is byte-identical by construction (the test suite pins this);
+//!   only the wall-clock may move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use castan_core::{AnalysisConfig, Castan, SearchStrategyKind};
+use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy};
+use castan_nf::{nf_by_id, NfId, NfSpec};
+
+fn catalog_for(nf: &NfSpec) -> ContentionCatalog {
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::xeon_e5_2667v2(), 1);
+    let lines: Vec<u64> = nf
+        .data_regions
+        .first()
+        .map(|r| {
+            (0..2048u64)
+                .map(|i| r.base + (i * 8 * 64) % r.len)
+                .collect()
+        })
+        .unwrap_or_default();
+    ContentionCatalog::from_ground_truth(&mut hier, lines)
+}
+
+fn quick_cfg() -> AnalysisConfig {
+    let mut cfg = AnalysisConfig::quick();
+    cfg.packets = 4;
+    cfg.step_budget = 8_000;
+    cfg
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let nf = nf_by_id(NfId::NatHashTable);
+    let catalog = catalog_for(&nf);
+    let mut group = c.benchmark_group("engine_strategy");
+    group.sample_size(10);
+    for strategy in SearchStrategyKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(strategy.name()), |b| {
+            let mut cfg = quick_cfg();
+            cfg.strategy = strategy;
+            let castan = Castan::new(cfg);
+            b.iter(|| black_box(castan.analyze(&nf, &catalog)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let nf = nf_by_id(NfId::LpmTrie);
+    let catalog = catalog_for(&nf);
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let mut cfg = quick_cfg();
+            cfg.threads = threads;
+            let castan = Castan::new(cfg);
+            b.iter(|| black_box(castan.analyze(&nf, &catalog)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_threads);
+criterion_main!(benches);

@@ -49,7 +49,7 @@ impl Default for ModelCosts {
 }
 
 /// A cache model tracked as part of each execution state.
-pub trait CacheModel: std::fmt::Debug {
+pub trait CacheModel: std::fmt::Debug + Send {
     /// Ranked adversarial candidate addresses (most adversarial first) lying
     /// inside the NF's data regions and distinct from each other. `recent`
     /// is the list of addresses this path has already accessed (newest

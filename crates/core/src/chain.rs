@@ -72,6 +72,17 @@ pub struct ChainAnalysisReport {
 }
 
 impl ChainAnalysisReport {
+    /// Total symbolic instructions executed across all stages
+    /// (deterministic; independent of thread count and wall-clock speed).
+    pub fn total_steps(&self) -> u64 {
+        self.per_stage.iter().map(|r| r.steps).sum()
+    }
+
+    /// Total states explored across all stages (deterministic).
+    pub fn total_states_explored(&self) -> u64 {
+        self.per_stage.iter().map(|r| r.states_explored).sum()
+    }
+
     /// Number of distinct flows in the synthesized workload.
     pub fn distinct_flows(&self) -> usize {
         let mut flows: Vec<_> = self.packets.iter().filter_map(Packet::flow).collect();
@@ -243,7 +254,7 @@ pub fn analyze_chain(
         castan.config().packets,
     );
     state.atoms = origin_atoms;
-    state.constraints = merged;
+    state.constraints = merged.into();
     state.havocs = havocs;
     let synth = synthesize(entry_nf, &state, &mut solver, &castan.config().synth);
 

@@ -1,15 +1,39 @@
 //! The directed symbolic-execution engine (§3.1, §3.3, §3.4).
 //!
 //! The engine executes the NF's IR over a sequence of N symbolic packets,
-//! maintaining a priority queue of execution states ranked by
-//! `current cost + potential cost`. Memory accesses through symbolic
-//! pointers are concretized adversarially by the cache model; hash
+//! maintaining a frontier of execution states ranked by a pluggable
+//! [`SearchStrategy`] (the default is the paper's max
+//! `current cost + potential cost` priority search). Memory accesses through
+//! symbolic pointers are concretized adversarially by the cache model; hash
 //! applications are havoced; branches (and selects) on symbolic conditions
 //! fork. When the exploration budget is exhausted, the most expensive state
 //! is handed to the synthesis stage, which resolves its path constraint into
 //! concrete packets.
+//!
+//! # Parallel exploration
+//!
+//! Exploration proceeds in *rounds*: each round pops a fixed-size batch of
+//! states from the frontier (the batch size never depends on the thread
+//! count), runs one scheduling quantum per state on a pool of worker
+//! threads with per-worker work-stealing deques, then merges the results
+//! back into the frontier in slot order at a barrier. Because the batch
+//! composition, each slot's execution (own deterministic solver per slot),
+//! and the merge order are all independent of how slots were distributed
+//! over workers, the analysis result is **identical for any thread count**
+//! — a property the test suite pins.
+//!
+//! # Per-fork cost
+//!
+//! Forking clones an [`ExecState`], so fork cost is dominated by the
+//! state's owned data. The path-constraint list and both symbolic-memory
+//! overlays are copy-on-write ([`crate::state::ConstraintSet`],
+//! [`SymMemory`]), and each state carries a cached *witness* — a satisfying
+//! model for its path constraint — that lets most branch-feasibility
+//! queries skip the solver entirely: a witness that satisfies the new
+//! constraint proves the extended system satisfiable.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use castan_ir::native::MemAccess;
@@ -23,11 +47,15 @@ use crate::costmap::{CostMap, DEFAULT_LOOP_BOUND};
 use crate::expr::{Constraint, SymExpr};
 use crate::havoc::HavocRecord;
 use crate::report::AnalysisReport;
-use crate::search::Searcher;
-use crate::solve::{SolveOutcome, Solver, SolverConfig};
+use crate::search::{SearchScore, SearchStrategyKind};
+use crate::solve::{Model, SolveOutcome, Solver, SolverConfig};
 use crate::state::{ExecState, Frame, StateStatus};
 use crate::symmem::SymMemory;
 use crate::synth::{synthesize, SynthConfig};
+
+/// States popped per scheduling round. Fixed (never derived from the thread
+/// count) so the exploration order is thread-count independent.
+const ROUND_SLOTS: usize = 8;
 
 /// Analysis configuration.
 #[derive(Clone, Debug)]
@@ -37,7 +65,8 @@ pub struct AnalysisConfig {
     pub packets: u32,
     /// Exploration budget: total symbolic instructions executed across all
     /// states. This plays the role of the paper's wall-clock time budget,
-    /// but deterministically.
+    /// but deterministically. Checked at round barriers, so a run may
+    /// overshoot by at most one round.
     pub step_budget: u64,
     /// Loop bound M for the potential-cost annotation (§3.4).
     pub loop_bound: u32,
@@ -49,6 +78,12 @@ pub struct AnalysisConfig {
     pub state_cap: usize,
     /// Instructions executed per scheduling quantum before re-ranking.
     pub quantum: u32,
+    /// Frontier discipline (§3.4; the default is the paper's priority
+    /// search).
+    pub strategy: SearchStrategyKind,
+    /// Worker threads per scheduling round. Any value yields byte-identical
+    /// results; >1 only changes wall-clock time.
+    pub threads: usize,
     /// Solver configuration.
     pub solver: SolverConfig,
     /// Hash-inversion (synthesis) configuration.
@@ -65,6 +100,8 @@ impl Default for AnalysisConfig {
             fork_candidates: 2,
             state_cap: 2_048,
             quantum: 250,
+            strategy: SearchStrategyKind::Priority,
+            threads: 1,
             solver: SolverConfig::default(),
             synth: SynthConfig::default(),
         }
@@ -126,17 +163,13 @@ impl Castan {
         let icfg = Icfg::build(program);
         let costmap = CostMap::build(program, &icfg, Some(&nf.natives), self.config.loop_bound);
         let catalog = Arc::new(catalog.clone());
-        let mut solver = Solver::new(self.config.solver);
 
-        let mut engine = Engine {
+        let engine = Engine {
             nf,
             program,
             icfg: &icfg,
             costmap: &costmap,
-            solver: &mut solver,
             config: &self.config,
-            next_id: 1,
-            forks: 0,
         };
 
         let initial = ExecState::initial(
@@ -146,75 +179,59 @@ impl Castan {
             self.config.packets,
         );
 
-        let mut searcher = Searcher::new();
+        let mut strategy = self.config.strategy.make(self.config.solver.seed);
         let score = engine.score(&initial);
-        searcher.push(initial, score);
+        strategy.push(initial, score);
 
         let mut finished: Vec<ExecState> = Vec::new();
         let mut best_partial: Option<ExecState> = None;
         let mut steps: u64 = 0;
         let mut states_explored: u64 = 0;
+        let mut forks: u64 = 0;
+        let mut next_id: u64 = 0;
+        let threads = self.config.threads.max(1);
 
-        while steps < self.config.step_budget {
-            let Some((mut state, _)) = searcher.pop() else {
-                break;
-            };
-            states_explored += 1;
-            let mut rescheduled = false;
-            for _ in 0..self.config.quantum {
-                if steps >= self.config.step_budget {
-                    break;
-                }
-                steps += 1;
-                match engine.step(&mut state) {
-                    StepOutcome::Continue => {}
-                    StepOutcome::Forked(children) => {
-                        for child in children {
-                            let s = engine.score(&child);
-                            searcher.push(child, s);
-                        }
-                        rescheduled = true;
-                        break;
-                    }
-                    StepOutcome::Completed => {
-                        finished.push(state.clone());
-                        rescheduled = true;
-                        break;
-                    }
-                    StepOutcome::Dead => {
-                        rescheduled = true;
-                        break;
-                    }
+        while steps < self.config.step_budget && !strategy.is_empty() {
+            // Pop a fixed-size batch: the round's slots.
+            let mut batch: Vec<ExecState> = Vec::with_capacity(ROUND_SLOTS);
+            while batch.len() < ROUND_SLOTS {
+                match strategy.pop() {
+                    Some((s, _)) => batch.push(s),
+                    None => break,
                 }
             }
-            if !rescheduled {
-                let s = engine.score(&state);
-                searcher.push(state, s);
-            } else if let Some(last) = finished.last() {
-                // Track the best partial as well in case nothing completes.
-                let _ = last;
-            }
-            // Keep a best-effort partial result.
-            if finished.is_empty() {
-                if let Some((peek, _)) = searcher.pop() {
-                    let better = best_partial
-                        .as_ref()
-                        .map(|b| {
-                            score_partial(peek.max_completed_cpp(), &peek)
-                                > score_partial(b.max_completed_cpp(), b)
-                        })
-                        .unwrap_or(true);
-                    if better {
-                        best_partial = Some(peek.clone());
+            states_explored += batch.len() as u64;
+
+            let results = run_round(&engine, batch, threads);
+
+            // Barrier: merge in slot order — deterministic for any thread
+            // count.
+            for r in results {
+                steps += r.steps;
+                forks += r.forks;
+                if let Some(c) = r.completed {
+                    finished.push(c);
+                }
+                for mut child in r.children {
+                    next_id += 1;
+                    child.id = next_id;
+                    if finished.is_empty() {
+                        maybe_update_partial(&mut best_partial, &child);
                     }
-                    let s = engine.score(&peek);
-                    searcher.push(peek, s);
+                    let s = engine.score(&child);
+                    strategy.push(child, s);
+                }
+                if let Some(surv) = r.survivor {
+                    if finished.is_empty() {
+                        maybe_update_partial(&mut best_partial, &surv);
+                    }
+                    let s = engine.score(&surv);
+                    strategy.push(surv, s);
                 }
             }
-            searcher.truncate(self.config.state_cap);
+            strategy.truncate(self.config.state_cap);
         }
 
-        let forks = engine.forks;
         // Choose the most expensive completed state (by its worst packet), or
         // fall back to the best partial state.
         let best = finished
@@ -227,6 +244,7 @@ impl Castan {
             })
             .or(best_partial);
 
+        let mut solver = Solver::new(self.config.solver);
         let (packets, per_packet, havocs_total, havocs_reconciled, worst): (
             Vec<Packet>,
             Vec<crate::report::PathMetrics>,
@@ -254,6 +272,7 @@ impl Castan {
             packets,
             per_packet,
             states_explored,
+            steps,
             forks,
             analysis_time: start.elapsed(),
             havocs_total,
@@ -268,6 +287,122 @@ fn score_partial(max_cpp: u64, s: &ExecState) -> u64 {
     max_cpp + s.current.est_cycles + u64::from(s.packet_idx) * 10
 }
 
+fn maybe_update_partial(best: &mut Option<ExecState>, candidate: &ExecState) {
+    let better = best
+        .as_ref()
+        .map(|b| {
+            score_partial(candidate.max_completed_cpp(), candidate)
+                > score_partial(b.max_completed_cpp(), b)
+        })
+        .unwrap_or(true);
+    if better {
+        *best = Some(candidate.clone());
+    }
+}
+
+/// What one slot produced during its quantum.
+struct SlotResult {
+    /// Symbolic instructions executed.
+    steps: u64,
+    /// Forks performed.
+    forks: u64,
+    /// The state, if it completed all N packets.
+    completed: Option<ExecState>,
+    /// Forked children to reinsert into the frontier.
+    children: Vec<ExecState>,
+    /// The state, if its quantum expired while still runnable.
+    survivor: Option<ExecState>,
+}
+
+/// Runs one scheduling quantum for `state` with a fresh deterministic
+/// per-slot solver, mirroring the sequential engine's inner loop.
+fn run_slot(engine: &Engine, mut state: ExecState) -> SlotResult {
+    let mut ctx = SlotCtx {
+        solver: Solver::new(engine.config.solver),
+        forks: 0,
+    };
+    let mut res = SlotResult {
+        steps: 0,
+        forks: 0,
+        completed: None,
+        children: Vec::new(),
+        survivor: None,
+    };
+    for _ in 0..engine.config.quantum {
+        res.steps += 1;
+        match engine.step(&mut ctx, &mut state) {
+            StepOutcome::Continue => {}
+            StepOutcome::Forked(children) => {
+                res.children = children;
+                res.forks = ctx.forks;
+                return res;
+            }
+            StepOutcome::Completed => {
+                res.completed = Some(state);
+                res.forks = ctx.forks;
+                return res;
+            }
+            StepOutcome::Dead => {
+                res.forks = ctx.forks;
+                return res;
+            }
+        }
+    }
+    res.survivor = Some(state);
+    res.forks = ctx.forks;
+    res
+}
+
+/// Executes a round's slots on `threads` workers with per-worker
+/// work-stealing deques (owners pop from the back, thieves steal from the
+/// front) and returns the results in slot order.
+fn run_round(engine: &Engine, batch: Vec<ExecState>, threads: usize) -> Vec<SlotResult> {
+    let n = batch.len();
+    if threads <= 1 || n <= 1 {
+        return batch.into_iter().map(|s| run_slot(engine, s)).collect();
+    }
+    let workers = threads.min(n);
+    let slots: Vec<Mutex<Option<ExecState>>> =
+        batch.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<SlotResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n).filter(|i| i % workers == w).collect()))
+        .collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let results = &results;
+            let deques = &deques;
+            scope.spawn(move || loop {
+                // Own deque first (LIFO), then steal oldest work from peers.
+                let mut idx = deques[w].lock().expect("deque lock").pop_back();
+                if idx.is_none() {
+                    for v in (0..workers).filter(|&v| v != w) {
+                        idx = deques[v].lock().expect("deque lock").pop_front();
+                        if idx.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some(i) = idx else { break };
+                let state = slots[i].lock().expect("slot lock").take();
+                if let Some(state) = state {
+                    let r = run_slot(engine, state);
+                    *results[i].lock().expect("result lock") = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every slot ran exactly once")
+        })
+        .collect()
+}
+
 enum StepOutcome {
     Continue,
     Forked(Vec<ExecState>),
@@ -275,20 +410,40 @@ enum StepOutcome {
     Dead,
 }
 
+/// Outcome of a path-feasibility query, carrying whatever satisfying model
+/// became available so forked children can cache it as their witness.
+enum Feasibility {
+    /// Provably infeasible.
+    No,
+    /// The state's cached witness already satisfies the new constraint.
+    Witness,
+    /// The solver produced a fresh satisfying model.
+    Fresh(Arc<Model>),
+    /// Solver budget exhausted — treated as feasible (the engine would
+    /// rather explore a possibly-infeasible path than prune a feasible one;
+    /// synthesis re-checks everything at the end), but no witness survives.
+    Unknown,
+}
+
+/// Per-slot mutable execution context: the deterministic solver and fork
+/// accounting. Shared, read-only program structures live in [`Engine`].
+struct SlotCtx {
+    solver: Solver,
+    forks: u64,
+}
+
+/// Shared, immutable analysis context (safe to reference from workers).
 struct Engine<'a> {
     nf: &'a NfSpec,
     program: &'a Program,
     icfg: &'a Icfg,
     costmap: &'a CostMap,
-    solver: &'a mut Solver,
     config: &'a AnalysisConfig,
-    next_id: u64,
-    forks: u64,
 }
 
 impl Engine<'_> {
     /// The A*-style score: current cost plus potential cost (§3.1).
-    fn score(&self, state: &ExecState) -> u64 {
+    fn score(&self, state: &ExecState) -> SearchScore {
         let mut potential = 0u64;
         for frame in &state.frames {
             let graph = self.icfg.func(frame.func);
@@ -299,15 +454,17 @@ impl Engine<'_> {
             let node = graph.node_at(frame.block, frame.inst_idx.min(block_len));
             potential += self.costmap.potential(frame.func, node);
         }
-        state.max_completed_cpp() + state.current.est_cycles + potential
+        SearchScore::new(
+            state.max_completed_cpp() + state.current.est_cycles,
+            potential,
+        )
     }
 
-    fn fork_state(&mut self, state: &ExecState) -> ExecState {
-        self.forks += 1;
-        self.next_id += 1;
-        let mut child = state.clone();
-        child.id = self.next_id;
-        child
+    fn fork_state(&self, ctx: &mut SlotCtx, state: &ExecState) -> ExecState {
+        ctx.forks += 1;
+        // Ids are provisional inside a round; the merge barrier renumbers
+        // children in slot order so ids stay deterministic and unique.
+        state.clone()
     }
 
     fn charge(&self, state: &mut ExecState, class: CostClass) {
@@ -316,7 +473,7 @@ impl Engine<'_> {
     }
 
     /// Executes one instruction or terminator of the given state.
-    fn step(&mut self, state: &mut ExecState) -> StepOutcome {
+    fn step(&self, ctx: &mut SlotCtx, state: &mut ExecState) -> StepOutcome {
         if state.status != StateStatus::Running {
             return match state.status {
                 StateStatus::Completed => StepOutcome::Completed,
@@ -328,10 +485,10 @@ impl Engine<'_> {
         let block = &func.blocks[frame.block as usize];
         if frame.inst_idx < block.insts.len() {
             let inst = block.insts[frame.inst_idx].clone();
-            self.exec_inst(state, inst)
+            self.exec_inst(ctx, state, inst)
         } else {
             let term = block.term.clone();
-            self.exec_term(state, term)
+            self.exec_term(ctx, state, term)
         }
     }
 
@@ -346,7 +503,7 @@ impl Engine<'_> {
         state.top_mut().inst_idx += 1;
     }
 
-    fn exec_inst(&mut self, state: &mut ExecState, inst: Inst) -> StepOutcome {
+    fn exec_inst(&self, ctx: &mut SlotCtx, state: &mut ExecState, inst: Inst) -> StepOutcome {
         match inst {
             Inst::Mov { dst, src } => {
                 self.charge(state, CostClass::Mov);
@@ -397,12 +554,16 @@ impl Engine<'_> {
                             } else {
                                 Constraint::require_false(c.clone())
                             };
-                            if self.feasible(state, &c_constraint) {
-                                let mut child = self.fork_state(state);
-                                child.assume(c_constraint);
-                                child.top_mut().regs[dst as usize] = value;
-                                Self::advance(&mut child);
-                                children.push(child);
+                            match self.feasible(ctx, state, &c_constraint) {
+                                Feasibility::No => {}
+                                verdict => {
+                                    let mut child = self.fork_state(ctx, state);
+                                    apply_witness(&mut child, verdict);
+                                    child.assume(c_constraint);
+                                    child.top_mut().regs[dst as usize] = value.clone();
+                                    Self::advance(&mut child);
+                                    children.push(child);
+                                }
                             }
                         }
                         if children.is_empty() {
@@ -445,14 +606,20 @@ impl Engine<'_> {
                 self.charge(state, CostClass::Load);
                 state.current.loads += 1;
                 let addr_expr = Self::operand(state.top(), &addr);
-                self.memory_op(state, addr_expr, width.bytes(), MemOp::Load { dst })
+                self.memory_op(ctx, state, addr_expr, width.bytes(), MemOp::Load { dst })
             }
             Inst::Store { addr, value, width } => {
                 self.charge(state, CostClass::Store);
                 state.current.stores += 1;
                 let addr_expr = Self::operand(state.top(), &addr);
                 let val = Self::operand(state.top(), &value);
-                self.memory_op(state, addr_expr, width.bytes(), MemOp::Store { value: val })
+                self.memory_op(
+                    ctx,
+                    state,
+                    addr_expr,
+                    width.bytes(),
+                    MemOp::Store { value: val },
+                )
             }
             Inst::Call { dst, func, args } => {
                 self.charge(state, CostClass::Call);
@@ -469,7 +636,7 @@ impl Engine<'_> {
                     .iter()
                     .map(|a| {
                         let e = Self::operand(state.top(), a);
-                        self.concretize_now(state, &e)
+                        self.concretize_now(ctx, state, &e)
                     })
                     .collect();
                 let helper = match self.nf.natives.get(func) {
@@ -486,7 +653,7 @@ impl Engine<'_> {
                     } = state;
                     let mut view = ConcretizingMem {
                         mem: memory,
-                        solver: self.solver,
+                        solver: &mut ctx.solver,
                         atoms,
                         constraints,
                     };
@@ -502,7 +669,7 @@ impl Engine<'_> {
         }
     }
 
-    fn exec_term(&mut self, state: &mut ExecState, term: Terminator) -> StepOutcome {
+    fn exec_term(&self, ctx: &mut SlotCtx, state: &mut ExecState, term: Terminator) -> StepOutcome {
         match term {
             Terminator::Jump(target) => {
                 self.charge(state, CostClass::Jump);
@@ -533,13 +700,17 @@ impl Engine<'_> {
                             } else {
                                 Constraint::require_false(c.clone())
                             };
-                            if self.feasible(state, &constraint) {
-                                let mut child = self.fork_state(state);
-                                child.assume(constraint);
-                                let top = child.top_mut();
-                                top.block = target;
-                                top.inst_idx = 0;
-                                children.push(child);
+                            match self.feasible(ctx, state, &constraint) {
+                                Feasibility::No => {}
+                                verdict => {
+                                    let mut child = self.fork_state(ctx, state);
+                                    apply_witness(&mut child, verdict);
+                                    child.assume(constraint);
+                                    let top = child.top_mut();
+                                    top.block = target;
+                                    top.inst_idx = 0;
+                                    children.push(child);
+                                }
                             }
                         }
                         if children.is_empty() {
@@ -551,6 +722,7 @@ impl Engine<'_> {
                 }
             }
             Terminator::Return(v) => {
+                let _ = ctx;
                 self.charge(state, CostClass::Return);
                 let ret_val = v.map(|op| Self::operand(state.top(), &op));
                 let finished = state.frames.pop().expect("a frame is active");
@@ -571,18 +743,35 @@ impl Engine<'_> {
         }
     }
 
-    /// Is `constraint` compatible with the state's path constraint? Unknown
-    /// solver verdicts count as feasible (the engine would rather explore a
-    /// possibly-infeasible path than prune a feasible one; synthesis
-    /// re-checks everything at the end).
-    fn feasible(&mut self, state: &ExecState, constraint: &Constraint) -> bool {
-        let mut cs = state.constraints.clone();
-        cs.push(constraint.clone());
-        !matches!(self.solver.solve(&state.atoms, &cs), SolveOutcome::Unsat)
+    /// Is `constraint` compatible with the state's path constraint? The
+    /// cached witness answers most queries without a solver call: a model
+    /// that satisfies every path constraint *and* the new constraint proves
+    /// the extended system satisfiable. Unknown solver verdicts count as
+    /// feasible (synthesis re-checks everything at the end).
+    fn feasible(
+        &self,
+        ctx: &mut SlotCtx,
+        state: &ExecState,
+        constraint: &Constraint,
+    ) -> Feasibility {
+        if let Some(w) = &state.witness {
+            if constraint.holds(&|id| w.get(&id).copied().unwrap_or(0)) {
+                return Feasibility::Witness;
+            }
+        }
+        match ctx.solver.solve_with_extra(
+            &state.atoms,
+            &state.constraints,
+            std::slice::from_ref(constraint),
+        ) {
+            SolveOutcome::Unsat => Feasibility::No,
+            SolveOutcome::Sat(m) => Feasibility::Fresh(Arc::new(m)),
+            SolveOutcome::Unknown => Feasibility::Unknown,
+        }
     }
 
-    fn concretize_now(&mut self, state: &ExecState, expr: &SymExpr) -> u64 {
-        self.solver
+    fn concretize_now(&self, ctx: &mut SlotCtx, state: &ExecState, expr: &SymExpr) -> u64 {
+        ctx.solver
             .concretize(&state.atoms, &state.constraints, expr)
             .unwrap_or(0)
     }
@@ -590,7 +779,8 @@ impl Engine<'_> {
     /// Handles a load or store, concretizing symbolic pointers through the
     /// cache model (§3.3) and forking over the top candidates.
     fn memory_op(
-        &mut self,
+        &self,
+        ctx: &mut SlotCtx,
         state: &mut ExecState,
         addr: SymExpr,
         width: u64,
@@ -598,35 +788,37 @@ impl Engine<'_> {
     ) -> StepOutcome {
         match addr.as_const() {
             Some(a) => {
-                self.apply_memory_access(state, a, width, &op);
+                self.apply_memory_access(ctx, state, a, width, &op);
                 Self::advance(state);
                 StepOutcome::Continue
             }
             None => {
-                let candidates = self.resolve_symbolic_address(state, &addr);
+                let candidates = self.resolve_symbolic_address(ctx, state, &addr);
                 if candidates.is_empty() {
                     return StepOutcome::Dead;
                 }
                 if candidates.len() == 1 {
-                    let a = candidates[0];
+                    let (a, model) = candidates.into_iter().next().expect("len checked");
+                    state.witness = model;
                     state.assume(Constraint::require_true(SymExpr::cmp(
                         castan_ir::CmpOp::Eq,
                         addr,
                         SymExpr::constant(a),
                     )));
-                    self.apply_memory_access(state, a, width, &op);
+                    self.apply_memory_access(ctx, state, a, width, &op);
                     Self::advance(state);
                     return StepOutcome::Continue;
                 }
                 let mut children = Vec::new();
-                for &a in &candidates {
-                    let mut child = self.fork_state(state);
+                for (a, model) in candidates {
+                    let mut child = self.fork_state(ctx, state);
+                    child.witness = model;
                     child.assume(Constraint::require_true(SymExpr::cmp(
                         castan_ir::CmpOp::Eq,
                         addr.clone(),
                         SymExpr::constant(a),
                     )));
-                    self.apply_memory_access(&mut child, a, width, &op);
+                    self.apply_memory_access(ctx, &mut child, a, width, &op);
                     Self::advance(&mut child);
                     children.push(child);
                 }
@@ -635,14 +827,21 @@ impl Engine<'_> {
         }
     }
 
-    /// Ranks and filters candidate concrete addresses for a symbolic pointer.
-    fn resolve_symbolic_address(&mut self, state: &ExecState, addr: &SymExpr) -> Vec<u64> {
+    /// Ranks and filters candidate concrete addresses for a symbolic
+    /// pointer. Each candidate comes with the model that realises it (when
+    /// one is known), so the taking state can cache it as its witness.
+    fn resolve_symbolic_address(
+        &self,
+        ctx: &mut SlotCtx,
+        state: &ExecState,
+        addr: &SymExpr,
+    ) -> Vec<(u64, Option<Arc<Model>>)> {
         let raw = state.cache.adversarial_candidates(
             &self.nf.data_regions,
             &state.recent_addrs,
             self.config.fork_candidates + 6,
         );
-        let mut out = Vec::new();
+        let mut out: Vec<(u64, Option<Arc<Model>>)> = Vec::new();
         for line in raw {
             if out.len() >= self.config.fork_candidates {
                 break;
@@ -668,12 +867,27 @@ impl Engine<'_> {
                 )),
             ];
             for extra in [exact, range] {
-                let mut cs = state.constraints.clone();
-                cs.extend(extra);
-                if let SolveOutcome::Sat(m) = self.solver.solve(&state.atoms, &cs) {
+                // The cached witness may already realise this candidate.
+                let model: Option<Arc<Model>> = match &state.witness {
+                    Some(w)
+                        if extra
+                            .iter()
+                            .all(|c| c.holds(&|id| w.get(&id).copied().unwrap_or(0))) =>
+                    {
+                        Some(w.clone())
+                    }
+                    _ => match ctx
+                        .solver
+                        .solve_with_extra(&state.atoms, &state.constraints, &extra)
+                    {
+                        SolveOutcome::Sat(m) => Some(Arc::new(m)),
+                        _ => None,
+                    },
+                };
+                if let Some(m) = model {
                     let a = addr.eval(&|id| m.get(&id).copied().unwrap_or(0));
-                    if !out.contains(&a) {
-                        out.push(a);
+                    if !out.iter().any(|(x, _)| *x == a) {
+                        out.push((a, Some(m)));
                     }
                     break;
                 }
@@ -681,22 +895,30 @@ impl Engine<'_> {
         }
         if out.is_empty() {
             // Fall back to any feasible concrete value.
-            if let Some(a) = self
-                .solver
-                .concretize(&state.atoms, &state.constraints, addr)
-            {
-                out.push(a);
-            } else {
-                // Last resort: evaluate under a default assignment so the
-                // exploration can continue; synthesis re-solves the final
-                // constraint set anyway.
-                out.push(addr.eval(&|_| 0));
+            match ctx.solver.solve(&state.atoms, &state.constraints) {
+                SolveOutcome::Sat(m) => {
+                    let a = addr.eval(&|id| m.get(&id).copied().unwrap_or(0));
+                    out.push((a, Some(Arc::new(m))));
+                }
+                _ => {
+                    // Last resort: evaluate under a default assignment so the
+                    // exploration can continue; synthesis re-solves the final
+                    // constraint set anyway.
+                    out.push((addr.eval(&|_| 0), None));
+                }
             }
         }
         out
     }
 
-    fn apply_memory_access(&mut self, state: &mut ExecState, addr: u64, width: u64, op: &MemOp) {
+    fn apply_memory_access(
+        &self,
+        ctx: &mut SlotCtx,
+        state: &mut ExecState,
+        addr: u64,
+        width: u64,
+        op: &MemOp,
+    ) {
         state.current.est_cycles += state.cache.record_access(addr);
         state.note_address(addr);
         match op {
@@ -707,7 +929,7 @@ impl Engine<'_> {
                     constraints,
                     ..
                 } = state;
-                let solver = &mut *self.solver;
+                let solver = &mut ctx.solver;
                 let value = memory.load(addr, width, &mut |e| {
                     solver.concretize(atoms, constraints, e).unwrap_or(0)
                 });
@@ -717,6 +939,18 @@ impl Engine<'_> {
                 state.memory.store(addr, width, value.clone());
             }
         }
+    }
+}
+
+/// Installs the feasibility verdict's witness on a freshly forked child.
+fn apply_witness(child: &mut ExecState, verdict: Feasibility) {
+    match verdict {
+        // The inherited witness satisfies the new constraint too: keep it.
+        Feasibility::Witness => {}
+        Feasibility::Fresh(m) => child.witness = Some(m),
+        // Feasible-by-doubt: the inherited witness failed the constraint.
+        Feasibility::Unknown => child.witness = None,
+        Feasibility::No => unreachable!("infeasible branches are not forked"),
     }
 }
 
@@ -814,6 +1048,7 @@ mod tests {
         let report = castan.analyze(&nf, &ContentionCatalog::default());
         assert_eq!(report.packets.len(), 6);
         assert!(report.states_explored >= 1);
+        assert!(report.steps >= 1);
         assert_eq!(report.havocs_total, 0);
     }
 
@@ -870,5 +1105,47 @@ mod tests {
             "the NAT path must havoc its flow hash at least once"
         );
         assert_eq!(report.packets.len(), 3);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let nf = castan_nf::nf_by_id(NfId::LpmTrie);
+        let catalog = catalog_for(&nf);
+        let run = |threads: usize| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 12_000;
+            cfg.threads = threads;
+            Castan::new(cfg).analyze(&nf, &catalog)
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.packets, base.packets, "{threads} threads: packets");
+            assert_eq!(r.per_packet, base.per_packet, "{threads} threads: metrics");
+            assert_eq!(r.states_explored, base.states_explored);
+            assert_eq!(r.steps, base.steps);
+            assert_eq!(r.forks, base.forks);
+            assert_eq!(r.predicted_worst_cpp, base.predicted_worst_cpp);
+        }
+    }
+
+    #[test]
+    fn every_strategy_produces_a_workload() {
+        let nf = castan_nf::nf_by_id(NfId::LpmDirect1);
+        let catalog = catalog_for(&nf);
+        for strategy in SearchStrategyKind::ALL {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 15_000;
+            cfg.strategy = strategy;
+            let report = Castan::new(cfg).analyze(&nf, &catalog);
+            assert_eq!(
+                report.packets.len(),
+                3,
+                "strategy {} must synthesize",
+                strategy.name()
+            );
+        }
     }
 }

@@ -2,12 +2,16 @@
 //!
 //! An *atom* is an input the analysis treats as unknown: a header field of
 //! the k-th symbolic packet, or a havoced hash output (§3.5). Expressions
-//! are reference-counted trees over atoms and constants mirroring the IR's
-//! operations; construction folds constants eagerly so fully concrete
-//! computations never allocate deep trees.
+//! are atomically reference-counted trees over atoms and constants mirroring
+//! the IR's operations, so states holding them can cross worker threads;
+//! construction folds constants eagerly so fully concrete computations never
+//! allocate deep trees, and interior nodes are hash-consed through a
+//! per-thread intern table so the common subterms NF code generates over and
+//! over (field extractions, affine index math) share one allocation.
 
-use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use castan_ir::{BinOp, CmpOp};
 use castan_packet::PacketField;
@@ -116,9 +120,52 @@ pub enum SymExpr {
     /// An atom.
     Atom(AtomId),
     /// A binary operation.
-    Bin(BinOp, Rc<SymExpr>, Rc<SymExpr>),
+    Bin(BinOp, Arc<SymExpr>, Arc<SymExpr>),
     /// A comparison (evaluates to 0 or 1).
-    Cmp(CmpOp, Rc<SymExpr>, Rc<SymExpr>),
+    Cmp(CmpOp, Arc<SymExpr>, Arc<SymExpr>),
+}
+
+/// Hash-cons key: leaves by value, interior nodes by operator plus the
+/// *identity* of their already-interned children. Child pointers stay valid
+/// for as long as the entry lives because the interned node holds them.
+#[derive(PartialEq, Eq, Hash)]
+enum ConsKey {
+    Const(u64),
+    Atom(AtomId),
+    Bin(u8, usize, usize),
+    Cmp(u8, usize, usize),
+}
+
+/// Cap on the per-thread intern table; reaching it drops the table (the
+/// interned nodes themselves stay alive wherever they are referenced).
+const INTERN_CAP: usize = 1 << 16;
+
+thread_local! {
+    static INTERN: RefCell<HashMap<ConsKey, Arc<SymExpr>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Interns a node, returning the canonical shared allocation for its
+/// structure. Two structurally equal nodes built from the same (shared)
+/// children always return the same `Arc` within a thread.
+fn cons(e: SymExpr) -> Arc<SymExpr> {
+    let key = match &e {
+        SymExpr::Const(v) => ConsKey::Const(*v),
+        SymExpr::Atom(id) => ConsKey::Atom(*id),
+        SymExpr::Bin(op, a, b) => {
+            ConsKey::Bin(*op as u8, Arc::as_ptr(a) as usize, Arc::as_ptr(b) as usize)
+        }
+        SymExpr::Cmp(op, a, b) => {
+            ConsKey::Cmp(*op as u8, Arc::as_ptr(a) as usize, Arc::as_ptr(b) as usize)
+        }
+    };
+    INTERN.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.len() >= INTERN_CAP {
+            t.clear();
+        }
+        t.entry(key).or_insert_with(|| Arc::new(e)).clone()
+    })
 }
 
 impl SymExpr {
@@ -148,7 +195,7 @@ impl SymExpr {
             (SymExpr::Const(0), _) if matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => b,
             (_, SymExpr::Const(1)) if matches!(op, BinOp::Mul) => a,
             (SymExpr::Const(1), _) if matches!(op, BinOp::Mul) => b,
-            _ => SymExpr::Bin(op, Rc::new(a), Rc::new(b)),
+            _ => SymExpr::Bin(op, cons(a), cons(b)),
         }
     }
 
@@ -156,7 +203,7 @@ impl SymExpr {
     pub fn cmp(op: CmpOp, a: SymExpr, b: SymExpr) -> SymExpr {
         match (&a, &b) {
             (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(u64::from(op.eval(*x, *y))),
-            _ => SymExpr::Cmp(op, Rc::new(a), Rc::new(b)),
+            _ => SymExpr::Cmp(op, cons(a), cons(b)),
         }
     }
 
@@ -328,6 +375,34 @@ mod tests {
         assert!(c.holds(&|_| 0));
         assert!(!c.holds(&|_| 1));
         assert_eq!(c.atoms().len(), 1);
+    }
+
+    #[test]
+    fn interior_nodes_are_hash_consed() {
+        let build = || {
+            SymExpr::bin(
+                BinOp::Add,
+                SymExpr::bin(BinOp::Mul, SymExpr::atom(1), SymExpr::constant(4)),
+                SymExpr::constant(0x4000),
+            )
+        };
+        let (a, b) = (build(), build());
+        match (&a, &b) {
+            (SymExpr::Bin(_, a1, a2), SymExpr::Bin(_, b1, b2)) => {
+                assert!(Arc::ptr_eq(a1, b1), "shared inner product node");
+                assert!(Arc::ptr_eq(a2, b2), "shared constant leaf");
+            }
+            other => panic!("expected Bin nodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expressions_cross_threads() {
+        let e = SymExpr::bin(BinOp::Xor, SymExpr::atom(0), SymExpr::constant(0xff));
+        let v = std::thread::spawn(move || e.eval(&|_| 0x0f))
+            .join()
+            .unwrap();
+        assert_eq!(v, 0xf0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! | paper | module |
 //! |-------|--------|
-//! | §3.1 overview, A*-like search | [`engine`], [`search`] |
+//! | §3.1 overview, A*-like search (pluggable strategies, parallel rounds) | [`engine`], [`search`] |
 //! | §3.2 cache contention sets | `castan-mem::contention` (input), [`cache`] (consumption) |
 //! | §3.3 current cost & adversarial memory access | [`cache`], [`state`] |
 //! | §3.4 potential cost via annotated ICFG, loop bound M | [`costmap`] |
@@ -66,4 +66,5 @@ pub use rss::{
     analyze_chain_cluster_skew, analyze_chain_cross_core, analyze_chain_rss_skew,
     ClusterSkewReport, CrossCoreChainReport, RssSkewReport,
 };
+pub use search::{SearchScore, SearchStrategy, SearchStrategyKind};
 pub use solve::{Model, SolveOutcome, Solver};

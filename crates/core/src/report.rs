@@ -42,6 +42,9 @@ pub struct AnalysisReport {
     pub per_packet: Vec<PathMetrics>,
     /// Number of execution states the searcher explored (scheduling quanta).
     pub states_explored: u64,
+    /// Symbolic instructions executed during exploration (deterministic:
+    /// independent of thread count and wall-clock speed).
+    pub steps: u64,
     /// Number of state forks performed.
     pub forks: u64,
     /// Wall-clock analysis time.
@@ -132,6 +135,7 @@ mod tests {
                 },
             ],
             states_explored: 5,
+            steps: 40,
             forks: 2,
             analysis_time: Duration::from_millis(1500),
             havocs_total: 2,
@@ -152,6 +156,7 @@ mod tests {
             packets: vec![PacketBuilder::new().build(); 4],
             per_packet: vec![],
             states_explored: 0,
+            steps: 0,
             forks: 0,
             analysis_time: Duration::ZERO,
             havocs_total: 0,

@@ -1,19 +1,129 @@
-//! The directed-search state queue (§3.1, §3.4).
+//! Pluggable directed-search strategies (§3.1, §3.4).
 //!
 //! CASTAN's exploration is "akin to an A* search, with the difference that
 //! we are trying to maximize, not minimize the expected cost": pending
-//! execution states are kept in a max-priority queue keyed by
-//! `current cost + potential cost`, and the searcher always explores the
-//! most promising state next. There are no admissibility guarantees — the
-//! paper explicitly trades them for finding useful workloads quickly.
+//! execution states are ranked by `current cost + potential cost` and the
+//! searcher explores the most promising state next. There are no
+//! admissibility guarantees — the paper explicitly trades them for finding
+//! useful workloads quickly.
+//!
+//! This module generalises the original single heap into a
+//! [`SearchStrategy`] trait with four frontier disciplines:
+//!
+//! | strategy                       | order                                            |
+//! |--------------------------------|--------------------------------------------------|
+//! | [`Searcher`] (priority)        | max `current + potential`, newest on ties        |
+//! | [`DfsStrategy`]                | newest first (plain depth-first stack)           |
+//! | [`RandomPathStrategy`]         | uniformly random pending state (seeded)          |
+//! | [`CostGuidedStrategy`]         | max `potential`, then min `current`, then newest |
+//!
+//! The cost-guided discipline is the analogue of RustOOX's "minimal
+//! distance to uncovered" heuristic: the [`crate::costmap::CostMap`]
+//! potential annotation measures how much expensive code is still reachable,
+//! so maximising potential while minimising sunk cost steers towards the
+//! most expensive still-uncovered region by the shortest path.
+//!
+//! Every strategy is deterministic for a fixed seed and operation sequence,
+//! which the parallel engine's round barriers rely on.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::state::ExecState;
 
+/// The two halves of a state's priority: cost already accumulated on the
+/// path and the [`crate::costmap::CostMap`] estimate of what is still
+/// reachable from its program point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchScore {
+    /// Cycles attributed to the path so far (plus packet-progress bonus).
+    pub current: u64,
+    /// Potential still reachable according to the cost map.
+    pub potential: u64,
+}
+
+impl SearchScore {
+    /// Builds a score from its two components.
+    pub fn new(current: u64, potential: u64) -> SearchScore {
+        SearchScore { current, potential }
+    }
+
+    /// The combined priority the paper ranks by.
+    pub fn total(&self) -> u64 {
+        self.current.saturating_add(self.potential)
+    }
+}
+
+/// A frontier discipline: decides which pending state to explore next.
+///
+/// Implementations must be deterministic for a fixed construction seed and
+/// operation sequence (push/pop/truncate order); the parallel engine
+/// replays identical sequences regardless of thread count.
+pub trait SearchStrategy: Send {
+    /// Inserts a pending state.
+    fn push(&mut self, state: ExecState, score: SearchScore);
+    /// Removes and returns the next state to explore.
+    fn pop(&mut self) -> Option<(ExecState, SearchScore)>;
+    /// Number of pending states.
+    fn len(&self) -> usize;
+    /// True if no states are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drops the least interesting states until at most `cap` remain (a
+    /// crude memory guard; the paper relies on the time budget instead).
+    fn truncate(&mut self, cap: usize);
+}
+
+/// Which [`SearchStrategy`] the engine should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchStrategyKind {
+    /// Max-(cost + potential) priority search — the paper's default.
+    #[default]
+    Priority,
+    /// Depth-first stack.
+    Dfs,
+    /// Seeded uniformly-random pending state.
+    RandomPath,
+    /// Max potential, min sunk cost (md2u analogue).
+    CostGuided,
+}
+
+impl SearchStrategyKind {
+    /// All strategy kinds (tests and benches iterate over this).
+    pub const ALL: [SearchStrategyKind; 4] = [
+        SearchStrategyKind::Priority,
+        SearchStrategyKind::Dfs,
+        SearchStrategyKind::RandomPath,
+        SearchStrategyKind::CostGuided,
+    ];
+
+    /// Stable lower-case name (reports, benches).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStrategyKind::Priority => "priority",
+            SearchStrategyKind::Dfs => "dfs",
+            SearchStrategyKind::RandomPath => "random-path",
+            SearchStrategyKind::CostGuided => "cost-guided",
+        }
+    }
+
+    /// Instantiates the strategy. `seed` only matters for `RandomPath`.
+    pub fn make(&self, seed: u64) -> Box<dyn SearchStrategy> {
+        match self {
+            SearchStrategyKind::Priority => Box::new(Searcher::new()),
+            SearchStrategyKind::Dfs => Box::new(DfsStrategy::new()),
+            SearchStrategyKind::RandomPath => Box::new(RandomPathStrategy::new(seed)),
+            SearchStrategyKind::CostGuided => Box::new(CostGuidedStrategy::new()),
+        }
+    }
+}
+
 struct Scored {
-    score: u64,
+    score: SearchScore,
     /// Tie-break: later insertions first (depth-first flavour), which keeps
     /// the search pushing the same promising path deeper instead of
     /// round-robining equal-cost siblings.
@@ -23,7 +133,7 @@ struct Scored {
 
 impl PartialEq for Scored {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.order == other.order
+        self.score.total() == other.score.total() && self.order == other.order
     }
 }
 impl Eq for Scored {}
@@ -35,12 +145,13 @@ impl PartialOrd for Scored {
 impl Ord for Scored {
     fn cmp(&self, other: &Self) -> Ordering {
         self.score
-            .cmp(&other.score)
+            .total()
+            .cmp(&other.score.total())
             .then(self.order.cmp(&other.order))
     }
 }
 
-/// Max-priority queue of pending execution states.
+/// Max-priority queue of pending execution states (the paper's strategy).
 #[derive(Default)]
 pub struct Searcher {
     heap: BinaryHeap<Scored>,
@@ -52,9 +163,10 @@ impl Searcher {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Inserts a state with the given score.
-    pub fn push(&mut self, state: ExecState, score: u64) {
+impl SearchStrategy for Searcher {
+    fn push(&mut self, state: ExecState, score: SearchScore) {
         self.counter += 1;
         self.heap.push(Scored {
             score,
@@ -63,28 +175,180 @@ impl Searcher {
         });
     }
 
-    /// Removes and returns the highest-scored state.
-    pub fn pop(&mut self) -> Option<(ExecState, u64)> {
+    fn pop(&mut self) -> Option<(ExecState, SearchScore)> {
         self.heap.pop().map(|s| (s.state, s.score))
     }
 
-    /// Number of pending states.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True if no states are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Drops the lowest-scored states until at most `cap` remain (a crude
-    /// memory guard; the paper relies on the time budget instead).
-    pub fn truncate(&mut self, cap: usize) {
+    fn truncate(&mut self, cap: usize) {
         if self.heap.len() <= cap {
             return;
         }
         let mut all: Vec<Scored> = std::mem::take(&mut self.heap).into_vec();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(cap);
+        self.heap = all.into();
+    }
+}
+
+/// Plain depth-first stack: always continues the newest state.
+#[derive(Default)]
+pub struct DfsStrategy {
+    stack: Vec<(ExecState, SearchScore)>,
+}
+
+impl DfsStrategy {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchStrategy for DfsStrategy {
+    fn push(&mut self, state: ExecState, score: SearchScore) {
+        self.stack.push((state, score));
+    }
+
+    fn pop(&mut self) -> Option<(ExecState, SearchScore)> {
+        self.stack.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn truncate(&mut self, cap: usize) {
+        // Keep the deepest (newest) states — dropping the stack top would
+        // abandon the path being explored.
+        let n = self.stack.len();
+        if n > cap {
+            self.stack.drain(..n - cap);
+        }
+    }
+}
+
+/// Uniformly-random pending state, driven by a seeded RNG.
+pub struct RandomPathStrategy {
+    entries: Vec<Scored>,
+    counter: u64,
+    rng: StdRng,
+}
+
+impl RandomPathStrategy {
+    /// Creates an empty frontier with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPathStrategy {
+            entries: Vec::new(),
+            counter: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SearchStrategy for RandomPathStrategy {
+    fn push(&mut self, state: ExecState, score: SearchScore) {
+        self.counter += 1;
+        self.entries.push(Scored {
+            score,
+            order: self.counter,
+            state,
+        });
+    }
+
+    fn pop(&mut self) -> Option<(ExecState, SearchScore)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..self.entries.len());
+        let s = self.entries.swap_remove(idx);
+        Some((s.state, s.score))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn truncate(&mut self, cap: usize) {
+        if self.entries.len() <= cap {
+            return;
+        }
+        // Under memory pressure fall back to keeping the best-scored states.
+        self.entries.sort_by(|a, b| b.cmp(a));
+        self.entries.truncate(cap);
+    }
+}
+
+/// The md2u analogue: head for the most expensive still-uncovered region by
+/// the shortest path — max remaining potential first, minimum sunk cost as
+/// the tie-break, newest state last.
+#[derive(Default)]
+pub struct CostGuidedStrategy {
+    heap: BinaryHeap<GuidedScored>,
+    counter: u64,
+}
+
+struct GuidedScored(Scored);
+
+impl GuidedScored {
+    fn key(&self) -> (u64, std::cmp::Reverse<u64>, u64) {
+        (
+            self.0.score.potential,
+            std::cmp::Reverse(self.0.score.current),
+            self.0.order,
+        )
+    }
+}
+
+impl PartialEq for GuidedScored {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for GuidedScored {}
+impl PartialOrd for GuidedScored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GuidedScored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl CostGuidedStrategy {
+    /// Creates an empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchStrategy for CostGuidedStrategy {
+    fn push(&mut self, state: ExecState, score: SearchScore) {
+        self.counter += 1;
+        self.heap.push(GuidedScored(Scored {
+            score,
+            order: self.counter,
+            state,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(ExecState, SearchScore)> {
+        self.heap.pop().map(|g| (g.0.state, g.0.score))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn truncate(&mut self, cap: usize) {
+        if self.heap.len() <= cap {
+            return;
+        }
+        let mut all: Vec<GuidedScored> = std::mem::take(&mut self.heap).into_vec();
         all.sort_by(|a, b| b.cmp(a));
         all.truncate(cap);
         self.heap = all.into();
@@ -113,16 +377,20 @@ mod tests {
         )
     }
 
+    fn flat(total: u64) -> SearchScore {
+        SearchScore::new(total, 0)
+    }
+
     #[test]
     fn pops_highest_score_first() {
         let mut s = Searcher::new();
-        s.push(dummy_state(), 10);
-        s.push(dummy_state(), 30);
-        s.push(dummy_state(), 20);
+        s.push(dummy_state(), flat(10));
+        s.push(dummy_state(), flat(30));
+        s.push(dummy_state(), flat(20));
         assert_eq!(s.len(), 3);
-        assert_eq!(s.pop().unwrap().1, 30);
-        assert_eq!(s.pop().unwrap().1, 20);
-        assert_eq!(s.pop().unwrap().1, 10);
+        assert_eq!(s.pop().unwrap().1.total(), 30);
+        assert_eq!(s.pop().unwrap().1.total(), 20);
+        assert_eq!(s.pop().unwrap().1.total(), 10);
         assert!(s.pop().is_none());
         assert!(s.is_empty());
     }
@@ -134,8 +402,8 @@ mod tests {
         a.id = 1;
         let mut b = dummy_state();
         b.id = 2;
-        s.push(a, 50);
-        s.push(b, 50);
+        s.push(a, flat(50));
+        s.push(b, flat(50));
         assert_eq!(s.pop().unwrap().0.id, 2, "depth-first tie-break");
     }
 
@@ -143,10 +411,88 @@ mod tests {
     fn truncate_keeps_the_best() {
         let mut s = Searcher::new();
         for i in 0..100u64 {
-            s.push(dummy_state(), i);
+            s.push(dummy_state(), flat(i));
         }
         s.truncate(10);
         assert_eq!(s.len(), 10);
-        assert_eq!(s.pop().unwrap().1, 99);
+        assert_eq!(s.pop().unwrap().1.total(), 99);
+    }
+
+    #[test]
+    fn dfs_pops_newest_first() {
+        let mut s = DfsStrategy::new();
+        for id in 1..=3u64 {
+            let mut st = dummy_state();
+            st.id = id;
+            s.push(st, flat(100 - id));
+        }
+        assert_eq!(s.pop().unwrap().0.id, 3);
+        assert_eq!(s.pop().unwrap().0.id, 2);
+        assert_eq!(s.pop().unwrap().0.id, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dfs_truncate_keeps_the_deepest() {
+        let mut s = DfsStrategy::new();
+        for id in 0..10u64 {
+            let mut st = dummy_state();
+            st.id = id;
+            s.push(st, flat(0));
+        }
+        s.truncate(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pop().unwrap().0.id, 9);
+    }
+
+    #[test]
+    fn random_path_is_seed_deterministic_and_complete() {
+        let run = |seed: u64| {
+            let mut s = RandomPathStrategy::new(seed);
+            for id in 0..8u64 {
+                let mut st = dummy_state();
+                st.id = id;
+                s.push(st, flat(id));
+            }
+            let mut order = Vec::new();
+            while let Some((st, _)) = s.pop() {
+                order.push(st.id);
+            }
+            order
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same pop order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "every state pops once");
+    }
+
+    #[test]
+    fn cost_guided_prefers_high_potential_then_low_cost() {
+        let mut s = CostGuidedStrategy::new();
+        let mut a = dummy_state();
+        a.id = 1;
+        let mut b = dummy_state();
+        b.id = 2;
+        let mut c = dummy_state();
+        c.id = 3;
+        s.push(a, SearchScore::new(500, 10)); // expensive path, little left
+        s.push(b, SearchScore::new(100, 90)); // cheap path, lots left
+        s.push(c, SearchScore::new(50, 90)); // cheaper path, same left
+        assert_eq!(s.pop().unwrap().0.id, 3, "max potential, min sunk cost");
+        assert_eq!(s.pop().unwrap().0.id, 2);
+        assert_eq!(s.pop().unwrap().0.id, 1);
+    }
+
+    #[test]
+    fn every_kind_constructs_and_round_trips() {
+        for kind in SearchStrategyKind::ALL {
+            let mut s = kind.make(42);
+            assert!(s.is_empty(), "{}", kind.name());
+            s.push(dummy_state(), flat(5));
+            assert_eq!(s.len(), 1);
+            assert!(s.pop().is_some());
+        }
     }
 }

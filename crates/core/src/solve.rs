@@ -98,11 +98,23 @@ impl Solver {
 
     /// Solves the conjunction of `constraints`.
     pub fn solve(&mut self, atoms: &AtomTable, constraints: &[Constraint]) -> SolveOutcome {
+        self.solve_with_extra(atoms, constraints, &[])
+    }
+
+    /// Solves the conjunction of `base ∧ extra` without the caller having to
+    /// concatenate the two slices — the common shape of a path-feasibility
+    /// query (shared path constraint plus a tentative branch condition).
+    pub fn solve_with_extra(
+        &mut self,
+        atoms: &AtomTable,
+        base: &[Constraint],
+        extra: &[Constraint],
+    ) -> SolveOutcome {
         // Split boolean conjunctions (`x && y` asserted true, `x || y`
         // asserted false) into separate constraints so the propagation pass
         // sees the underlying equalities — NF guard conditions are built
         // exactly this way.
-        let constraints: Vec<Constraint> = flatten_constraints(constraints);
+        let constraints: Vec<Constraint> = flatten_constraints_two(base, extra);
         let constraints = constraints.as_slice();
 
         // Trivially contradictory concrete constraints short-circuit.
@@ -112,11 +124,49 @@ impl Solver {
             }
         }
 
+        // Independence slicing (the optimization KLEE applies before every
+        // query, which the original tool inherits): constraints that share
+        // no atoms — different packets of the sequence, unrelated havocs —
+        // form independent systems, and the conjunction is satisfiable iff
+        // every connected component is. Solving per component is both much
+        // cheaper (propagation and the randomised completion touch only
+        // the component's constraints) and more complete: a random search
+        // over a 3-atom component succeeds where a joint draw across 40
+        // atoms starves its budget. Component models merge disjointly.
+        let components = components_by_shared_atoms(constraints);
+        if components.len() > 1 {
+            let mut model: Model = HashMap::new();
+            let mut unknown = false;
+            for comp in &components {
+                let slice: Vec<&Constraint> = comp.iter().map(|&i| &constraints[i]).collect();
+                match self.solve_jointly(atoms, &slice) {
+                    SolveOutcome::Sat(m) => model.extend(m),
+                    SolveOutcome::Unsat => return SolveOutcome::Unsat,
+                    SolveOutcome::Unknown => unknown = true,
+                }
+            }
+            return if unknown {
+                SolveOutcome::Unknown
+            } else {
+                SolveOutcome::Sat(self.complete(atoms, model))
+            };
+        }
+        let slice: Vec<&Constraint> = constraints.iter().collect();
+        match self.solve_jointly(atoms, &slice) {
+            SolveOutcome::Sat(m) => SolveOutcome::Sat(self.complete(atoms, m)),
+            other => other,
+        }
+    }
+
+    /// Solves one connected component of constraints as a joint system.
+    /// Returned models cover (at least) the component's atoms; callers
+    /// complete them to the full atom table.
+    fn solve_jointly(&mut self, atoms: &AtomTable, constraints: &[&Constraint]) -> SolveOutcome {
         let mut model: Model = HashMap::new();
         let used_choice_pins = self.propagate(constraints, &mut model, atoms);
 
         if Self::all_hold(constraints, &model) {
-            return SolveOutcome::Sat(self.complete(atoms, model));
+            return SolveOutcome::Sat(model);
         }
 
         // Values pinned by propagation through *exact* inversions are implied
@@ -151,7 +201,36 @@ impl Solver {
             .filter(|a| !model.contains_key(a))
             .collect();
 
-        for _ in 0..self.config.random_tries {
+        // Bounded backtracking over the candidate values with propagation
+        // between assignments: assign one atom, let propagation pin what
+        // follows from it, prune as soon as a fully-assigned constraint is
+        // violated. Deterministic, and far more effective on the small
+        // components slicing produces than blind random draws — most
+        // branches die at depth one.
+        let mut budget = CANDIDATE_DFS_BUDGET;
+        let covered = match self.candidate_dfs(
+            constraints,
+            atoms,
+            &model,
+            &unassigned,
+            &candidates,
+            &mut budget,
+        ) {
+            DfsOutcome::Found(m) => return SolveOutcome::Sat(m),
+            DfsOutcome::Exhausted => true,
+            DfsOutcome::OutOfBudget => false,
+        };
+
+        // Randomised completion. When the backtracking pass already
+        // covered the whole candidate grid, only full-range draws can
+        // still help, so a fraction of the budget suffices; otherwise the
+        // full budget mixes candidate and range draws.
+        let tries = if covered {
+            self.config.random_tries / 8
+        } else {
+            self.config.random_tries
+        };
+        for _ in 0..tries {
             let mut trial = model.clone();
             for &a in &unassigned {
                 let max = atoms.kind(a).max_value();
@@ -167,7 +246,7 @@ impl Solver {
             // often fixes equality constraints the random draw missed.
             self.propagate(constraints, &mut trial, atoms);
             if Self::all_hold(constraints, &trial) {
-                return SolveOutcome::Sat(self.complete(atoms, trial));
+                return SolveOutcome::Sat(trial);
             }
         }
         SolveOutcome::Unknown
@@ -182,9 +261,7 @@ impl Solver {
         constraints: &[Constraint],
         extra: &[Constraint],
     ) -> bool {
-        let mut all = constraints.to_vec();
-        all.extend_from_slice(extra);
-        self.solve(atoms, &all).is_sat()
+        self.solve_with_extra(atoms, constraints, extra).is_sat()
     }
 
     /// Finds a value for `expr` consistent with the constraints.
@@ -203,7 +280,69 @@ impl Solver {
         }
     }
 
-    fn all_hold(constraints: &[Constraint], model: &Model) -> bool {
+    /// Depth-first search over candidate assignments for `order`'s atoms
+    /// (already sorted, so the search — and the solver's overall RNG
+    /// consumption — is deterministic). After each assignment a
+    /// propagation pass pins whatever the equalities imply, and the branch
+    /// is pruned if any fully-assigned constraint is violated. `budget`
+    /// counts assignment nodes across the whole search.
+    fn candidate_dfs(
+        &mut self,
+        constraints: &[&Constraint],
+        atoms: &AtomTable,
+        model: &Model,
+        order: &[AtomId],
+        candidates: &[u64],
+        budget: &mut u32,
+    ) -> DfsOutcome {
+        let Some(&atom) = order.iter().find(|a| !model.contains_key(a)) else {
+            return if Self::all_hold(constraints, model) {
+                DfsOutcome::Found(model.clone())
+            } else {
+                DfsOutcome::Exhausted
+            };
+        };
+        let max = atoms.kind(atom).max_value();
+        let mut out_of_budget = false;
+        let mut last = None;
+        for cand in candidates {
+            let v = (*cand).min(max);
+            if last == Some(v) {
+                continue; // candidates are sorted; clamping makes duplicates
+            }
+            last = Some(v);
+            if *budget == 0 {
+                return DfsOutcome::OutOfBudget;
+            }
+            *budget -= 1;
+            let mut trial = model.clone();
+            trial.insert(atom, v);
+            self.propagate(constraints, &mut trial, atoms);
+            if Self::any_violated(constraints, &trial) {
+                continue;
+            }
+            match self.candidate_dfs(constraints, atoms, &trial, order, candidates, budget) {
+                DfsOutcome::Found(m) => return DfsOutcome::Found(m),
+                DfsOutcome::Exhausted => {}
+                DfsOutcome::OutOfBudget => out_of_budget = true,
+            }
+        }
+        if out_of_budget {
+            DfsOutcome::OutOfBudget
+        } else {
+            DfsOutcome::Exhausted
+        }
+    }
+
+    /// True if some constraint has every atom assigned yet evaluates false.
+    fn any_violated(constraints: &[&Constraint], model: &Model) -> bool {
+        constraints.iter().any(|c| {
+            c.atoms().iter().all(|a| model.contains_key(a))
+                && !c.holds(&|id| model.get(&id).copied().unwrap_or(0))
+        })
+    }
+
+    fn all_hold(constraints: &[&Constraint], model: &Model) -> bool {
         // Constraints whose atoms are not all assigned are evaluated with
         // zero defaults; the final `complete` pass re-checks nothing, so we
         // require every referenced atom to be assigned.
@@ -231,7 +370,7 @@ impl Solver {
     /// Returns true if any pin involved a non-injective ("choice") operator.
     fn propagate(
         &mut self,
-        constraints: &[Constraint],
+        constraints: &[&Constraint],
         model: &mut Model,
         atoms: &AtomTable,
     ) -> bool {
@@ -269,6 +408,66 @@ impl Solver {
     }
 }
 
+/// Node budget of the candidate backtracking pass (assignments tried
+/// across the whole search, not per level).
+const CANDIDATE_DFS_BUDGET: u32 = 512;
+
+/// Result of the bounded candidate backtracking search.
+enum DfsOutcome {
+    /// A satisfying assignment over the component's atoms.
+    Found(Model),
+    /// The whole (pruned) candidate grid was covered without a hit.
+    Exhausted,
+    /// The node budget ran out before the grid was covered.
+    OutOfBudget,
+}
+
+/// Partitions constraints into connected components under the
+/// "shares an atom" relation (union–find over constraint indices).
+/// Components are returned in first-appearance order with their member
+/// indices ascending, so the partition — and therefore the solver's RNG
+/// consumption — is deterministic. Atom-free (concrete) constraints each
+/// form their own singleton component.
+fn components_by_shared_atoms(constraints: &[Constraint]) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..constraints.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: HashMap<AtomId, usize> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        for a in c.atoms() {
+            match owner.entry(a) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let (ra, rb) = (find(&mut parent, i), find(&mut parent, *o.get()));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for i in 0..constraints.len() {
+        let root = find(&mut parent, i);
+        match group_of.entry(root) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(groups.len());
+                groups.push(vec![i]);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => groups[*o.get()].push(i),
+        }
+    }
+    groups
+}
+
 /// True for expressions whose value is always 0 or 1 (comparison results and
 /// their bitwise combinations): for these, bitwise `and`/`or` coincide with
 /// logical conjunction/disjunction.
@@ -281,10 +480,11 @@ fn is_boolean(expr: &SymExpr) -> bool {
     }
 }
 
-/// Splits boolean conjunctions into separate constraints.
-fn flatten_constraints(constraints: &[Constraint]) -> Vec<Constraint> {
-    let mut out = Vec::with_capacity(constraints.len());
-    for c in constraints {
+/// Splits boolean conjunctions into separate constraints, over the
+/// concatenation of two slices.
+fn flatten_constraints_two(base: &[Constraint], extra: &[Constraint]) -> Vec<Constraint> {
+    let mut out = Vec::with_capacity(base.len() + extra.len());
+    for c in base.iter().chain(extra) {
         flatten_one(c, &mut out);
     }
     out

@@ -6,13 +6,56 @@
 //! the state of the analysis cache model, and the accumulated cost
 //! bookkeeping the searcher ranks by.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use castan_ir::{BlockId, FuncId, Program, Reg};
 
 use crate::cache::CacheModel;
 use crate::expr::{AtomTable, Constraint, SymExpr};
 use crate::havoc::HavocRecord;
 use crate::report::PathMetrics;
+use crate::solve::Model;
 use crate::symmem::SymMemory;
+
+/// Copy-on-write path-constraint list.
+///
+/// Forked states share the constraint vector behind an `Arc`; the first
+/// `push` after a fork clones it (`Arc::make_mut`). Reads go through
+/// `Deref<Target = [Constraint]>`, so call sites treat it like a slice.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet(Arc<Vec<Constraint>>);
+
+impl ConstraintSet {
+    /// Empty constraint set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Appends a constraint, cloning the backing vector only when shared.
+    pub fn push(&mut self, c: Constraint) {
+        Arc::make_mut(&mut self.0).push(c);
+    }
+
+    /// Owned copy of the constraints (for call sites that extend/mutate).
+    pub fn to_vec(&self) -> Vec<Constraint> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl Deref for ConstraintSet {
+    type Target = [Constraint];
+
+    fn deref(&self) -> &[Constraint] {
+        &self.0
+    }
+}
+
+impl From<Vec<Constraint>> for ConstraintSet {
+    fn from(v: Vec<Constraint>) -> ConstraintSet {
+        ConstraintSet(Arc::new(v))
+    }
+}
 
 /// One activation record.
 #[derive(Clone, Debug)]
@@ -74,8 +117,8 @@ pub struct ExecState {
     pub frames: Vec<Frame>,
     /// Symbolic data memory.
     pub memory: SymMemory,
-    /// Path constraint.
-    pub constraints: Vec<Constraint>,
+    /// Path constraint (copy-on-write across forks).
+    pub constraints: ConstraintSet,
     /// Havoced hash applications on this path.
     pub havocs: Vec<HavocRecord>,
     /// Analysis cache model state.
@@ -94,6 +137,11 @@ pub struct ExecState {
     pub completed: Vec<PathMetrics>,
     /// Concrete data addresses this path has accessed (newest last, capped).
     pub recent_addrs: Vec<u64>,
+    /// A cached satisfying assignment for the path constraint, maintained by
+    /// the engine (atoms missing from it read as 0). Lets feasibility
+    /// queries skip the solver when the witness already satisfies the
+    /// candidate constraint.
+    pub witness: Option<Arc<Model>>,
     /// Life-cycle status.
     pub status: StateStatus,
 }
@@ -113,7 +161,7 @@ impl ExecState {
             id: 0,
             frames: vec![Frame::call(program, program.entry, vec![], None)],
             memory,
-            constraints: Vec::new(),
+            constraints: ConstraintSet::new(),
             havocs: Vec::new(),
             cache,
             atoms: AtomTable::new(),
@@ -123,6 +171,7 @@ impl ExecState {
             misses_at_packet_start: 0,
             completed: Vec::new(),
             recent_addrs: Vec::new(),
+            witness: None,
             status: StateStatus::Running,
         }
     }

@@ -18,13 +18,18 @@ use castan_ir::DataMemory;
 use crate::expr::SymExpr;
 
 /// A symbolic view of NF data memory.
+///
+/// Both overlays are `Arc`-shared between forked states and cloned only on
+/// the first mutation after a fork (`Arc::make_mut`), so forking — the
+/// hottest operation of the directed search — costs two reference-count
+/// bumps instead of two deep map copies.
 #[derive(Clone, Debug)]
 pub struct SymMemory {
     base: Arc<DataMemory>,
     /// Symbolic cells: address → (width in bytes, expression).
-    sym: BTreeMap<u64, (u64, SymExpr)>,
+    sym: Arc<BTreeMap<u64, (u64, SymExpr)>>,
     /// Concrete overlay bytes (written constants, concretized cells).
-    conc: BTreeMap<u64, u8>,
+    conc: Arc<BTreeMap<u64, u8>>,
 }
 
 impl SymMemory {
@@ -32,8 +37,8 @@ impl SymMemory {
     pub fn new(base: Arc<DataMemory>) -> Self {
         SymMemory {
             base,
-            sym: BTreeMap::new(),
-            conc: BTreeMap::new(),
+            sym: Arc::new(BTreeMap::new()),
+            conc: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -51,22 +56,29 @@ impl SymMemory {
             .filter(|(a, (w, _))| ranges_overlap(**a, *w, addr, width))
             .map(|(a, _)| *a)
             .collect();
-        for a in overlapping {
-            self.sym.remove(&a);
+        if !overlapping.is_empty() {
+            let sym = Arc::make_mut(&mut self.sym);
+            for a in overlapping {
+                sym.remove(&a);
+            }
         }
         match value.as_const() {
             Some(v) => {
+                let conc = Arc::make_mut(&mut self.conc);
                 for i in 0..width {
-                    self.conc.insert(addr + i, (v >> (8 * i)) as u8);
+                    conc.insert(addr + i, (v >> (8 * i)) as u8);
                 }
             }
             None => {
                 // Clear stale concrete bytes in the range, then record the
                 // symbolic cell.
-                for i in 0..width {
-                    self.conc.remove(&(addr + i));
+                if self.conc.range(addr..addr + width).next().is_some() {
+                    let conc = Arc::make_mut(&mut self.conc);
+                    for i in 0..width {
+                        conc.remove(&(addr + i));
+                    }
                 }
-                self.sym.insert(addr, (width, value));
+                Arc::make_mut(&mut self.sym).insert(addr, (width, value));
             }
         }
     }
@@ -95,10 +107,13 @@ impl SymMemory {
             .map(|(a, _)| *a)
             .collect();
         for a in overlapping {
-            let (w, e) = self.sym.remove(&a).expect("cell existed");
+            let (w, e) = Arc::make_mut(&mut self.sym)
+                .remove(&a)
+                .expect("cell existed");
             let v = concretize(&e);
+            let conc = Arc::make_mut(&mut self.conc);
             for i in 0..w {
-                self.conc.insert(a + i, (v >> (8 * i)) as u8);
+                conc.insert(a + i, (v >> (8 * i)) as u8);
             }
         }
         // Assemble from the concrete overlay and the shared base.

@@ -85,7 +85,7 @@ pub fn synthesize(
     solver: &mut Solver,
     cfg: &SynthConfig,
 ) -> Synthesis {
-    let mut constraints = state.constraints.clone();
+    let mut constraints = state.constraints.to_vec();
     let mut model = best_effort_model(solver, state, &constraints);
     let mut resolutions = Vec::with_capacity(state.havocs.len());
 

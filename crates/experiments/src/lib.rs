@@ -28,7 +28,7 @@ use castan_core::{
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy};
 use castan_nf::{nf_by_id, NfId, NfSpec};
-use castan_runtime::{RebalancePolicy, RssDispatcher};
+use castan_runtime::{rotate_key, skew_packets, RebalancePolicy, RssDispatcher};
 use castan_telemetry::{
     detector::{AttackSignature, Baseline, Detector, DetectorConfig},
     Json, Registry,
@@ -871,11 +871,68 @@ pub fn adaptive_skew_chain_workload(
     wl
 }
 
+/// One run of the *online resynthesis* attacker: the composed workload
+/// plus the cost of mounting it.
+#[derive(Clone, Debug)]
+pub struct ResynthesisRun {
+    /// The per-epoch re-synthesized, re-steered workload.
+    pub workload: Workload,
+    /// Wall-clock of each epoch's full chain synthesis (host-dependent,
+    /// informative only — the point is that it fits inside an epoch).
+    pub per_epoch_synthesis_wall_ms: Vec<u64>,
+}
+
+/// Builds the [`WorkloadKind::ResynthSkew`] workload: the attacker the
+/// parallel search engine unlocks. For every rebalance epoch the full
+/// CASTAN chain synthesis is re-run from scratch (an online attacker holds
+/// no precomputed state — the defender's key schedule obsoletes it) and
+/// the fresh packets are steered onto `target_queue` under the Toeplitz
+/// key the key-rotating defender uses in that epoch
+/// ([`rotate_key`]`(boot, epoch)`, the schedule `castan-testbed` applies).
+///
+/// Against [`MitigationKind::RebalanceKeyRotation`] this restores exactly
+/// the static-skew-vs-rebalance picture: key rotation alone no longer
+/// sheds the attack, only the table rebalancing does. Deterministic —
+/// every epoch's synthesis and steering depend only on the configuration
+/// and the epoch index.
+pub fn resynth_skew_chain_workload(
+    chain: &NfChain,
+    cfg: &ExperimentConfig,
+    target_queue: usize,
+) -> ResynthesisRun {
+    let epoch = rss_mitigation_epoch(cfg);
+    let total = cfg.measurement.total_packets;
+    let boot = ShardConfig::new(RSS_MITIGATION_CORES).rss;
+    let mut packets = Vec::with_capacity(total);
+    let mut walls = Vec::new();
+    let mut e = 0u64;
+    while packets.len() < total {
+        let t = std::time::Instant::now();
+        let report = analyze_chain_for(chain, cfg);
+        walls.push(t.elapsed().as_millis() as u64);
+        let mut dispatcher = RssDispatcher::new(boot);
+        dispatcher.set_key(rotate_key(&boot.key, e));
+        let skew = skew_packets(&report.packets, &dispatcher, target_queue);
+        let n = epoch.min(total - packets.len());
+        packets.extend((0..n).map(|i| skew.packets[i % skew.packets.len()]));
+        e += 1;
+    }
+    ResynthesisRun {
+        workload: Workload {
+            kind: WorkloadKind::ResynthSkew,
+            packets,
+        },
+        per_epoch_synthesis_wall_ms: walls,
+    }
+}
+
 /// Runs the `rss-mitigation` sweep for the given chains:
 /// {uniform, static skew, adaptive skew} × {no-mitigation, rebalance,
 /// rebalance+migration, rebalance+migration+stealing} at
 /// [`RSS_MITIGATION_CORES`] cores, reporting aggregate Mpps and per-core
-/// latency CDFs.
+/// latency CDFs. The widest chain (nat-lb-lpm) additionally gets the
+/// per-epoch resynthesis arm ([`resynth_skew_chain_workload`]) — the
+/// online attacker whose every epoch re-runs the full synthesis.
 pub fn rss_mitigation_data_for(
     chains: &[NfChain],
     cfg: &ExperimentConfig,
@@ -886,11 +943,14 @@ pub fn rss_mitigation_data_for(
     for chain in chains {
         let plain = ShardConfig::new(RSS_MITIGATION_CORES);
         let dispatcher = RssDispatcher::new(plain.rss);
-        let suite = [
+        let mut suite = vec![
             generic_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg),
             skewed_chain_workload(chain, WorkloadKind::UniRand, &wl_cfg, &dispatcher, 0),
             adaptive_skew_chain_workload(chain, cfg, 0),
         ];
+        if chain.name() == castan_chain::ChainId::NatLbLpm.name() {
+            suite.push(resynth_skew_chain_workload(chain, cfg, 0).workload);
+        }
         for wl in &suite {
             for mitigation in MitigationKind::ALL {
                 let shard = match mitigation.config(epoch) {
@@ -2035,6 +2095,10 @@ pub fn detect(cfg: &ExperimentConfig, label: &str) -> (String, Vec<Table>) {
 pub const BENCH_HOTPATH_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
 
+/// Worker-thread counts the `engine_scaling` arm of `bench-baselines`
+/// sweeps over the nat-lb-lpm chain synthesis.
+pub const ENGINE_SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
 /// Repo-root path of the cluster baseline the `bench-baselines`
 /// experiment writes.
 pub const BENCH_CLUSTER_PATH: &str =
@@ -2069,6 +2133,35 @@ fn bench_docs(cfg: &ExperimentConfig, label: &str) -> (String, String, Table) {
     for (c, m) in &sharded_mpps {
         sharded.set(format!("{c}_cores"), Json::fixed(*m, 4));
     }
+
+    // Engine scaling: the full nat-lb-lpm chain synthesis re-run at 1, 2
+    // and 4 worker threads. The search surface (steps, states explored,
+    // predicted cost) is identical at every thread count — the engine's
+    // determinism contract, pinned by castan-core's tests — so it is
+    // recorded once and gated by bench-drift; the per-thread-count walls
+    // are host-dependent and drift-ignored like every `*_wall_ms` field.
+    let wide = castan_chain::chain_by_id(castan_chain::ChainId::NatLbLpm);
+    let mut engine_scaling = Json::obj();
+    for (i, threads) in ENGINE_SCALING_THREADS.into_iter().enumerate() {
+        let mut tcfg = cfg.clone();
+        tcfg.analysis.threads = threads;
+        let t = std::time::Instant::now();
+        let wide_report = analyze_chain_for(&wide, &tcfg);
+        let wall = t.elapsed().as_millis() as u64;
+        if i == 0 {
+            engine_scaling.set("synthesis_steps", Json::U64(wide_report.total_steps()));
+            engine_scaling.set(
+                "states_explored",
+                Json::U64(wide_report.total_states_explored()),
+            );
+            engine_scaling.set(
+                "predicted_total_cpp",
+                Json::U64(wide_report.predicted_total_cpp),
+            );
+        }
+        engine_scaling.set(format!("{threads}_threads_wall_ms"), Json::U64(wall));
+    }
+
     let hotpath = Json::obj()
         .with("schema", Json::str("castan-bench-hotpath-v1"))
         .with("config", Json::str(label))
@@ -2078,8 +2171,12 @@ fn bench_docs(cfg: &ExperimentConfig, label: &str) -> (String, String, Table) {
             Json::U64(cfg.measurement.total_packets as u64),
         )
         .with("synthesis_packets", Json::U64(report.packets.len() as u64))
+        .with("synthesis_steps", Json::U64(report.total_steps()))
+        .with("states_explored", Json::U64(report.total_states_explored()))
+        .with("predicted_total_cpp", Json::U64(report.predicted_total_cpp))
         .with("sharded_uniform_mpps", sharded)
         .with("synthesis_wall_ms", Json::U64(synthesis_wall_ms))
+        .with("engine_scaling", engine_scaling)
         .render();
 
     // Cluster tier: uniform scaling across the node counts, the composed
@@ -2492,6 +2589,41 @@ mod tests {
         assert!(rendered.contains("rss-scaling"));
         assert!(rendered.contains("RSS-Skew"));
         assert!(rendered.contains("nop3/UniRand"));
+    }
+
+    #[test]
+    fn resynth_skew_steers_every_epoch_against_the_rotated_key() {
+        // The online resynthesis attacker must keep perfect steering
+        // across the key-rotating defender's whole schedule: epoch e's
+        // packets land on the victim queue under rotate_key(boot, e).
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::Nop3);
+        let run = resynth_skew_chain_workload(&chain, &cfg, 0);
+        assert_eq!(run.workload.kind, WorkloadKind::ResynthSkew);
+        let total = cfg.measurement.total_packets;
+        assert_eq!(run.workload.len(), total, "expanded to the replay length");
+        let epoch = rss_mitigation_epoch(&cfg);
+        let epochs = total.div_ceil(epoch);
+        assert_eq!(
+            run.per_epoch_synthesis_wall_ms.len(),
+            epochs,
+            "one fresh synthesis per epoch"
+        );
+        let boot = ShardConfig::new(RSS_MITIGATION_CORES).rss;
+        for e in 0..epochs {
+            let mut d = RssDispatcher::new(boot);
+            d.set_key(rotate_key(&boot.key, e as u64));
+            for (i, p) in run.workload.packets[e * epoch..total.min((e + 1) * epoch)]
+                .iter()
+                .enumerate()
+            {
+                assert_eq!(
+                    d.queue_of_packet(p),
+                    0,
+                    "epoch {e} packet {i} must stay on the victim queue"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Command-line front end: regenerate any table or figure of the evaluation.
 //!
 //! ```text
-//! cargo run -p castan-experiments --release -- [--quick] <experiment>...
+//! cargo run -p castan-experiments --release -- [--quick] [--threads=N] <experiment>...
 //! cargo run -p castan-experiments --release -- all
 //! ```
+//!
+//! `--threads=N` sets the analysis engine's worker-thread count (the
+//! synthesized workloads are identical for any value; only wall-clock
+//! changes — CI runs a smoke at 4 threads to exercise the parallel path).
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
 //! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
@@ -52,7 +56,7 @@ fn valid_experiments() -> Vec<String> {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: castan-experiments [--quick] <experiment>...\nexperiments: {} | all | bench-drift",
+        "usage: castan-experiments [--quick] [--threads=N] <experiment>...\nexperiments: {} | all | bench-drift",
         valid_experiments().join(" | ")
     );
     std::process::exit(2);
@@ -66,12 +70,19 @@ fn table_result(t: Table) -> (String, Vec<Table>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .map(|v| v.parse().expect("--threads expects a positive integer"));
     let requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
-    let cfg = if quick {
+    let mut cfg = if quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::full()
     };
+    if let Some(t) = threads {
+        cfg.analysis.threads = t;
+    }
     let label = if quick { "quick" } else { "full" };
 
     if requested.is_empty() {

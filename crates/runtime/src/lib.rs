@@ -63,4 +63,6 @@ pub use rebalance::{
     REBALANCE_TRIGGER_NUM,
 };
 pub use skew::{skew_packets, skew_packets_per_epoch, EpochSkewSynthesis, SkewSynthesis};
-pub use toeplitz::{rotate_key, toeplitz_hash, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY};
+pub use toeplitz::{
+    rotate_key, toeplitz_hash, ToeplitzTable, RSS_INPUT_LEN, RSS_KEY_LEN, RSS_MS_DEFAULT_KEY,
+};

@@ -52,6 +52,14 @@ pub enum WorkloadKind {
     /// the indirection table the defender had active in that epoch (as
     /// learned from a previous attack–defense round).
     AdaptiveSkew,
+    /// The *online resynthesis* queue-skew attacker: the full CASTAN chain
+    /// synthesis is re-run inside every rebalance epoch and the fresh
+    /// result steered against the Toeplitz key the key-rotating defender
+    /// uses in that epoch. A precomputed skew loses its steering at the
+    /// first rotation; this attacker never does — affordable only because
+    /// the parallel search engine made synthesis cheap enough to fit
+    /// inside an epoch.
+    ResynthSkew,
     /// The packet-only cross-core eviction attack: victim traffic steered
     /// *off* one attacker queue, interleaved with eviction traffic (the
     /// `castan-core` cross-core synthesis) steered *onto* it, so the
@@ -80,6 +88,7 @@ impl WorkloadKind {
             WorkloadKind::Castan => "CASTAN",
             WorkloadKind::RssSkew => "RSS-Skew",
             WorkloadKind::AdaptiveSkew => "Adaptive-Skew",
+            WorkloadKind::ResynthSkew => "Resynth-Skew",
             WorkloadKind::NeighborEvict => "Neighbor-Evict",
             WorkloadKind::EcmpSkew => "ECMP-Skew",
             WorkloadKind::ClusterSkew => "ECMP×RSS-Skew",
@@ -260,6 +269,7 @@ impl TrafficProfile {
             | WorkloadKind::Castan
             | WorkloadKind::RssSkew
             | WorkloadKind::AdaptiveSkew
+            | WorkloadKind::ResynthSkew
             | WorkloadKind::NeighborEvict
             | WorkloadKind::EcmpSkew
             | WorkloadKind::ClusterSkew => {

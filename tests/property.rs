@@ -544,3 +544,122 @@ proptest! {
         prop_assert_eq!(single.associativity(), multi.associativity());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Every search strategy, at every thread count, synthesizes a workload
+    /// at least as expensive as the sequential priority-search baseline.
+    /// The exploration budget is generous enough that the frontier drains
+    /// completely, so every discipline visits the same completed states and
+    /// the engine's max-cost selection makes the final costs coincide — and
+    /// the thread count can never change them at all.
+    #[test]
+    fn strategies_and_threads_never_lose_to_the_priority_baseline(seed in 0u64..64) {
+        use castan_suite::analysis::engine::AnalysisConfig;
+        use castan_suite::analysis::{Castan, SearchStrategyKind};
+        use castan_suite::mem::ContentionCatalog;
+
+        let nf = castan_suite::nf::nf_by_id(castan_suite::nf::NfId::LpmDirect1);
+        let catalog = ContentionCatalog::default();
+        let mut base = AnalysisConfig::quick();
+        base.packets = 2;
+        base.step_budget = 40_000;
+        base.state_cap = 4_096;
+        base.solver.seed = seed;
+        let baseline = Castan::new(base.clone()).analyze(&nf, &catalog).predicted_worst_cpp;
+        for strategy in SearchStrategyKind::ALL {
+            for threads in [1usize, 2, 4] {
+                let mut cfg = base.clone();
+                cfg.strategy = strategy;
+                cfg.threads = threads;
+                let got = Castan::new(cfg).analyze(&nf, &catalog).predicted_worst_cpp;
+                prop_assert!(
+                    got >= baseline,
+                    "{} at {} threads synthesized {} < baseline {}",
+                    strategy.name(), threads, got, baseline
+                );
+            }
+        }
+    }
+
+    /// For a fixed seed the analysis report is identical — packet bytes,
+    /// metrics, and exploration counters — no matter how many worker
+    /// threads execute the rounds.
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts(seed in 0u64..1_000) {
+        use castan_suite::analysis::engine::AnalysisConfig;
+        use castan_suite::analysis::Castan;
+        use castan_suite::mem::ContentionCatalog;
+
+        let nf = castan_suite::nf::nf_by_id(castan_suite::nf::NfId::NatHashTable);
+        let catalog = ContentionCatalog::default();
+        let fingerprint = |threads: usize| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 2;
+            cfg.step_budget = 10_000;
+            cfg.solver.seed = seed;
+            cfg.threads = threads;
+            let r = Castan::new(cfg).analyze(&nf, &catalog);
+            let wire: Vec<Vec<u8>> = r.packets.iter().map(|p| p.to_bytes()).collect();
+            format!(
+                "{wire:?} {:?} {} {} {} {} {} {}",
+                r.per_packet, r.states_explored, r.steps, r.forks,
+                r.havocs_total, r.havocs_reconciled, r.predicted_worst_cpp
+            )
+        };
+        let one = fingerprint(1);
+        prop_assert_eq!(&fingerprint(2), &one, "2 threads diverged");
+        prop_assert_eq!(&fingerprint(4), &one, "4 threads diverged");
+    }
+}
+
+proptest! {
+    /// Forking an execution state is copy-on-write but semantically a deep
+    /// copy: stores and assumptions in one fork never leak into its sibling
+    /// or its parent.
+    #[test]
+    fn cow_fork_mutations_never_leak_into_siblings(
+        addr in 0u64..4096,
+        before in any::<u64>(),
+        delta in any::<u64>(),
+        width_idx in 0u64..4,
+    ) {
+        use castan_suite::analysis::cache::NoCacheModel;
+        use castan_suite::analysis::state::ExecState;
+        use castan_suite::analysis::symmem::SymMemory;
+        use castan_suite::analysis::SymExpr;
+        use castan_suite::ir::{FunctionBuilder, ProgramBuilder};
+        use std::sync::Arc;
+
+        let after = before ^ (delta | 1);
+        let width = [1u64, 2, 4, 8][width_idx as usize];
+        let mut f = FunctionBuilder::new("main", 0);
+        f.ret_void();
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let mut parent = ExecState::initial(
+            &program,
+            SymMemory::new(Arc::new(DataMemory::new())),
+            Box::new(NoCacheModel::default()),
+            1,
+        );
+        parent.memory.store(addr, width, SymExpr::constant(before));
+
+        let mut fork_a = parent.clone();
+        let mut fork_b = parent.clone();
+        fork_a.memory.store(addr, width, SymExpr::constant(after));
+        fork_a.assume(castan_suite::analysis::expr::Constraint::require_true(
+            SymExpr::cmp(CmpOp::Eq, SymExpr::constant(1), SymExpr::constant(1)),
+        ));
+
+        let mask = if width >= 8 { u64::MAX } else { (1u64 << (width * 8)) - 1 };
+        prop_assert_eq!(fork_a.memory.load_concrete(addr, width), after & mask);
+        prop_assert_eq!(fork_b.memory.load_concrete(addr, width), before & mask, "sibling saw the store");
+        prop_assert_eq!(parent.memory.load_concrete(addr, width), before & mask, "parent saw the store");
+        prop_assert_eq!(fork_a.constraints.len(), 1);
+        prop_assert_eq!(fork_b.constraints.len(), 0, "sibling saw the assumption");
+        prop_assert_eq!(parent.constraints.len(), 0, "parent saw the assumption");
+    }
+}
