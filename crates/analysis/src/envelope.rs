@@ -1,0 +1,836 @@
+//! Sound per-NF cost envelopes: `[lower, upper]` bounds on cycles,
+//! instructions, memory accesses and L3 misses per packet.
+//!
+//! The envelope is the sound counterpart of §3.4's heuristic potential-cost
+//! annotation: where the CostMap caps every loop at a fixed `M = 2` tours
+//! (deliberately unsound, as the paper notes, to keep the search heuristic
+//! cheap), the envelope infers a *guaranteed* per-loop bound from the NF's
+//! declared data-structure regions and charges every memory access at the
+//! full hierarchy spread. The result brackets both cost models in the
+//! workspace — the symbolic engine's contention-set estimate and the
+//! testbed's full hierarchy — so it can serve as a soundness oracle for
+//! synthesized paths and as an admissible pruning bound for the search.
+//!
+//! Per function the computation is: interval fixpoint (`interval`), loop
+//! discovery (`loops`), region-derived loop bounds, then per-metric
+//! longest/shortest paths over the back-edge-free DAG plus one "extra tour"
+//! term per loop. Functions are summarised callee-first; recursion (absent
+//! from the NF builders) degrades to a saturating ceiling rather than
+//! unsoundness.
+
+use castan_chain::NfChain;
+use castan_ir::cfg::{CfgNode, FuncGraph};
+use castan_ir::{FuncId, Function, Icfg, Inst, NativeRegistry, NodeId, Operand, Program};
+use castan_nf::{layout::TRIE_NODE_SIZE, MemRegion, NfSpec};
+
+use crate::interval::{analyze_function, Interval};
+use crate::loops::find_loops;
+
+/// Saturating ceiling used where no finite bound exists (recursive call
+/// graphs, unregistered native helpers). Far above any real envelope yet far
+/// below `u64::MAX`, so sums involving it never wrap.
+pub const UNBOUNDED: u64 = u64::MAX / 8;
+
+/// Header executions per entry of a loop that walks the LPM trie
+/// (depth ≤ 32 one-bit steps plus entry and exit checks).
+const TRIE_LOOP_BOUND: u64 = 34;
+
+/// An inclusive `[lower, upper]` bound on one per-packet metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostEnvelope {
+    /// Sound lower bound: no packet can cost less.
+    pub lower: u64,
+    /// Sound upper bound: no packet can cost more.
+    pub upper: u64,
+}
+
+impl CostEnvelope {
+    /// True if `v` lies inside the envelope.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lower <= v && v <= self.upper
+    }
+
+    /// Width of the envelope.
+    pub fn width(&self) -> u64 {
+        self.upper.saturating_sub(self.lower)
+    }
+}
+
+/// Parameters the envelope is computed under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnvelopeParams {
+    /// Largest number of distinct flows the traffic under analysis can
+    /// install. Flow-keyed structures (NAT inserts a forward *and* a reverse
+    /// mapping per flow) are bounded in terms of this.
+    pub max_flows: u64,
+    /// Cheapest possible memory access (an L1 hit).
+    pub best_access_cycles: u64,
+    /// Costliest possible memory access (a DRAM-bound L3 miss).
+    pub worst_access_cycles: u64,
+}
+
+impl EnvelopeParams {
+    /// Parameters for at most `max_flows` distinct flows, with the access
+    /// spread of the default memory hierarchy.
+    pub fn new(max_flows: u64) -> EnvelopeParams {
+        let lat = castan_mem::Latencies::default();
+        EnvelopeParams {
+            max_flows,
+            best_access_cycles: lat.l1,
+            worst_access_cycles: lat.dram,
+        }
+    }
+
+    /// Largest element count a flow-keyed structure can reach: forward and
+    /// reverse mapping per flow, plus slack for sentinel/root bookkeeping.
+    pub fn max_entries(&self) -> u64 {
+        self.max_flows.saturating_mul(2).saturating_add(2)
+    }
+
+    /// Header-execution bound for a loop walking a flow-keyed structure
+    /// (chain walk, ring probe, tree descent): at most one step per stored
+    /// element plus entry and exit checks.
+    fn flow_loop_bound(&self) -> u64 {
+        self.max_flows.saturating_mul(2).saturating_add(3)
+    }
+
+    /// Bound for a loop whose memory traffic stays inside `region`.
+    fn region_loop_bound(&self, region: &MemRegion) -> u64 {
+        if region.stride == TRIE_NODE_SIZE {
+            TRIE_LOOP_BOUND
+        } else {
+            self.flow_loop_bound()
+        }
+    }
+
+    /// Bound for a loop the analysis cannot attribute to any region.
+    fn fallback_loop_bound(&self) -> u64 {
+        TRIE_LOOP_BOUND.max(self.flow_loop_bound())
+    }
+}
+
+/// Worst-case footprint in one declared data-structure region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionFootprint {
+    /// Region base address.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Upper bound on accesses landing in the region per packet.
+    pub accesses_upper: u64,
+    /// Upper bound on *distinct* cache lines touched in the region per
+    /// packet (capped at the region's line count).
+    pub distinct_lines_upper: u64,
+}
+
+/// Per-function summary, composed callee-first.
+#[derive(Clone, Debug)]
+struct FuncSummary {
+    cycles: CostEnvelope,
+    instructions: CostEnvelope,
+    mem_accesses: CostEnvelope,
+    /// Per declared region (same indexing as `NfSpec::data_regions`).
+    region_acc: Vec<u64>,
+    region_dist: Vec<u64>,
+    /// Accesses not attributable to any region (native internals, scratch).
+    unattributed: u64,
+    /// Admissible upper bound on cycles from each node to function exit.
+    remaining_cycles: Vec<u64>,
+    loop_count: usize,
+    max_loop_bound: u64,
+}
+
+/// The full static envelope of one NF.
+#[derive(Clone, Debug)]
+pub struct NfEnvelope {
+    /// Display name of the NF.
+    pub nf_name: String,
+    /// Cycles per packet.
+    pub cycles: CostEnvelope,
+    /// Instructions retired per packet.
+    pub instructions: CostEnvelope,
+    /// Data-memory accesses per packet.
+    pub mem_accesses: CostEnvelope,
+    /// Upper bound on L3 misses per packet. Every access can miss — an
+    /// adversary controls cross-packet residency, so no per-packet
+    /// distinct-line argument survives composition across packets.
+    pub l3_miss_upper: u64,
+    /// Tighter miss bound valid only for the first packet after a cache
+    /// flush: at most one miss per distinct line touched.
+    pub cold_miss_upper: u64,
+    /// Upper bound on distinct cache lines touched per packet.
+    pub distinct_lines_upper: u64,
+    /// Per-region footprint (same order as the NF's `data_regions`).
+    pub region_footprints: Vec<RegionFootprint>,
+    /// Loops discovered across all functions.
+    pub loop_count: usize,
+    /// Largest inferred header-execution bound.
+    pub max_loop_bound: u64,
+    /// Parameters the envelope was computed under.
+    pub params: EnvelopeParams,
+    /// `remaining[func][node]`: admissible cycles-to-exit bound.
+    remaining: Vec<Vec<u64>>,
+}
+
+impl NfEnvelope {
+    /// Admissible upper bound on the cycles still chargeable from `node` of
+    /// `func` to that function's exit. Summing this over an interpreter's
+    /// frame stack over-approximates the remaining program cost.
+    pub fn remaining_upper(&self, func: FuncId, node: NodeId) -> u64 {
+        self.remaining
+            .get(func as usize)
+            .and_then(|f| f.get(node))
+            .copied()
+            .unwrap_or(UNBOUNDED)
+    }
+
+    /// Checks one packet's observed (or predicted) per-packet metrics
+    /// against the envelope. `Err` carries a description of the violated
+    /// bound — any violation means either the cost model escaped the static
+    /// analysis or the analysis itself is wrong, and must fail loudly.
+    pub fn check_packet(
+        &self,
+        cycles: u64,
+        instructions: u64,
+        mem_accesses: u64,
+        l3_misses: u64,
+    ) -> Result<(), String> {
+        if !self.cycles.contains(cycles) {
+            return Err(format!(
+                "{}: cycles {} outside envelope [{}, {}]",
+                self.nf_name, cycles, self.cycles.lower, self.cycles.upper
+            ));
+        }
+        if !self.instructions.contains(instructions) {
+            return Err(format!(
+                "{}: instructions {} outside envelope [{}, {}]",
+                self.nf_name, instructions, self.instructions.lower, self.instructions.upper
+            ));
+        }
+        if mem_accesses < self.mem_accesses.lower || mem_accesses > self.mem_accesses.upper {
+            return Err(format!(
+                "{}: mem accesses {} outside envelope [{}, {}]",
+                self.nf_name, mem_accesses, self.mem_accesses.lower, self.mem_accesses.upper
+            ));
+        }
+        if l3_misses > self.l3_miss_upper {
+            return Err(format!(
+                "{}: l3 misses {} above upper bound {}",
+                self.nf_name, l3_misses, self.l3_miss_upper
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The composed envelope of an NF chain.
+#[derive(Clone, Debug)]
+pub struct ChainEnvelope {
+    /// Chain name.
+    pub name: String,
+    /// Per-stage envelopes, in traversal order.
+    pub stages: Vec<NfEnvelope>,
+    /// End-to-end cycles per packet, excluding fixed forwarding overhead.
+    /// The lower bound is the first stage's (a packet dropped there skips
+    /// the rest); the upper is the sum of stage uppers.
+    pub cycles: CostEnvelope,
+    /// End-to-end instructions per packet (same composition rule).
+    pub instructions: CostEnvelope,
+    /// End-to-end memory accesses per packet.
+    pub mem_accesses: CostEnvelope,
+    /// Upper bound on end-to-end L3 misses per packet.
+    pub l3_miss_upper: u64,
+}
+
+struct AnalysisCtx<'a> {
+    program: &'a Program,
+    icfg: &'a Icfg,
+    natives: &'a NativeRegistry,
+    regions: &'a [MemRegion],
+    params: &'a EnvelopeParams,
+}
+
+/// Per-node weight on all six bounded metrics.
+#[derive(Clone, Copy, Default)]
+struct NodeW {
+    cyc_lo: u64,
+    cyc_up: u64,
+    ins_lo: u64,
+    ins_up: u64,
+    mem_lo: u64,
+    mem_up: u64,
+}
+
+fn addr_operand<'f>(func: &'f Function, node: &CfgNode) -> Option<&'f Operand> {
+    let block = &func.blocks[node.block as usize];
+    if node.index >= block.insts.len() {
+        return None;
+    }
+    match &block.insts[node.index] {
+        Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(addr),
+        _ => None,
+    }
+}
+
+fn node_weights(ctx: &AnalysisCtx<'_>, node: &CfgNode, callee: Option<&FuncSummary>) -> NodeW {
+    let base = node.class.base_cycles();
+    let mut w = NodeW {
+        cyc_lo: base,
+        cyc_up: base,
+        ins_lo: 1,
+        ins_up: 1,
+        ..NodeW::default()
+    };
+    if node.is_memory {
+        w.cyc_lo = w.cyc_lo.saturating_add(ctx.params.best_access_cycles);
+        w.cyc_up = w.cyc_up.saturating_add(ctx.params.worst_access_cycles);
+        w.mem_lo = 1;
+        w.mem_up = 1;
+    }
+    if let Some(c) = callee {
+        w.cyc_lo = w.cyc_lo.saturating_add(c.cycles.lower);
+        w.cyc_up = w.cyc_up.saturating_add(c.cycles.upper);
+        w.ins_lo = w.ins_lo.saturating_add(c.instructions.lower);
+        w.ins_up = w.ins_up.saturating_add(c.instructions.upper);
+        w.mem_lo = w.mem_lo.saturating_add(c.mem_accesses.lower);
+        w.mem_up = w.mem_up.saturating_add(c.mem_accesses.upper);
+    }
+    if let Some(nid) = node.native {
+        match ctx.natives.get(nid) {
+            Some(helper) => {
+                let b = helper.bounds(ctx.params.max_entries());
+                let est = helper.estimated_cycles();
+                // The symbolic engine charges the flat estimate without
+                // executing the helper; the testbed executes it for real.
+                // The envelope must cover whichever model is in play.
+                w.cyc_up = w
+                    .cyc_up
+                    .saturating_add(est.max(b.max_cycles(ctx.params.worst_access_cycles)));
+                w.cyc_lo = w
+                    .cyc_lo
+                    .saturating_add(est.min(b.min_cycles(ctx.params.best_access_cycles)));
+                w.ins_up = w.ins_up.saturating_add(b.max_instructions);
+                w.mem_up = w.mem_up.saturating_add(b.max_mem_accesses);
+                // Lower bounds get no internal contribution: the engine's
+                // cost model never observes helper-internal events.
+            }
+            None => {
+                w.cyc_up = w.cyc_up.saturating_add(UNBOUNDED);
+                w.ins_up = w.ins_up.saturating_add(UNBOUNDED);
+                w.mem_up = w.mem_up.saturating_add(UNBOUNDED);
+            }
+        }
+    }
+    w
+}
+
+/// Summary for a function on a call-graph cycle: nothing is statically
+/// bounded, everything stays sound.
+fn recursive_summary(graph: &FuncGraph, regions: usize) -> FuncSummary {
+    FuncSummary {
+        cycles: CostEnvelope {
+            lower: 0,
+            upper: UNBOUNDED,
+        },
+        instructions: CostEnvelope {
+            lower: 0,
+            upper: UNBOUNDED,
+        },
+        mem_accesses: CostEnvelope {
+            lower: 0,
+            upper: UNBOUNDED,
+        },
+        region_acc: vec![UNBOUNDED; regions],
+        region_dist: vec![UNBOUNDED; regions],
+        unattributed: UNBOUNDED,
+        remaining_cycles: vec![UNBOUNDED; graph.nodes.len()],
+        loop_count: 0,
+        max_loop_bound: UNBOUNDED,
+    }
+}
+
+/// Children-first order of the back-edge-free DAG (iterative DFS over all
+/// nodes, so unreachable nodes get summaries too).
+fn dag_postorder(dag: &[Vec<NodeId>]) -> Vec<NodeId> {
+    let n = dag.len();
+    let mut state = vec![0u8; n]; // 0 new, 1 open, 2 done
+    let mut order = Vec::with_capacity(n);
+    for root in 0..n {
+        if state[root] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        state[root] = 1;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < dag[v].len() {
+                let s = dag[v][*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[v] = 2;
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+fn summarize(
+    ctx: &AnalysisCtx<'_>,
+    fidx: usize,
+    memo: &mut Vec<Option<FuncSummary>>,
+    visiting: &mut Vec<bool>,
+) -> FuncSummary {
+    if let Some(s) = &memo[fidx] {
+        return s.clone();
+    }
+    let graph = ctx.icfg.func(fidx as FuncId);
+    if visiting[fidx] {
+        return recursive_summary(graph, ctx.regions.len());
+    }
+    visiting[fidx] = true;
+
+    let func = &ctx.program.functions[fidx];
+    let n = graph.nodes.len();
+    let intervals = analyze_function(func, graph);
+    let forest = find_loops(graph);
+
+    // Callee summaries first (the recursion guard above breaks cycles).
+    let mut callee_sum: Vec<Option<FuncSummary>> = vec![None; n];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let Some(c) = node.callee {
+            callee_sum[i] = Some(summarize(ctx, c as usize, memo, visiting));
+        }
+    }
+
+    // Region-derived header-execution bound per loop.
+    let bounds: Vec<u64> = forest
+        .loops
+        .iter()
+        .map(|l| {
+            let mut from_regions: Option<u64> = None;
+            for (i, node) in graph.nodes.iter().enumerate() {
+                if !l.contains(i) || !node.is_memory {
+                    continue;
+                }
+                let iv = addr_operand(func, node)
+                    .map(|a| intervals.operand_at(i, a))
+                    .unwrap_or(Interval::TOP);
+                for r in ctx.regions {
+                    if iv.overlaps_range(r.base, r.end()) {
+                        let b = ctx.params.region_loop_bound(r);
+                        from_regions = Some(from_regions.unwrap_or(0).max(b));
+                    }
+                }
+            }
+            let b = match from_regions {
+                Some(b) if !l.irreducible => b,
+                Some(b) => b.max(ctx.params.fallback_loop_bound()),
+                None => ctx.params.fallback_loop_bound(),
+            };
+            b.max(1)
+        })
+        .collect();
+
+    // Worst-case executions of each node: product of containing-loop bounds.
+    let mut exec_upper = vec![1u64; n];
+    for (li, l) in forest.loops.iter().enumerate() {
+        for (i, e) in exec_upper.iter_mut().enumerate() {
+            if l.contains(i) {
+                *e = e.saturating_mul(bounds[li]);
+            }
+        }
+    }
+
+    // Entries ("trips") per loop: its own bound times the bounds of every
+    // overlapping loop ordered before it (size-descending, so enclosing
+    // loops multiply enclosed ones). For properly nested loops this is the
+    // exact product of enclosing bounds; for any other overlap it is ordered
+    // so that the last loop containing a node absorbs the full product,
+    // which keeps `1 + Σ (trips - 1)` ≥ the node's execution bound.
+    let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+    order.sort_by_key(|&i| (usize::MAX - forest.loops[i].len(), i));
+    let mut trips = bounds.clone();
+    for (pos, &li) in order.iter().enumerate() {
+        for &lj in &order[..pos] {
+            let overlap = forest.loops[li]
+                .nodes
+                .iter()
+                .zip(&forest.loops[lj].nodes)
+                .any(|(&a, &b)| a && b);
+            if overlap {
+                trips[li] = trips[li].saturating_mul(bounds[lj]);
+            }
+        }
+    }
+
+    let weights: Vec<NodeW> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| node_weights(ctx, node, callee_sum[i].as_ref()))
+        .collect();
+
+    // Per-metric longest (upper) and shortest (lower) paths over the DAG.
+    // Children-first order makes each a single backwards sweep. Dead ends
+    // contribute 0 to the shortest path, which only under-approximates —
+    // sound for a lower bound.
+    let dag: Vec<Vec<NodeId>> = (0..n)
+        .map(|v| forest.dag_succs(graph, v).collect())
+        .collect();
+    let topo = dag_postorder(&dag);
+    let mut up = vec![NodeW::default(); n];
+    let mut lo = vec![NodeW::default(); n];
+    for &v in &topo {
+        let (mut cu, mut iu, mut mu) = (0u64, 0u64, 0u64);
+        let (mut cl, mut il, mut ml) = (u64::MAX, u64::MAX, u64::MAX);
+        for &s in &dag[v] {
+            cu = cu.max(up[s].cyc_up);
+            iu = iu.max(up[s].ins_up);
+            mu = mu.max(up[s].mem_up);
+            cl = cl.min(lo[s].cyc_lo);
+            il = il.min(lo[s].ins_lo);
+            ml = ml.min(lo[s].mem_lo);
+        }
+        if dag[v].is_empty() {
+            (cl, il, ml) = (0, 0, 0);
+        }
+        up[v].cyc_up = weights[v].cyc_up.saturating_add(cu);
+        up[v].ins_up = weights[v].ins_up.saturating_add(iu);
+        up[v].mem_up = weights[v].mem_up.saturating_add(mu);
+        lo[v].cyc_lo = weights[v].cyc_lo.saturating_add(cl);
+        lo[v].ins_lo = weights[v].ins_lo.saturating_add(il);
+        lo[v].mem_lo = weights[v].mem_lo.saturating_add(ml);
+    }
+
+    // Extra tours: each loop may repeat its whole body `trips - 1` more
+    // times than the single pass the DAG path already counts.
+    let (mut extra_cyc, mut extra_ins, mut extra_mem) = (0u64, 0u64, 0u64);
+    for (li, l) in forest.loops.iter().enumerate() {
+        let (mut tc, mut ti, mut tm) = (0u64, 0u64, 0u64);
+        for (i, w) in weights.iter().enumerate() {
+            if l.contains(i) {
+                tc = tc.saturating_add(w.cyc_up);
+                ti = ti.saturating_add(w.ins_up);
+                tm = tm.saturating_add(w.mem_up);
+            }
+        }
+        let rep = trips[li].saturating_sub(1);
+        extra_cyc = extra_cyc.saturating_add(rep.saturating_mul(tc));
+        extra_ins = extra_ins.saturating_add(rep.saturating_mul(ti));
+        extra_mem = extra_mem.saturating_add(rep.saturating_mul(tm));
+    }
+
+    // Region footprint attribution.
+    let nr = ctx.regions.len();
+    let mut region_acc = vec![0u64; nr];
+    let mut region_dist = vec![0u64; nr];
+    let mut unattributed = 0u64;
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let e = exec_upper[i];
+        if node.is_memory {
+            let iv = addr_operand(func, node)
+                .map(|a| intervals.operand_at(i, a))
+                .unwrap_or(Interval::TOP);
+            let mut hit = false;
+            for (ri, r) in ctx.regions.iter().enumerate() {
+                if iv.overlaps_range(r.base, r.end()) {
+                    region_acc[ri] = region_acc[ri].saturating_add(e);
+                    region_dist[ri] = region_dist[ri].saturating_add(e.min(iv.span_lines()));
+                    hit = true;
+                }
+            }
+            if !hit {
+                unattributed = unattributed.saturating_add(e);
+            }
+        }
+        if let Some(c) = &callee_sum[i] {
+            for ri in 0..nr {
+                region_acc[ri] = region_acc[ri].saturating_add(e.saturating_mul(c.region_acc[ri]));
+                region_dist[ri] =
+                    region_dist[ri].saturating_add(e.saturating_mul(c.region_dist[ri]));
+            }
+            unattributed = unattributed.saturating_add(e.saturating_mul(c.unattributed));
+        }
+        if let Some(nid) = node.native {
+            let internal = match ctx.natives.get(nid) {
+                Some(h) => h.bounds(ctx.params.max_entries()).max_mem_accesses,
+                None => UNBOUNDED,
+            };
+            unattributed = unattributed.saturating_add(e.saturating_mul(internal));
+        }
+    }
+
+    let summary = FuncSummary {
+        cycles: CostEnvelope {
+            lower: lo[graph.entry].cyc_lo,
+            upper: up[graph.entry].cyc_up.saturating_add(extra_cyc),
+        },
+        instructions: CostEnvelope {
+            lower: lo[graph.entry].ins_lo,
+            upper: up[graph.entry].ins_up.saturating_add(extra_ins),
+        },
+        mem_accesses: CostEnvelope {
+            lower: lo[graph.entry].mem_lo,
+            upper: up[graph.entry].mem_up.saturating_add(extra_mem),
+        },
+        region_acc,
+        region_dist,
+        unattributed,
+        remaining_cycles: (0..n)
+            .map(|v| up[v].cyc_up.saturating_add(extra_cyc))
+            .collect(),
+        loop_count: forest.loops.len(),
+        max_loop_bound: bounds.iter().copied().max().unwrap_or(0),
+    };
+    visiting[fidx] = false;
+    memo[fidx] = Some(summary.clone());
+    summary
+}
+
+/// Computes the static cost envelope of one NF under `params`.
+pub fn analyze_nf(nf: &NfSpec, params: &EnvelopeParams) -> NfEnvelope {
+    let icfg = Icfg::build(&nf.program);
+    let ctx = AnalysisCtx {
+        program: &nf.program,
+        icfg: &icfg,
+        natives: &nf.natives,
+        regions: &nf.data_regions,
+        params,
+    };
+    let nfuncs = nf.program.functions.len();
+    let mut memo: Vec<Option<FuncSummary>> = vec![None; nfuncs];
+    let mut visiting = vec![false; nfuncs];
+    for f in 0..nfuncs {
+        summarize(&ctx, f, &mut memo, &mut visiting);
+    }
+    let summaries: Vec<FuncSummary> = memo.into_iter().map(|s| s.expect("summarized")).collect();
+    let entry = &summaries[nf.program.entry as usize];
+
+    let mut region_footprints = Vec::with_capacity(nf.data_regions.len());
+    let mut distinct = 0u64;
+    for (ri, r) in nf.data_regions.iter().enumerate() {
+        let lines = r.len.div_ceil(castan_mem::LINE_SIZE).max(1);
+        let d = entry.region_dist[ri].min(lines).min(entry.region_acc[ri]);
+        region_footprints.push(RegionFootprint {
+            base: r.base,
+            len: r.len,
+            accesses_upper: entry.region_acc[ri],
+            distinct_lines_upper: d,
+        });
+        distinct = distinct.saturating_add(d);
+    }
+    distinct = distinct
+        .saturating_add(entry.unattributed)
+        .min(entry.mem_accesses.upper);
+
+    let l3_miss_upper = entry.mem_accesses.upper;
+    NfEnvelope {
+        nf_name: nf.name().to_string(),
+        cycles: entry.cycles,
+        instructions: entry.instructions,
+        mem_accesses: entry.mem_accesses,
+        l3_miss_upper,
+        cold_miss_upper: distinct.min(l3_miss_upper),
+        distinct_lines_upper: distinct,
+        region_footprints,
+        loop_count: summaries.iter().map(|s| s.loop_count).sum(),
+        max_loop_bound: summaries
+            .iter()
+            .map(|s| s.max_loop_bound)
+            .max()
+            .unwrap_or(0),
+        params: *params,
+        remaining: summaries.into_iter().map(|s| s.remaining_cycles).collect(),
+    }
+}
+
+/// Composes per-stage envelopes into a chain envelope. Fixed per-packet
+/// forwarding overhead (testbed `FORWARDING_OVERHEAD_CYCLES`) is *not*
+/// included; callers comparing against end-to-end measurements add it.
+pub fn chain_envelope(chain: &NfChain, params: &EnvelopeParams) -> ChainEnvelope {
+    let stages: Vec<NfEnvelope> = chain
+        .stages
+        .iter()
+        .map(|s| analyze_nf(&s.nf, params))
+        .collect();
+    let sum = |f: fn(&NfEnvelope) -> u64| stages.iter().map(f).fold(0u64, u64::saturating_add);
+    ChainEnvelope {
+        name: chain.name.clone(),
+        cycles: CostEnvelope {
+            lower: stages[0].cycles.lower,
+            upper: sum(|e| e.cycles.upper),
+        },
+        instructions: CostEnvelope {
+            lower: stages[0].instructions.lower,
+            upper: sum(|e| e.instructions.upper),
+        },
+        mem_accesses: CostEnvelope {
+            lower: stages[0].mem_accesses.lower,
+            upper: sum(|e| e.mem_accesses.upper),
+        },
+        l3_miss_upper: sum(|e| e.l3_miss_upper),
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::cost::CountingSink;
+    use castan_ir::Interpreter;
+    use castan_nf::all_nfs;
+    use castan_packet::{Ipv4Addr, Packet, PacketBuilder};
+
+    fn flow_packet(i: u64) -> Packet {
+        PacketBuilder::new()
+            .src_ip(Ipv4Addr::new(10, (i / 251) as u8 + 1, (i % 251) as u8, 7))
+            .dst_ip(Ipv4Addr::new(93, 184, (i % 13) as u8, 34))
+            .src_port(9_000 + (i % 4_000) as u16)
+            .dst_port(443)
+            .build()
+    }
+
+    #[test]
+    fn catalog_envelopes_are_finite_and_ordered() {
+        let params = EnvelopeParams::new(64);
+        for nf in all_nfs() {
+            let env = analyze_nf(&nf, &params);
+            assert!(
+                env.cycles.lower <= env.cycles.upper,
+                "{}: crossed cycle envelope",
+                env.nf_name
+            );
+            assert!(env.instructions.lower <= env.instructions.upper);
+            assert!(env.mem_accesses.lower <= env.mem_accesses.upper);
+            assert!(env.cycles.upper > 0);
+            // The catalog has no recursion and every helper is registered:
+            // nothing should degrade to the UNBOUNDED ceiling.
+            assert!(
+                env.cycles.upper < UNBOUNDED,
+                "{}: unbounded cycles",
+                env.nf_name
+            );
+            assert!(env.l3_miss_upper == env.mem_accesses.upper);
+            assert!(env.cold_miss_upper <= env.l3_miss_upper);
+            assert!(env.distinct_lines_upper <= env.mem_accesses.upper);
+            // The remaining bound at the entry node *is* the program bound.
+            let entry_rem = env.remaining_upper(
+                nf.program.entry,
+                Icfg::build(&nf.program).func(nf.program.entry).entry,
+            );
+            assert!(entry_rem >= env.cycles.upper);
+        }
+    }
+
+    #[test]
+    fn concrete_execution_stays_inside_the_envelope() {
+        // Every NF, 24 packets of fresh flows: the concrete interpreter's
+        // event counts must sit inside the static envelope under both the
+        // cheapest (all-L1) and costliest (all-DRAM) access pricing.
+        let packets = 24u64;
+        let params = EnvelopeParams::new(packets);
+        for nf in all_nfs() {
+            let env = analyze_nf(&nf, &params);
+            let interp = Interpreter::new(&nf.program, &nf.natives);
+            let mut mem = nf.initial_memory.clone();
+            for i in 0..packets {
+                let pkt = flow_packet(i);
+                let mut sink = CountingSink::default();
+                interp
+                    .run_packet(&mut mem, &pkt, &mut sink)
+                    .unwrap_or_else(|e| panic!("{}: exec failed: {e:?}", env.nf_name));
+                let acc = sink.loads + sink.stores;
+                assert!(
+                    env.instructions.contains(sink.instructions),
+                    "{} pkt {}: {} instructions outside [{}, {}]",
+                    env.nf_name,
+                    i,
+                    sink.instructions,
+                    env.instructions.lower,
+                    env.instructions.upper
+                );
+                assert!(
+                    acc >= env.mem_accesses.lower && acc <= env.mem_accesses.upper,
+                    "{} pkt {}: {} accesses outside [{}, {}]",
+                    env.nf_name,
+                    i,
+                    acc,
+                    env.mem_accesses.lower,
+                    env.mem_accesses.upper
+                );
+                let cheapest = sink.base_cycles + params.best_access_cycles * acc;
+                let costliest = sink.base_cycles + params.worst_access_cycles * acc;
+                assert!(
+                    cheapest >= env.cycles.lower,
+                    "{} pkt {}: cheapest pricing {} below lower {}",
+                    env.nf_name,
+                    i,
+                    cheapest,
+                    env.cycles.lower
+                );
+                assert!(
+                    costliest <= env.cycles.upper,
+                    "{} pkt {}: costliest pricing {} above upper {}",
+                    env.nf_name,
+                    i,
+                    costliest,
+                    env.cycles.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_packet_reports_violations() {
+        let nf = all_nfs().remove(0); // NOP
+        let env = analyze_nf(&nf, &EnvelopeParams::new(4));
+        assert!(env
+            .check_packet(env.cycles.lower, env.instructions.lower, 0, 0)
+            .is_ok());
+        let err = env
+            .check_packet(env.cycles.upper + 1, env.instructions.lower, 0, 0)
+            .unwrap_err();
+        assert!(err.contains("cycles"), "{err}");
+        let err = env
+            .check_packet(
+                env.cycles.lower,
+                env.instructions.lower,
+                0,
+                env.l3_miss_upper + 1,
+            )
+            .unwrap_err();
+        assert!(err.contains("l3 misses"), "{err}");
+    }
+
+    #[test]
+    fn chain_envelopes_compose_by_summation() {
+        let params = EnvelopeParams::new(16);
+        for chain in castan_chain::all_chains() {
+            let env = chain_envelope(&chain, &params);
+            assert_eq!(env.stages.len(), chain.stages.len());
+            let total: u64 = env.stages.iter().map(|s| s.cycles.upper).sum();
+            assert_eq!(env.cycles.upper, total);
+            assert_eq!(env.cycles.lower, env.stages[0].cycles.lower);
+            assert!(env.cycles.lower <= env.cycles.upper);
+        }
+    }
+
+    #[test]
+    fn more_flows_never_tighten_the_envelope() {
+        for nf in all_nfs() {
+            let small = analyze_nf(&nf, &EnvelopeParams::new(8));
+            let large = analyze_nf(&nf, &EnvelopeParams::new(64));
+            assert!(
+                large.cycles.upper >= small.cycles.upper,
+                "{}: envelope shrank with more flows",
+                small.nf_name
+            );
+            assert!(large.mem_accesses.upper >= small.mem_accesses.upper);
+        }
+    }
+}

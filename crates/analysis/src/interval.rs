@@ -1,0 +1,418 @@
+//! Unsigned interval domain and the per-function abstract interpreter.
+//!
+//! The analysis runs one widening-accelerated fixpoint per function over the
+//! instruction-granular CFG of `castan_ir::cfg`, tracking one `[lo, hi]`
+//! interval per virtual register. The result is the *incoming* register
+//! environment at every node, which the loop-bound inference uses to decide
+//! which data-structure region a memory instruction can address.
+//!
+//! Soundness over precision: every transfer function returns an interval
+//! that contains all concretely reachable values (conservatively `TOP` where
+//! the operation is hard to bound), and branch conditions perform no
+//! refinement — both branch targets receive the unrefined environment.
+
+use castan_ir::cfg::FuncGraph;
+use castan_ir::{Function, HashFunc, Inst, Operand};
+use castan_packet::PacketField;
+
+/// An unsigned 64-bit interval `[lo, hi]` (inclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+/// Number of joins at one node before widening kicks in.
+const WIDEN_AFTER: u32 = 8;
+
+impl Interval {
+    /// The full range (no information).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// A single value.
+    pub fn constant(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`, normalising a crossed pair to `TOP`.
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        if lo > hi {
+            Interval::TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// True if the interval is the full range.
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Classic interval widening: any growing bound jumps to its extreme.
+    pub fn widen(self, newer: Interval) -> Interval {
+        Interval {
+            lo: if newer.lo < self.lo { 0 } else { self.lo },
+            hi: if newer.hi > self.hi {
+                u64::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// True if `[base, end)` and the interval overlap.
+    pub fn overlaps_range(self, base: u64, end: u64) -> bool {
+        end > base && self.lo < end && self.hi >= base
+    }
+
+    /// Number of distinct 64-byte cache lines the interval can cover.
+    pub fn span_lines(self) -> u64 {
+        (self.hi / 64)
+            .saturating_sub(self.lo / 64)
+            .saturating_add(1)
+    }
+
+    fn bits(v: u64) -> u32 {
+        64 - v.leading_zeros()
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        match (self.lo.checked_add(o.lo), self.hi.checked_add(o.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        // [a, b] - [c, d] = [a - d, b - c] unless it can wrap below zero.
+        match (self.lo.checked_sub(o.hi), self.hi.checked_sub(o.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        match (self.lo.checked_mul(o.lo), self.hi.checked_mul(o.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    fn and(self, o: Interval) -> Interval {
+        Interval {
+            lo: 0,
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    fn or(self, o: Interval) -> Interval {
+        let bits = Self::bits(self.hi).max(Self::bits(o.hi));
+        let hi = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi,
+        }
+    }
+
+    fn xor(self, o: Interval) -> Interval {
+        let bits = Self::bits(self.hi).max(Self::bits(o.hi));
+        let hi = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        Interval { lo: 0, hi }
+    }
+
+    fn shl(self, o: Interval) -> Interval {
+        if o.lo != o.hi || o.lo >= 64 {
+            return Interval::TOP;
+        }
+        let s = o.lo as u32;
+        match (self.lo.checked_shl(s), self.hi.checked_shl(s)) {
+            (Some(lo), Some(hi)) if (hi >> s) == self.hi => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    fn shr(self, o: Interval) -> Interval {
+        if o.hi >= 64 {
+            // The IR masks the amount mod 64, which is not monotone.
+            return Interval::TOP;
+        }
+        Interval {
+            lo: self.lo >> o.hi,
+            hi: self.hi >> o.lo,
+        }
+    }
+
+    fn udiv(self, o: Interval) -> Interval {
+        match self.hi.checked_div(o.lo) {
+            Some(hi) => Interval {
+                lo: self.lo / o.hi.max(1),
+                hi,
+            },
+            // Division by zero yields 0 in the IR.
+            None => Interval { lo: 0, hi: self.hi },
+        }
+    }
+
+    fn urem(self, o: Interval) -> Interval {
+        if o.lo > 0 {
+            Interval {
+                lo: 0,
+                hi: self.hi.min(o.hi - 1),
+            }
+        } else {
+            // Remainder by zero yields the dividend.
+            Interval { lo: 0, hi: self.hi }
+        }
+    }
+
+    /// Applies a binary operation.
+    pub fn binop(op: castan_ir::BinOp, a: Interval, b: Interval) -> Interval {
+        use castan_ir::BinOp::*;
+        match op {
+            Add => a.add(b),
+            Sub => a.sub(b),
+            Mul => a.mul(b),
+            And => a.and(b),
+            Or => a.or(b),
+            Xor => a.xor(b),
+            Shl => a.shl(b),
+            Shr => a.shr(b),
+            UDiv => a.udiv(b),
+            URem => a.urem(b),
+        }
+    }
+}
+
+/// Upper bound of a packet header field's value.
+fn field_hi(field: PacketField) -> u64 {
+    let bits: u32 = match field {
+        PacketField::EthDst | PacketField::EthSrc => 48,
+        PacketField::SrcIp | PacketField::DstIp => 32,
+        PacketField::EtherType
+        | PacketField::IpTotalLen
+        | PacketField::SrcPort
+        | PacketField::DstPort
+        | PacketField::FrameLen => 16,
+        PacketField::IpTtl | PacketField::IpProto | PacketField::TcpFlags => 8,
+    };
+    (1u64 << bits) - 1
+}
+
+/// Register environment: one interval per virtual register.
+pub type RegEnv = Vec<Interval>;
+
+/// The incoming register environment at every node of one function
+/// (`None` for nodes the abstract interpreter found unreachable).
+pub struct IntervalResult {
+    envs: Vec<Option<RegEnv>>,
+}
+
+impl IntervalResult {
+    /// Interval of an operand in the environment entering `node`.
+    /// Unreachable nodes answer `TOP` (sound: they never execute).
+    pub fn operand_at(&self, node: usize, op: &Operand) -> Interval {
+        match op {
+            Operand::Imm(v) => Interval::constant(*v),
+            Operand::Reg(r) => self.envs[node]
+                .as_ref()
+                .map(|env| env[*r as usize])
+                .unwrap_or(Interval::TOP),
+        }
+    }
+}
+
+fn eval_op(env: &RegEnv, op: &Operand) -> Interval {
+    match op {
+        Operand::Imm(v) => Interval::constant(*v),
+        Operand::Reg(r) => env[*r as usize],
+    }
+}
+
+/// Abstract transfer of one node over a copy of its incoming environment.
+fn transfer(func: &Function, graph: &FuncGraph, node: usize, env: &mut RegEnv) {
+    let n = &graph.nodes[node];
+    let block = &func.blocks[n.block as usize];
+    if n.index >= block.insts.len() {
+        return; // Terminators write no register.
+    }
+    match &block.insts[n.index] {
+        Inst::Mov { dst, src } => env[*dst as usize] = eval_op(env, src),
+        Inst::Bin { dst, op, a, b } => {
+            env[*dst as usize] = Interval::binop(*op, eval_op(env, a), eval_op(env, b));
+        }
+        Inst::Cmp { dst, .. } => env[*dst as usize] = Interval::new(0, 1),
+        Inst::Select {
+            dst,
+            then_v,
+            else_v,
+            ..
+        } => {
+            env[*dst as usize] = eval_op(env, then_v).join(eval_op(env, else_v));
+        }
+        Inst::Load { dst, width, .. } => {
+            env[*dst as usize] = Interval::new(0, width.mask());
+        }
+        Inst::Store { .. } => {}
+        Inst::PacketField { dst, field } => {
+            env[*dst as usize] = Interval::new(0, field_hi(*field));
+        }
+        Inst::Hash { dst, func: h, .. } => {
+            env[*dst as usize] = Interval::new(0, hash_hi(*h));
+        }
+        Inst::Call { dst, .. } | Inst::Native { dst, .. } => {
+            if let Some(d) = dst {
+                env[*d as usize] = Interval::TOP;
+            }
+        }
+    }
+}
+
+fn hash_hi(h: HashFunc) -> u64 {
+    h.output_mask()
+}
+
+/// Runs the interval fixpoint over one function.
+pub fn analyze_function(func: &Function, graph: &FuncGraph) -> IntervalResult {
+    let n = graph.nodes.len();
+    let mut envs: Vec<Option<RegEnv>> = vec![None; n];
+    let mut joins: Vec<u32> = vec![0; n];
+    // All registers start TOP: callers may pass anything as arguments, and
+    // treating the zero-initialised scratch registers as TOP too is sound.
+    envs[graph.entry] = Some(vec![Interval::TOP; func.num_regs as usize]);
+
+    let mut worklist: Vec<usize> = vec![graph.entry];
+    let mut on_list = vec![false; n];
+    on_list[graph.entry] = true;
+    while let Some(node) = worklist.pop() {
+        on_list[node] = false;
+        let mut out = envs[node].clone().expect("worklist nodes are reachable");
+        transfer(func, graph, node, &mut out);
+        for &succ in &graph.nodes[node].succs {
+            let changed = match &mut envs[succ] {
+                None => {
+                    envs[succ] = Some(out.clone());
+                    true
+                }
+                Some(cur) => {
+                    joins[succ] += 1;
+                    let widen = joins[succ] > WIDEN_AFTER;
+                    let mut any = false;
+                    for (c, o) in cur.iter_mut().zip(&out) {
+                        let joined = c.join(*o);
+                        let next = if widen { c.widen(joined) } else { joined };
+                        if next != *c {
+                            *c = next;
+                            any = true;
+                        }
+                    }
+                    any
+                }
+            };
+            if changed && !on_list[succ] {
+                on_list[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    IntervalResult { envs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use castan_ir::{FunctionBuilder, Icfg, ProgramBuilder, Width};
+
+    #[test]
+    fn interval_arithmetic_is_sound_on_samples() {
+        let cases = [
+            (Interval::new(2, 5), Interval::new(1, 3)),
+            (Interval::new(0, u64::MAX), Interval::new(7, 7)),
+            (Interval::new(100, 200), Interval::new(0, 0)),
+            (Interval::new(1, 1 << 40), Interval::new(3, 64)),
+        ];
+        use castan_ir::BinOp::*;
+        for (a, b) in cases {
+            for op in [Add, Sub, Mul, And, Or, Xor, Shl, Shr, UDiv, URem] {
+                let iv = Interval::binop(op, a, b);
+                // Sample concrete values from the corners and a midpoint.
+                for &x in &[a.lo, a.hi, a.lo / 2 + a.hi / 2] {
+                    for &y in &[b.lo, b.hi] {
+                        let v = op.eval(x, y);
+                        assert!(
+                            iv.lo <= v && v <= iv.hi,
+                            "{op:?} [{},{}] x [{},{}]: {v} outside [{},{}]",
+                            a.lo,
+                            a.hi,
+                            b.lo,
+                            b.hi,
+                            iv.lo,
+                            iv.hi
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widening_terminates_a_counting_loop() {
+        // i = 0; loop { i += 8; if i < 4096 continue } — the interval of the
+        // address register must stabilise and cover 0x1000 + all multiples.
+        let mut f = FunctionBuilder::new("main", 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        let i0 = f.mov(0u64);
+        f.jump(head);
+        f.switch_to(head);
+        let c = f.ne(i0, 4096u64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i1 = f.add(i0, 8u64);
+        let addr = f.add(i1, 0x1000u64);
+        f.load(addr, Width::W8);
+        // i0 is not actually updated (no phis); this test only checks
+        // termination and that join/widen produce a superset.
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret_void();
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let p = pb.finish(main);
+        let icfg = Icfg::build(&p);
+        let res = analyze_function(&p.functions[main as usize], icfg.func(main));
+        // The load node exists and has a reachable environment.
+        let g = icfg.func(main);
+        let load = g.nodes.iter().position(|n| n.is_memory).expect("load node");
+        let iv = res.operand_at(load, &Operand::Reg(0));
+        assert!(iv.lo <= 4096);
+    }
+
+    #[test]
+    fn span_lines_counts_cache_lines() {
+        assert_eq!(Interval::new(0, 63).span_lines(), 1);
+        assert_eq!(Interval::new(0, 64).span_lines(), 2);
+        assert_eq!(Interval::constant(1234).span_lines(), 1);
+    }
+}

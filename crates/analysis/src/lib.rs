@@ -1,0 +1,38 @@
+//! castan-analysis: static worst-case cost envelopes over the NF IR.
+//!
+//! CASTAN's search (§3.4) ranks symbolic states by a *heuristic* potential —
+//! the CostMap deliberately caps loops at two tours, trading soundness for
+//! speed. This crate provides the missing sound counterpart: an abstract
+//! interpretation over the instruction-level CFG that yields guaranteed
+//! `[lower, upper]` per-packet bounds on cycles, instructions, memory
+//! accesses and L3 misses for every NF in the catalog, composable across
+//! chain stages.
+//!
+//! The envelope serves two roles in the workspace:
+//!
+//! * **Soundness oracle** — every path the symbolic engine synthesizes must
+//!   predict a cost inside the envelope; a violation means the cost model
+//!   and the static analysis disagree about the same IR, which is a bug in
+//!   one of them and fails loudly (see `castan-core`'s analysis gate).
+//! * **Admissible pruning bound** — [`NfEnvelope::remaining_upper`] bounds
+//!   the cycles any continuation of a symbolic state can still accrue, so
+//!   branch-and-bound can discard states that provably cannot beat the
+//!   incumbent worst path without affecting the reported result.
+//!
+//! Pipeline: per-register interval fixpoint ([`interval`]) → natural-loop
+//! discovery with dominators ([`loops`]) → region-derived loop bounds and
+//! per-metric DAG longest/shortest paths ([`envelope`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod interval;
+pub mod loops;
+
+pub use envelope::{
+    analyze_nf, chain_envelope, ChainEnvelope, CostEnvelope, EnvelopeParams, NfEnvelope,
+    RegionFootprint, UNBOUNDED,
+};
+pub use interval::{Interval, IntervalResult};
+pub use loops::{find_loops, Loop, LoopForest};

@@ -1,0 +1,147 @@
+//! Interpreter ↔ static-cost agreement.
+//!
+//! The abstract interpreter's node weights and the concrete interpreter's
+//! sink charges must be two views of the same cost table: summing the
+//! static per-block base costs over a concrete execution's block trace has
+//! to reproduce the cycles the interpreter charged, exactly. Any drift here
+//! means the envelope is bounding a different machine than the one being
+//! measured.
+
+use castan_ir::cost::CountingSink;
+use castan_ir::{CostClass, ExecSink, Icfg, Interpreter};
+use castan_packet::{Ipv4Addr, Packet, PacketBuilder};
+
+/// Counts only top-level retires: native helpers' internal events (between
+/// `native_enter`/`native_exit`) are excluded, matching the IR-level cost
+/// model where a helper invocation is one `Native`-class instruction.
+#[derive(Default)]
+struct TopLevelSink {
+    depth: u32,
+    instructions: u64,
+    base_cycles: u64,
+}
+
+impl ExecSink for TopLevelSink {
+    fn retire(&mut self, class: CostClass) {
+        if self.depth == 0 {
+            self.instructions += 1;
+            self.base_cycles += class.base_cycles();
+        }
+    }
+    fn mem_access(&mut self, _addr: u64, _width: u64, _is_write: bool) {}
+    fn native_enter(&mut self) {
+        self.depth += 1;
+    }
+    fn native_exit(&mut self) {
+        self.depth -= 1;
+    }
+}
+
+/// A small deterministic packet mix: distinct flows, repeated flows, and
+/// corner-ish field values, enough to drive inserts, hits, and misses.
+fn packet_mix() -> Vec<Packet> {
+    let mut out = Vec::new();
+    for i in 0..24u32 {
+        out.push(
+            PacketBuilder::new()
+                .src_ip(Ipv4Addr(0x0a00_0001 + i * 0x0101))
+                .dst_ip(Ipv4Addr(if i % 3 == 0 {
+                    0x0a00_0000 + (i << 20)
+                } else {
+                    0xc0a8_0000 + i * 7
+                }))
+                .src_port(1000 + (i as u16 % 5) * 13)
+                .dst_port(if i % 2 == 0 { 80 } else { 443 })
+                .build(),
+        );
+    }
+    out
+}
+
+/// Per-function, per-block static base cost and instruction count, derived
+/// from the ICFG node classes (the same table the envelope integrates).
+fn block_tables(icfg: &Icfg, num_funcs: usize) -> Vec<Vec<(u64, u64)>> {
+    (0..num_funcs)
+        .map(|f| {
+            let graph = icfg.func(f as u32);
+            let max_block = graph
+                .nodes
+                .iter()
+                .map(|n| n.block as usize)
+                .max()
+                .unwrap_or(0);
+            let mut table = vec![(0u64, 0u64); max_block + 1];
+            for node in &graph.nodes {
+                let entry = &mut table[node.block as usize];
+                entry.0 += node.class.base_cycles();
+                entry.1 += 1;
+            }
+            table
+        })
+        .collect()
+}
+
+#[test]
+fn traced_blocks_reproduce_the_charged_base_cycles() {
+    for nf in castan_nf::all_nfs() {
+        let icfg = Icfg::build(&nf.program);
+        let tables = block_tables(&icfg, nf.program.functions.len());
+        let interp = Interpreter::new(&nf.program, &nf.natives);
+        let mut mem = nf.initial_memory.clone();
+        for (p, pkt) in packet_mix().into_iter().enumerate() {
+            let mut sink = TopLevelSink::default();
+            let (_, trace) = interp
+                .run_packet_traced(&mut mem, &pkt, &mut sink)
+                .unwrap_or_else(|e| panic!("{}: packet {p} failed: {e:?}", nf.name()));
+            let mut static_cycles = 0u64;
+            let mut static_insts = 0u64;
+            for (func, block) in &trace {
+                let (cyc, ins) = tables[*func as usize][*block as usize];
+                static_cycles += cyc;
+                static_insts += ins;
+            }
+            assert_eq!(
+                sink.base_cycles,
+                static_cycles,
+                "{} packet {p}: interpreter charged {} base cycles but the \
+                 traced blocks sum to {static_cycles}",
+                nf.name(),
+                sink.base_cycles
+            );
+            assert_eq!(
+                sink.instructions,
+                static_insts,
+                "{} packet {p}: retired-instruction count disagrees with the trace",
+                nf.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_sink_includes_native_internals_on_top() {
+    // The plain CountingSink keeps helper-internal retires mixed in, so its
+    // totals can only be >= the top-level sink's. Pins the sink contract the
+    // envelope's native-bounds handling relies on.
+    for nf in castan_nf::all_nfs() {
+        let interp = Interpreter::new(&nf.program, &nf.natives);
+        let mut mem_a = nf.initial_memory.clone();
+        let mut mem_b = nf.initial_memory.clone();
+        let pkt = PacketBuilder::new()
+            .src_ip(Ipv4Addr(0x0a01_0203))
+            .dst_ip(Ipv4Addr(0x0a0b_0c0d))
+            .src_port(1234)
+            .dst_port(80)
+            .build();
+        let mut top = TopLevelSink::default();
+        let mut all = CountingSink::default();
+        interp.run_packet(&mut mem_a, &pkt, &mut top).unwrap();
+        interp.run_packet(&mut mem_b, &pkt, &mut all).unwrap();
+        assert!(
+            all.base_cycles >= top.base_cycles,
+            "{}: mixed accounting must dominate top-level accounting",
+            nf.name()
+        );
+        assert!(all.instructions >= top.instructions, "{}", nf.name());
+    }
+}

@@ -135,12 +135,16 @@ impl CacheModel for ContentionCacheModel {
 
         // 1. The contention set with the most resident lines that still has
         //    candidates inside the NF's data regions: keep piling onto it.
+        //    Ties are broken towards the lowest set index: iterating the map
+        //    directly would let the per-process hasher seed pick the winner.
         let mut best_set: Option<(usize, usize)> = None; // (set, resident count)
-        for (set, q) in &self.resident_per_set {
-            if self.catalog.members(*set).iter().any(|&m| in_regions(m)) {
-                let count = q.len();
+        let mut resident_sets: Vec<usize> = self.resident_per_set.keys().copied().collect();
+        resident_sets.sort_unstable();
+        for set in resident_sets {
+            if self.catalog.members(set).iter().any(|&m| in_regions(m)) {
+                let count = self.resident_per_set[&set].len();
                 if best_set.map(|(_, c)| count > c).unwrap_or(true) {
-                    best_set = Some((*set, count));
+                    best_set = Some((set, count));
                 }
             }
         }

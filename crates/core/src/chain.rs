@@ -210,7 +210,23 @@ pub fn analyze_chain(
         }
         per_stage.push(report);
     }
-    let predicted_total_cpp = per_stage.iter().map(|r| r.predicted_worst_cpp).sum();
+    let predicted_total_cpp: u64 = per_stage.iter().map(|r| r.predicted_worst_cpp).sum();
+
+    // Soundness gate: the chain-level prediction composes per-stage worst
+    // cases by summation, and the static chain envelope composes per-stage
+    // upper bounds the same way — the former must never escape the latter.
+    let chain_env = castan_analysis::chain_envelope(
+        chain,
+        &castan_analysis::EnvelopeParams::new(u64::from(castan.config().packets)),
+    );
+    assert!(
+        predicted_total_cpp <= chain_env.cycles.upper,
+        "static envelope soundness violation: chain {}: predicted total {} cycles/packet \
+         exceeds the composed envelope upper bound {}",
+        chain.name(),
+        predicted_total_cpp,
+        chain_env.cycles.upper,
+    );
 
     // Step 3: greedy merge, most expensive stage first.
     translated.sort_by_key(|t| (std::cmp::Reverse(t.worst_cpp), t.stage_idx));
@@ -335,6 +351,34 @@ mod tests {
         );
         // And the NAT contributes real predicted cost.
         assert!(report.predicted_total_cpp > report.per_stage[1].predicted_worst_cpp);
+    }
+
+    #[test]
+    fn pruning_reduces_explored_states_on_the_nat_lpm_chain() {
+        // Branch-and-bound against the static envelope: once an incumbent
+        // worst packet exists, frontier states whose sound upper bound
+        // cannot beat it are discarded before they are popped. With a
+        // budget generous enough that many states reach their final
+        // packet, that must show up as fewer explored states on the
+        // nat-lpm chain — while the synthesized worst case is untouched
+        // (pruned states could never have been the argmax).
+        let chain = chain_by_id(ChainId::NatLpm);
+        let cats = catalogs(&chain);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 3;
+        cfg.step_budget = 30_000;
+        cfg.prune = false;
+        let full = analyze_chain(&Castan::new(cfg.clone()), &chain, &cats);
+        cfg.prune = true;
+        let pruned = analyze_chain(&Castan::new(cfg), &chain, &cats);
+        assert!(
+            pruned.total_states_explored() < full.total_states_explored(),
+            "pruning must discard states on nat-lpm: {} vs {}",
+            pruned.total_states_explored(),
+            full.total_states_explored()
+        );
+        assert!(pruned.predicted_total_cpp >= full.predicted_total_cpp);
+        assert!(pruned.predicted_total_cpp > 0);
     }
 
     #[test]

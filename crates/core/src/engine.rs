@@ -36,6 +36,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use castan_analysis::{analyze_nf, EnvelopeParams, NfEnvelope};
 use castan_ir::native::MemAccess;
 use castan_ir::{CostClass, ExecSink, HashFunc, Icfg, Inst, Operand, Program, Terminator};
 use castan_mem::ContentionCatalog;
@@ -56,6 +57,19 @@ use crate::synth::{synthesize, SynthConfig};
 /// States popped per scheduling round. Fixed (never derived from the thread
 /// count) so the exploration order is thread-count independent.
 const ROUND_SLOTS: usize = 8;
+
+/// Which potential-cost annotation ranks frontier states (§3.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PotentialKind {
+    /// The paper's heuristic cost map (loop bound M, unsound but sharp).
+    #[default]
+    CostMap,
+    /// The sound static envelope's per-node remaining upper bound
+    /// (`castan-analysis`). Admissible: never underestimates what a state
+    /// can still earn, so cost-guided search with it cannot starve the true
+    /// worst-case path.
+    StaticUpper,
+}
 
 /// Analysis configuration.
 #[derive(Clone, Debug)]
@@ -81,6 +95,13 @@ pub struct AnalysisConfig {
     /// Frontier discipline (§3.4; the default is the paper's priority
     /// search).
     pub strategy: SearchStrategyKind,
+    /// Potential-cost annotation used by the ranking score.
+    pub potential: PotentialKind,
+    /// Branch-and-bound pruning: once a state has completed all N packets,
+    /// discard frontier states whose static envelope upper bound cannot beat
+    /// the best completed state. Sound (the bound is admissible) and
+    /// deterministic; only `states_explored` shrinks.
+    pub prune: bool,
     /// Worker threads per scheduling round. Any value yields byte-identical
     /// results; >1 only changes wall-clock time.
     pub threads: usize,
@@ -101,6 +122,8 @@ impl Default for AnalysisConfig {
             state_cap: 2_048,
             quantum: 250,
             strategy: SearchStrategyKind::Priority,
+            potential: PotentialKind::CostMap,
+            prune: true,
             threads: 1,
             solver: SolverConfig::default(),
             synth: SynthConfig::default(),
@@ -162,6 +185,11 @@ impl Castan {
         let program = &nf.program;
         let icfg = Icfg::build(program);
         let costmap = CostMap::build(program, &icfg, Some(&nf.natives), self.config.loop_bound);
+        // Sound per-NF cost envelope: the soundness oracle for every
+        // completed path and the admissible bound for pruning/ranking. The
+        // flow budget is the packet count — N packets can install at most N
+        // flows starting from the NF's initial state.
+        let envelope = analyze_nf(nf, &EnvelopeParams::new(u64::from(self.config.packets)));
         let catalog = Arc::new(catalog.clone());
 
         let engine = Engine {
@@ -169,6 +197,7 @@ impl Castan {
             program,
             icfg: &icfg,
             costmap: &costmap,
+            envelope: &envelope,
             config: &self.config,
         };
 
@@ -189,14 +218,27 @@ impl Castan {
         let mut states_explored: u64 = 0;
         let mut forks: u64 = 0;
         let mut next_id: u64 = 0;
+        // Best completed worst-packet cost seen so far: the branch-and-bound
+        // incumbent. Frontier states whose envelope upper bound cannot beat
+        // it are pruned (strictly `<`, so the argmax is preserved).
+        let mut incumbent: u64 = 0;
         let threads = self.config.threads.max(1);
+        let prune = |state: &ExecState, incumbent: u64| {
+            self.config.prune && incumbent > 0 && engine.static_ub(state) < incumbent
+        };
 
         while steps < self.config.step_budget && !strategy.is_empty() {
-            // Pop a fixed-size batch: the round's slots.
+            // Pop a fixed-size batch: the round's slots. Pruned states are
+            // dropped here without counting as explored — that is the
+            // measurable effect of the branch-and-bound bound.
             let mut batch: Vec<ExecState> = Vec::with_capacity(ROUND_SLOTS);
             while batch.len() < ROUND_SLOTS {
                 match strategy.pop() {
-                    Some((s, _)) => batch.push(s),
+                    Some((s, _)) => {
+                        if !prune(&s, incumbent) {
+                            batch.push(s);
+                        }
+                    }
                     None => break,
                 }
             }
@@ -210,6 +252,25 @@ impl Castan {
                 steps += r.steps;
                 forks += r.forks;
                 if let Some(c) = r.completed {
+                    // Soundness gate: every completed path's predicted
+                    // per-packet cost must lie inside the static envelope. A
+                    // violation means either the engine's cost accounting or
+                    // the abstract interpretation is wrong — fail loudly
+                    // rather than report a bound that cannot be trusted.
+                    for (i, m) in c.completed.iter().enumerate() {
+                        if let Err(violation) = envelope.check_packet(
+                            m.est_cycles,
+                            m.instructions,
+                            m.loads + m.stores,
+                            m.est_l3_misses,
+                        ) {
+                            panic!(
+                                "static envelope soundness violation: nf {}, packet {i}: {violation}",
+                                nf.name()
+                            );
+                        }
+                    }
+                    incumbent = incumbent.max(c.max_completed_cpp());
                     finished.push(c);
                 }
                 for mut child in r.children {
@@ -218,6 +279,9 @@ impl Castan {
                     if finished.is_empty() {
                         maybe_update_partial(&mut best_partial, &child);
                     }
+                    if prune(&child, incumbent) {
+                        continue;
+                    }
                     let s = engine.score(&child);
                     strategy.push(child, s);
                 }
@@ -225,8 +289,10 @@ impl Castan {
                     if finished.is_empty() {
                         maybe_update_partial(&mut best_partial, &surv);
                     }
-                    let s = engine.score(&surv);
-                    strategy.push(surv, s);
+                    if !prune(&surv, incumbent) {
+                        let s = engine.score(&surv);
+                        strategy.push(surv, s);
+                    }
                 }
             }
             strategy.truncate(self.config.state_cap);
@@ -438,11 +504,14 @@ struct Engine<'a> {
     program: &'a Program,
     icfg: &'a Icfg,
     costmap: &'a CostMap,
+    envelope: &'a NfEnvelope,
     config: &'a AnalysisConfig,
 }
 
 impl Engine<'_> {
-    /// The A*-style score: current cost plus potential cost (§3.1).
+    /// The A*-style score: current cost plus potential cost (§3.1). The
+    /// potential is either the paper's heuristic cost map or the sound
+    /// static envelope's remaining upper bound, per configuration.
     fn score(&self, state: &ExecState) -> SearchScore {
         let mut potential = 0u64;
         for frame in &state.frames {
@@ -452,12 +521,39 @@ impl Engine<'_> {
                 .insts
                 .len();
             let node = graph.node_at(frame.block, frame.inst_idx.min(block_len));
-            potential += self.costmap.potential(frame.func, node);
+            potential = potential.saturating_add(match self.config.potential {
+                PotentialKind::CostMap => self.costmap.potential(frame.func, node),
+                PotentialKind::StaticUpper => self.envelope.remaining_upper(frame.func, node),
+            });
         }
         SearchScore::new(
             state.max_completed_cpp() + state.current.est_cycles,
             potential,
         )
+    }
+
+    /// Sound upper bound on the worst per-packet cost this state can still
+    /// reach: the best packet already completed, the in-flight packet's
+    /// sunk cost plus the envelope's remaining upper bound from every live
+    /// frame, and — if whole packets are still ahead — the full program
+    /// envelope. Admissible, so pruning on it never discards the true
+    /// worst-case path.
+    fn static_ub(&self, state: &ExecState) -> u64 {
+        let mut in_flight = state.current.est_cycles;
+        for frame in &state.frames {
+            let graph = self.icfg.func(frame.func);
+            let block_len = self.program.functions[frame.func as usize].blocks
+                [frame.block as usize]
+                .insts
+                .len();
+            let node = graph.node_at(frame.block, frame.inst_idx.min(block_len));
+            in_flight = in_flight.saturating_add(self.envelope.remaining_upper(frame.func, node));
+        }
+        let mut ub = state.max_completed_cpp().max(in_flight);
+        if state.packet_idx + 1 < state.packets_target {
+            ub = ub.max(self.envelope.cycles.upper);
+        }
+        ub
     }
 
     fn fork_state(&self, ctx: &mut SlotCtx, state: &ExecState) -> ExecState {
@@ -1127,6 +1223,92 @@ mod tests {
             assert_eq!(r.steps, base.steps);
             assert_eq!(r.forks, base.forks);
             assert_eq!(r.predicted_worst_cpp, base.predicted_worst_cpp);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_explored_states() {
+        let nf = castan_nf::nf_by_id(NfId::NatHashTable);
+        let catalog = catalog_for(&nf);
+        let run = |prune: bool| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 30_000;
+            cfg.prune = prune;
+            Castan::new(cfg).analyze(&nf, &catalog)
+        };
+        let pruned = run(true);
+        let full = run(false);
+        assert!(
+            pruned.states_explored < full.states_explored,
+            "branch-and-bound must discard dominated states: {} pruned vs {} full",
+            pruned.states_explored,
+            full.states_explored
+        );
+        assert!(pruned.predicted_worst_cpp > 0);
+        // The bound is admissible: discarding dominated states must not
+        // weaken the prediction a fixed budget reaches.
+        assert!(
+            pruned.predicted_worst_cpp >= full.predicted_worst_cpp,
+            "pruning weakened the prediction: {} < {}",
+            pruned.predicted_worst_cpp,
+            full.predicted_worst_cpp
+        );
+    }
+
+    #[test]
+    fn static_upper_potential_synthesizes_with_every_strategy() {
+        let nf = castan_nf::nf_by_id(NfId::LpmTrie);
+        let catalog = catalog_for(&nf);
+        for strategy in SearchStrategyKind::ALL {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 15_000;
+            cfg.strategy = strategy;
+            cfg.potential = PotentialKind::StaticUpper;
+            let report = Castan::new(cfg).analyze(&nf, &catalog);
+            assert_eq!(
+                report.packets.len(),
+                3,
+                "strategy {} with the static potential must synthesize",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report_with_static_potential() {
+        let nf = castan_nf::nf_by_id(NfId::NatHashTable);
+        let catalog = catalog_for(&nf);
+        let run = |threads: usize| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 18_000;
+            cfg.threads = threads;
+            cfg.potential = PotentialKind::StaticUpper;
+            Castan::new(cfg).analyze(&nf, &catalog)
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.per_packet, base.per_packet, "{threads} threads: metrics");
+            assert_eq!(r.states_explored, base.states_explored);
+            assert_eq!(r.steps, base.steps);
+            assert_eq!(r.forks, base.forks);
+        }
+    }
+
+    #[test]
+    fn envelope_gate_holds_across_the_catalog() {
+        // Every completed state is checked against the static envelope at
+        // the merge barrier; a violation panics. Sweep the whole catalog
+        // with a small budget so the gate sees each NF's paths.
+        for nf in castan_nf::all_nfs() {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 2;
+            cfg.step_budget = 8_000;
+            let report = Castan::new(cfg).analyze(&nf, &catalog_for(&nf));
+            assert_eq!(report.nf_name, nf.name());
         }
     }
 

@@ -59,7 +59,7 @@ pub mod synth;
 
 pub use cache::{CacheModel, CacheModelKind, ContentionCacheModel, NoCacheModel};
 pub use chain::{analyze_chain, ChainAnalysisReport};
-pub use engine::{AnalysisConfig, Castan};
+pub use engine::{AnalysisConfig, Castan, PotentialKind};
 pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};
 pub use rss::{

@@ -18,6 +18,9 @@
 
 use std::collections::BTreeMap;
 
+use castan_analysis::{
+    analyze_nf as envelope_of, chain_envelope, CostEnvelope, EnvelopeParams, NfEnvelope,
+};
 use castan_chain::{all_chains, core_stage_base, NfChain};
 use castan_cluster::{
     cluster_skew_workload, ecmp_skew_workload, measure_cluster, ClusterConfig, ControllerConfig,
@@ -27,7 +30,7 @@ use castan_core::{
     Castan, ChainAnalysisReport,
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy};
-use castan_nf::{nf_by_id, NfId, NfSpec};
+use castan_nf::{all_nfs, nf_by_id, NfId, NfSpec};
 use castan_runtime::{rotate_key, skew_packets, RebalancePolicy, RssDispatcher};
 use castan_telemetry::{
     detector::{AttackSignature, Baseline, Detector, DetectorConfig},
@@ -2376,6 +2379,172 @@ pub fn bench_drift(cfg: &ExperimentConfig) -> Result<String, String> {
              model change is intentional, regenerate with `cargo run -p \
              castan-experiments --release -- --quick bench-baselines` and \
              commit the result:\n{}",
+            drift.join("\n")
+        ))
+    }
+}
+
+/// Repo-root path of the static-envelope table the `analysis` experiment
+/// writes.
+pub const ANALYSIS_ENVELOPES_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../ANALYSIS_envelopes.json");
+
+/// Flow budget of the committed envelope table. Envelopes depend only on
+/// the NF programs and this budget — not on workload scale, measurement
+/// length, or search budgets — so the committed artifact pins one
+/// canonical budget instead of tracking the experiment config.
+pub const ANALYSIS_ENVELOPE_FLOWS: u64 = 1_024;
+
+/// Renders an `[lower, upper]` interval for the envelope table, spelling
+/// out the unbounded sentinel.
+fn interval_cell(e: &CostEnvelope) -> String {
+    if e.upper >= castan_analysis::UNBOUNDED {
+        format!("[{}, unbounded]", e.lower)
+    } else {
+        format!("[{}, {}]", e.lower, e.upper)
+    }
+}
+
+/// The JSON surface of one NF envelope (the integer fields the drift check
+/// compares exactly).
+fn envelope_json(env: &NfEnvelope) -> Json {
+    Json::obj()
+        .with("cycles_lower", Json::U64(env.cycles.lower))
+        .with("cycles_upper", Json::U64(env.cycles.upper))
+        .with("instructions_lower", Json::U64(env.instructions.lower))
+        .with("instructions_upper", Json::U64(env.instructions.upper))
+        .with("mem_accesses_upper", Json::U64(env.mem_accesses.upper))
+        .with("l3_miss_upper", Json::U64(env.l3_miss_upper))
+        .with("distinct_lines_upper", Json::U64(env.distinct_lines_upper))
+}
+
+/// Computes the per-NF and per-chain envelope table and its
+/// `castan-analysis-envelopes-v1` document (without writing it). The
+/// document is config-independent on purpose: `analysis-drift` must get a
+/// byte-stable regeneration whether CI runs `--quick` or full.
+fn analysis_docs() -> (String, Table) {
+    let params = EnvelopeParams::new(ANALYSIS_ENVELOPE_FLOWS);
+    let mut nfs = Json::obj();
+    let mut rows = Vec::new();
+    for nf in all_nfs() {
+        let env = envelope_of(&nf, &params);
+        nfs.set(nf.name(), envelope_json(&env));
+        rows.push(vec![
+            nf.name().to_string(),
+            interval_cell(&env.cycles),
+            interval_cell(&env.instructions),
+            env.mem_accesses.upper.to_string(),
+            env.l3_miss_upper.to_string(),
+        ]);
+    }
+    let mut chains = Json::obj();
+    for chain in all_chains() {
+        let env = chain_envelope(&chain, &params);
+        chains.set(
+            chain.name(),
+            Json::obj()
+                .with("cycles_lower", Json::U64(env.cycles.lower))
+                .with("cycles_upper", Json::U64(env.cycles.upper))
+                .with("instructions_lower", Json::U64(env.instructions.lower))
+                .with("instructions_upper", Json::U64(env.instructions.upper))
+                .with("mem_accesses_upper", Json::U64(env.mem_accesses.upper))
+                .with("l3_miss_upper", Json::U64(env.l3_miss_upper)),
+        );
+        rows.push(vec![
+            format!("chain {}", env.name),
+            interval_cell(&env.cycles),
+            interval_cell(&env.instructions),
+            env.mem_accesses.upper.to_string(),
+            env.l3_miss_upper.to_string(),
+        ]);
+    }
+    let doc = Json::obj()
+        .with("schema", Json::str("castan-analysis-envelopes-v1"))
+        .with("max_flows", Json::U64(ANALYSIS_ENVELOPE_FLOWS))
+        .with("nfs", nfs)
+        .with("chains", chains)
+        .render();
+    let table = Table {
+        id: "analysis".to_string(),
+        title: format!(
+            "Static worst-case cost envelopes at {ANALYSIS_ENVELOPE_FLOWS} flows \
+             (committed as ANALYSIS_envelopes.json)"
+        ),
+        columns: vec![
+            "NF / chain".into(),
+            "Cycles/pkt".into(),
+            "Instructions/pkt".into(),
+            "Mem accesses ≤".into(),
+            "L3 misses ≤".into(),
+        ],
+        rows,
+    };
+    (doc, table)
+}
+
+/// The `analysis` experiment: recomputes the static cost envelope of every
+/// NF and chain and persists the table at the repo root
+/// (`ANALYSIS_envelopes.json`). The abstract interpretation is exact
+/// integer arithmetic over the IR — any diff under version control means
+/// the cost model or an NF program changed.
+pub fn analysis_envelopes(label: &str) -> (String, Vec<Table>) {
+    let (doc, table) = analysis_docs();
+    let _ = label; // the document is deliberately config-independent
+    std::fs::write(ANALYSIS_ENVELOPES_PATH, &doc).expect("write ANALYSIS_envelopes.json");
+    (
+        format!("wrote {ANALYSIS_ENVELOPES_PATH}:\n{doc}"),
+        vec![table],
+    )
+}
+
+/// The `analysis-drift` check: recomputes the envelope table in memory and
+/// compares it against the committed `ANALYSIS_envelopes.json`, field by
+/// field with **exact** integer equality (the envelopes are deterministic
+/// integer arithmetic; there is no tolerance to hide behind). `Ok` is a
+/// one-line confirmation; `Err` is a readable per-field diff the CI job
+/// fails on.
+pub fn analysis_drift() -> Result<String, String> {
+    let (regenerated, _) = analysis_docs();
+    let path = ANALYSIS_ENVELOPES_PATH;
+    let committed = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let old: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(&committed)
+        .map_err(|e| format!("{path}: {e}"))?
+        .into_iter()
+        .collect();
+    let new: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(&regenerated)
+        .map_err(|e| format!("regenerated document: {e}"))?
+        .into_iter()
+        .collect();
+    let mut drift = Vec::new();
+    for (key, committed_v) in &old {
+        match new.get(key) {
+            None => drift.push(format!(
+                "{key}: committed {committed_v}, missing on regenerate"
+            )),
+            Some(new_v) if new_v != committed_v => drift.push(format!(
+                "{key}: committed {committed_v}, regenerated {new_v}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for key in new.keys() {
+        if !old.contains_key(key) {
+            drift.push(format!("{key}: regenerated but not in the committed table"));
+        }
+    }
+    if drift.is_empty() && committed != regenerated {
+        drift.push("documents differ textually (schema or key layout changed)".to_string());
+    }
+    if drift.is_empty() {
+        Ok(format!(
+            "static envelopes match the committed table ({} integer fields, exact)",
+            old.len()
+        ))
+    } else {
+        Err(format!(
+            "static envelopes drifted from the committed table — if the cost-model \
+             change is intentional, regenerate with `cargo run -p castan-experiments \
+             --release -- analysis` and commit the result:\n{}",
             drift.join("\n")
         ))
     }

@@ -11,24 +11,30 @@
 //!
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
 //! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
-//! `xcore-contention`, `cluster-skew`, `detect`, `bench-baselines`, or
-//! `all`. Unknown experiment names exit with status 2 and list the valid
-//! names.
+//! `xcore-contention`, `cluster-skew`, `detect`, `bench-baselines`,
+//! `analysis`, or `all`. Unknown experiment names exit with status 2 and
+//! list the valid names.
 //!
 //! Every experiment prints its tables/figures and writes a
 //! machine-readable `castan-experiment-result-v1` summary to
 //! `results/<id>.json` at the repo root. `bench-baselines` additionally
 //! writes `BENCH_hotpath.json` and `BENCH_cluster.json` (the committed
-//! perf baselines) and `detect` writes `TELEMETRY_detect.json`.
+//! perf baselines), `detect` writes `TELEMETRY_detect.json`, and
+//! `analysis` writes `ANALYSIS_envelopes.json` (the committed static
+//! cost-envelope table).
 //!
 //! `bench-drift` (not part of `all`) regenerates the perf baselines and
 //! exits non-zero with a per-field diff if they drifted from the
 //! committed artifacts; run it with `--quick`, the committed config.
+//! `analysis-drift` (also not part of `all`) does the same for the static
+//! envelope table, with exact integer comparison — the envelopes are
+//! config-independent, so either `--quick` or full works.
 
 use castan_experiments::{
-    ablation_cache_model, ablation_loop_bound, bench_baselines, bench_drift, chain_table,
-    cluster_skew, detect, figure, figure_catalog, rss_mitigation, rss_scaling, table4, table5,
-    throughput_and_counters_table, xcore_contention, ExperimentConfig, Table,
+    ablation_cache_model, ablation_loop_bound, analysis_drift, analysis_envelopes, bench_baselines,
+    bench_drift, chain_table, cluster_skew, detect, figure, figure_catalog, rss_mitigation,
+    rss_scaling, table4, table5, throughput_and_counters_table, xcore_contention, ExperimentConfig,
+    Table,
 };
 
 /// Repo-root directory the per-experiment result summaries are written to
@@ -51,12 +57,13 @@ fn valid_experiments() -> Vec<String> {
     out.push("cluster-skew".to_string());
     out.push("detect".to_string());
     out.push("bench-baselines".to_string());
+    out.push("analysis".to_string());
     out
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: castan-experiments [--quick] [--threads=N] <experiment>...\nexperiments: {} | all | bench-drift",
+        "usage: castan-experiments [--quick] [--threads=N] <experiment>...\nexperiments: {} | all | bench-drift | analysis-drift",
         valid_experiments().join(" | ")
     );
     std::process::exit(2);
@@ -94,7 +101,7 @@ fn main() {
     for r in requested {
         if r == "all" {
             targets.extend(valid.iter().cloned());
-        } else if valid.contains(&r) || r == "bench-drift" {
+        } else if valid.contains(&r) || r == "bench-drift" || r == "analysis-drift" {
             targets.push(r);
         } else {
             eprintln!("unknown experiment: {r}");
@@ -119,7 +126,15 @@ fn main() {
             "cluster-skew" => table_result(cluster_skew(&cfg)),
             "detect" => detect(&cfg, label),
             "bench-baselines" => bench_baselines(&cfg, label),
+            "analysis" => analysis_envelopes(label),
             "bench-drift" => match bench_drift(&cfg) {
+                Ok(summary) => (summary, Vec::new()),
+                Err(diff) => {
+                    eprintln!("{diff}");
+                    std::process::exit(1);
+                }
+            },
+            "analysis-drift" => match analysis_drift() {
                 Ok(summary) => (summary, Vec::new()),
                 Err(diff) => {
                     eprintln!("{diff}");

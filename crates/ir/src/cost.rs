@@ -77,6 +77,14 @@ pub trait ExecSink {
     fn retire(&mut self, class: CostClass);
     /// A data-memory access of `width` bytes at `addr` occurred.
     fn mem_access(&mut self, addr: u64, width: u64, is_write: bool);
+    /// The interpreter is about to run a native helper; every event until
+    /// the matching [`native_exit`](ExecSink::native_exit) originates inside
+    /// it. Sinks that separate IR-level from helper-internal accounting
+    /// override these; the defaults keep both mixed (the historical
+    /// behaviour).
+    fn native_enter(&mut self) {}
+    /// The native helper returned.
+    fn native_exit(&mut self) {}
 }
 
 /// A sink that ignores everything (pure functional execution).

@@ -8,10 +8,16 @@
 use castan_packet::Packet;
 
 use crate::cost::{CostClass, ExecSink};
-use crate::inst::{FuncId, Inst, Operand, Terminator};
+use crate::inst::{BlockId, FuncId, Inst, Operand, Terminator};
 use crate::memory::DataMemory;
 use crate::native::NativeRegistry;
 use crate::program::Program;
+
+/// The sequence of basic blocks one packet's execution visited, in
+/// execution order (every listed block ran to and through its terminator).
+/// Ground truth for the static cost analysis: summing the per-block static
+/// costs over a trace must reproduce the sink-charged base cycles.
+pub type BlockTrace = Vec<(FuncId, BlockId)>;
 
 /// Execution limits guarding against runaway loops (a malformed NF, not an
 /// expected condition).
@@ -101,12 +107,40 @@ impl<'a> Interpreter<'a> {
             packet,
             sink,
             steps: 0,
+            trace: None,
         };
         let ret = self.exec_function(self.program.entry, &[], &mut env, 0)?;
         Ok(ExecResult {
             return_value: ret,
             steps: env.steps,
         })
+    }
+
+    /// Like [`run_packet`](Interpreter::run_packet), but additionally
+    /// records the visited-block trace.
+    pub fn run_packet_traced(
+        &self,
+        mem: &mut DataMemory,
+        packet: &Packet,
+        sink: &mut dyn ExecSink,
+    ) -> Result<(ExecResult, BlockTrace), ExecError> {
+        let mut trace = BlockTrace::new();
+        let mut env = ExecEnv {
+            mem,
+            packet,
+            sink,
+            steps: 0,
+            trace: Some(&mut trace),
+        };
+        let ret = self.exec_function(self.program.entry, &[], &mut env, 0)?;
+        let steps = env.steps;
+        Ok((
+            ExecResult {
+                return_value: ret,
+                steps,
+            },
+            trace,
+        ))
     }
 
     fn exec_function(
@@ -125,6 +159,9 @@ impl<'a> Interpreter<'a> {
 
         let mut block = func.entry;
         loop {
+            if let Some(trace) = env.trace.as_deref_mut() {
+                trace.push((func_id, block));
+            }
             let blk = &func.blocks[block as usize];
             for inst in &blk.insts {
                 env.step(self.limits.max_steps)?;
@@ -226,7 +263,9 @@ impl<'a> Interpreter<'a> {
                     .natives
                     .get(*func)
                     .ok_or(ExecError::UnknownNative(func.0))?;
+                env.sink.native_enter();
                 let ret = helper.call(env.mem, &vals, env.sink);
+                env.sink.native_exit();
                 if let Some(d) = dst {
                     regs[*d as usize] = ret;
                 }
@@ -244,6 +283,7 @@ struct ExecEnv<'e> {
     packet: &'e Packet,
     sink: &'e mut dyn ExecSink,
     steps: u64,
+    trace: Option<&'e mut BlockTrace>,
 }
 
 impl ExecEnv<'_> {
@@ -355,6 +395,56 @@ mod tests {
         let (res, sink) = run(&program, &mut DataMemory::new());
         assert_eq!(res.return_value, Some(55));
         assert!(sink.instructions > 60);
+    }
+
+    #[test]
+    fn traced_run_lists_every_visited_block() {
+        // Reuse the count-down loop: entry + 10×(head, body) + head + done.
+        let mut f = FunctionBuilder::new("main", 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.store(0x10u64, 3u64, Width::W8);
+        f.jump(head);
+        f.switch_to(head);
+        let i = f.load(0x10u64, Width::W8);
+        let c = f.ne(i, 0u64);
+        f.branch(c, body, done);
+        f.switch_to(body);
+        let i2 = f.load(0x10u64, Width::W8);
+        let i3 = f.sub(i2, 1u64);
+        f.store(0x10u64, i3, Width::W8);
+        f.jump(head);
+        f.switch_to(done);
+        f.ret(0u64);
+
+        let mut pb = ProgramBuilder::new();
+        let main = pb.add(f);
+        let program = pb.finish(main);
+        let natives = NativeRegistry::new();
+        let interp = Interpreter::new(&program, &natives);
+        let packet = PacketBuilder::new().build();
+        let mut sink = CountingSink::default();
+        let (res, trace) = interp
+            .run_packet_traced(&mut DataMemory::new(), &packet, &mut sink)
+            .unwrap();
+        // entry, then 3×(head, body), then head, done.
+        assert_eq!(trace.len(), 1 + 3 * 2 + 2);
+        assert_eq!(trace[0], (main, 0));
+        assert_eq!(*trace.last().unwrap(), (main, done));
+        // Every step the sink saw is accounted to some traced block: the
+        // per-block instruction counts over the trace sum to res.steps.
+        let total: u64 = trace
+            .iter()
+            .map(|&(fid, bid)| {
+                program.functions[fid as usize].blocks[bid as usize]
+                    .insts
+                    .len() as u64
+                    + 1
+            })
+            .sum();
+        assert_eq!(total, res.steps);
+        assert_eq!(sink.instructions, res.steps);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use cfg::{Icfg, NodeId};
 pub use cost::{CostClass, ExecSink, NullSink};
 pub use hashes::HashFunc;
 pub use inst::{BinOp, BlockId, CmpOp, FuncId, Inst, Operand, Reg, Terminator, Width};
-pub use interp::{ExecError, ExecResult, Interpreter, RunLimits};
+pub use interp::{BlockTrace, ExecError, ExecResult, Interpreter, RunLimits};
 pub use memory::DataMemory;
-pub use native::{MemAccess, NativeHelper, NativeId, NativeRegistry};
+pub use native::{MemAccess, NativeBounds, NativeHelper, NativeId, NativeRegistry};
 pub use program::{Block, Function, Program, ValidationError};

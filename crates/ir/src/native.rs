@@ -37,6 +37,45 @@ impl MemAccess for DataMemory {
     }
 }
 
+/// Sound per-call bounds on the work a native helper may perform, used by
+/// the static analysis (`castan-analysis`) to build cost envelopes that
+/// cover the helper's internal instruction retirements and memory traffic.
+///
+/// Counts are per invocation; `max_entries` parameterises them by the
+/// largest number of elements the helper's backing structure can hold on
+/// the path under analysis (e.g. flows inserted so far).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NativeBounds {
+    /// Minimum instructions retired through the sink per call.
+    pub min_instructions: u64,
+    /// Minimum memory accesses reported through the sink per call.
+    pub min_mem_accesses: u64,
+    /// Maximum instructions retired through the sink per call.
+    pub max_instructions: u64,
+    /// Maximum memory accesses reported through the sink per call.
+    pub max_mem_accesses: u64,
+    /// Maximum base cycles of any single retired instruction class.
+    pub max_instr_base_cycles: u64,
+}
+
+impl NativeBounds {
+    /// Upper bound on cycles charged per call, given the worst-case cost of
+    /// one memory access in the hierarchy under analysis.
+    pub fn max_cycles(&self, worst_access_cycles: u64) -> u64 {
+        self.max_instructions
+            .saturating_mul(self.max_instr_base_cycles)
+            .saturating_add(self.max_mem_accesses.saturating_mul(worst_access_cycles))
+    }
+
+    /// Lower bound on cycles charged per call, given the best-case cost of
+    /// one memory access in the hierarchy under analysis.
+    pub fn min_cycles(&self, best_access_cycles: u64) -> u64 {
+        // Every retired instruction costs at least one base cycle.
+        self.min_instructions
+            .saturating_add(self.min_mem_accesses.saturating_mul(best_access_cycles))
+    }
+}
+
 /// A native helper implementation.
 ///
 /// Helpers must be stateless (all state lives in memory) so that a single
@@ -51,6 +90,22 @@ pub trait NativeHelper: Send + Sync {
     /// helper is *not* executed (e.g. while estimating potential cost).
     fn estimated_cycles(&self) -> u64 {
         50
+    }
+
+    /// Sound bounds on the helper's sink traffic for a backing structure of
+    /// at most `max_entries` elements. The default treats the helper as
+    /// memory-free with its [`estimated_cycles`](NativeHelper::estimated_cycles)
+    /// as a hard instruction budget — helpers that touch memory or whose
+    /// work grows with `max_entries` must override this.
+    fn bounds(&self, max_entries: u64) -> NativeBounds {
+        let _ = max_entries;
+        NativeBounds {
+            min_instructions: 0,
+            min_mem_accesses: 0,
+            max_instructions: self.estimated_cycles(),
+            max_mem_accesses: 0,
+            max_instr_base_cycles: 1,
+        }
     }
 
     /// Human-readable name for diagnostics.
@@ -151,6 +206,14 @@ mod tests {
     #[test]
     fn default_estimate_is_nonzero() {
         assert!(AddStore.estimated_cycles() > 0);
+    }
+
+    #[test]
+    fn default_bounds_cover_the_estimate() {
+        let b = AddStore.bounds(1 << 20);
+        assert_eq!(b.min_cycles(4), 0);
+        assert_eq!(b.max_cycles(200), AddStore.estimated_cycles());
+        assert!(b.max_cycles(200) >= b.min_cycles(4));
     }
 
     #[test]

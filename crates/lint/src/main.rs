@@ -1,0 +1,295 @@
+//! Determinism lint: a static source pass over the workspace.
+//!
+//! The analysis pipeline promises bit-identical results for a given seed and
+//! config, independent of thread count (pinned by `castan-core`'s engine
+//! tests). The classic ways Rust code silently breaks that promise are:
+//!
+//! * iterating a `HashMap`/`HashSet` (SipHash + `RandomState` gives a fresh
+//!   iteration order per process) anywhere the order can reach a result;
+//! * explicit `RandomState` use;
+//! * reading wall clocks (`Instant`, `SystemTime`) in result-bearing code;
+//! * spawning threads outside the engine's one merge-barrier round system.
+//!
+//! This lint greps the workspace sources for those patterns. Every match
+//! must either be removed or be justified by an entry in `LINT_ALLOW.txt`
+//! at the repo root (`<path-suffix>: <rule> # <reason>`), which doubles as
+//! an audit trail of reviewed sites. Test modules (everything from the
+//! first `#[cfg(test)]` line on) are exempt: tests may use maps and clocks
+//! freely. CI runs the binary; `cargo test -p castan-lint` runs the same
+//! scan in-process so the gate also fires locally.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a name (used in allowlist entries) plus the source
+/// patterns that trigger it.
+struct Rule {
+    name: &'static str,
+    needles: &'static [&'static str],
+    /// File-name suffixes where the pattern is part of the design and the
+    /// rule does not apply at all (e.g. the engine owns its worker threads).
+    exempt_suffixes: &'static [&'static str],
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iteration",
+        needles: &["HashMap", "HashSet"],
+        exempt_suffixes: &[],
+        why: "hashed collections iterate in per-process random order",
+    },
+    Rule {
+        name: "random-state",
+        needles: &["RandomState"],
+        exempt_suffixes: &[],
+        why: "explicit RandomState injects per-process randomness",
+    },
+    Rule {
+        name: "wall-clock",
+        needles: &["Instant", "SystemTime"],
+        exempt_suffixes: &[],
+        why: "wall-clock reads must not influence reported results",
+    },
+    Rule {
+        name: "thread-spawn",
+        needles: &["thread::spawn", "thread::scope"],
+        exempt_suffixes: &["core/src/engine.rs"],
+        why: "threading outside the engine's merge barrier breaks replay",
+    },
+];
+
+/// A single lint hit.
+struct Finding {
+    /// Repo-relative path with `/` separators.
+    path: String,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// An allowlist entry: `<path-suffix>: <rule>` (comment after `#`).
+struct Allow {
+    path_suffix: String,
+    rule: String,
+}
+
+fn parse_allowlist(content: &str) -> Vec<Allow> {
+    content
+        .lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let (path, rule) = line.split_once(':')?;
+            Some(Allow {
+                path_suffix: path.trim().to_string(),
+                rule: rule.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn is_allowed(allows: &[Allow], finding: &Finding) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == finding.rule && finding.path.ends_with(&a.path_suffix))
+}
+
+/// Directories never scanned: build output, vendored dependency shims (their
+/// internals don't feed results), and this lint's own rule tables.
+fn skip_dir(name: &str) -> bool {
+    name == "target"
+        || name == "compat"
+        || name == "lint"
+        || name == "tests"
+        || name == "benches"
+        || name.starts_with('.')
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !skip_dir(name) {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan_source(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        // Test modules sit at the end of every file in this workspace; the
+        // determinism contract does not constrain them.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for rule in RULES {
+            if rule.exempt_suffixes.iter().any(|s| path.ends_with(s)) {
+                continue;
+            }
+            if rule.needles.iter().any(|n| line.contains(n)) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: rule.name,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the full scan rooted at `root`; returns unallowlisted findings.
+fn run(root: &Path) -> Vec<Finding> {
+    let allows = fs::read_to_string(root.join("LINT_ALLOW.txt"))
+        .map(|c| parse_allowlist(&c))
+        .unwrap_or_default();
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    let mut bad = Vec::new();
+    for file in files {
+        let Ok(content) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for finding in scan_source(&rel, &content) {
+            if !is_allowed(&allows, &finding) {
+                bad.push(finding);
+            }
+        }
+    }
+    bad
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(repo_root);
+    let bad = run(&root);
+    if bad.is_empty() {
+        println!("castan-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("castan-lint: {} determinism finding(s):", bad.len());
+    for f in &bad {
+        eprintln!("  {f}");
+    }
+    eprintln!("fix the site or add a reviewed entry to LINT_ALLOW.txt");
+    for rule in RULES {
+        if bad.iter().any(|f| f.rule == rule.name) {
+            eprintln!("note: [{}] {}", rule.name, rule.why);
+        }
+    }
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_clean() {
+        let bad = run(&repo_root());
+        assert!(
+            bad.is_empty(),
+            "determinism lint findings:\n{}",
+            bad.iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn scan_flags_each_rule() {
+        let src = "use std::collections::HashMap;\n\
+                   let s = std::collections::hash_map::RandomState::new();\n\
+                   let t = std::time::Instant::now();\n\
+                   std::thread::spawn(|| {});\n";
+        let findings = scan_source("crates/demo/src/lib.rs", src);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"hash-iteration"));
+        assert!(rules.contains(&"random-state"));
+        assert!(rules.contains(&"wall-clock"));
+        assert!(rules.contains(&"thread-spawn"));
+    }
+
+    #[test]
+    fn test_modules_and_comments_are_exempt() {
+        let src =
+            "// HashMap in a comment\n#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(scan_source("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_may_spawn_threads() {
+        let src = "std::thread::scope(|s| {});\n";
+        assert!(scan_source("crates/core/src/engine.rs", src)
+            .iter()
+            .all(|f| f.rule != "thread-spawn"));
+        assert!(!scan_source("crates/core/src/search.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_by_suffix_and_rule() {
+        let allows = parse_allowlist(
+            "# comment\n\
+             ir/src/cfg.rs: hash-iteration # keyed index, never iterated\n",
+        );
+        assert_eq!(allows.len(), 1);
+        let f = Finding {
+            path: "crates/ir/src/cfg.rs".into(),
+            line: 1,
+            rule: "hash-iteration",
+            text: String::new(),
+        };
+        assert!(is_allowed(&allows, &f));
+        let g = Finding {
+            path: "crates/ir/src/cfg.rs".into(),
+            line: 1,
+            rule: "wall-clock",
+            text: String::new(),
+        };
+        assert!(!is_allowed(&allows, &g));
+    }
+}

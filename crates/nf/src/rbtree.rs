@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 use castan_ir::native::MemAccess;
 use castan_ir::{
-    CostClass, DataMemory, ExecSink, FunctionBuilder, HashFunc, NativeHelper, NativeId,
-    NativeRegistry, Operand, ProgramBuilder,
+    CostClass, DataMemory, ExecSink, FunctionBuilder, HashFunc, NativeBounds, NativeHelper,
+    NativeId, NativeRegistry, Operand, ProgramBuilder,
 };
 
 use crate::bst::emit_tree_lookup_insert;
@@ -172,6 +172,26 @@ impl NativeHelper for RbFixup {
         120
     }
 
+    fn bounds(&self, max_entries: u64) -> NativeBounds {
+        // Every event the fixup reports is a Load or Store (base cost 1)
+        // paired with exactly one memory access, so the instruction and
+        // access counts coincide. Cheapest call: the new node is already
+        // the root (parent read, root read, recolour store). Worst call:
+        // the CLRS loop walks grandparent-to-grandparent up a tree of
+        // height ≤ 2·log2(n+1), so it iterates at most ceil(log2(n+2)) + 1
+        // times; one iteration is ≤ 6 prologue reads plus either 3
+        // recolour stores or ≤ 2 rotations of ≤ 10 accesses each (≤ 31
+        // total, over-bounded at 40), plus the 2-access epilogue.
+        let iters = (u64::BITS - max_entries.saturating_add(2).leading_zeros()) as u64 + 1;
+        NativeBounds {
+            min_instructions: 3,
+            min_mem_accesses: 3,
+            max_instructions: 40 * iters + 4,
+            max_mem_accesses: 40 * iters + 4,
+            max_instr_base_cycles: 1,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "rb_insert_fixup"
     }
@@ -301,6 +321,72 @@ mod tests {
             last_unbalanced > 4 * last_steps,
             "rebalancing should keep inserts cheap: rb={last_steps}, bst={last_unbalanced}"
         );
+    }
+
+    /// A sink that counts events only inside native_enter/native_exit
+    /// windows, tracking the busiest and quietest single call.
+    #[derive(Default)]
+    struct NativeWindowSink {
+        depth: u32,
+        call_instructions: u64,
+        call_accesses: u64,
+        max_call: (u64, u64),
+        min_call: Option<(u64, u64)>,
+        calls: u64,
+    }
+
+    impl ExecSink for NativeWindowSink {
+        fn retire(&mut self, _class: CostClass) {
+            if self.depth > 0 {
+                self.call_instructions += 1;
+            }
+        }
+
+        fn mem_access(&mut self, _addr: u64, _width: u64, _is_write: bool) {
+            if self.depth > 0 {
+                self.call_accesses += 1;
+            }
+        }
+
+        fn native_enter(&mut self) {
+            self.depth += 1;
+            self.call_instructions = 0;
+            self.call_accesses = 0;
+        }
+
+        fn native_exit(&mut self) {
+            self.depth -= 1;
+            self.calls += 1;
+            let call = (self.call_instructions, self.call_accesses);
+            self.max_call = self.max_call.max(call);
+            self.min_call = Some(self.min_call.map_or(call, |m| m.min(call)));
+        }
+    }
+
+    #[test]
+    fn declared_bounds_cover_observed_fixup_traffic() {
+        let h = flowmap_harness(&RedBlackTreeMap);
+        let mut mem = h.fresh_memory();
+        let mut sink = NativeWindowSink::default();
+        let n = 300u64;
+        for i in 0..n {
+            // Monotone keys force the worst rebalancing pressure.
+            let key = [10, 20, 1000, 2000 + i, 17];
+            h.lookup_insert_with_sink(&mut mem, key, i, &mut sink);
+        }
+        assert_eq!(sink.calls, n);
+        let b = RbFixup.bounds(n);
+        let (max_instr, max_acc) = sink.max_call;
+        let (min_instr, min_acc) = sink.min_call.unwrap();
+        assert!(
+            max_instr <= b.max_instructions && max_acc <= b.max_mem_accesses,
+            "observed ({max_instr}, {max_acc}) exceeds declared ({}, {})",
+            b.max_instructions,
+            b.max_mem_accesses
+        );
+        assert!(min_instr >= b.min_instructions && min_acc >= b.min_mem_accesses);
+        // And the bounds are not trivially loose: within a small factor.
+        assert!(b.max_mem_accesses < 64 * (64 - n.leading_zeros() as u64 + 2));
     }
 
     #[test]

@@ -78,6 +78,28 @@ impl FlowMapHarness {
         let tagged = res.return_value.expect("lookup_insert returns a value");
         (tagged >> 1, tagged & 1 == 1, res.steps)
     }
+
+    /// Like [`lookup_insert`](FlowMapHarness::lookup_insert), but reports
+    /// execution events to the caller's sink.
+    pub fn lookup_insert_with_sink(
+        &self,
+        mem: &mut DataMemory,
+        key: [u64; 5],
+        value_if_new: u64,
+        sink: &mut dyn castan_ir::ExecSink,
+    ) -> (u64, bool, u64) {
+        for (i, k) in key.iter().enumerate() {
+            mem.write(ARG_BASE + 8 * i as u64, *k, 8);
+        }
+        mem.write(ARG_BASE + 40, value_if_new, 8);
+        let interp = Interpreter::new(&self.program, &self.natives);
+        let packet = PacketBuilder::new().build();
+        let res = interp
+            .run_packet(mem, &packet, sink)
+            .expect("flow-map harness execution failed");
+        let tagged = res.return_value.expect("lookup_insert returns a value");
+        (tagged >> 1, tagged & 1 == 1, res.steps)
+    }
 }
 
 /// Drives a flow map with `n` pseudo-random flows and checks it behaves like

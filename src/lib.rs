@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use castan_analysis as envelope;
 pub use castan_chain as chain;
 pub use castan_cluster as cluster;
 pub use castan_core as analysis;
