@@ -49,6 +49,7 @@ use crate::solve::{SolveOutcome, Solver};
 use crate::state::ExecState;
 use crate::symmem::SymMemory;
 use crate::synth::synthesize;
+use crate::trace::{SearchTrace, SolverSite};
 
 /// The result of one chained analysis run.
 #[derive(Clone, Debug)]
@@ -184,6 +185,33 @@ pub fn analyze_chain(
     chain: &NfChain,
     catalogs: &[ContentionCatalog],
 ) -> ChainAnalysisReport {
+    analyze_chain_inner(castan, chain, catalogs, None)
+}
+
+/// [`analyze_chain`] with a [`SearchTrace`] attached: one trace accumulates
+/// across every stage's exploration plus the chain-level merge and synthesis
+/// phases. Tracing is observational only — the returned report is identical
+/// to the untraced one (modulo wall-clock timings).
+pub fn analyze_chain_traced(
+    castan: &Castan,
+    chain: &NfChain,
+    catalogs: &[ContentionCatalog],
+) -> (ChainAnalysisReport, SearchTrace) {
+    let mut trace = SearchTrace::new(
+        chain.name(),
+        castan.config().strategy.name(),
+        castan.config().threads.max(1) as u64,
+    );
+    let report = analyze_chain_inner(castan, chain, catalogs, Some(&mut trace));
+    (report, trace)
+}
+
+fn analyze_chain_inner(
+    castan: &Castan,
+    chain: &NfChain,
+    catalogs: &[ContentionCatalog],
+    mut trace: Option<&mut SearchTrace>,
+) -> ChainAnalysisReport {
     assert_eq!(
         catalogs.len(),
         chain.len(),
@@ -197,7 +225,7 @@ pub fn analyze_chain(
     let mut translated: Vec<TranslatedStage> = Vec::new();
     let mut origin_atoms = AtomTable::new();
     for (idx, (stage, catalog)) in chain.stages.iter().zip(catalogs).enumerate() {
-        let (report, state) = castan.analyze_detailed(&stage.nf, catalog);
+        let (report, state) = castan.analyze_inner(&stage.nf, catalog, trace.as_deref_mut());
         if let Some(state) = &state {
             // Step 2: boundary translation.
             let (constraints, havocs) = translate_stage(state, &models[idx], &mut origin_atoms);
@@ -231,6 +259,8 @@ pub fn analyze_chain(
     // Step 3: greedy merge, most expensive stage first.
     translated.sort_by_key(|t| (std::cmp::Reverse(t.worst_cpp), t.stage_idx));
     let mut solver = Solver::new(castan.config().solver);
+    let merge_t0 = trace.is_some().then(Instant::now);
+    let stats_before_merge = solver.stats();
     let mut merged: Vec<Constraint> = Vec::new();
     let mut havocs: Vec<HavocRecord> = Vec::new();
     let mut merged_count = 0usize;
@@ -257,6 +287,16 @@ pub fn analyze_chain(
         }
         havocs.extend(stage.havocs.iter().cloned());
     }
+    if let Some(t) = trace.as_deref_mut() {
+        t.record_site(
+            SolverSite::ChainMerge,
+            solver.stats().since(stats_before_merge),
+        );
+        if let Some(t0) = merge_t0 {
+            t.merge_ns += t0.elapsed().as_nanos() as u64;
+            t.span("chain merge", t0, 0);
+        }
+    }
 
     // Package the merged system as an execution state so the single-NF
     // synthesis machinery (solver + rainbow-table hash reconciliation)
@@ -272,7 +312,19 @@ pub fn analyze_chain(
     state.atoms = origin_atoms;
     state.constraints = merged.into();
     state.havocs = havocs;
+    let synth_t0 = trace.is_some().then(Instant::now);
+    let stats_before_synth = solver.stats();
     let synth = synthesize(entry_nf, &state, &mut solver, &castan.config().synth);
+    if let Some(t) = trace {
+        t.record_site(
+            SolverSite::Synthesis,
+            solver.stats().since(stats_before_synth),
+        );
+        if let Some(t0) = synth_t0 {
+            t.synth_ns += t0.elapsed().as_nanos() as u64;
+            t.span("chain synthesis", t0, 0);
+        }
+    }
 
     ChainAnalysisReport {
         chain_name: chain.name().to_string(),
@@ -379,6 +431,80 @@ mod tests {
         );
         assert!(pruned.predicted_total_cpp >= full.predicted_total_cpp);
         assert!(pruned.predicted_total_cpp > 0);
+    }
+
+    #[test]
+    fn chain_tracing_observes_but_never_steers() {
+        let chain = chain_by_id(ChainId::NatLpm);
+        let cats = catalogs(&chain);
+        let castan = quick(3, 20_000);
+        let plain = analyze_chain(&castan, &chain, &cats);
+        let (traced, trace) = analyze_chain_traced(&castan, &chain, &cats);
+        assert_eq!(plain.chain_name, traced.chain_name);
+        assert_eq!(plain.packets, traced.packets);
+        assert_eq!(plain.predicted_total_cpp, traced.predicted_total_cpp);
+        assert_eq!(plain.merged_constraints, traced.merged_constraints);
+        assert_eq!(plain.dropped_constraints, traced.dropped_constraints);
+        assert_eq!(plain.per_stage.len(), traced.per_stage.len());
+        for (a, b) in plain.per_stage.iter().zip(&traced.per_stage) {
+            assert_eq!(a.nf_name, b.nf_name);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.states_explored, b.states_explored);
+            assert_eq!(a.predicted_worst_cpp, b.predicted_worst_cpp);
+            assert_eq!(a.packets, b.packets);
+        }
+        // The chain trace accumulates across every stage plus the
+        // chain-level merge and synthesis phases.
+        assert_eq!(trace.label, chain.name());
+        assert_eq!(
+            trace.states_explored,
+            traced.total_states_explored(),
+            "one parent trace sums the per-stage exploration"
+        );
+        assert_eq!(trace.steps, traced.total_steps());
+        assert!(
+            trace.site(SolverSite::ChainMerge).total() > 0,
+            "the greedy merge issues solver queries on nat-lpm"
+        );
+        assert!(trace.site(SolverSite::Synthesis).total() > 0);
+    }
+
+    #[test]
+    fn prune_reasons_distinguish_final_packet_from_in_flight_on_nat_lpm() {
+        // The prune-reason histogram separates final-packet pruning (a
+        // state on its last packet loses to the incumbent on its completed
+        // record or its in-flight bound) from mid-sequence pruning (a
+        // state with whole packets ahead would have to lose against the
+        // full program envelope). On nat-lpm every prune must land in the
+        // final-packet buckets: a mid-sequence state's bound includes the
+        // envelope upper, and the incumbent — itself a completed per-packet
+        // cost — can never exceed that envelope while the soundness gate
+        // holds. A nonzero envelope-upper bucket is therefore a soundness
+        // canary, and the histogram demonstrably shows that on nat-lpm the
+        // branch-and-bound only ever kills states in flight on their final
+        // packet, never whole pending packets.
+        let chain = chain_by_id(ChainId::NatLpm);
+        let cats = catalogs(&chain);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 3;
+        cfg.step_budget = 30_000;
+        cfg.prune = true;
+        let (_, trace) = analyze_chain_traced(&Castan::new(cfg), &chain, &cats);
+        use crate::trace::PruneReason;
+        assert!(trace.prunes_total() > 0, "pruning must fire on nat-lpm");
+        let final_packet = trace.prunes_for(PruneReason::IncumbentVsCompleted)
+            + trace.prunes_for(PruneReason::IncumbentVsInFlight);
+        assert_eq!(
+            final_packet,
+            trace.prunes_total(),
+            "every nat-lpm prune hits a state on its final packet"
+        );
+        assert_eq!(
+            trace.prunes_for(PruneReason::EnvelopeUpper),
+            0,
+            "the envelope-upper bucket is a soundness canary: the incumbent \
+             cannot exceed the static envelope, so pending states never prune"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ use castan_packet::Packet;
 
 use crate::cache::{make_model, CacheModelKind};
 use crate::costmap::{CostMap, DEFAULT_LOOP_BOUND};
-use crate::expr::{Constraint, SymExpr};
+use crate::expr::{intern_stats, Constraint, InternStats, SymExpr};
 use crate::havoc::HavocRecord;
 use crate::report::AnalysisReport;
 use crate::search::{SearchScore, SearchStrategyKind};
@@ -53,6 +53,7 @@ use crate::solve::{Model, SolveOutcome, Solver, SolverConfig};
 use crate::state::{ExecState, Frame, StateStatus};
 use crate::symmem::SymMemory;
 use crate::synth::{synthesize, SynthConfig};
+use crate::trace::{PruneReason, SearchTrace, SlotTrace, SolverSite};
 
 /// States popped per scheduling round. Fixed (never derived from the thread
 /// count) so the exploration order is thread-count independent.
@@ -181,7 +182,50 @@ impl Castan {
         nf: &NfSpec,
         catalog: &ContentionCatalog,
     ) -> (AnalysisReport, Option<ExecState>) {
+        self.analyze_inner(nf, catalog, None)
+    }
+
+    /// Like [`Castan::analyze`], but additionally records a [`SearchTrace`]
+    /// of what the search did. Tracing is observational: the report is
+    /// byte-identical to the untraced one for every strategy and thread
+    /// count (pinned by unit test and proptest).
+    pub fn analyze_traced(
+        &self,
+        nf: &NfSpec,
+        catalog: &ContentionCatalog,
+    ) -> (AnalysisReport, SearchTrace) {
+        let (report, _, trace) = self.analyze_detailed_traced(nf, catalog);
+        (report, trace)
+    }
+
+    /// [`Castan::analyze_detailed`] with a [`SearchTrace`] attached.
+    pub fn analyze_detailed_traced(
+        &self,
+        nf: &NfSpec,
+        catalog: &ContentionCatalog,
+    ) -> (AnalysisReport, Option<ExecState>, SearchTrace) {
+        let mut trace = SearchTrace::new(
+            nf.name(),
+            self.config.strategy.name(),
+            self.config.threads.max(1) as u64,
+        );
+        let (report, state) = self.analyze_inner(nf, catalog, Some(&mut trace));
+        (report, state, trace)
+    }
+
+    /// The engine proper. With `trace` present every observation point
+    /// feeds the trace (and wall-clock sampling is armed); with `None` the
+    /// run takes the exact same decisions — tracing observes, never steers.
+    /// The chain analysis passes one parent trace through every stage so
+    /// per-stage counters accumulate into a single chain-level trace.
+    pub(crate) fn analyze_inner(
+        &self,
+        nf: &NfSpec,
+        catalog: &ContentionCatalog,
+        mut trace: Option<&mut SearchTrace>,
+    ) -> (AnalysisReport, Option<ExecState>) {
         let start = Instant::now();
+        let timing = trace.is_some();
         let program = &nf.program;
         let icfg = Icfg::build(program);
         let costmap = CostMap::build(program, &icfg, Some(&nf.natives), self.config.loop_bound);
@@ -199,6 +243,7 @@ impl Castan {
             costmap: &costmap,
             envelope: &envelope,
             config: &self.config,
+            timing,
         };
 
         let initial = ExecState::initial(
@@ -210,6 +255,9 @@ impl Castan {
 
         let mut strategy = self.config.strategy.make(self.config.solver.seed);
         let score = engine.score(&initial);
+        if let Some(t) = trace.as_deref_mut() {
+            t.pushes += 1;
+        }
         strategy.push(initial, score);
 
         let mut finished: Vec<ExecState> = Vec::new();
@@ -223,11 +271,14 @@ impl Castan {
         // it are pruned (strictly `<`, so the argmax is preserved).
         let mut incumbent: u64 = 0;
         let threads = self.config.threads.max(1);
-        let prune = |state: &ExecState, incumbent: u64| {
-            self.config.prune && incumbent > 0 && engine.static_ub(state) < incumbent
-        };
 
         while steps < self.config.step_budget && !strategy.is_empty() {
+            if let Some(t) = trace.as_deref_mut() {
+                let frontier = strategy.len() as u64;
+                t.rounds += 1;
+                t.frontier_peak = t.frontier_peak.max(frontier);
+                t.frontier_hist.observe(frontier);
+            }
             // Pop a fixed-size batch: the round's slots. Pruned states are
             // dropped here without counting as explored — that is the
             // measurable effect of the branch-and-bound bound.
@@ -235,22 +286,42 @@ impl Castan {
             while batch.len() < ROUND_SLOTS {
                 match strategy.pop() {
                     Some((s, _)) => {
-                        if !prune(&s, incumbent) {
-                            batch.push(s);
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.pops += 1;
+                        }
+                        match engine.prune_reason(&s, incumbent) {
+                            None => batch.push(s),
+                            Some(reason) => {
+                                if let Some(t) = trace.as_deref_mut() {
+                                    t.prune(reason);
+                                }
+                            }
                         }
                     }
                     None => break,
                 }
             }
             states_explored += batch.len() as u64;
+            if let Some(t) = trace.as_deref_mut() {
+                t.occupancy_hist.observe(batch.len() as u64);
+            }
 
+            let explore_t0 = timing.then(Instant::now);
             let results = run_round(&engine, batch, threads);
+            if let (Some(t), Some(t0)) = (trace.as_deref_mut(), explore_t0) {
+                t.explore_ns += t0.elapsed().as_nanos() as u64;
+                t.span(format!("explore round {}", t.rounds - 1), t0, 0);
+            }
 
+            let merge_t0 = timing.then(Instant::now);
             // Barrier: merge in slot order — deterministic for any thread
             // count.
             for r in results {
                 steps += r.steps;
                 forks += r.forks;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.absorb_slot(&r.trace);
+                }
                 if let Some(c) = r.completed {
                     // Soundness gate: every completed path's predicted
                     // per-packet cost must lie inside the static envelope. A
@@ -271,6 +342,9 @@ impl Castan {
                         }
                     }
                     incumbent = incumbent.max(c.max_completed_cpp());
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.completed_states += 1;
+                    }
                     finished.push(c);
                 }
                 for mut child in r.children {
@@ -279,23 +353,51 @@ impl Castan {
                     if finished.is_empty() {
                         maybe_update_partial(&mut best_partial, &child);
                     }
-                    if prune(&child, incumbent) {
+                    if let Some(reason) = engine.prune_reason(&child, incumbent) {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.prune(reason);
+                        }
                         continue;
                     }
                     let s = engine.score(&child);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.pushes += 1;
+                    }
                     strategy.push(child, s);
                 }
                 if let Some(surv) = r.survivor {
                     if finished.is_empty() {
                         maybe_update_partial(&mut best_partial, &surv);
                     }
-                    if !prune(&surv, incumbent) {
-                        let s = engine.score(&surv);
-                        strategy.push(surv, s);
+                    match engine.prune_reason(&surv, incumbent) {
+                        Some(reason) => {
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.prune(reason);
+                            }
+                        }
+                        None => {
+                            let s = engine.score(&surv);
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.pushes += 1;
+                            }
+                            strategy.push(surv, s);
+                        }
                     }
                 }
             }
-            strategy.truncate(self.config.state_cap);
+            if let (Some(t), Some(t0)) = (trace.as_deref_mut(), merge_t0) {
+                t.merge_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let dropped = strategy.truncate(self.config.state_cap);
+            if let Some(t) = trace.as_deref_mut() {
+                t.truncated += dropped as u64;
+            }
+        }
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.states_explored += states_explored;
+            t.steps += steps;
+            t.forks += forks;
         }
 
         // Choose the most expensive completed state (by its worst packet), or
@@ -311,6 +413,7 @@ impl Castan {
             .or(best_partial);
 
         let mut solver = Solver::new(self.config.solver);
+        let synth_t0 = timing.then(Instant::now);
         let (packets, per_packet, havocs_total, havocs_reconciled, worst): (
             Vec<Packet>,
             Vec<crate::report::PathMetrics>,
@@ -332,6 +435,15 @@ impl Castan {
             }
             None => (Vec::new(), Vec::new(), 0, 0, 0),
         };
+        if let Some(t) = trace {
+            // The solver is fresh, so its lifetime stats ARE the synthesis
+            // delta.
+            t.record_site(SolverSite::Synthesis, solver.stats());
+            if let Some(t0) = synth_t0 {
+                t.synth_ns += t0.elapsed().as_nanos() as u64;
+                t.span("synthesis", t0, 0);
+            }
+        }
 
         let report = AnalysisReport {
             nf_name: nf.name().to_string(),
@@ -378,14 +490,19 @@ struct SlotResult {
     children: Vec<ExecState>,
     /// The state, if its quantum expired while still runnable.
     survivor: Option<ExecState>,
+    /// The slot's trace accumulator (absorbed at the barrier in slot
+    /// order).
+    trace: SlotTrace,
 }
 
 /// Runs one scheduling quantum for `state` with a fresh deterministic
 /// per-slot solver, mirroring the sequential engine's inner loop.
 fn run_slot(engine: &Engine, mut state: ExecState) -> SlotResult {
+    let intern_before = engine.timing.then(intern_stats);
     let mut ctx = SlotCtx {
         solver: Solver::new(engine.config.solver),
         forks: 0,
+        trace: SlotTrace::new(engine.timing),
     };
     let mut res = SlotResult {
         steps: 0,
@@ -393,6 +510,7 @@ fn run_slot(engine: &Engine, mut state: ExecState) -> SlotResult {
         completed: None,
         children: Vec::new(),
         survivor: None,
+        trace: SlotTrace::default(),
     };
     for _ in 0..engine.config.quantum {
         res.steps += 1;
@@ -400,22 +518,36 @@ fn run_slot(engine: &Engine, mut state: ExecState) -> SlotResult {
             StepOutcome::Continue => {}
             StepOutcome::Forked(children) => {
                 res.children = children;
-                res.forks = ctx.forks;
-                return res;
+                return finish_slot(res, ctx, intern_before);
             }
             StepOutcome::Completed => {
                 res.completed = Some(state);
-                res.forks = ctx.forks;
-                return res;
+                return finish_slot(res, ctx, intern_before);
             }
             StepOutcome::Dead => {
-                res.forks = ctx.forks;
-                return res;
+                return finish_slot(res, ctx, intern_before);
             }
         }
     }
     res.survivor = Some(state);
+    finish_slot(res, ctx, intern_before)
+}
+
+/// Closes out a slot: moves the context's accounting into the result and —
+/// on traced runs — samples the worker thread's intern-table delta.
+fn finish_slot(
+    mut res: SlotResult,
+    ctx: SlotCtx,
+    intern_before: Option<InternStats>,
+) -> SlotResult {
     res.forks = ctx.forks;
+    res.trace = ctx.trace;
+    if let Some(before) = intern_before {
+        let after = intern_stats();
+        res.trace.intern_hits = after.hits.saturating_sub(before.hits);
+        res.trace.intern_misses = after.misses.saturating_sub(before.misses);
+        res.trace.intern_size = after.size;
+    }
     res
 }
 
@@ -491,11 +623,13 @@ enum Feasibility {
     Unknown,
 }
 
-/// Per-slot mutable execution context: the deterministic solver and fork
-/// accounting. Shared, read-only program structures live in [`Engine`].
+/// Per-slot mutable execution context: the deterministic solver, fork
+/// accounting, and the slot's trace accumulator. Shared, read-only program
+/// structures live in [`Engine`].
 struct SlotCtx {
     solver: Solver,
     forks: u64,
+    trace: SlotTrace,
 }
 
 /// Shared, immutable analysis context (safe to reference from workers).
@@ -506,6 +640,10 @@ struct Engine<'a> {
     costmap: &'a CostMap,
     envelope: &'a NfEnvelope,
     config: &'a AnalysisConfig,
+    /// True when the run is traced: arms the advisory wall-clock samples
+    /// (the deterministic counters are collected either way; they are
+    /// simply discarded when no trace is attached).
+    timing: bool,
 }
 
 impl Engine<'_> {
@@ -532,13 +670,12 @@ impl Engine<'_> {
         )
     }
 
-    /// Sound upper bound on the worst per-packet cost this state can still
-    /// reach: the best packet already completed, the in-flight packet's
-    /// sunk cost plus the envelope's remaining upper bound from every live
-    /// frame, and — if whole packets are still ahead — the full program
-    /// envelope. Admissible, so pruning on it never discards the true
-    /// worst-case path.
-    fn static_ub(&self, state: &ExecState) -> u64 {
+    /// The three ingredients of [`Engine::static_ub`]: the best packet
+    /// already completed, the in-flight packet's sunk cost plus the
+    /// envelope's remaining upper bound from every live frame, and whether
+    /// whole packets are still ahead (which drags in the full program
+    /// envelope).
+    fn static_ub_parts(&self, state: &ExecState) -> (u64, u64, bool) {
         let mut in_flight = state.current.est_cycles;
         for frame in &state.frames {
             let graph = self.icfg.func(frame.func);
@@ -549,11 +686,54 @@ impl Engine<'_> {
             let node = graph.node_at(frame.block, frame.inst_idx.min(block_len));
             in_flight = in_flight.saturating_add(self.envelope.remaining_upper(frame.func, node));
         }
-        let mut ub = state.max_completed_cpp().max(in_flight);
-        if state.packet_idx + 1 < state.packets_target {
+        let pending = state.packet_idx + 1 < state.packets_target;
+        (state.max_completed_cpp(), in_flight, pending)
+    }
+
+    /// Sound upper bound on the worst per-packet cost this state can still
+    /// reach: the best packet already completed, the in-flight packet's
+    /// sunk cost plus the static remaining upper bound, and — if whole
+    /// packets are still ahead — the full program envelope. Admissible, so
+    /// pruning on it never discards the true worst-case path.
+    fn static_ub(&self, state: &ExecState) -> u64 {
+        let (completed, in_flight, pending) = self.static_ub_parts(state);
+        let mut ub = completed.max(in_flight);
+        if pending {
             ub = ub.max(self.envelope.cycles.upper);
         }
         ub
+    }
+
+    /// The branch-and-bound prune decision — exactly
+    /// `config.prune && incumbent > 0 && static_ub(state) < incumbent` —
+    /// with the binding bound reported as the [`PruneReason`] when the
+    /// state is pruned. States still facing whole packets bucket as
+    /// [`PruneReason::EnvelopeUpper`] (the full program envelope was the
+    /// applied bound); final-packet states bucket by whichever of their two
+    /// bounds dominated. While the envelope soundness gate holds, the
+    /// incumbent — itself a completed per-packet cost — can never exceed
+    /// the envelope upper bound, so the envelope-upper bucket staying at
+    /// zero is an observable soundness canary.
+    fn prune_reason(&self, state: &ExecState, incumbent: u64) -> Option<PruneReason> {
+        if !self.config.prune || incumbent == 0 {
+            return None;
+        }
+        let (completed, in_flight, pending) = self.static_ub_parts(state);
+        let mut ub = completed.max(in_flight);
+        if pending {
+            ub = ub.max(self.envelope.cycles.upper);
+        }
+        debug_assert_eq!(ub, self.static_ub(state));
+        if ub >= incumbent {
+            return None;
+        }
+        Some(if pending {
+            PruneReason::EnvelopeUpper
+        } else if completed >= in_flight {
+            PruneReason::IncumbentVsCompleted
+        } else {
+            PruneReason::IncumbentVsInFlight
+        })
     }
 
     fn fork_state(&self, ctx: &mut SlotCtx, state: &ExecState) -> ExecState {
@@ -728,6 +908,8 @@ impl Engine<'_> {
             }
             Inst::Native { dst, func, args } => {
                 self.charge(state, CostClass::Native);
+                let before = ctx.solver.stats();
+                let t0 = ctx.trace.timing.then(Instant::now);
                 let vals: Vec<u64> = args
                     .iter()
                     .map(|a| {
@@ -756,6 +938,11 @@ impl Engine<'_> {
                     let mut sink = NullNativeSink;
                     helper.call(&mut view, &vals, &mut sink)
                 };
+                if let Some(t0) = t0 {
+                    ctx.trace.solve_ns += t0.elapsed().as_nanos() as u64;
+                }
+                ctx.trace
+                    .record(SolverSite::Concretize, ctx.solver.stats().since(before));
                 if let Some(d) = dst {
                     state.top_mut().regs[d as usize] = SymExpr::constant(ret);
                 }
@@ -852,14 +1039,26 @@ impl Engine<'_> {
     ) -> Feasibility {
         if let Some(w) = &state.witness {
             if constraint.holds(&|id| w.get(&id).copied().unwrap_or(0)) {
+                ctx.trace.witness_hits += 1;
                 return Feasibility::Witness;
             }
         }
-        match ctx.solver.solve_with_extra(
+        ctx.trace.witness_misses += 1;
+        let before = ctx.solver.stats();
+        let t0 = ctx.trace.timing.then(Instant::now);
+        let outcome = ctx.solver.solve_with_extra(
             &state.atoms,
             &state.constraints,
             std::slice::from_ref(constraint),
-        ) {
+        );
+        if let Some(t0) = t0 {
+            ctx.trace.solve_ns += t0.elapsed().as_nanos() as u64;
+        }
+        ctx.trace.record(
+            SolverSite::FeasibilityFork,
+            ctx.solver.stats().since(before),
+        );
+        match outcome {
             SolveOutcome::Unsat => Feasibility::No,
             SolveOutcome::Sat(m) => Feasibility::Fresh(Arc::new(m)),
             SolveOutcome::Unknown => Feasibility::Unknown,
@@ -889,7 +1088,14 @@ impl Engine<'_> {
                 StepOutcome::Continue
             }
             None => {
+                let before = ctx.solver.stats();
+                let t0 = ctx.trace.timing.then(Instant::now);
                 let candidates = self.resolve_symbolic_address(ctx, state, &addr);
+                if let Some(t0) = t0 {
+                    ctx.trace.solve_ns += t0.elapsed().as_nanos() as u64;
+                }
+                ctx.trace
+                    .record(SolverSite::AddressResolve, ctx.solver.stats().since(before));
                 if candidates.is_empty() {
                     return StepOutcome::Dead;
                 }
@@ -1019,16 +1225,25 @@ impl Engine<'_> {
         state.note_address(addr);
         match op {
             MemOp::Load { dst } => {
-                let ExecState {
-                    memory,
-                    atoms,
-                    constraints,
-                    ..
-                } = state;
-                let solver = &mut ctx.solver;
-                let value = memory.load(addr, width, &mut |e| {
-                    solver.concretize(atoms, constraints, e).unwrap_or(0)
-                });
+                let before = ctx.solver.stats();
+                let t0 = ctx.trace.timing.then(Instant::now);
+                let value = {
+                    let ExecState {
+                        memory,
+                        atoms,
+                        constraints,
+                        ..
+                    } = state;
+                    let solver = &mut ctx.solver;
+                    memory.load(addr, width, &mut |e| {
+                        solver.concretize(atoms, constraints, e).unwrap_or(0)
+                    })
+                };
+                if let Some(t0) = t0 {
+                    ctx.trace.solve_ns += t0.elapsed().as_nanos() as u64;
+                }
+                ctx.trace
+                    .record(SolverSite::Concretize, ctx.solver.stats().since(before));
                 state.top_mut().regs[*dst as usize] = mask_width(value, width);
             }
             MemOp::Store { value } => {
@@ -1310,6 +1525,130 @@ mod tests {
             let report = Castan::new(cfg).analyze(&nf, &catalog_for(&nf));
             assert_eq!(report.nf_name, nf.name());
         }
+    }
+
+    /// Field-by-field report equality, excluding only the wall clock.
+    fn assert_reports_identical(a: &AnalysisReport, b: &AnalysisReport, what: &str) {
+        assert_eq!(a.nf_name, b.nf_name, "{what}: nf_name");
+        assert_eq!(a.packets, b.packets, "{what}: packets");
+        assert_eq!(a.per_packet, b.per_packet, "{what}: per_packet");
+        assert_eq!(a.states_explored, b.states_explored, "{what}: states");
+        assert_eq!(a.steps, b.steps, "{what}: steps");
+        assert_eq!(a.forks, b.forks, "{what}: forks");
+        assert_eq!(a.havocs_total, b.havocs_total, "{what}: havocs_total");
+        assert_eq!(
+            a.havocs_reconciled, b.havocs_reconciled,
+            "{what}: havocs_reconciled"
+        );
+        assert_eq!(
+            a.predicted_worst_cpp, b.predicted_worst_cpp,
+            "{what}: predicted_worst_cpp"
+        );
+    }
+
+    #[test]
+    fn tracing_observes_but_never_steers() {
+        // The tentpole invariant: a traced run's report is byte-identical
+        // to an untraced run for every strategy × thread count.
+        let nf = castan_nf::nf_by_id(NfId::LpmTrie);
+        let catalog = catalog_for(&nf);
+        for strategy in SearchStrategyKind::ALL {
+            for threads in [1usize, 2, 4] {
+                let mut cfg = AnalysisConfig::quick();
+                cfg.packets = 3;
+                cfg.step_budget = 10_000;
+                cfg.strategy = strategy;
+                cfg.threads = threads;
+                let castan = Castan::new(cfg);
+                let plain = castan.analyze(&nf, &catalog);
+                let (traced, trace) = castan.analyze_traced(&nf, &catalog);
+                let what = format!("{} × {threads} threads", strategy.name());
+                assert_reports_identical(&plain, &traced, &what);
+                assert_eq!(trace.states_explored, plain.states_explored, "{what}");
+                assert_eq!(trace.steps, plain.steps, "{what}");
+                assert_eq!(trace.forks, plain.forks, "{what}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_deterministic_counters_are_thread_count_invariant() {
+        let nf = castan_nf::nf_by_id(NfId::NatHashTable);
+        let catalog = catalog_for(&nf);
+        let run = |threads: usize| {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 3;
+            cfg.step_budget = 18_000;
+            cfg.threads = threads;
+            let (_, trace) = Castan::new(cfg).analyze_traced(&nf, &catalog);
+            trace.deterministic_json().render()
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), base, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn trace_counters_describe_the_search() {
+        let nf = castan_nf::nf_by_id(NfId::LpmTrie);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 3;
+        cfg.step_budget = 12_000;
+        let (report, trace) = Castan::new(cfg).analyze_traced(&nf, &catalog_for(&nf));
+        assert_eq!(trace.label, nf.name());
+        assert_eq!(trace.strategy, "priority");
+        assert!(trace.rounds > 0, "at least one round ran");
+        assert_eq!(
+            trace.frontier_hist.count(),
+            trace.rounds,
+            "one frontier sample per round"
+        );
+        assert_eq!(trace.occupancy_hist.count(), trace.rounds);
+        assert!(trace.pops >= trace.states_explored);
+        assert!(trace.pushes > 0);
+        assert!(
+            trace.witness_hits > 0,
+            "the witness cache must serve some feasibility queries"
+        );
+        assert!(trace.solver_totals().total() > 0, "solver calls happened");
+        assert!(
+            trace.site(SolverSite::Synthesis).total() > 0,
+            "synthesis consulted the solver"
+        );
+        // Conservation: pops + frontier remainder == pushes - truncated,
+        // minus whatever was pruned at pop time; the weaker invariant
+        // below is what must always hold.
+        assert!(trace.pushes >= trace.pops.saturating_sub(trace.prunes_total()));
+        assert_eq!(report.packets.len(), 3);
+        // Wall-clock sampling was armed.
+        assert!(trace.explore_ns > 0);
+        assert!(!trace.spans.is_empty());
+    }
+
+    #[test]
+    fn in_flight_prune_bucket_fires_on_the_unbalanced_lb() {
+        // On the unbalanced-tree LB some states get pruned while their
+        // in-flight bound (sunk cost plus static remainder) still exceeds
+        // their completed record — the incumbent-vs-in-flight bucket must
+        // catch exactly those, distinguishing them from states that lose
+        // on their completed packets alone.
+        let nf = castan_nf::nf_by_id(NfId::LbUnbalancedTree);
+        let mut cfg = AnalysisConfig::quick();
+        cfg.packets = 3;
+        cfg.step_budget = 12_000;
+        cfg.prune = true;
+        let (_, trace) = Castan::new(cfg).analyze_traced(&nf, &catalog_for(&nf));
+        use crate::trace::PruneReason;
+        assert!(
+            trace.prunes_for(PruneReason::IncumbentVsInFlight) > 0,
+            "some LB states must prune on the in-flight bound"
+        );
+        assert!(
+            trace.prunes_for(PruneReason::IncumbentVsCompleted) > 0,
+            "and others on their completed record"
+        );
+        assert_eq!(trace.prunes_for(PruneReason::EnvelopeUpper), 0);
     }
 
     #[test]

@@ -143,6 +143,30 @@ const INTERN_CAP: usize = 1 << 16;
 thread_local! {
     static INTERN: RefCell<HashMap<ConsKey, Arc<SymExpr>>> =
         RefCell::new(HashMap::new());
+    static INTERN_STATS: std::cell::Cell<(u64, u64)> =
+        const { std::cell::Cell::new((0, 0)) };
+}
+
+/// Lifetime statistics of the calling thread's `SymExpr` intern table.
+///
+/// Every worker thread owns its own table, so which hits land where depends
+/// on how slots were scheduled across threads — these numbers are advisory
+/// profiling data, never part of a deterministic baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Nodes whose structure was already interned (allocation shared).
+    pub hits: u64,
+    /// Nodes interned fresh (one allocation each).
+    pub misses: u64,
+    /// Current number of live entries in this thread's table.
+    pub size: u64,
+}
+
+/// The calling thread's intern-table statistics (see [`InternStats`]).
+pub fn intern_stats() -> InternStats {
+    let (hits, misses) = INTERN_STATS.with(|s| s.get());
+    let size = INTERN.with(|t| t.borrow().len() as u64);
+    InternStats { hits, misses, size }
 }
 
 /// Interns a node, returning the canonical shared allocation for its
@@ -164,7 +188,23 @@ fn cons(e: SymExpr) -> Arc<SymExpr> {
         if t.len() >= INTERN_CAP {
             t.clear();
         }
-        t.entry(key).or_insert_with(|| Arc::new(e)).clone()
+        let mut fresh = false;
+        let node = t
+            .entry(key)
+            .or_insert_with(|| {
+                fresh = true;
+                Arc::new(e)
+            })
+            .clone();
+        INTERN_STATS.with(|s| {
+            let (hits, misses) = s.get();
+            s.set(if fresh {
+                (hits, misses + 1)
+            } else {
+                (hits + 1, misses)
+            });
+        });
+        node
     })
 }
 
@@ -313,6 +353,31 @@ mod tests {
         assert_eq!(e.as_const(), Some(42));
         let c = SymExpr::cmp(CmpOp::Ult, SymExpr::constant(1), SymExpr::constant(2));
         assert_eq!(c.as_const(), Some(1));
+    }
+
+    #[test]
+    fn intern_stats_track_hits_and_misses() {
+        // Tests share threads, so assert on the delta, not absolutes.
+        let before = intern_stats();
+        // A structurally fresh pair of leaves: at least the distinctive atom
+        // must miss; rebuilding the identical node then hits every leaf.
+        let a = SymExpr::bin(BinOp::Add, SymExpr::atom(0xBEEF), SymExpr::constant(77));
+        let mid = intern_stats();
+        assert!(mid.misses > before.misses, "fresh structure interns fresh");
+        let b = SymExpr::bin(BinOp::Add, SymExpr::atom(0xBEEF), SymExpr::constant(77));
+        let after = intern_stats();
+        assert!(
+            after.hits > mid.hits,
+            "rebuilt structure shares allocations"
+        );
+        assert!(after.size >= 2, "the table holds the interned leaves");
+        // And interning really deduplicates: the children are pointer-equal.
+        match (&a, &b) {
+            (SymExpr::Bin(_, a1, a2), SymExpr::Bin(_, b1, b2)) => {
+                assert!(Arc::ptr_eq(a1, b1) && Arc::ptr_eq(a2, b2));
+            }
+            other => panic!("expected Bin nodes, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | §4 per-path CPU-model metrics output | [`report`] |
 //! | service-function chains (beyond the paper) | [`chain`] |
 //! | RSS queue-skew synthesis (beyond the paper) | [`rss`] |
+//! | search observability (beyond the paper) | [`trace`] |
 //!
 //! Chain analysis entry points: [`chain::analyze_chain`] runs the per-stage
 //! engine, translates stage-local path constraints to the origin packet
@@ -56,15 +57,17 @@ pub mod solve;
 pub mod state;
 pub mod symmem;
 pub mod synth;
+pub mod trace;
 
 pub use cache::{CacheModel, CacheModelKind, ContentionCacheModel, NoCacheModel};
-pub use chain::{analyze_chain, ChainAnalysisReport};
+pub use chain::{analyze_chain, analyze_chain_traced, ChainAnalysisReport};
 pub use engine::{AnalysisConfig, Castan, PotentialKind};
-pub use expr::{AtomId, AtomKind, AtomTable, SymExpr};
+pub use expr::{intern_stats, AtomId, AtomKind, AtomTable, InternStats, SymExpr};
 pub use report::{AnalysisReport, PathMetrics};
 pub use rss::{
     analyze_chain_cluster_skew, analyze_chain_cross_core, analyze_chain_rss_skew,
     ClusterSkewReport, CrossCoreChainReport, RssSkewReport,
 };
 pub use search::{SearchScore, SearchStrategy, SearchStrategyKind};
-pub use solve::{Model, SolveOutcome, Solver};
+pub use solve::{Model, SolveOutcome, Solver, SolverStats};
+pub use trace::{PruneReason, SearchTrace, SlotTrace, SolverSite, TraceSpan};

@@ -75,7 +75,9 @@ pub trait SearchStrategy: Send {
     }
     /// Drops the least interesting states until at most `cap` remain (a
     /// crude memory guard; the paper relies on the time budget instead).
-    fn truncate(&mut self, cap: usize);
+    /// Returns how many states were dropped, so the engine's trace layer
+    /// can account for capacity losses.
+    fn truncate(&mut self, cap: usize) -> usize;
 }
 
 /// Which [`SearchStrategy`] the engine should use.
@@ -183,14 +185,16 @@ impl SearchStrategy for Searcher {
         self.heap.len()
     }
 
-    fn truncate(&mut self, cap: usize) {
+    fn truncate(&mut self, cap: usize) -> usize {
         if self.heap.len() <= cap {
-            return;
+            return 0;
         }
         let mut all: Vec<Scored> = std::mem::take(&mut self.heap).into_vec();
         all.sort_by(|a, b| b.cmp(a));
+        let dropped = all.len() - cap;
         all.truncate(cap);
         self.heap = all.into();
+        dropped
     }
 }
 
@@ -220,12 +224,15 @@ impl SearchStrategy for DfsStrategy {
         self.stack.len()
     }
 
-    fn truncate(&mut self, cap: usize) {
+    fn truncate(&mut self, cap: usize) -> usize {
         // Keep the deepest (newest) states — dropping the stack top would
         // abandon the path being explored.
         let n = self.stack.len();
         if n > cap {
             self.stack.drain(..n - cap);
+            n - cap
+        } else {
+            0
         }
     }
 }
@@ -271,13 +278,15 @@ impl SearchStrategy for RandomPathStrategy {
         self.entries.len()
     }
 
-    fn truncate(&mut self, cap: usize) {
+    fn truncate(&mut self, cap: usize) -> usize {
         if self.entries.len() <= cap {
-            return;
+            return 0;
         }
         // Under memory pressure fall back to keeping the best-scored states.
         self.entries.sort_by(|a, b| b.cmp(a));
+        let dropped = self.entries.len() - cap;
         self.entries.truncate(cap);
+        dropped
     }
 }
 
@@ -344,14 +353,16 @@ impl SearchStrategy for CostGuidedStrategy {
         self.heap.len()
     }
 
-    fn truncate(&mut self, cap: usize) {
+    fn truncate(&mut self, cap: usize) -> usize {
         if self.heap.len() <= cap {
-            return;
+            return 0;
         }
         let mut all: Vec<GuidedScored> = std::mem::take(&mut self.heap).into_vec();
         all.sort_by(|a, b| b.cmp(a));
+        let dropped = all.len() - cap;
         all.truncate(cap);
         self.heap = all.into();
+        dropped
     }
 }
 
@@ -413,7 +424,8 @@ mod tests {
         for i in 0..100u64 {
             s.push(dummy_state(), flat(i));
         }
-        s.truncate(10);
+        assert_eq!(s.truncate(10), 90);
+        assert_eq!(s.truncate(10), 0, "already at cap: nothing dropped");
         assert_eq!(s.len(), 10);
         assert_eq!(s.pop().unwrap().1.total(), 99);
     }
@@ -440,7 +452,7 @@ mod tests {
             st.id = id;
             s.push(st, flat(0));
         }
-        s.truncate(3);
+        assert_eq!(s.truncate(3), 7);
         assert_eq!(s.len(), 3);
         assert_eq!(s.pop().unwrap().0.id, 9);
     }

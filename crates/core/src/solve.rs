@@ -56,6 +56,46 @@ impl SolveOutcome {
     }
 }
 
+/// Outcome counts of the queries a [`Solver`] has answered — one count per
+/// *outer* query ([`Solver::solve`], [`Solver::solve_with_extra`],
+/// [`Solver::is_satisfiable`], [`Solver::concretize`]); the per-component
+/// sub-solves of independence slicing are not individually counted. The
+/// counts are pure functions of the queries asked, so they are as
+/// deterministic as the engine that asks them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries that exhausted their budget (`Unknown`).
+    pub unknown: u64,
+}
+
+impl SolverStats {
+    /// Total queries answered.
+    pub fn total(&self) -> u64 {
+        self.sat + self.unsat + self.unknown
+    }
+
+    /// Adds another stats block into this one.
+    pub fn absorb(&mut self, other: SolverStats) {
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+    }
+
+    /// The queries answered after an `earlier` snapshot of the same solver
+    /// (saturating, so a mismatched snapshot cannot underflow).
+    pub fn since(&self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            sat: self.sat.saturating_sub(earlier.sat),
+            unsat: self.unsat.saturating_sub(earlier.unsat),
+            unknown: self.unknown.saturating_sub(earlier.unknown),
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
@@ -79,6 +119,7 @@ impl Default for SolverConfig {
 pub struct Solver {
     config: SolverConfig,
     rng: StdRng,
+    stats: SolverStats,
 }
 
 impl Default for Solver {
@@ -93,7 +134,13 @@ impl Solver {
         Solver {
             rng: StdRng::seed_from_u64(config.seed),
             config,
+            stats: SolverStats::default(),
         }
+    }
+
+    /// Outcome counts of every outer query this solver has answered.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Solves the conjunction of `constraints`.
@@ -105,6 +152,21 @@ impl Solver {
     /// concatenate the two slices — the common shape of a path-feasibility
     /// query (shared path constraint plus a tentative branch condition).
     pub fn solve_with_extra(
+        &mut self,
+        atoms: &AtomTable,
+        base: &[Constraint],
+        extra: &[Constraint],
+    ) -> SolveOutcome {
+        let outcome = self.solve_with_extra_inner(atoms, base, extra);
+        match outcome {
+            SolveOutcome::Sat(_) => self.stats.sat += 1,
+            SolveOutcome::Unsat => self.stats.unsat += 1,
+            SolveOutcome::Unknown => self.stats.unknown += 1,
+        }
+        outcome
+    }
+
+    fn solve_with_extra_inner(
         &mut self,
         atoms: &AtomTable,
         base: &[Constraint],
@@ -776,6 +838,43 @@ mod tests {
         let e = SymExpr::bin(BinOp::Shr, SymExpr::atom(ip), SymExpr::constant(8));
         assert_eq!(s.concretize(&t, &cs, &e), Some(0x010203));
         assert_eq!(s.concretize(&t, &cs, &SymExpr::constant(9)), Some(9));
+    }
+
+    #[test]
+    fn stats_count_one_per_outer_query() {
+        let (t, ip, port) = atom_table();
+        let mut s = Solver::default();
+        assert_eq!(s.stats(), SolverStats::default());
+        // Sat — and the two constraints form two independent components, yet
+        // the query counts once.
+        let sat = vec![
+            eq(SymExpr::atom(ip), SymExpr::constant(5)),
+            eq(SymExpr::atom(port), SymExpr::constant(9)),
+        ];
+        assert!(s.solve(&t, &sat).is_sat());
+        // Unsat.
+        let unsat = vec![eq(SymExpr::constant(1), SymExpr::constant(2))];
+        assert!(!s.is_satisfiable(&t, &unsat, &[]));
+        // Concretize routes through solve: one more Sat.
+        let before = s.stats();
+        assert_eq!(
+            s.concretize(&t, &sat, &SymExpr::atom(ip)),
+            Some(5),
+            "concretize under a pinning constraint"
+        );
+        let delta = s.stats().since(before);
+        assert_eq!((delta.sat, delta.unsat, delta.unknown), (1, 0, 0));
+        // A constant concretization never consults the solver.
+        s.concretize(&t, &sat, &SymExpr::constant(7));
+        assert_eq!(
+            s.stats(),
+            SolverStats {
+                sat: 2,
+                unsat: 1,
+                unknown: 0
+            }
+        );
+        assert_eq!(s.stats().total(), 3);
     }
 
     #[test]

@@ -26,8 +26,8 @@ use castan_cluster::{
     cluster_skew_workload, ecmp_skew_workload, measure_cluster, ClusterConfig, ControllerConfig,
 };
 use castan_core::{
-    analyze_chain, analyze_chain_cross_core, AnalysisConfig, AnalysisReport, CacheModelKind,
-    Castan, ChainAnalysisReport,
+    analyze_chain, analyze_chain_cross_core, analyze_chain_traced, AnalysisConfig, AnalysisReport,
+    CacheModelKind, Castan, ChainAnalysisReport, SearchStrategyKind, SearchTrace,
 };
 use castan_mem::{ContentionCatalog, HierarchyConfig, MemoryHierarchy, MultiCoreHierarchy};
 use castan_nf::{all_nfs, nf_by_id, NfId, NfSpec};
@@ -1647,6 +1647,31 @@ pub struct DetectReport {
     pub registries: Vec<(DetectArm, Registry)>,
 }
 
+/// The benign calibration registries of the `detect` experiment's
+/// queue-skew context: uniform and Zipfian reference runs on the
+/// [`DETECT_CORES`] deployment, recorded with per-epoch telemetry. Both
+/// [`Baseline::learn`] and [`Baseline::learn_quantile`] calibrate from
+/// these (the quantile envelope must never be looser — pinned by test).
+pub fn detect_benign_registries(chain: &NfChain, cfg: &ExperimentConfig) -> Vec<Registry> {
+    let epoch = rss_mitigation_epoch(cfg);
+    let tele = TelemetryConfig::new(epoch);
+    let calib_cfg = WorkloadConfig {
+        seed: DETECT_CALIBRATION_SEED,
+        ..WorkloadConfig::scaled(cfg.workload_scale)
+    };
+    let shard = ShardConfig::new(DETECT_CORES);
+    [WorkloadKind::UniRand, WorkloadKind::Zipfian]
+        .iter()
+        .map(|&kind| {
+            let wl = generic_chain_workload(chain, kind, &calib_cfg);
+            let mut dut = ShardedDut::new(chain.clone(), shard, &cfg.measurement);
+            dut.attach_telemetry(tele);
+            dut.run(&wl, &cfg.measurement);
+            dut.take_telemetry().expect("telemetry attached")
+        })
+        .collect()
+}
+
 /// Runs the `detect` experiment for one chain: learns benign baselines
 /// from differently-seeded calibration runs, judges every arm online with
 /// detection overhead charged, re-judges the recorded runs offline across
@@ -1664,16 +1689,7 @@ pub fn detect_data_for(chain: &NfChain, cfg: &ExperimentConfig) -> DetectReport 
     // Queue-skew context: the benign envelope at DETECT_CORES, learned
     // from uniform and Zipfian calibration runs.
     let shard = ShardConfig::new(DETECT_CORES);
-    let calib: Vec<Registry> = [WorkloadKind::UniRand, WorkloadKind::Zipfian]
-        .iter()
-        .map(|&kind| {
-            let wl = generic_chain_workload(chain, kind, &calib_cfg);
-            let mut dut = ShardedDut::new(chain.clone(), shard, &cfg.measurement);
-            dut.attach_telemetry(tele);
-            dut.run(&wl, &cfg.measurement);
-            dut.take_telemetry().expect("telemetry attached")
-        })
-        .collect();
+    let calib = detect_benign_registries(chain, cfg);
     let baseline = Baseline::learn(&calib.iter().collect::<Vec<_>>(), 32);
     let detector = DetectorConfig::with_baseline(baseline);
 
@@ -2550,6 +2566,230 @@ pub fn analysis_drift() -> Result<String, String> {
     }
 }
 
+/// Repo-root path of the deterministic search-counter baseline the
+/// `search-profile` experiment writes (and `trace-drift` gates).
+pub const TRACE_SEARCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_search.json");
+
+/// Path of the chrome-trace (`trace_events`) span file the
+/// `search-profile` experiment writes — load it in `chrome://tracing` or
+/// Perfetto for a flamegraph-style view of the per-run phases.
+pub const SEARCH_PROFILE_TRACE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/search-profile-trace.json"
+);
+
+/// The fixed analysis configuration of the `search-profile` experiment.
+///
+/// Deliberately config-independent (like [`analysis_docs`]): the committed
+/// `TRACE_search.json` must regenerate identically whether CI runs
+/// `--quick` or full and at any `--threads` value, so the canonical
+/// profile pins its own packets/budget and one worker thread (the
+/// deterministic counters are thread-count-invariant anyway — pinned by
+/// castan-core's tests — but the wall-clock advisory fields are not worth
+/// a second config axis).
+pub fn search_profile_config() -> AnalysisConfig {
+    AnalysisConfig {
+        packets: 4,
+        step_budget: 12_000,
+        threads: 1,
+        ..AnalysisConfig::quick()
+    }
+}
+
+/// Runs the whole NF and chain catalog under every search strategy with
+/// tracing attached, and builds the `castan-search-trace-baseline-v1`
+/// document (deterministic counters only), the combined chrome-trace span
+/// document, and the per-strategy summary table.
+fn search_profile_docs() -> (String, String, Table) {
+    // Catalogues at the quick scale, independent of the caller's config.
+    let ecfg = ExperimentConfig::quick();
+    let mut runs: Vec<(String, SearchTrace)> = Vec::new();
+    for strategy in SearchStrategyKind::ALL {
+        let mut acfg = search_profile_config();
+        acfg.strategy = strategy;
+        let castan = Castan::new(acfg);
+        for nf in all_nfs() {
+            let (_, trace) = castan.analyze_traced(&nf, &catalog_for(&nf, &ecfg));
+            runs.push((format!("nf:{}|{}", nf.name(), strategy.name()), trace));
+        }
+        for chain in all_chains() {
+            let (_, trace) =
+                analyze_chain_traced(&castan, &chain, &catalogs_for_chain(&chain, &ecfg));
+            runs.push((format!("chain:{}|{}", chain.name(), strategy.name()), trace));
+        }
+    }
+
+    let mut runs_json = Json::obj();
+    for (key, trace) in &runs {
+        runs_json.set(key, trace.deterministic_json());
+    }
+    let doc = Json::obj()
+        .with("schema", Json::str("castan-search-trace-baseline-v1"))
+        .with("packets", Json::U64(4))
+        .with("step_budget", Json::U64(12_000))
+        .with("runs", runs_json)
+        .render();
+
+    // One chrome-trace document over every run: each run gets its own tid
+    // lane, with the run key prefixed onto the span names.
+    let mut events = Vec::new();
+    for (tid, (key, trace)) in runs.iter().enumerate() {
+        for s in &trace.spans {
+            events.push(
+                Json::obj()
+                    .with("name", Json::str(format!("{key}: {}", s.name)))
+                    .with("ph", Json::str("X"))
+                    .with("ts", Json::U64(s.ts_us))
+                    .with("dur", Json::U64(s.dur_us))
+                    .with("pid", Json::U64(1))
+                    .with("tid", Json::U64(tid as u64)),
+            );
+        }
+    }
+    let chrome = Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", Json::str("ms"))
+        .render();
+
+    // Per-strategy aggregates, split nf vs chain: merge the run traces and
+    // summarise the solver mix, witness cache, and prune reasons.
+    use castan_core::PruneReason;
+    let mut rows = Vec::new();
+    for strategy in SearchStrategyKind::ALL {
+        for (scope, prefix) in [("nfs", "nf:"), ("chains", "chain:")] {
+            let mut merged: Option<SearchTrace> = None;
+            let mut n = 0usize;
+            for (key, trace) in &runs {
+                if key.starts_with(prefix) && key.ends_with(&format!("|{}", strategy.name())) {
+                    n += 1;
+                    match &mut merged {
+                        None => merged = Some(trace.clone()),
+                        Some(m) => m.merge(trace),
+                    }
+                }
+            }
+            let m = merged.expect("catalog is non-empty");
+            let solver = m.solver_totals();
+            rows.push(vec![
+                format!("{} {scope} ({n} runs)", strategy.name()),
+                m.states_explored.to_string(),
+                m.steps.to_string(),
+                format!("{}/{}/{}", solver.sat, solver.unsat, solver.unknown),
+                format!("{:.3}", m.witness_hit_rate()),
+                format!(
+                    "{}/{}/{}",
+                    m.prunes_for(PruneReason::IncumbentVsCompleted),
+                    m.prunes_for(PruneReason::IncumbentVsInFlight),
+                    m.prunes_for(PruneReason::EnvelopeUpper),
+                ),
+                m.truncated.to_string(),
+            ]);
+        }
+    }
+    let table = Table {
+        id: "search-profile".to_string(),
+        title: "Search-engine profile by strategy (deterministic counters \
+                committed as TRACE_search.json)"
+            .to_string(),
+        columns: vec![
+            "Strategy / scope".into(),
+            "States".into(),
+            "Steps".into(),
+            "Solver sat/unsat/unknown".into(),
+            "Witness hit rate".into(),
+            "Prunes compl/in-flight/env".into(),
+            "Truncated".into(),
+        ],
+        rows,
+    };
+    (doc, chrome, table)
+}
+
+/// The `search-profile` experiment: profiles the symbolic engine over the
+/// NF/chain catalog under all four strategies, persists the deterministic
+/// counters as `TRACE_search.json` at the repo root (gated exactly by
+/// `trace-drift`), and writes the combined chrome-trace span file next to
+/// the result summaries. Regenerate with
+/// `cargo run -p castan-experiments --release -- --quick search-profile`.
+pub fn search_profile(_cfg: &ExperimentConfig, label: &str) -> (String, Vec<Table>) {
+    let (doc, chrome, table) = search_profile_docs();
+    let _ = label; // the profile is deliberately config-independent
+    std::fs::write(TRACE_SEARCH_PATH, &doc).expect("write TRACE_search.json");
+    if let Some(dir) = std::path::Path::new(SEARCH_PROFILE_TRACE_PATH).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(SEARCH_PROFILE_TRACE_PATH, &chrome).expect("write chrome trace");
+    (
+        format!(
+            "wrote {TRACE_SEARCH_PATH} ({} runs: {} NFs + {} chains × {} strategies)\n\
+             wrote {SEARCH_PROFILE_TRACE_PATH} (chrome trace; open in chrome://tracing)\n\n{}",
+            SearchStrategyKind::ALL.len() * (all_nfs().len() + all_chains().len()),
+            all_nfs().len(),
+            all_chains().len(),
+            SearchStrategyKind::ALL.len(),
+            table.render(),
+        ),
+        vec![table],
+    )
+}
+
+/// The `trace-drift` check: re-profiles the search in memory and compares
+/// the deterministic counters against the committed `TRACE_search.json`,
+/// field by field with **exact** equality — the counters are deterministic
+/// and thread-count-invariant, so there is no tolerance to hide behind
+/// (wall-clock never enters the baseline in the first place). `Ok` is a
+/// one-line confirmation; `Err` is a readable per-field diff the CI job
+/// fails on.
+pub fn trace_drift() -> Result<String, String> {
+    let (regenerated, _, _) = search_profile_docs();
+    let path = TRACE_SEARCH_PATH;
+    let committed = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let old: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(&committed)
+        .map_err(|e| format!("{path}: {e}"))?
+        .into_iter()
+        .collect();
+    let new: BTreeMap<String, f64> = castan_telemetry::json::numeric_fields(&regenerated)
+        .map_err(|e| format!("regenerated document: {e}"))?
+        .into_iter()
+        .collect();
+    let mut drift = Vec::new();
+    for (key, committed_v) in &old {
+        match new.get(key) {
+            None => drift.push(format!(
+                "{key}: committed {committed_v}, missing on regenerate"
+            )),
+            Some(new_v) if new_v != committed_v => drift.push(format!(
+                "{key}: committed {committed_v}, regenerated {new_v}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for key in new.keys() {
+        if !old.contains_key(key) {
+            drift.push(format!(
+                "{key}: regenerated but not in the committed baseline"
+            ));
+        }
+    }
+    if drift.is_empty() && committed != regenerated {
+        drift.push("documents differ textually (schema or key layout changed)".to_string());
+    }
+    if drift.is_empty() {
+        Ok(format!(
+            "search-trace counters match the committed baseline ({} fields, exact)",
+            old.len()
+        ))
+    } else {
+        Err(format!(
+            "search-trace counters drifted from the committed baseline — if the \
+             engine change is intentional, regenerate with `cargo run -p \
+             castan-experiments --release -- --quick search-profile` and commit \
+             the result:\n{}",
+            drift.join("\n")
+        ))
+    }
+}
+
 /// Ablation: the potential-cost loop bound M (§3.4) — predicted worst-case
 /// cycles per packet of the trie LPM analysis under M = 1, 2, 3.
 pub fn ablation_loop_bound(cfg: &ExperimentConfig) -> Table {
@@ -3368,5 +3608,65 @@ mod tests {
             .unwrap()
             .iter()
             .any(|l| l.contains("not in the committed baseline")));
+    }
+
+    #[test]
+    fn quantile_baseline_is_no_looser_than_max_on_real_calibration_arms() {
+        // Satellite check on real data: calibrating with the p90 of the
+        // log-scale histograms instead of the per-epoch maxima must never
+        // loosen the benign envelope (the quantile is capped at the
+        // tracked max by construction), and the tighter envelope must not
+        // invent alarms on the very runs it was learned from.
+        let cfg = tiny_chain_cfg();
+        let chain = castan_chain::chain_by_id(castan_chain::ChainId::NatLpm);
+        let calib = detect_benign_registries(&chain, &cfg);
+        let refs: Vec<&Registry> = calib.iter().collect();
+        let max = Baseline::learn(&refs, 32);
+        let q90 = Baseline::learn_quantile(&refs, 32, 0.9);
+        for (name, q, m) in [
+            ("max_core_share", q90.max_core_share, max.max_core_share),
+            (
+                "misses_per_packet",
+                q90.misses_per_packet,
+                max.misses_per_packet,
+            ),
+            (
+                "cycles_per_packet",
+                q90.cycles_per_packet,
+                max.cycles_per_packet,
+            ),
+            (
+                "instructions_per_packet",
+                q90.instructions_per_packet,
+                max.instructions_per_packet,
+            ),
+        ] {
+            assert!(q <= m, "{name}: quantile {q} looser than max {m}");
+        }
+        for reg in &calib {
+            let d = Detector::scan(DetectorConfig::with_baseline(q90), reg);
+            assert!(
+                d.alarms().is_empty(),
+                "quantile baseline flags its own calibration run: {:?}",
+                d.alarms()
+            );
+        }
+    }
+
+    #[test]
+    fn search_profile_regenerates_identical_deterministic_counters() {
+        // The trace-drift contract in miniature: the baseline document is
+        // a pure function of the pinned profile config — rebuilding it
+        // back to back yields byte-identical output (wall-clock only ever
+        // lands in the chrome-trace document, which is free to differ).
+        let (doc_a, _, table_a) = search_profile_docs();
+        let (doc_b, _, table_b) = search_profile_docs();
+        assert_eq!(doc_a, doc_b);
+        assert!(doc_a.contains("castan-search-trace-baseline-v1"));
+        assert!(doc_a.contains("nf:NOP|"), "NF runs keyed by name|strategy");
+        assert!(doc_a.contains("chain:nat-lpm|"), "chain runs keyed too");
+        assert_eq!(table_a.rows, table_b.rows);
+        // One nf row and one chain row per strategy.
+        assert_eq!(table_a.rows.len(), SearchStrategyKind::ALL.len() * 2);
     }
 }

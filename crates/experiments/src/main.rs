@@ -12,8 +12,8 @@
 //! Experiments: `fig4` … `fig15`, `table1` … `table5`, `ablation-m`,
 //! `ablation-cache`, `chain-table`, `rss-scaling`, `rss-mitigation`,
 //! `xcore-contention`, `cluster-skew`, `detect`, `bench-baselines`,
-//! `analysis`, or `all`. Unknown experiment names exit with status 2 and
-//! list the valid names.
+//! `analysis`, `search-profile`, or `all`. Unknown experiment names exit
+//! with status 2 and list the valid names.
 //!
 //! Every experiment prints its tables/figures and writes a
 //! machine-readable `castan-experiment-result-v1` summary to
@@ -21,20 +21,25 @@
 //! writes `BENCH_hotpath.json` and `BENCH_cluster.json` (the committed
 //! perf baselines), `detect` writes `TELEMETRY_detect.json`, and
 //! `analysis` writes `ANALYSIS_envelopes.json` (the committed static
-//! cost-envelope table).
+//! cost-envelope table), and `search-profile` writes `TRACE_search.json`
+//! (the committed deterministic search-counter baseline) plus a
+//! chrome-trace span file under `results/`.
 //!
 //! `bench-drift` (not part of `all`) regenerates the perf baselines and
 //! exits non-zero with a per-field diff if they drifted from the
 //! committed artifacts; run it with `--quick`, the committed config.
 //! `analysis-drift` (also not part of `all`) does the same for the static
 //! envelope table, with exact integer comparison — the envelopes are
-//! config-independent, so either `--quick` or full works.
+//! config-independent, so either `--quick` or full works. `trace-drift`
+//! gates `TRACE_search.json` the same way (exact match; the profile pins
+//! its own analysis config, so any flag combination regenerates the same
+//! counters).
 
 use castan_experiments::{
     ablation_cache_model, ablation_loop_bound, analysis_drift, analysis_envelopes, bench_baselines,
     bench_drift, chain_table, cluster_skew, detect, figure, figure_catalog, rss_mitigation,
-    rss_scaling, table4, table5, throughput_and_counters_table, xcore_contention, ExperimentConfig,
-    Table,
+    rss_scaling, search_profile, table4, table5, throughput_and_counters_table, trace_drift,
+    xcore_contention, ExperimentConfig, Table,
 };
 
 /// Repo-root directory the per-experiment result summaries are written to
@@ -58,12 +63,13 @@ fn valid_experiments() -> Vec<String> {
     out.push("detect".to_string());
     out.push("bench-baselines".to_string());
     out.push("analysis".to_string());
+    out.push("search-profile".to_string());
     out
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: castan-experiments [--quick] [--threads=N] <experiment>...\nexperiments: {} | all | bench-drift | analysis-drift",
+        "usage: castan-experiments [--quick] [--threads=N] <experiment>...\nexperiments: {} | all | bench-drift | analysis-drift | trace-drift",
         valid_experiments().join(" | ")
     );
     std::process::exit(2);
@@ -101,7 +107,11 @@ fn main() {
     for r in requested {
         if r == "all" {
             targets.extend(valid.iter().cloned());
-        } else if valid.contains(&r) || r == "bench-drift" || r == "analysis-drift" {
+        } else if valid.contains(&r)
+            || r == "bench-drift"
+            || r == "analysis-drift"
+            || r == "trace-drift"
+        {
             targets.push(r);
         } else {
             eprintln!("unknown experiment: {r}");
@@ -127,6 +137,7 @@ fn main() {
             "detect" => detect(&cfg, label),
             "bench-baselines" => bench_baselines(&cfg, label),
             "analysis" => analysis_envelopes(label),
+            "search-profile" => search_profile(&cfg, label),
             "bench-drift" => match bench_drift(&cfg) {
                 Ok(summary) => (summary, Vec::new()),
                 Err(diff) => {
@@ -135,6 +146,13 @@ fn main() {
                 }
             },
             "analysis-drift" => match analysis_drift() {
+                Ok(summary) => (summary, Vec::new()),
+                Err(diff) => {
+                    eprintln!("{diff}");
+                    std::process::exit(1);
+                }
+            },
+            "trace-drift" => match trace_drift() {
                 Ok(summary) => (summary, Vec::new()),
                 Err(diff) => {
                     eprintln!("{diff}");

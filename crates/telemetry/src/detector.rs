@@ -30,7 +30,7 @@
 //! mutates the registry; the closed-loop DUT charges its polling cost
 //! explicitly.
 
-use crate::Registry;
+use crate::{Histogram, Registry};
 
 /// Gauge name: busiest core's share of packets dispatched this epoch.
 pub const SIG_MAX_CORE_SHARE: &str = "dispatch.max_core_share";
@@ -136,6 +136,65 @@ impl Baseline {
         }
         assert!(epochs > 0, "no calibration epoch had enough packets");
         out
+    }
+
+    /// Like [`Baseline::learn`], but robust to rare benign outlier epochs:
+    /// each signal's envelope is the `q`-quantile (e.g. `0.9`) of its
+    /// per-epoch values across all qualifying calibration epochs, estimated
+    /// from a log-scale [`Histogram`] of fixed-point-scaled gauge values.
+    ///
+    /// Because a histogram quantile never exceeds the tracked maximum (and
+    /// samples are floored into fixed point), every signal's quantile
+    /// envelope is at most the [`Baseline::learn`] per-epoch maximum — the
+    /// quantile can only *tighten* the benign envelope, letting the scaled
+    /// thresholds catch attacks that hide just under a calibration spike.
+    /// Panics if no epoch qualifies, like [`Baseline::learn`].
+    pub fn learn_quantile(registries: &[&Registry], min_epoch_packets: u64, q: f64) -> Baseline {
+        // Gauges are small floats (shares, per-packet ratios); the log-scale
+        // histogram buckets integers, so samples are scaled into fixed point
+        // first. Flooring keeps the quantile ≤ the true per-epoch maximum.
+        const SCALE: f64 = (1u64 << 20) as f64;
+        let mut hists = [
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+        ];
+        const SIGNALS: [&str; 4] = [
+            SIG_MAX_CORE_SHARE,
+            SIG_MISSES_PER_PACKET,
+            SIG_CYCLES_PER_PACKET,
+            SIG_INSTRUCTIONS_PER_PACKET,
+        ];
+        let mut epochs = 0usize;
+        for reg in registries {
+            for e in 0..reg.epoch() {
+                let pkts = reg.gauge_at(SIG_EPOCH_PACKETS, e).unwrap_or(0.0);
+                if pkts < min_epoch_packets as f64 {
+                    continue;
+                }
+                epochs += 1;
+                for (h, sig) in hists.iter_mut().zip(SIGNALS) {
+                    if let Some(v) = reg.gauge_at(sig, e) {
+                        h.observe_f64((v * SCALE).floor());
+                    }
+                }
+            }
+        }
+        assert!(epochs > 0, "no calibration epoch had enough packets");
+        let env = |h: &Histogram| {
+            if h.count() == 0 {
+                0.0
+            } else {
+                h.quantile(q) / SCALE
+            }
+        };
+        Baseline {
+            max_core_share: env(&hists[0]),
+            misses_per_packet: env(&hists[1]),
+            cycles_per_packet: env(&hists[2]),
+            instructions_per_packet: env(&hists[3]),
+        }
     }
 }
 
@@ -308,6 +367,51 @@ mod tests {
         assert_eq!(b.max_core_share, 0.30);
         assert_eq!(b.misses_per_packet, 2.2);
         assert_eq!(b.cycles_per_packet, 1100.0);
+    }
+
+    #[test]
+    fn quantile_baseline_tightens_the_envelope_without_false_positives() {
+        // Calibration with one benign outlier epoch (a warm-up spike): the
+        // per-epoch maximum envelope is dragged up to the spike, while the
+        // 0.9-quantile envelope stays at the typical epochs' bucket.
+        let mut cal = Registry::new();
+        for _ in 0..19 {
+            epoch(&mut cal, 500.0, 0.30, 2.2, 1100.0);
+        }
+        epoch(&mut cal, 500.0, 0.90, 9.9, 9999.0); // benign outlier epoch
+        let b = Baseline::learn(&[&cal], 32);
+        let qb = Baseline::learn_quantile(&[&cal], 32, 0.9);
+        // Never looser than the max envelope, strictly tighter on every
+        // signal the outlier inflated.
+        assert!(qb.max_core_share <= b.max_core_share);
+        assert!(qb.misses_per_packet <= b.misses_per_packet);
+        assert!(qb.cycles_per_packet <= b.cycles_per_packet);
+        assert!(qb.max_core_share < b.max_core_share);
+        assert!(qb.misses_per_packet < b.misses_per_packet);
+        assert!(qb.cycles_per_packet < b.cycles_per_packet);
+
+        // No false positives on typical benign traffic under the tightened
+        // thresholds.
+        let qcfg = DetectorConfig::with_baseline(qb);
+        let mut benign = Registry::new();
+        epoch(&mut benign, 500.0, 0.29, 2.15, 1080.0);
+        epoch(&mut benign, 500.0, 0.30, 2.2, 1099.0);
+        assert!(Detector::scan(qcfg, &benign).alarms().is_empty());
+
+        // A skew attack hiding just under the calibration spike escapes
+        // the max-envelope detector but not the quantile one.
+        let mut sneaky = Registry::new();
+        epoch(&mut sneaky, 500.0, 0.85, 2.1, 1050.0);
+        let cfg = DetectorConfig::with_baseline(b);
+        assert!(
+            Detector::scan(cfg, &sneaky).alarms().is_empty(),
+            "0.85 share hides under the 0.90 calibration spike times 1.5"
+        );
+        let a = Detector::scan(qcfg, &sneaky)
+            .first_alarm()
+            .cloned()
+            .expect("the tightened envelope must catch the hidden skew");
+        assert_eq!(a.signature, AttackSignature::QueueSkew);
     }
 
     #[test]

@@ -194,9 +194,17 @@ impl Registry {
         h.cumulative.merge(other);
     }
 
-    /// Appends an event (stamped with the open epoch).
+    /// Appends an event (stamped with the open epoch). When the bounded
+    /// ring evicts the oldest event to make room, the eviction is surfaced
+    /// as the `dropped_events` counter so snapshots reveal how much of the
+    /// event history was lost rather than silently truncating it.
     pub fn event(&mut self, kind: EventKind, detail: impl Into<String>) {
+        let before = self.events.dropped();
         self.events.push(self.epoch, kind, detail.into());
+        let evicted = self.events.dropped() - before;
+        if evicted > 0 {
+            self.count("dropped_events", evicted);
+        }
     }
 
     /// Seals the open epoch: every counter's delta, gauge value and
@@ -397,6 +405,29 @@ mod tests {
         assert_eq!(h.cumulative().count(), 3);
         assert_eq!(h.epochs().len(), 2);
         assert_eq!(h.epochs()[1].1.count(), 2);
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_pinned_counter() {
+        let mut r = Registry::with_event_capacity(2);
+        for i in 0..5 {
+            r.event(EventKind::EpochBoundary, format!("e{i}"));
+        }
+        // Capacity 2, five pushes: exactly three evictions, counted as
+        // they happen (not merely readable off the ring).
+        assert_eq!(r.counter_total("dropped_events"), 3);
+        assert_eq!(r.events().dropped(), 3);
+        r.seal_epoch();
+        let s = r.snapshot_json();
+        let fields = json::numeric_fields(&s).unwrap();
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "counters.dropped_events.total" && *v == 3.0));
+        // No spurious counter when nothing is evicted.
+        let mut quiet = Registry::with_event_capacity(8);
+        quiet.event(EventKind::EpochBoundary, "only");
+        assert_eq!(quiet.counter_total("dropped_events"), 0);
+        assert!(quiet.counter("dropped_events").is_none());
     }
 
     #[test]

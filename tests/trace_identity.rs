@@ -1,0 +1,112 @@
+//! Property-based pins for the search-trace layer: tracing is purely
+//! observational (a traced run's report is byte-identical to the untraced
+//! one for every strategy and thread count), and the deterministic
+//! counters that land in `TRACE_search.json` are thread-count-invariant.
+
+use proptest::prelude::*;
+
+use castan_suite::analysis::engine::AnalysisConfig;
+use castan_suite::analysis::{analyze_chain, analyze_chain_traced, Castan, SearchStrategyKind};
+use castan_suite::mem::ContentionCatalog;
+
+/// A compact fingerprint of everything an [`AnalysisReport`] carries —
+/// packet bytes included — so "byte-identical" is checked, not sampled.
+fn fingerprint(r: &castan_suite::analysis::AnalysisReport) -> String {
+    let wire: Vec<Vec<u8>> = r.packets.iter().map(|p| p.to_bytes()).collect();
+    format!(
+        "{wire:?} {:?} {} {} {} {} {} {}",
+        r.per_packet,
+        r.states_explored,
+        r.steps,
+        r.forks,
+        r.havocs_total,
+        r.havocs_reconciled,
+        r.predicted_worst_cpp
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// For every strategy × thread count, attaching a trace changes
+    /// nothing about the analysis: the traced report fingerprints exactly
+    /// like the untraced one. And the trace's deterministic counters — the
+    /// ones `TRACE_search.json` commits — are identical at 1, 2 and 4
+    /// threads (only the advisory wall-clock fields may differ, and those
+    /// never enter `deterministic_json`).
+    #[test]
+    fn tracing_is_observational_for_every_strategy_and_thread_count(seed in 0u64..64) {
+        let nf = castan_suite::nf::nf_by_id(castan_suite::nf::NfId::NatHashTable);
+        let catalog = ContentionCatalog::default();
+        for strategy in SearchStrategyKind::ALL {
+            let mut deterministic: Option<String> = None;
+            for threads in [1usize, 2, 4] {
+                let mut cfg = AnalysisConfig::quick();
+                cfg.packets = 2;
+                cfg.step_budget = 10_000;
+                cfg.solver.seed = seed;
+                cfg.strategy = strategy;
+                cfg.threads = threads;
+                let castan = Castan::new(cfg);
+                let plain = castan.analyze(&nf, &catalog);
+                let (traced, trace) = castan.analyze_traced(&nf, &catalog);
+                prop_assert_eq!(
+                    fingerprint(&traced),
+                    fingerprint(&plain),
+                    "{} at {} threads: tracing steered the search",
+                    strategy.name(),
+                    threads
+                );
+                let counters = trace.deterministic_json().render();
+                match &deterministic {
+                    None => deterministic = Some(counters),
+                    Some(first) => prop_assert_eq!(
+                        &counters,
+                        first,
+                        "{} at {} threads: deterministic counters depend on \
+                         the thread count",
+                        strategy.name(),
+                        threads
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The same invariant end to end through the chain pipeline (per-stage
+    /// analysis, merge, synthesis): the traced chain report matches the
+    /// untraced one for every strategy.
+    #[test]
+    fn chain_tracing_is_observational_for_every_strategy(seed in 0u64..64) {
+        let chain = castan_suite::chain::chain_by_id(castan_suite::chain::ChainId::NatLpm);
+        let catalogs: Vec<ContentionCatalog> =
+            chain.stages.iter().map(|_| ContentionCatalog::default()).collect();
+        for strategy in SearchStrategyKind::ALL {
+            let mut cfg = AnalysisConfig::quick();
+            cfg.packets = 2;
+            cfg.step_budget = 6_000;
+            cfg.solver.seed = seed;
+            cfg.strategy = strategy;
+            let castan = Castan::new(cfg);
+            let plain = analyze_chain(&castan, &chain, &catalogs);
+            let (traced, trace) = analyze_chain_traced(&castan, &chain, &catalogs);
+            prop_assert_eq!(
+                traced.predicted_total_cpp,
+                plain.predicted_total_cpp,
+                "{}: chain tracing steered the search",
+                strategy.name()
+            );
+            prop_assert_eq!(traced.packets.len(), plain.packets.len());
+            for (t, p) in traced.packets.iter().zip(&plain.packets) {
+                prop_assert_eq!(t.to_bytes(), p.to_bytes());
+            }
+            prop_assert_eq!(traced.per_stage.len(), plain.per_stage.len());
+            for (t, p) in traced.per_stage.iter().zip(&plain.per_stage) {
+                prop_assert_eq!(fingerprint(t), fingerprint(p), "{}", strategy.name());
+            }
+            prop_assert_eq!(traced.merged_constraints, plain.merged_constraints);
+            prop_assert_eq!(traced.dropped_constraints, plain.dropped_constraints);
+            prop_assert!(trace.states_explored > 0);
+        }
+    }
+}
